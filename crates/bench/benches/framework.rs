@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the framework itself. The paper reports a
+//! "total convergence time of eight minutes" for the training phase
+//! over 81 DSE configurations; these benches time the equivalent
+//! stages of this implementation.
+
+use claire_core::{dse, Claire, Constraints};
+use claire_graph::louvain;
+use claire_model::{parse, zoo};
+use claire_ppa::DseSpace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_training_phase(c: &mut Criterion) {
+    let models = zoo::training_set();
+    let claire = Claire::new(claire_bench::paper_options());
+    c.bench_function("train_phase_13_models_81_configs", |b| {
+        b.iter(|| black_box(claire.train(black_box(&models)).expect("train")))
+    });
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    c.bench_function("full_flow_train_plus_test", |b| {
+        b.iter(|| black_box(claire_bench::run_paper_flow()))
+    });
+}
+
+fn bench_custom_dse(c: &mut Criterion) {
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    let vgg = zoo::vgg16();
+    let mixtral = zoo::mixtral_8x7b();
+    c.bench_function("dse_custom_vgg16", |b| {
+        b.iter(|| black_box(dse::custom_config(black_box(&vgg), &space, &cons).expect("dse")))
+    });
+    c.bench_function("dse_custom_mixtral", |b| {
+        b.iter(|| {
+            black_box(dse::custom_config(black_box(&mixtral), &space, &cons).expect("dse"))
+        })
+    });
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let models = zoo::training_set();
+    let hw = claire_ppa::HwParams::new(32, 32, 16, 16);
+    let ug = claire_core::graphs::universal_graph(&models, &hw);
+    c.bench_function("louvain_generic_universal_graph", |b| {
+        b.iter(|| black_box(louvain(black_box(&ug), 1.0)))
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let text = parse::to_torch_print(&zoo::resnet50());
+    c.bench_function("parse_resnet50_printout", |b| {
+        b.iter(|| {
+            black_box(
+                parse::parse_model("Resnet50", black_box(&text), parse::ParseOptions::default())
+                    .expect("parse"),
+            )
+        })
+    });
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let models = zoo::training_set();
+    let hw = claire_ppa::HwParams::new(32, 32, 16, 16);
+    c.bench_function("universal_graph_training_set", |b| {
+        b.iter(|| black_box(claire_core::graphs::universal_graph(black_box(&models), &hw)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use claire_sim::{simulate, simulate_batch, Mode};
+    let claire = Claire::new(claire_bench::paper_options());
+    let m = zoo::resnet50();
+    let custom = claire.custom_for(&m).expect("feasible");
+    c.bench_function("simulate_strict_resnet50", |b| {
+        b.iter(|| black_box(simulate(&m, &custom.config, Mode::Strict).expect("sim")))
+    });
+    c.bench_function("simulate_batch32_resnet50", |b| {
+        b.iter(|| black_box(simulate_batch(&m, &custom.config, 32).expect("sim")))
+    });
+}
+
+fn bench_synthetic_scaling(c: &mut Criterion) {
+    use claire_model::synth::random_suite;
+    let claire = Claire::new(claire_bench::paper_options());
+    let mut group = c.benchmark_group("train_scaling_synthetic");
+    for n in [4_usize, 8, 16, 32] {
+        let models = random_suite(99, n);
+        group.bench_function(format!("{n}_models"), |b| {
+            b.iter(|| black_box(claire.train(black_box(&models)).expect("train")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training_phase,
+    bench_full_flow,
+    bench_custom_dse,
+    bench_louvain,
+    bench_parser,
+    bench_graph_construction,
+    bench_simulator,
+    bench_synthetic_scaling
+);
+criterion_main!(benches);

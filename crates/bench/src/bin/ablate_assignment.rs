@@ -1,0 +1,66 @@
+//! Ablation: the Step #TT1 assignment metric. The paper says only
+//! "weighted Jaccard Similarity between the algorithm's nodes and the
+//! nodes of the library-synthesized configurations"; this bench shows
+//! where each reading (raw work, log-compressed work, pure presence)
+//! sends the six test algorithms, against the paper's Table III
+//! column.
+
+use claire_bench::{paper_options, render_table};
+use claire_core::{Claire, WeightScale};
+use claire_model::zoo;
+
+fn main() {
+    let paper: &[(&str, &str)] = &[
+        ("BERT-base", "C_3"),
+        ("Graphormer", "C_3"),
+        ("ViT-base", "C_3"),
+        ("AST", "C_3"),
+        ("DETR", "C_1"),
+        ("Alexnet", "C_1"),
+    ];
+    let mut columns: Vec<Vec<String>> = vec![Vec::new(); 3];
+    for (si, scale) in [WeightScale::Raw, WeightScale::Log, WeightScale::Binary]
+        .into_iter()
+        .enumerate()
+    {
+        let mut opts = paper_options();
+        opts.assign_scale = scale;
+        let claire = Claire::new(opts);
+        let train = claire.train(&zoo::training_set()).expect("train");
+        let test = claire.evaluate_test(&train, &zoo::test_set()).expect("test");
+        for r in &test.reports {
+            columns[si].push(
+                r.assigned_library
+                    .map(|k| train.libraries[k].config.name.clone())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+    let rows: Vec<Vec<String>> = paper
+        .iter()
+        .enumerate()
+        .map(|(i, (name, expected))| {
+            vec![
+                (*name).to_owned(),
+                (*expected).to_owned(),
+                columns[0][i].clone(),
+                columns[1][i].clone(),
+                columns[2][i].clone(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Ablation: assignment metric vs the paper's Table III",
+            &["Test Algorithm", "Paper", "Raw", "Log", "Binary"],
+            &rows,
+        )
+    );
+    println!();
+    println!("No reading reproduces the paper column exactly: BERT/Graphormer");
+    println!("are genuinely most similar to the Whisper library (C_4) and DETR");
+    println!("to the PEANUT library (C_2) under any monotone similarity over");
+    println!("faithful node vectors - see EXPERIMENTS.md. Every assignment");
+    println!("still reaches 100% coverage.");
+}

@@ -1,0 +1,41 @@
+//! Ablation: the "area wall" — recurring (per-unit) cost of one
+//! monolithic die vs equal-area chiplet splits under rising defect
+//! density, using the yield model the paper's cited cost framework
+//! provides.
+
+use claire_bench::render_table;
+use claire_cost::RecurringModel;
+
+fn main() {
+    let mut rows = Vec::new();
+    for d0 in [0.0005, 0.001, 0.002, 0.003] {
+        let model = RecurringModel {
+            defect_density_per_mm2: d0,
+            ..RecurringModel::tsmc28()
+        };
+        for total in [200.0, 400.0, 600.0] {
+            let mono = model.system_unit_cost(&[total]);
+            let halves = model.system_unit_cost(&[total / 2.0, total / 2.0]);
+            let quads = model.system_unit_cost(&[total / 4.0; 4]);
+            rows.push(vec![
+                format!("{:.4}", d0),
+                format!("{total:.0}"),
+                format!("${mono:.2}"),
+                format!("${halves:.2}"),
+                format!("${quads:.2}"),
+                format!("{:.2}x", mono / quads),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: monolithic vs chiplet recurring cost (area wall)",
+            &["D0 (/mm^2)", "Total mm^2", "1 die", "2 dies", "4 dies", "Mono/Quad"],
+            &rows,
+        )
+    );
+    println!();
+    println!("Rising defect density and die size push monolithic cost past the");
+    println!("chiplet splits - the motivation for 2.5D integration in Sec. I.");
+}

@@ -1,0 +1,52 @@
+//! Ablation: weight-stationary (the paper's choice) vs
+//! output-stationary systolic dataflow, per workload family.
+//!
+//! The paper fixes weight-stationary "due to its advantage in data
+//! reuse" (Eyeriss-style reasoning). This bench quantifies the
+//! latency consequence of that design decision per algorithm on the
+//! 32x32x32 design point.
+
+use claire_bench::render_table;
+use claire_model::{zoo, LayerKind};
+use claire_ppa::{Dataflow, HwParams, SystolicArrayModel};
+
+fn systolic_cycles(model: &claire_model::Model, df: Dataflow) -> u64 {
+    let sa = SystolicArrayModel::with_dataflow(HwParams::new(32, 32, 16, 16), df);
+    model
+        .layers()
+        .iter()
+        .map(|l| match &l.kind {
+            LayerKind::Conv2d(c) => sa.conv2d(c).cycles,
+            LayerKind::Conv1d(c) => sa.conv1d(c).cycles,
+            LayerKind::Linear(lin) => sa.linear(lin).cycles,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for m in zoo::training_set() {
+        let ws = systolic_cycles(&m, Dataflow::WeightStationary);
+        let os = systolic_cycles(&m, Dataflow::OutputStationary);
+        rows.push(vec![
+            m.name().to_owned(),
+            format!("{:.3}", ws as f64 / 1e6),
+            format!("{:.3}", os as f64 / 1e6),
+            format!("{:.2}x", os as f64 / ws as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: systolic dataflow (compute cycles, 32x32 SA x32)",
+            &["Algorithm", "WS Mcycles", "OS Mcycles", "OS/WS"],
+            &rows,
+        )
+    );
+    println!();
+    println!("Weight-stationary wins where output positions outnumber the");
+    println!("reduction depth (CNN feature maps, long sequences); output-");
+    println!("stationary catches up on deep, narrow matmuls. The paper's");
+    println!("fixed WS choice is the right default for this workload mix.");
+}

@@ -1,0 +1,72 @@
+//! Ablation: leakage energy with and without power gating.
+//!
+//! The paper keeps energy dynamic-only and notes that "power gating
+//! for underutilized units was not applied, \[so\] the energy
+//! consumption varied by only 0.2% across the configurations". This
+//! bench adds 28-nm leakage to show what that choice hides: without
+//! gating, the generic configuration's idle silicon burns extra
+//! energy for every algorithm; gating restores near-custom energy.
+
+use claire_bench::{paper_options, render_table, run_paper_flow};
+use claire_core::evaluate::{evaluate_with, EvalOptions};
+use claire_model::zoo;
+
+fn main() {
+    let _ = paper_options();
+    let run = run_paper_flow();
+    let dynamic_only = EvalOptions::default();
+    let leaky = EvalOptions {
+        include_leakage: true,
+        ..EvalOptions::default()
+    };
+    let gated = EvalOptions {
+        include_leakage: true,
+        power_gating: true,
+        ..EvalOptions::default()
+    };
+
+    let mut rows = Vec::new();
+    for (i, m) in zoo::training_set().iter().enumerate() {
+        let lib = run.train.library_of(i).expect("assigned");
+        let custom_cfg = &run.train.customs[i].config;
+        let generic_cfg = &run.train.generic;
+        let lib_cfg = &run.train.libraries[lib].config;
+
+        let e = |cfg, opts| {
+            evaluate_with(m, cfg, opts)
+                .expect("covered")
+                .energy_j
+        };
+        let e_custom = e(custom_cfg, dynamic_only);
+        let overhead = |cfg, opts| format!("{:+.1}%", 100.0 * (e(cfg, opts) / e_custom - 1.0));
+        rows.push(vec![
+            m.name().to_owned(),
+            overhead(generic_cfg, dynamic_only),
+            overhead(generic_cfg, leaky),
+            overhead(generic_cfg, gated),
+            overhead(lib_cfg, leaky),
+            overhead(lib_cfg, gated),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: energy overhead vs dynamic-only custom design",
+            &[
+                "Algorithm",
+                "C_g dyn",
+                "C_g leak",
+                "C_g gated",
+                "C_k leak",
+                "C_k gated",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!("Dynamic-only (paper setting): configurations within a fraction of");
+    println!("a percent. With leakage, the generic configuration pays for its");
+    println!("idle area; power gating recovers most of it - and the library");
+    println!("configurations need far less gating because they carry less");
+    println!("unused silicon (the utilization argument in energy form).");
+}

@@ -1,0 +1,85 @@
+//! Node-migration sensitivity: project the 28-nm results to 16-nm and
+//! 7-nm-class processes (first-order scaling) and recompute the
+//! library-vs-custom NRE economics with node-appropriate mask and
+//! design costs. The benefit *ratios* barely move; the absolute
+//! dollars saved explode — the library argument strengthens with
+//! every node.
+
+use claire_bench::{paper_options, render_table};
+use claire_core::Claire;
+use claire_cost::NreModel;
+use claire_model::zoo;
+use claire_ppa::NodeScaling;
+
+fn main() {
+    let claire = Claire::new(paper_options());
+    let out = claire.train(&zoo::training_set()).expect("training");
+    let c1 = &out.libraries[0];
+    let resnet_ppa = &out.algo_ppa[0]; // ResNet-18 rows of Fig. 4
+
+    let mut rows = Vec::new();
+    for (scaling, nre) in [
+        (NodeScaling::n28(), NreModel::tsmc28()),
+        (NodeScaling::n16(), NreModel::tsmc16()),
+        (NodeScaling::n7(), NreModel::tsmc7()),
+    ] {
+        // Scaled C_1 silicon + ResNet-18 PPA projection.
+        let areas: Vec<f64> = c1
+            .config
+            .chiplet_areas()
+            .iter()
+            .map(|&a| scaling.scale_area_mm2(a))
+            .collect();
+        let lib_nre_musd = nre.system_nre(&areas);
+        // Cumulative custom cost in the same node (6 CNN customs).
+        let custom_nre_musd: f64 = c1
+            .members
+            .iter()
+            .map(|&i| {
+                let a: Vec<f64> = out.customs[i]
+                    .config
+                    .chiplet_areas()
+                    .iter()
+                    .map(|&x| scaling.scale_area_mm2(x))
+                    .collect();
+                nre.system_nre(&a)
+            })
+            .sum();
+        let lat = scaling.scale_latency_s(resnet_ppa.custom.latency_s);
+        let energy = scaling.scale_energy_j(resnet_ppa.custom.energy_j);
+        let area = scaling.scale_area_mm2(resnet_ppa.custom.area_mm2);
+        rows.push(vec![
+            format!("{:?}", scaling.node),
+            format!("{:.1}", areas.iter().sum::<f64>()),
+            format!("{:.3}", lat * 1e3),
+            format!("{:.3}", energy / lat / area),
+            format!("{:.1}", custom_nre_musd),
+            format!("{:.1}", lib_nre_musd),
+            format!("{:.2}x", custom_nre_musd / lib_nre_musd),
+            format!("${:.1}M", custom_nre_musd - lib_nre_musd),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Node migration: C_1 library economics and ResNet-18 PPA projection",
+            &[
+                "Node",
+                "C_1 mm^2",
+                "R18 lat (ms)",
+                "R18 PD (W/mm^2)",
+                "Custom NRE (M$)",
+                "Library NRE (M$)",
+                "Benefit",
+                "Saved",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!("The benefit ratio is set by chiplet-type counts and survives the");
+    println!("node change; the absolute saving grows with mask-set cost (~10x");
+    println!("from 28 nm to 7 nm). Power density climbs each node (energy");
+    println!("scales slower than area) - the PD_limit constraint tightens, as");
+    println!("the dark-silicon literature predicts.");
+}

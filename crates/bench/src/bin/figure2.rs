@@ -1,0 +1,22 @@
+//! Regenerates Fig. 2: the top-12 edge combinations (layer
+//! connections) across the training set, as a text histogram.
+
+use claire_bench::tables;
+
+fn main() {
+    let rows = tables::figure2_rows(12);
+    let max: u32 = rows
+        .iter()
+        .map(|r| r[1].parse::<u32>().expect("count"))
+        .max()
+        .unwrap_or(1);
+    println!("== Fig. 2: edge-combination occurrences (training set) ==");
+    for r in &rows {
+        let count: u32 = r[1].parse().expect("count");
+        let bar = "#".repeat(((count as f64 / max as f64) * 50.0).ceil() as usize);
+        println!("{:>24} {:>6}  {}", r[0], count, bar);
+    }
+    println!();
+    println!("Paper reference: LINEAR-LINEAR dominates (Q/K/V in transformers),");
+    println!("CONV2D-RELU next (CNNs).");
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 3: the C_1 universal graph before and after
+//! clustering, in Graphviz DOT format (pipe into `dot -Tpng`).
+
+use claire_bench::run_paper_flow;
+use claire_core::graphs::universal_graph;
+use claire_graph::louvain;
+
+fn main() {
+    let run = run_paper_flow();
+    let c1 = &run.train.libraries[0];
+    let members: Vec<_> = c1
+        .members
+        .iter()
+        .map(|&i| run.training[i].clone())
+        .collect();
+    let ug = universal_graph(&members, &c1.config.hw);
+
+    println!("// (a) monolithic chip before clustering");
+    print!("{}", ug.to_dot("C1_before", None));
+
+    let partition = louvain(&ug, 1.0);
+    println!("// (b) chiplet-based system after Louvain clustering");
+    let community = |n: &claire_model::OpClass| partition.community_of(n).unwrap_or(0);
+    print!("{}", ug.to_dot("C1_after", Some(&community)));
+
+    eprintln!(
+        "chiplets: {:?}",
+        partition
+            .communities()
+            .iter()
+            .map(|c| c.iter().map(|x| x.label()).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    );
+}

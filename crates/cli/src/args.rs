@@ -1,0 +1,422 @@
+//! Minimal dependency-free argument parsing for the CLI.
+
+use std::fmt;
+
+/// The parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `models [--extended]` — list the built-in algorithms.
+    Models {
+        /// Include the extended test set.
+        extended: bool,
+    },
+    /// `custom <model> [--json] [--config <file>]`.
+    Custom {
+        /// Algorithm name (zoo lookup).
+        model: String,
+        /// Emit machine-readable JSON.
+        json: bool,
+        /// Optional RunConfig JSON file.
+        config: Option<String>,
+    },
+    /// `train [--paper-subsets] [--threshold <t>] [--json] [--config <file>]`.
+    Train {
+        /// Pin the paper's Table III partition.
+        paper_subsets: bool,
+        /// Weighted-Jaccard threshold for the algorithmic partition.
+        threshold: Option<f64>,
+        /// Emit machine-readable JSON.
+        json: bool,
+        /// Optional RunConfig JSON file.
+        config: Option<String>,
+    },
+    /// `init-config <file>` — write the default RunConfig JSON.
+    InitConfig {
+        /// Destination path.
+        path: String,
+    },
+    /// `flow [--paper-subsets] [--extended] [--json]` — train + test.
+    Flow {
+        /// Pin the paper's Table III partition.
+        paper_subsets: bool,
+        /// Append the extended test set.
+        extended: bool,
+        /// Emit machine-readable JSON.
+        json: bool,
+    },
+    /// `parse <file> [--image CxHxW] [--seq TOKENSxFEATURES] [--name <n>] [--json]`.
+    Parse {
+        /// Path to a `print(model)` dump.
+        path: String,
+        /// Image input shape.
+        image: Option<(u32, u32, u32)>,
+        /// Sequence input shape.
+        seq: Option<(u32, u32)>,
+        /// Model name to record.
+        name: String,
+        /// Emit machine-readable JSON.
+        json: bool,
+    },
+    /// `describe <model>` — per-layer and profile summary.
+    Describe {
+        /// Algorithm name (zoo lookup).
+        model: String,
+    },
+    /// `export-library <file> [--paper-subsets] [--threshold <t>]` —
+    /// train and persist the hardened chiplet library.
+    ExportLibrary {
+        /// Destination path.
+        path: String,
+        /// Pin the paper's Table III partition.
+        paper_subsets: bool,
+        /// Weighted-Jaccard threshold for the algorithmic partition.
+        threshold: Option<f64>,
+    },
+    /// `deploy <model> --library <file> [--json]` — deploy an
+    /// algorithm onto a stored library without retraining.
+    Deploy {
+        /// Algorithm name (zoo lookup).
+        model: String,
+        /// Library file path.
+        library: String,
+        /// Emit machine-readable JSON.
+        json: bool,
+    },
+    /// `simulate <model> [--overlap] [--batch <n>]` — run the
+    /// discrete-event simulator on a custom configuration.
+    Simulate {
+        /// Algorithm name (zoo lookup).
+        model: String,
+        /// Use tile-granular overlapped execution.
+        overlap: bool,
+        /// Pipelined batch size (1 = single inference).
+        batch: usize,
+    },
+    /// `help`.
+    Help,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+fn err(msg: impl Into<String>) -> ParseArgsError {
+    ParseArgsError(msg.into())
+}
+
+fn parse_dims2(s: &str) -> Result<(u32, u32), ParseArgsError> {
+    let parts: Vec<_> = s.split('x').collect();
+    if parts.len() != 2 {
+        return Err(err(format!("expected AxB, got `{s}`")));
+    }
+    Ok((
+        parts[0].parse().map_err(|_| err(format!("bad number in `{s}`")))?,
+        parts[1].parse().map_err(|_| err(format!("bad number in `{s}`")))?,
+    ))
+}
+
+fn parse_dims3(s: &str) -> Result<(u32, u32, u32), ParseArgsError> {
+    let parts: Vec<_> = s.split('x').collect();
+    if parts.len() != 3 {
+        return Err(err(format!("expected CxHxW, got `{s}`")));
+    }
+    let p = |i: usize| -> Result<u32, ParseArgsError> {
+        parts[i]
+            .parse()
+            .map_err(|_| err(format!("bad number in `{s}`")))
+    };
+    Ok((p(0)?, p(1)?, p(2)?))
+}
+
+/// Parses the command line (excluding argv\[0\]).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] with a usage-style message on unknown
+/// commands, unknown flags, or malformed values.
+pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+
+    let flag = |name: &str| rest.contains(&name);
+    let value = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| *a == name)
+            .and_then(|i| rest.get(i + 1).copied())
+    };
+    let positional: Vec<&str> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in rest.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                // Flags with values.
+                if matches!(
+                    *a,
+                    "--threshold" | "--image" | "--seq" | "--name" | "--config" | "--batch"
+                        | "--library"
+                )
+                    && i + 1 < rest.len()
+                {
+                    skip = true;
+                }
+                continue;
+            }
+            out.push(*a);
+        }
+        out
+    };
+
+    match cmd {
+        "models" => Ok(Command::Models {
+            extended: flag("--extended"),
+        }),
+        "custom" => {
+            let model = positional
+                .first()
+                .ok_or_else(|| err("usage: custom <model> [--json]"))?;
+            Ok(Command::Custom {
+                model: (*model).to_owned(),
+                json: flag("--json"),
+                config: value("--config").map(str::to_owned),
+            })
+        }
+        "train" => Ok(Command::Train {
+            paper_subsets: flag("--paper-subsets"),
+            threshold: value("--threshold")
+                .map(|v| v.parse::<f64>().map_err(|_| err(format!("bad threshold `{v}`"))))
+                .transpose()?,
+            json: flag("--json"),
+            config: value("--config").map(str::to_owned),
+        }),
+        "init-config" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| err("usage: init-config <file>"))?;
+            Ok(Command::InitConfig {
+                path: (*path).to_owned(),
+            })
+        }
+        "flow" => Ok(Command::Flow {
+            paper_subsets: flag("--paper-subsets"),
+            extended: flag("--extended"),
+            json: flag("--json"),
+        }),
+        "parse" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| err("usage: parse <file> [--image CxHxW | --seq TxF]"))?;
+            let image = value("--image").map(parse_dims3).transpose()?;
+            let seq = value("--seq").map(parse_dims2).transpose()?;
+            if image.is_some() && seq.is_some() {
+                return Err(err("--image and --seq are mutually exclusive"));
+            }
+            Ok(Command::Parse {
+                path: (*path).to_owned(),
+                image,
+                seq,
+                name: value("--name").unwrap_or("parsed").to_owned(),
+                json: flag("--json"),
+            })
+        }
+        "describe" => {
+            let model = positional
+                .first()
+                .ok_or_else(|| err("usage: describe <model>"))?;
+            Ok(Command::Describe {
+                model: (*model).to_owned(),
+            })
+        }
+        "export-library" => {
+            let path = positional
+                .first()
+                .ok_or_else(|| err("usage: export-library <file> [--paper-subsets]"))?;
+            Ok(Command::ExportLibrary {
+                path: (*path).to_owned(),
+                paper_subsets: flag("--paper-subsets"),
+                threshold: value("--threshold")
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|_| err(format!("bad threshold `{v}`")))
+                    })
+                    .transpose()?,
+            })
+        }
+        "deploy" => {
+            let model = positional
+                .first()
+                .ok_or_else(|| err("usage: deploy <model> --library <file>"))?;
+            let library = value("--library")
+                .ok_or_else(|| err("deploy requires --library <file>"))?;
+            Ok(Command::Deploy {
+                model: (*model).to_owned(),
+                library: library.to_owned(),
+                json: flag("--json"),
+            })
+        }
+        "simulate" => {
+            let model = positional
+                .first()
+                .ok_or_else(|| err("usage: simulate <model> [--overlap] [--batch <n>]"))?;
+            let batch = value("--batch")
+                .map(|v| v.parse::<usize>().map_err(|_| err(format!("bad batch `{v}`"))))
+                .transpose()?
+                .unwrap_or(1);
+            if batch == 0 {
+                return Err(err("batch must be at least 1"));
+            }
+            Ok(Command::Simulate {
+                model: (*model).to_owned(),
+                overlap: flag("--overlap"),
+                batch,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(err(format!(
+            "unknown command `{other}` (try `claire-cli help`)"
+        ))),
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+claire-cli — composable chiplet libraries for AI inference
+
+USAGE:
+  claire-cli models [--extended]
+      List the built-in algorithm zoo.
+  claire-cli custom <model> [--json] [--config <file>]
+      Derive a custom chiplet configuration for one algorithm.
+  claire-cli train [--paper-subsets] [--threshold <t>] [--json]
+             [--config <file>]
+      Run the training phase on the 13 Table-I algorithms.
+  claire-cli init-config <file>
+      Write the default RunConfig JSON (constraints, DSE space, NRE
+      calibration) for editing and reuse via --config.
+  claire-cli flow [--paper-subsets] [--extended] [--json]
+      Full train + test flow (optionally with the extended test set).
+  claire-cli parse <file> [--image CxHxW | --seq TOKENSxFEATURES]
+             [--name <n>] [--json]
+      Parse a PyTorch print(model) dump and derive a custom
+      configuration for it.
+  claire-cli simulate <model> [--overlap] [--batch <n>]
+      Discrete-event simulation of the model on its custom
+      configuration (validates the analytical latency).
+  claire-cli describe <model>
+      Layer inventory, compute profile and arithmetic intensity.
+  claire-cli export-library <file> [--paper-subsets] [--threshold <t>]
+      Train on the Table-I set and persist the hardened chiplet
+      library as a JSON artifact.
+  claire-cli deploy <model> --library <file> [--json]
+      Deploy an algorithm onto a stored library without retraining.
+  claire-cli help
+      Show this text.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn models_with_extended() {
+        assert_eq!(
+            parse_args(&v(&["models", "--extended"])).unwrap(),
+            Command::Models { extended: true }
+        );
+    }
+
+    #[test]
+    fn custom_requires_model() {
+        assert!(parse_args(&v(&["custom"])).is_err());
+        assert_eq!(
+            parse_args(&v(&["custom", "Resnet50", "--json"])).unwrap(),
+            Command::Custom {
+                model: "Resnet50".into(),
+                json: true,
+                config: None
+            }
+        );
+        match parse_args(&v(&["custom", "Resnet50", "--config", "run.json"])).unwrap() {
+            Command::Custom { config, .. } => assert_eq!(config.as_deref(), Some("run.json")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_threshold_parses() {
+        match parse_args(&v(&["train", "--threshold", "0.45"])).unwrap() {
+            Command::Train { threshold, .. } => assert_eq!(threshold, Some(0.45)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&v(&["train", "--threshold", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parse_image_dims() {
+        match parse_args(&v(&["parse", "net.txt", "--image", "3x224x224"])).unwrap() {
+            Command::Parse { image, seq, .. } => {
+                assert_eq!(image, Some((3, 224, 224)));
+                assert_eq!(seq, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_seq_dims() {
+        match parse_args(&v(&["parse", "net.txt", "--seq", "128x768", "--name", "enc"])).unwrap()
+        {
+            Command::Parse { seq, name, .. } => {
+                assert_eq!(seq, Some((128, 768)));
+                assert_eq!(name, "enc");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn image_and_seq_conflict() {
+        let e = parse_args(&v(&[
+            "parse", "n.txt", "--image", "3x8x8", "--seq", "1x2",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse_args(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn flag_values_not_treated_as_positionals() {
+        match parse_args(&v(&["parse", "--name", "x", "file.txt"])).unwrap() {
+            Command::Parse { path, name, .. } => {
+                assert_eq!(path, "file.txt");
+                assert_eq!(name, "x");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! `claire-cli` — command-line front-end for the CLAIRE framework.
+//!
+//! See `claire-cli help` for usage; every command is also available as
+//! a library call through the `claire-core` façade.
+
+mod args;
+mod summary;
+
+use args::{parse_args, Command, USAGE};
+use claire_core::{
+    paper_table3_subsets, ChipletLibrary, Claire, ClaireOptions, RunConfig, SubsetStrategy,
+    WeightScale,
+};
+use claire_model::parse::{parse_model, InputShape, ParseOptions};
+use claire_model::{zoo, Model, ModelClass};
+use summary::{CustomSummary, FlowSummary, TrainSummary};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match parse_args(&argv) {
+        Ok(cmd) => run(cmd),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn options(
+    paper_subsets: bool,
+    threshold: Option<f64>,
+    config: Option<&str>,
+) -> Result<ClaireOptions, String> {
+    let mut opts = match config {
+        Some(path) => RunConfig::load(path)
+            .map_err(|e| e.to_string())?
+            .into_options(),
+        None => ClaireOptions::default(),
+    };
+    if paper_subsets {
+        opts.subsets = SubsetStrategy::Fixed(paper_table3_subsets());
+    } else if let Some(t) = threshold {
+        opts.subsets = SubsetStrategy::WeightedJaccard {
+            threshold: t,
+            scale: WeightScale::Log,
+        };
+    }
+    Ok(opts)
+}
+
+fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Models { extended } => {
+            println!("training set (Table I):");
+            for m in zoo::training_set() {
+                describe(&m);
+            }
+            println!("test set:");
+            for m in zoo::test_set() {
+                describe(&m);
+            }
+            if extended {
+                println!("extended test set:");
+                for m in zoo::extended_test_set() {
+                    describe(&m);
+                }
+            }
+            0
+        }
+        Command::InitConfig { path } => {
+            let cfg = RunConfig::default();
+            match cfg.save(&path) {
+                Ok(()) => {
+                    println!("wrote default configuration to {path}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Custom { model, json, config } => {
+            let Some(m) = zoo::by_name(&model) else {
+                eprintln!("error: unknown model `{model}` (see `claire-cli models --extended`)");
+                return 2;
+            };
+            let opts = match options(false, None, config.as_deref()) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let claire = Claire::new(opts);
+            match claire.custom_for(&m) {
+                Ok(custom) => {
+                    let s = CustomSummary::from(&custom);
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&s).expect("serialise"));
+                    } else {
+                        println!("custom configuration for {}:", s.model);
+                        println!("  hardware: {}", s.hardware);
+                        for ch in &s.chiplets {
+                            println!(
+                                "  {} ({:.1} mm^2): {}",
+                                ch.name,
+                                ch.area_mm2,
+                                ch.classes.join(", ")
+                            );
+                        }
+                        println!(
+                            "  {:.3} ms | {:.3} mJ | {:.1} mm^2 | {:.3} W/mm^2",
+                            s.ppa.latency_ms,
+                            s.ppa.energy_mj,
+                            s.ppa.area_mm2,
+                            s.ppa.power_density_w_mm2
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Train {
+            paper_subsets,
+            threshold,
+            json,
+            config,
+        } => {
+            let opts = match options(paper_subsets, threshold, config.as_deref()) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let claire = Claire::new(opts);
+            match claire.train(&zoo::training_set()) {
+                Ok(out) => {
+                    let s = TrainSummary::from(&out);
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&s).expect("serialise"));
+                    } else {
+                        print_train(&s);
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Flow {
+            paper_subsets,
+            extended,
+            json,
+        } => {
+            let opts = match options(paper_subsets, None, None) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let claire = Claire::new(opts);
+            let train = match claire.train(&zoo::training_set()) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let mut tests = zoo::test_set();
+            if extended {
+                tests.extend(zoo::extended_test_set());
+            }
+            match claire.evaluate_test(&train, &tests) {
+                Ok(test) => {
+                    let flow = FlowSummary::new(&train, &test);
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&flow).expect("serialise"));
+                    } else {
+                        print_train(&flow.train);
+                        println!("test deployment:");
+                        for t in &flow.tests {
+                            println!(
+                                "  {:16} -> {:5}  coverage {:>4.0}%  U_k {:.3}  U_g {:.3}",
+                                t.model,
+                                t.assigned.as_deref().unwrap_or("-"),
+                                t.coverage * 100.0,
+                                t.utilization_library,
+                                t.utilization_generic
+                            );
+                        }
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Describe { model } => {
+            let Some(m) = zoo::by_name(&model) else {
+                eprintln!("error: unknown model `{model}`");
+                return 2;
+            };
+            println!("{} ({})", m.name(), m.class());
+            println!(
+                "  {} layers | {:.2} GMACs | {:.2} M params | {:.1} MB activations | {:.1} MACs/B",
+                m.layer_count(),
+                m.macs() as f64 / 1e9,
+                m.param_count() as f64 / 1e6,
+                m.activation_bytes() as f64 / 1e6,
+                m.arithmetic_intensity()
+            );
+            println!("  layer classes:");
+            for (class, n) in m.op_class_counts() {
+                println!("    {:18} x{n}", class.label());
+            }
+            println!("  top edges:");
+            let mut combos: Vec<_> = m.edge_combination_counts().into_iter().collect();
+            combos.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+            for ((a, b), n) in combos.into_iter().take(5) {
+                println!("    {a}-{b} x{n}");
+            }
+            0
+        }
+        Command::ExportLibrary {
+            path,
+            paper_subsets,
+            threshold,
+        } => {
+            let opts = match options(paper_subsets, threshold, None) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let nre = opts.nre;
+            let claire = Claire::new(opts);
+            let train = match claire.train(&zoo::training_set()) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let lib = ChipletLibrary::from_training("claire-library", &train, nre);
+            match lib.save(&path) {
+                Ok(()) => {
+                    println!(
+                        "wrote library with {} configurations to {path}",
+                        lib.entries.len()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Deploy {
+            model,
+            library,
+            json,
+        } => {
+            let Some(m) = zoo::by_name(&model) else {
+                eprintln!("error: unknown model `{model}`");
+                return 2;
+            };
+            let lib = match ChipletLibrary::load(&library) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            match lib.deploy(&m, WeightScale::Log) {
+                Ok(d) => {
+                    if json {
+                        let v = serde_json::json!({
+                            "model": m.name(),
+                            "config": d.config_name,
+                            "similarity": d.similarity,
+                            "coverage": d.coverage,
+                            "utilization": d.utilization,
+                            "latency_ms": d.ppa.latency_s * 1e3,
+                            "energy_mj": d.ppa.energy_j * 1e3,
+                            "custom_nre_avoided": d.custom_nre_avoided,
+                        });
+                        println!("{}", serde_json::to_string_pretty(&v).expect("json"));
+                    } else {
+                        println!(
+                            "{} -> {} (similarity {:.3}): coverage {:.0}%, utilization {:.3}",
+                            m.name(),
+                            d.config_name,
+                            d.similarity,
+                            d.coverage * 100.0,
+                            d.utilization
+                        );
+                        println!(
+                            "  {:.3} ms | {:.3} mJ on hardened silicon; avoided custom NRE {}",
+                            d.ppa.latency_s * 1e3,
+                            d.ppa.energy_j * 1e3,
+                            d.custom_nre_avoided
+                                .map(|v| format!("{v:.3} (normalised)"))
+                                .unwrap_or_else(|| "n/a".into())
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Simulate { model, overlap, batch } => {
+            let Some(m) = zoo::by_name(&model) else {
+                eprintln!("error: unknown model `{model}`");
+                return 2;
+            };
+            let claire = Claire::new(ClaireOptions::default());
+            let custom = match claire.custom_for(&m) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let mode = if overlap {
+                claire_sim::Mode::Overlapped
+            } else {
+                claire_sim::Mode::Strict
+            };
+            match claire_sim::simulate(&m, &custom.config, mode) {
+                Ok(report) => {
+                    println!(
+                        "{}: {:.4} ms simulated ({} tiles, {} transfers) vs {:.4} ms analytical",
+                        m.name(),
+                        report.latency_s() * 1e3,
+                        report.tiles_executed,
+                        report.transfers,
+                        custom.report.latency_s * 1e3
+                    );
+                    if batch > 1 {
+                        match claire_sim::simulate_batch(&m, &custom.config, batch) {
+                            Ok(cycles) => {
+                                let tput = batch as f64 / (cycles as f64 / 1e9);
+                                println!(
+                                    "batch {batch}: {:.4} ms total, {tput:.0} inferences/s",
+                                    cycles as f64 / 1e6
+                                );
+                            }
+                            Err(e) => {
+                                eprintln!("error: {e}");
+                                return 1;
+                            }
+                        }
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Parse {
+            path,
+            image,
+            seq,
+            name,
+            json,
+        } => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return 2;
+                }
+            };
+            let (input, class) = match (image, seq) {
+                (_, Some((tokens, features))) => (
+                    InputShape::Sequence { tokens, features },
+                    ModelClass::Transformer,
+                ),
+                (Some((channels, height, width)), None) => (
+                    InputShape::Image {
+                        channels,
+                        height,
+                        width,
+                    },
+                    ModelClass::Cnn,
+                ),
+                (None, None) => (
+                    InputShape::Image {
+                        channels: 3,
+                        height: 224,
+                        width: 224,
+                    },
+                    ModelClass::Cnn,
+                ),
+            };
+            let model = match parse_model(&name, &text, ParseOptions { input, class }) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            println!(
+                "parsed {}: {} layers, {:.1} MMACs, {} params",
+                model.name(),
+                model.layer_count(),
+                model.macs() as f64 / 1e6,
+                model.param_count()
+            );
+            let claire = Claire::new(ClaireOptions::default());
+            match claire.custom_for(&model) {
+                Ok(custom) => {
+                    let s = CustomSummary::from(&custom);
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&s).expect("serialise"));
+                    } else {
+                        println!(
+                            "custom configuration: {} | {} chiplet(s) | {:.3} ms | {:.3} mJ | {:.1} mm^2",
+                            s.hardware,
+                            s.chiplets.len(),
+                            s.ppa.latency_ms,
+                            s.ppa.energy_mj,
+                            s.ppa.area_mm2
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+    }
+}
+
+fn describe(m: &Model) {
+    let p = m.param_count() as f64;
+    let params = if p >= 1e9 {
+        format!("{:.2} B", p / 1e9)
+    } else {
+        format!("{:.2} M", p / 1e6)
+    };
+    println!(
+        "  {:18} {:12} {:>10}  {} layers",
+        m.name(),
+        m.class().to_string(),
+        params,
+        m.layer_count()
+    );
+}
+
+fn print_train(s: &TrainSummary) {
+    println!(
+        "generic C_g: {} chiplets, {:.1} mm^2",
+        s.generic_chiplets, s.generic_area_mm2
+    );
+    for l in &s.libraries {
+        println!(
+            "{} <- {:?} | {} | {} chiplet(s) | NRE {:.3} vs custom {:.3} ({:.2}x)",
+            l.name,
+            l.members,
+            l.hardware,
+            l.chiplets.len(),
+            l.nre,
+            l.cumulative_custom_nre,
+            l.cumulative_custom_nre / l.nre
+        );
+    }
+}

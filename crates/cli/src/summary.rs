@@ -1,0 +1,213 @@
+//! Serialisable summaries for the CLI's `--json` output.
+
+use claire_core::{CustomResult, PpaReport, TestOutput, TrainOutput};
+use serde::Serialize;
+
+/// One chiplet in a summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChipletSummary {
+    /// Library-style name (L1, L2, …).
+    pub name: String,
+    /// Silicon area, mm².
+    pub area_mm2: f64,
+    /// Module-group labels.
+    pub classes: Vec<String>,
+}
+
+/// PPA numbers in presentation units.
+#[derive(Debug, Clone, Serialize)]
+pub struct PpaSummary {
+    /// Latency, milliseconds.
+    pub latency_ms: f64,
+    /// Energy, millijoules.
+    pub energy_mj: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+    /// Power density, W/mm².
+    pub power_density_w_mm2: f64,
+}
+
+impl From<&PpaReport> for PpaSummary {
+    fn from(r: &PpaReport) -> Self {
+        PpaSummary {
+            latency_ms: r.latency_s * 1e3,
+            energy_mj: r.energy_j * 1e3,
+            area_mm2: r.area_mm2,
+            power_density_w_mm2: r.power_density_w_per_mm2(),
+        }
+    }
+}
+
+/// Summary of one custom configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct CustomSummary {
+    /// Algorithm name.
+    pub model: String,
+    /// Selected tunable hardware parameters, human readable.
+    pub hardware: String,
+    /// The chiplet partition.
+    pub chiplets: Vec<ChipletSummary>,
+    /// PPA of the algorithm on this configuration.
+    pub ppa: PpaSummary,
+}
+
+impl From<&CustomResult> for CustomSummary {
+    fn from(c: &CustomResult) -> Self {
+        CustomSummary {
+            model: c.model.name().to_owned(),
+            hardware: c.config.hw.to_string(),
+            chiplets: c
+                .config
+                .chiplets
+                .iter()
+                .map(|ch| ChipletSummary {
+                    name: ch.name.clone(),
+                    area_mm2: ch.area_mm2,
+                    classes: ch.classes.iter().map(|x| x.label()).collect(),
+                })
+                .collect(),
+            ppa: PpaSummary::from(&c.report),
+        }
+    }
+}
+
+/// Summary of one library configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct LibrarySummary {
+    /// Configuration name (C_1, …).
+    pub name: String,
+    /// Member algorithm names (TR_k).
+    pub members: Vec<String>,
+    /// Selected hardware parameters.
+    pub hardware: String,
+    /// Chiplets.
+    pub chiplets: Vec<ChipletSummary>,
+    /// Normalised NRE of the library.
+    pub nre: f64,
+    /// Cumulative normalised NRE of the members' customs.
+    pub cumulative_custom_nre: f64,
+}
+
+/// Summary of the training phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainSummary {
+    /// Generic configuration chiplet count.
+    pub generic_chiplets: usize,
+    /// Generic configuration area, mm².
+    pub generic_area_mm2: f64,
+    /// Library configurations.
+    pub libraries: Vec<LibrarySummary>,
+    /// Custom configurations.
+    pub customs: Vec<CustomSummary>,
+}
+
+impl From<&TrainOutput> for TrainSummary {
+    fn from(t: &TrainOutput) -> Self {
+        TrainSummary {
+            generic_chiplets: t.generic.chiplet_count(),
+            generic_area_mm2: t.generic.area_mm2(),
+            libraries: t
+                .libraries
+                .iter()
+                .map(|l| LibrarySummary {
+                    name: l.config.name.clone(),
+                    members: l.member_names.clone(),
+                    hardware: l.config.hw.to_string(),
+                    chiplets: l
+                        .config
+                        .chiplets
+                        .iter()
+                        .map(|ch| ChipletSummary {
+                            name: ch.name.clone(),
+                            area_mm2: ch.area_mm2,
+                            classes: ch.classes.iter().map(|x| x.label()).collect(),
+                        })
+                        .collect(),
+                    nre: l.nre_normalized,
+                    cumulative_custom_nre: l.cumulative_custom_nre,
+                })
+                .collect(),
+            customs: t.customs.iter().map(CustomSummary::from).collect(),
+        }
+    }
+}
+
+/// Summary of one test algorithm's deployment.
+#[derive(Debug, Clone, Serialize)]
+pub struct TestSummary {
+    /// Algorithm name.
+    pub model: String,
+    /// Assigned library name (None when uncovered).
+    pub assigned: Option<String>,
+    /// Weighted-Jaccard similarity to the assignment.
+    pub similarity: f64,
+    /// Coverage (1.0 = 100 %).
+    pub coverage: f64,
+    /// Utilization on the library.
+    pub utilization_library: f64,
+    /// Utilization on the generic configuration.
+    pub utilization_generic: f64,
+}
+
+/// Summary of the full flow.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowSummary {
+    /// Training-phase summary.
+    pub train: TrainSummary,
+    /// Per-test-algorithm summaries.
+    pub tests: Vec<TestSummary>,
+}
+
+impl FlowSummary {
+    /// Builds the flow summary from framework outputs.
+    pub fn new(train: &TrainOutput, test: &TestOutput) -> Self {
+        FlowSummary {
+            train: TrainSummary::from(train),
+            tests: test
+                .reports
+                .iter()
+                .map(|r| TestSummary {
+                    model: r.model_name.clone(),
+                    assigned: r
+                        .assigned_library
+                        .map(|k| train.libraries[k].config.name.clone()),
+                    similarity: r.similarity,
+                    coverage: r.coverage,
+                    utilization_library: r.utilization_library,
+                    utilization_generic: r.utilization_generic,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_core::{Claire, ClaireOptions};
+    use claire_model::zoo;
+
+    #[test]
+    fn custom_summary_serialises() {
+        let claire = Claire::new(ClaireOptions::default());
+        let custom = claire.custom_for(&zoo::alexnet()).unwrap();
+        let s = CustomSummary::from(&custom);
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        assert!(json.contains("\"model\": \"Alexnet\""));
+        assert!(json.contains("latency_ms"));
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(!parsed["chiplets"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn flow_summary_counts_match() {
+        let claire = Claire::new(ClaireOptions::default());
+        let models = [zoo::resnet18(), zoo::gpt2()];
+        let train = claire.train(&models).unwrap();
+        let test = claire.evaluate_test(&train, &[zoo::alexnet()]).unwrap();
+        let flow = FlowSummary::new(&train, &test);
+        assert_eq!(flow.train.customs.len(), 2);
+        assert_eq!(flow.tests.len(), 1);
+        assert!(flow.tests[0].assigned.is_some());
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end tests driving the compiled `claire-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_claire-cli"))
+}
+
+#[test]
+fn help_succeeds_and_mentions_commands() {
+    let out = cli().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["models", "custom", "train", "flow", "parse", "init-config"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_2_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let out = cli().args(["models", "--extended"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Resnet18", "Mixtral-8x7B", "BERT-base", "Wav2Vec2-base"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn custom_json_is_valid_json() {
+    let out = cli()
+        .args(["custom", "Alexnet", "--json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON output");
+    assert_eq!(v["model"], "Alexnet");
+    assert!(v["ppa"]["latency_ms"].as_f64().expect("latency") > 0.0);
+}
+
+#[test]
+fn custom_unknown_model_exits_2() {
+    let out = cli().args(["custom", "NotAModel"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn parse_round_trip_via_tempfile() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("claire-cli-test-{}.txt", std::process::id()));
+    std::fs::write(
+        &path,
+        "Net(\n  (c): Conv2d(3, 8, kernel_size=(3, 3), stride=(1, 1), padding=(1, 1))\n  (r): ReLU()\n  (f): Linear(in_features=2048, out_features=10, bias=True)\n)\n",
+    )
+    .expect("write dump");
+    let out = cli()
+        .args(["parse", path.to_str().expect("utf8"), "--image", "3x16x16", "--name", "Net"])
+        .output()
+        .expect("run");
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("parsed Net: 3 layers"));
+    assert!(text.contains("custom configuration"));
+}
+
+#[test]
+fn init_config_then_train_with_it() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("claire-cli-cfg-{}.json", std::process::id()));
+    let out = cli()
+        .args(["init-config", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    // The written file is valid RunConfig JSON.
+    let text = std::fs::read_to_string(&path).expect("config written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+    assert!(v["constraints"]["chiplet_area_limit_mm2"].as_f64().is_some());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn export_then_deploy_round_trip() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("claire-cli-lib-{}.json", std::process::id()));
+    let out = cli()
+        .args(["export-library", path.to_str().expect("utf8"), "--paper-subsets"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["deploy", "ViT-base", "--library", path.to_str().expect("utf8"), "--json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("json");
+    assert_eq!(v["coverage"], 1.0);
+    assert_eq!(v["config"], "C_3");
+
+    // The composability gap exits non-zero with a clear message.
+    let out = cli()
+        .args(["deploy", "EfficientNet-B0", "--library", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SILU"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_reports_validation() {
+    let out = cli()
+        .args(["simulate", "Alexnet", "--batch", "8"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("simulated"));
+    assert!(text.contains("batch 8"));
+}
+
+#[test]
+fn describe_prints_profile() {
+    let out = cli().args(["describe", "SWIN-T"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GMACs"));
+    assert!(text.contains("LINEAR-LINEAR"));
+}
+
+#[test]
+fn parse_missing_file_exits_2() {
+    let out = cli()
+        .args(["parse", "/nonexistent/net.txt"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}

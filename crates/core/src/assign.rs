@@ -1,0 +1,164 @@
+//! Subset partitioning (Algorithm 1, line 14) and Step #TT1 test-set
+//! configuration assignment, both driven by weighted Jaccard
+//! similarity over node-weight vectors.
+
+use claire_graph::{agglomerate_by, weighted_jaccard};
+use claire_model::Model;
+use std::collections::BTreeMap;
+
+/// How node work is scaled before the weighted Jaccard comparison.
+///
+/// Work across the 19 algorithms spans more than six decades (a
+/// MobileNetV2 inference vs. a 2048-token Mixtral pass); `Log`
+/// compresses each node weight to `log10(1 + w)` so that similarity
+/// reflects both *which* units an algorithm exercises and the *order
+/// of magnitude* of each, rather than being dominated by the single
+/// largest node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightScale {
+    /// Raw work (MACs / element operations).
+    Raw,
+    /// `log10(1 + w)` compression (default).
+    #[default]
+    Log,
+    /// Pure presence (every exercised node weighs 1): the unweighted
+    /// Jaccard over node-type sets, for the assignment-metric ablation.
+    Binary,
+}
+
+/// The model's node-weight vector under a scale.
+pub fn scaled_vector(model: &Model, scale: WeightScale) -> BTreeMap<claire_model::OpClass, f64> {
+    let v = model.op_class_weights();
+    match scale {
+        WeightScale::Raw => v,
+        WeightScale::Log => v.into_iter().map(|(k, w)| (k, (1.0 + w).log10())).collect(),
+        WeightScale::Binary => v
+            .into_iter()
+            .map(|(k, w)| (k, if w > 0.0 { 1.0 } else { 0.0 }))
+            .collect(),
+    }
+}
+
+/// Splits the training set into subsets `TR_k` by single-linkage
+/// agglomeration over the weighted Jaccard similarity of the models'
+/// work-weighted node vectors (Algorithm 1, line 14). Returns index
+/// clusters, ordered by smallest member.
+///
+/// The similarity is both *type*- and *scale*-sensitive (Σmin/Σmax of
+/// per-node work), so compact CNNs group together while the
+/// billion-parameter transformers form their own subset and the
+/// Conv1d-bearing GPT-2 stays separate — the structure of the paper's
+/// Table III.
+pub fn partition_training(models: &[Model], threshold: f64, scale: WeightScale) -> Vec<Vec<usize>> {
+    let vectors: Vec<BTreeMap<_, _>> = models.iter().map(|m| scaled_vector(m, scale)).collect();
+    agglomerate_by(models.len(), threshold, |i, j| {
+        weighted_jaccard(&vectors[i], &vectors[j])
+    })
+}
+
+/// Step #TT1: picks the library configuration for a test algorithm —
+/// "calculating the weighted Jaccard Similarity between the
+/// algorithm's nodes and the nodes of the library-synthesized
+/// configurations, \[selecting\] the configuration with the highest
+/// similarity".
+///
+/// `library_vectors` are the summed node-weight vectors of each
+/// library's training subset. Returns `(library index, similarity)`;
+/// `None` for an empty library list.
+pub fn assign_test(
+    model: &Model,
+    library_vectors: &[BTreeMap<claire_model::OpClass, f64>],
+) -> Option<(usize, f64)> {
+    let v = model.op_class_weights();
+    library_vectors
+        .iter()
+        .enumerate()
+        .map(|(i, lv)| (i, weighted_jaccard(&v, lv)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("similarities are finite"))
+}
+
+/// The summed node-weight vector of a model subset (the "nodes of the
+/// library-synthesized configuration" used during assignment).
+pub fn subset_vector(models: &[&Model]) -> BTreeMap<claire_model::OpClass, f64> {
+    let mut v = BTreeMap::new();
+    for m in models {
+        for (k, w) in m.op_class_weights() {
+            *v.entry(k).or_insert(0.0) += w;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_model::zoo;
+
+    #[test]
+    fn cnns_group_together() {
+        let models = [zoo::resnet18(), zoo::resnet50(), zoo::gpt2()];
+        for scale in [WeightScale::Raw, WeightScale::Log] {
+            let clusters = partition_training(&models, 0.2, scale);
+            // The ResNets must share a cluster; GPT-2 (Conv1d) must not.
+            let resnet_cluster = clusters.iter().find(|c| c.contains(&0)).unwrap();
+            assert!(resnet_cluster.contains(&1), "{scale:?}");
+            assert!(!resnet_cluster.contains(&2), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_one_gives_singletons() {
+        let models = [zoo::resnet18(), zoo::resnet50()];
+        let clusters = partition_training(&models, 0.999, WeightScale::Raw);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn binary_scale_is_presence_only() {
+        let m = zoo::vgg16();
+        let b = scaled_vector(&m, WeightScale::Binary);
+        assert!(b.values().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn log_scale_compresses_magnitudes() {
+        let m = zoo::vgg16();
+        let raw = scaled_vector(&m, WeightScale::Raw);
+        let log = scaled_vector(&m, WeightScale::Log);
+        let max_raw = raw.values().cloned().fold(0.0, f64::max);
+        let max_log = log.values().cloned().fold(0.0, f64::max);
+        assert!(max_raw > 1e9);
+        assert!(max_log < 15.0);
+    }
+
+    #[test]
+    fn assignment_picks_most_similar_library() {
+        let cnn_models = [zoo::resnet18(), zoo::resnet50()];
+        let llm_models = [zoo::llama3_8b()];
+        let libs = vec![
+            subset_vector(&cnn_models.iter().collect::<Vec<_>>()),
+            subset_vector(&llm_models.iter().collect::<Vec<_>>()),
+        ];
+        let (idx, sim) = assign_test(&zoo::alexnet(), &libs).unwrap();
+        assert_eq!(idx, 0, "AlexNet belongs with the CNNs");
+        assert!(sim > 0.0);
+        let (idx, _) = assign_test(&zoo::bert_base(), &libs).unwrap();
+        assert_eq!(idx, 1, "BERT belongs with the transformers");
+    }
+
+    #[test]
+    fn empty_library_list_returns_none() {
+        assert!(assign_test(&zoo::alexnet(), &[]).is_none());
+    }
+
+    #[test]
+    fn subset_vector_sums_members() {
+        let a = zoo::resnet18();
+        let b = zoo::resnet50();
+        let v = subset_vector(&[&a, &b]);
+        let direct = a.op_class_weights();
+        for (k, w) in &direct {
+            assert!(v[k] >= *w);
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! The [`Claire`] façade: training phase (custom / generic / library
+//! configurations) and test phase (assignment + metric evaluation),
+//! i.e. the full Fig. 1 pipeline.
+
+use crate::assign::{assign_test, partition_training, scaled_vector, WeightScale};
+use crate::chiplet::cluster_into_chiplets;
+use crate::config::{Constraints, DesignConfig};
+use crate::dse::{custom_config, set_config};
+use crate::error::ClaireError;
+use crate::evaluate::{evaluate, PpaReport};
+use crate::metrics::{algorithm_coverage, chiplet_utilization, normalized_nre};
+use claire_cost::NreModel;
+use claire_model::{ActivationKind, Model, OpClass};
+use claire_ppa::DseSpace;
+use std::collections::BTreeMap;
+
+/// How the training set is split into the library subsets `TR_k`.
+#[derive(Debug, Clone)]
+pub enum SubsetStrategy {
+    /// Algorithm 1, line 14: single-linkage agglomeration over the
+    /// weighted Jaccard similarity of (scaled) node-weight vectors.
+    WeightedJaccard {
+        /// Minimum pairwise similarity for two algorithms to share a
+        /// subset.
+        threshold: f64,
+        /// Node-weight scaling before comparison.
+        scale: WeightScale,
+    },
+    /// A caller-pinned partition, by algorithm name. Used by the
+    /// table-reproduction benches to condition on the paper's
+    /// published Table III partition (see EXPERIMENTS.md — the exact
+    /// published grouping is not uniquely recoverable from layer
+    /// metadata alone). Names absent from the training set are
+    /// ignored; training models not named fall into singleton subsets.
+    Fixed(Vec<Vec<String>>),
+}
+
+impl Default for SubsetStrategy {
+    fn default() -> Self {
+        SubsetStrategy::WeightedJaccard {
+            threshold: 0.6,
+            scale: WeightScale::Log,
+        }
+    }
+}
+
+/// Tunable knobs of the framework run.
+#[derive(Debug, Clone)]
+pub struct ClaireOptions {
+    /// Input #4 constraints.
+    pub constraints: Constraints,
+    /// DSE scope (default: the paper's 81 configurations).
+    pub space: DseSpace,
+    /// Subset formation strategy (Algorithm 1, line 14).
+    pub subsets: SubsetStrategy,
+    /// Node-weight scaling used for test-set assignment similarity.
+    pub assign_scale: WeightScale,
+    /// Louvain resolution for chiplet clustering.
+    pub louvain_resolution: f64,
+    /// NRE cost model.
+    pub nre: NreModel,
+    /// Whether the generic configuration provisions the characterized
+    /// tanh block even when no training algorithm exercises it (full
+    /// composability of the generic library).
+    pub provision_tanh_in_generic: bool,
+}
+
+impl Default for ClaireOptions {
+    fn default() -> Self {
+        ClaireOptions {
+            constraints: Constraints::default(),
+            space: DseSpace::default(),
+            subsets: SubsetStrategy::default(),
+            assign_scale: WeightScale::Log,
+            louvain_resolution: 1.0,
+            nre: NreModel::tsmc28(),
+            provision_tanh_in_generic: true,
+        }
+    }
+}
+
+/// The training-set partition published in the paper's Table III,
+/// keyed by Table I algorithm names. Passing
+/// `SubsetStrategy::Fixed(paper_table3_subsets())` reproduces the
+/// paper's `C_1`–`C_5` libraries exactly.
+pub fn paper_table3_subsets() -> Vec<Vec<String>> {
+    let groups: [&[&str]; 5] = [
+        &[
+            "VGG16",
+            "Mobilenetv2",
+            "Densenet121",
+            "Resnet50",
+            "SWIN-T",
+            "Resnet18",
+        ],
+        &["PEANUT RCNN"],
+        &["DPT-Large", "DINOv2-large", "Mixtral-8x7B", "Meta Llama-3-8B"],
+        &["Whisperv3-large"],
+        &["GPT2"],
+    ];
+    groups
+        .iter()
+        .map(|g| g.iter().map(|s| (*s).to_owned()).collect())
+        .collect()
+}
+
+/// One custom design configuration `C_i` with its algorithm and PPA.
+#[derive(Debug, Clone)]
+pub struct CustomResult {
+    /// The algorithm.
+    pub model: Model,
+    /// Its clustered custom configuration.
+    pub config: DesignConfig,
+    /// PPA of the algorithm on it.
+    pub report: PpaReport,
+}
+
+/// One library-synthesized configuration `C_k` with its subset.
+#[derive(Debug, Clone)]
+pub struct LibraryConfig {
+    /// The clustered configuration (named `C_1`, `C_2`, …).
+    pub config: DesignConfig,
+    /// Indices (into the training set) of the member algorithms.
+    pub members: Vec<usize>,
+    /// Member algorithm names (`TR_k`).
+    pub member_names: Vec<String>,
+    /// Node-weight vector of the configuration's universal graph,
+    /// used for test-set assignment.
+    pub vector: BTreeMap<OpClass, f64>,
+    /// `NRE_k`: normalised NRE of this configuration.
+    pub nre_normalized: f64,
+    /// `NRE_cstm(k, TR_k)`: cumulative normalised NRE of the members'
+    /// custom configurations.
+    pub cumulative_custom_nre: f64,
+}
+
+/// Per-algorithm PPA on all three configuration classes (Fig. 4 data).
+#[derive(Debug, Clone)]
+pub struct AlgoPpa {
+    /// Algorithm name.
+    pub model_name: String,
+    /// PPA on the custom configuration `C_i` / `Ct_i`.
+    pub custom: PpaReport,
+    /// PPA on the generic configuration `C_g`.
+    pub generic: PpaReport,
+    /// PPA on the assigned library configuration `C_k`.
+    pub library: PpaReport,
+    /// Index of the assigned library.
+    pub library_index: usize,
+}
+
+/// The training-phase outputs (#TR1–#TR3).
+#[derive(Debug, Clone)]
+pub struct TrainOutput {
+    /// Custom configurations, one per training algorithm, in input
+    /// order.
+    pub customs: Vec<CustomResult>,
+    /// The generic configuration `C_g` (clustered).
+    pub generic: DesignConfig,
+    /// The library-synthesized configurations `C_k`.
+    pub libraries: Vec<LibraryConfig>,
+    /// Per-algorithm PPA on custom / generic / library (Fig. 4).
+    pub algo_ppa: Vec<AlgoPpa>,
+}
+
+impl TrainOutput {
+    /// The library index whose subset contains training-model `i`.
+    pub fn library_of(&self, model_index: usize) -> Option<usize> {
+        self.libraries
+            .iter()
+            .position(|l| l.members.contains(&model_index))
+    }
+}
+
+/// One test algorithm's evaluation (#TT1–#TT4).
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Algorithm name.
+    pub model_name: String,
+    /// Index of the assigned library configuration, `None` when no
+    /// library covers the algorithm.
+    pub assigned_library: Option<usize>,
+    /// Weighted Jaccard similarity to the assigned library.
+    pub similarity: f64,
+    /// `C_layer` on the assigned library (1.0 required).
+    pub coverage: f64,
+    /// `U_chiplet(i, k)` on the assigned library.
+    pub utilization_library: f64,
+    /// `U_chiplet(i, g)` on the generic configuration.
+    pub utilization_generic: f64,
+    /// The test algorithm's custom configuration `Ct_i`.
+    pub custom_config: DesignConfig,
+    /// PPA on custom / generic / library.
+    pub ppa: AlgoPpa,
+}
+
+/// The test-phase outputs.
+#[derive(Debug, Clone)]
+pub struct TestOutput {
+    /// Per-algorithm reports, in input order.
+    pub reports: Vec<TestReport>,
+    /// Per-library NRE comparison over the assigned test subsets:
+    /// `(library index, TT_k names, NRE_cstm(k, TT_k), NRE_k)`.
+    pub nre_rows: Vec<(usize, Vec<String>, f64, f64)>,
+}
+
+/// The CLAIRE framework driver.
+#[derive(Debug, Clone, Default)]
+pub struct Claire {
+    opts: ClaireOptions,
+}
+
+impl Claire {
+    /// Creates a driver with the given options.
+    pub fn new(opts: ClaireOptions) -> Self {
+        Claire { opts }
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &ClaireOptions {
+        &self.opts
+    }
+
+    /// Derives a custom, clustered configuration for one algorithm
+    /// (Algorithm 1 lines 1–8 + Step #TR3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DSE/clustering failures.
+    pub fn custom_for(&self, model: &Model) -> Result<CustomResult, ClaireError> {
+        let (mut cfg, _) = custom_config(model, &self.opts.space, &self.opts.constraints)?;
+        cluster_into_chiplets(
+            &mut cfg,
+            std::slice::from_ref(model),
+            &self.opts.constraints,
+            self.opts.louvain_resolution,
+        )?;
+        let report = evaluate(model, &cfg)?;
+        Ok(CustomResult {
+            model: model.clone(),
+            config: cfg,
+            report,
+        })
+    }
+
+    /// Materialises the subset partition of `models` according to the
+    /// configured [`SubsetStrategy`].
+    pub fn form_subsets(&self, models: &[Model]) -> Vec<Vec<usize>> {
+        match &self.opts.subsets {
+            SubsetStrategy::WeightedJaccard { threshold, scale } => {
+                partition_training(models, *threshold, *scale)
+            }
+            SubsetStrategy::Fixed(groups) => {
+                let mut assigned = vec![false; models.len()];
+                let mut out = Vec::new();
+                for g in groups {
+                    let subset: Vec<usize> = models
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| g.iter().any(|n| n == m.name()))
+                        .map(|(i, _)| i)
+                        .collect();
+                    for &i in &subset {
+                        assigned[i] = true;
+                    }
+                    if !subset.is_empty() {
+                        out.push(subset);
+                    }
+                }
+                for (i, done) in assigned.iter().enumerate() {
+                    if !done {
+                        out.push(vec![i]);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Runs the training phase on `models` (the paper's `TR`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::EmptyAlgorithmSet`] for an empty slice, plus any
+    /// DSE or clustering failure.
+    pub fn train(&self, models: &[Model]) -> Result<TrainOutput, ClaireError> {
+        if models.is_empty() {
+            return Err(ClaireError::EmptyAlgorithmSet);
+        }
+
+        // --- Output 1: custom configurations.
+        let customs: Vec<CustomResult> = models
+            .iter()
+            .map(|m| self.custom_for(m))
+            .collect::<Result<_, _>>()?;
+        let custom_latency: BTreeMap<String, f64> = customs
+            .iter()
+            .map(|c| (c.model.name().to_owned(), c.report.latency_s))
+            .collect();
+
+        // --- Output 2: the generic configuration.
+        let refs: Vec<&Model> = models.iter().collect();
+        let mut generic = set_config(
+            "C_g",
+            &refs,
+            &self.opts.space,
+            &self.opts.constraints,
+            &custom_latency,
+        )?;
+        if self.opts.provision_tanh_in_generic {
+            generic
+                .classes
+                .insert(OpClass::Activation(ActivationKind::Tanh));
+        }
+        cluster_into_chiplets(
+            &mut generic,
+            models,
+            &self.opts.constraints,
+            self.opts.louvain_resolution,
+        )?;
+
+        // --- Output 3: library-synthesized configurations.
+        let subsets = self.form_subsets(models);
+        let mut libraries = Vec::with_capacity(subsets.len());
+        for (k, subset) in subsets.iter().enumerate() {
+            let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
+            let mut cfg = set_config(
+                &format!("C_{}", k + 1),
+                &members,
+                &self.opts.space,
+                &self.opts.constraints,
+                &custom_latency,
+            )?;
+            let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
+            cluster_into_chiplets(
+                &mut cfg,
+                &member_models,
+                &self.opts.constraints,
+                self.opts.louvain_resolution,
+            )?;
+            // Node vector for Step #TT1 assignment: the subset's summed
+            // raw node work, scaled afterwards — "the nodes of the
+            // library-synthesized configurations". (Scaling after the
+            // sum keeps multi-member subsets comparable to singletons.)
+            let mut raw: BTreeMap<OpClass, f64> = BTreeMap::new();
+            for m in &member_models {
+                for (k, w) in m.op_class_weights() {
+                    *raw.entry(k).or_insert(0.0) += w;
+                }
+            }
+            let vector: BTreeMap<OpClass, f64> = match self.opts.assign_scale {
+                WeightScale::Raw => raw,
+                WeightScale::Log => raw
+                    .into_iter()
+                    .map(|(k, w)| (k, (1.0 + w).log10()))
+                    .collect(),
+                WeightScale::Binary => raw
+                    .into_iter()
+                    .map(|(k, w)| (k, if w > 0.0 { 1.0 } else { 0.0 }))
+                    .collect(),
+            };
+            let nre_normalized = normalized_nre(&self.opts.nre, &cfg, &generic);
+            let cumulative_custom_nre = subset
+                .iter()
+                .map(|&i| normalized_nre(&self.opts.nre, &customs[i].config, &generic))
+                .sum();
+            libraries.push(LibraryConfig {
+                config: cfg,
+                members: subset.clone(),
+                member_names: subset
+                    .iter()
+                    .map(|&i| models[i].name().to_owned())
+                    .collect(),
+                vector,
+                nre_normalized,
+                cumulative_custom_nre,
+            });
+        }
+
+        // --- Fig. 4 data: PPA on all three configuration classes.
+        let mut algo_ppa = Vec::with_capacity(models.len());
+        for (i, m) in models.iter().enumerate() {
+            let lib_idx = libraries
+                .iter()
+                .position(|l| l.members.contains(&i))
+                .expect("every training model belongs to a subset");
+            algo_ppa.push(AlgoPpa {
+                model_name: m.name().to_owned(),
+                custom: customs[i].report,
+                generic: evaluate(m, &generic)?,
+                library: evaluate(m, &libraries[lib_idx].config)?,
+                library_index: lib_idx,
+            });
+        }
+
+        Ok(TrainOutput {
+            customs,
+            generic,
+            libraries,
+            algo_ppa,
+        })
+    }
+
+    /// Runs the test phase (`TT`) against a training output.
+    ///
+    /// Each test algorithm gets a custom configuration `Ct_i`, is
+    /// assigned to the most similar *covering* library configuration,
+    /// and is scored on coverage, utilization and PPA. Per-library NRE
+    /// rows compare `NRE_k` against the cumulative custom cost of the
+    /// assigned algorithms.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::EmptyAlgorithmSet`] for an empty slice, plus any
+    /// DSE or clustering failure for the custom configurations.
+    pub fn evaluate_test(
+        &self,
+        train: &TrainOutput,
+        tests: &[Model],
+    ) -> Result<TestOutput, ClaireError> {
+        if tests.is_empty() {
+            return Err(ClaireError::EmptyAlgorithmSet);
+        }
+        let vectors: Vec<_> = train.libraries.iter().map(|l| l.vector.clone()).collect();
+
+        let mut reports = Vec::with_capacity(tests.len());
+        let mut per_lib: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+
+        for (ti, m) in tests.iter().enumerate() {
+            let custom = self.custom_for(m)?;
+
+            // Rank libraries by similarity; take the best that covers.
+            let mv = scaled_vector(m, self.opts.assign_scale);
+            let mut ranked: Vec<(usize, f64)> = vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i, claire_graph::weighted_jaccard(&mv, v)))
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let assigned = ranked
+                .iter()
+                .find(|&&(i, _)| train.libraries[i].config.covers(m))
+                .copied();
+            let _ = assign_test(m, &vectors); // keep raw argmax observable in tests
+
+            let (lib_idx, similarity) = match assigned {
+                Some(x) => x,
+                None => {
+                    reports.push(TestReport {
+                        model_name: m.name().to_owned(),
+                        assigned_library: None,
+                        similarity: 0.0,
+                        coverage: 0.0,
+                        utilization_library: 0.0,
+                        utilization_generic: chiplet_utilization(m, &train.generic),
+                        custom_config: custom.config.clone(),
+                        ppa: AlgoPpa {
+                            model_name: m.name().to_owned(),
+                            custom: custom.report,
+                            generic: evaluate(m, &train.generic)?,
+                            library: custom.report,
+                            library_index: usize::MAX,
+                        },
+                    });
+                    continue;
+                }
+            };
+            per_lib.entry(lib_idx).or_default().push(ti);
+
+            let lib_cfg = &train.libraries[lib_idx].config;
+            reports.push(TestReport {
+                model_name: m.name().to_owned(),
+                assigned_library: Some(lib_idx),
+                similarity,
+                coverage: algorithm_coverage(m, lib_cfg),
+                utilization_library: chiplet_utilization(m, lib_cfg),
+                utilization_generic: chiplet_utilization(m, &train.generic),
+                custom_config: custom.config.clone(),
+                ppa: AlgoPpa {
+                    model_name: m.name().to_owned(),
+                    custom: custom.report,
+                    generic: evaluate(m, &train.generic)?,
+                    library: evaluate(m, lib_cfg)?,
+                    library_index: lib_idx,
+                },
+            });
+        }
+
+        let nre_rows = per_lib
+            .into_iter()
+            .map(|(lib_idx, test_indices)| {
+                let names: Vec<String> = test_indices
+                    .iter()
+                    .map(|&i| tests[i].name().to_owned())
+                    .collect();
+                let cumulative: f64 = test_indices
+                    .iter()
+                    .map(|&i| {
+                        normalized_nre(
+                            &self.opts.nre,
+                            &reports[i].custom_config,
+                            &train.generic,
+                        )
+                    })
+                    .sum();
+                (
+                    lib_idx,
+                    names,
+                    cumulative,
+                    train.libraries[lib_idx].nre_normalized,
+                )
+            })
+            .collect();
+
+        Ok(TestOutput { reports, nre_rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_model::zoo;
+
+    #[test]
+    fn small_training_run_produces_all_outputs() {
+        let claire = Claire::default();
+        let models = [zoo::resnet18(), zoo::bert_base(), zoo::gpt2()];
+        let out = claire.train(&models).unwrap();
+        assert_eq!(out.customs.len(), 3);
+        assert!(!out.generic.chiplets.is_empty());
+        assert!(!out.libraries.is_empty());
+        assert_eq!(out.algo_ppa.len(), 3);
+        // Every training model is covered by the generic config.
+        for m in &models {
+            assert!(out.generic.covers(m), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn gpt2_lands_in_its_own_subset() {
+        // Conv1d keeps GPT-2 out of the linear-transformer subsets.
+        let claire = Claire::default();
+        let out = claire
+            .train(&[zoo::bert_base(), zoo::vit_base(), zoo::gpt2()])
+            .unwrap();
+        let gpt2_lib = out.library_of(2).unwrap();
+        assert_eq!(out.libraries[gpt2_lib].members, vec![2]);
+    }
+
+    #[test]
+    fn empty_sets_error() {
+        let claire = Claire::default();
+        assert_eq!(
+            claire.train(&[]).unwrap_err(),
+            ClaireError::EmptyAlgorithmSet
+        );
+    }
+
+    #[test]
+    fn test_phase_assigns_and_scores() {
+        let claire = Claire::default();
+        let out = claire
+            .train(&[zoo::resnet18(), zoo::resnet50(), zoo::llama3_8b()])
+            .unwrap();
+        let tests = [zoo::alexnet()];
+        let t = claire.evaluate_test(&out, &tests).unwrap();
+        let r = &t.reports[0];
+        // AlexNet must join the CNN library with full coverage.
+        let lib = r.assigned_library.unwrap();
+        assert!(out.libraries[lib]
+            .member_names
+            .iter()
+            .any(|n| n.contains("Resnet")));
+        assert_eq!(r.coverage, 1.0);
+        assert!(r.utilization_library > r.utilization_generic);
+        assert!(!t.nre_rows.is_empty());
+    }
+
+    #[test]
+    fn library_nre_cheaper_than_cumulative_custom() {
+        let claire = Claire::default();
+        let out = claire
+            .train(&[zoo::resnet18(), zoo::resnet50(), zoo::mobilenet_v2()])
+            .unwrap();
+        for lib in &out.libraries {
+            if lib.members.len() > 1 {
+                assert!(
+                    lib.nre_normalized < lib.cumulative_custom_nre,
+                    "library {} not cheaper",
+                    lib.config.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Steps #TR2/#TT3: design space exploration (the paper's
+//! Algorithm 1).
+//!
+//! "The goal of DSE is to find the most compact configuration for all
+//! design setups": sweep every configuration in scope, evaluate PPA,
+//! apply the constraints, and keep the lowest-area survivor.
+
+use crate::config::{Constraints, DesignConfig};
+use crate::error::ClaireError;
+use crate::evaluate::{evaluate, PpaReport};
+use claire_model::{Model, OpClass};
+use claire_ppa::{DseSpace, HwParams};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One evaluated DSE point.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// The hardware parameters of this point.
+    pub hw: HwParams,
+    /// PPA of the subject algorithm on the monolithic configuration.
+    pub report: PpaReport,
+}
+
+/// The DSE selection objective.
+///
+/// The paper minimises area ("the configuration with the lowest area
+/// that satisfies the performance constraints"); the alternatives
+/// exist for the objective ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DseObjective {
+    /// Lowest silicon area (the paper's Algorithm 1).
+    #[default]
+    MinArea,
+    /// Lowest latency.
+    MinLatency,
+    /// Lowest energy–delay product.
+    MinEnergyDelayProduct,
+}
+
+impl DseObjective {
+    /// The scalar this objective minimises.
+    pub fn score(self, report: &PpaReport) -> f64 {
+        match self {
+            DseObjective::MinArea => report.area_mm2,
+            DseObjective::MinLatency => report.latency_s,
+            DseObjective::MinEnergyDelayProduct => report.energy_j * report.latency_s,
+        }
+    }
+}
+
+fn monolithic_for(model: &Model, hw: HwParams) -> DesignConfig {
+    let classes: BTreeSet<OpClass> = model.op_class_counts().keys().copied().collect();
+    DesignConfig::monolithic(format!("dse:{}", model.name()), hw, classes)
+}
+
+/// Sweeps the space for one algorithm, keeping points that satisfy the
+/// area and power-density constraints (Algorithm 1 lines 2–6; the
+/// latency constraint needs the custom reference and is applied by the
+/// callers).
+pub fn sweep(model: &Model, space: &DseSpace, constraints: &Constraints) -> Vec<DsePoint> {
+    space
+        .iter()
+        .filter_map(|hw| {
+            let cfg = monolithic_for(model, hw);
+            let report = evaluate(model, &cfg).ok()?;
+            let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
+                && report.power_density_w_per_mm2()
+                    <= constraints.power_density_limit_w_per_mm2;
+            feasible.then_some(DsePoint { hw, report })
+        })
+        .collect()
+}
+
+/// Algorithm 1, lines 1–8: the custom design configuration `C_i` for
+/// one algorithm — the lowest-area configuration whose latency stays
+/// within `1 + latency_slack` of the best latency any feasible
+/// configuration achieves (the "custom design solution" reference).
+///
+/// # Errors
+///
+/// [`ClaireError::NoFeasibleConfiguration`] when no point satisfies
+/// the area/power-density constraints.
+pub fn custom_config(
+    model: &Model,
+    space: &DseSpace,
+    constraints: &Constraints,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
+    custom_config_with(model, space, constraints, DseObjective::MinArea)
+}
+
+/// [`custom_config`] under an explicit selection objective.
+///
+/// # Errors
+///
+/// Same as [`custom_config`].
+pub fn custom_config_with(
+    model: &Model,
+    space: &DseSpace,
+    constraints: &Constraints,
+    objective: DseObjective,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
+    let points = sweep(model, space, constraints);
+    let best_latency = points
+        .iter()
+        .map(|p| p.report.latency_s)
+        .fold(f64::INFINITY, f64::min);
+    if !best_latency.is_finite() {
+        return Err(ClaireError::NoFeasibleConfiguration {
+            subject: model.name().to_owned(),
+        });
+    }
+    let limit = best_latency * (1.0 + constraints.latency_slack);
+    let chosen = points
+        .into_iter()
+        .filter(|p| p.report.latency_s <= limit)
+        .min_by(|a, b| {
+            objective
+                .score(&a.report)
+                .partial_cmp(&objective.score(&b.report))
+                .expect("scores are finite")
+        })
+        .expect("non-empty: best-latency point satisfies its own limit");
+
+    let mut cfg = monolithic_for(model, chosen.hw);
+    cfg.name = format!("C_{}", model.name());
+    Ok((cfg, chosen.report))
+}
+
+/// Algorithm 1, lines 9–13 (and 15–17 with a subset): the shared
+/// configuration for an algorithm set — the configuration minimising
+/// the *summed* DSE area across all member algorithms, subject to each
+/// member meeting the constraints, including latency relative to its
+/// own custom design (`custom_latency_s`).
+///
+/// The returned configuration instantiates the union of the members'
+/// module classes.
+///
+/// # Errors
+///
+/// [`ClaireError::EmptyAlgorithmSet`] for an empty set and
+/// [`ClaireError::NoFeasibleConfiguration`] when no configuration
+/// satisfies every member's constraints.
+pub fn set_config(
+    name: &str,
+    models: &[&Model],
+    space: &DseSpace,
+    constraints: &Constraints,
+    custom_latency_s: &BTreeMap<String, f64>,
+) -> Result<DesignConfig, ClaireError> {
+    if models.is_empty() {
+        return Err(ClaireError::EmptyAlgorithmSet);
+    }
+
+    let mut best: Option<(f64, HwParams)> = None;
+    for hw in space.iter() {
+        let mut total_area = 0.0;
+        let mut ok = true;
+        for m in models {
+            let cfg = monolithic_for(m, hw);
+            let Ok(report) = evaluate(m, &cfg) else {
+                ok = false;
+                break;
+            };
+            let latency_ok = custom_latency_s
+                .get(m.name())
+                .map(|&l| report.latency_s <= l * (1.0 + constraints.latency_slack))
+                .unwrap_or(true);
+            if report.area_mm2 > constraints.chiplet_area_limit_mm2
+                || report.power_density_w_per_mm2() > constraints.power_density_limit_w_per_mm2
+                || !latency_ok
+            {
+                ok = false;
+                break;
+            }
+            total_area += report.area_mm2;
+        }
+        if ok && best.map(|(a, _)| total_area < a).unwrap_or(true) {
+            best = Some((total_area, hw));
+        }
+    }
+
+    let (_, hw) = best.ok_or_else(|| ClaireError::NoFeasibleConfiguration {
+        subject: name.to_owned(),
+    })?;
+    let classes: BTreeSet<OpClass> = models
+        .iter()
+        .flat_map(|m| m.op_class_counts().into_keys())
+        .collect();
+    Ok(DesignConfig::monolithic(name, hw, classes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_model::zoo;
+
+    fn setup() -> (DseSpace, Constraints) {
+        (DseSpace::default(), Constraints::default())
+    }
+
+    #[test]
+    fn sweep_prunes_oversized_configs() {
+        let (space, cons) = setup();
+        let m = zoo::vgg16();
+        let pts = sweep(&m, &space, &cons);
+        assert!(!pts.is_empty());
+        assert!(pts.len() < space.len(), "nothing pruned");
+        for p in &pts {
+            assert!(p.report.area_mm2 <= cons.chiplet_area_limit_mm2);
+        }
+    }
+
+    #[test]
+    fn custom_config_is_feasible_and_minimal() {
+        let (space, cons) = setup();
+        let m = zoo::resnet18();
+        let (cfg, report) = custom_config(&m, &space, &cons).unwrap();
+        assert!(cfg.covers(&m));
+        assert!(report.area_mm2 <= cons.chiplet_area_limit_mm2);
+        // Every feasible smaller-area config must violate latency.
+        let best_latency = sweep(&m, &space, &cons)
+            .iter()
+            .map(|p| p.report.latency_s)
+            .fold(f64::INFINITY, f64::min);
+        for p in sweep(&m, &space, &cons) {
+            if p.report.area_mm2 < report.area_mm2 - 1e-9 {
+                assert!(
+                    p.report.latency_s > best_latency * (1.0 + cons.latency_slack),
+                    "{} smaller but feasible",
+                    p.hw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_config_name_embeds_algorithm() {
+        let (space, cons) = setup();
+        let (cfg, _) = custom_config(&zoo::alexnet(), &space, &cons).unwrap();
+        assert_eq!(cfg.name, "C_Alexnet");
+    }
+
+    #[test]
+    fn set_config_unions_classes() {
+        let (space, cons) = setup();
+        let models = [zoo::resnet18(), zoo::bert_base()];
+        let refs: BTreeMap<String, f64> = models
+            .iter()
+            .map(|m| {
+                let (_, r) = custom_config(m, &space, &cons).unwrap();
+                (m.name().to_owned(), r.latency_s)
+            })
+            .collect();
+        let refs_list: Vec<&Model> = models.iter().collect();
+        let cfg = set_config("C_g", &refs_list, &space, &cons, &refs).unwrap();
+        for m in &models {
+            assert!(cfg.covers(m), "{} not covered", m.name());
+        }
+        assert!(cfg.classes.contains(&OpClass::Conv2d));
+        assert!(cfg.classes.contains(&OpClass::Linear));
+    }
+
+    #[test]
+    fn empty_set_is_error() {
+        let (space, cons) = setup();
+        let err = set_config("C_g", &[], &space, &cons, &BTreeMap::new()).unwrap_err();
+        assert_eq!(err, ClaireError::EmptyAlgorithmSet);
+    }
+
+    #[test]
+    fn objectives_order_as_expected() {
+        let (space, cons) = setup();
+        let m = zoo::vgg16();
+        let (_, area_r) =
+            custom_config_with(&m, &space, &cons, DseObjective::MinArea).unwrap();
+        let (_, lat_r) =
+            custom_config_with(&m, &space, &cons, DseObjective::MinLatency).unwrap();
+        let (_, edp_r) =
+            custom_config_with(&m, &space, &cons, DseObjective::MinEnergyDelayProduct).unwrap();
+        assert!(area_r.area_mm2 <= lat_r.area_mm2);
+        assert!(lat_r.latency_s <= area_r.latency_s);
+        assert!(
+            edp_r.energy_j * edp_r.latency_s <= area_r.energy_j * area_r.latency_s + 1e-18
+        );
+    }
+
+    #[test]
+    fn impossible_constraints_are_reported() {
+        let space = DseSpace::default();
+        let cons = Constraints {
+            chiplet_area_limit_mm2: 0.5, // nothing fits
+            ..Constraints::default()
+        };
+        let err = custom_config(&zoo::alexnet(), &space, &cons).unwrap_err();
+        assert!(matches!(err, ClaireError::NoFeasibleConfiguration { .. }));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the CLAIRE framework.
+
+use std::fmt;
+
+/// Errors produced by the CLAIRE training/testing flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClaireError {
+    /// The training or test set was empty.
+    EmptyAlgorithmSet,
+    /// No configuration in the DSE scope satisfied the constraints
+    /// for the named algorithm (or algorithm set).
+    NoFeasibleConfiguration {
+        /// The algorithm (or subset description) that failed.
+        subject: String,
+    },
+    /// Clustering could not keep every chiplet under the area limit:
+    /// a single module group already exceeds it.
+    ChipletAreaUnsatisfiable {
+        /// The offending module group.
+        group: String,
+        /// Its area, mm².
+        area_mm2: f64,
+        /// The limit it exceeds, mm².
+        limit_mm2: f64,
+    },
+    /// An algorithm was evaluated on a configuration that does not
+    /// cover all of its layer types (`C_layer < 100 %`).
+    IncompleteCoverage {
+        /// The algorithm.
+        algorithm: String,
+        /// The configuration.
+        config: String,
+        /// A layer class the configuration cannot implement.
+        missing: String,
+    },
+}
+
+impl fmt::Display for ClaireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaireError::EmptyAlgorithmSet => write!(f, "algorithm set is empty"),
+            ClaireError::NoFeasibleConfiguration { subject } => {
+                write!(f, "no DSE configuration satisfies the constraints for {subject}")
+            }
+            ClaireError::ChipletAreaUnsatisfiable {
+                group,
+                area_mm2,
+                limit_mm2,
+            } => write!(
+                f,
+                "module group {group} ({area_mm2:.1} mm²) exceeds the chiplet area limit ({limit_mm2:.1} mm²)"
+            ),
+            ClaireError::IncompleteCoverage {
+                algorithm,
+                config,
+                missing,
+            } => write!(
+                f,
+                "configuration {config} cannot implement layer class {missing} of {algorithm}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClaireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ClaireError::NoFeasibleConfiguration {
+            subject: "VGG16".into(),
+        };
+        assert!(e.to_string().contains("VGG16"));
+        let e = ClaireError::IncompleteCoverage {
+            algorithm: "BERT-base".into(),
+            config: "C_1".into(),
+            missing: "TANH".into(),
+        };
+        assert!(e.to_string().contains("TANH"));
+    }
+}

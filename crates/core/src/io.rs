@@ -1,0 +1,234 @@
+//! Configuration-file I/O.
+//!
+//! The paper's framework is file-driven: Input #2 is "two categories
+//! of hardware configuration files" (PPA values and the tunable
+//! hardware parameter file) and Input #4 is the constraint set. This
+//! module round-trips the corresponding structures as JSON so that
+//! runs are reproducible artefacts.
+
+use crate::config::Constraints;
+use claire_cost::NreModel;
+use claire_ppa::DseSpace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// A complete, serialisable framework setup: the tunable hardware
+/// parameter sweep, the constraints, the NRE calibration, and the
+/// clustering knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// DSE scope (Input #2, tunable hardware parameter file).
+    pub space: DseSpace,
+    /// Constraints (Input #4).
+    pub constraints: Constraints,
+    /// NRE cost calibration.
+    pub nre: NreModel,
+    /// Weighted-Jaccard threshold for subset formation.
+    pub jaccard_threshold: f64,
+    /// Louvain resolution for chiplet clustering.
+    pub louvain_resolution: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            space: DseSpace::default(),
+            constraints: Constraints::default(),
+            nre: NreModel::tsmc28(),
+            jaccard_threshold: 0.6,
+            louvain_resolution: 1.0,
+        }
+    }
+}
+
+/// Error loading or saving a [`RunConfig`].
+#[derive(Debug)]
+pub enum ConfigIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(serde_json::Error),
+    /// Structurally valid but semantically unusable values.
+    Invalid(String),
+}
+
+impl fmt::Display for ConfigIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigIoError::Io(e) => write!(f, "config file I/O failed: {e}"),
+            ConfigIoError::Parse(e) => write!(f, "config file is not valid JSON: {e}"),
+            ConfigIoError::Invalid(msg) => write!(f, "config file is invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigIoError::Io(e) => Some(e),
+            ConfigIoError::Parse(e) => Some(e),
+            ConfigIoError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ConfigIoError {
+    fn from(e: std::io::Error) -> Self {
+        ConfigIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ConfigIoError {
+    fn from(e: serde_json::Error) -> Self {
+        ConfigIoError::Parse(e)
+    }
+}
+
+impl RunConfig {
+    /// Validates value ranges (the structural part is serde's job).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigIoError::Invalid`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigIoError> {
+        if self.space.is_empty() {
+            return Err(ConfigIoError::Invalid(
+                "DSE space has an empty axis".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.jaccard_threshold) {
+            return Err(ConfigIoError::Invalid(format!(
+                "jaccard_threshold {} outside [0, 1]",
+                self.jaccard_threshold
+            )));
+        }
+        if self.louvain_resolution <= 0.0 {
+            return Err(ConfigIoError::Invalid(
+                "louvain_resolution must be positive".into(),
+            ));
+        }
+        if self.constraints.chiplet_area_limit_mm2 <= 0.0
+            || self.constraints.power_density_limit_w_per_mm2 <= 0.0
+            || self.constraints.latency_slack < 0.0
+        {
+            return Err(ConfigIoError::Invalid(
+                "constraints must be positive (slack non-negative)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Loads and validates a config from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// I/O, parse, or validation failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ConfigIoError> {
+        let text = std::fs::read_to_string(path)?;
+        let cfg: RunConfig = serde_json::from_str(&text)?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Saves the config as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ConfigIoError> {
+        let text = serde_json::to_string_pretty(self).expect("RunConfig serialises");
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+
+    /// Converts into framework options with the configured subset
+    /// threshold (log-scaled weighted Jaccard).
+    pub fn into_options(self) -> crate::ClaireOptions {
+        crate::ClaireOptions {
+            constraints: self.constraints,
+            space: self.space,
+            subsets: crate::SubsetStrategy::WeightedJaccard {
+                threshold: self.jaccard_threshold,
+                scale: crate::assign::WeightScale::Log,
+            },
+            louvain_resolution: self.louvain_resolution,
+            nre: self.nre,
+            ..crate::ClaireOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("claire-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = tmp("roundtrip.json");
+        let mut cfg = RunConfig {
+            jaccard_threshold: 0.42,
+            ..RunConfig::default()
+        };
+        cfg.constraints.chiplet_area_limit_mm2 = 80.0;
+        cfg.save(&path).unwrap();
+        let back = RunConfig::load(&path).unwrap();
+        assert_eq!(cfg, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validation_rejects_bad_threshold() {
+        let cfg = RunConfig {
+            jaccard_threshold: 1.5,
+            ..RunConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("jaccard_threshold"));
+    }
+
+    #[test]
+    fn validation_rejects_empty_space() {
+        let mut cfg = RunConfig::default();
+        cfg.space.sa_sizes.clear();
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn load_rejects_malformed_json() {
+        let path = tmp("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = RunConfig::load(&path).unwrap_err();
+        assert!(matches!(err, ConfigIoError::Parse(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = RunConfig::load("/nonexistent/claire.json").unwrap_err();
+        assert!(matches!(err, ConfigIoError::Io(_)));
+    }
+
+    #[test]
+    fn into_options_carries_fields() {
+        let cfg = RunConfig {
+            jaccard_threshold: 0.33,
+            louvain_resolution: 1.7,
+            ..RunConfig::default()
+        };
+        let opts = cfg.into_options();
+        assert_eq!(opts.louvain_resolution, 1.7);
+        match opts.subsets {
+            crate::SubsetStrategy::WeightedJaccard { threshold, .. } => {
+                assert_eq!(threshold, 0.33)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

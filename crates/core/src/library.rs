@@ -1,0 +1,291 @@
+//! The hardened chiplet library as a persistent artifact.
+//!
+//! The paper's end state is a *library*: "a set of hardened IPs and
+//! chiplet libraries optimized for a broad range of AI applications…
+//! improves flexibility, reusability, and efficiency". This module
+//! makes that library a file: train once, serialise the synthesized
+//! configurations (with their assignment vectors and NRE context), and
+//! let downstream users deploy new algorithms against it without
+//! re-running training — the Step #TT1 flow as a product.
+
+use crate::claire::{LibraryConfig, TrainOutput};
+use crate::config::DesignConfig;
+use crate::error::ClaireError;
+use crate::evaluate::{evaluate, PpaReport};
+use crate::io::ConfigIoError;
+use crate::metrics::{algorithm_coverage, chiplet_utilization, normalized_nre};
+use claire_cost::NreModel;
+use claire_graph::weighted_jaccard;
+use claire_model::{Model, OpClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const LIBRARY_FORMAT_VERSION: u32 = 1;
+
+/// One hardened library configuration with its provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibraryEntry {
+    /// The clustered configuration.
+    pub config: DesignConfig,
+    /// Training algorithms the configuration was synthesized for.
+    pub trained_on: Vec<String>,
+    /// Assignment vector (scaled node weights) as a list — JSON maps
+    /// need string keys.
+    pub vector: Vec<(OpClass, f64)>,
+    /// Normalised NRE of the configuration (vs the stored generic).
+    pub nre_normalized: f64,
+}
+
+/// A persistable chiplet library: everything a downstream team needs
+/// to deploy new algorithms onto already-hardened silicon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipletLibrary {
+    /// On-disk format version (see [`LIBRARY_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Library name.
+    pub name: String,
+    /// The synthesized configurations.
+    pub entries: Vec<LibraryEntry>,
+    /// The generic reference configuration (NRE normalisation basis).
+    pub generic: DesignConfig,
+    /// The NRE calibration the normalisations used.
+    pub nre: NreModel,
+}
+
+/// The result of deploying an algorithm against a stored library.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Index of the chosen entry.
+    pub entry: usize,
+    /// Name of the chosen configuration.
+    pub config_name: String,
+    /// Weighted-Jaccard similarity to the chosen entry.
+    pub similarity: f64,
+    /// Coverage (must be 1.0 — entries that cannot cover are skipped).
+    pub coverage: f64,
+    /// Chiplet utilization on the chosen configuration.
+    pub utilization: f64,
+    /// PPA of the algorithm on the configuration.
+    pub ppa: PpaReport,
+    /// NRE a fresh custom design would have cost (normalised to the
+    /// library's generic) — the saving, since deployment onto hardened
+    /// silicon costs zero new die NRE.
+    pub custom_nre_avoided: Option<f64>,
+}
+
+impl ChipletLibrary {
+    /// Packages a training run into a persistable library.
+    pub fn from_training(name: impl Into<String>, train: &TrainOutput, nre: NreModel) -> Self {
+        let entry = |l: &LibraryConfig| LibraryEntry {
+            config: l.config.clone(),
+            trained_on: l.member_names.clone(),
+            vector: l.vector.iter().map(|(k, v)| (*k, *v)).collect(),
+            nre_normalized: l.nre_normalized,
+        };
+        ChipletLibrary {
+            format_version: LIBRARY_FORMAT_VERSION,
+            name: name.into(),
+            entries: train.libraries.iter().map(entry).collect(),
+            generic: train.generic.clone(),
+            nre,
+        }
+    }
+
+    /// Saves the library as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ConfigIoError> {
+        let text = serde_json::to_string_pretty(self).expect("library serialises");
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+
+    /// Loads and validates a library file.
+    ///
+    /// # Errors
+    ///
+    /// I/O or parse failure, or an unsupported `format_version`, or an
+    /// empty entry list.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ConfigIoError> {
+        let text = std::fs::read_to_string(path)?;
+        let lib: ChipletLibrary = serde_json::from_str(&text)?;
+        if lib.format_version != LIBRARY_FORMAT_VERSION {
+            return Err(ConfigIoError::Invalid(format!(
+                "unsupported library format version {} (expected {LIBRARY_FORMAT_VERSION})",
+                lib.format_version
+            )));
+        }
+        if lib.entries.is_empty() {
+            return Err(ConfigIoError::Invalid("library has no entries".into()));
+        }
+        Ok(lib)
+    }
+
+    /// Deploys `model` onto the most similar *covering* entry — the
+    /// Step #TT1 assignment against a stored library, with no
+    /// retraining.
+    ///
+    /// `model_vector_scale` must match the scale the library's vectors
+    /// were built with (log-compressed by default in [`crate::Claire`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::IncompleteCoverage`] when no entry covers the
+    /// algorithm (the composability-gap case — the library needs
+    /// re-synthesis with such architectures in its training set).
+    pub fn deploy(
+        &self,
+        model: &Model,
+        scale: crate::assign::WeightScale,
+    ) -> Result<Deployment, ClaireError> {
+        let mv = crate::assign::scaled_vector(model, scale);
+        let mut ranked: Vec<(usize, f64)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let v: BTreeMap<OpClass, f64> = e.vector.iter().copied().collect();
+                (i, weighted_jaccard(&mv, &v))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+        let Some(&(idx, similarity)) = ranked
+            .iter()
+            .find(|&&(i, _)| self.entries[i].config.covers(model))
+        else {
+            let missing = self
+                .entries
+                .first()
+                .and_then(|e| e.config.first_missing(model))
+                .map(|c| c.label())
+                .unwrap_or_else(|| "?".into());
+            return Err(ClaireError::IncompleteCoverage {
+                algorithm: model.name().to_owned(),
+                config: format!("library `{}`", self.name),
+                missing,
+            });
+        };
+
+        let config = &self.entries[idx].config;
+        let ppa = evaluate(model, config)?;
+        // What a fresh custom design would have cost (if one exists
+        // under default constraints) — the avoided NRE.
+        let custom_nre_avoided = crate::Claire::default()
+            .custom_for(model)
+            .ok()
+            .map(|c| normalized_nre(&self.nre, &c.config, &self.generic));
+        Ok(Deployment {
+            entry: idx,
+            config_name: config.name.clone(),
+            similarity,
+            coverage: algorithm_coverage(model, config),
+            utilization: chiplet_utilization(model, config),
+            ppa,
+            custom_nre_avoided,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::WeightScale;
+    use crate::claire::{paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy};
+    use claire_model::zoo;
+    use std::sync::OnceLock;
+
+    fn library() -> &'static ChipletLibrary {
+        static LIB: OnceLock<ChipletLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            let claire = Claire::new(ClaireOptions {
+                subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+                ..ClaireOptions::default()
+            });
+            let train = claire.train(&zoo::training_set()).expect("train");
+            ChipletLibrary::from_training("claire-v1", &train, NreModel::tsmc28())
+        })
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("claire-lib-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let lib = library();
+        let path = tmp("roundtrip.json");
+        lib.save(&path).unwrap();
+        let back = ChipletLibrary::load(&path).unwrap();
+        assert_eq!(*lib, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deploys_bert_with_full_coverage() {
+        let lib = library();
+        let d = lib.deploy(&zoo::bert_base(), WeightScale::Log).unwrap();
+        assert_eq!(d.coverage, 1.0);
+        assert!(d.utilization > 0.0);
+        assert!(d.ppa.latency_s > 0.0);
+        assert!(d.custom_nre_avoided.expect("custom exists") > 0.0);
+    }
+
+    #[test]
+    fn composability_gap_is_an_error() {
+        let lib = library();
+        let err = lib
+            .deploy(&zoo::efficientnet_b0(), WeightScale::Log)
+            .unwrap_err();
+        assert!(matches!(err, ClaireError::IncompleteCoverage { .. }));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut lib = library().clone();
+        lib.format_version = 99;
+        let path = tmp("badver.json");
+        lib.save(&path).unwrap();
+        let err = ChipletLibrary::load(&path).unwrap_err();
+        assert!(err.to_string().contains("format version"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_library_rejected() {
+        let mut lib = library().clone();
+        lib.entries.clear();
+        let path = tmp("empty.json");
+        lib.save(&path).unwrap();
+        assert!(ChipletLibrary::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deployment_matches_live_test_phase() {
+        // Deploying from the stored artifact must agree with running
+        // evaluate_test live.
+        let lib = library();
+        let claire = Claire::new(ClaireOptions {
+            subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+            ..ClaireOptions::default()
+        });
+        let train = claire.train(&zoo::training_set()).expect("train");
+        let live = claire
+            .evaluate_test(&train, &[zoo::vit_base()])
+            .expect("test");
+        let stored = lib.deploy(&zoo::vit_base(), WeightScale::Log).unwrap();
+        assert_eq!(
+            Some(stored.entry),
+            live.reports[0].assigned_library,
+            "artifact and live assignment diverge"
+        );
+        assert_eq!(stored.utilization, live.reports[0].utilization_library);
+    }
+}

@@ -1,0 +1,297 @@
+//! Step #TT2 composable metrics: algorithm coverage `C_layer`,
+//! chiplet utilization `U_chiplet`, and normalised NRE cost.
+
+use crate::config::DesignConfig;
+use claire_cost::NreModel;
+use claire_model::Model;
+use std::collections::BTreeSet;
+
+/// Algorithm coverage `C_layer(i, k)`: "the percentage of layers in
+/// algorithm *i* that can be implemented by design configuration
+/// `C_k`, divided by the total number of layers". 1.0 = the required
+/// 100 %.
+pub fn algorithm_coverage(model: &Model, config: &DesignConfig) -> f64 {
+    let total = model.layer_count();
+    if total == 0 {
+        return 1.0;
+    }
+    let implementable = model
+        .layers()
+        .iter()
+        .filter(|l| config.supports(l.op_class()))
+        .count();
+    implementable as f64 / total as f64
+}
+
+/// Chiplet utilization `U_chiplet(i, k)`: "the fraction of modules
+/// utilized within the chiplets of the design configuration when
+/// algorithm *i* is mapped onto it".
+///
+/// A *module group* is one hardware-unit class instantiated on a
+/// chiplet; the metric counts groups the algorithm's layers execute on
+/// (Tanh layers exercising the GELU unit count the GELU group)
+/// divided by the total number of groups across the configuration's
+/// chiplets (its class count, for a monolithic configuration).
+pub fn chiplet_utilization(model: &Model, config: &DesignConfig) -> f64 {
+    let total = if config.chiplets.is_empty() {
+        config.classes.len()
+    } else {
+        config.chiplets.iter().map(|c| c.classes.len()).sum()
+    };
+    if total == 0 {
+        return 0.0;
+    }
+    let used: BTreeSet<_> = model
+        .op_class_counts()
+        .keys()
+        .filter_map(|&c| config.executing_class(c))
+        .collect();
+    used.len() as f64 / total as f64
+}
+
+/// Normalised NRE cost of a configuration: its system NRE divided by
+/// the generic configuration's (the paper's `NRE_k` /
+/// `NRE_i` normalisation).
+///
+/// # Panics
+///
+/// Panics if either configuration has no chiplets (cluster first).
+pub fn normalized_nre(model: &NreModel, config: &DesignConfig, generic: &DesignConfig) -> f64 {
+    assert!(
+        !config.chiplets.is_empty() && !generic.chiplets.is_empty(),
+        "normalized_nre requires clustered configurations"
+    );
+    let nre = model.system_nre(&config.chiplet_areas());
+    let reference = model.system_nre(&generic.chiplet_areas());
+    model.normalized(nre, reference)
+}
+
+/// Cumulative normalised NRE of a set of custom configurations —
+/// `NRE_cstm(k, S) = Σ_{i ∈ S} NRE_i` (the paper's comparison target
+/// for each library configuration).
+pub fn cumulative_custom_nre(
+    model: &NreModel,
+    customs: &[&DesignConfig],
+    generic: &DesignConfig,
+) -> f64 {
+    customs
+        .iter()
+        .map(|c| normalized_nre(model, c, generic))
+        .sum()
+}
+
+/// A hardened chiplet's identity for cross-configuration reuse: the
+/// tunable hardware parameters plus the module-group set. Two chiplets
+/// with equal signatures are the same hardened IP — the paper's core
+/// premise ("similar to soft IPs for SoC development, chiplets can be
+/// pre-designed and pre-verified").
+pub type ChipletSignature = (claire_ppa::HwParams, BTreeSet<claire_model::OpClass>);
+
+/// Portfolio-level NRE of a set of configurations with hardened-IP
+/// reuse: each distinct chiplet signature pays its die NRE once across
+/// the whole portfolio; per-configuration integration/package costs
+/// are still paid per configuration.
+///
+/// Returns `(naive, deduped, reuse)`: the naive per-configuration NRE
+/// sum, the deduplicated portfolio NRE, and each signature's user list
+/// (configuration names), reuse-heavy first.
+pub fn portfolio_nre(
+    model: &NreModel,
+    configs: &[&DesignConfig],
+) -> (f64, f64, Vec<(ChipletSignature, Vec<String>)>) {
+    let mut naive = 0.0;
+    let mut users: std::collections::BTreeMap<ChipletSignature, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut integration = 0.0;
+    for cfg in configs {
+        assert!(!cfg.chiplets.is_empty(), "portfolio_nre requires clustered configs");
+        naive += model.system_nre(&cfg.chiplet_areas());
+        integration += model.integration_per_chiplet * cfg.chiplets.len() as f64
+            + model.package_base;
+        for ch in &cfg.chiplets {
+            users
+                .entry((cfg.hw, ch.classes.clone()))
+                .or_default()
+                .push(cfg.name.clone());
+        }
+    }
+    // Deduped: each distinct signature hardened once.
+    let mut deduped = integration;
+    for (hw, classes) in users.keys() {
+        let area: f64 = classes
+            .iter()
+            .map(|&c| claire_ppa::unit_area_mm2(c, hw))
+            .sum();
+        deduped += model.chiplet_nre(area.max(1e-6));
+    }
+    let mut reuse: Vec<(ChipletSignature, Vec<String>)> = users.into_iter().collect();
+    reuse.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0 .1.len().cmp(&b.0 .1.len())));
+    (naive, deduped, reuse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Chiplet;
+    use claire_model::{zoo, ActivationKind, OpClass};
+    use claire_ppa::HwParams;
+
+    fn hw() -> HwParams {
+        HwParams::new(32, 32, 16, 16)
+    }
+
+    fn clustered(name: &str, groups: &[&[OpClass]]) -> DesignConfig {
+        let all: BTreeSet<OpClass> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+        let mut cfg = DesignConfig::monolithic(name, hw(), all);
+        cfg.chiplets = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                Chiplet::from_classes(
+                    format!("L{}", i + 1),
+                    g.iter().copied().collect(),
+                    &hw(),
+                )
+            })
+            .collect();
+        cfg
+    }
+
+    #[test]
+    fn full_coverage_is_one() {
+        let m = zoo::alexnet();
+        let cfg = DesignConfig::monolithic(
+            "c",
+            hw(),
+            m.op_class_counts().into_keys().collect(),
+        );
+        assert_eq!(algorithm_coverage(&m, &cfg), 1.0);
+    }
+
+    #[test]
+    fn partial_coverage_counts_layers() {
+        let m = zoo::alexnet();
+        let mut classes: BTreeSet<OpClass> = m.op_class_counts().into_keys().collect();
+        classes.remove(&OpClass::Linear); // drop the 3 classifier FCs
+        let cfg = DesignConfig::monolithic("c", hw(), classes);
+        let cov = algorithm_coverage(&m, &cfg);
+        let linear_layers = m.op_class_counts()[&OpClass::Linear] as f64;
+        let want = 1.0 - linear_layers / m.layer_count() as f64;
+        assert!((cov - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_counts_chiplet_groups() {
+        // AlexNet on a 10-group C1-style configuration: uses 5 groups.
+        let c1 = clustered(
+            "C_1",
+            &[
+                &[
+                    OpClass::Conv2d,
+                    OpClass::Activation(ActivationKind::Relu),
+                    OpClass::Activation(ActivationKind::Relu6),
+                    OpClass::Pooling(claire_model::PoolingKind::MaxPool),
+                    OpClass::Pooling(claire_model::PoolingKind::AvgPool),
+                ],
+                &[
+                    OpClass::Linear,
+                    OpClass::Activation(ActivationKind::Gelu),
+                    OpClass::Pooling(claire_model::PoolingKind::AdaptiveAvgPool),
+                    OpClass::Flatten,
+                    OpClass::Permute,
+                ],
+            ],
+        );
+        let u = chiplet_utilization(&zoo::alexnet(), &c1);
+        assert!((u - 0.5).abs() < 1e-12, "{u}"); // Table V: 0.5
+        let u = chiplet_utilization(&zoo::detr(), &c1);
+        assert!((u - 0.4).abs() < 1e-12, "{u}"); // Table V: 0.4
+    }
+
+    #[test]
+    fn tanh_counts_the_gelu_group_once() {
+        let c3 = clustered(
+            "C_3",
+            &[&[
+                OpClass::Linear,
+                OpClass::Activation(ActivationKind::Gelu),
+                OpClass::Activation(ActivationKind::Silu),
+                OpClass::Conv2d,
+            ]],
+        );
+        // BERT = Linear + GELU + Tanh→GELU: 2 of 4 groups.
+        let u = chiplet_utilization(&zoo::bert_base(), &c3);
+        assert!((u - 0.5).abs() < 1e-12, "{u}");
+    }
+
+    #[test]
+    fn library_beats_generic_utilization() {
+        let m = zoo::bert_base();
+        let generic = clustered(
+            "C_g",
+            &[&OpClass::all()[..7], &OpClass::all()[7..]],
+        );
+        let c3 = clustered(
+            "C_3",
+            &[&[
+                OpClass::Linear,
+                OpClass::Activation(ActivationKind::Gelu),
+                OpClass::Activation(ActivationKind::Silu),
+            ]],
+        );
+        assert!(chiplet_utilization(&m, &c3) > 2.0 * chiplet_utilization(&m, &generic));
+    }
+
+    #[test]
+    fn two_chiplets_cost_half_of_four() {
+        let nre = NreModel::tsmc28();
+        let two = clustered("a", &[&[OpClass::Conv2d], &[OpClass::Linear]]);
+        let four = clustered(
+            "g",
+            &[
+                &[OpClass::Conv2d],
+                &[OpClass::Linear],
+                &[OpClass::Conv1d],
+                &[OpClass::Activation(ActivationKind::Gelu)],
+            ],
+        );
+        let r = normalized_nre(&nre, &two, &four);
+        assert!((0.4..0.6).contains(&r), "{r}");
+        // Cumulative: 3 two-chiplet customs ≈ 1.5.
+        let c = cumulative_custom_nre(&nre, &[&two, &two, &two], &four);
+        assert!((1.3..1.7).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn portfolio_dedup_never_costs_more() {
+        let nre = NreModel::tsmc28();
+        let a = clustered("a", &[&[OpClass::Conv2d], &[OpClass::Linear]]);
+        let b = clustered("b", &[&[OpClass::Conv2d], &[OpClass::Linear]]);
+        let (naive, deduped, reuse) = portfolio_nre(&nre, &[&a, &b]);
+        assert!(deduped < naive, "{deduped} !< {naive}");
+        // Both signatures reused by both configurations.
+        assert_eq!(reuse.len(), 2);
+        assert_eq!(reuse[0].1.len(), 2);
+    }
+
+    #[test]
+    fn portfolio_without_overlap_keeps_die_costs() {
+        let nre = NreModel::tsmc28();
+        let a = clustered("a", &[&[OpClass::Conv2d]]);
+        let b = clustered("b", &[&[OpClass::Conv1d]]);
+        let (naive, deduped, reuse) = portfolio_nre(&nre, &[&a, &b]);
+        // No shared signatures: dedup only removes double-counted
+        // routing/PHY area inside chiplet_nre vs per-config areas.
+        assert_eq!(reuse.len(), 2);
+        assert!(reuse.iter().all(|(_, u)| u.len() == 1));
+        assert!(deduped <= naive + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "clustered")]
+    fn nre_requires_clusters() {
+        let nre = NreModel::tsmc28();
+        let mono = DesignConfig::monolithic("m", hw(), [OpClass::Linear].into_iter().collect());
+        normalized_nre(&nre, &mono, &mono);
+    }
+}

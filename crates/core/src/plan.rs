@@ -1,0 +1,249 @@
+//! Portfolio planning over a hardened chiplet library.
+//!
+//! The paper argues chiplet libraries amortise NRE across products;
+//! this module answers the planning question that follows: *given a
+//! product roadmap, which library configurations are worth hardening?*
+//! Formulated as weighted set cover — each library entry covers the
+//! roadmap algorithms it can implement, at its die-NRE price; anything
+//! left uncovered falls back to a custom design at custom-NRE price —
+//! and solved with the classic greedy (ln n–approximate, deterministic).
+
+use crate::claire::TrainOutput;
+use crate::error::ClaireError;
+use crate::metrics::normalized_nre;
+use claire_cost::NreModel;
+use claire_model::Model;
+use serde::Serialize;
+
+/// One roadmap product: a name plus the algorithms it must run.
+#[derive(Debug, Clone)]
+pub struct Product {
+    /// Product name.
+    pub name: String,
+    /// The algorithms it deploys.
+    pub algorithms: Vec<Model>,
+}
+
+impl Product {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, algorithms: Vec<Model>) -> Self {
+        Product {
+            name: name.into(),
+            algorithms,
+        }
+    }
+}
+
+/// The outcome of portfolio planning.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortfolioPlan {
+    /// Indices of the library entries worth hardening.
+    pub selected: Vec<usize>,
+    /// Names of the selected configurations.
+    pub selected_names: Vec<String>,
+    /// Roadmap algorithms no selected entry covers (custom fallback).
+    pub fallbacks: Vec<String>,
+    /// Normalised NRE of the selected library entries.
+    pub library_nre: f64,
+    /// Normalised NRE of the custom fallbacks.
+    pub fallback_nre: f64,
+    /// Normalised NRE of building *every* roadmap algorithm custom —
+    /// the baseline the plan beats.
+    pub all_custom_nre: f64,
+}
+
+impl PortfolioPlan {
+    /// Total plan cost (library + fallbacks), normalised.
+    pub fn total_nre(&self) -> f64 {
+        self.library_nre + self.fallback_nre
+    }
+
+    /// NRE benefit over the all-custom baseline.
+    pub fn benefit(&self) -> f64 {
+        self.all_custom_nre / self.total_nre().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Plans which library configurations to harden for a product roadmap.
+///
+/// Greedy weighted set cover over the *distinct* roadmap algorithms:
+/// repeatedly select the entry with the lowest NRE per newly covered
+/// algorithm until no entry adds coverage; remaining algorithms get
+/// custom designs (derived with the framework's default options) and
+/// their NRE is charged to the plan.
+///
+/// # Errors
+///
+/// Propagates custom-DSE failures for fallback algorithms, and
+/// [`ClaireError::EmptyAlgorithmSet`] for an empty roadmap.
+pub fn plan_portfolio(
+    train: &TrainOutput,
+    nre: &NreModel,
+    products: &[Product],
+) -> Result<PortfolioPlan, ClaireError> {
+    // Distinct algorithms across the roadmap, by name, in first-seen
+    // order.
+    let mut algorithms: Vec<&Model> = Vec::new();
+    for p in products {
+        for m in &p.algorithms {
+            if !algorithms.iter().any(|x| x.name() == m.name()) {
+                algorithms.push(m);
+            }
+        }
+    }
+    if algorithms.is_empty() {
+        return Err(ClaireError::EmptyAlgorithmSet);
+    }
+
+    // Coverage matrix: entry -> algorithm indices it can implement.
+    let coverage: Vec<Vec<usize>> = train
+        .libraries
+        .iter()
+        .map(|l| {
+            algorithms
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| l.config.covers(m))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    let mut uncovered: std::collections::BTreeSet<usize> = (0..algorithms.len()).collect();
+    let mut selected = Vec::new();
+    let mut library_nre = 0.0;
+    while !uncovered.is_empty() {
+        // Best ratio: NRE per newly covered algorithm.
+        let mut best: Option<(f64, usize, usize)> = None; // (ratio, new, entry)
+        for (e, covers) in coverage.iter().enumerate() {
+            if selected.contains(&e) {
+                continue;
+            }
+            let new = covers.iter().filter(|i| uncovered.contains(i)).count();
+            if new == 0 {
+                continue;
+            }
+            let ratio = train.libraries[e].nre_normalized / new as f64;
+            let better = match best {
+                None => true,
+                Some((r, n, be)) => {
+                    ratio < r - 1e-12
+                        || ((ratio - r).abs() <= 1e-12 && (new > n || (new == n && e < be)))
+                }
+            };
+            if better {
+                best = Some((ratio, new, e));
+            }
+        }
+        let Some((_, _, e)) = best else { break };
+        selected.push(e);
+        library_nre += train.libraries[e].nre_normalized;
+        for i in &coverage[e] {
+            uncovered.remove(i);
+        }
+    }
+
+    // Fallback customs for anything uncovered + the all-custom baseline.
+    let claire = crate::Claire::default();
+    let mut fallbacks = Vec::new();
+    let mut fallback_nre = 0.0;
+    let mut all_custom_nre = 0.0;
+    for (i, m) in algorithms.iter().enumerate() {
+        let custom = claire.custom_for(m)?;
+        let cost = normalized_nre(nre, &custom.config, &train.generic);
+        all_custom_nre += cost;
+        if uncovered.contains(&i) {
+            fallbacks.push(m.name().to_owned());
+            fallback_nre += cost;
+        }
+    }
+
+    selected.sort_unstable();
+    Ok(PortfolioPlan {
+        selected_names: selected
+            .iter()
+            .map(|&e| train.libraries[e].config.name.clone())
+            .collect(),
+        selected,
+        fallbacks,
+        library_nre,
+        fallback_nre,
+        all_custom_nre,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claire::{paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy};
+    use claire_model::zoo;
+    use std::sync::OnceLock;
+
+    fn train() -> &'static TrainOutput {
+        static T: OnceLock<TrainOutput> = OnceLock::new();
+        T.get_or_init(|| {
+            Claire::new(ClaireOptions {
+                subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+                ..ClaireOptions::default()
+            })
+            .train(&zoo::training_set())
+            .expect("train")
+        })
+    }
+
+    #[test]
+    fn transformer_roadmap_needs_one_or_two_entries() {
+        let products = [
+            Product::new("chat", vec![zoo::bert_base(), zoo::graphormer()]),
+            Product::new("vision", vec![zoo::vit_base(), zoo::ast()]),
+        ];
+        let plan = plan_portfolio(train(), &NreModel::tsmc28(), &products).unwrap();
+        assert!(plan.fallbacks.is_empty(), "{:?}", plan.fallbacks);
+        assert!(plan.selected.len() <= 2, "{:?}", plan.selected_names);
+        assert!(plan.benefit() > 1.0, "benefit {}", plan.benefit());
+    }
+
+    #[test]
+    fn mixed_roadmap_beats_all_custom() {
+        let products = [
+            Product::new("edge-cam", vec![zoo::alexnet(), zoo::detr()]),
+            Product::new("assistant", vec![zoo::bert_base(), zoo::wav2vec2_base()]),
+            Product::new("codegen", vec![zoo::distilgpt2()]),
+        ];
+        let plan = plan_portfolio(train(), &NreModel::tsmc28(), &products).unwrap();
+        assert!(plan.fallbacks.is_empty());
+        assert!(plan.total_nre() < plan.all_custom_nre);
+    }
+
+    #[test]
+    fn uncoverable_algorithms_fall_back_to_custom() {
+        let products = [Product::new(
+            "silu-cam",
+            vec![zoo::efficientnet_b0(), zoo::alexnet()],
+        )];
+        let plan = plan_portfolio(train(), &NreModel::tsmc28(), &products).unwrap();
+        assert_eq!(plan.fallbacks, vec!["EfficientNet-B0".to_owned()]);
+        assert!(plan.fallback_nre > 0.0);
+        // AlexNet still rides the library.
+        assert!(!plan.selected.is_empty());
+    }
+
+    #[test]
+    fn duplicate_algorithms_counted_once() {
+        let products = [
+            Product::new("a", vec![zoo::bert_base()]),
+            Product::new("b", vec![zoo::bert_base()]),
+        ];
+        let plan = plan_portfolio(train(), &NreModel::tsmc28(), &products).unwrap();
+        assert_eq!(plan.selected.len(), 1);
+        let single = plan.all_custom_nre;
+        // One BERT custom, not two.
+        assert!(single < 0.6, "{single}");
+    }
+
+    #[test]
+    fn empty_roadmap_is_an_error() {
+        let err = plan_portfolio(train(), &NreModel::tsmc28(), &[]).unwrap_err();
+        assert_eq!(err, ClaireError::EmptyAlgorithmSet);
+    }
+}

@@ -1,0 +1,38 @@
+//! # claire-cost — chiplet cost models
+//!
+//! Re-implementation of the non-recurring-engineering (NRE) cost model
+//! the CLAIRE paper applies (Feng & Ma, "Chiplet Actuary", DAC 2022)
+//! plus a yield-based recurring-cost model used by the ablation
+//! benches.
+//!
+//! The paper reports NRE *normalised to the generic configuration*
+//! (`C_g`); [`NreModel::normalized`] reproduces that normalisation. A
+//! configuration's NRE is dominated by per-chiplet-type fixed costs
+//! (mask set, IP, verification infrastructure) with a weaker
+//! area-proportional design/verification term — which is exactly why
+//! the paper's library configurations win: fewer distinct chiplet
+//! types to harden.
+//!
+//! # Example
+//!
+//! ```
+//! use claire_cost::NreModel;
+//!
+//! let model = NreModel::tsmc28();
+//! // A 2-chiplet custom design vs a 4-chiplet generic design.
+//! let custom = model.system_nre(&[20.0, 18.0]);
+//! let generic = model.system_nre(&[22.0, 20.0, 19.0, 21.0]);
+//! let normalized = model.normalized(custom, generic);
+//! assert!((0.45..0.55).contains(&normalized));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nre;
+mod packaging;
+mod recurring;
+
+pub use nre::NreModel;
+pub use packaging::{PackagingModel, PackagingTech};
+pub use recurring::RecurringModel;

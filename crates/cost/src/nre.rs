@@ -1,0 +1,207 @@
+//! Non-recurring engineering cost model (Chiplet-Actuary-style
+//! decomposition, Feng & Ma, DAC 2022).
+
+use serde::{Deserialize, Serialize};
+
+/// NRE cost decomposition for hardening chiplets at one process node.
+///
+/// Per chiplet *type*:
+/// * a full mask set,
+/// * design effort (labour + CAD seats) proportional to area,
+/// * verification effort proportional to area,
+/// * IP licensing (pads, PHY, controllers).
+///
+/// Per *system*:
+/// * 2.5-D package/interposer design, with a per-chiplet integration
+///   term (more die types ⇒ more interface co-design),
+/// * a small fixed base.
+///
+/// All values in millions of dollars. Absolute calibration does not
+/// matter for CLAIRE (results are normalised to the generic
+/// configuration); the *structure* — fixed-per-type dominating — does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NreModel {
+    /// Full mask-set cost per chiplet type, M$.
+    pub mask_set: f64,
+    /// Design effort per mm², M$/mm².
+    pub design_per_mm2: f64,
+    /// Verification effort per mm², M$/mm².
+    pub verification_per_mm2: f64,
+    /// IP licensing per chiplet type, M$.
+    pub ip_licensing: f64,
+    /// Package co-design effort per integrated chiplet, M$.
+    pub integration_per_chiplet: f64,
+    /// Fixed package/substrate design base, M$.
+    pub package_base: f64,
+}
+
+impl NreModel {
+    /// A 28-nm-class calibration: ≈1.5 M$ mask set, 0.02 M$/mm² design,
+    /// 0.01 M$/mm² verification, 0.3 M$ IP, 0.2 M$ integration per
+    /// chiplet, 0.05 M$ package base.
+    pub fn tsmc28() -> Self {
+        NreModel {
+            mask_set: 1.5,
+            design_per_mm2: 0.020,
+            verification_per_mm2: 0.010,
+            ip_licensing: 0.3,
+            integration_per_chiplet: 0.2,
+            package_base: 0.05,
+        }
+    }
+
+    /// A 16-nm-class calibration: mask sets ≈ 5 M$, roughly 2.5× the
+    /// per-area design/verification effort, costlier IP.
+    pub fn tsmc16() -> Self {
+        NreModel {
+            mask_set: 5.0,
+            design_per_mm2: 0.050,
+            verification_per_mm2: 0.025,
+            ip_licensing: 0.8,
+            integration_per_chiplet: 0.25,
+            package_base: 0.06,
+        }
+    }
+
+    /// A 7-nm-class calibration: mask sets ≈ 15 M$ and design effort
+    /// an order of magnitude above 28 nm — the regime where hardened
+    /// chiplet reuse stops being nice-to-have.
+    pub fn tsmc7() -> Self {
+        NreModel {
+            mask_set: 15.0,
+            design_per_mm2: 0.120,
+            verification_per_mm2: 0.060,
+            ip_licensing: 2.0,
+            integration_per_chiplet: 0.35,
+            package_base: 0.08,
+        }
+    }
+
+    /// NRE of hardening one chiplet type of the given area, M$.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area_mm2` is not finite and positive.
+    pub fn chiplet_nre(&self, area_mm2: f64) -> f64 {
+        assert!(
+            area_mm2.is_finite() && area_mm2 > 0.0,
+            "chiplet area must be positive, got {area_mm2}"
+        );
+        self.mask_set
+            + self.design_per_mm2 * area_mm2
+            + self.verification_per_mm2 * area_mm2
+            + self.ip_licensing
+    }
+
+    /// Total NRE of a design made of the given chiplet-type areas, M$.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chiplet_areas_mm2` is empty or contains a
+    /// non-positive area.
+    pub fn system_nre(&self, chiplet_areas_mm2: &[f64]) -> f64 {
+        assert!(
+            !chiplet_areas_mm2.is_empty(),
+            "a design needs at least one chiplet"
+        );
+        let dies: f64 = chiplet_areas_mm2
+            .iter()
+            .map(|&a| self.chiplet_nre(a))
+            .sum();
+        dies + self.integration_per_chiplet * chiplet_areas_mm2.len() as f64 + self.package_base
+    }
+
+    /// Normalises an NRE value against a reference (the paper divides
+    /// every configuration's cost by the generic configuration's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is not positive.
+    pub fn normalized(&self, nre: f64, reference: f64) -> f64 {
+        assert!(reference > 0.0, "reference NRE must be positive");
+        nre / reference
+    }
+}
+
+impl Default for NreModel {
+    fn default() -> Self {
+        Self::tsmc28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chiplet_nre_decomposition() {
+        let m = NreModel::tsmc28();
+        let nre = m.chiplet_nre(20.0);
+        assert!((nre - (1.5 + 0.4 + 0.2 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_costs_dominate_at_chiplet_scale() {
+        // A 20-mm² chiplet's NRE must be > 70 % fixed: the property
+        // that makes NRE ≈ proportional to chiplet-type count.
+        let m = NreModel::tsmc28();
+        let fixed = m.mask_set + m.ip_licensing;
+        assert!(fixed / m.chiplet_nre(20.0) > 0.7);
+    }
+
+    #[test]
+    fn two_vs_four_chiplets_is_about_half() {
+        let m = NreModel::tsmc28();
+        let two = m.system_nre(&[20.0, 20.0]);
+        let four = m.system_nre(&[20.0, 20.0, 20.0, 20.0]);
+        let r = m.normalized(two, four);
+        assert!((0.47..0.53).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn one_vs_four_chiplets_is_about_quarter() {
+        let m = NreModel::tsmc28();
+        let one = m.system_nre(&[20.0]);
+        let four = m.system_nre(&[20.0, 20.0, 20.0, 20.0]);
+        let r = m.normalized(one, four);
+        assert!((0.22..0.28).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn larger_chiplets_cost_more() {
+        let m = NreModel::tsmc28();
+        assert!(m.chiplet_nre(60.0) > m.chiplet_nre(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chiplet")]
+    fn empty_system_panics() {
+        NreModel::tsmc28().system_nre(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_area_panics() {
+        NreModel::tsmc28().chiplet_nre(-3.0);
+    }
+
+    #[test]
+    fn node_calibrations_escalate() {
+        let n28 = NreModel::tsmc28();
+        let n16 = NreModel::tsmc16();
+        let n7 = NreModel::tsmc7();
+        assert!(n16.mask_set > n28.mask_set);
+        assert!(n7.mask_set > 2.5 * n16.mask_set);
+        // A 20-mm²-class chiplet at 7 nm costs ~5-8x its 28-nm NRE.
+        let ratio = n7.chiplet_nre(20.0) / n28.chiplet_nre(20.0);
+        assert!((4.0..10.0).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = NreModel::tsmc28();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: NreModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

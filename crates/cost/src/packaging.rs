@@ -1,0 +1,226 @@
+//! 2.5-D packaging technology cost model — the remaining axis of the
+//! Chiplet-Actuary framework the paper's NRE comparison builds on:
+//! what the *package* (organic substrate, silicon interposer, or
+//! fan-out) adds per unit, and where the technologies cross over with
+//! volume.
+
+use crate::recurring::RecurringModel;
+use serde::{Deserialize, Serialize};
+
+/// Packaging technology families for 2.5-D integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackagingTech {
+    /// Flip-chip dies on an organic laminate (cheap carrier, coarse
+    /// bump pitch — fine for AIB-class parallel interfaces).
+    OrganicSubstrate,
+    /// Passive silicon interposer (CoWoS-class: fine pitch, expensive
+    /// carrier silicon, extra mask NRE).
+    SiliconInterposer,
+    /// Wafer-level integrated fan-out (InFO-class: intermediate cost
+    /// and pitch).
+    IntegratedFanout,
+}
+
+/// Cost parameters of one packaging technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackagingModel {
+    /// The technology family.
+    pub tech: PackagingTech,
+    /// Package design + tooling NRE, M$.
+    pub nre_musd: f64,
+    /// Carrier cost, $ per mm² of carrier.
+    pub carrier_cost_per_mm2: f64,
+    /// Carrier area overhead over the summed die area (routing ring,
+    /// keep-outs).
+    pub carrier_overhead: f64,
+    /// Assembly (bond + underfill) cost per die, $.
+    pub bond_cost_per_die: f64,
+    /// Assembly yield per bonded die (compounds with die count).
+    pub assembly_yield_per_die: f64,
+}
+
+impl PackagingModel {
+    /// Organic laminate: 0.1 M$ NRE, 0.002 $/mm², 4× carrier overhead,
+    /// 0.30 $/die bonding at 99.5 % per-die assembly yield.
+    pub fn organic_substrate() -> Self {
+        PackagingModel {
+            tech: PackagingTech::OrganicSubstrate,
+            nre_musd: 0.1,
+            carrier_cost_per_mm2: 0.002,
+            carrier_overhead: 4.0,
+            bond_cost_per_die: 0.30,
+            assembly_yield_per_die: 0.995,
+        }
+    }
+
+    /// Passive silicon interposer: 1.0 M$ NRE (coarse-node mask set),
+    /// 0.05 $/mm² carrier silicon, 20 % overhead, 0.60 $/die at
+    /// 98.5 % per-die assembly yield.
+    pub fn silicon_interposer() -> Self {
+        PackagingModel {
+            tech: PackagingTech::SiliconInterposer,
+            nre_musd: 1.0,
+            carrier_cost_per_mm2: 0.05,
+            carrier_overhead: 0.2,
+            bond_cost_per_die: 0.60,
+            assembly_yield_per_die: 0.985,
+        }
+    }
+
+    /// Integrated fan-out: 0.5 M$ NRE, 0.01 $/mm², 50 % overhead,
+    /// 0.50 $/die at 98 % per-die assembly yield.
+    pub fn integrated_fanout() -> Self {
+        PackagingModel {
+            tech: PackagingTech::IntegratedFanout,
+            nre_musd: 0.5,
+            carrier_cost_per_mm2: 0.01,
+            carrier_overhead: 0.5,
+            bond_cost_per_die: 0.50,
+            assembly_yield_per_die: 0.98,
+        }
+    }
+
+    /// All three technology presets.
+    pub fn all() -> [PackagingModel; 3] {
+        [
+            Self::organic_substrate(),
+            Self::silicon_interposer(),
+            Self::integrated_fanout(),
+        ]
+    }
+
+    /// Per-unit packaged cost: known-good dies + carrier + assembly,
+    /// divided by the compounded assembly yield (a failed bond scraps
+    /// the whole package).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_areas_mm2` is empty.
+    pub fn unit_cost(&self, re: &RecurringModel, die_areas_mm2: &[f64]) -> f64 {
+        assert!(!die_areas_mm2.is_empty(), "a package needs dies");
+        let dies: f64 = die_areas_mm2.iter().map(|&a| re.good_die_cost(a)).sum();
+        let total_area: f64 = die_areas_mm2.iter().sum();
+        let carrier = total_area * (1.0 + self.carrier_overhead) * self.carrier_cost_per_mm2;
+        let bonding = self.bond_cost_per_die * die_areas_mm2.len() as f64;
+        let assembly_yield = self
+            .assembly_yield_per_die
+            .powi(die_areas_mm2.len() as i32);
+        (dies + carrier + bonding) / assembly_yield
+    }
+
+    /// Total per-unit cost at a production `volume`, amortising this
+    /// package's NRE (die NRE is accounted separately by
+    /// [`crate::NreModel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volume` is zero.
+    pub fn amortised_unit_cost(
+        &self,
+        re: &RecurringModel,
+        die_areas_mm2: &[f64],
+        volume: u64,
+    ) -> f64 {
+        assert!(volume > 0, "volume must be positive");
+        self.unit_cost(re, die_areas_mm2) + self.nre_musd * 1e6 / volume as f64
+    }
+
+    /// The production volume at which `self` becomes cheaper than
+    /// `other` for the given die set (None when it never does, or is
+    /// always cheaper).
+    pub fn crossover_volume(
+        &self,
+        other: &PackagingModel,
+        re: &RecurringModel,
+        die_areas_mm2: &[f64],
+    ) -> Option<u64> {
+        let du = other.unit_cost(re, die_areas_mm2) - self.unit_cost(re, die_areas_mm2);
+        let dn = (self.nre_musd - other.nre_musd) * 1e6;
+        if du <= 0.0 || dn <= 0.0 {
+            return None; // self never overtakes, or was always ahead
+        }
+        Some((dn / du).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re() -> RecurringModel {
+        RecurringModel::tsmc28()
+    }
+
+    #[test]
+    fn organic_is_cheapest_per_unit_interposer_most_capable_nre() {
+        let dies = [20.0, 20.0];
+        let organic = PackagingModel::organic_substrate();
+        let interposer = PackagingModel::silicon_interposer();
+        let fanout = PackagingModel::integrated_fanout();
+        assert!(organic.unit_cost(&re(), &dies) < fanout.unit_cost(&re(), &dies));
+        assert!(fanout.unit_cost(&re(), &dies) < interposer.unit_cost(&re(), &dies));
+        assert!(organic.nre_musd < fanout.nre_musd);
+        assert!(fanout.nre_musd < interposer.nre_musd);
+    }
+
+    #[test]
+    fn assembly_yield_compounds_with_die_count() {
+        let p = PackagingModel::integrated_fanout();
+        // Same silicon split into more dies pays more assembly scrap.
+        let two = p.unit_cost(&re(), &[40.0, 40.0]);
+        let eight = p.unit_cost(&re(), &[10.0; 8]);
+        assert!(eight > two);
+    }
+
+    #[test]
+    fn amortisation_decreases_with_volume() {
+        let p = PackagingModel::silicon_interposer();
+        let dies = [30.0, 30.0];
+        let low = p.amortised_unit_cost(&re(), &dies, 1_000);
+        let high = p.amortised_unit_cost(&re(), &dies, 1_000_000);
+        assert!(low > high);
+        assert!((high - p.unit_cost(&re(), &dies)).abs() < 2.0);
+    }
+
+    #[test]
+    fn organic_overtakes_interposer_at_some_volume() {
+        // Organic has lower NRE *and* lower unit cost here, so the
+        // interposer never overtakes it...
+        let dies = [25.0, 25.0];
+        let organic = PackagingModel::organic_substrate();
+        let interposer = PackagingModel::silicon_interposer();
+        assert_eq!(
+            interposer.crossover_volume(&organic, &re(), &dies),
+            None
+        );
+        // ...and organic is ahead from the start (lower NRE), so the
+        // crossover question is moot in that direction too.
+        assert_eq!(organic.crossover_volume(&interposer, &re(), &dies), None);
+    }
+
+    #[test]
+    fn crossover_math_on_synthetic_case() {
+        // Force a genuine crossover: high-NRE tech with cheaper units.
+        let cheap_units = PackagingModel {
+            nre_musd: 2.0,
+            carrier_cost_per_mm2: 0.0005,
+            bond_cost_per_die: 0.05,
+            ..PackagingModel::organic_substrate()
+        };
+        let low_nre = PackagingModel::organic_substrate();
+        let dies = [25.0, 25.0];
+        let v = cheap_units
+            .crossover_volume(&low_nre, &re(), &dies)
+            .expect("crossover exists");
+        // At the crossover volume the amortised costs meet.
+        let a = cheap_units.amortised_unit_cost(&re(), &dies, v);
+        let b = low_nre.amortised_unit_cost(&re(), &dies, v);
+        assert!((a - b).abs() / b < 0.01, "{a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs dies")]
+    fn empty_package_panics() {
+        PackagingModel::organic_substrate().unit_cost(&re(), &[]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Yield-based recurring (per-unit) die cost — the other half of the
+//! Chiplet-Actuary cost model. The paper's headline results use only
+//! NRE; this model backs the monolithic-vs-chiplet ablation bench and
+//! the "area wall" motivation (larger dies ⇒ collapsing yield).
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Wafer/yield parameters for per-die manufacturing cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecurringModel {
+    /// Wafer diameter, mm (300 for the usual 12-inch line).
+    pub wafer_diameter_mm: f64,
+    /// Processed-wafer cost, $.
+    pub wafer_cost: f64,
+    /// Defect density, defects per mm².
+    pub defect_density_per_mm2: f64,
+    /// Negative-binomial clustering parameter α.
+    pub clustering_alpha: f64,
+    /// Per-die assembly/bonding cost for 2.5-D integration, $.
+    pub bonding_cost_per_die: f64,
+}
+
+impl RecurringModel {
+    /// 28-nm-class defaults: 3 000 $ wafers, D0 = 0.001/mm²
+    /// (0.1/cm²), α = 3, 0.5 $ bonding per die.
+    pub fn tsmc28() -> Self {
+        RecurringModel {
+            wafer_diameter_mm: 300.0,
+            wafer_cost: 3_000.0,
+            defect_density_per_mm2: 0.001,
+            clustering_alpha: 3.0,
+            bonding_cost_per_die: 0.5,
+        }
+    }
+
+    /// Gross dies per wafer for a square die of `area_mm2` (classic
+    /// edge-loss approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area_mm2` is not finite and positive.
+    pub fn dies_per_wafer(&self, area_mm2: f64) -> f64 {
+        assert!(
+            area_mm2.is_finite() && area_mm2 > 0.0,
+            "die area must be positive"
+        );
+        let d = self.wafer_diameter_mm;
+        let per = PI * d * d / (4.0 * area_mm2) - PI * d / (2.0 * area_mm2).sqrt();
+        per.max(0.0)
+    }
+
+    /// Die yield under the negative-binomial model:
+    /// `Y = (1 + A·D0/α)^(−α)`.
+    pub fn yield_fraction(&self, area_mm2: f64) -> f64 {
+        (1.0 + area_mm2 * self.defect_density_per_mm2 / self.clustering_alpha)
+            .powf(-self.clustering_alpha)
+    }
+
+    /// Cost of one *good* die, $.
+    pub fn good_die_cost(&self, area_mm2: f64) -> f64 {
+        let gross = self.dies_per_wafer(area_mm2);
+        assert!(gross > 0.0, "die of {area_mm2} mm² does not fit the wafer");
+        self.wafer_cost / (gross * self.yield_fraction(area_mm2))
+    }
+
+    /// Per-unit cost of a multi-chiplet system: good-die costs plus
+    /// bonding per die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chiplet_areas_mm2` is empty.
+    pub fn system_unit_cost(&self, chiplet_areas_mm2: &[f64]) -> f64 {
+        assert!(
+            !chiplet_areas_mm2.is_empty(),
+            "a system needs at least one die"
+        );
+        chiplet_areas_mm2
+            .iter()
+            .map(|&a| self.good_die_cost(a) + self.bonding_cost_per_die)
+            .sum()
+    }
+}
+
+impl Default for RecurringModel {
+    fn default() -> Self {
+        Self::tsmc28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_decreases_with_area() {
+        let m = RecurringModel::tsmc28();
+        assert!(m.yield_fraction(10.0) > m.yield_fraction(100.0));
+        assert!(m.yield_fraction(100.0) > m.yield_fraction(600.0));
+    }
+
+    #[test]
+    fn yield_is_a_probability() {
+        let m = RecurringModel::tsmc28();
+        for a in [1.0, 50.0, 400.0, 800.0] {
+            let y = m.yield_fraction(a);
+            assert!((0.0..=1.0).contains(&y), "{y}");
+        }
+    }
+
+    #[test]
+    fn dies_per_wafer_sane() {
+        let m = RecurringModel::tsmc28();
+        // A 100-mm² die on a 300-mm wafer: several hundred dies.
+        let d = m.dies_per_wafer(100.0);
+        assert!((400.0..700.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn area_wall_two_halves_beat_one_large_die() {
+        // The paper's motivation: splitting a large monolithic die into
+        // chiplets improves cost once yield loss dominates bonding.
+        let m = RecurringModel {
+            defect_density_per_mm2: 0.003, // stressed yield corner
+            ..RecurringModel::tsmc28()
+        };
+        let monolithic = m.system_unit_cost(&[500.0]);
+        let split = m.system_unit_cost(&[250.0, 250.0]);
+        assert!(split < monolithic, "{split} !< {monolithic}");
+    }
+
+    #[test]
+    fn tiny_dies_pay_bonding_overhead() {
+        // "How small is too small": 16 tiny dies cost more than 2
+        // medium ones of equal total area because of per-die bonding.
+        let m = RecurringModel {
+            bonding_cost_per_die: 2.0,
+            ..RecurringModel::tsmc28()
+        };
+        let two = m.system_unit_cost(&[40.0, 40.0]);
+        let sixteen = m.system_unit_cost(&[5.0; 16]);
+        assert!(sixteen > two);
+    }
+
+    #[test]
+    fn good_die_cost_monotone_in_area() {
+        let m = RecurringModel::tsmc28();
+        assert!(m.good_die_cost(50.0) > m.good_die_cost(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_panics() {
+        RecurringModel::tsmc28().dies_per_wafer(0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Single-linkage agglomerative clustering over an arbitrary pairwise
+//! similarity — the mechanism behind Algorithm 1 line 14: "Separate the
+//! algorithms into different subsets (TR_k) based on weighted Jaccard
+//! Similarity".
+
+/// Groups `items` into clusters: two items end up in the same cluster
+/// when they are connected by a chain of pairs whose similarity is at
+/// least `threshold` (single linkage).
+///
+/// Returns clusters of item *indices*, each sorted, the cluster list
+/// sorted by its smallest member — deterministic for a deterministic
+/// `similarity`.
+///
+/// Single linkage is the right shape for the paper's subsets: a family
+/// like {MobileNetV2 … VGG-16} spans a wide compute range, but adjacent
+/// members are pairwise similar, so the chain keeps the family together
+/// while disconnected singletons (PEANUT, GPT-2, Whisper) stay alone.
+///
+/// # Panics
+///
+/// Panics if `similarity` returns NaN.
+///
+/// # Example
+///
+/// ```
+/// use claire_graph::agglomerate_by;
+///
+/// let xs = [1.0_f64, 1.1, 5.0, 5.05, 40.0];
+/// let clusters = agglomerate_by(xs.len(), 0.8, |i, j| {
+///     let (a, b) = (xs[i], xs[j]);
+///     a.min(b) / a.max(b)
+/// });
+/// assert_eq!(clusters, vec![vec![0, 1], vec![2, 3], vec![4]]);
+/// ```
+pub fn agglomerate_by<F>(n: usize, threshold: f64, mut similarity: F) -> Vec<Vec<usize>>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    // Union-find over item indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = similarity(i, j);
+            assert!(!s.is_nan(), "similarity({i}, {j}) is NaN");
+            if s >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    let (lo, hi) = (ri.min(rj), ri.max(rj));
+                    parent[hi] = lo;
+                }
+            }
+        }
+    }
+
+    let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        clusters.entry(r).or_default().push(i);
+    }
+    clusters.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_gives_no_clusters() {
+        let c = agglomerate_by(0, 0.5, |_, _| 1.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn all_similar_gives_one_cluster() {
+        let c = agglomerate_by(4, 0.5, |_, _| 0.9);
+        assert_eq!(c, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn all_dissimilar_gives_singletons() {
+        let c = agglomerate_by(3, 0.5, |_, _| 0.1);
+        assert_eq!(c, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn chaining_links_transitively() {
+        // 0~1 and 1~2 similar, 0~2 not: single linkage joins all three.
+        let sim = |i: usize, j: usize| {
+            if i.abs_diff(j) == 1 {
+                0.9
+            } else {
+                0.0
+            }
+        };
+        let c = agglomerate_by(3, 0.5, sim);
+        assert_eq!(c, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let c = agglomerate_by(2, 0.5, |_, _| 0.5);
+        assert_eq!(c, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_similarity_panics() {
+        agglomerate_by(2, 0.5, |_, _| f64::NAN);
+    }
+}

@@ -1,0 +1,160 @@
+//! Weighted Jaccard similarity over node-weight vectors.
+//!
+//! The paper uses it twice: Algorithm 1 line 14 ("Separate the
+//! algorithms into different subsets based on weighted Jaccard
+//! Similarity") and Step #TT1 (test algorithms are assigned to the
+//! library configuration with the highest similarity).
+
+use std::collections::BTreeMap;
+
+/// Weighted Jaccard similarity between two non-negative weight vectors:
+///
+/// `J_w(x, y) = Σ_u min(x_u, y_u) / Σ_u max(x_u, y_u)`
+///
+/// where `u` ranges over the union of keys. Quantifies "the similarity
+/// between two algorithms by comparing the ratio of the intersection of
+/// their nodes to the union of their nodes", weighted by how much work
+/// each node performs.
+///
+/// Returns a value in `[0, 1]`; two empty (or all-zero) vectors are
+/// defined as similarity `1.0`.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or NaN — weights are execution
+/// counts / work volumes and must be non-negative.
+///
+/// # Example
+///
+/// ```
+/// use claire_graph::weighted_jaccard;
+/// use std::collections::BTreeMap;
+///
+/// let a: BTreeMap<_, _> = [("CONV2D", 8.0), ("RELU", 2.0)].into();
+/// let b: BTreeMap<_, _> = [("CONV2D", 4.0), ("RELU", 2.0)].into();
+/// let j = weighted_jaccard(&a, &b);
+/// assert!((j - 0.6).abs() < 1e-12); // (4+2)/(8+2)
+/// ```
+pub fn weighted_jaccard<K: Ord>(a: &BTreeMap<K, f64>, b: &BTreeMap<K, f64>) -> f64 {
+    let mut min_sum = 0.0;
+    let mut max_sum = 0.0;
+
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+
+    fn check(w: f64) -> f64 {
+        assert!(
+            w >= 0.0,
+            "weighted_jaccard requires non-negative weights"
+        );
+        w
+    }
+
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&(ka, &wa)), Some(&(kb, &wb))) => match ka.cmp(kb) {
+                std::cmp::Ordering::Less => {
+                    max_sum += check(wa);
+                    ia.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    max_sum += check(wb);
+                    ib.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    min_sum += check(wa).min(check(wb));
+                    max_sum += wa.max(wb);
+                    ia.next();
+                    ib.next();
+                }
+            },
+            (Some(&(_, &wa)), None) => {
+                max_sum += check(wa);
+                ia.next();
+            }
+            (None, Some(&(_, &wb))) => {
+                max_sum += check(wb);
+                ib.next();
+            }
+            (None, None) => break,
+        }
+    }
+
+    if max_sum == 0.0 {
+        1.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(&'static str, f64)]) -> BTreeMap<&'static str, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_vectors_have_similarity_one() {
+        let a = v(&[("x", 3.0), ("y", 7.0)]);
+        assert_eq!(weighted_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_vectors_have_similarity_zero() {
+        let a = v(&[("x", 3.0)]);
+        let b = v(&[("y", 5.0)]);
+        assert_eq!(weighted_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = v(&[("x", 3.0), ("y", 1.0)]);
+        let b = v(&[("x", 1.0), ("z", 4.0)]);
+        assert_eq!(weighted_jaccard(&a, &b), weighted_jaccard(&b, &a));
+    }
+
+    #[test]
+    fn known_value() {
+        // min: x 1, y 0, z 0 = 1; max: x 3 + y 1 + z 4 = 8.
+        let a = v(&[("x", 3.0), ("y", 1.0)]);
+        let b = v(&[("x", 1.0), ("z", 4.0)]);
+        assert!((weighted_jaccard(&a, &b) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vectors_are_fully_similar() {
+        let a: BTreeMap<&str, f64> = BTreeMap::new();
+        assert_eq!(weighted_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn scale_sensitivity_groups_similar_sized_models() {
+        // A small model is more similar to another small model with the
+        // same node set than to a huge one — the property that keeps
+        // Swin-T with the CNNs rather than with the large transformers.
+        let small1 = v(&[("LINEAR", 4.0), ("GELU", 1.0)]);
+        let small2 = v(&[("LINEAR", 5.0), ("GELU", 1.0)]);
+        let huge = v(&[("LINEAR", 400.0), ("GELU", 90.0)]);
+        assert!(
+            weighted_jaccard(&small1, &small2) > weighted_jaccard(&small1, &huge),
+            "scale must matter"
+        );
+    }
+
+    #[test]
+    fn zero_weight_keys_do_not_contribute() {
+        let a = v(&[("x", 0.0), ("y", 2.0)]);
+        let b = v(&[("y", 2.0)]);
+        assert_eq!(weighted_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let a = v(&[("x", -1.0)]);
+        let b = v(&[("x", 1.0)]);
+        weighted_jaccard(&a, &b);
+    }
+}

@@ -1,0 +1,474 @@
+//! Louvain community detection (Blondel et al., 2008), implemented
+//! from scratch for the chiplet-clustering step of CLAIRE.
+//!
+//! "The clustering algorithm groups nodes based on edge weights,
+//! grouping frequently communicating nodes together and placing nodes
+//! with low inter-node communication in different chiplets to reduce
+//! NoP communication energy overhead" — i.e. classic modularity
+//! maximisation over the communication-volume graph.
+
+use crate::graph::WeightedGraph;
+
+/// A disjoint partition of a graph's nodes into communities
+/// ("chiplets" in the CLAIRE flow).
+///
+/// Communities are sorted by their smallest member, and members within
+/// a community are sorted, so results are fully deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition<N> {
+    communities: Vec<Vec<N>>,
+}
+
+impl<N: Ord + Clone> Partition<N> {
+    /// Builds a partition from explicit communities (e.g. a baseline
+    /// to compare modularity against). Members are sorted and
+    /// communities ordered by smallest member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node appears in more than one community or a
+    /// community is empty.
+    pub fn from_communities(mut communities: Vec<Vec<N>>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &communities {
+            assert!(!c.is_empty(), "empty community");
+            for n in c {
+                assert!(seen.insert(n.clone()), "node appears in two communities");
+            }
+        }
+        for c in &mut communities {
+            c.sort();
+        }
+        communities.sort_by(|a, b| a[0].cmp(&b[0]));
+        Partition { communities }
+    }
+
+    /// The communities, each a sorted list of node keys.
+    pub fn communities(&self) -> &[Vec<N>] {
+        &self.communities
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// True when the partition is empty (empty input graph).
+    pub fn is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Community sizes, in community order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.communities.iter().map(Vec::len).collect()
+    }
+
+    /// The community index containing `n`, if any.
+    pub fn community_of(&self, n: &N) -> Option<usize> {
+        self.communities
+            .iter()
+            .position(|c| c.binary_search(n).is_ok())
+    }
+
+    fn from_assignment(nodes: &[N], assignment: &[usize]) -> Self {
+        let max = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut communities: Vec<Vec<N>> = vec![Vec::new(); max];
+        for (i, &c) in assignment.iter().enumerate() {
+            communities[c].push(nodes[i].clone());
+        }
+        communities.retain(|c| !c.is_empty());
+        for c in &mut communities {
+            c.sort();
+        }
+        communities.sort_by(|a, b| a[0].cmp(&b[0]));
+        Partition { communities }
+    }
+}
+
+/// Dense internal graph used during the passes.
+struct Dense {
+    /// adj[i] = (neighbor, weight) with i != neighbor.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// A_ii / 2 (raw self-loop weight).
+    self_loop: Vec<f64>,
+    /// k_i = Σ_j≠i A_ij + 2·self_loop_i.
+    degree: Vec<f64>,
+    /// 2m = Σ_i k_i.
+    m2: f64,
+}
+
+impl Dense {
+    fn from_graph<N: Ord + Clone>(g: &WeightedGraph<N>, index: &[N]) -> Self {
+        let n = index.len();
+        let pos = |k: &N| index.binary_search(k).expect("node in index");
+        let mut adj = vec![Vec::new(); n];
+        let mut self_loop = vec![0.0; n];
+        for ((a, b), w) in g.undirected_edges() {
+            let (i, j) = (pos(&a), pos(&b));
+            if i == j {
+                self_loop[i] += w;
+            } else {
+                adj[i].push((j, w));
+                adj[j].push((i, w));
+            }
+        }
+        let mut degree = vec![0.0; n];
+        let mut m2 = 0.0;
+        for i in 0..n {
+            let k: f64 = adj[i].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self_loop[i];
+            degree[i] = k;
+            m2 += k;
+        }
+        Dense {
+            adj,
+            self_loop,
+            degree,
+            m2,
+        }
+    }
+
+    /// One local-moving phase; returns the node→community assignment
+    /// and whether anything moved.
+    fn local_move(&self, resolution: f64) -> (Vec<usize>, bool) {
+        let n = self.adj.len();
+        let mut community: Vec<usize> = (0..n).collect();
+        let mut comm_degree = self.degree.clone();
+        let mut any_moved = false;
+        // weight from node i to each community, sparse scratch.
+        let mut w_to: Vec<f64> = vec![0.0; n];
+        let mut touched: Vec<usize> = Vec::new();
+
+        loop {
+            let mut moved = false;
+            for i in 0..n {
+                let old = community[i];
+                // Gather weights to neighbouring communities.
+                for &(j, w) in &self.adj[i] {
+                    let c = community[j];
+                    if w_to[c] == 0.0 {
+                        touched.push(c);
+                    }
+                    w_to[c] += w;
+                }
+                // Remove i from its community.
+                comm_degree[old] -= self.degree[i];
+
+                // Best community by modularity gain:
+                // ΔQ ∝ w_to[c] − γ · k_i · Σ_tot(c) / 2m
+                let mut best = old;
+                let mut best_gain =
+                    w_to[old] - resolution * self.degree[i] * comm_degree[old] / self.m2;
+                for &c in &touched {
+                    let gain = w_to[c] - resolution * self.degree[i] * comm_degree[c] / self.m2;
+                    if gain > best_gain + 1e-12 || (gain > best_gain - 1e-12 && c < best) {
+                        best = c;
+                        best_gain = gain;
+                    }
+                }
+
+                comm_degree[best] += self.degree[i];
+                if best != old {
+                    community[i] = best;
+                    moved = true;
+                    any_moved = true;
+                }
+                for &c in &touched {
+                    w_to[c] = 0.0;
+                }
+                touched.clear();
+            }
+            if !moved {
+                break;
+            }
+        }
+        (community, any_moved)
+    }
+
+    /// Aggregates communities into super-nodes.
+    fn aggregate(&self, community: &[usize]) -> (Dense, Vec<usize>) {
+        // Renumber communities densely.
+        let mut renum = vec![usize::MAX; community.len()];
+        let mut next = 0;
+        for &c in community {
+            if renum[c] == usize::MAX {
+                renum[c] = next;
+                next += 1;
+            }
+        }
+        let mapping: Vec<usize> = community.iter().map(|&c| renum[c]).collect();
+
+        let mut self_loop = vec![0.0; next];
+        let mut pair_w: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for (i, &ci) in mapping.iter().enumerate() {
+            self_loop[ci] += self.self_loop[i];
+            for &(j, w) in &self.adj[i] {
+                if j < i {
+                    continue; // each undirected pair once
+                }
+                let cj = mapping[j];
+                if ci == cj {
+                    self_loop[ci] += w;
+                } else {
+                    let key = (ci.min(cj), ci.max(cj));
+                    *pair_w.entry(key).or_insert(0.0) += w;
+                }
+            }
+        }
+        let mut adj = vec![Vec::new(); next];
+        for (&(a, b), &w) in &pair_w {
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+        }
+        let mut degree = vec![0.0; next];
+        let mut m2 = 0.0;
+        for i in 0..next {
+            let k: f64 = adj[i].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self_loop[i];
+            degree[i] = k;
+            m2 += k;
+        }
+        (
+            Dense {
+                adj,
+                self_loop,
+                degree,
+                m2,
+            },
+            mapping,
+        )
+    }
+}
+
+/// Runs Louvain modularity clustering on the undirected view of `g`.
+///
+/// `resolution` is the γ of generalised modularity: 1.0 is classic
+/// Louvain; higher values produce more, smaller communities (more
+/// chiplets), lower values fewer, larger ones.
+///
+/// Nodes with no edges each form their own community. Deterministic:
+/// ties are broken toward the smaller community index and nodes are
+/// visited in key order.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not finite and positive.
+pub fn louvain<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partition<N> {
+    assert!(
+        resolution.is_finite() && resolution > 0.0,
+        "resolution must be positive"
+    );
+    let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
+    if index.is_empty() {
+        return Partition {
+            communities: Vec::new(),
+        };
+    }
+    let dense = Dense::from_graph(g, &index);
+    if dense.m2 == 0.0 {
+        // No edges: singleton communities.
+        let assignment: Vec<usize> = (0..index.len()).collect();
+        return Partition::from_assignment(&index, &assignment);
+    }
+
+    // node -> current community, threaded through passes.
+    let mut assignment: Vec<usize> = (0..index.len()).collect();
+    let mut level = dense;
+    loop {
+        let (community, moved) = level.local_move(resolution);
+        if !moved {
+            break;
+        }
+        let (aggregated, mapping) = level.aggregate(&community);
+        for a in &mut assignment {
+            *a = mapping[*a];
+        }
+        if aggregated.adj.len() == level.adj.len() {
+            break;
+        }
+        level = aggregated;
+    }
+    Partition::from_assignment(&index, &assignment)
+}
+
+/// Generalised modularity `Q` of a partition:
+///
+/// `Q = (1/2m) Σ_ij (A_ij − γ·k_i·k_j/2m) δ(c_i, c_j)`
+///
+/// with `A_ii` twice the self-loop weight (the standard convention).
+/// Returns 0.0 for graphs without edges.
+pub fn modularity<N: Ord + Clone>(
+    g: &WeightedGraph<N>,
+    partition: &Partition<N>,
+    resolution: f64,
+) -> f64 {
+    let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
+    if index.is_empty() {
+        return 0.0;
+    }
+    let dense = Dense::from_graph(g, &index);
+    if dense.m2 == 0.0 {
+        return 0.0;
+    }
+    let comm: Vec<usize> = index
+        .iter()
+        .map(|n| partition.community_of(n).expect("partition covers graph"))
+        .collect();
+
+    let mut q = 0.0;
+    for i in 0..index.len() {
+        // Self-loop term: A_ii = 2·self_loop.
+        q += 2.0 * dense.self_loop[i]
+            - resolution * dense.degree[i] * dense.degree[i] / dense.m2;
+        for &(j, w) in &dense.adj[i] {
+            if comm[i] == comm[j] {
+                q += w - resolution * dense.degree[i] * dense.degree[j] / dense.m2;
+            }
+        }
+    }
+    // Correct the pair terms we skipped: the loop above double-counts
+    // nothing (adj lists both directions), but misses k_i·k_j penalties
+    // for non-adjacent same-community pairs.
+    for i in 0..index.len() {
+        for j in 0..index.len() {
+            if i != j
+                && comm[i] == comm[j]
+                && !dense.adj[i].iter().any(|&(nb, _)| nb == j)
+            {
+                q -= resolution * dense.degree[i] * dense.degree[j] / dense.m2;
+            }
+        }
+    }
+    q / dense.m2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> WeightedGraph<u32> {
+        let mut g = WeightedGraph::new();
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 10.0);
+        }
+        g.add_edge(2, 3, 0.5);
+        g
+    }
+
+    #[test]
+    fn splits_two_triangles() {
+        let p = louvain(&two_triangles(), 1.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.communities()[0], vec![0, 1, 2]);
+        assert_eq!(p.communities()[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn complete_graph_is_one_community() {
+        let mut g = WeightedGraph::new();
+        for i in 0..5_u32 {
+            for j in (i + 1)..5 {
+                g.add_edge(i, j, 1.0);
+            }
+        }
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn star_graph_is_one_community() {
+        let mut g = WeightedGraph::new();
+        for i in 1..6_u32 {
+            g.add_edge(0, i, 5.0);
+        }
+        assert_eq!(louvain(&g, 1.0).len(), 1);
+    }
+
+    #[test]
+    fn edgeless_nodes_are_singletons() {
+        let mut g = WeightedGraph::new();
+        g.add_node("a", 1.0);
+        g.add_node("b", 1.0);
+        let p = louvain(&g, 1.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_empty_partition() {
+        let g: WeightedGraph<u32> = WeightedGraph::new();
+        assert!(louvain(&g, 1.0).is_empty());
+    }
+
+    #[test]
+    fn higher_resolution_never_fewer_communities() {
+        let g = two_triangles();
+        let low = louvain(&g, 0.5).len();
+        let high = louvain(&g, 3.0).len();
+        assert!(high >= low);
+    }
+
+    #[test]
+    fn louvain_beats_singletons_on_modularity() {
+        let g = two_triangles();
+        let p = louvain(&g, 1.0);
+        let singles = Partition {
+            communities: (0..6_u32).map(|i| vec![i]).collect(),
+        };
+        assert!(modularity(&g, &p, 1.0) > modularity(&g, &singles, 1.0));
+    }
+
+    #[test]
+    fn modularity_known_value_single_edge() {
+        // One edge: all-in-one community. Q = (1/2m)Σ(A_ij - k_i k_j/2m)
+        // = [ (1-1/2)*2 ] / 2 = 0.0? With m2=2: pairs (0,1),(1,0): each
+        // w=1, penalty 1*1/2 -> contribution 2*(1-0.5)=1, and self
+        // penalties -1*1/2 each = -1. Total 0 -> Q=0.
+        let mut g = WeightedGraph::new();
+        g.add_edge(0_u32, 1, 1.0);
+        let p = Partition {
+            communities: vec![vec![0, 1]],
+        };
+        assert!((modularity(&g, &p, 1.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_two_cliques_ideal_split() {
+        // Classic: two disconnected edges, split communities -> Q = 0.5.
+        let mut g = WeightedGraph::new();
+        g.add_edge(0_u32, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let p = Partition {
+            communities: vec![vec![0, 1], vec![2, 3]],
+        };
+        assert!((modularity(&g, &p, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_keep_node_in_place() {
+        let mut g = WeightedGraph::new();
+        g.add_edge(0_u32, 0, 100.0);
+        g.add_edge(0, 1, 1.0);
+        let p = louvain(&g, 1.0);
+        // Strong self-communication does not force a split.
+        assert!(p.len() <= 2);
+        assert_eq!(
+            p.communities().iter().map(|c| c.len()).sum::<usize>(),
+            2
+        );
+    }
+
+    #[test]
+    fn community_of_finds_members() {
+        let p = louvain(&two_triangles(), 1.0);
+        assert_eq!(p.community_of(&0), Some(0));
+        assert_eq!(p.community_of(&5), Some(1));
+        assert_eq!(p.community_of(&99), None);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = two_triangles();
+        let a = louvain(&g, 1.0);
+        let b = louvain(&g, 1.0);
+        assert_eq!(a, b);
+    }
+}

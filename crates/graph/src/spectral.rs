@@ -1,0 +1,312 @@
+//! Spectral bisection — an alternative chiplet-partitioning strategy
+//! used by the clustering ablation bench.
+//!
+//! Classic Fiedler-vector partitioning: split the graph by the sign
+//! structure of the second-smallest eigenvector of the weighted
+//! Laplacian `L = D − A`. Computed with deterministic shifted power
+//! iteration (no linear-algebra dependency), deflating the trivial
+//! all-ones eigenvector.
+
+use crate::graph::WeightedGraph;
+use crate::louvain::Partition;
+
+/// Bisects `g` along its Fiedler vector.
+///
+/// Returns a two-community [`Partition`] (single-community for graphs
+/// with fewer than two nodes or no edges; exact connected components
+/// when the graph is disconnected and the Fiedler value is ~0).
+///
+/// Deterministic: the power iteration starts from a fixed hash-seeded
+/// vector and runs a fixed `iterations` count (≥ 50 recommended).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn spectral_bisect<N: Ord + Clone>(g: &WeightedGraph<N>, iterations: usize) -> Partition<N> {
+    assert!(iterations > 0, "iterations must be positive");
+    let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
+    let n = index.len();
+    if n < 2 {
+        return Partition::from_communities(if n == 0 {
+            Vec::new()
+        } else {
+            vec![index]
+        });
+    }
+
+    // Dense adjacency (self-loops do not affect the Laplacian).
+    let pos = |k: &N| index.binary_search(k).expect("node in index");
+    let mut adj = vec![vec![0.0_f64; n]; n];
+    let mut degree = vec![0.0_f64; n];
+    let mut has_edges = false;
+    for ((a, b), w) in g.undirected_edges() {
+        let (i, j) = (pos(&a), pos(&b));
+        if i == j {
+            continue;
+        }
+        adj[i][j] += w;
+        adj[j][i] += w;
+        degree[i] += w;
+        degree[j] += w;
+        has_edges = true;
+    }
+    if !has_edges {
+        return Partition::from_communities(vec![index]);
+    }
+
+    // Power iteration on M = c·I − L (largest eigenvector of M is the
+    // smallest of L, the all-ones vector; deflate it to reach the
+    // Fiedler vector).
+    let c = 2.0 * degree.iter().cloned().fold(0.0, f64::max) + 1.0;
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| {
+            // Deterministic pseudo-random init (Knuth multiplicative).
+            let h = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(97);
+            ((h % 1000) as f64) / 1000.0 - 0.5
+        })
+        .collect();
+    deflate_and_normalise(&mut v);
+
+    let mut next = vec![0.0; n];
+    for _ in 0..iterations {
+        for i in 0..n {
+            // (c·I − L)v = c·v − D·v + A·v
+            let mut acc = (c - degree[i]) * v[i];
+            for j in 0..n {
+                acc += adj[i][j] * v[j];
+            }
+            next[i] = acc;
+        }
+        std::mem::swap(&mut v, &mut next);
+        deflate_and_normalise(&mut v);
+    }
+
+    // Split at the balance-weighted largest gap in the sorted Fiedler
+    // components: a clean sign structure (clustered graph) has one
+    // dominant gap; a degenerate spectrum (complete graph) falls back
+    // toward a balanced cut via the weighting.
+    let mut sorted = v.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut best_pos = n / 2;
+    let mut best_score = f64::NEG_INFINITY;
+    for pos in 1..n {
+        let gap = sorted[pos] - sorted[pos - 1];
+        let balance = pos.min(n - pos) as f64;
+        let score = gap * balance;
+        if score > best_score + 1e-15 {
+            best_score = score;
+            best_pos = pos;
+        }
+    }
+    let threshold = (sorted[best_pos - 1] + sorted[best_pos]) / 2.0;
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (i, node) in index.into_iter().enumerate() {
+        if v[i] < threshold {
+            left.push(node);
+        } else {
+            right.push(node);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        // Degenerate (e.g. all components equal): one community.
+        let mut all = left;
+        all.extend(right);
+        return Partition::from_communities(vec![all]);
+    }
+    Partition::from_communities(vec![left, right])
+}
+
+/// Recursive spectral clustering into (at most) `k` parts: repeatedly
+/// bisect the currently largest community along its Fiedler vector.
+///
+/// Stops early when every community is a single node or a bisection
+/// fails to split (disconnected or degenerate parts), so the result
+/// may have fewer than `k` communities.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `iterations` is zero.
+pub fn spectral_cluster<N: Ord + Clone>(
+    g: &WeightedGraph<N>,
+    k: usize,
+    iterations: usize,
+) -> Partition<N> {
+    assert!(k > 0, "k must be positive");
+    let mut communities: Vec<Vec<N>> = spectral_bisect(g, iterations)
+        .communities()
+        .to_vec();
+    while communities.len() < k {
+        // Split the largest splittable community.
+        communities.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        let mut split_done = false;
+        for idx in 0..communities.len() {
+            if communities[idx].len() < 2 {
+                continue;
+            }
+            let members: std::collections::BTreeSet<&N> = communities[idx].iter().collect();
+            let mut sub = WeightedGraph::new();
+            for (n, w) in g.nodes() {
+                if members.contains(n) {
+                    sub.add_node(n.clone(), w);
+                }
+            }
+            for (a, b, w) in g.edges() {
+                if members.contains(a) && members.contains(b) {
+                    sub.add_edge(a.clone(), b.clone(), w);
+                }
+            }
+            let parts = spectral_bisect(&sub, iterations);
+            if parts.len() == 2 {
+                let mut new_parts = parts.communities().to_vec();
+                communities.swap_remove(idx);
+                communities.append(&mut new_parts);
+                split_done = true;
+                break;
+            }
+        }
+        if !split_done {
+            break;
+        }
+    }
+    Partition::from_communities(communities)
+}
+
+/// Removes the all-ones component and normalises to unit length.
+fn deflate_and_normalise(v: &mut [f64]) {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-300 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    } else {
+        // Restart from a fixed non-uniform vector.
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::louvain::modularity;
+
+    fn two_triangles() -> WeightedGraph<u32> {
+        let mut g = WeightedGraph::new();
+        for &(a, b) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(a, b, 10.0);
+        }
+        g.add_edge(2, 3, 0.1);
+        g
+    }
+
+    #[test]
+    fn separates_two_triangles() {
+        let p = spectral_bisect(&two_triangles(), 200);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.communities()[0], vec![0, 1, 2]);
+        assert_eq!(p.communities()[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn bisection_has_positive_modularity_on_clustered_graph() {
+        let g = two_triangles();
+        let p = spectral_bisect(&g, 200);
+        assert!(modularity(&g, &p, 1.0) > 0.3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_triangles();
+        assert_eq!(spectral_bisect(&g, 100), spectral_bisect(&g, 100));
+    }
+
+    #[test]
+    fn single_node_single_community() {
+        let mut g = WeightedGraph::new();
+        g.add_node(7_u32, 1.0);
+        let p = spectral_bisect(&g, 10);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_empty_partition() {
+        let g: WeightedGraph<u32> = WeightedGraph::new();
+        assert!(spectral_bisect(&g, 10).is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_is_one_community() {
+        let mut g = WeightedGraph::new();
+        g.add_node(1_u32, 1.0);
+        g.add_node(2, 1.0);
+        let p = spectral_bisect(&g, 10);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn complete_graph_splits_evenly() {
+        let mut g = WeightedGraph::new();
+        for i in 0..6_u32 {
+            for j in (i + 1)..6 {
+                g.add_edge(i, j, 1.0);
+            }
+        }
+        let p = spectral_bisect(&g, 200);
+        assert_eq!(p.len(), 2);
+        let sizes: Vec<usize> = p.communities().iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes.iter().all(|&s| s >= 2), "{sizes:?}");
+    }
+
+    #[test]
+    fn kway_splits_three_triangles() {
+        let mut g = WeightedGraph::new();
+        for base in [0u32, 3, 6] {
+            g.add_edge(base, base + 1, 10.0);
+            g.add_edge(base + 1, base + 2, 10.0);
+            g.add_edge(base, base + 2, 10.0);
+        }
+        g.add_edge(2, 3, 0.1);
+        g.add_edge(5, 6, 0.1);
+        let p = spectral_cluster(&g, 3, 200);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.communities()[0], vec![0, 1, 2]);
+        assert_eq!(p.communities()[1], vec![3, 4, 5]);
+        assert_eq!(p.communities()[2], vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn kway_k1_matches_bisection_union() {
+        let g = two_triangles();
+        // k = 2 is exactly one bisection.
+        assert_eq!(spectral_cluster(&g, 2, 200), spectral_bisect(&g, 200));
+    }
+
+    #[test]
+    fn kway_caps_at_node_count() {
+        let g = two_triangles();
+        let p = spectral_cluster(&g, 100, 100);
+        assert!(p.len() <= 6);
+        let total: usize = p.communities().iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn weighted_barbell_cuts_the_bridge() {
+        let mut g = WeightedGraph::new();
+        for &(a, b) in &[(0, 1), (2, 3)] {
+            g.add_edge(a, b, 100.0);
+        }
+        g.add_edge(1_u32, 2, 1.0);
+        let p = spectral_bisect(&g, 200);
+        assert_eq!(p.communities()[0], vec![0, 1]);
+        assert_eq!(p.communities()[1], vec![2, 3]);
+    }
+}

@@ -1,0 +1,384 @@
+//! The [`Model`] type: a named sequence of extracted layers plus
+//! aggregate queries used throughout the framework (parameter counts,
+//! MAC totals, op-class inventories, and the layer-connection edges of
+//! Step #TR1).
+
+use crate::layer::{Layer, LayerKind, OpClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Broad workload family, mirroring the "Type" column of the paper's
+/// Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ModelClass {
+    /// Convolutional neural network.
+    Cnn,
+    /// Region-based CNN (detection / navigation).
+    Rcnn,
+    /// Decoder-style large language model.
+    Llm,
+    /// Mixture-of-experts LLM.
+    MoeLlm,
+    /// Encoder-style transformer (vision / audio / text).
+    Transformer,
+}
+
+impl fmt::Display for ModelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModelClass::Cnn => "CNN",
+            ModelClass::Rcnn => "RCNN",
+            ModelClass::Llm => "LLM",
+            ModelClass::MoeLlm => "MoE LLM",
+            ModelClass::Transformer => "Transformer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An AI algorithm as the CLAIRE framework sees it: an ordered list of
+/// compute layers plus bookkeeping for parameters that live outside the
+/// considered layer types (embedding tables, normalisation scales).
+///
+/// The paper's parser "reads this layer information file, parses it, and
+/// extracts details for each layer"; [`Model`] is the in-memory result.
+///
+/// # Example
+///
+/// ```
+/// use claire_model::zoo;
+///
+/// let gpt2 = zoo::gpt2();
+/// // GPT-2 is the training algorithm that uses 1-D convolution modules.
+/// assert!(gpt2
+///     .op_class_weights()
+///     .contains_key(&claire_model::OpClass::Conv1d));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    class: ModelClass,
+    layers: Vec<Layer>,
+    /// Parameters in modules outside the considered layer types
+    /// (embeddings, norms). Counted in [`Model::param_count`] so Table I
+    /// totals are faithful, but never mapped to hardware nodes.
+    extra_params: u64,
+}
+
+impl Model {
+    /// Creates a model from parts.
+    ///
+    /// Most callers should use [`ModelBuilder`] or the [`crate::zoo`]
+    /// constructors instead.
+    pub fn new(
+        name: impl Into<String>,
+        class: ModelClass,
+        layers: Vec<Layer>,
+        extra_params: u64,
+    ) -> Self {
+        Model {
+            name: name.into(),
+            class,
+            layers,
+            extra_params,
+        }
+    }
+
+    /// Algorithm name as listed in the paper's tables.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Workload family (Table I "Type" column).
+    pub fn class(&self) -> ModelClass {
+        self.class
+    }
+
+    /// The extracted layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total trainable parameters (layer parameters + embedding/norm
+    /// parameters recorded at construction).
+    pub fn param_count(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum::<u64>() + self.extra_params
+    }
+
+    /// Total multiply-accumulate operations for one inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total element-wise (activation / pooling / reshape) operations.
+    pub fn element_ops(&self) -> u64 {
+        self.layers.iter().map(Layer::element_ops).sum()
+    }
+
+    /// Total activation bytes flowing between layers (8-bit elements).
+    pub fn activation_bytes(&self) -> u64 {
+        self.edges().iter().map(|(_, _, b)| b).sum()
+    }
+
+    /// Arithmetic intensity: MACs per byte of weights + inter-layer
+    /// activations (8-bit). High values are compute-bound on any
+    /// sane memory system; low values live on the memory wall.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let weight_bytes: u64 = self.layers.iter().map(Layer::params).sum();
+        let traffic = weight_bytes + self.activation_bytes();
+        if traffic == 0 {
+            return 0.0;
+        }
+        self.macs() as f64 / traffic as f64
+    }
+
+    /// The set of hardware-unit classes this algorithm needs, with the
+    /// number of layers mapping to each — the basis of the node weights
+    /// `w_N` and of algorithm coverage `C_layer`.
+    pub fn op_class_counts(&self) -> BTreeMap<OpClass, u32> {
+        let mut m = BTreeMap::new();
+        for l in &self.layers {
+            *m.entry(l.op_class()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Work-weighted op-class vector: for systolic classes the weight is
+    /// total MACs, for the rest total element operations. This is the
+    /// vector the weighted Jaccard similarity (Step #TR2 line 14 and
+    /// Step #TT1) compares.
+    pub fn op_class_weights(&self) -> BTreeMap<OpClass, f64> {
+        let mut m = BTreeMap::new();
+        for l in &self.layers {
+            let w = if l.op_class().is_systolic() {
+                l.macs() as f64
+            } else {
+                l.element_ops() as f64
+            };
+            *m.entry(l.op_class()).or_insert(0.0) += w;
+        }
+        m
+    }
+
+    /// Data volume (elements) flowing between consecutive layer classes:
+    /// the per-model edge list `(E, w_E)` of the initial graph
+    /// `G_ini(N, E, w_N, w_E)`.
+    pub fn edges(&self) -> Vec<(OpClass, OpClass, u64)> {
+        let mut edges = Vec::with_capacity(self.layers.len().saturating_sub(1));
+        for pair in self.layers.windows(2) {
+            edges.push((
+                pair[0].op_class(),
+                pair[1].op_class(),
+                pair[0].output_elements(),
+            ));
+        }
+        edges
+    }
+
+    /// Edge-combination counts keyed by (source label, destination
+    /// label) — the data behind the paper's Fig. 2 histogram.
+    pub fn edge_combination_counts(&self) -> BTreeMap<(OpClass, OpClass), u32> {
+        let mut m = BTreeMap::new();
+        for pair in self.layers.windows(2) {
+            *m.entry((pair[0].op_class(), pair[1].op_class())).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Number of extracted layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when every layer's op class is contained in `supported` —
+    /// i.e. algorithm coverage `C_layer` would be 100 %.
+    pub fn covered_by<'a, I>(&self, supported: I) -> bool
+    where
+        I: IntoIterator<Item = &'a OpClass>,
+    {
+        let set: std::collections::BTreeSet<_> = supported.into_iter().copied().collect();
+        self.layers.iter().all(|l| set.contains(&l.op_class()))
+    }
+}
+
+/// Incremental constructor used by the [`crate::zoo`] generators.
+///
+/// Tracks the "current" feature-map/sequence shape so that repeated
+/// blocks can be emitted with correct dimensions, exactly as a layer-by-
+/// layer walk over a `print(model)` dump would produce them.
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    class: ModelClass,
+    layers: Vec<Layer>,
+    extra_params: u64,
+}
+
+impl ModelBuilder {
+    /// Starts a new model description.
+    pub fn new(name: impl Into<String>, class: ModelClass) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            class,
+            layers: Vec::new(),
+            extra_params: 0,
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, name: impl Into<String>, kind: LayerKind) -> &mut Self {
+        self.layers.push(Layer::new(name, kind));
+        self
+    }
+
+    /// Records parameters that live outside the considered layer types
+    /// (embedding tables, layer norms). They count toward
+    /// [`Model::param_count`] but produce no hardware nodes.
+    pub fn extra_params(&mut self, params: u64) -> &mut Self {
+        self.extra_params += params;
+        self
+    }
+
+    /// Number of layers pushed so far (useful for generated names).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when no layer has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were pushed — an empty algorithm cannot be
+    /// mapped onto hardware.
+    pub fn build(self) -> Model {
+        assert!(
+            !self.layers.is_empty(),
+            "model `{}` has no layers",
+            self.name
+        );
+        Model::new(self.name, self.class, self.layers, self.extra_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ActivationKind, Conv2d, Linear};
+
+    fn tiny() -> Model {
+        let mut b = ModelBuilder::new("tiny", ModelClass::Cnn);
+        b.push(
+            "conv",
+            LayerKind::Conv2d(Conv2d {
+                in_channels: 3,
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                ifm: (8, 8),
+                groups: 1,
+            }),
+        );
+        b.push(
+            "relu",
+            LayerKind::Activation(Activation {
+                kind: ActivationKind::Relu,
+                elements: 8 * 8 * 8,
+            }),
+        );
+        b.push(
+            "fc",
+            LayerKind::Linear(Linear {
+                in_features: 512,
+                out_features: 10,
+                tokens: 1,
+            }),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn param_count_sums_layers_and_extras() {
+        let mut b = ModelBuilder::new("m", ModelClass::Llm);
+        b.push(
+            "fc",
+            LayerKind::Linear(Linear {
+                in_features: 4,
+                out_features: 4,
+                tokens: 1,
+            }),
+        );
+        b.extra_params(100);
+        let m = b.build();
+        assert_eq!(m.param_count(), 4 * 4 + 4 + 100);
+    }
+
+    #[test]
+    fn edges_follow_execution_order() {
+        let m = tiny();
+        let e = m.edges();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].0, OpClass::Conv2d);
+        assert_eq!(e[0].1, OpClass::Activation(ActivationKind::Relu));
+        // edge weight = conv output volume
+        assert_eq!(e[0].2, 8 * 8 * 8);
+    }
+
+    #[test]
+    fn op_class_counts_are_per_class() {
+        let m = tiny();
+        let c = m.op_class_counts();
+        assert_eq!(c[&OpClass::Conv2d], 1);
+        assert_eq!(c[&OpClass::Linear], 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn coverage_requires_all_classes() {
+        let m = tiny();
+        let full = OpClass::all();
+        assert!(m.covered_by(full.iter()));
+        let partial = [OpClass::Conv2d, OpClass::Linear];
+        assert!(!m.covered_by(partial.iter()));
+    }
+
+    #[test]
+    fn weights_split_macs_and_element_ops() {
+        let m = tiny();
+        let w = m.op_class_weights();
+        assert!(w[&OpClass::Conv2d] > 0.0);
+        assert_eq!(
+            w[&OpClass::Activation(ActivationKind::Relu)],
+            (8 * 8 * 8) as f64
+        );
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_macs_per_byte() {
+        let m = tiny();
+        let weights: u64 = m.layers().iter().map(|l| l.params()).sum();
+        let expected = m.macs() as f64 / (weights + m.activation_bytes()) as f64;
+        assert!((m.arithmetic_intensity() - expected).abs() < 1e-12);
+        assert!(m.arithmetic_intensity() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no layers")]
+    fn empty_model_panics() {
+        ModelBuilder::new("empty", ModelClass::Cnn).build();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = tiny();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Model = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,781 @@
+//! Parser for PyTorch-style `print(model)` dumps — the ingestion path
+//! of the paper's Step #TR1: "layer information of AI models is
+//! extracted using the `print(model)` command … The main code reads
+//! this layer information file, parses it, and extracts details for
+//! each layer".
+//!
+//! A dump looks like:
+//!
+//! ```text
+//! AlexNet(
+//!   (features): Sequential(
+//!     (0): Conv2d(3, 64, kernel_size=(11, 11), stride=(4, 4), padding=(2, 2))
+//!     (1): ReLU(inplace=True)
+//!     (2): MaxPool2d(kernel_size=3, stride=2, padding=0)
+//!   )
+//! )
+//! ```
+//!
+//! `print(model)` does not carry feature-map sizes, so — as in the
+//! paper's framework, which derives `IFM/OFM` during graph
+//! construction — the parser propagates shapes from a caller-supplied
+//! input description ([`ParseOptions`]). Module types outside the
+//! considered set (BatchNorm, Dropout, LayerNorm, Embedding, …) are
+//! skipped, mirroring the paper's "layer types considered".
+
+use crate::layer::{
+    Activation, ActivationKind, Conv1d, Conv2d, Flatten, LayerKind, Linear, Permute, Pooling,
+    PoolingKind,
+};
+use crate::model::{Model, ModelBuilder, ModelClass};
+use std::fmt;
+
+/// How the parsed network is fed: image tensors or token sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputShape {
+    /// `channels × height × width` image input.
+    Image {
+        /// Input channels.
+        channels: u32,
+        /// Input height.
+        height: u32,
+        /// Input width.
+        width: u32,
+    },
+    /// Token-sequence input for transformer dumps.
+    Sequence {
+        /// Number of positions each `Linear` is applied to.
+        tokens: u32,
+        /// Embedding width entering the first layer.
+        features: u32,
+    },
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// Input tensor description used to seed shape propagation.
+    pub input: InputShape,
+    /// Workload family recorded on the resulting [`Model`].
+    pub class: ModelClass,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            input: InputShape::Image {
+                channels: 3,
+                height: 224,
+                width: 224,
+            },
+            class: ModelClass::Cnn,
+        }
+    }
+}
+
+/// Error produced while parsing a `print(model)` dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseModelError {
+    /// The dump contained no recognisable layers.
+    Empty,
+    /// A recognised module had a malformed argument list.
+    BadArguments {
+        /// 1-based line number.
+        line: usize,
+        /// Module type name.
+        module: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A `Linear` appeared before any shape information was available.
+    UnknownShape {
+        /// 1-based line number.
+        line: usize,
+        /// Module type name.
+        module: String,
+    },
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseModelError::Empty => write!(f, "dump contains no recognised layers"),
+            ParseModelError::BadArguments {
+                line,
+                module,
+                reason,
+            } => write!(f, "line {line}: bad arguments for {module}: {reason}"),
+            ParseModelError::UnknownShape { line, module } => {
+                write!(f, "line {line}: cannot infer input shape for {module}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+/// Running tensor shape during propagation.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Image { c: u32, h: u32, w: u32 },
+    Seq { tokens: u32, features: u32 },
+    Flat { features: u32 },
+}
+
+impl Shape {
+    fn elements(&self) -> u64 {
+        match *self {
+            Shape::Image { c, h, w } => u64::from(c) * u64::from(h) * u64::from(w),
+            Shape::Seq { tokens, features } => u64::from(tokens) * u64::from(features),
+            Shape::Flat { features } => u64::from(features),
+        }
+    }
+}
+
+/// One `(name): Type(args…)` line from the dump.
+#[derive(Debug, Clone)]
+struct ModuleLine {
+    line_no: usize,
+    path: String,
+    ty: String,
+    args: String,
+}
+
+/// Parses a `print(model)` dump into a [`Model`].
+///
+/// # Errors
+///
+/// Returns [`ParseModelError`] when the dump has no recognised layers,
+/// when a recognised module's arguments cannot be parsed, or when a
+/// layer needs shape information that is not yet available.
+///
+/// # Example
+///
+/// ```
+/// use claire_model::parse::{parse_model, InputShape, ParseOptions};
+/// # fn main() -> Result<(), claire_model::parse::ParseModelError> {
+/// let dump = "\
+/// Net(
+///   (conv): Conv2d(3, 8, kernel_size=(3, 3), stride=(1, 1), padding=(1, 1))
+///   (act): ReLU(inplace=True)
+///   (fc): Linear(in_features=512, out_features=10, bias=True)
+/// )";
+/// let opts = ParseOptions {
+///     input: InputShape::Image { channels: 3, height: 8, width: 8 },
+///     ..ParseOptions::default()
+/// };
+/// let model = parse_model("Net", dump, opts)?;
+/// assert_eq!(model.layer_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_model(
+    name: &str,
+    text: &str,
+    opts: ParseOptions,
+) -> Result<Model, ParseModelError> {
+    let lines = lex(text);
+    let mut b = ModelBuilder::new(name, opts.class);
+    let mut shape = match opts.input {
+        InputShape::Image {
+            channels,
+            height,
+            width,
+        } => Shape::Image {
+            c: channels,
+            h: height,
+            w: width,
+        },
+        InputShape::Sequence { tokens, features } => Shape::Seq { tokens, features },
+    };
+
+    for m in &lines {
+        if let Some(next) = emit(&mut b, m, shape)? {
+            shape = next;
+        }
+    }
+
+    if b.is_empty() {
+        return Err(ParseModelError::Empty);
+    }
+    Ok(b.build())
+}
+
+/// Splits the dump into module lines, reconstructing dotted module
+/// paths from the indentation-nested `(name): Type(` structure.
+fn lex(text: &str) -> Vec<ModuleLine> {
+    let mut out = Vec::new();
+    // Stack of (indent, name) for the module path.
+    let mut stack: Vec<(usize, String)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let indent = raw.len() - raw.trim_start().len();
+        let line = raw.trim();
+        if line.is_empty() || line == ")" {
+            continue;
+        }
+        // Pop containers we have left.
+        while let Some(&(ind, _)) = stack.last() {
+            if indent <= ind {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+
+        let (name, rest) = match line.strip_prefix('(') {
+            Some(r) => match r.split_once("): ") {
+                Some((n, rest)) => (n.to_owned(), rest),
+                None => continue,
+            },
+            // Top line like `AlexNet(`.
+            None => (String::new(), line),
+        };
+
+        let Some(paren) = rest.find('(') else { continue };
+        let ty = rest[..paren].trim().to_owned();
+        let args_part = rest[paren + 1..].trim_end();
+        // A leaf line closes its own argument list; a container opens one.
+        let opens_container = !args_part.ends_with(')');
+        let args = args_part.strip_suffix(')').unwrap_or(args_part).to_owned();
+
+        let mut path: Vec<&str> = stack
+            .iter()
+            .map(|(_, n)| n.as_str())
+            .filter(|n| !n.is_empty())
+            .collect();
+        if !name.is_empty() {
+            path.push(&name);
+        }
+        let path = path.join(".");
+
+        if opens_container {
+            stack.push((indent, name));
+        } else {
+            out.push(ModuleLine {
+                line_no: i + 1,
+                path,
+                ty,
+                args,
+            });
+        }
+    }
+    out
+}
+
+/// Finds `key=value` in an argument string; handles tuple values.
+fn kw(args: &str, key: &str) -> Option<String> {
+    let pat = format!("{key}=");
+    let start = args.find(&pat)? + pat.len();
+    let rest = &args[start..];
+    if let Some(inner) = rest.strip_prefix('(') {
+        let end = inner.find(')')?;
+        Some(format!("({})", &inner[..end]))
+    } else {
+        let end = rest.find(',').unwrap_or(rest.len());
+        Some(rest[..end].trim().to_owned())
+    }
+}
+
+/// Parses `v` or `(v, w)` into a pair (a scalar broadcasts).
+fn pair(s: &str) -> Option<(u32, u32)> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('(').and_then(|x| x.strip_suffix(')')) {
+        let mut it = inner.split(',').map(|v| v.trim().parse::<u32>());
+        let a = it.next()?.ok()?;
+        let b = match it.next() {
+            Some(v) => v.ok()?,
+            None => a,
+        };
+        Some((a, b))
+    } else {
+        let v = s.parse().ok()?;
+        Some((v, v))
+    }
+}
+
+fn bad(m: &ModuleLine, reason: &str) -> ParseModelError {
+    ParseModelError::BadArguments {
+        line: m.line_no,
+        module: m.ty.clone(),
+        reason: reason.to_owned(),
+    }
+}
+
+/// Emits the layer for one module line; returns the new shape (None =
+/// module skipped).
+fn emit(
+    b: &mut ModelBuilder,
+    m: &ModuleLine,
+    shape: Shape,
+) -> Result<Option<Shape>, ParseModelError> {
+    let positional: Vec<&str> = m
+        .args
+        .split(',')
+        .map(str::trim)
+        .take_while(|t| !t.contains('='))
+        .collect();
+
+    match m.ty.as_str() {
+        "Conv2d" => {
+            let ic: u32 = positional
+                .first()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(m, "missing in_channels"))?;
+            let oc: u32 = positional
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(m, "missing out_channels"))?;
+            let k = kw(&m.args, "kernel_size")
+                .and_then(|s| pair(&s))
+                .ok_or_else(|| bad(m, "missing kernel_size"))?;
+            let s = kw(&m.args, "stride")
+                .and_then(|x| pair(&x))
+                .unwrap_or((1, 1));
+            let p = kw(&m.args, "padding")
+                .and_then(|x| pair(&x))
+                .unwrap_or((0, 0));
+            let groups = kw(&m.args, "groups")
+                .and_then(|x| x.parse().ok())
+                .unwrap_or(1);
+            let (h, w) = match shape {
+                Shape::Image { h, w, .. } => (h, w),
+                _ => return Err(ParseModelError::UnknownShape {
+                    line: m.line_no,
+                    module: m.ty.clone(),
+                }),
+            };
+            let conv = Conv2d {
+                in_channels: ic,
+                out_channels: oc,
+                kernel: k,
+                stride: s,
+                padding: p,
+                ifm: (h, w),
+                groups,
+            };
+            let (oh, ow) = conv.ofm();
+            b.push(&m.path, LayerKind::Conv2d(conv));
+            Ok(Some(Shape::Image {
+                c: oc,
+                h: oh,
+                w: ow,
+            }))
+        }
+        "Conv1d" | "Conv1D" => {
+            let (ic, oc): (u32, u32) = match (positional.first(), positional.get(1)) {
+                (Some(a), Some(b_)) => (
+                    a.parse().map_err(|_| bad(m, "bad in_channels"))?,
+                    b_.parse().map_err(|_| bad(m, "bad out_channels"))?,
+                ),
+                // HuggingFace `Conv1D(nf=2304, nx=768)` style.
+                _ => {
+                    let nf = kw(&m.args, "nf").and_then(|x| x.parse().ok());
+                    let nx = kw(&m.args, "nx").and_then(|x| x.parse().ok());
+                    match (nx, nf) {
+                        (Some(nx), Some(nf)) => (nx, nf),
+                        _ => return Err(bad(m, "missing channel arguments")),
+                    }
+                }
+            };
+            let k = kw(&m.args, "kernel_size")
+                .and_then(|x| pair(&x))
+                .map(|(a, _)| a)
+                .unwrap_or(1);
+            let s = kw(&m.args, "stride")
+                .and_then(|x| pair(&x))
+                .map(|(a, _)| a)
+                .unwrap_or(1);
+            let p = kw(&m.args, "padding")
+                .and_then(|x| pair(&x))
+                .map(|(a, _)| a)
+                .unwrap_or(0);
+            let length = match shape {
+                Shape::Seq { tokens, .. } => tokens,
+                Shape::Image { w, .. } => w,
+                Shape::Flat { .. } => {
+                    return Err(ParseModelError::UnknownShape {
+                        line: m.line_no,
+                        module: m.ty.clone(),
+                    })
+                }
+            };
+            let conv = Conv1d {
+                in_channels: ic,
+                out_channels: oc,
+                kernel: k,
+                stride: s,
+                padding: p,
+                length,
+            };
+            let out_len = conv.output_length();
+            b.push(&m.path, LayerKind::Conv1d(conv));
+            Ok(Some(Shape::Seq {
+                tokens: out_len,
+                features: oc,
+            }))
+        }
+        "Linear" => {
+            let inf = kw(&m.args, "in_features")
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad(m, "missing in_features"))?;
+            let outf = kw(&m.args, "out_features")
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad(m, "missing out_features"))?;
+            let tokens = match shape {
+                Shape::Seq { tokens, .. } => tokens,
+                _ => 1,
+            };
+            b.push(
+                &m.path,
+                LayerKind::Linear(Linear {
+                    in_features: inf,
+                    out_features: outf,
+                    tokens,
+                }),
+            );
+            Ok(Some(match shape {
+                Shape::Seq { tokens, .. } => Shape::Seq {
+                    tokens,
+                    features: outf,
+                },
+                _ => Shape::Flat { features: outf },
+            }))
+        }
+        "ReLU" | "ReLU6" | "GELU" | "SiLU" | "Tanh" | "NewGELUActivation" | "GELUActivation"
+        | "SiLUActivation" => {
+            let kind = match m.ty.as_str() {
+                "ReLU" => ActivationKind::Relu,
+                "ReLU6" => ActivationKind::Relu6,
+                "SiLU" | "SiLUActivation" => ActivationKind::Silu,
+                "Tanh" => ActivationKind::Tanh,
+                _ => ActivationKind::Gelu,
+            };
+            b.push(
+                &m.path,
+                LayerKind::Activation(Activation {
+                    kind,
+                    elements: shape.elements(),
+                }),
+            );
+            Ok(Some(shape))
+        }
+        "MaxPool2d" | "AvgPool2d" => {
+            let kind = if m.ty == "MaxPool2d" {
+                PoolingKind::MaxPool
+            } else {
+                PoolingKind::AvgPool
+            };
+            let k = kw(&m.args, "kernel_size")
+                .and_then(|x| pair(&x))
+                .ok_or_else(|| bad(m, "missing kernel_size"))?;
+            let s = kw(&m.args, "stride").and_then(|x| pair(&x)).unwrap_or(k);
+            let p = kw(&m.args, "padding")
+                .and_then(|x| pair(&x))
+                .unwrap_or((0, 0));
+            let Shape::Image { c, h, w } = shape else {
+                return Err(ParseModelError::UnknownShape {
+                    line: m.line_no,
+                    module: m.ty.clone(),
+                });
+            };
+            let oh = (h + 2 * p.0).saturating_sub(k.0) / s.0 + 1;
+            let ow = (w + 2 * p.1).saturating_sub(k.1) / s.1 + 1;
+            b.push(
+                &m.path,
+                LayerKind::Pooling(Pooling {
+                    kind,
+                    input_elements: u64::from(c) * u64::from(h) * u64::from(w),
+                    output_elements: u64::from(c) * u64::from(oh) * u64::from(ow),
+                }),
+            );
+            Ok(Some(Shape::Image { c, h: oh, w: ow }))
+        }
+        "AdaptiveAvgPool2d" => {
+            let out = kw(&m.args, "output_size")
+                .and_then(|x| pair(&x))
+                .ok_or_else(|| bad(m, "missing output_size"))?;
+            let Shape::Image { c, h, w } = shape else {
+                return Err(ParseModelError::UnknownShape {
+                    line: m.line_no,
+                    module: m.ty.clone(),
+                });
+            };
+            b.push(
+                &m.path,
+                LayerKind::Pooling(Pooling {
+                    kind: PoolingKind::AdaptiveAvgPool,
+                    input_elements: u64::from(c) * u64::from(h) * u64::from(w),
+                    output_elements: u64::from(c) * u64::from(out.0) * u64::from(out.1),
+                }),
+            );
+            Ok(Some(Shape::Image {
+                c,
+                h: out.0,
+                w: out.1,
+            }))
+        }
+        "LastLevelMaxPool" | "MultiScaleRoIAlign" | "RoIAlign" => {
+            let kind = if m.ty == "LastLevelMaxPool" {
+                PoolingKind::LastLevelMaxPool
+            } else {
+                PoolingKind::RoiAlign
+            };
+            let out = shape.elements() / 4;
+            b.push(
+                &m.path,
+                LayerKind::Pooling(Pooling {
+                    kind,
+                    input_elements: shape.elements(),
+                    output_elements: out.max(1),
+                }),
+            );
+            Ok(Some(shape))
+        }
+        "Flatten" => {
+            b.push(
+                &m.path,
+                LayerKind::Flatten(Flatten {
+                    elements: shape.elements(),
+                }),
+            );
+            let features = u32::try_from(shape.elements()).unwrap_or(u32::MAX);
+            Ok(Some(Shape::Flat { features }))
+        }
+        "Permute" => {
+            b.push(
+                &m.path,
+                LayerKind::Permute(Permute {
+                    elements: shape.elements(),
+                }),
+            );
+            Ok(Some(shape))
+        }
+        // Everything else (BatchNorm2d, LayerNorm, Dropout, Embedding,
+        // Identity, Softmax, …) is outside the considered layer types.
+        _ => Ok(None),
+    }
+}
+
+/// Renders a [`Model`] back into `print(model)`-style text, so that
+/// library users can exchange the same layer-information files the
+/// paper's flow consumes.
+pub fn to_torch_print(model: &Model) -> String {
+    let mut s = format!("{}(\n", model.name().replace([' ', '-'], ""));
+    for l in model.layers() {
+        let body = match &l.kind {
+            LayerKind::Conv2d(c) => format!(
+                "Conv2d({}, {}, kernel_size=({}, {}), stride=({}, {}), padding=({}, {}), groups={})",
+                c.in_channels,
+                c.out_channels,
+                c.kernel.0,
+                c.kernel.1,
+                c.stride.0,
+                c.stride.1,
+                c.padding.0,
+                c.padding.1,
+                c.groups
+            ),
+            LayerKind::Conv1d(c) => format!(
+                "Conv1d({}, {}, kernel_size=({},), stride=({},), padding=({},))",
+                c.in_channels, c.out_channels, c.kernel, c.stride, c.padding
+            ),
+            LayerKind::Linear(l) => format!(
+                "Linear(in_features={}, out_features={}, bias=True)",
+                l.in_features, l.out_features
+            ),
+            LayerKind::Activation(a) => match a.kind {
+                ActivationKind::Relu => "ReLU(inplace=True)".to_owned(),
+                ActivationKind::Relu6 => "ReLU6(inplace=True)".to_owned(),
+                ActivationKind::Gelu => "GELU(approximate='none')".to_owned(),
+                ActivationKind::Silu => "SiLU(inplace=True)".to_owned(),
+                ActivationKind::Tanh => "Tanh()".to_owned(),
+            },
+            LayerKind::Pooling(p) => match p.kind {
+                PoolingKind::MaxPool => "MaxPool2d(kernel_size=3, stride=2, padding=1)".to_owned(),
+                PoolingKind::AvgPool => "AvgPool2d(kernel_size=2, stride=2)".to_owned(),
+                PoolingKind::AdaptiveAvgPool => {
+                    "AdaptiveAvgPool2d(output_size=(1, 1))".to_owned()
+                }
+                PoolingKind::LastLevelMaxPool => "LastLevelMaxPool()".to_owned(),
+                PoolingKind::RoiAlign => {
+                    "MultiScaleRoIAlign(output_size=(7, 7), sampling_ratio=2)".to_owned()
+                }
+            },
+            LayerKind::Flatten(_) => "Flatten(start_dim=1, end_dim=-1)".to_owned(),
+            LayerKind::Permute(_) => "Permute()".to_owned(),
+        };
+        s.push_str(&format!("  ({}): {}\n", l.name, body));
+    }
+    s.push_str(")\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpClass, PoolingKind};
+
+    const ALEXNET_HEAD: &str = "\
+AlexNet(
+  (features): Sequential(
+    (0): Conv2d(3, 64, kernel_size=(11, 11), stride=(4, 4), padding=(2, 2))
+    (1): ReLU(inplace=True)
+    (2): MaxPool2d(kernel_size=3, stride=2, padding=0, dilation=1, ceil_mode=False)
+  )
+  (avgpool): AdaptiveAvgPool2d(output_size=(6, 6))
+  (classifier): Sequential(
+    (0): Dropout(p=0.5, inplace=False)
+    (1): Linear(in_features=9216, out_features=4096, bias=True)
+    (2): ReLU(inplace=True)
+  )
+)";
+
+    #[test]
+    fn parses_alexnet_prefix() {
+        let m = parse_model("Alexnet", ALEXNET_HEAD, ParseOptions::default()).unwrap();
+        // Dropout skipped; 6 recognised layers.
+        assert_eq!(m.layer_count(), 6);
+        assert_eq!(m.layers()[0].name, "features.0");
+        assert_eq!(m.layers()[3].name, "avgpool");
+        assert_eq!(m.layers()[4].name, "classifier.1");
+    }
+
+    #[test]
+    fn shape_propagation_through_conv_and_pool() {
+        let m = parse_model("Alexnet", ALEXNET_HEAD, ParseOptions::default()).unwrap();
+        match &m.layers()[2].kind {
+            LayerKind::Pooling(p) => {
+                // 224 -> conv(11,4,2) -> 55 -> pool(3,2) -> 27
+                assert_eq!(p.input_elements, 55 * 55 * 64);
+                assert_eq!(p.output_elements, 27 * 27 * 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_modules_are_skipped() {
+        let dump = "\
+Net(
+  (bn): BatchNorm2d(64, eps=1e-05)
+  (fc): Linear(in_features=64, out_features=10, bias=True)
+)";
+        let m = parse_model("Net", dump, ParseOptions::default()).unwrap();
+        assert_eq!(m.layer_count(), 1);
+    }
+
+    #[test]
+    fn empty_dump_is_an_error() {
+        let err = parse_model("Net", "Net(\n)", ParseOptions::default()).unwrap_err();
+        assert_eq!(err, ParseModelError::Empty);
+        assert!(err.to_string().contains("no recognised layers"));
+    }
+
+    #[test]
+    fn bad_conv_arguments_error_carries_line() {
+        let dump = "Net(\n  (c): Conv2d(3, 64)\n)";
+        let err = parse_model("Net", dump, ParseOptions::default()).unwrap_err();
+        match err {
+            ParseModelError::BadArguments { line, module, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(module, "Conv2d");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn hf_conv1d_nf_nx_form() {
+        let dump = "\
+GPT2Model(
+  (c_attn): Conv1D(nf=2304, nx=768)
+  (act): NewGELUActivation()
+)";
+        let opts = ParseOptions {
+            input: InputShape::Sequence {
+                tokens: 1024,
+                features: 768,
+            },
+            class: ModelClass::Llm,
+        };
+        let m = parse_model("GPT2", dump, opts).unwrap();
+        assert_eq!(m.op_class_counts()[&OpClass::Conv1d], 1);
+        match &m.layers()[0].kind {
+            LayerKind::Conv1d(c) => {
+                assert_eq!(c.in_channels, 768);
+                assert_eq!(c.out_channels, 2304);
+                assert_eq!(c.length, 1024);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_linears_carry_tokens() {
+        let dump = "\
+Enc(
+  (q): Linear(in_features=768, out_features=768, bias=True)
+)";
+        let opts = ParseOptions {
+            input: InputShape::Sequence {
+                tokens: 128,
+                features: 768,
+            },
+            class: ModelClass::Transformer,
+        };
+        let m = parse_model("Enc", dump, opts).unwrap();
+        assert_eq!(m.macs(), 768 * 768 * 128);
+    }
+
+    #[test]
+    fn roialign_and_lastlevel_maxpool_recognised() {
+        let dump = "\
+Rcnn(
+  (extra): LastLevelMaxPool()
+  (pool): MultiScaleRoIAlign(featmap_names=['0'], output_size=7, sampling_ratio=2)
+)";
+        let m = parse_model("Rcnn", dump, ParseOptions::default()).unwrap();
+        let c = m.op_class_counts();
+        assert!(c.contains_key(&OpClass::Pooling(PoolingKind::LastLevelMaxPool)));
+        assert!(c.contains_key(&OpClass::Pooling(PoolingKind::RoiAlign)));
+    }
+
+    #[test]
+    fn zoo_round_trips_through_printer_and_parser() {
+        // Render AlexNet to text, parse it back, and compare op-class
+        // inventories (exact layer equality is not expected: the
+        // printer canonicalises pooling arguments).
+        let original = crate::zoo::alexnet();
+        let text = to_torch_print(&original);
+        let parsed = parse_model("Alexnet", &text, ParseOptions::default()).unwrap();
+        assert_eq!(parsed.layer_count(), original.layer_count());
+        assert_eq!(
+            parsed.op_class_counts().keys().collect::<Vec<_>>(),
+            original.op_class_counts().keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn flatten_switches_to_flat_shape() {
+        let dump = "\
+Net(
+  (conv): Conv2d(3, 4, kernel_size=(3, 3), stride=(1, 1), padding=(1, 1))
+  (flat): Flatten(start_dim=1, end_dim=-1)
+  (fc): Linear(in_features=1024, out_features=10, bias=True)
+)";
+        let opts = ParseOptions {
+            input: InputShape::Image {
+                channels: 3,
+                height: 16,
+                width: 16,
+            },
+            ..ParseOptions::default()
+        };
+        let m = parse_model("Net", dump, opts).unwrap();
+        match &m.layers()[1].kind {
+            LayerKind::Flatten(f) => assert_eq!(f.elements, 4 * 16 * 16),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

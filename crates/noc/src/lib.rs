@@ -1,0 +1,37 @@
+//! # claire-noc — Network-on-Chip / Network-on-Package models
+//!
+//! Input #5 of the CLAIRE framework (DATE 2025): "For the NoC
+//! interface, 40 links per channel with 8 bits per link are selected,
+//! and for the NoP interface, one channel of the AIB 2.0 interface is
+//! employed to ensure similar bandwidth with NoC … A 2D torus topology
+//! with a 5-port router was selected for the NoC/NoP."
+//!
+//! Intra-chiplet traffic rides the [`Network::noc`] model; inter-
+//! chiplet traffic crosses the [`Network::nop_aib2`] model. Both share
+//! the same bandwidth by construction (the paper's equal-bandwidth
+//! setup, which is why latency barely changes across configurations),
+//! but the NoP pays a higher per-bit energy — the quantity the
+//! Louvain clustering step minimises.
+//!
+//! # Example
+//!
+//! ```
+//! use claire_noc::Network;
+//!
+//! let noc = Network::noc();
+//! let nop = Network::nop_aib2();
+//! // Equal bandwidth: transferring the same payload takes the same
+//! // serialisation time...
+//! assert_eq!(noc.bytes_per_cycle(), nop.bytes_per_cycle());
+//! // ...but crossing the package costs more energy per bit.
+//! assert!(nop.energy_pj(1024, 1) > noc.energy_pj(1024, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod torus;
+
+pub use network::{LinkConfig, Network, RouterPpa};
+pub use torus::Torus2d;

@@ -1,0 +1,210 @@
+//! Link and router PPA models for the NoC and the AIB-2.0 NoP.
+
+use serde::{Deserialize, Serialize};
+
+/// Channel configuration: parallel links forming one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Parallel links per channel.
+    pub links_per_channel: u32,
+    /// Bits carried per link per cycle.
+    pub bits_per_link: u32,
+    /// Channel clock, Hz.
+    pub clock_hz: u64,
+}
+
+impl LinkConfig {
+    /// Channel payload per cycle, bits.
+    pub fn bits_per_cycle(&self) -> u64 {
+        u64::from(self.links_per_channel) * u64::from(self.bits_per_link)
+    }
+
+    /// Channel bandwidth, bits per second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bits_per_cycle() as f64 * self.clock_hz as f64
+    }
+}
+
+/// Router PPA at a 28-nm-class node (5-port wormhole router; the
+/// paper sources router numbers from Vivet et al., JSSC 2017).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterPpa {
+    /// Router area, mm².
+    pub area_mm2: f64,
+    /// Per-hop traversal latency, cycles.
+    pub hop_cycles: u32,
+    /// Energy per bit per hop (router + link), pJ.
+    pub energy_pj_per_bit_hop: f64,
+}
+
+/// A communication network: channel + router model.
+///
+/// Two constructors cover the paper's setup: [`Network::noc`]
+/// (on-chip) and [`Network::nop_aib2`] (inter-chiplet AIB 2.0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// Channel configuration.
+    pub link: LinkConfig,
+    /// Router model.
+    pub router: RouterPpa,
+}
+
+impl Network {
+    /// The paper's NoC: 40 links × 8 bits per channel at 1 GHz,
+    /// 5-port router, ≈0.35 pJ/bit/hop on-chip.
+    pub fn noc() -> Self {
+        Network {
+            link: LinkConfig {
+                links_per_channel: 40,
+                bits_per_link: 8,
+                clock_hz: 1_000_000_000,
+            },
+            router: RouterPpa {
+                area_mm2: 0.018,
+                hop_cycles: 2,
+                energy_pj_per_bit_hop: 0.35,
+            },
+        }
+    }
+
+    /// The paper's NoP: one AIB 2.0 channel configured for the same
+    /// 320 Gb/s bandwidth as the NoC ("to ensure similar bandwidth
+    /// with NoC, facilitating the analysis of NoP energy overhead"),
+    /// at a higher ≈0.9 pJ/bit (PHY + micro-bump + far-side router).
+    pub fn nop_aib2() -> Self {
+        Network {
+            link: LinkConfig {
+                // AIB 2.0: one channel of 80 data IOs, run here at
+                // 4 Gb/s per IO = 320 Gb/s, expressed per-NoC-cycle.
+                links_per_channel: 40,
+                bits_per_link: 8,
+                clock_hz: 1_000_000_000,
+            },
+            router: RouterPpa {
+                area_mm2: 0.052, // AIB PHY + interface router
+                hop_cycles: 4,   // PHY serialisation + retiming
+                energy_pj_per_bit_hop: 0.90,
+            },
+        }
+    }
+
+    /// Payload bytes the channel moves per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.link.bits_per_cycle() as f64 / 8.0
+    }
+
+    /// Latency to move `bytes` across `hops` routers, seconds:
+    /// serialisation + per-hop traversal.
+    pub fn latency_s(&self, bytes: u64, hops: u32) -> f64 {
+        let ser_cycles = (bytes as f64 / self.bytes_per_cycle()).ceil();
+        let hop_cycles = f64::from(self.router.hop_cycles) * f64::from(hops);
+        (ser_cycles + hop_cycles) / self.link.clock_hz as f64
+    }
+
+    /// Energy to move `bytes` across `hops` routers, pJ. A zero-hop
+    /// transfer (producer and consumer on the same router) is free.
+    pub fn energy_pj(&self, bytes: u64, hops: u32) -> f64 {
+        bytes as f64 * 8.0 * self.router.energy_pj_per_bit_hop * f64::from(hops)
+    }
+
+    /// Latency under sustained background channel utilisation
+    /// `utilization ∈ [0, 1)`: the zero-load latency inflated by an
+    /// M/D/1-style queueing factor `1 + ρ / (2(1 − ρ))` per hop.
+    ///
+    /// The paper's analysis is zero-load (its equal-bandwidth NoC/NoP
+    /// makes latencies "comparable across all design configurations");
+    /// this model quantifies how that breaks down as links saturate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `[0, 1)`.
+    pub fn latency_s_under_load(&self, bytes: u64, hops: u32, utilization: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&utilization),
+            "utilization must be in [0, 1), got {utilization}"
+        );
+        let queueing = 1.0 + utilization / (2.0 * (1.0 - utilization));
+        let ser_cycles = (bytes as f64 / self.bytes_per_cycle()).ceil();
+        let hop_cycles = f64::from(self.router.hop_cycles) * f64::from(hops) * queueing;
+        (ser_cycles + hop_cycles) / self.link.clock_hz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noc_channel_is_40x8_bits() {
+        let n = Network::noc();
+        assert_eq!(n.link.bits_per_cycle(), 320);
+        assert_eq!(n.bytes_per_cycle(), 40.0);
+        assert!((n.link.bandwidth_bps() - 320e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn nop_matches_noc_bandwidth() {
+        // The paper's equal-bandwidth configuration.
+        assert_eq!(
+            Network::noc().link.bandwidth_bps(),
+            Network::nop_aib2().link.bandwidth_bps()
+        );
+    }
+
+    #[test]
+    fn nop_energy_dominates_noc() {
+        let bytes = 1_000_000;
+        let e_noc = Network::noc().energy_pj(bytes, 1);
+        let e_nop = Network::nop_aib2().energy_pj(bytes, 1);
+        assert!(e_nop > 2.0 * e_noc);
+    }
+
+    #[test]
+    fn latency_includes_serialisation_and_hops() {
+        let n = Network::noc();
+        // 400 bytes / 40 B-per-cycle = 10 cycles + 3 hops * 2 cycles.
+        assert!((n.latency_s(400, 3) - 16e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_hops_zero_energy() {
+        assert_eq!(Network::noc().energy_pj(1234, 0), 0.0);
+    }
+
+    #[test]
+    fn energy_linear_in_bytes_and_hops() {
+        let n = Network::nop_aib2();
+        let e1 = n.energy_pj(100, 1);
+        assert!((n.energy_pj(200, 1) - 2.0 * e1).abs() < 1e-9);
+        assert!((n.energy_pj(100, 2) - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_load_matches_base_latency() {
+        let n = Network::noc();
+        assert_eq!(n.latency_s_under_load(400, 3, 0.0), n.latency_s(400, 3));
+    }
+
+    #[test]
+    fn latency_inflates_toward_saturation() {
+        let n = Network::noc();
+        let l_low = n.latency_s_under_load(400, 3, 0.2);
+        let l_high = n.latency_s_under_load(400, 3, 0.9);
+        assert!(l_high > l_low);
+        assert!(l_high > n.latency_s(400, 3) * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn saturated_link_panics() {
+        Network::noc().latency_s_under_load(400, 1, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let n = Network::nop_aib2();
+        let json = serde_json::to_string(&n).unwrap();
+        let back: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(n, back);
+    }
+}

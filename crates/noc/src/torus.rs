@@ -1,0 +1,169 @@
+//! 2-D torus topology with XY dimension-ordered routing.
+
+use serde::{Deserialize, Serialize};
+
+/// A `cols × rows` 2-D torus of 5-port routers (N/E/S/W + local).
+///
+/// Module groups are placed row-major; [`Torus2d::hops`] gives the
+/// dimension-ordered hop count with wraparound in both axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Torus2d {
+    cols: u32,
+    rows: u32,
+}
+
+impl Torus2d {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u32, rows: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "torus dimensions must be non-zero");
+        Torus2d { cols, rows }
+    }
+
+    /// The smallest (near-square) torus holding at least `n` nodes.
+    pub fn fitting(n: usize) -> Self {
+        let n = n.max(1) as u32;
+        let cols = (n as f64).sqrt().ceil() as u32;
+        let rows = n.div_ceil(cols);
+        Torus2d::new(cols, rows)
+    }
+
+    /// Number of router positions.
+    pub fn size(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Row-major coordinates of position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
+    pub fn coords(&self, i: u32) -> (u32, u32) {
+        assert!(i < self.size(), "position {i} out of range");
+        (i % self.cols, i / self.cols)
+    }
+
+    /// Minimal hop count between positions `a` and `b` under XY torus
+    /// routing (wraparound in both dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = ax.abs_diff(bx);
+        let dy = ay.abs_diff(by);
+        dx.min(self.cols - dx) + dy.min(self.rows - dy)
+    }
+
+    /// Number of channels crossing the bisection of the torus: a 2-D
+    /// torus cut across its longer dimension severs `2 × shorter side`
+    /// links (the wraparound doubles the mesh cut).
+    pub fn bisection_channels(&self) -> u32 {
+        2 * self.cols.min(self.rows)
+    }
+
+    /// Mean hop count over all ordered pairs of distinct positions —
+    /// used for uniform-traffic estimates.
+    pub fn average_hops(&self) -> f64 {
+        let n = self.size();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += u64::from(self.hops(a, b));
+                }
+            }
+        }
+        total as f64 / (u64::from(n) * u64::from(n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_row_major() {
+        let t = Torus2d::new(4, 3);
+        assert_eq!(t.coords(0), (0, 0));
+        assert_eq!(t.coords(5), (1, 1));
+        assert_eq!(t.coords(11), (3, 2));
+    }
+
+    #[test]
+    fn hops_wrap_around() {
+        let t = Torus2d::new(4, 4);
+        // 0 = (0,0), 3 = (3,0): direct 3 hops, wrap 1 hop.
+        assert_eq!(t.hops(0, 3), 1);
+        // 0 = (0,0), 12 = (0,3): wrap 1 hop.
+        assert_eq!(t.hops(0, 12), 1);
+        // 0 -> (2,2) = 10: 2 + 2.
+        assert_eq!(t.hops(0, 10), 4);
+    }
+
+    #[test]
+    fn hops_symmetric_and_zero_on_self() {
+        let t = Torus2d::new(3, 5);
+        for a in 0..t.size() {
+            assert_eq!(t.hops(a, a), 0);
+            for b in 0..t.size() {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn fitting_covers_n() {
+        for n in 1..40 {
+            let t = Torus2d::fitting(n);
+            assert!(t.size() as usize >= n, "{n} > {}", t.size());
+        }
+        assert_eq!(Torus2d::fitting(9).size(), 9);
+        assert_eq!(Torus2d::fitting(10).size(), 12);
+    }
+
+    #[test]
+    fn average_hops_2x2() {
+        // Every distinct pair in a 2x2 torus is 1 or 2 hops:
+        // (0,1)=1 (0,2)=1 (0,3)=2 ... mean = (1+1+2)*4/(4*3) = 4/3.
+        let t = Torus2d::new(2, 2);
+        assert!((t.average_hops() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisection_channels_formula() {
+        assert_eq!(Torus2d::new(4, 4).bisection_channels(), 8);
+        assert_eq!(Torus2d::new(8, 2).bisection_channels(), 4);
+        assert_eq!(Torus2d::new(1, 1).bisection_channels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        Torus2d::new(2, 2).hops(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        Torus2d::new(0, 3);
+    }
+}

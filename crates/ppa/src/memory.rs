@@ -1,0 +1,111 @@
+//! Off-chip memory (weight-streaming) model.
+//!
+//! The paper's latency model is compute-only: every weight is assumed
+//! resident next to its systolic array. That is defensible for the
+//! CNN-scale algorithms but not for the billion-parameter LLMs in the
+//! training set, whose single-inference latency is bounded by weight
+//! bandwidth, not MACs. This model adds that bound as an *option*
+//! (`EvalOptions`-style opt-in in `claire-core`), so the paper's
+//! numbers stay reproducible while the memory-wall ablation can
+//! quantify what they omit.
+
+use claire_model::LayerKind;
+use serde::{Deserialize, Serialize};
+
+/// An off-chip memory system streaming weights to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Sustained bandwidth, bytes per compute-clock cycle (at the
+    /// 1-GHz model clock, 1 B/cycle = 1 GB/s).
+    pub bytes_per_cycle: f64,
+    /// Access energy, pJ per byte.
+    pub energy_pj_per_byte: f64,
+}
+
+impl MemoryModel {
+    /// A single DDR4-3200 channel: 25.6 GB/s, ≈ 15 pJ/B.
+    pub fn ddr4_3200() -> Self {
+        MemoryModel {
+            bytes_per_cycle: 25.6,
+            energy_pj_per_byte: 15.0,
+        }
+    }
+
+    /// One HBM2E stack: 460 GB/s, ≈ 4 pJ/B.
+    pub fn hbm2e() -> Self {
+        MemoryModel {
+            bytes_per_cycle: 460.0,
+            energy_pj_per_byte: 4.0,
+        }
+    }
+
+    /// Cycles to stream `bytes` of weights (double-buffered behind
+    /// compute; the caller takes `max(compute, streaming)`).
+    pub fn stream_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Energy to stream `bytes`, pJ.
+    pub fn stream_energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte
+    }
+}
+
+/// Weight bytes a layer must stream at 8-bit precision (its trainable
+/// parameters; zero for activation/pooling/reshape layers).
+pub fn layer_weight_bytes(kind: &LayerKind) -> u64 {
+    match kind {
+        LayerKind::Conv2d(c) => c.params(),
+        LayerKind::Conv1d(c) => c.params(),
+        LayerKind::Linear(l) => l.params(),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_model::Linear;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(MemoryModel::hbm2e().bytes_per_cycle > 10.0 * MemoryModel::ddr4_3200().bytes_per_cycle / 2.0);
+        assert!(MemoryModel::hbm2e().energy_pj_per_byte < MemoryModel::ddr4_3200().energy_pj_per_byte);
+    }
+
+    #[test]
+    fn stream_cycles_round_up() {
+        let m = MemoryModel {
+            bytes_per_cycle: 32.0,
+            energy_pj_per_byte: 1.0,
+        };
+        assert_eq!(m.stream_cycles(64), 2);
+        assert_eq!(m.stream_cycles(65), 3);
+        assert_eq!(m.stream_cycles(0), 0);
+    }
+
+    #[test]
+    fn weight_bytes_follow_params() {
+        let l = LayerKind::Linear(Linear {
+            in_features: 4096,
+            out_features: 4096,
+            tokens: 1,
+        });
+        assert_eq!(layer_weight_bytes(&l), 4096 * 4096 + 4096);
+        let act = LayerKind::Activation(claire_model::Activation {
+            kind: claire_model::ActivationKind::Relu,
+            elements: 100,
+        });
+        assert_eq!(layer_weight_bytes(&act), 0);
+    }
+
+    #[test]
+    fn llama_scale_weights_take_hundreds_of_ms_on_ddr4() {
+        // 8 GB of weights at 25.6 GB/s ≈ 0.31 s — the memory wall the
+        // compute-only model hides.
+        let m = MemoryModel::ddr4_3200();
+        let cycles = m.stream_cycles(8_000_000_000);
+        let seconds = cycles as f64 / 1e9;
+        assert!((0.25..0.40).contains(&seconds), "{seconds}");
+    }
+}

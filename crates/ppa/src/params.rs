@@ -1,0 +1,198 @@
+//! The tunable hardware parameter file (Input #2) and the DSE sweep
+//! (Input #5 of Algorithm 1): systolic-array size, number of arrays,
+//! number of activation units and number of pooling units.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One hardware design point — the adjustable parameters the paper
+/// lists for the tunable hardware parameter file.
+///
+/// `n_act`/`n_pool` are per *kind*: a configuration whose workloads
+/// need ReLU and GELU instantiates `n_act` ReLU units and `n_act` GELU
+/// units (matching Table II, where each library row reports one count
+/// next to its set of activation types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HwParams {
+    /// Systolic array dimension (the array is `sa_size × sa_size` PEs).
+    pub sa_size: u32,
+    /// Number of systolic arrays per systolic module group.
+    pub n_sa: u32,
+    /// Number of activation units per activation kind present.
+    pub n_act: u32,
+    /// Number of pooling units per pooling kind present.
+    pub n_pool: u32,
+}
+
+impl HwParams {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero; use [`HwParams::try_new`] for a
+    /// fallible constructor.
+    pub fn new(sa_size: u32, n_sa: u32, n_act: u32, n_pool: u32) -> Self {
+        Self::try_new(sa_size, n_sa, n_act, n_pool).expect("hardware parameters must be non-zero")
+    }
+
+    /// Fallible constructor validating all parameters are non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwParamsError::Zero`] naming the offending field.
+    pub fn try_new(sa_size: u32, n_sa: u32, n_act: u32, n_pool: u32) -> Result<Self, HwParamsError> {
+        for (name, v) in [
+            ("sa_size", sa_size),
+            ("n_sa", n_sa),
+            ("n_act", n_act),
+            ("n_pool", n_pool),
+        ] {
+            if v == 0 {
+                return Err(HwParamsError::Zero { field: name });
+            }
+        }
+        Ok(HwParams {
+            sa_size,
+            n_sa,
+            n_act,
+            n_pool,
+        })
+    }
+
+    /// Total PEs across one systolic module group.
+    pub fn total_pes(&self) -> u64 {
+        u64::from(self.sa_size) * u64::from(self.sa_size) * u64::from(self.n_sa)
+    }
+}
+
+impl fmt::Display for HwParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} SA x{}, {} act, {} pool",
+            self.sa_size, self.sa_size, self.n_sa, self.n_act, self.n_pool
+        )
+    }
+}
+
+/// Error validating [`HwParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwParamsError {
+    /// A parameter was zero.
+    Zero {
+        /// Which field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for HwParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwParamsError::Zero { field } => write!(f, "hardware parameter `{field}` must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for HwParamsError {}
+
+/// The design-space-exploration sweep: the cartesian product of the
+/// parameter axes. The default is 3 values per axis = 3⁴ = **81
+/// configurations**, matching "The DSE run encompassed 81
+/// configurations".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DseSpace {
+    /// Candidate systolic-array dimensions.
+    pub sa_sizes: Vec<u32>,
+    /// Candidate array counts.
+    pub n_sas: Vec<u32>,
+    /// Candidate activation-unit counts.
+    pub n_acts: Vec<u32>,
+    /// Candidate pooling-unit counts.
+    pub n_pools: Vec<u32>,
+}
+
+impl Default for DseSpace {
+    fn default() -> Self {
+        DseSpace {
+            sa_sizes: vec![16, 32, 64],
+            n_sas: vec![16, 32, 64],
+            n_acts: vec![8, 16, 32],
+            n_pools: vec![8, 16, 32],
+        }
+    }
+}
+
+impl DseSpace {
+    /// Number of configurations in the sweep.
+    pub fn len(&self) -> usize {
+        self.sa_sizes.len() * self.n_sas.len() * self.n_acts.len() * self.n_pools.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates every configuration in deterministic axis order.
+    pub fn iter(&self) -> impl Iterator<Item = HwParams> + '_ {
+        self.sa_sizes.iter().flat_map(move |&s| {
+            self.n_sas.iter().flat_map(move |&n| {
+                self.n_acts.iter().flat_map(move |&a| {
+                    self.n_pools
+                        .iter()
+                        .map(move |&p| HwParams::new(s, n, a, p))
+                })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_is_81_configurations() {
+        let space = DseSpace::default();
+        assert_eq!(space.len(), 81);
+        assert_eq!(space.iter().count(), 81);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_unique() {
+        let space = DseSpace::default();
+        let a: Vec<_> = space.iter().collect();
+        let b: Vec<_> = space.iter().collect();
+        assert_eq!(a, b);
+        let mut set: Vec<_> = a.clone();
+        set.dedup();
+        assert_eq!(set.len(), 81);
+    }
+
+    #[test]
+    fn zero_parameter_rejected() {
+        let err = HwParams::try_new(32, 0, 16, 16).unwrap_err();
+        assert_eq!(err, HwParamsError::Zero { field: "n_sa" });
+        assert!(err.to_string().contains("n_sa"));
+    }
+
+    #[test]
+    fn total_pes() {
+        assert_eq!(HwParams::new(32, 32, 16, 16).total_pes(), 32 * 32 * 32);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = HwParams::new(32, 64, 16, 8).to_string();
+        assert!(s.contains("32x32"));
+        assert!(s.contains("x64"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let space = DseSpace::default();
+        let json = serde_json::to_string(&space).unwrap();
+        let back: DseSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(space, back);
+    }
+}

@@ -1,0 +1,136 @@
+//! First-order technology-node scaling.
+//!
+//! The paper fixes TSMC 28 nm. These factors project its PPA results
+//! to 16 nm and 7 nm-class nodes (logic-density, dynamic-energy and
+//! frequency scaling taken from published foundry/ISSCC survey
+//! figures) so the node-sensitivity bench can ask whether the
+//! chiplet-library conclusions survive process migration — they do,
+//! and the *absolute* NRE stakes grow steeply (see
+//! `claire-cost::NreModel::{tsmc16, tsmc7}`).
+//!
+//! First-order means one scalar per axis: wires, SRAM and analog
+//! scale worse than logic in reality, so treat projections as bands,
+//! not point values.
+
+use serde::{Deserialize, Serialize};
+
+/// Process node identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// TSMC 28 nm-class (the paper's node; scaling identity).
+    N28,
+    /// 16 nm-class FinFET.
+    N16,
+    /// 7 nm-class FinFET.
+    N7,
+}
+
+/// Scaling factors relative to the 28-nm calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeScaling {
+    /// The node.
+    pub node: TechNode,
+    /// Logic-area multiplier (< 1 shrinks).
+    pub area_scale: f64,
+    /// Dynamic-energy multiplier (< 1 saves).
+    pub energy_scale: f64,
+    /// Achievable-frequency multiplier (> 1 speeds up).
+    pub frequency_scale: f64,
+}
+
+impl NodeScaling {
+    /// Identity scaling: the paper's 28-nm baseline.
+    pub fn n28() -> Self {
+        NodeScaling {
+            node: TechNode::N28,
+            area_scale: 1.0,
+            energy_scale: 1.0,
+            frequency_scale: 1.0,
+        }
+    }
+
+    /// 16 nm-class: ≈ 0.50× area, 0.60× energy, 1.3× frequency.
+    pub fn n16() -> Self {
+        NodeScaling {
+            node: TechNode::N16,
+            area_scale: 0.50,
+            energy_scale: 0.60,
+            frequency_scale: 1.3,
+        }
+    }
+
+    /// 7 nm-class: ≈ 0.20× area, 0.35× energy, 1.8× frequency.
+    pub fn n7() -> Self {
+        NodeScaling {
+            node: TechNode::N7,
+            area_scale: 0.20,
+            energy_scale: 0.35,
+            frequency_scale: 1.8,
+        }
+    }
+
+    /// All nodes, coarsest first.
+    pub fn all() -> [NodeScaling; 3] {
+        [Self::n28(), Self::n16(), Self::n7()]
+    }
+
+    /// Projects an area from the 28-nm calibration.
+    pub fn scale_area_mm2(&self, area_mm2: f64) -> f64 {
+        area_mm2 * self.area_scale
+    }
+
+    /// Projects an energy from the 28-nm calibration.
+    pub fn scale_energy_j(&self, energy_j: f64) -> f64 {
+        energy_j * self.energy_scale
+    }
+
+    /// Projects a latency from the 28-nm calibration (same cycle
+    /// count at a faster clock).
+    pub fn scale_latency_s(&self, latency_s: f64) -> f64 {
+        latency_s / self.frequency_scale
+    }
+}
+
+impl Default for NodeScaling {
+    fn default() -> Self {
+        Self::n28()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n28_is_identity() {
+        let s = NodeScaling::n28();
+        assert_eq!(s.scale_area_mm2(37.5), 37.5);
+        assert_eq!(s.scale_energy_j(1e-3), 1e-3);
+        assert_eq!(s.scale_latency_s(2e-3), 2e-3);
+    }
+
+    #[test]
+    fn advanced_nodes_shrink_and_speed_up() {
+        for s in [NodeScaling::n16(), NodeScaling::n7()] {
+            assert!(s.scale_area_mm2(100.0) < 100.0, "{:?}", s.node);
+            assert!(s.scale_energy_j(1.0) < 1.0, "{:?}", s.node);
+            assert!(s.scale_latency_s(1.0) < 1.0, "{:?}", s.node);
+        }
+        // 7 nm dominates 16 nm on every axis.
+        let (a, b) = (NodeScaling::n16(), NodeScaling::n7());
+        assert!(b.area_scale < a.area_scale);
+        assert!(b.energy_scale < a.energy_scale);
+        assert!(b.frequency_scale > a.frequency_scale);
+    }
+
+    #[test]
+    fn power_density_rises_with_scaling() {
+        // The dark-silicon fact: energy shrinks slower than area, so
+        // power density climbs at each node — the thermal constraint
+        // tightens exactly as the paper's PD_limit anticipates.
+        for s in [NodeScaling::n16(), NodeScaling::n7()] {
+            let pd_scale = (s.energy_scale / s.scale_latency_s(1.0)) / s.area_scale;
+            assert!(pd_scale > 1.0, "{:?}: {pd_scale}", s.node);
+        }
+    }
+}

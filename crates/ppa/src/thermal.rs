@@ -1,0 +1,110 @@
+//! Steady-state thermal model.
+//!
+//! The paper imposes "an upper limit on power density (PD_limit) to
+//! manage chip temperature" without deriving it. This model supplies
+//! the derivation: with an area-normalised junction-to-ambient
+//! resistance `θ_ja` (°C·mm²/W), steady-state junction temperature is
+//! `T_j = T_ambient + PD · θ_ja`, so a junction limit translates
+//! directly into the paper's power-density constraint.
+
+use serde::{Deserialize, Serialize};
+
+/// Area-normalised steady-state package thermal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient (board/heatsink inlet) temperature, °C.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance normalised by die area,
+    /// °C·mm²/W (a 2.5-D package under a forced-air heatsink lands
+    /// around 60 °C·mm²/W).
+    pub theta_ja_c_mm2_per_w: f64,
+    /// Maximum junction temperature, °C.
+    pub t_junction_max_c: f64,
+}
+
+impl ThermalModel {
+    /// A cloud-accelerator package: 45 °C ambient, θ_ja = 60 °C·mm²/W,
+    /// 105 °C junction limit — which yields exactly the paper-default
+    /// 1 W/mm² power-density constraint.
+    pub fn cloud_heatsink() -> Self {
+        ThermalModel {
+            ambient_c: 45.0,
+            theta_ja_c_mm2_per_w: 60.0,
+            t_junction_max_c: 105.0,
+        }
+    }
+
+    /// Steady-state junction temperature at the given power density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_density_w_per_mm2` is negative.
+    pub fn junction_c(&self, power_density_w_per_mm2: f64) -> f64 {
+        assert!(
+            power_density_w_per_mm2 >= 0.0,
+            "power density must be non-negative"
+        );
+        self.ambient_c + power_density_w_per_mm2 * self.theta_ja_c_mm2_per_w
+    }
+
+    /// The power-density limit implied by the junction-temperature
+    /// budget — the paper's `PD_limit`.
+    pub fn implied_pd_limit_w_per_mm2(&self) -> f64 {
+        (self.t_junction_max_c - self.ambient_c) / self.theta_ja_c_mm2_per_w
+    }
+
+    /// Whether a design point is thermally feasible.
+    pub fn is_feasible(&self, power_density_w_per_mm2: f64) -> bool {
+        self.junction_c(power_density_w_per_mm2) <= self.t_junction_max_c
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::cloud_heatsink()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_package_implies_the_paper_pd_limit() {
+        // (105 − 45) / 60 = 1.0 W/mm² — the default PD_limit of the
+        // framework's Constraints.
+        let t = ThermalModel::cloud_heatsink();
+        assert!((t.implied_pd_limit_w_per_mm2() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn junction_temperature_is_affine_in_pd() {
+        let t = ThermalModel::cloud_heatsink();
+        assert_eq!(t.junction_c(0.0), 45.0);
+        assert_eq!(t.junction_c(0.5), 75.0);
+        assert_eq!(t.junction_c(1.0), 105.0);
+    }
+
+    #[test]
+    fn feasibility_matches_the_limit() {
+        let t = ThermalModel::cloud_heatsink();
+        assert!(t.is_feasible(0.99));
+        assert!(t.is_feasible(1.0));
+        assert!(!t.is_feasible(1.01));
+    }
+
+    #[test]
+    fn better_cooling_raises_the_limit() {
+        let liquid = ThermalModel {
+            theta_ja_c_mm2_per_w: 20.0,
+            ..ThermalModel::cloud_heatsink()
+        };
+        assert!(liquid.implied_pd_limit_w_per_mm2() > 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_pd_panics() {
+        ThermalModel::cloud_heatsink().junction_c(-0.1);
+    }
+}

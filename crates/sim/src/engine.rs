@@ -1,0 +1,174 @@
+//! The event queue: a deterministic discrete-event kernel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fires at `time` carrying an opaque payload.
+///
+/// Events at equal times fire in insertion order (a monotonically
+/// increasing sequence number breaks ties), so simulations are fully
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<T> {
+    /// Firing time, cycles.
+    pub time: u64,
+    seq: u64,
+    /// Payload.
+    pub payload: T,
+}
+
+impl<T: Eq> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for the max-heap: earliest time (then lowest seq)
+        // comes out first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue.
+///
+/// # Example
+///
+/// ```
+/// use claire_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// q.schedule(10, "c");
+/// assert_eq!(q.pop().map(|e| (e.time, e.payload)), Some((5, "a")));
+/// assert_eq!(q.pop().map(|e| e.payload), Some("b")); // FIFO at equal time
+/// assert_eq!(q.pop().map(|e| e.payload), Some("c"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: Eq> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<T: Eq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq> EventQueue<T> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past (before the last popped event).
+    pub fn schedule(&mut self, time: u64, payload: T) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, payload });
+    }
+
+    /// Schedules `payload` `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: u64, payload: T) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the next event, advancing the simulation clock.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let e = self.heap.pop()?;
+        self.now = e.time;
+        Some(e)
+    }
+
+    /// The current simulation time (time of the last popped event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(42, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.schedule(9, ());
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.schedule_in(2, ());
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(3, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # claire-sim — discrete-event validation of the analytical models
+//!
+//! The CLAIRE paper is a purely analytical study: its latencies come
+//! from closed-form tiling formulas, never from execution. This crate
+//! closes that gap with a cycle-approximate discrete-event simulator
+//! of the same hardware (systolic-array groups, vector units, NoC and
+//! AIB NoP channels) so the analytical numbers can be *checked* rather
+//! than trusted:
+//!
+//! * [`simulate`] in [`Mode::Strict`] reproduces the paper's execution
+//!   semantics — layers run sequentially, tiles fill the arrays in
+//!   waves, each inter-layer transfer fully serialises — and must agree
+//!   with [`claire_core::evaluate`] cycle-for-cycle (pinned by tests
+//!   and the `validate_sim` bench).
+//! * [`Mode::Overlapped`] adds tile-granular double buffering: output
+//!   chunks stream over the interconnect while the producer is still
+//!   computing, hiding transfer latency behind compute — an execution
+//!   optimisation the analytical model cannot see.
+//!
+//! # Example
+//!
+//! ```
+//! use claire_core::{Claire, ClaireOptions};
+//! use claire_model::zoo;
+//! use claire_sim::{simulate, Mode};
+//!
+//! # fn main() -> Result<(), claire_core::ClaireError> {
+//! let claire = Claire::new(ClaireOptions::default());
+//! let model = zoo::alexnet();
+//! let custom = claire.custom_for(&model)?;
+//! let strict = simulate(&model, &custom.config, Mode::Strict)?;
+//! let analytical = claire_core::evaluate::evaluate(&model, &custom.config)?;
+//! let rel = (strict.latency_s() - analytical.latency_s).abs() / analytical.latency_s;
+//! assert!(rel < 0.01, "simulator and analytical model agree");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod report;
+mod simulate;
+
+pub use engine::{Event, EventQueue};
+pub use report::SimReport;
+pub use simulate::{pipelined_throughput, simulate, simulate_batch, simulate_trace, Mode, TraceSpan};

@@ -1,0 +1,91 @@
+//! Simulation results.
+
+use claire_model::OpClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Results of one simulated inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end cycles.
+    pub cycles: u64,
+    /// Busy cycles per hardware-unit class (array-occupancy for
+    /// systolic groups: a wave of `n` busy arrays counts its duration
+    /// once).
+    pub busy_cycles: Vec<(OpClass, u64)>,
+    /// Cycles the NoC channels spent serialising transfers.
+    pub noc_busy_cycles: u64,
+    /// Cycles the NoP (AIB) channel spent serialising transfers.
+    pub nop_busy_cycles: u64,
+    /// Number of inter-unit transfers simulated.
+    pub transfers: u64,
+    /// Number of tile/sub-task executions simulated.
+    pub tiles_executed: u64,
+    /// Total dynamic energy, joules (compute + NoC + NoP) — must match
+    /// the analytical evaluator (pinned by tests).
+    pub energy_j: f64,
+}
+
+impl SimReport {
+    /// Latency in seconds at the modelled clock.
+    pub fn latency_s(&self) -> f64 {
+        self.cycles as f64 / claire_ppa::tech28::CLOCK_HZ
+    }
+
+    /// Temporal utilisation of a unit class: its busy cycles divided
+    /// by the end-to-end cycles.
+    pub fn temporal_utilization(&self, class: OpClass) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let busy = self
+            .busy_cycles
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, b)| *b)
+            .unwrap_or(0);
+        busy as f64 / self.cycles as f64
+    }
+
+    /// The busy-cycle map as a lookup table.
+    pub fn busy_map(&self) -> BTreeMap<OpClass, u64> {
+        self.busy_cycles.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            cycles: 1000,
+            busy_cycles: vec![(OpClass::Conv2d, 600), (OpClass::Linear, 100)],
+            noc_busy_cycles: 50,
+            nop_busy_cycles: 10,
+            transfers: 4,
+            tiles_executed: 32,
+            energy_j: 1e-3,
+        }
+    }
+
+    #[test]
+    fn latency_uses_model_clock() {
+        assert!((report().latency_s() - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn temporal_utilization_ratio() {
+        let r = report();
+        assert!((r.temporal_utilization(OpClass::Conv2d) - 0.6).abs() < 1e-12);
+        assert_eq!(r.temporal_utilization(OpClass::Flatten), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

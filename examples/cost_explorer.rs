@@ -1,0 +1,35 @@
+//! Chiplet cost exploration: how NRE and per-unit cost trade against
+//! chiplet granularity for a fixed silicon budget - the economics
+//! behind the paper's library argument.
+//!
+//! Run with: `cargo run --release --example cost_explorer`
+
+use claire::cost::{NreModel, RecurringModel};
+
+fn main() {
+    let nre = NreModel::tsmc28();
+    let re = RecurringModel::tsmc28();
+    let total_area = 120.0; // mm^2 of accelerator silicon
+
+    println!("fixed {} mm^2 of silicon, split N ways:", total_area);
+    println!("{:>3} {:>12} {:>12} {:>14} {:>16}", "N", "NRE (M$)", "unit ($)", "yield/die", "breakeven units");
+    for n in [1_usize, 2, 3, 4, 6, 8, 12] {
+        let areas = vec![total_area / n as f64; n];
+        let nre_m = nre.system_nre(&areas);
+        let unit = re.system_unit_cost(&areas);
+        let y = re.yield_fraction(total_area / n as f64);
+        // volume at which N-way matches the monolithic total cost
+        let mono_nre = nre.system_nre(&[total_area]);
+        let mono_unit = re.system_unit_cost(&[total_area]);
+        let breakeven = if unit < mono_unit {
+            format!("{:.0}", (nre_m - mono_nre).max(0.0) * 1e6 / (mono_unit - unit))
+        } else {
+            "-".to_owned()
+        };
+        println!("{n:>3} {nre_m:>12.2} {unit:>12.2} {y:>14.3} {breakeven:>16}");
+    }
+    println!();
+    println!("More chiplet types raise NRE (masks/IP per type) but improve");
+    println!("yield; reusing *library* chiplets across products removes the");
+    println!("per-product NRE term entirely - the CLAIRE argument.");
+}

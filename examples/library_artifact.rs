@@ -1,0 +1,49 @@
+//! The downstream-user workflow: load a hardened chiplet library from
+//! disk and deploy new algorithms onto it - no retraining, zero new
+//! die NRE.
+//!
+//! Run with: `cargo run --release --example library_artifact`
+
+use claire::core::{
+    paper_table3_subsets, ChipletLibrary, Claire, ClaireOptions, SubsetStrategy, WeightScale,
+};
+use claire::cost::NreModel;
+use claire::model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Vendor side: train once, ship the artifact.
+    let claire = Claire::new(ClaireOptions {
+        subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+        ..ClaireOptions::default()
+    });
+    let train = claire.train(&zoo::training_set())?;
+    let lib = ChipletLibrary::from_training("claire-2025", &train, NreModel::tsmc28());
+    let path = std::env::temp_dir().join("claire-library.json");
+    lib.save(&path)?;
+    println!("shipped {} ({} configurations) to {}", lib.name, lib.entries.len(), path.display());
+
+    // --- Customer side: load and deploy, never re-running DSE.
+    let lib = ChipletLibrary::load(&path)?;
+    for model in [zoo::bert_base(), zoo::detr(), zoo::wav2vec2_base(), zoo::t5_small()] {
+        match lib.deploy(&model, WeightScale::Log) {
+            Ok(d) => println!(
+                "{:16} -> {} | coverage {:.0}% | util {:.2} | {:.3} ms | avoided NRE {}",
+                model.name(),
+                d.config_name,
+                d.coverage * 100.0,
+                d.utilization,
+                d.ppa.latency_s * 1e3,
+                d.custom_nre_avoided
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "n/a".into()),
+            ),
+            Err(e) => println!("{:16} -> no fit: {e}", model.name()),
+        }
+    }
+    // The composability gap is reported, not papered over.
+    if let Err(e) = lib.deploy(&zoo::efficientnet_b0(), WeightScale::Log) {
+        println!("{:16} -> no fit: {e}", "EfficientNet-B0");
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

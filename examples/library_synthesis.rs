@@ -1,0 +1,50 @@
+//! The full CLAIRE flow: train library-synthesized chiplet
+//! configurations on the paper's 13 training algorithms, then deploy
+//! the 6 test algorithms onto them.
+//!
+//! Run with: `cargo run --release --example library_synthesis`
+
+use claire::core::{paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy};
+use claire::model::zoo;
+
+fn main() -> Result<(), claire::core::ClaireError> {
+    // Pin the paper's Table III partition; drop `subsets` to let the
+    // weighted-Jaccard clustering find its own grouping.
+    let claire = Claire::new(ClaireOptions {
+        subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+        ..ClaireOptions::default()
+    });
+
+    let training = zoo::training_set();
+    let out = claire.train(&training)?;
+
+    println!("=== training phase ===");
+    println!("generic configuration C_g: {} chiplets, {:.1} mm^2 total",
+        out.generic.chiplet_count(), out.generic.area_mm2());
+    for lib in &out.libraries {
+        println!("{} <- {:?}", lib.config.name, lib.member_names);
+        println!("   {} chiplet(s), NRE {:.3} vs cumulative custom {:.3} ({:.2}x cheaper)",
+            lib.config.chiplet_count(),
+            lib.nre_normalized,
+            lib.cumulative_custom_nre,
+            lib.cumulative_custom_nre / lib.nre_normalized);
+    }
+
+    println!();
+    println!("=== test phase ===");
+    let tests = zoo::test_set();
+    let t = claire.evaluate_test(&out, &tests)?;
+    for r in &t.reports {
+        let lib = r.assigned_library
+            .map(|k| out.libraries[k].config.name.clone())
+            .unwrap_or_else(|| "(none)".into());
+        println!("{:12} -> {}  coverage {:.0}%  utilization {:.3} (vs {:.3} on C_g)",
+            r.model_name, lib, r.coverage * 100.0,
+            r.utilization_library, r.utilization_generic);
+    }
+    for (k, names, cstm, nre) in &t.nre_rows {
+        println!("NRE on {}: custom {:.3} vs library {:.3} -> {:.2}x saved for {:?}",
+            out.libraries[*k].config.name, cstm, nre, cstm / nre, names);
+    }
+    Ok(())
+}

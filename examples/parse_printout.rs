@@ -1,0 +1,54 @@
+//! Bring-your-own-model: parse a PyTorch `print(model)` dump (the
+//! paper's actual ingestion format) and derive a custom accelerator
+//! for it.
+//!
+//! Run with: `cargo run --release --example parse_printout`
+
+use claire::core::{Claire, ClaireOptions};
+use claire::model::parse::{parse_model, InputShape, ParseOptions};
+use claire::model::ModelClass;
+
+// A small edge-vision network, as PyTorch would print it.
+const DUMP: &str = "\
+EdgeNet(
+  (features): Sequential(
+    (0): Conv2d(3, 32, kernel_size=(3, 3), stride=(2, 2), padding=(1, 1))
+    (1): BatchNorm2d(32, eps=1e-05, momentum=0.1)
+    (2): ReLU(inplace=True)
+    (3): Conv2d(32, 64, kernel_size=(3, 3), stride=(1, 1), padding=(1, 1))
+    (4): ReLU(inplace=True)
+    (5): MaxPool2d(kernel_size=2, stride=2, padding=0)
+    (6): Conv2d(64, 128, kernel_size=(3, 3), stride=(1, 1), padding=(1, 1))
+    (7): ReLU(inplace=True)
+  )
+  (avgpool): AdaptiveAvgPool2d(output_size=(1, 1))
+  (classifier): Sequential(
+    (0): Dropout(p=0.2, inplace=False)
+    (1): Linear(in_features=128, out_features=10, bias=True)
+  )
+)";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ParseOptions {
+        input: InputShape::Image { channels: 3, height: 96, width: 96 },
+        class: ModelClass::Cnn,
+    };
+    let model = parse_model("EdgeNet", DUMP, opts)?;
+    println!("parsed {} layers; {:.1} MMACs, {} params",
+        model.layer_count(),
+        model.macs() as f64 / 1e6,
+        model.param_count());
+    for l in model.layers() {
+        println!("  {:24} -> {}", l.name, l.op_class());
+    }
+
+    let claire = Claire::new(ClaireOptions::default());
+    let custom = claire.custom_for(&model)?;
+    println!("custom accelerator: {} | {} chiplet(s) | {:.1} mm^2 | {:.3} ms | {:.3} mJ",
+        custom.config.hw,
+        custom.config.chiplet_count(),
+        custom.report.area_mm2,
+        custom.report.latency_s * 1e3,
+        custom.report.energy_j * 1e3);
+    Ok(())
+}

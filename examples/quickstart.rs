@@ -1,0 +1,40 @@
+//! Quickstart: derive a custom chiplet-based accelerator for one AI
+//! model and print its configuration and PPA.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use claire::core::{Claire, ClaireOptions};
+use claire::model::zoo;
+
+fn main() -> Result<(), claire::core::ClaireError> {
+    // The framework with the paper's default constraints:
+    // chiplet area <= 100 mm^2, power density <= 1 W/mm^2,
+    // latency within 1.5x of the best feasible design.
+    let claire = Claire::new(ClaireOptions::default());
+
+    // Pick a workload from the built-in zoo (or parse your own
+    // `print(model)` dump - see the parse_printout example).
+    let model = zoo::resnet50();
+    println!("workload: {} ({} layers, {:.1} GMACs)",
+        model.name(),
+        model.layer_count(),
+        model.macs() as f64 / 1e9);
+
+    // Sweep the 81-configuration design space, apply the constraints,
+    // and cluster the winner into chiplets.
+    let custom = claire.custom_for(&model)?;
+
+    println!("selected hardware: {}", custom.config.hw);
+    println!("chiplets:");
+    for c in &custom.config.chiplets {
+        let groups: Vec<String> = c.classes.iter().map(|g| g.label()).collect();
+        println!("  {} ({:.1} mm^2): {}", c.name, c.area_mm2, groups.join(", "));
+    }
+    println!("PPA:");
+    println!("  latency       {:.3} ms", custom.report.latency_s * 1e3);
+    println!("  energy        {:.3} mJ", custom.report.energy_j * 1e3);
+    println!("  area          {:.1} mm^2", custom.report.area_mm2);
+    println!("  power density {:.3} W/mm^2", custom.report.power_density_w_per_mm2());
+    println!("  NoP energy    {:.1} uJ (inter-chiplet)", custom.report.nop_energy_j * 1e6);
+    Ok(())
+}

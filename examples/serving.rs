@@ -1,0 +1,40 @@
+//! Cloud-serving scenario: pick a library configuration for a
+//! deployment mix, then compare serial latency, overlapped execution
+//! and pipelined batch throughput on it - the Input #4 "cloud
+//! application" setting the paper's constraints come from.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use claire::core::{paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy};
+use claire::model::zoo;
+use claire::sim::{pipelined_throughput, simulate, simulate_batch, Mode};
+
+fn main() -> Result<(), claire::core::ClaireError> {
+    let claire = Claire::new(ClaireOptions {
+        subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+        ..ClaireOptions::default()
+    });
+    let out = claire.train(&zoo::training_set())?;
+
+    // A vision-serving pod deployed on the CNN library C_1.
+    let c1 = &out.libraries[0].config;
+    println!("serving on {} ({} chiplets, {:.1} mm^2):", c1.name, c1.chiplet_count(), c1.area_mm2());
+    for m in [zoo::resnet50(), zoo::mobilenet_v2(), zoo::alexnet()] {
+        let strict = simulate(&m, c1, Mode::Strict)?;
+        let overlapped = simulate(&m, c1, Mode::Overlapped)?;
+        let ideal = pipelined_throughput(&m, c1)?;
+        let b64 = simulate_batch(&m, c1, 64)?;
+        let achieved = 64.0 / (b64 as f64 / 1e9);
+        println!("  {:12} {:7.3} ms serial | {:7.3} ms overlapped | {:7.0} inf/s greedy batch | {:7.0} inf/s ideal",
+            m.name(),
+            strict.latency_s() * 1e3,
+            overlapped.latency_s() * 1e3,
+            achieved,
+            ideal);
+    }
+    println!();
+    println!("greedy FIFO batching sits between serial and the ideal cyclic");
+    println!("schedule; the gap is the re-entrant-pipeline cost of running a");
+    println!("whole CNN through two chiplets.");
+    Ok(())
+}

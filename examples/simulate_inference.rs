@@ -1,0 +1,26 @@
+//! Validate the analytical PPA model with the discrete-event
+//! simulator, then explore the overlapped-execution headroom.
+//!
+//! Run with: `cargo run --release --example simulate_inference`
+
+use claire::core::{Claire, ClaireOptions};
+use claire::model::zoo;
+use claire::sim::{simulate, Mode};
+
+fn main() -> Result<(), claire::core::ClaireError> {
+    let claire = Claire::new(ClaireOptions::default());
+    for model in [zoo::alexnet(), zoo::resnet50(), zoo::bert_base()] {
+        let custom = claire.custom_for(&model)?;
+        let analytical = custom.report.latency_s;
+        let strict = simulate(&model, &custom.config, Mode::Strict)?;
+        let overlapped = simulate(&model, &custom.config, Mode::Overlapped)?;
+        println!("{}:", model.name());
+        println!("  analytical          {:.4} ms", analytical * 1e3);
+        println!("  simulated (strict)  {:.4} ms  ({} tiles, {} transfers)",
+            strict.latency_s() * 1e3, strict.tiles_executed, strict.transfers);
+        println!("  simulated (overlap) {:.4} ms  ({:.1}% saved)",
+            overlapped.latency_s() * 1e3,
+            100.0 * (1.0 - overlapped.cycles as f64 / strict.cycles as f64));
+    }
+    Ok(())
+}

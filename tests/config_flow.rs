@@ -1,0 +1,45 @@
+//! End-to-end config-file flow: a RunConfig written to disk drives a
+//! training run through `into_options`, matching the CLI's --config
+//! path.
+
+use claire::core::{Claire, RunConfig};
+use claire::model::zoo;
+
+#[test]
+fn saved_config_drives_training() {
+    let path = std::env::temp_dir().join(format!("claire-flow-{}.json", std::process::id()));
+    let mut cfg = RunConfig::default();
+    cfg.constraints.latency_slack = 0.8;
+    cfg.jaccard_threshold = 0.5;
+    cfg.save(&path).expect("save");
+
+    let loaded = RunConfig::load(&path).expect("load");
+    assert_eq!(loaded.constraints.latency_slack, 0.8);
+    let claire = Claire::new(loaded.into_options());
+    let models = [zoo::resnet18(), zoo::gpt2(), zoo::bert_base()];
+    let out = claire.train(&models).expect("train under file config");
+    assert_eq!(out.customs.len(), 3);
+    for (i, m) in models.iter().enumerate() {
+        let lib = out.library_of(i).expect("assigned");
+        assert!(out.libraries[lib].config.covers(m));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn tighter_file_constraints_change_selections() {
+    // A smaller area limit must never produce larger designs.
+    let mut tight = RunConfig::default();
+    tight.constraints.chiplet_area_limit_mm2 = 40.0;
+    let loose = RunConfig::default();
+
+    let model = zoo::vgg16();
+    let tight_custom = Claire::new(tight.into_options())
+        .custom_for(&model)
+        .expect("feasible");
+    let loose_custom = Claire::new(loose.into_options())
+        .custom_for(&model)
+        .expect("feasible");
+    assert!(tight_custom.report.area_mm2 <= 40.0 + 1e-9);
+    assert!(tight_custom.report.area_mm2 <= loose_custom.report.area_mm2 + 1e-9);
+}

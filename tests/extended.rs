@@ -1,0 +1,80 @@
+//! Integration tests for the extended test set (the paper's
+//! future-work direction): every previously idle library receives an
+//! algorithm, and the composability gap of a SiLU CNN is surfaced
+//! rather than silently mis-assigned.
+
+use claire::core::{paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy};
+use claire::model::zoo;
+
+#[test]
+fn extended_set_exercises_every_library() {
+    let claire = Claire::new(ClaireOptions {
+        subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+        ..ClaireOptions::default()
+    });
+    let train = claire.train(&zoo::training_set()).expect("train");
+    let mut tests = zoo::test_set();
+    tests.extend(zoo::extended_test_set());
+    tests.extend([zoo::unet(), zoo::t5_small(), zoo::clip_vit_b32()]);
+    let out = claire.evaluate_test(&train, &tests).expect("test");
+
+    let assigned: std::collections::BTreeSet<_> = out
+        .reports
+        .iter()
+        .filter_map(|r| r.assigned_library)
+        .collect();
+    assert_eq!(
+        assigned.len(),
+        train.libraries.len(),
+        "every library serves at least one test algorithm"
+    );
+
+    let by_name = |n: &str| {
+        out.reports
+            .iter()
+            .find(|r| r.model_name == n)
+            .unwrap_or_else(|| panic!("{n} missing"))
+    };
+    let lib_name = |r: &claire::core::TestReport| {
+        train.libraries[r.assigned_library.expect("assigned")].config.name.clone()
+    };
+
+    // Conv1d-bearing algorithms land on the Conv1d libraries.
+    assert_eq!(lib_name(by_name("DistilGPT2")), "C_5");
+    assert_eq!(lib_name(by_name("Wav2Vec2-base")), "C_4");
+    // The detection R-CNN lands on the PEANUT library.
+    assert_eq!(lib_name(by_name("MaskRCNN-R50")), "C_2");
+    // The modern CNN lands on the CNN library.
+    assert_eq!(lib_name(by_name("ConvNeXt-T")), "C_1");
+    // Second wave: dense prediction, ReLU-FFN text, dual tower.
+    assert_eq!(lib_name(by_name("UNet")), "C_2");
+    assert_eq!(lib_name(by_name("T5-small")), "C_3");
+    assert_eq!(lib_name(by_name("CLIP-ViT-B32")), "C_3");
+    for n in ["UNet", "T5-small", "CLIP-ViT-B32"] {
+        assert_eq!(by_name(n).coverage, 1.0, "{n}");
+    }
+
+    // High-affinity assignments run at very high utilization.
+    assert!(by_name("DistilGPT2").utilization_library > 0.9);
+    assert!(by_name("MaskRCNN-R50").utilization_library > 0.9);
+
+    // The SiLU CNN is a genuine composability gap: no library covers
+    // it, and the framework reports that instead of forcing a fit.
+    let eff = by_name("EfficientNet-B0");
+    assert!(eff.assigned_library.is_none());
+    assert_eq!(eff.coverage, 0.0);
+}
+
+#[test]
+fn extended_models_covered_by_generic() {
+    // The generic configuration (union of all training classes) covers
+    // even the extended set - including the SiLU CNN.
+    let claire = Claire::new(ClaireOptions::default());
+    let train = claire.train(&zoo::training_set()).expect("train");
+    for m in zoo::extended_test_set()
+        .into_iter()
+        .chain([zoo::unet(), zoo::t5_small(), zoo::clip_vit_b32()])
+    {
+        assert!(train.generic.covers(&m), "{} not covered by C_g", m.name());
+    }
+}

@@ -1,0 +1,95 @@
+//! Golden-asset tests: real torchvision `print(model)` dumps (checked
+//! into `assets/`) parse into models whose inventories and parameter
+//! counts agree with the published architectures — the end-to-end
+//! ingestion path the paper describes, against genuine input text.
+
+use claire::core::{Claire, ClaireOptions};
+use claire::model::parse::{parse_model, ParseOptions};
+use claire::model::{zoo, ActivationKind, OpClass, PoolingKind};
+
+fn asset(name: &str) -> String {
+    let path = format!("{}/assets/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn torchvision_alexnet_dump_parses_exactly() {
+    let m = parse_model("Alexnet", &asset("alexnet_print.txt"), ParseOptions::default()).unwrap();
+    // 5 convs + 7 ReLU + 3 maxpool + 1 adaptive pool + 3 linear.
+    let c = m.op_class_counts();
+    assert_eq!(c[&OpClass::Conv2d], 5);
+    assert_eq!(c[&OpClass::Activation(ActivationKind::Relu)], 7);
+    assert_eq!(c[&OpClass::Pooling(PoolingKind::MaxPool)], 3);
+    assert_eq!(c[&OpClass::Pooling(PoolingKind::AdaptiveAvgPool)], 1);
+    assert_eq!(c[&OpClass::Linear], 3);
+    // Parameter count: 61.1 M (torchvision).
+    let p = m.param_count() as f64 / 1e6;
+    assert!((60.5..61.5).contains(&p), "{p}");
+    // And the dump-derived model agrees with the hand-built zoo entry
+    // on compute.
+    let z = zoo::alexnet();
+    let rel = (m.macs() as f64 - z.macs() as f64).abs() / z.macs() as f64;
+    assert!(rel < 1e-9, "MACs diverge: {rel}");
+}
+
+#[test]
+fn torchvision_resnet18_dump_parses_with_nested_blocks() {
+    let m = parse_model("Resnet18", &asset("resnet18_print.txt"), ParseOptions::default()).unwrap();
+    let c = m.op_class_counts();
+    // 20 convs (stem + 16 block convs + 3 downsample 1x1s).
+    assert_eq!(c[&OpClass::Conv2d], 20);
+    assert_eq!(c[&OpClass::Pooling(PoolingKind::MaxPool)], 1);
+    assert_eq!(c[&OpClass::Linear], 1);
+    // Nested module paths survive the lexer.
+    assert!(m.layers().iter().any(|l| l.name == "layer2.0.downsample.0"));
+    assert!(m.layers().iter().any(|l| l.name == "layer4.1.conv2"));
+    // Weights: 11.69 M minus the BN parameters the extraction skips.
+    let p = m.param_count() as f64 / 1e6;
+    assert!((11.1..11.8).contains(&p), "{p}");
+}
+
+#[test]
+fn torchvision_mobilenetv2_head_parses_depthwise_groups() {
+    use claire::model::LayerKind;
+    let m = parse_model(
+        "MobileNetV2-head",
+        &asset("mobilenetv2_print_head.txt"),
+        ParseOptions::default(),
+    )
+    .unwrap();
+    // Stem + (dw + project) + (expand + dw + project) = 6 convs, 4 ReLU6.
+    let c = m.op_class_counts();
+    assert_eq!(c[&OpClass::Conv2d], 6);
+    assert_eq!(c[&OpClass::Activation(ActivationKind::Relu6)], 4);
+    assert_eq!(c[&OpClass::Linear], 1);
+    // Depthwise `groups=32` survives parsing and halves nothing:
+    // 32*(1*3*3)+32 params.
+    let dw = m
+        .layers()
+        .iter()
+        .find(|l| l.name == "features.1.conv.0.0")
+        .expect("depthwise conv path");
+    match &dw.kind {
+        LayerKind::Conv2d(conv) => {
+            assert_eq!(conv.groups, 32);
+            assert_eq!(conv.params(), 32 * 9 + 32);
+            // 112x112 spatial after the stride-2 stem.
+            assert_eq!(conv.ifm, (112, 112));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn parsed_dump_drives_the_full_dse_flow() {
+    // The paper's pipeline end to end from real text: parse -> DSE ->
+    // chiplets.
+    let m = parse_model("Alexnet", &asset("alexnet_print.txt"), ParseOptions::default()).unwrap();
+    let claire = Claire::new(ClaireOptions::default());
+    let custom = claire.custom_for(&m).expect("feasible");
+    assert!(custom.config.covers(&m));
+    assert!(custom.config.chiplet_count() >= 1);
+    // Same silicon choice as the zoo-built AlexNet.
+    let z = claire.custom_for(&zoo::alexnet()).expect("feasible");
+    assert_eq!(custom.config.hw, z.config.hw);
+}

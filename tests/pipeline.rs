@@ -1,0 +1,272 @@
+//! End-to-end integration tests: the full CLAIRE flow on the paper's
+//! 13 training + 6 test algorithms, pinning every headline result to
+//! its reproduction band (see EXPERIMENTS.md for the paper-vs-measured
+//! discussion).
+
+use claire::core::{
+    paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy, TestOutput, TrainOutput,
+};
+use claire::model::zoo;
+use std::sync::OnceLock;
+
+fn paper_run() -> &'static (TrainOutput, TestOutput) {
+    static RUN: OnceLock<(TrainOutput, TestOutput)> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let claire = Claire::new(ClaireOptions {
+            subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+            ..ClaireOptions::default()
+        });
+        let train = claire.train(&zoo::training_set()).expect("train");
+        let test = claire.evaluate_test(&train, &zoo::test_set()).expect("test");
+        (train, test)
+    })
+}
+
+#[test]
+fn five_library_configurations_emerge() {
+    let (train, _) = paper_run();
+    // Table III: five library-synthesized configurations.
+    assert_eq!(train.libraries.len(), 5);
+    assert_eq!(train.customs.len(), 13);
+}
+
+#[test]
+fn every_training_algorithm_has_full_coverage_on_its_library() {
+    let (train, _) = paper_run();
+    let models = zoo::training_set();
+    for (i, m) in models.iter().enumerate() {
+        let lib = train.library_of(i).expect("assigned");
+        assert!(
+            train.libraries[lib].config.covers(m),
+            "{} not covered by its library",
+            m.name()
+        );
+        assert!(train.generic.covers(m), "{} not covered by C_g", m.name());
+    }
+}
+
+#[test]
+fn every_test_algorithm_reaches_100_percent_coverage() {
+    let (_, test) = paper_run();
+    // "For the algorithms in the test set, the algorithm coverage
+    // (C_layer) for these configurations is (100%), as required."
+    for r in &test.reports {
+        assert!(r.assigned_library.is_some(), "{} unassigned", r.model_name);
+        assert_eq!(r.coverage, 1.0, "{} coverage {}", r.model_name, r.coverage);
+    }
+}
+
+#[test]
+fn training_nre_benefit_bands() {
+    let (train, _) = paper_run();
+    // Table IV: multi-member libraries must be substantially cheaper
+    // than the cumulative custom cost; the paper reports 5.99x (C_1)
+    // and 3.99x (C_3). Our bands: C_1 in 4x-7x, C_3 in 2x-4.5x.
+    let c1 = &train.libraries[0];
+    assert_eq!(c1.member_names.len(), 6);
+    let benefit1 = c1.cumulative_custom_nre / c1.nre_normalized;
+    assert!((4.0..7.0).contains(&benefit1), "C_1 benefit {benefit1}");
+
+    let c3 = &train.libraries[2];
+    assert_eq!(c3.member_names.len(), 4);
+    let benefit3 = c3.cumulative_custom_nre / c3.nre_normalized;
+    assert!((2.0..4.5).contains(&benefit3), "C_3 benefit {benefit3}");
+}
+
+#[test]
+fn test_nre_benefit_band() {
+    let (_, test) = paper_run();
+    // Table VI: the paper reports 1.99x-3.99x over the assigned test
+    // subsets. Multi-algorithm rows must show a clear benefit.
+    let mut max_benefit: f64 = 0.0;
+    for (_, names, cstm, nre) in &test.nre_rows {
+        let benefit = cstm / nre;
+        max_benefit = max_benefit.max(benefit);
+        // A library is never meaningfully worse than per-algorithm
+        // customs; multi-algorithm subsets should show a real saving
+        // (C_3 lands near break-even here because our DPT
+        // reconstruction gives it a second, conv-trunk chiplet —
+        // see EXPERIMENTS.md).
+        assert!(benefit > 0.95, "{names:?} worse than custom: {benefit}");
+    }
+    assert!(max_benefit >= 1.9, "max test benefit {max_benefit}");
+}
+
+#[test]
+fn utilization_improvement_band() {
+    let (_, test) = paper_run();
+    // Table V: 1.6x-4x improvement over the generic configuration.
+    for r in &test.reports {
+        let ratio = r.utilization_library / r.utilization_generic;
+        assert!(
+            (1.3..6.0).contains(&ratio),
+            "{}: utilization ratio {ratio}",
+            r.model_name
+        );
+        assert!(r.utilization_library <= 1.0 && r.utilization_library > 0.0);
+    }
+    // The best improvements reach the paper's 3x-4x territory.
+    let best = test
+        .reports
+        .iter()
+        .map(|r| r.utilization_library / r.utilization_generic)
+        .fold(0.0_f64, f64::max);
+    assert!(best >= 3.0, "best utilization ratio {best}");
+}
+
+#[test]
+fn library_area_close_to_custom_area() {
+    let (train, _) = paper_run();
+    // "the area of the library-synthesized configurations deviated by
+    // only 0.116% from that of the custom configuration". Our DSE
+    // picks heterogeneous per-algorithm hardware (the paper's landed
+    // on one design point), so the worst per-algorithm deviation is a
+    // factor rather than a fraction of a percent: MobileNetV2's custom
+    // fits in half the silicon of the CNN library that must also carry
+    // VGG-16 (see EXPERIMENTS.md).
+    for p in &train.algo_ppa {
+        let dev = (p.library.area_mm2 - p.custom.area_mm2).abs() / p.custom.area_mm2;
+        assert!(
+            dev < 1.50,
+            "{}: area deviation {:.1}% (custom {:.1}, library {:.1})",
+            p.model_name,
+            dev * 100.0,
+            p.custom.area_mm2,
+            p.library.area_mm2
+        );
+    }
+    // The generic configuration is the largest design.
+    let generic_area = train.generic.area_mm2();
+    for c in &train.customs {
+        assert!(generic_area > c.report.area_mm2, "{}", c.model.name());
+    }
+}
+
+#[test]
+fn energy_varies_little_across_configurations() {
+    let (train, _) = paper_run();
+    // "the energy consumption varied by only 0.2% across the
+    // configurations" (no power gating; identical compute). Our band:
+    // < 5% between library and custom for every algorithm.
+    for p in &train.algo_ppa {
+        let dev = (p.library.energy_j - p.custom.energy_j).abs() / p.custom.energy_j;
+        assert!(
+            dev < 0.05,
+            "{}: energy deviation {:.2}%",
+            p.model_name,
+            dev * 100.0
+        );
+    }
+}
+
+#[test]
+fn latency_constraint_holds_on_library_configs() {
+    let (train, _) = paper_run();
+    // L_limit: library latency within 1.5x of the custom latency.
+    for p in &train.algo_ppa {
+        assert!(
+            p.library.latency_s <= p.custom.latency_s * 1.5 + 1e-12,
+            "{}: library {:.3e}s vs custom {:.3e}s",
+            p.model_name,
+            p.library.latency_s,
+            p.custom.latency_s
+        );
+    }
+}
+
+#[test]
+fn every_configuration_validates() {
+    let (train, _) = paper_run();
+    for cfg in train
+        .customs
+        .iter()
+        .map(|c| &c.config)
+        .chain(train.libraries.iter().map(|l| &l.config))
+        .chain(std::iter::once(&train.generic))
+    {
+        cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+    }
+}
+
+#[test]
+fn chiplets_respect_constraints() {
+    let (train, _) = paper_run();
+    let limit = 100.0;
+    let all_configs = train
+        .customs
+        .iter()
+        .map(|c| &c.config)
+        .chain(train.libraries.iter().map(|l| &l.config))
+        .chain(std::iter::once(&train.generic));
+    for cfg in all_configs {
+        assert!(!cfg.chiplets.is_empty(), "{} not clustered", cfg.name);
+        for ch in &cfg.chiplets {
+            assert!(
+                ch.area_mm2 <= limit,
+                "{}/{} exceeds area limit: {:.1}",
+                cfg.name,
+                ch.name,
+                ch.area_mm2
+            );
+            assert!(!ch.classes.is_empty());
+        }
+    }
+}
+
+#[test]
+fn power_density_constraint_holds() {
+    let (train, _) = paper_run();
+    for p in &train.algo_ppa {
+        for (label, r) in [
+            ("custom", &p.custom),
+            ("generic", &p.generic),
+            ("library", &p.library),
+        ] {
+            assert!(
+                r.power_density_w_per_mm2() <= 1.0,
+                "{} on {label}: PD {:.3}",
+                p.model_name,
+                r.power_density_w_per_mm2()
+            );
+        }
+    }
+}
+
+#[test]
+fn conv1d_models_stay_in_their_own_libraries() {
+    let (train, _) = paper_run();
+    // "The new models, such as GPT2 and Whisper, use a 1D convolution
+    // module ... and are grouped separately."
+    let models = zoo::training_set();
+    let gpt2 = models.iter().position(|m| m.name() == "GPT2").unwrap();
+    let whisper = models
+        .iter()
+        .position(|m| m.name() == "Whisperv3-large")
+        .unwrap();
+    let gpt2_lib = train.library_of(gpt2).unwrap();
+    let whisper_lib = train.library_of(whisper).unwrap();
+    assert_eq!(train.libraries[gpt2_lib].members.len(), 1);
+    assert_eq!(train.libraries[whisper_lib].members.len(), 1);
+}
+
+#[test]
+fn default_algorithmic_partition_also_works_end_to_end() {
+    // The unpinned (weighted-Jaccard) strategy must run the whole flow
+    // and keep the headline properties, even though the exact grouping
+    // differs from Table III.
+    let claire = Claire::default();
+    let train = claire.train(&zoo::training_set()).expect("train");
+    let test = claire
+        .evaluate_test(&train, &zoo::test_set())
+        .expect("test");
+    assert!((3..=13).contains(&train.libraries.len()));
+    for r in &test.reports {
+        assert_eq!(r.coverage, 1.0, "{}", r.model_name);
+        assert!(r.utilization_library >= r.utilization_generic);
+    }
+    // The ResNets end up together under the automatic partition.
+    let models = zoo::training_set();
+    let r18 = models.iter().position(|m| m.name() == "Resnet18").unwrap();
+    let r50 = models.iter().position(|m| m.name() == "Resnet50").unwrap();
+    assert_eq!(train.library_of(r18), train.library_of(r50));
+}

@@ -1,0 +1,387 @@
+//! Property-based tests over the core data structures and invariants:
+//! weighted Jaccard, Louvain partitions, graph merging, the
+//! `print(model)` parser round-trip, DSE feasibility, the metrics'
+//! ranges, and the cost/NoC models.
+
+use claire::core::{metrics, Claire, ClaireOptions, Constraints, DesignConfig};
+use claire::cost::{NreModel, RecurringModel};
+use claire::graph::{louvain, modularity, weighted_jaccard, Partition, WeightedGraph};
+use claire::model::parse::{parse_model, to_torch_print, InputShape, ParseOptions};
+use claire::model::{
+    Activation, ActivationKind, Conv2d, LayerKind, Linear, Model, ModelBuilder, ModelClass,
+    Pooling, PoolingKind,
+};
+use claire::noc::{Network, Torus2d};
+use claire::ppa::{layer_cost, unit_area_mm2, HwParams};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+// ---------- strategies ----------
+
+fn weight_vec() -> impl Strategy<Value = BTreeMap<u8, f64>> {
+    proptest::collection::btree_map(0u8..12, 0.0f64..1e9, 0..10)
+}
+
+fn small_graph() -> impl Strategy<Value = WeightedGraph<u8>> {
+    proptest::collection::vec((0u8..10, 0u8..10, 0.1f64..1e6), 1..40).prop_map(|edges| {
+        let mut g = WeightedGraph::new();
+        for (a, b, w) in edges {
+            g.add_edge(a, b, w);
+        }
+        g
+    })
+}
+
+/// A random but shape-consistent CNN-ish model.
+#[derive(Debug, Clone)]
+enum Step {
+    Conv { out_ch: u8, k: u8, stride: u8 },
+    Act(u8),
+    Pool(u8),
+    Linear { out: u16 },
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (1u8..32, 1u8..5, 1u8..3).prop_map(|(out_ch, k, stride)| Step::Conv {
+            out_ch,
+            k,
+            stride
+        }),
+        (0u8..5).prop_map(Step::Act),
+        (0u8..3).prop_map(Step::Pool),
+        (1u16..512).prop_map(|out| Step::Linear { out }),
+    ];
+    proptest::collection::vec(step, 1..25)
+}
+
+fn materialize(steps: &[Step]) -> Model {
+    let mut b = ModelBuilder::new("random", ModelClass::Cnn);
+    let mut ch: u32 = 3;
+    let mut side: u32 = 64;
+    let mut flat: Option<u32> = None;
+    for (i, s) in steps.iter().enumerate() {
+        match s {
+            Step::Conv { out_ch, k, stride } if flat.is_none() => {
+                let k = u32::from(*k).min(side).max(1);
+                let c = Conv2d {
+                    in_channels: ch,
+                    out_channels: u32::from(*out_ch),
+                    kernel: (k, k),
+                    stride: (u32::from(*stride), u32::from(*stride)),
+                    padding: (k / 2, k / 2),
+                    ifm: (side, side),
+                    groups: 1,
+                };
+                let (o, _) = c.ofm();
+                if o == 0 {
+                    continue;
+                }
+                b.push(format!("conv{i}"), LayerKind::Conv2d(c));
+                ch = u32::from(*out_ch);
+                side = o;
+            }
+            Step::Act(a) => {
+                let kind = ActivationKind::ALL[usize::from(*a) % 5];
+                let elements = flat
+                    .map(u64::from)
+                    .unwrap_or(u64::from(ch) * u64::from(side) * u64::from(side));
+                b.push(
+                    format!("act{i}"),
+                    LayerKind::Activation(Activation { kind, elements }),
+                );
+            }
+            Step::Pool(p) if flat.is_none() && side >= 2 => {
+                let kind = PoolingKind::ALL[usize::from(*p) % 3];
+                let out = side / 2;
+                b.push(
+                    format!("pool{i}"),
+                    LayerKind::Pooling(Pooling {
+                        kind,
+                        input_elements: u64::from(ch) * u64::from(side) * u64::from(side),
+                        output_elements: u64::from(ch) * u64::from(out) * u64::from(out),
+                    }),
+                );
+                side = out;
+            }
+            Step::Linear { out } => {
+                let inf = flat.unwrap_or(ch * side * side).max(1);
+                b.push(
+                    format!("fc{i}"),
+                    LayerKind::Linear(Linear {
+                        in_features: inf,
+                        out_features: u32::from(*out),
+                        tokens: 1,
+                    }),
+                );
+                flat = Some(u32::from(*out));
+            }
+            _ => {}
+        }
+    }
+    if b.is_empty() {
+        b.push(
+            "fallback",
+            LayerKind::Linear(Linear {
+                in_features: 64,
+                out_features: 10,
+                tokens: 1,
+            }),
+        );
+    }
+    b.build()
+}
+
+// ---------- weighted Jaccard ----------
+
+proptest! {
+    #[test]
+    fn jaccard_in_unit_interval(a in weight_vec(), b in weight_vec()) {
+        let j = weighted_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j), "{j}");
+    }
+
+    #[test]
+    fn jaccard_symmetric(a in weight_vec(), b in weight_vec()) {
+        prop_assert_eq!(weighted_jaccard(&a, &b), weighted_jaccard(&b, &a));
+    }
+
+    #[test]
+    fn jaccard_self_is_one(a in weight_vec()) {
+        prop_assert_eq!(weighted_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_scaling_down_reduces_similarity(a in weight_vec(), f in 1.5f64..100.0) {
+        prop_assume!(a.values().any(|&w| w > 0.0));
+        let scaled: BTreeMap<u8, f64> = a.iter().map(|(k, w)| (*k, w / f)).collect();
+        let j = weighted_jaccard(&a, &scaled);
+        prop_assert!((j - 1.0 / f).abs() < 1e-9, "{j} vs {}", 1.0 / f);
+    }
+}
+
+// ---------- graphs and Louvain ----------
+
+proptest! {
+    #[test]
+    fn louvain_partition_is_valid(g in small_graph()) {
+        let p = louvain(&g, 1.0);
+        let mut seen = std::collections::BTreeSet::new();
+        for c in p.communities() {
+            prop_assert!(!c.is_empty());
+            for n in c {
+                prop_assert!(seen.insert(*n), "node {n} in two communities");
+                prop_assert!(g.node_weight(n).is_some());
+            }
+        }
+        prop_assert_eq!(seen.len(), g.node_count());
+    }
+
+    #[test]
+    fn louvain_at_least_matches_singletons(g in small_graph()) {
+        let p = louvain(&g, 1.0);
+        let singles = Partition::from_communities(
+            g.nodes().map(|(n, _)| vec![*n]).collect(),
+        );
+        let q_louvain = modularity(&g, &p, 1.0);
+        let q_single = modularity(&g, &singles, 1.0);
+        prop_assert!(q_louvain >= q_single - 1e-9, "{q_louvain} < {q_single}");
+    }
+
+    #[test]
+    fn merge_weights_are_additive(g1 in small_graph(), g2 in small_graph()) {
+        let mut merged = g1.clone();
+        merged.merge(&g2);
+        for (n, w) in merged.nodes() {
+            let w1 = g1.node_weight(n).unwrap_or(0.0);
+            let w2 = g2.node_weight(n).unwrap_or(0.0);
+            prop_assert!((w - (w1 + w2)).abs() < 1e-9);
+        }
+        prop_assert!(
+            (merged.total_edge_weight() - g1.total_edge_weight() - g2.total_edge_weight()).abs()
+                < 1e-6
+        );
+    }
+}
+
+// ---------- random models: parser, PPA, DSE, metrics ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_round_trips_random_models(s in steps()) {
+        let model = materialize(&s);
+        let text = to_torch_print(&model);
+        let opts = ParseOptions {
+            input: InputShape::Image { channels: 3, height: 64, width: 64 },
+            class: ModelClass::Cnn,
+        };
+        let parsed = parse_model("random", &text, opts).expect("round trip");
+        prop_assert_eq!(parsed.layer_count(), model.layer_count());
+        let a: Vec<_> = parsed.op_class_counts().into_keys().collect();
+        let b: Vec<_> = model.op_class_counts().into_keys().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layer_costs_are_positive_and_monotone(s in steps()) {
+        let model = materialize(&s);
+        let small = HwParams::new(16, 16, 8, 8);
+        let big = HwParams::new(16, 64, 32, 32);
+        for layer in model.layers() {
+            let cs = layer_cost(&layer.kind, &small);
+            let cb = layer_cost(&layer.kind, &big);
+            prop_assert!(cs.cycles > 0);
+            prop_assert!(cs.energy_pj >= 0.0);
+            // More hardware never increases latency; energy unchanged.
+            prop_assert!(cb.cycles <= cs.cycles);
+            prop_assert!((cb.energy_pj - cs.energy_pj).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn coverage_and_utilization_in_range(s in steps()) {
+        let model = materialize(&s);
+        let hw = HwParams::new(32, 32, 16, 16);
+        let classes = model.op_class_counts().into_keys().collect();
+        let cfg = DesignConfig::monolithic("c", hw, classes);
+        prop_assert_eq!(metrics::algorithm_coverage(&model, &cfg), 1.0);
+        let u = metrics::chiplet_utilization(&model, &cfg);
+        prop_assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn custom_dse_meets_constraints(s in steps()) {
+        let model = materialize(&s);
+        let claire = Claire::new(ClaireOptions::default());
+        let cons = Constraints::default();
+        // Feasibility is guaranteed for these small models.
+        let custom = claire.custom_for(&model).expect("feasible");
+        prop_assert!(custom.config.covers(&model));
+        prop_assert!(custom.report.area_mm2 <= cons.chiplet_area_limit_mm2 + 1.0);
+        prop_assert!(
+            custom.report.power_density_w_per_mm2() <= cons.power_density_limit_w_per_mm2
+        );
+        for ch in &custom.config.chiplets {
+            prop_assert!(ch.area_mm2 <= cons.chiplet_area_limit_mm2);
+        }
+    }
+}
+
+// ---------- parser robustness ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever bytes arrive — it either
+    /// produces a model or a structured error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,400}") {
+        let _ = parse_model("fuzz", &text, ParseOptions::default());
+    }
+
+    /// Line-noise around a valid layer still parses that layer.
+    #[test]
+    fn parser_tolerates_surrounding_noise(noise in "[a-zA-Z0-9 _.,:;#]{0,60}") {
+        let dump = format!(
+            "Net(\n  {noise}\n  (fc): Linear(in_features=8, out_features=4, bias=True)\n)"
+        );
+        if let Ok(m) = parse_model("noisy", &dump, ParseOptions::default()) {
+            prop_assert!(m.layer_count() >= 1);
+        }
+    }
+}
+
+// ---------- transfer-cost invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transfer_cost_physical_invariants(s in steps(), bytes in 1u64..10_000_000) {
+        use claire::core::evaluate::edge_transfer;
+        let model = materialize(&s);
+        let claire = Claire::new(ClaireOptions::default());
+        let custom = claire.custom_for(&model).expect("feasible");
+        let cfg = &custom.config;
+        let classes: Vec<_> = cfg.classes.iter().copied().collect();
+        for &a in &classes {
+            for &b in &classes {
+                let t = edge_transfer(cfg, a, b, bytes);
+                if a == b {
+                    prop_assert_eq!(t.ser_cycles + t.fixed_cycles, 0);
+                    continue;
+                }
+                // Latency and energy are non-negative and monotone in
+                // payload size.
+                let bigger = edge_transfer(cfg, a, b, bytes + 40);
+                prop_assert!(bigger.latency_s() >= t.latency_s());
+                prop_assert!(bigger.noc_pj() + bigger.nop_pj() >= t.noc_pj() + t.nop_pj());
+                // Cross-chiplet transfers pay NoP energy; local ones don't.
+                prop_assert_eq!(t.nop_pj() > 0.0, t.crosses_chiplet);
+                // Symmetric classes, symmetric cost (undirected fabric).
+                let rev = edge_transfer(cfg, b, a, bytes);
+                prop_assert_eq!(t.ser_cycles, rev.ser_cycles);
+                prop_assert_eq!(t.fixed_cycles, rev.fixed_cycles);
+            }
+        }
+    }
+}
+
+// ---------- hardware/cost models ----------
+
+proptest! {
+    #[test]
+    fn unit_area_monotone_in_resources(
+        sa in prop_oneof![Just(16u32), Just(32), Just(64)],
+        n1 in 1u32..64, n2 in 1u32..64,
+    ) {
+        prop_assume!(n1 < n2);
+        let small = HwParams::new(sa, n1, 8, 8);
+        let big = HwParams::new(sa, n2, 8, 8);
+        for class in claire::model::OpClass::all() {
+            prop_assert!(
+                unit_area_mm2(class, &big) >= unit_area_mm2(class, &small),
+                "{class}"
+            );
+        }
+    }
+
+    #[test]
+    fn torus_hops_bounded_by_half_perimeter(cols in 1u32..9, rows in 1u32..9) {
+        let t = Torus2d::new(cols, rows);
+        let bound = cols / 2 + rows / 2;
+        for a in 0..t.size() {
+            for b in 0..t.size() {
+                prop_assert!(t.hops(a, b) <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn network_latency_monotone(bytes in 1u64..1_000_000, hops in 0u32..8) {
+        for n in [Network::noc(), Network::nop_aib2()] {
+            prop_assert!(n.latency_s(bytes + 40, hops) >= n.latency_s(bytes, hops));
+            prop_assert!(n.latency_s(bytes, hops + 1) > n.latency_s(bytes, hops));
+        }
+    }
+
+    #[test]
+    fn nre_monotone_in_chiplet_count(areas in proptest::collection::vec(5.0f64..80.0, 1..6)) {
+        let m = NreModel::tsmc28();
+        let mut bigger = areas.clone();
+        bigger.push(20.0);
+        prop_assert!(m.system_nre(&bigger) > m.system_nre(&areas));
+    }
+
+    #[test]
+    fn yield_and_die_cost_behave(area in 1.0f64..700.0) {
+        let m = RecurringModel::tsmc28();
+        let y = m.yield_fraction(area);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(m.good_die_cost(area) > 0.0);
+        // Yield strictly decreases with area.
+        prop_assert!(m.yield_fraction(area + 10.0) < y);
+    }
+}

@@ -1,0 +1,139 @@
+//! Numeric regression snapshots: exact values of the headline metrics
+//! under the paper-pinned partition, so that any drift in the PPA
+//! constants, graph construction, clustering or cost model is caught
+//! immediately (loosened only deliberately, alongside an
+//! EXPERIMENTS.md update).
+
+use claire::core::{paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy};
+use claire::model::zoo;
+
+fn close(actual: f64, expected: f64, tol: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() <= tol,
+        "{what}: expected {expected}, got {actual}"
+    );
+}
+
+#[test]
+fn headline_numbers_snapshot() {
+    let claire = Claire::new(ClaireOptions {
+        subsets: SubsetStrategy::Fixed(paper_table3_subsets()),
+        ..ClaireOptions::default()
+    });
+    let train = claire.train(&zoo::training_set()).expect("train");
+    let test = claire.evaluate_test(&train, &zoo::test_set()).expect("test");
+
+    // Library NRE (normalised to C_g). Paper: 0.5 / 0.25.
+    close(train.libraries[0].nre_normalized, 0.499, 0.01, "NRE C_1");
+    close(train.libraries[2].nre_normalized, 0.668, 0.01, "NRE C_3");
+    close(train.libraries[4].nre_normalized, 0.277, 0.01, "NRE C_5");
+
+    // Cumulative customs. Paper: 2.998 (C_1), 0.999 (C_3).
+    close(
+        train.libraries[0].cumulative_custom_nre,
+        2.677,
+        0.03,
+        "NRE_cstm C_1",
+    );
+    close(
+        train.libraries[2].cumulative_custom_nre,
+        2.015,
+        0.03,
+        "NRE_cstm C_3",
+    );
+
+    // Generic configuration structure.
+    assert_eq!(train.generic.chiplet_count(), 3);
+    close(train.generic.area_mm2(), 115.1, 1.0, "generic area");
+
+    // Chiplet counts per library: C_1..C_5.
+    let counts: Vec<usize> = train
+        .libraries
+        .iter()
+        .map(|l| l.config.chiplet_count())
+        .collect();
+    assert_eq!(counts, vec![2, 2, 2, 1, 1]);
+
+    // Test-phase utilizations (Table V analogue).
+    let by_name = |n: &str| {
+        test.reports
+            .iter()
+            .find(|r| r.model_name == n)
+            .unwrap_or_else(|| panic!("{n} missing"))
+    };
+    close(by_name("Alexnet").utilization_library, 0.500, 1e-9, "U Alexnet");
+    close(by_name("Alexnet").utilization_generic, 1.0 / 3.0, 1e-9, "U_g Alexnet");
+    close(by_name("BERT-base").utilization_generic, 0.200, 1e-9, "U_g BERT");
+    close(by_name("Graphormer").utilization_generic, 2.0 / 15.0, 1e-9, "U_g Graphormer");
+
+    // Test NRE rows: C_4 (BERT + Graphormer) benefit ≈ 2.01x.
+    let c4 = test
+        .nre_rows
+        .iter()
+        .find(|(k, ..)| *k == 3)
+        .expect("C_4 row");
+    close(c4.2 / c4.3, 2.01, 0.02, "C_4 test benefit");
+}
+
+#[test]
+fn edge_histogram_snapshot() {
+    let hist = claire::core::graphs::edge_histogram(&zoo::training_set());
+    // LINEAR-LINEAR count is a direct function of the zoo definitions.
+    assert_eq!(hist[0].1, 1566, "LINEAR-LINEAR count drifted");
+    assert!(hist[0].1 > 3 * hist[1].1 / 2, "dominance margin");
+}
+
+#[test]
+fn layer_inventory_goldens() {
+    // Exact extracted-layer counts per class for the anchor models:
+    // drift means the zoo's architecture reconstruction changed.
+    use claire::model::{ActivationKind, OpClass, PoolingKind};
+    let count = |name: &str, class: OpClass| {
+        zoo::by_name(name)
+            .expect(name)
+            .op_class_counts()
+            .get(&class)
+            .copied()
+            .unwrap_or(0)
+    };
+    // ResNet-18: 16 block convs + stem + 3 downsamples.
+    assert_eq!(count("Resnet18", OpClass::Conv2d), 20);
+    assert_eq!(count("Resnet18", OpClass::Pooling(PoolingKind::MaxPool)), 1);
+    assert_eq!(count("Resnet18", OpClass::Linear), 1);
+    // VGG-16: 13 convs, 3 FCs, 5 maxpools.
+    assert_eq!(count("VGG16", OpClass::Conv2d), 13);
+    assert_eq!(count("VGG16", OpClass::Linear), 3);
+    assert_eq!(count("VGG16", OpClass::Pooling(PoolingKind::MaxPool)), 5);
+    // BERT-base: 6 linears x 12 blocks + pooler.
+    assert_eq!(count("BERT-base", OpClass::Linear), 73);
+    assert_eq!(
+        count("BERT-base", OpClass::Activation(ActivationKind::Tanh)),
+        1
+    );
+    // GPT-2: 4 Conv1D x 12 blocks.
+    assert_eq!(count("GPT2", OpClass::Conv1d), 48);
+    // Mixtral: (4 attn + 1 router + 8x3 expert) x 32 + lm_head.
+    assert_eq!(count("Mixtral-8x7B", OpClass::Linear), 32 * 29 + 1);
+}
+
+#[test]
+fn macs_snapshot_for_known_models() {
+    // Published single-inference MAC counts (within modelling slack).
+    let cases: &[(&str, f64, f64)] = &[
+        // (name, expected GMACs, relative tolerance)
+        ("Resnet18", 1.82, 0.05),
+        ("Resnet50", 4.11, 0.05),
+        ("VGG16", 15.47, 0.03),
+        ("Densenet121", 2.87, 0.08),
+        ("Mobilenetv2", 0.31, 0.10),
+        ("Alexnet", 0.71, 0.05),
+    ];
+    for &(name, want, tol) in cases {
+        let m = zoo::by_name(name).expect(name);
+        let got = m.macs() as f64 / 1e9;
+        assert!(
+            (got - want).abs() / want <= tol,
+            "{name}: {got:.3} GMACs vs published {want:.3}"
+        );
+    }
+}

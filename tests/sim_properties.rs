@@ -1,0 +1,59 @@
+//! Property tests for the discrete-event simulator: strict mode must
+//! agree with the analytical model on *arbitrary* shape-consistent
+//! workloads, not just the built-in zoo; overlapped mode and batch
+//! pipelining must respect their ordering invariants.
+
+use claire::core::evaluate::evaluate;
+use claire::core::{Claire, ClaireOptions};
+use claire::model::synth::{random_model, Family};
+use claire::sim::{pipelined_throughput, simulate, simulate_batch, Mode};
+use proptest::prelude::*;
+
+fn family() -> impl Strategy<Value = Family> {
+    prop_oneof![
+        Just(Family::Cnn),
+        Just(Family::Transformer),
+        Just(Family::Audio)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn strict_simulation_matches_analytical(seed in 0u64..5_000, fam in family()) {
+        let model = random_model(seed, fam);
+        let claire = Claire::new(ClaireOptions::default());
+        let custom = claire.custom_for(&model).expect("feasible");
+        let sim = simulate(&model, &custom.config, Mode::Strict).expect("covered");
+        let analytical = evaluate(&model, &custom.config).expect("covered");
+        let rel = (sim.latency_s() - analytical.latency_s).abs() / analytical.latency_s;
+        prop_assert!(rel < 1e-9, "{}: {rel}", model.name());
+    }
+
+    #[test]
+    fn overlap_never_slower_than_strict(seed in 0u64..5_000, fam in family()) {
+        let model = random_model(seed, fam);
+        let claire = Claire::new(ClaireOptions::default());
+        let custom = claire.custom_for(&model).expect("feasible");
+        let strict = simulate(&model, &custom.config, Mode::Strict).expect("covered");
+        let overlapped = simulate(&model, &custom.config, Mode::Overlapped).expect("covered");
+        prop_assert!(overlapped.cycles <= strict.cycles);
+    }
+
+    #[test]
+    fn batching_is_subadditive_and_monotone(seed in 0u64..2_000, fam in family()) {
+        let model = random_model(seed, fam);
+        let claire = Claire::new(ClaireOptions::default());
+        let custom = claire.custom_for(&model).expect("feasible");
+        let b1 = simulate_batch(&model, &custom.config, 1).expect("covered");
+        let b4 = simulate_batch(&model, &custom.config, 4).expect("covered");
+        let b8 = simulate_batch(&model, &custom.config, 8).expect("covered");
+        prop_assert!(b4 <= 4 * b1);
+        prop_assert!(b8 >= b4, "batch makespan must grow");
+        // Ideal throughput bound holds.
+        let ideal = pipelined_throughput(&model, &custom.config).expect("covered");
+        let achieved = 8.0 / (b8 as f64 / claire::ppa::tech28::CLOCK_HZ);
+        prop_assert!(achieved <= ideal * 1.001, "{achieved} > {ideal}");
+    }
+}
