@@ -33,9 +33,7 @@ fn bench_custom_dse(c: &mut Criterion) {
         b.iter(|| black_box(dse::custom_config(black_box(&vgg), &space, &cons).expect("dse")))
     });
     c.bench_function("dse_custom_mixtral", |b| {
-        b.iter(|| {
-            black_box(dse::custom_config(black_box(&mixtral), &space, &cons).expect("dse"))
-        })
+        b.iter(|| black_box(dse::custom_config(black_box(&mixtral), &space, &cons).expect("dse")))
     });
 }
 
@@ -64,7 +62,12 @@ fn bench_graph_construction(c: &mut Criterion) {
     let models = zoo::training_set();
     let hw = claire_ppa::HwParams::new(32, 32, 16, 16);
     c.bench_function("universal_graph_training_set", |b| {
-        b.iter(|| black_box(claire_core::graphs::universal_graph(black_box(&models), &hw)))
+        b.iter(|| {
+            black_box(claire_core::graphs::universal_graph(
+                black_box(&models),
+                &hw,
+            ))
+        })
     });
 }
 

@@ -27,7 +27,9 @@ fn main() {
         opts.assign_scale = scale;
         let claire = Claire::new(opts);
         let train = claire.train(&zoo::training_set()).expect("train");
-        let test = claire.evaluate_test(&train, &zoo::test_set()).expect("test");
+        let test = claire
+            .evaluate_test(&train, &zoo::test_set())
+            .expect("test");
         for r in &test.reports {
             columns[si].push(
                 r.assigned_library

@@ -34,11 +34,7 @@ fn variant(base: &DesignConfig, mode: &str, members: &[claire_model::Model]) -> 
             }
         }
         "single" => {
-            cfg.chiplets = vec![Chiplet::from_classes(
-                "L1",
-                cfg.classes.clone(),
-                &cfg.hw,
-            )];
+            cfg.chiplets = vec![Chiplet::from_classes("L1", cfg.classes.clone(), &cfg.hw)];
         }
         "per-group" => {
             cfg.chiplets = cfg
@@ -89,7 +85,14 @@ fn main() {
         "{}",
         render_table(
             "Ablation: chiplet partitioning strategy",
-            &["Config", "Strategy", "#Chiplets", "NRE (norm.)", "NoP energy (mJ)", "NoP share"],
+            &[
+                "Config",
+                "Strategy",
+                "#Chiplets",
+                "NRE (norm.)",
+                "NoP energy (mJ)",
+                "NoP share"
+            ],
             &rows,
         )
     );

@@ -20,11 +20,8 @@ fn main() {
             match claire.train(&claire_model::zoo::training_set()) {
                 Ok(out) => {
                     let lib_nre: f64 = out.libraries.iter().map(|l| l.nre_normalized).sum();
-                    let custom_nre: f64 = out
-                        .libraries
-                        .iter()
-                        .map(|l| l.cumulative_custom_nre)
-                        .sum();
+                    let custom_nre: f64 =
+                        out.libraries.iter().map(|l| l.cumulative_custom_nre).sum();
                     rows.push(vec![
                         format!("{latency_slack:.2}"),
                         format!("{area:.0}"),
@@ -47,7 +44,13 @@ fn main() {
         "{}",
         render_table(
             "Sensitivity: latency slack x chiplet area limit (paper subsets)",
-            &["Slack", "Area limit", "C_g chiplets", "Sum NRE_k", "Benefit"],
+            &[
+                "Slack",
+                "Area limit",
+                "C_g chiplets",
+                "Sum NRE_k",
+                "Benefit"
+            ],
             &rows,
         )
     );

@@ -31,7 +31,14 @@ fn main() {
         "{}",
         render_table(
             "Ablation: monolithic vs chiplet recurring cost (area wall)",
-            &["D0 (/mm^2)", "Total mm^2", "1 die", "2 dies", "4 dies", "Mono/Quad"],
+            &[
+                "D0 (/mm^2)",
+                "Total mm^2",
+                "1 die",
+                "2 dies",
+                "4 dies",
+                "Mono/Quad"
+            ],
             &rows,
         )
     );

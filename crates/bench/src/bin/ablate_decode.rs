@@ -49,7 +49,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation: prefill vs decode under weight streaming (HBM2E)",
-            &["Algorithm", "Phase", "Compute-only (ms)", "With HBM2E (ms)", "Memory penalty"],
+            &[
+                "Algorithm",
+                "Phase",
+                "Compute-only (ms)",
+                "With HBM2E (ms)",
+                "Memory penalty"
+            ],
             &rows,
         )
     );

@@ -49,10 +49,8 @@ fn main() {
         // by reversing the optimised assignment.
         let mut reversed_slots: Vec<(u32, u32)> = (0..n).map(|i| optimised.slot(i)).collect();
         reversed_slots.reverse();
-        let pessimal = InterposerPlacement::from_slots(
-            reversed_slots,
-            (n as f64).sqrt().ceil() as u32,
-        );
+        let pessimal =
+            InterposerPlacement::from_slots(reversed_slots, (n as f64).sqrt().ceil() as u32);
 
         let mut nop_energy = |p: InterposerPlacement| {
             cfg.placement = Some(p);

@@ -32,11 +32,7 @@ fn main() {
         let generic_cfg = &run.train.generic;
         let lib_cfg = &run.train.libraries[lib].config;
 
-        let e = |cfg, opts| {
-            evaluate_with(m, cfg, opts)
-                .expect("covered")
-                .energy_j
-        };
+        let e = |cfg, opts| evaluate_with(m, cfg, opts).expect("covered").energy_j;
         let e_custom = e(custom_cfg, dynamic_only);
         let overhead = |cfg, opts| format!("{:+.1}%", 100.0 * (e(cfg, opts) / e_custom - 1.0));
         rows.push(vec![

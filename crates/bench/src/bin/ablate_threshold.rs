@@ -21,16 +21,17 @@ fn main() {
         let out = match claire.train(&models) {
             Ok(o) => o,
             Err(e) => {
-                rows.push(vec![format!("{threshold:.2}"), format!("error: {e}"), String::new(), String::new()]);
+                rows.push(vec![
+                    format!("{threshold:.2}"),
+                    format!("error: {e}"),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             }
         };
         let total_lib: f64 = out.libraries.iter().map(|l| l.nre_normalized).sum();
-        let total_custom: f64 = out
-            .libraries
-            .iter()
-            .map(|l| l.cumulative_custom_nre)
-            .sum();
+        let total_custom: f64 = out.libraries.iter().map(|l| l.cumulative_custom_nre).sum();
         rows.push(vec![
             format!("{threshold:.2}"),
             out.libraries.len().to_string(),

@@ -14,19 +14,28 @@ fn main() {
     let roadmaps: Vec<(&str, Vec<Product>)> = vec![
         (
             "NLP-only",
-            vec![Product::new("assistant", vec![zoo::bert_base(), zoo::graphormer()])],
+            vec![Product::new(
+                "assistant",
+                vec![zoo::bert_base(), zoo::graphormer()],
+            )],
         ),
         (
             "vision+NLP",
             vec![
-                Product::new("camera", vec![zoo::alexnet(), zoo::detr(), zoo::convnext_tiny()]),
+                Product::new(
+                    "camera",
+                    vec![zoo::alexnet(), zoo::detr(), zoo::convnext_tiny()],
+                ),
                 Product::new("assistant", vec![zoo::bert_base(), zoo::vit_base()]),
             ],
         ),
         (
             "full-stack",
             vec![
-                Product::new("camera", vec![zoo::alexnet(), zoo::detr(), zoo::mask_rcnn_r50()]),
+                Product::new(
+                    "camera",
+                    vec![zoo::alexnet(), zoo::detr(), zoo::mask_rcnn_r50()],
+                ),
                 Product::new("assistant", vec![zoo::bert_base(), zoo::wav2vec2_base()]),
                 Product::new("codegen", vec![zoo::distilgpt2()]),
                 Product::new("search", vec![zoo::t5_small(), zoo::clip_vit_b32()]),
@@ -54,7 +63,14 @@ fn main() {
         "{}",
         render_table(
             "Portfolio planning: hardened entries per roadmap (greedy set cover)",
-            &["Roadmap", "Harden", "Custom fallback", "Plan NRE", "All-custom", "Benefit"],
+            &[
+                "Roadmap",
+                "Harden",
+                "Custom fallback",
+                "Plan NRE",
+                "All-custom",
+                "Benefit"
+            ],
             &rows,
         )
     );

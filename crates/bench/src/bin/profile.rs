@@ -1,10 +1,17 @@
 //! Workload profiler: the computing-profile analysis of Sec. IV
 //! generalised to every built-in algorithm — MACs, parameters,
 //! activation traffic, arithmetic intensity, layer inventory and the
-//! dominant layer connection.
+//! dominant layer connection — plus an evaluation-engine profile
+//! comparing the serial, uncached reference against the parallel,
+//! memoized engine on the full 19-model train + test flow.
 
-use claire_bench::render_table;
+use claire_bench::{paper_options, render_table, run_flow_with_engine};
+use claire_core::evaluate::EvalOptions;
+use claire_core::{DesignConfig, Engine};
 use claire_model::zoo;
+use claire_ppa::MemoryModel;
+use std::collections::BTreeSet;
+use std::time::Instant;
 
 fn main() {
     let mut models = zoo::training_set();
@@ -47,4 +54,63 @@ fn main() {
     println!("PEANUT-RCNN tops the class-diversity column (the paper's");
     println!("observation about the generic configuration's area); the LLMs'");
     println!("arithmetic intensity collapses toward their token count.");
+
+    // Evaluation-engine profile: the full 19-model paper flow (13
+    // training + 6 test algorithms), serial/uncached vs the default
+    // parallel, memoized engine. Results are bit-identical; only the
+    // wall time and the cache counters differ.
+    println!();
+    let serial = Engine::serial().with_cache(false);
+    let t0 = Instant::now();
+    run_flow_with_engine(paper_options(), &serial);
+    let serial_time = t0.elapsed();
+
+    let parallel = Engine::for_space(&paper_options().space);
+    let t1 = Instant::now();
+    run_flow_with_engine(paper_options(), &parallel);
+    let parallel_time = t1.elapsed();
+
+    println!("== Evaluation-engine profile (19-model train + test flow) ==");
+    println!(
+        "serial reference (1 thread, cache off): {:>9.3} ms",
+        serial_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "parallel engine:                        {:>9.3} ms  ({:.2}x speedup)",
+        parallel_time.as_secs_f64() * 1e3,
+        serial_time.as_secs_f64() / parallel_time.as_secs_f64()
+    );
+    print!("{}", parallel.stats());
+
+    // The per-layer memo tier serves the paths that price layers one
+    // at a time — here, a weight-streaming sweep, where each layer's
+    // compute/stream overlap is resolved individually (the
+    // compute-only flow above memoizes whole-model sums and route
+    // tables instead).
+    let streaming = Engine::for_space(&paper_options().space);
+    let space = paper_options().space;
+    let t2 = Instant::now();
+    for m in &models {
+        let classes: BTreeSet<_> = m.op_class_counts().into_keys().collect();
+        for hw in space.iter() {
+            let cfg = DesignConfig::monolithic(format!("prof:{}", m.name()), hw, classes.clone());
+            let _ = streaming.evaluate_with(
+                m,
+                &cfg,
+                EvalOptions {
+                    memory: Some(MemoryModel::ddr4_3200()),
+                    ..EvalOptions::default()
+                },
+            );
+        }
+    }
+    let streaming_time = t2.elapsed();
+    println!();
+    println!(
+        "== Layer-cost memo tier ({} models x {} points, DDR4 weight streaming) ==",
+        models.len(),
+        space.len()
+    );
+    println!("swept in {:>9.3} ms", streaming_time.as_secs_f64() * 1e3);
+    print!("{}", streaming.stats());
 }

@@ -43,8 +43,10 @@ fn main() {
     );
     println!();
     println!("portfolio NRE: naive {naive:.2} M$, with hardened-IP reuse {deduped:.2} M$");
-    println!("({:.1}% saved on top of the per-configuration library benefit)",
-        100.0 * (1.0 - deduped / naive));
+    println!(
+        "({:.1}% saved on top of the per-configuration library benefit)",
+        100.0 * (1.0 - deduped / naive)
+    );
 
     // The same portfolio view over the custom designs shows why
     // "a library" and not "13 customs": customs barely share dies.
@@ -52,6 +54,8 @@ fn main() {
     let (cn, cd, creuse) = portfolio_nre(&nre, &customs);
     let shared = creuse.iter().filter(|(_, u)| u.len() > 1).count();
     println!();
-    println!("custom portfolio: naive {cn:.2} M$, deduped {cd:.2} M$ ({shared} of {} dies shared)",
-        creuse.len());
+    println!(
+        "custom portfolio: naive {cn:.2} M$, deduped {cd:.2} M$ ({shared} of {} dies shared)",
+        creuse.len()
+    );
 }

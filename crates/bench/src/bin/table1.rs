@@ -1,18 +1,10 @@
 //! Regenerates Table I: the training-set algorithms, their types and
 //! parameter counts.
 
-use claire_bench::{render_table, tables};
+use claire_bench::tables;
 
 fn main() {
-    let rows = tables::table1_rows();
-    print!(
-        "{}",
-        render_table(
-            "Table I: AI algorithms selected in the training set",
-            &["Algorithm", "Type", "# Params", "Source"],
-            &rows,
-        )
-    );
+    print!("{}", tables::table1_rendered());
     println!();
     println!("Paper reference: 11.7M, 138M, 7.98M, 3.5M, 14.21M, 25.5M, 46.7B,");
     println!("                 137M, 8.03B, 342M, 304M, 29M, 1.54B");

@@ -1,29 +1,11 @@
 //! Regenerates Table II: the chiplet libraries inside the
 //! library-synthesized configurations.
 
-use claire_bench::{render_table, run_paper_flow, tables};
+use claire_bench::{run_paper_flow, tables};
 
 fn main() {
     let run = run_paper_flow();
-    let rows = tables::table2_rows(&run);
-    print!(
-        "{}",
-        render_table(
-            "Table II: design specifications of the chiplet libraries (C_k)",
-            &[
-                "Chiplet Library",
-                "SA Size",
-                "#SA",
-                "Activation Types",
-                "#Act",
-                "Pooling Types",
-                "#Pool",
-                "FLATTEN",
-                "PERMUTE",
-            ],
-            &rows,
-        )
-    );
+    print!("{}", tables::table2_rendered(&run));
     println!();
     println!("Paper reference: 7 libraries, all 32x32 arrays, 32 or 64 per");
     println!("chiplet, 16 activation / 16 pooling units; FLATTEN/PERMUTE on L2/L5.");

@@ -1,19 +1,11 @@
 //! Regenerates Table III: library-synthesized configurations and
 //! their training/test algorithm subsets.
 
-use claire_bench::{render_table, run_paper_flow, tables};
+use claire_bench::{run_paper_flow, tables};
 
 fn main() {
     let run = run_paper_flow();
-    let rows = tables::table3_rows(&run);
-    print!(
-        "{}",
-        render_table(
-            "Table III: configurations and their algorithm subsets",
-            &["Config", "Training Subset (TR_k)", "Test Subset (TT_k)"],
-            &rows,
-        )
-    );
+    print!("{}", tables::table3_rendered(&run));
     println!();
     println!("Paper reference: C_1 <- DETR, Alexnet; C_3 <- BERT, Graphormer,");
     println!("ViT, AST; C_2/C_4/C_5 receive no test algorithm.");

@@ -42,7 +42,14 @@ fn main() {
         "{}",
         render_table(
             "Extended test set: assignment over C_1..C_5",
-            &["Algorithm", "Config", "Similarity", "Coverage", "U(i,k)", "U(i,g)"],
+            &[
+                "Algorithm",
+                "Config",
+                "Similarity",
+                "Coverage",
+                "U(i,k)",
+                "U(i,g)"
+            ],
             &rows,
         )
     );

@@ -1,19 +1,11 @@
 //! Regenerates Table IV: training-phase NRE costs of the
 //! library-synthesized configurations vs cumulative custom costs.
 
-use claire_bench::{render_table, run_paper_flow, tables};
+use claire_bench::{run_paper_flow, tables};
 
 fn main() {
     let run = run_paper_flow();
-    let rows = tables::table4_rows(&run);
-    print!(
-        "{}",
-        render_table(
-            "Table IV: training-phase NRE (normalised to C_g)",
-            &["Config", "Training Subset", "NRE_cstm", "NRE_k", "Benefit"],
-            &rows,
-        )
-    );
+    print!("{}", tables::table4_rendered(&run));
     println!();
     println!("Paper reference: C_1 2.998 vs 0.5 (5.99x); C_3 0.999 vs 0.25 (3.99x).");
 }

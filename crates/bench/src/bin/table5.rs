@@ -1,19 +1,11 @@
 //! Regenerates Table V: chiplet utilization of the test algorithms on
 //! the generic configuration vs their assigned library configuration.
 
-use claire_bench::{render_table, run_paper_flow, tables};
+use claire_bench::{run_paper_flow, tables};
 
 fn main() {
     let run = run_paper_flow();
-    let rows = tables::table5_rows(&run);
-    print!(
-        "{}",
-        render_table(
-            "Table V: chiplet utilization, generic vs library-synthesized",
-            &["Test Algorithm", "U(i,g)", "Config", "U(i,k)", "Improvement"],
-            &rows,
-        )
-    );
+    print!("{}", tables::table5_rendered(&run));
     println!();
     println!("Paper reference: BERT 0.188->0.75, Graphormer 0.125->0.5,");
     println!("ViT 0.188->0.75, AST 0.125->0.5, DETR 0.25->0.4, Alexnet 0.31->0.5");

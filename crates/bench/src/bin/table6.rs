@@ -1,19 +1,11 @@
 //! Regenerates Table VI: test-phase NRE costs of the
 //! library-synthesized configurations vs cumulative custom costs.
 
-use claire_bench::{render_table, run_paper_flow, tables};
+use claire_bench::{run_paper_flow, tables};
 
 fn main() {
     let run = run_paper_flow();
-    let rows = tables::table6_rows(&run);
-    print!(
-        "{}",
-        render_table(
-            "Table VI: test-phase NRE (normalised to C_g)",
-            &["Config", "Test Subset", "NRE_cstm", "NRE_k", "Benefit"],
-            &rows,
-        )
-    );
+    print!("{}", tables::table6_rendered(&run));
     println!();
     println!("Paper reference: C_1 0.999 vs 0.5 (1.99x); C_3 0.999 vs 0.25 (3.99x).");
 }

@@ -24,7 +24,7 @@
 //! implementation converges in well under a second.
 
 use claire_core::{
-    paper_table3_subsets, Claire, ClaireOptions, SubsetStrategy, TestOutput, TrainOutput,
+    paper_table3_subsets, Claire, ClaireOptions, Engine, SubsetStrategy, TestOutput, TrainOutput,
 };
 use claire_model::{zoo, Model};
 
@@ -70,11 +70,26 @@ pub fn run_paper_flow() -> PaperRun {
 ///
 /// Panics when training or testing fails (see [`run_paper_flow`]).
 pub fn run_flow(opts: ClaireOptions) -> PaperRun {
+    let engine = Engine::for_space(&opts.space);
+    run_flow_with_engine(opts, &engine)
+}
+
+/// [`run_flow`] on an explicit evaluation [`Engine`], so callers can
+/// control threads/caching and read the engine's counters afterwards.
+///
+/// # Panics
+///
+/// Panics when training or testing fails (see [`run_paper_flow`]).
+pub fn run_flow_with_engine(opts: ClaireOptions, engine: &Engine) -> PaperRun {
     let claire = Claire::new(opts);
     let training = zoo::training_set();
     let tests = zoo::test_set();
-    let train = claire.train(&training).expect("training phase");
-    let test = claire.evaluate_test(&train, &tests).expect("test phase");
+    let train = claire
+        .train_with_engine(&training, engine)
+        .expect("training phase");
+    let test = claire
+        .evaluate_test_with_engine(&train, &tests, engine)
+        .expect("test phase");
     PaperRun {
         training,
         tests,

@@ -178,6 +178,90 @@ pub fn table6_rows(run: &PaperRun) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Table I rendered exactly as the `table1` binary prints it — the
+/// text the `tests/golden/table1.txt` fixture pins.
+pub fn table1_rendered() -> String {
+    crate::render_table(
+        "Table I: AI algorithms selected in the training set",
+        &["Algorithm", "Type", "# Params", "Source"],
+        &table1_rows(),
+    )
+}
+
+/// Table II rendered exactly as the `table2` binary prints it.
+pub fn table2_rendered(run: &PaperRun) -> String {
+    crate::render_table(
+        "Table II: design specifications of the chiplet libraries (C_k)",
+        &[
+            "Chiplet Library",
+            "SA Size",
+            "#SA",
+            "Activation Types",
+            "#Act",
+            "Pooling Types",
+            "#Pool",
+            "FLATTEN",
+            "PERMUTE",
+        ],
+        &table2_rows(run),
+    )
+}
+
+/// Table III rendered exactly as the `table3` binary prints it.
+pub fn table3_rendered(run: &PaperRun) -> String {
+    crate::render_table(
+        "Table III: configurations and their algorithm subsets",
+        &["Config", "Training Subset (TR_k)", "Test Subset (TT_k)"],
+        &table3_rows(run),
+    )
+}
+
+/// Table IV rendered exactly as the `table4` binary prints it.
+pub fn table4_rendered(run: &PaperRun) -> String {
+    crate::render_table(
+        "Table IV: training-phase NRE (normalised to C_g)",
+        &["Config", "Training Subset", "NRE_cstm", "NRE_k", "Benefit"],
+        &table4_rows(run),
+    )
+}
+
+/// Table V rendered exactly as the `table5` binary prints it.
+pub fn table5_rendered(run: &PaperRun) -> String {
+    crate::render_table(
+        "Table V: chiplet utilization, generic vs library-synthesized",
+        &[
+            "Test Algorithm",
+            "U(i,g)",
+            "Config",
+            "U(i,k)",
+            "Improvement",
+        ],
+        &table5_rows(run),
+    )
+}
+
+/// Table VI rendered exactly as the `table6` binary prints it.
+pub fn table6_rendered(run: &PaperRun) -> String {
+    crate::render_table(
+        "Table VI: test-phase NRE (normalised to C_g)",
+        &["Config", "Test Subset", "NRE_cstm", "NRE_k", "Benefit"],
+        &table6_rows(run),
+    )
+}
+
+/// All six paper tables rendered from one flow result, in order —
+/// the golden-fixture suite iterates this.
+pub fn all_rendered(run: &PaperRun) -> [(&'static str, String); 6] {
+    [
+        ("table1", table1_rendered()),
+        ("table2", table2_rendered(run)),
+        ("table3", table3_rendered(run)),
+        ("table4", table4_rendered(run)),
+        ("table5", table5_rendered(run)),
+        ("table6", table6_rendered(run)),
+    ]
+}
+
 /// Fig. 2 rows: the top-`n` edge combinations with counts.
 pub fn figure2_rows(n: usize) -> Vec<Vec<String>> {
     claire_core::graphs::edge_histogram(&zoo::training_set())
@@ -245,9 +329,7 @@ mod tests {
         assert_eq!(rows.len(), run().train.libraries.len());
         // The paper's key structural fact: at least one configuration
         // receives no test algorithm.
-        assert!(rows
-            .iter()
-            .any(|r| r[2].contains("No test set algorithm")));
+        assert!(rows.iter().any(|r| r[2].contains("No test set algorithm")));
     }
 
     #[test]

@@ -118,8 +118,12 @@ fn parse_dims2(s: &str) -> Result<(u32, u32), ParseArgsError> {
         return Err(err(format!("expected AxB, got `{s}`")));
     }
     Ok((
-        parts[0].parse().map_err(|_| err(format!("bad number in `{s}`")))?,
-        parts[1].parse().map_err(|_| err(format!("bad number in `{s}`")))?,
+        parts[0]
+            .parse()
+            .map_err(|_| err(format!("bad number in `{s}`")))?,
+        parts[1]
+            .parse()
+            .map_err(|_| err(format!("bad number in `{s}`")))?,
     ))
 }
 
@@ -134,6 +138,35 @@ fn parse_dims3(s: &str) -> Result<(u32, u32, u32), ParseArgsError> {
             .map_err(|_| err(format!("bad number in `{s}`")))
     };
     Ok((p(0)?, p(1)?, p(2)?))
+}
+
+/// Strips a global `--threads <n>` option (valid with any command)
+/// from the raw argument list, returning the worker count and the
+/// remaining arguments for [`parse_args`].
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] when the value is missing, not a
+/// number, or zero.
+pub fn extract_threads(args: &[String]) -> Result<(Option<usize>, Vec<String>), ParseArgsError> {
+    let mut threads = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it.next().ok_or_else(|| err("--threads requires a value"))?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| err(format!("bad thread count `{v}`")))?;
+            if n == 0 {
+                return Err(err("--threads must be at least 1"));
+            }
+            threads = Some(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((threads, rest))
 }
 
 /// Parses the command line (excluding argv\[0\]).
@@ -165,10 +198,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 // Flags with values.
                 if matches!(
                     *a,
-                    "--threshold" | "--image" | "--seq" | "--name" | "--config" | "--batch"
+                    "--threshold"
+                        | "--image"
+                        | "--seq"
+                        | "--name"
+                        | "--config"
+                        | "--batch"
                         | "--library"
-                )
-                    && i + 1 < rest.len()
+                ) && i + 1 < rest.len()
                 {
                     skip = true;
                 }
@@ -196,7 +233,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
         "train" => Ok(Command::Train {
             paper_subsets: flag("--paper-subsets"),
             threshold: value("--threshold")
-                .map(|v| v.parse::<f64>().map_err(|_| err(format!("bad threshold `{v}`"))))
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| err(format!("bad threshold `{v}`")))
+                })
                 .transpose()?,
             json: flag("--json"),
             config: value("--config").map(str::to_owned),
@@ -258,8 +298,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
             let model = positional
                 .first()
                 .ok_or_else(|| err("usage: deploy <model> --library <file>"))?;
-            let library = value("--library")
-                .ok_or_else(|| err("deploy requires --library <file>"))?;
+            let library =
+                value("--library").ok_or_else(|| err("deploy requires --library <file>"))?;
             Ok(Command::Deploy {
                 model: (*model).to_owned(),
                 library: library.to_owned(),
@@ -271,7 +311,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 .first()
                 .ok_or_else(|| err("usage: simulate <model> [--overlap] [--batch <n>]"))?;
             let batch = value("--batch")
-                .map(|v| v.parse::<usize>().map_err(|_| err(format!("bad batch `{v}`"))))
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| err(format!("bad batch `{v}`")))
+                })
                 .transpose()?
                 .unwrap_or(1);
             if batch == 0 {
@@ -323,6 +366,9 @@ USAGE:
       Deploy an algorithm onto a stored library without retraining.
   claire-cli help
       Show this text.
+
+Any command also accepts --threads <n> to set the evaluation
+engine's worker count (else CLAIRE_THREADS, else all cores).
 ";
 
 #[cfg(test)]
@@ -385,7 +431,10 @@ mod tests {
 
     #[test]
     fn parse_seq_dims() {
-        match parse_args(&v(&["parse", "net.txt", "--seq", "128x768", "--name", "enc"])).unwrap()
+        match parse_args(&v(&[
+            "parse", "net.txt", "--seq", "128x768", "--name", "enc",
+        ]))
+        .unwrap()
         {
             Command::Parse { seq, name, .. } => {
                 assert_eq!(seq, Some((128, 768)));
@@ -397,11 +446,32 @@ mod tests {
 
     #[test]
     fn image_and_seq_conflict() {
-        let e = parse_args(&v(&[
-            "parse", "n.txt", "--image", "3x8x8", "--seq", "1x2",
-        ]))
-        .unwrap_err();
+        let e =
+            parse_args(&v(&["parse", "n.txt", "--image", "3x8x8", "--seq", "1x2"])).unwrap_err();
         assert!(e.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn threads_is_extracted_from_any_position() {
+        let (t, rest) = extract_threads(&v(&["train", "--threads", "4", "--json"])).unwrap();
+        assert_eq!(t, Some(4));
+        assert_eq!(rest, v(&["train", "--json"]));
+        assert_eq!(
+            parse_args(&rest).unwrap(),
+            Command::Train {
+                paper_subsets: false,
+                threshold: None,
+                json: true,
+                config: None
+            }
+        );
+    }
+
+    #[test]
+    fn threads_rejects_zero_and_garbage() {
+        assert!(extract_threads(&v(&["flow", "--threads", "0"])).is_err());
+        assert!(extract_threads(&v(&["flow", "--threads", "many"])).is_err());
+        assert!(extract_threads(&v(&["flow", "--threads"])).is_err());
     }
 
     #[test]

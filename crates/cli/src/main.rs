@@ -6,7 +6,7 @@
 mod args;
 mod summary;
 
-use args::{parse_args, Command, USAGE};
+use args::{extract_threads, parse_args, Command, USAGE};
 use claire_core::{
     paper_table3_subsets, ChipletLibrary, Claire, ClaireOptions, RunConfig, SubsetStrategy,
     WeightScale,
@@ -17,8 +17,10 @@ use summary::{CustomSummary, FlowSummary, TrainSummary};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let code = match parse_args(&argv) {
-        Ok(cmd) => run(cmd),
+    let parsed =
+        extract_threads(&argv).and_then(|(threads, rest)| Ok((parse_args(&rest)?, threads)));
+    let code = match parsed {
+        Ok((cmd, threads)) => run(cmd, threads),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -32,6 +34,7 @@ fn options(
     paper_subsets: bool,
     threshold: Option<f64>,
     config: Option<&str>,
+    threads: Option<usize>,
 ) -> Result<ClaireOptions, String> {
     let mut opts = match config {
         Some(path) => RunConfig::load(path)
@@ -47,10 +50,14 @@ fn options(
             scale: WeightScale::Log,
         };
     }
+    // A --threads flag beats the config file's knob.
+    if threads.is_some() {
+        opts.space.threads = threads;
+    }
     Ok(opts)
 }
 
-fn run(cmd: Command) -> i32 {
+fn run(cmd: Command, threads: Option<usize>) -> i32 {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -86,12 +93,16 @@ fn run(cmd: Command) -> i32 {
                 }
             }
         }
-        Command::Custom { model, json, config } => {
+        Command::Custom {
+            model,
+            json,
+            config,
+        } => {
             let Some(m) = zoo::by_name(&model) else {
                 eprintln!("error: unknown model `{model}` (see `claire-cli models --extended`)");
                 return 2;
             };
-            let opts = match options(false, None, config.as_deref()) {
+            let opts = match options(false, None, config.as_deref(), threads) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -137,7 +148,7 @@ fn run(cmd: Command) -> i32 {
             json,
             config,
         } => {
-            let opts = match options(paper_subsets, threshold, config.as_deref()) {
+            let opts = match options(paper_subsets, threshold, config.as_deref(), threads) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -166,7 +177,7 @@ fn run(cmd: Command) -> i32 {
             extended,
             json,
         } => {
-            let opts = match options(paper_subsets, None, None) {
+            let opts = match options(paper_subsets, None, None, threads) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -189,7 +200,10 @@ fn run(cmd: Command) -> i32 {
                 Ok(test) => {
                     let flow = FlowSummary::new(&train, &test);
                     if json {
-                        println!("{}", serde_json::to_string_pretty(&flow).expect("serialise"));
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&flow).expect("serialise")
+                        );
                     } else {
                         print_train(&flow.train);
                         println!("test deployment:");
@@ -243,7 +257,7 @@ fn run(cmd: Command) -> i32 {
             paper_subsets,
             threshold,
         } => {
-            let opts = match options(paper_subsets, threshold, None) {
+            let opts = match options(paper_subsets, threshold, None, threads) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -330,12 +344,20 @@ fn run(cmd: Command) -> i32 {
                 }
             }
         }
-        Command::Simulate { model, overlap, batch } => {
+        Command::Simulate {
+            model,
+            overlap,
+            batch,
+        } => {
             let Some(m) = zoo::by_name(&model) else {
                 eprintln!("error: unknown model `{model}`");
                 return 2;
             };
-            let claire = Claire::new(ClaireOptions::default());
+            let mut opts = ClaireOptions::default();
+            if threads.is_some() {
+                opts.space.threads = threads;
+            }
+            let claire = Claire::new(opts);
             let custom = match claire.custom_for(&m) {
                 Ok(c) => c,
                 Err(e) => {
@@ -431,7 +453,11 @@ fn run(cmd: Command) -> i32 {
                 model.macs() as f64 / 1e6,
                 model.param_count()
             );
-            let claire = Claire::new(ClaireOptions::default());
+            let mut opts = ClaireOptions::default();
+            if threads.is_some() {
+                opts.space.threads = threads;
+            }
+            let claire = Claire::new(opts);
             match claire.custom_for(&model) {
                 Ok(custom) => {
                     let s = CustomSummary::from(&custom);

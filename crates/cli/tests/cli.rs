@@ -42,8 +42,7 @@ fn custom_json_is_valid_json() {
         .output()
         .expect("run");
     assert!(out.status.success());
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON output");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON output");
     assert_eq!(v["model"], "Alexnet");
     assert!(v["ppa"]["latency_ms"].as_f64().expect("latency") > 0.0);
 }
@@ -64,11 +63,22 @@ fn parse_round_trip_via_tempfile() {
     )
     .expect("write dump");
     let out = cli()
-        .args(["parse", path.to_str().expect("utf8"), "--image", "3x16x16", "--name", "Net"])
+        .args([
+            "parse",
+            path.to_str().expect("utf8"),
+            "--image",
+            "3x16x16",
+            "--name",
+            "Net",
+        ])
         .output()
         .expect("run");
     std::fs::remove_file(&path).ok();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("parsed Net: 3 layers"));
     assert!(text.contains("custom configuration"));
@@ -86,7 +96,9 @@ fn init_config_then_train_with_it() {
     // The written file is valid RunConfig JSON.
     let text = std::fs::read_to_string(&path).expect("config written");
     let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
-    assert!(v["constraints"]["chiplet_area_limit_mm2"].as_f64().is_some());
+    assert!(v["constraints"]["chiplet_area_limit_mm2"]
+        .as_f64()
+        .is_some());
     std::fs::remove_file(&path).ok();
 }
 
@@ -95,23 +107,46 @@ fn export_then_deploy_round_trip() {
     let dir = std::env::temp_dir();
     let path = dir.join(format!("claire-cli-lib-{}.json", std::process::id()));
     let out = cli()
-        .args(["export-library", path.to_str().expect("utf8"), "--paper-subsets"])
+        .args([
+            "export-library",
+            path.to_str().expect("utf8"),
+            "--paper-subsets",
+        ])
         .output()
         .expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cli()
-        .args(["deploy", "ViT-base", "--library", path.to_str().expect("utf8"), "--json"])
+        .args([
+            "deploy",
+            "ViT-base",
+            "--library",
+            path.to_str().expect("utf8"),
+            "--json",
+        ])
         .output()
         .expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("json");
     assert_eq!(v["coverage"], 1.0);
     assert_eq!(v["config"], "C_3");
 
     // The composability gap exits non-zero with a clear message.
     let out = cli()
-        .args(["deploy", "EfficientNet-B0", "--library", path.to_str().expect("utf8")])
+        .args([
+            "deploy",
+            "EfficientNet-B0",
+            "--library",
+            path.to_str().expect("utf8"),
+        ])
         .output()
         .expect("run");
     assert_eq!(out.status.code(), Some(1));

@@ -5,10 +5,11 @@
 use crate::assign::{assign_test, partition_training, scaled_vector, WeightScale};
 use crate::chiplet::cluster_into_chiplets;
 use crate::config::{Constraints, DesignConfig};
-use crate::dse::{custom_config, set_config};
+use crate::dse::{custom_config_with_engine, set_config_with_engine, DseObjective};
 use crate::error::ClaireError;
-use crate::evaluate::{evaluate, PpaReport};
+use crate::evaluate::PpaReport;
 use crate::metrics::{algorithm_coverage, chiplet_utilization, normalized_nre};
+use crate::parallel::Engine;
 use claire_cost::NreModel;
 use claire_model::{ActivationKind, Model, OpClass};
 use claire_ppa::DseSpace;
@@ -94,7 +95,12 @@ pub fn paper_table3_subsets() -> Vec<Vec<String>> {
             "Resnet18",
         ],
         &["PEANUT RCNN"],
-        &["DPT-Large", "DINOv2-large", "Mixtral-8x7B", "Meta Llama-3-8B"],
+        &[
+            "DPT-Large",
+            "DINOv2-large",
+            "Mixtral-8x7B",
+            "Meta Llama-3-8B",
+        ],
         &["Whisperv3-large"],
         &["GPT2"],
     ];
@@ -228,14 +234,34 @@ impl Claire {
     ///
     /// Propagates DSE/clustering failures.
     pub fn custom_for(&self, model: &Model) -> Result<CustomResult, ClaireError> {
-        let (mut cfg, _) = custom_config(model, &self.opts.space, &self.opts.constraints)?;
+        self.custom_for_with_engine(model, &Engine::for_space(&self.opts.space))
+    }
+
+    /// [`Claire::custom_for`] on an explicit [`Engine`] (shared memo
+    /// cache, parallel DSE sweep).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Claire::custom_for`].
+    pub fn custom_for_with_engine(
+        &self,
+        model: &Model,
+        engine: &Engine,
+    ) -> Result<CustomResult, ClaireError> {
+        let (mut cfg, _) = custom_config_with_engine(
+            model,
+            &self.opts.space,
+            &self.opts.constraints,
+            DseObjective::MinArea,
+            engine,
+        )?;
         cluster_into_chiplets(
             &mut cfg,
             std::slice::from_ref(model),
             &self.opts.constraints,
             self.opts.louvain_resolution,
         )?;
-        let report = evaluate(model, &cfg)?;
+        let report = engine.evaluate(model, &cfg)?;
         Ok(CustomResult {
             model: model.clone(),
             config: cfg,
@@ -284,15 +310,31 @@ impl Claire {
     /// [`ClaireError::EmptyAlgorithmSet`] for an empty slice, plus any
     /// DSE or clustering failure.
     pub fn train(&self, models: &[Model]) -> Result<TrainOutput, ClaireError> {
+        self.train_with_engine(models, &Engine::for_space(&self.opts.space))
+    }
+
+    /// [`Claire::train`] on an explicit [`Engine`]: custom
+    /// configurations and Fig. 4 evaluations run in parallel over the
+    /// algorithms, every DSE sweep runs in parallel over the space,
+    /// and all layer costs share the engine's memo cache. The output
+    /// is bit-identical to the serial flow at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Claire::train`].
+    pub fn train_with_engine(
+        &self,
+        models: &[Model],
+        engine: &Engine,
+    ) -> Result<TrainOutput, ClaireError> {
         if models.is_empty() {
             return Err(ClaireError::EmptyAlgorithmSet);
         }
 
         // --- Output 1: custom configurations.
-        let customs: Vec<CustomResult> = models
-            .iter()
-            .map(|m| self.custom_for(m))
-            .collect::<Result<_, _>>()?;
+        let customs: Vec<CustomResult> = engine.time_stage("customs", || {
+            engine.try_par_map(models, |_, m| self.custom_for_with_engine(m, engine))
+        })?;
         let custom_latency: BTreeMap<String, f64> = customs
             .iter()
             .map(|c| (c.model.name().to_owned(), c.report.latency_s))
@@ -300,13 +342,16 @@ impl Claire {
 
         // --- Output 2: the generic configuration.
         let refs: Vec<&Model> = models.iter().collect();
-        let mut generic = set_config(
-            "C_g",
-            &refs,
-            &self.opts.space,
-            &self.opts.constraints,
-            &custom_latency,
-        )?;
+        let mut generic = engine.time_stage("generic", || {
+            set_config_with_engine(
+                "C_g",
+                &refs,
+                &self.opts.space,
+                &self.opts.constraints,
+                &custom_latency,
+                engine,
+            )
+        })?;
         if self.opts.provision_tanh_in_generic {
             generic
                 .classes
@@ -324,13 +369,16 @@ impl Claire {
         let mut libraries = Vec::with_capacity(subsets.len());
         for (k, subset) in subsets.iter().enumerate() {
             let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
-            let mut cfg = set_config(
-                &format!("C_{}", k + 1),
-                &members,
-                &self.opts.space,
-                &self.opts.constraints,
-                &custom_latency,
-            )?;
+            let mut cfg = engine.time_stage("libraries", || {
+                set_config_with_engine(
+                    &format!("C_{}", k + 1),
+                    &members,
+                    &self.opts.space,
+                    &self.opts.constraints,
+                    &custom_latency,
+                    engine,
+                )
+            })?;
             let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
             cluster_into_chiplets(
                 &mut cfg,
@@ -378,20 +426,21 @@ impl Claire {
         }
 
         // --- Fig. 4 data: PPA on all three configuration classes.
-        let mut algo_ppa = Vec::with_capacity(models.len());
-        for (i, m) in models.iter().enumerate() {
-            let lib_idx = libraries
-                .iter()
-                .position(|l| l.members.contains(&i))
-                .expect("every training model belongs to a subset");
-            algo_ppa.push(AlgoPpa {
-                model_name: m.name().to_owned(),
-                custom: customs[i].report,
-                generic: evaluate(m, &generic)?,
-                library: evaluate(m, &libraries[lib_idx].config)?,
-                library_index: lib_idx,
-            });
-        }
+        let algo_ppa: Vec<AlgoPpa> = engine.time_stage("algo_ppa", || {
+            engine.try_par_map(models, |i, m| {
+                let lib_idx = libraries
+                    .iter()
+                    .position(|l| l.members.contains(&i))
+                    .expect("every training model belongs to a subset");
+                Ok(AlgoPpa {
+                    model_name: m.name().to_owned(),
+                    custom: customs[i].report,
+                    generic: engine.evaluate(m, &generic)?,
+                    library: engine.evaluate(m, &libraries[lib_idx].config)?,
+                    library_index: lib_idx,
+                })
+            })
+        })?;
 
         Ok(TrainOutput {
             customs,
@@ -418,72 +467,102 @@ impl Claire {
         train: &TrainOutput,
         tests: &[Model],
     ) -> Result<TestOutput, ClaireError> {
+        self.evaluate_test_with_engine(train, tests, &Engine::for_space(&self.opts.space))
+    }
+
+    /// [`Claire::evaluate_test`] with an explicit [`Engine`], so test
+    /// models are evaluated in parallel and layer costs are shared with
+    /// any prior training run through the memo cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Claire::evaluate_test`].
+    pub fn evaluate_test_with_engine(
+        &self,
+        train: &TrainOutput,
+        tests: &[Model],
+        engine: &Engine,
+    ) -> Result<TestOutput, ClaireError> {
         if tests.is_empty() {
             return Err(ClaireError::EmptyAlgorithmSet);
         }
         let vectors: Vec<_> = train.libraries.iter().map(|l| l.vector.clone()).collect();
 
-        let mut reports = Vec::with_capacity(tests.len());
-        let mut per_lib: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let reports: Vec<TestReport> = engine.time_stage("test", || {
+            engine.try_par_map(tests, |_, m| {
+                let custom = self.custom_for_with_engine(m, engine)?;
 
-        for (ti, m) in tests.iter().enumerate() {
-            let custom = self.custom_for(m)?;
+                // Rank libraries by similarity; take the best that covers.
+                let mv = scaled_vector(m, self.opts.assign_scale);
+                let mut ranked: Vec<(usize, f64)> = vectors
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (i, claire_graph::weighted_jaccard(&mv, v)))
+                    .collect();
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                let assigned = ranked
+                    .iter()
+                    .find(|&&(i, _)| train.libraries[i].config.covers(m))
+                    .copied();
+                let _ = assign_test(m, &vectors); // keep raw argmax observable in tests
 
-            // Rank libraries by similarity; take the best that covers.
-            let mv = scaled_vector(m, self.opts.assign_scale);
-            let mut ranked: Vec<(usize, f64)> = vectors
-                .iter()
-                .enumerate()
-                .map(|(i, v)| (i, claire_graph::weighted_jaccard(&mv, v)))
-                .collect();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-            let assigned = ranked
-                .iter()
-                .find(|&&(i, _)| train.libraries[i].config.covers(m))
-                .copied();
-            let _ = assign_test(m, &vectors); // keep raw argmax observable in tests
+                // The generic config covers every *training* op class by
+                // construction; a test model with a novel op class cannot
+                // run on it, so fall back to the custom PPA rather than
+                // failing the whole test phase.
+                let generic_ppa = if train.generic.covers(m) {
+                    engine.evaluate(m, &train.generic)?
+                } else {
+                    custom.report
+                };
 
-            let (lib_idx, similarity) = match assigned {
-                Some(x) => x,
-                None => {
-                    reports.push(TestReport {
-                        model_name: m.name().to_owned(),
-                        assigned_library: None,
-                        similarity: 0.0,
-                        coverage: 0.0,
-                        utilization_library: 0.0,
-                        utilization_generic: chiplet_utilization(m, &train.generic),
-                        custom_config: custom.config.clone(),
-                        ppa: AlgoPpa {
+                let (lib_idx, similarity) = match assigned {
+                    Some(x) => x,
+                    None => {
+                        return Ok(TestReport {
                             model_name: m.name().to_owned(),
-                            custom: custom.report,
-                            generic: evaluate(m, &train.generic)?,
-                            library: custom.report,
-                            library_index: usize::MAX,
-                        },
-                    });
-                    continue;
-                }
-            };
-            per_lib.entry(lib_idx).or_default().push(ti);
+                            assigned_library: None,
+                            similarity: 0.0,
+                            coverage: 0.0,
+                            utilization_library: 0.0,
+                            utilization_generic: chiplet_utilization(m, &train.generic),
+                            custom_config: custom.config.clone(),
+                            ppa: AlgoPpa {
+                                model_name: m.name().to_owned(),
+                                custom: custom.report,
+                                generic: generic_ppa,
+                                library: custom.report,
+                                library_index: usize::MAX,
+                            },
+                        });
+                    }
+                };
 
-            let lib_cfg = &train.libraries[lib_idx].config;
-            reports.push(TestReport {
-                model_name: m.name().to_owned(),
-                assigned_library: Some(lib_idx),
-                similarity,
-                coverage: algorithm_coverage(m, lib_cfg),
-                utilization_library: chiplet_utilization(m, lib_cfg),
-                utilization_generic: chiplet_utilization(m, &train.generic),
-                custom_config: custom.config.clone(),
-                ppa: AlgoPpa {
+                let lib_cfg = &train.libraries[lib_idx].config;
+                Ok(TestReport {
                     model_name: m.name().to_owned(),
-                    custom: custom.report,
-                    generic: evaluate(m, &train.generic)?,
-                    library: evaluate(m, lib_cfg)?,
-                    library_index: lib_idx,
-                },
-            });
+                    assigned_library: Some(lib_idx),
+                    similarity,
+                    coverage: algorithm_coverage(m, lib_cfg),
+                    utilization_library: chiplet_utilization(m, lib_cfg),
+                    utilization_generic: chiplet_utilization(m, &train.generic),
+                    custom_config: custom.config.clone(),
+                    ppa: AlgoPpa {
+                        model_name: m.name().to_owned(),
+                        custom: custom.report,
+                        generic: generic_ppa,
+                        library: engine.evaluate(m, lib_cfg)?,
+                        library_index: lib_idx,
+                    },
+                })
+            })
+        })?;
+
+        let mut per_lib: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (ti, r) in reports.iter().enumerate() {
+            if let Some(lib_idx) = r.assigned_library {
+                per_lib.entry(lib_idx).or_default().push(ti);
+            }
         }
 
         let nre_rows = per_lib
@@ -496,11 +575,7 @@ impl Claire {
                 let cumulative: f64 = test_indices
                     .iter()
                     .map(|&i| {
-                        normalized_nre(
-                            &self.opts.nre,
-                            &reports[i].custom_config,
-                            &train.generic,
-                        )
+                        normalized_nre(&self.opts.nre, &reports[i].custom_config, &train.generic)
                     })
                     .sum();
                 (

@@ -117,11 +117,7 @@ pub struct DesignConfig {
 
 impl DesignConfig {
     /// Creates a monolithic (not yet clustered) configuration.
-    pub fn monolithic(
-        name: impl Into<String>,
-        hw: HwParams,
-        classes: BTreeSet<OpClass>,
-    ) -> Self {
+    pub fn monolithic(name: impl Into<String>, hw: HwParams, classes: BTreeSet<OpClass>) -> Self {
         DesignConfig {
             name: name.into(),
             hw,
@@ -187,10 +183,7 @@ impl DesignConfig {
     /// True when every layer of `model` is implementable — algorithm
     /// coverage `C_layer(i, k) = 100 %`.
     pub fn covers(&self, model: &Model) -> bool {
-        model
-            .op_class_counts()
-            .keys()
-            .all(|&c| self.supports(c))
+        model.op_class_counts().keys().all(|&c| self.supports(c))
     }
 
     /// The first layer class of `model` this configuration cannot
@@ -235,7 +228,10 @@ impl DesignConfig {
                 return Err(format!("chiplet {} has no module groups", ch.name));
             }
             if !(ch.area_mm2.is_finite() && ch.area_mm2 > 0.0) {
-                return Err(format!("chiplet {} has invalid area {}", ch.name, ch.area_mm2));
+                return Err(format!(
+                    "chiplet {} has invalid area {}",
+                    ch.name, ch.area_mm2
+                ));
             }
             for class in &ch.classes {
                 if !self.classes.contains(class) {
@@ -338,11 +334,8 @@ mod tests {
 
     #[test]
     fn clustered_area_is_sum_of_chiplets() {
-        let mut cfg = DesignConfig::monolithic(
-            "c",
-            hw(),
-            classes(&[OpClass::Conv2d, OpClass::Linear]),
-        );
+        let mut cfg =
+            DesignConfig::monolithic("c", hw(), classes(&[OpClass::Conv2d, OpClass::Linear]));
         cfg.chiplets = vec![
             Chiplet::from_classes("L1", classes(&[OpClass::Conv2d]), &hw()),
             Chiplet::from_classes("L2", classes(&[OpClass::Linear]), &hw()),
@@ -375,11 +368,8 @@ mod tests {
 
     #[test]
     fn validate_accepts_well_formed_configs() {
-        let mut cfg = DesignConfig::monolithic(
-            "c",
-            hw(),
-            classes(&[OpClass::Conv2d, OpClass::Linear]),
-        );
+        let mut cfg =
+            DesignConfig::monolithic("c", hw(), classes(&[OpClass::Conv2d, OpClass::Linear]));
         assert!(cfg.validate().is_ok());
         cfg.chiplets = vec![
             Chiplet::from_classes("L1", classes(&[OpClass::Conv2d]), &hw()),
@@ -390,11 +380,8 @@ mod tests {
 
     #[test]
     fn validate_rejects_duplicated_class() {
-        let mut cfg = DesignConfig::monolithic(
-            "c",
-            hw(),
-            classes(&[OpClass::Conv2d, OpClass::Linear]),
-        );
+        let mut cfg =
+            DesignConfig::monolithic("c", hw(), classes(&[OpClass::Conv2d, OpClass::Linear]));
         cfg.chiplets = vec![
             Chiplet::from_classes("L1", classes(&[OpClass::Conv2d, OpClass::Linear]), &hw()),
             Chiplet::from_classes("L2", classes(&[OpClass::Linear]), &hw()),
@@ -405,11 +392,8 @@ mod tests {
 
     #[test]
     fn validate_rejects_uncovered_class() {
-        let mut cfg = DesignConfig::monolithic(
-            "c",
-            hw(),
-            classes(&[OpClass::Conv2d, OpClass::Linear]),
-        );
+        let mut cfg =
+            DesignConfig::monolithic("c", hw(), classes(&[OpClass::Conv2d, OpClass::Linear]));
         cfg.chiplets = vec![Chiplet::from_classes(
             "L1",
             classes(&[OpClass::Conv2d]),

@@ -7,7 +7,8 @@
 
 use crate::config::{Constraints, DesignConfig};
 use crate::error::ClaireError;
-use crate::evaluate::{evaluate, PpaReport};
+use crate::evaluate::PpaReport;
+use crate::parallel::Engine;
 use claire_model::{Model, OpClass};
 use claire_ppa::{DseSpace, HwParams};
 use std::collections::{BTreeMap, BTreeSet};
@@ -58,16 +59,29 @@ fn monolithic_for(model: &Model, hw: HwParams) -> DesignConfig {
 /// latency constraint needs the custom reference and is applied by the
 /// callers).
 pub fn sweep(model: &Model, space: &DseSpace, constraints: &Constraints) -> Vec<DsePoint> {
-    space
-        .iter()
-        .filter_map(|hw| {
+    sweep_with_engine(model, space, constraints, &Engine::serial())
+}
+
+/// [`sweep`] on an explicit [`Engine`]: space points are evaluated in
+/// parallel (memoized) and the surviving points are returned in space
+/// iteration order, identical to the serial sweep at any thread count.
+pub fn sweep_with_engine(
+    model: &Model,
+    space: &DseSpace,
+    constraints: &Constraints,
+    engine: &Engine,
+) -> Vec<DsePoint> {
+    let points: Vec<HwParams> = space.iter().collect();
+    engine
+        .par_map(&points, |_, &hw| {
             let cfg = monolithic_for(model, hw);
-            let report = evaluate(model, &cfg).ok()?;
+            let report = engine.evaluate(model, &cfg).ok()?;
             let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
-                && report.power_density_w_per_mm2()
-                    <= constraints.power_density_limit_w_per_mm2;
+                && report.power_density_w_per_mm2() <= constraints.power_density_limit_w_per_mm2;
             feasible.then_some(DsePoint { hw, report })
         })
+        .into_iter()
+        .flatten()
         .collect()
 }
 
@@ -99,7 +113,23 @@ pub fn custom_config_with(
     constraints: &Constraints,
     objective: DseObjective,
 ) -> Result<(DesignConfig, PpaReport), ClaireError> {
-    let points = sweep(model, space, constraints);
+    custom_config_with_engine(model, space, constraints, objective, &Engine::serial())
+}
+
+/// [`custom_config_with`] on an explicit [`Engine`] (parallel sweep,
+/// memoized layer costs, thread-count-independent selection).
+///
+/// # Errors
+///
+/// Same as [`custom_config`].
+pub fn custom_config_with_engine(
+    model: &Model,
+    space: &DseSpace,
+    constraints: &Constraints,
+    objective: DseObjective,
+    engine: &Engine,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
+    let points = sweep_with_engine(model, space, constraints, engine);
     let best_latency = points
         .iter()
         .map(|p| p.report.latency_s)
@@ -147,20 +177,42 @@ pub fn set_config(
     constraints: &Constraints,
     custom_latency_s: &BTreeMap<String, f64>,
 ) -> Result<DesignConfig, ClaireError> {
+    set_config_with_engine(
+        name,
+        models,
+        space,
+        constraints,
+        custom_latency_s,
+        &Engine::serial(),
+    )
+}
+
+/// [`set_config`] on an explicit [`Engine`]. Candidate points are
+/// scored in parallel; the minimum-total-area selection folds over
+/// space iteration order (first strict improvement wins), so ties
+/// resolve exactly as in the serial loop.
+///
+/// # Errors
+///
+/// Same as [`set_config`].
+pub fn set_config_with_engine(
+    name: &str,
+    models: &[&Model],
+    space: &DseSpace,
+    constraints: &Constraints,
+    custom_latency_s: &BTreeMap<String, f64>,
+    engine: &Engine,
+) -> Result<DesignConfig, ClaireError> {
     if models.is_empty() {
         return Err(ClaireError::EmptyAlgorithmSet);
     }
 
-    let mut best: Option<(f64, HwParams)> = None;
-    for hw in space.iter() {
+    let points: Vec<HwParams> = space.iter().collect();
+    let totals: Vec<Option<f64>> = engine.par_map(&points, |_, &hw| {
         let mut total_area = 0.0;
-        let mut ok = true;
         for m in models {
             let cfg = monolithic_for(m, hw);
-            let Ok(report) = evaluate(m, &cfg) else {
-                ok = false;
-                break;
-            };
+            let report = engine.evaluate(m, &cfg).ok()?;
             let latency_ok = custom_latency_s
                 .get(m.name())
                 .map(|&l| report.latency_s <= l * (1.0 + constraints.latency_slack))
@@ -169,12 +221,19 @@ pub fn set_config(
                 || report.power_density_w_per_mm2() > constraints.power_density_limit_w_per_mm2
                 || !latency_ok
             {
-                ok = false;
-                break;
+                return None;
             }
             total_area += report.area_mm2;
         }
-        if ok && best.map(|(a, _)| total_area < a).unwrap_or(true) {
+        Some(total_area)
+    });
+
+    let mut best: Option<(f64, HwParams)> = None;
+    for (&hw, total_area) in points.iter().zip(totals) {
+        let Some(total_area) = total_area else {
+            continue;
+        };
+        if best.map(|(a, _)| total_area < a).unwrap_or(true) {
             best = Some((total_area, hw));
         }
     }
@@ -271,17 +330,13 @@ mod tests {
     fn objectives_order_as_expected() {
         let (space, cons) = setup();
         let m = zoo::vgg16();
-        let (_, area_r) =
-            custom_config_with(&m, &space, &cons, DseObjective::MinArea).unwrap();
-        let (_, lat_r) =
-            custom_config_with(&m, &space, &cons, DseObjective::MinLatency).unwrap();
+        let (_, area_r) = custom_config_with(&m, &space, &cons, DseObjective::MinArea).unwrap();
+        let (_, lat_r) = custom_config_with(&m, &space, &cons, DseObjective::MinLatency).unwrap();
         let (_, edp_r) =
             custom_config_with(&m, &space, &cons, DseObjective::MinEnergyDelayProduct).unwrap();
         assert!(area_r.area_mm2 <= lat_r.area_mm2);
         assert!(lat_r.latency_s <= area_r.latency_s);
-        assert!(
-            edp_r.energy_j * edp_r.latency_s <= area_r.energy_j * area_r.latency_s + 1e-18
-        );
+        assert!(edp_r.energy_j * edp_r.latency_s <= area_r.energy_j * area_r.latency_s + 1e-18);
     }
 
     #[test]

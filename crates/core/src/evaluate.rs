@@ -7,9 +7,10 @@
 
 use crate::config::DesignConfig;
 use crate::error::ClaireError;
-use claire_model::Model;
+use claire_model::{Model, OpClass};
 use claire_noc::{Network, Torus2d};
 use claire_ppa::{layer_cost, tech28};
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -101,6 +102,87 @@ impl TransferCost {
     }
 }
 
+/// The bytes-independent part of a transfer between two unit classes:
+/// whether it crosses a chiplet boundary and the hop distance it pays
+/// (NoC torus hops on a shared die, AIB channel hops across dies).
+/// Determined entirely by the configuration's topology — classes,
+/// chiplet partition, and interposer placement — never by the payload
+/// or the hardware parameters, which is what makes routes memoizable
+/// across every evaluation of a topology (see [`RouteTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeRoute {
+    /// Whether the transfer pays the NoP (crosses a chiplet boundary).
+    pub crosses_chiplet: bool,
+    /// NoC torus hops when on one die; AIB channel hops when crossing.
+    pub hops: u32,
+}
+
+/// Computes the route between two **distinct** unit classes on
+/// `config` — the expensive part of [`edge_transfer`] (die lookup,
+/// torus fitting, position search).
+pub fn route_of(
+    config: &DesignConfig,
+    from: claire_model::OpClass,
+    to: claire_model::OpClass,
+) -> EdgeRoute {
+    let cross = match (config.chiplet_of(from), config.chiplet_of(to)) {
+        (Some(x), Some(y)) if x != y => Some((x, y)),
+        _ => None, // same chiplet or monolithic
+    };
+    match cross {
+        Some((x, y)) => EdgeRoute {
+            crosses_chiplet: true,
+            hops: config.chiplet_distance(x, y),
+        },
+        None => {
+            // Same chiplet (or monolithic): NoC with hop distance on
+            // the torus of the die hosting both units — the chiplet's
+            // own torus once clustered, the whole configuration's
+            // before.
+            let classes: Vec<_> = match config.chiplet_of(from) {
+                Some(c) => config.chiplets[c].classes.iter().copied().collect(),
+                None => config.classes.iter().copied().collect(),
+            };
+            let position = |class| classes.binary_search(&class).unwrap_or(0) as u32;
+            let torus = Torus2d::fitting(classes.len());
+            EdgeRoute {
+                crosses_chiplet: false,
+                hops: torus.hops(position(from) % torus.size(), position(to) % torus.size()),
+            }
+        }
+    }
+}
+
+/// Prices `bytes` over a precomputed [`EdgeRoute`] — the cheap part of
+/// [`edge_transfer`].
+pub fn transfer_on_route(route: EdgeRoute, bytes: u64) -> TransferCost {
+    let noc = Network::noc();
+    let nop = Network::nop_aib2();
+    let ser = (bytes as f64 / noc.bytes_per_cycle()).ceil() as u64;
+    if route.crosses_chiplet {
+        // AIB channel hops per the interposer placement (adjacent dies
+        // = 1) plus a local NoC hop on each side: two serialisations
+        // and both networks' hop latencies.
+        let d = route.hops;
+        TransferCost {
+            ser_cycles: 2 * ser,
+            fixed_cycles: u64::from(nop.router.hop_cycles) * u64::from(d)
+                + 2 * u64::from(noc.router.hop_cycles),
+            crosses_chiplet: true,
+            noc_mpj: (noc.energy_pj(bytes, 2) * 1000.0).round() as u64,
+            nop_mpj: (nop.energy_pj(bytes, d) * 1000.0).round() as u64,
+        }
+    } else {
+        TransferCost {
+            ser_cycles: ser,
+            fixed_cycles: u64::from(noc.router.hop_cycles) * u64::from(route.hops),
+            crosses_chiplet: false,
+            noc_mpj: (noc.energy_pj(bytes, route.hops) * 1000.0).round() as u64,
+            nop_mpj: 0,
+        }
+    }
+}
+
 /// Computes the transfer cost of moving `bytes` from unit class `from`
 /// to unit class `to` on `config` (Step #TR3's NoC-inside / NoP-across
 /// rule). A transfer between identical classes is free.
@@ -110,8 +192,6 @@ pub fn edge_transfer(
     to: claire_model::OpClass,
     bytes: u64,
 ) -> TransferCost {
-    let noc = Network::noc();
-    let nop = Network::nop_aib2();
     if from == to {
         return TransferCost {
             ser_cycles: 0,
@@ -121,43 +201,94 @@ pub fn edge_transfer(
             nop_mpj: 0,
         };
     }
-    let route = match (config.chiplet_of(from), config.chiplet_of(to)) {
-        (Some(x), Some(y)) if x != y => Some((x, y)),
-        _ => None, // same chiplet or monolithic
-    };
-    let ser = (bytes as f64 / noc.bytes_per_cycle()).ceil() as u64;
-    let Some((x, y)) = route else {
-        // Same chiplet (or monolithic): NoC with hop distance on the
-        // torus of the die hosting both units — the chiplet's own
-        // torus once clustered, the whole configuration's before.
-        let classes: Vec<_> = match config.chiplet_of(from) {
-            Some(c) => config.chiplets[c].classes.iter().copied().collect(),
-            None => config.classes.iter().copied().collect(),
-        };
-        let position = |class| classes.binary_search(&class).unwrap_or(0) as u32;
-        let torus = Torus2d::fitting(classes.len());
-        let hops = torus.hops(position(from) % torus.size(), position(to) % torus.size());
-        return TransferCost {
-            ser_cycles: ser,
-            fixed_cycles: u64::from(noc.router.hop_cycles) * u64::from(hops),
-            crosses_chiplet: false,
-            noc_mpj: (noc.energy_pj(bytes, hops) * 1000.0).round() as u64,
-            nop_mpj: 0,
-        };
-    };
-    // AIB channel hops per the interposer placement (adjacent dies
-    // = 1) plus a local NoC hop on each side: two serialisations
-    // and both networks' hop latencies.
-    let d = config.chiplet_distance(x, y);
-    TransferCost {
-        ser_cycles: 2 * ser,
-        fixed_cycles: u64::from(nop.router.hop_cycles) * u64::from(d)
-            + 2 * u64::from(noc.router.hop_cycles),
-        crosses_chiplet: true,
-        noc_mpj: (noc.energy_pj(bytes, 2) * 1000.0).round() as u64,
-        nop_mpj: (nop.energy_pj(bytes, d) * 1000.0).round() as u64,
+    transfer_on_route(route_of(config, from, to), bytes)
+}
+
+/// A lazily filled per-class-pair route matrix for one configuration
+/// topology. Cells are [`OnceLock`]s, so a table shared across threads
+/// (from the engine's topology cache) fills each pair at most once and
+/// every later edge pays a single atomic load.
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    cells: [[OnceLock<EdgeRoute>; OpClass::COUNT]; OpClass::COUNT],
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// The route between two **distinct** classes, computing and
+    /// memoizing it on first use. `config` must have the topology this
+    /// table was created for.
+    pub fn route(
+        &self,
+        config: &DesignConfig,
+        from: claire_model::OpClass,
+        to: claire_model::OpClass,
+    ) -> EdgeRoute {
+        *self.cells[from.index()][to.index()].get_or_init(|| route_of(config, from, to))
     }
 }
+
+/// A model's summed compute cost under one hardware point with the
+/// paper-default (compute-only) accounting — a pure function of the
+/// model's layer sequence and `hw`, independent of the configuration's
+/// classes, chiplet partition, or placement. That independence is what
+/// lets the engine reuse one sum across the custom sweep, the generic
+/// `set_config`, and the library `set_config`s, which all evaluate the
+/// same `(model, hw)` pairs on different configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeSum {
+    /// Total compute cycles across all layers.
+    pub cycles: u64,
+    /// Total compute energy, pJ.
+    pub energy_pj: f64,
+}
+
+/// The evaluator's hot computations, pluggable so the engine can
+/// memoize them (see [`crate::parallel::Engine`]). Implementations
+/// must behave as pure functions of their arguments; the defaults are
+/// the reference implementations.
+pub trait CostProvider: Sync {
+    /// Per-layer compute cost under `hw`.
+    fn layer_cost(
+        &self,
+        kind: &claire_model::LayerKind,
+        hw: &claire_ppa::HwParams,
+    ) -> claire_ppa::LayerCost {
+        layer_cost(kind, hw)
+    }
+
+    /// Whole-model compute totals under `hw` (compute-only accounting;
+    /// the weight-streaming path stays per-layer in the evaluator).
+    fn compute_sum(&self, model: &Model, hw: &claire_ppa::HwParams) -> ComputeSum {
+        let mut cycles: u64 = 0;
+        let mut energy_pj = 0.0;
+        for layer in model.layers() {
+            let c = self.layer_cost(&layer.kind, hw);
+            cycles += c.cycles;
+            energy_pj += c.energy_pj;
+        }
+        ComputeSum { cycles, energy_pj }
+    }
+
+    /// The route table to consult for `config`'s edges. The default
+    /// returns a fresh table per call (per-pair memoization within one
+    /// evaluation only); the engine shares tables across evaluations
+    /// of the same topology.
+    fn routes(&self, config: &DesignConfig) -> Arc<RouteTable> {
+        let _ = config;
+        Arc::new(RouteTable::new())
+    }
+}
+
+/// The uncached reference [`CostProvider`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectCosts;
+
+impl CostProvider for DirectCosts {}
 
 /// Evaluates `model` on `config`.
 ///
@@ -187,6 +318,24 @@ pub fn evaluate_with(
     config: &DesignConfig,
     opts: EvalOptions,
 ) -> Result<PpaReport, ClaireError> {
+    evaluate_with_costs(model, config, opts, &DirectCosts)
+}
+
+/// [`evaluate_with`] under an explicit layer-cost provider — the hook
+/// the parallel engine uses to route compute costs through its memo
+/// cache (see [`crate::parallel::Engine`]). The provider must be a
+/// pure function of `(layer, hw)`; [`claire_ppa::layer_cost`] is the
+/// reference implementation.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_with_costs(
+    model: &Model,
+    config: &DesignConfig,
+    opts: EvalOptions,
+    costs: &dyn CostProvider,
+) -> Result<PpaReport, ClaireError> {
     if let Some(missing) = config.first_missing(model) {
         return Err(ClaireError::IncompleteCoverage {
             algorithm: model.name().to_owned(),
@@ -199,22 +348,23 @@ pub fn evaluate_with(
     let nop = Network::nop_aib2();
 
     // --- Compute (optionally bounded by weight streaming).
-    let mut cycles: u64 = 0;
-    let mut energy_pj = 0.0;
-    for layer in model.layers() {
-        let c = layer_cost(&layer.kind, &config.hw);
-        match &opts.memory {
-            Some(mem) => {
+    let ComputeSum { cycles, energy_pj } = match &opts.memory {
+        None => costs.compute_sum(model, &config.hw),
+        Some(mem) => {
+            // Weight streaming couples each layer's time to the memory
+            // model, so this path stays per-layer (and per-layer costs
+            // still ride the provider's memo cache).
+            let mut cycles: u64 = 0;
+            let mut energy_pj = 0.0;
+            for layer in model.layers() {
+                let c = costs.layer_cost(&layer.kind, &config.hw);
                 let bytes = claire_ppa::layer_weight_bytes(&layer.kind);
                 cycles += c.cycles.max(mem.stream_cycles(bytes));
                 energy_pj += c.energy_pj + mem.stream_energy_pj(bytes);
             }
-            None => {
-                cycles += c.cycles;
-                energy_pj += c.energy_pj;
-            }
+            ComputeSum { cycles, energy_pj }
         }
-    }
+    };
     let mut latency_s = cycles as f64 / tech28::CLOCK_HZ;
 
     // --- Communication. Per-chiplet torus placement: each chiplet's
@@ -224,12 +374,16 @@ pub fn evaluate_with(
     // [`edge_transfer`].
     let mut noc_pj = 0.0;
     let mut nop_pj = 0.0;
+    let routes = costs.routes(config);
     for (a, b, bytes) in model.edges() {
         let (ea, eb) = (
             config.executing_class(a).expect("covered"),
             config.executing_class(b).expect("covered"),
         );
-        let t = edge_transfer(config, ea, eb, bytes);
+        if ea == eb {
+            continue; // same-class transfers are free
+        }
+        let t = transfer_on_route(routes.route(config, ea, eb), bytes);
         latency_s += t.latency_s();
         noc_pj += t.noc_pj();
         nop_pj += t.nop_pj();
@@ -312,11 +466,8 @@ mod tests {
     #[test]
     fn uncovered_model_is_an_error() {
         let m = zoo::alexnet();
-        let cfg = DesignConfig::monolithic(
-            "linear-only",
-            hw(),
-            [OpClass::Linear].into_iter().collect(),
-        );
+        let cfg =
+            DesignConfig::monolithic("linear-only", hw(), [OpClass::Linear].into_iter().collect());
         let err = evaluate(&m, &cfg).unwrap_err();
         assert!(matches!(err, ClaireError::IncompleteCoverage { .. }));
     }
@@ -353,7 +504,9 @@ mod tests {
         let m = zoo::bert_base();
         let own = config_for(&m);
         let mut wider = own.clone();
-        wider.classes.insert(OpClass::Activation(ActivationKind::Silu));
+        wider
+            .classes
+            .insert(OpClass::Activation(ActivationKind::Silu));
         wider.classes.insert(OpClass::Conv2d);
         let r1 = evaluate(&m, &own).unwrap();
         let r2 = evaluate(&m, &wider).unwrap();

@@ -93,9 +93,7 @@ impl RunConfig {
     /// [`ConfigIoError::Invalid`] naming the offending field.
     pub fn validate(&self) -> Result<(), ConfigIoError> {
         if self.space.is_empty() {
-            return Err(ConfigIoError::Invalid(
-                "DSE space has an empty axis".into(),
-            ));
+            return Err(ConfigIoError::Invalid("DSE space has an empty axis".into()));
         }
         if !(0.0..=1.0).contains(&self.jaccard_threshold) {
             return Err(ConfigIoError::Invalid(format!(

@@ -50,20 +50,25 @@ pub mod graphs;
 pub mod io;
 pub mod library;
 pub mod metrics;
+pub mod parallel;
 pub mod place;
 pub mod plan;
 
 pub use assign::WeightScale;
+pub use chiplet::ClusteringStrategy;
 pub use claire::{
     paper_table3_subsets, AlgoPpa, Claire, ClaireOptions, CustomResult, LibraryConfig,
     SubsetStrategy, TestOutput, TestReport, TrainOutput,
 };
-pub use chiplet::ClusteringStrategy;
 pub use config::{Chiplet, Constraints, DesignConfig};
 pub use dse::DseObjective;
 pub use error::ClaireError;
+pub use evaluate::{
+    edge_transfer, route_of, transfer_on_route, CostProvider, DirectCosts, EdgeRoute, EvalOptions,
+    PpaReport, RouteTable, TransferCost,
+};
 pub use io::{ConfigIoError, RunConfig};
 pub use library::{ChipletLibrary, Deployment, LibraryEntry};
+pub use parallel::{resolve_threads, Engine, EngineStats, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};
-pub use evaluate::{edge_transfer, EvalOptions, PpaReport, TransferCost};

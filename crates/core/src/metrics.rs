@@ -104,10 +104,13 @@ pub fn portfolio_nre(
         std::collections::BTreeMap::new();
     let mut integration = 0.0;
     for cfg in configs {
-        assert!(!cfg.chiplets.is_empty(), "portfolio_nre requires clustered configs");
+        assert!(
+            !cfg.chiplets.is_empty(),
+            "portfolio_nre requires clustered configs"
+        );
         naive += model.system_nre(&cfg.chiplet_areas());
-        integration += model.integration_per_chiplet * cfg.chiplets.len() as f64
-            + model.package_base;
+        integration +=
+            model.integration_per_chiplet * cfg.chiplets.len() as f64 + model.package_base;
         for ch in &cfg.chiplets {
             users
                 .entry((cfg.hw, ch.classes.clone()))
@@ -125,7 +128,11 @@ pub fn portfolio_nre(
         deduped += model.chiplet_nre(area.max(1e-6));
     }
     let mut reuse: Vec<(ChipletSignature, Vec<String>)> = users.into_iter().collect();
-    reuse.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0 .1.len().cmp(&b.0 .1.len())));
+    reuse.sort_by(|a, b| {
+        b.1.len()
+            .cmp(&a.1.len())
+            .then_with(|| a.0 .1.len().cmp(&b.0 .1.len()))
+    });
     (naive, deduped, reuse)
 }
 
@@ -147,11 +154,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, g)| {
-                Chiplet::from_classes(
-                    format!("L{}", i + 1),
-                    g.iter().copied().collect(),
-                    &hw(),
-                )
+                Chiplet::from_classes(format!("L{}", i + 1), g.iter().copied().collect(), &hw())
             })
             .collect();
         cfg
@@ -160,11 +163,7 @@ mod tests {
     #[test]
     fn full_coverage_is_one() {
         let m = zoo::alexnet();
-        let cfg = DesignConfig::monolithic(
-            "c",
-            hw(),
-            m.op_class_counts().into_keys().collect(),
-        );
+        let cfg = DesignConfig::monolithic("c", hw(), m.op_class_counts().into_keys().collect());
         assert_eq!(algorithm_coverage(&m, &cfg), 1.0);
     }
 
@@ -227,10 +226,7 @@ mod tests {
     #[test]
     fn library_beats_generic_utilization() {
         let m = zoo::bert_base();
-        let generic = clustered(
-            "C_g",
-            &[&OpClass::all()[..7], &OpClass::all()[7..]],
-        );
+        let generic = clustered("C_g", &[&OpClass::all()[..7], &OpClass::all()[7..]]);
         let c3 = clustered(
             "C_3",
             &[&[

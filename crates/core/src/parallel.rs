@@ -1,0 +1,767 @@
+//! The parallel, memoized evaluation engine.
+//!
+//! Every heavy stage of the CLAIRE pipeline is a map over independent
+//! (model × configuration) work items: the DSE sweep evaluates 81
+//! hardware points per algorithm, the training phase evaluates every
+//! algorithm on every candidate configuration, and the test phase
+//! repeats the DSE per test algorithm. [`Engine`] runs those maps on a
+//! scoped thread pool and memoizes the per-layer cost model behind a
+//! sharded lock, while guaranteeing **bit-identical results at any
+//! thread count**:
+//!
+//! * work items are claimed from an atomic cursor but results are
+//!   reassembled by item index, so output order never depends on
+//!   scheduling;
+//! * each item's computation is a pure function of its inputs (no
+//!   cross-item accumulation), so values cannot drift either;
+//! * the memo cache stores exact [`LayerCost`] values — a hit returns
+//!   precisely what a recomputation would.
+//!
+//! Thread count resolution: explicit [`DseSpace::threads`] knob, then
+//! the `CLAIRE_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`].
+
+use crate::config::DesignConfig;
+use crate::evaluate::{ComputeSum, CostProvider, RouteTable};
+use claire_model::{LayerKind, OpClass};
+use claire_ppa::{layer_cost, DseSpace, HwParams, LayerCost};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Number of independently locked cache shards; a small power of two
+/// keeps contention negligible at realistic thread counts.
+const CACHE_SHARDS: usize = 16;
+
+/// Memo key: a layer's full shape plus the hardware design point.
+/// Both are `Copy + Eq + Hash`, and together they determine
+/// [`LayerCost`] exactly.
+type CacheKey = (LayerKind, HwParams);
+
+/// One cache shard. Keys carry a precomputed [`FxHasher`] hash that
+/// doubles as the shard selector, so each lookup hashes exactly once
+/// with a multiply-xor hasher instead of twice with SipHash — the
+/// analytical cost model is cheap enough that hashing speed decides
+/// whether the memo cache wins at all.
+type Shard = HashMap<Prehashed, LayerCost, PrehashedState>;
+
+/// Environment variable overriding the engine's thread count.
+pub const THREADS_ENV: &str = "CLAIRE_THREADS";
+
+/// Resolves the effective worker count: the explicit `knob` if given,
+/// else `CLAIRE_THREADS`, else the machine's available parallelism.
+/// Always at least 1.
+pub fn resolve_threads(knob: Option<usize>) -> usize {
+    knob.or_else(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    })
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+    .max(1)
+}
+
+/// A point-in-time snapshot of an [`Engine`]'s counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads the engine maps over.
+    pub threads: usize,
+    /// Whether the layer-cost memo cache is enabled.
+    pub cache_enabled: bool,
+    /// Layer-cost lookups served from the cache.
+    pub cache_hits: u64,
+    /// Layer-cost lookups that had to compute (and then stored).
+    pub cache_misses: u64,
+    /// Distinct (layer, hardware) keys currently cached.
+    pub cache_entries: usize,
+    /// Route-table lookups served from the topology cache.
+    pub route_hits: u64,
+    /// Route-table lookups that created a new (topology → table) entry.
+    pub route_misses: u64,
+    /// Distinct configuration topologies with cached route tables.
+    pub route_topologies: usize,
+    /// Whole-model compute sums served from the cache.
+    pub sum_hits: u64,
+    /// Whole-model compute sums computed (and then stored).
+    pub sum_misses: u64,
+    /// Distinct (model, hardware) compute sums currently cached.
+    pub sum_entries: usize,
+    /// Accumulated wall time per pipeline stage, in first-recorded
+    /// order.
+    pub stages: Vec<(String, Duration)>,
+}
+
+impl EngineStats {
+    /// Layer-cost cache hit rate in `[0, 1]`; 0 when nothing was
+    /// looked up.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.cache_hits, self.cache_misses)
+    }
+
+    /// Hit rate across every memo tier (layer costs, route tables and
+    /// compute sums) in `[0, 1]`; 0 when nothing was looked up.
+    pub fn overall_hit_rate(&self) -> f64 {
+        ratio(
+            self.cache_hits + self.route_hits + self.sum_hits,
+            self.cache_misses + self.route_misses + self.sum_misses,
+        )
+    }
+
+    /// Total wall time recorded across stages.
+    pub fn total_stage_time(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// `hits / (hits + misses)`, or 0 with no lookups.
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine: {} thread(s), cache {}",
+            self.threads,
+            if self.cache_enabled { "on" } else { "off" }
+        )?;
+        writeln!(
+            f,
+            "  layer-cost cache: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.cache_entries
+        )?;
+        writeln!(
+            f,
+            "  route cache: {} hits / {} misses ({:.1} % hit rate, {} topologies)",
+            self.route_hits,
+            self.route_misses,
+            100.0 * ratio(self.route_hits, self.route_misses),
+            self.route_topologies
+        )?;
+        writeln!(
+            f,
+            "  compute-sum cache: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+            self.sum_hits,
+            self.sum_misses,
+            100.0 * ratio(self.sum_hits, self.sum_misses),
+            self.sum_entries
+        )?;
+        writeln!(
+            f,
+            "  overall memo hit rate: {:.1} %",
+            100.0 * self.overall_hit_rate()
+        )?;
+        for (stage, took) in &self.stages {
+            writeln!(
+                f,
+                "  stage {stage:<10} {:>9.3} ms",
+                took.as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The evaluation engine: a thread-count policy, a sharded layer-cost
+/// memo cache, and stage/wall-time counters. Cheap to share by
+/// reference across the whole pipeline; all interior state is
+/// thread-safe.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    cache_enabled: bool,
+    shards: Vec<RwLock<Shard>>,
+    routes: RwLock<HashMap<TopologyKey, Arc<RouteTable>, std::hash::BuildHasherDefault<FxHasher>>>,
+    sums: RwLock<HashMap<(u64, HwParams), ComputeSum, std::hash::BuildHasherDefault<FxHasher>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    route_hits: AtomicU64,
+    route_misses: AtomicU64,
+    sum_hits: AtomicU64,
+    sum_misses: AtomicU64,
+    stages: Mutex<Vec<(String, Duration)>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(resolve_threads(None))
+    }
+}
+
+impl Engine {
+    /// An engine with an explicit worker count (clamped to ≥ 1) and
+    /// the memo cache enabled.
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+            cache_enabled: true,
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            routes: RwLock::new(HashMap::default()),
+            sums: RwLock::new(HashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            route_hits: AtomicU64::new(0),
+            route_misses: AtomicU64::new(0),
+            sum_hits: AtomicU64::new(0),
+            sum_misses: AtomicU64::new(0),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An engine sized by the [`DseSpace::threads`] knob /
+    /// `CLAIRE_THREADS` / available parallelism.
+    pub fn for_space(space: &DseSpace) -> Self {
+        Engine::new(resolve_threads(space.threads))
+    }
+
+    /// A single-threaded engine (still memoized) — the serial
+    /// reference the determinism tests compare against.
+    pub fn serial() -> Self {
+        Engine::new(1)
+    }
+
+    /// Disables or enables the memo cache (builder style).
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// The worker count this engine maps with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshots counters, cache size and stage timings.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            threads: self.threads,
+            cache_enabled: self.cache_enabled,
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache shard poisoned").len())
+                .sum(),
+            route_hits: self.route_hits.load(Ordering::Relaxed),
+            route_misses: self.route_misses.load(Ordering::Relaxed),
+            route_topologies: self.routes.read().expect("route cache poisoned").len(),
+            sum_hits: self.sum_hits.load(Ordering::Relaxed),
+            sum_misses: self.sum_misses.load(Ordering::Relaxed),
+            sum_entries: self.sums.read().expect("sum cache poisoned").len(),
+            stages: self.stages.lock().expect("stage log poisoned").clone(),
+        }
+    }
+
+    /// Memoized [`claire_ppa::layer_cost`]: exact, keyed by the full
+    /// layer shape and hardware point.
+    pub fn layer_cost(&self, kind: &LayerKind, hw: &HwParams) -> LayerCost {
+        if !self.cache_enabled {
+            return layer_cost(kind, hw);
+        }
+        let key = Prehashed::new((*kind, *hw));
+        let shard = &self.shards[key.shard()];
+        if let Some(cached) = shard.read().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        let computed = layer_cost(kind, hw);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard
+            .write()
+            .expect("cache shard poisoned")
+            .insert(key, computed);
+        computed
+    }
+
+    /// Memoized [`crate::evaluate::evaluate`]: full-model PPA with
+    /// layer costs served from this engine's cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::evaluate::evaluate`].
+    pub fn evaluate(
+        &self,
+        model: &claire_model::Model,
+        config: &crate::config::DesignConfig,
+    ) -> Result<crate::evaluate::PpaReport, crate::error::ClaireError> {
+        self.evaluate_with(model, config, crate::evaluate::EvalOptions::default())
+    }
+
+    /// Memoized [`crate::evaluate::evaluate_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::evaluate::evaluate`].
+    pub fn evaluate_with(
+        &self,
+        model: &claire_model::Model,
+        config: &crate::config::DesignConfig,
+        opts: crate::evaluate::EvalOptions,
+    ) -> Result<crate::evaluate::PpaReport, crate::error::ClaireError> {
+        crate::evaluate::evaluate_with_costs(model, config, opts, self)
+    }
+
+    /// The shared [`RouteTable`] for `config`'s topology: one table
+    /// per distinct (classes, chiplet partition, placement) across the
+    /// engine's lifetime, so every evaluation of a topology after the
+    /// first reuses its routes. Falls back to a fresh per-call table
+    /// when the cache is disabled or the topology cannot be encoded
+    /// exactly (see [`TopologyKey::of`]).
+    pub fn route_table(&self, config: &DesignConfig) -> Arc<RouteTable> {
+        let key = if self.cache_enabled {
+            TopologyKey::of(config)
+        } else {
+            None
+        };
+        let Some(key) = key else {
+            return Arc::new(RouteTable::new());
+        };
+        if let Some(table) = self.routes.read().expect("route cache poisoned").get(&key) {
+            self.route_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(table);
+        }
+        self.route_misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(
+            self.routes
+                .write()
+                .expect("route cache poisoned")
+                .entry(key)
+                .or_default(),
+        )
+    }
+
+    /// Runs `f`, adding its wall time to the named stage counter, and
+    /// returns its result.
+    pub fn time_stage<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let took = start.elapsed();
+        let mut stages = self.stages.lock().expect("stage log poisoned");
+        match stages.iter_mut().find(|(name, _)| name == stage) {
+            Some((_, total)) => *total += took,
+            None => stages.push((stage.to_owned(), took)),
+        }
+        out
+    }
+
+    /// Deterministic parallel map: applies `f` to every item and
+    /// returns results in item order, regardless of thread count or
+    /// scheduling. Work is claimed from an atomic cursor (so long and
+    /// short items balance), and each worker's `(index, result)` pairs
+    /// are reassembled into input order afterwards.
+    ///
+    /// A panic in `f` propagates to the caller after all workers stop.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        // Nested `par_map` calls (a per-model sweep inside a per-model
+        // stage) run serially on the worker that reached them: the outer
+        // map already saturates the thread budget, and W x W transient
+        // threads would only add scheduling overhead.
+        if workers <= 1 || IN_WORKER.with(|w| w.get()) {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        IN_WORKER.with(|w| w.set(true));
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, r) in buckets.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// [`Engine::par_map`] over fallible work: returns all results in
+    /// item order, or the error of the **lowest-indexed** failing item
+    /// — the same error a serial left-to-right run would surface.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for result in self.par_map(items, f) {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+impl CostProvider for Engine {
+    fn layer_cost(&self, kind: &LayerKind, hw: &HwParams) -> LayerCost {
+        Engine::layer_cost(self, kind, hw)
+    }
+
+    fn routes(&self, config: &DesignConfig) -> Arc<RouteTable> {
+        Engine::route_table(self, config)
+    }
+
+    /// Memoized whole-model compute totals, keyed by
+    /// [`claire_model::Model::instance_id`] and the hardware point.
+    /// Sound because models are immutable and an id is only ever shared
+    /// by clones; exact because hits return the stored sum a
+    /// recomputation would reproduce bit-for-bit.
+    fn compute_sum(&self, model: &claire_model::Model, hw: &HwParams) -> ComputeSum {
+        if !self.cache_enabled {
+            return raw_compute_sum(model, hw);
+        }
+        let key = (model.instance_id(), *hw);
+        if let Some(cached) = self.sums.read().expect("sum cache poisoned").get(&key) {
+            self.sum_hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        self.sum_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = raw_compute_sum(model, hw);
+        self.sums
+            .write()
+            .expect("sum cache poisoned")
+            .insert(key, computed);
+        computed
+    }
+}
+
+/// The reference per-layer summation, identical in value and order to
+/// the [`CostProvider`] default implementation. The compute-sum miss
+/// path calls the raw cost model directly: at ~10 ns per layer the
+/// analytical kernel is cheaper than any locked lookup, so per-layer
+/// memoization inside a whole-model miss can only lose time. The
+/// per-layer cache still serves paths that consult layers one at a
+/// time (weight-streaming evaluation and direct `layer_cost` calls).
+fn raw_compute_sum(model: &claire_model::Model, hw: &HwParams) -> ComputeSum {
+    let mut cycles: u64 = 0;
+    let mut energy_pj = 0.0;
+    for layer in model.layers() {
+        let c = layer_cost(&layer.kind, hw);
+        cycles += c.cycles;
+        energy_pj += c.energy_pj;
+    }
+    ComputeSum { cycles, energy_pj }
+}
+
+/// An exact, compact encoding of everything [`crate::evaluate::route_of`]
+/// reads from a configuration: the monolithic class set, the chiplet
+/// partition (as per-chiplet class bitmasks in order), and the
+/// interposer slots. Two configs with equal keys provably yield
+/// identical routes for every class pair — the key is a complete
+/// encoding, not a hash, so route-cache hits cannot collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TopologyKey {
+    /// Bitmask over [`OpClass::index`] of the configuration's classes.
+    classes: u16,
+    /// Per-chiplet class bitmasks, in chiplet order (0 = unused slot).
+    chiplets: [u16; OpClass::COUNT],
+    /// Interposer slot per chiplet; `(u8::MAX, u8::MAX)` when unplaced.
+    slots: [(u8, u8); OpClass::COUNT],
+    /// Number of chiplets (0 = monolithic).
+    n_chiplets: u8,
+}
+
+impl TopologyKey {
+    /// Encodes `config`, or `None` when it falls outside the compact
+    /// representation (more chiplets than op classes, or slot
+    /// coordinates ≥ 255 — neither occurs for configurations built by
+    /// this crate, but hand-written ones must not be mis-cached).
+    fn of(config: &DesignConfig) -> Option<TopologyKey> {
+        fn mask(classes: &std::collections::BTreeSet<OpClass>) -> u16 {
+            classes.iter().fold(0u16, |m, c| m | (1 << c.index()))
+        }
+        if config.chiplets.len() > OpClass::COUNT {
+            return None;
+        }
+        let mut chiplets = [0u16; OpClass::COUNT];
+        let mut slots = [(u8::MAX, u8::MAX); OpClass::COUNT];
+        for (i, chiplet) in config.chiplets.iter().enumerate() {
+            chiplets[i] = mask(&chiplet.classes);
+            if let Some(p) = &config.placement {
+                if i < p.len() {
+                    let (x, y) = p.slot(i);
+                    if x >= u8::MAX.into() || y >= u8::MAX.into() {
+                        return None;
+                    }
+                    slots[i] = (x as u8, y as u8);
+                }
+            }
+        }
+        Some(TopologyKey {
+            classes: mask(&config.classes),
+            chiplets,
+            slots,
+            n_chiplets: config.chiplets.len() as u8,
+        })
+    }
+}
+
+thread_local! {
+    /// True on threads spawned by [`Engine::par_map`]; forces nested
+    /// maps serial. Worker threads are scope-local, so the flag never
+    /// leaks to reused threads.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A cache key bundled with its hash, computed once per lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Prehashed {
+    hash: u64,
+    key: CacheKey,
+}
+
+impl Prehashed {
+    fn new(key: CacheKey) -> Self {
+        let mut hasher = FxHasher::default();
+        key.hash(&mut hasher);
+        Prehashed {
+            hash: hasher.finish(),
+            key,
+        }
+    }
+
+    /// Shard index from the hash's middle bits — disjoint from both
+    /// the low bits (hashbrown's bucket index) and the top bits (its
+    /// control tag), so sharding does not degrade bucket spread.
+    /// Shard choice affects only lock distribution, never results.
+    fn shard(&self) -> usize {
+        ((self.hash >> 32) as usize) % CACHE_SHARDS
+    }
+}
+
+impl Hash for Prehashed {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Build-hasher for [`Shard`] maps: keys already carry their hash, so
+/// the map's hasher just passes the stored `u64` through.
+#[derive(Debug, Clone, Default)]
+struct PrehashedState;
+
+impl BuildHasher for PrehashedState {
+    type Hasher = PassThroughHasher;
+
+    fn build_hasher(&self) -> PassThroughHasher {
+        PassThroughHasher(0)
+    }
+}
+
+/// Identity hasher over a single `write_u64`.
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("prehashed keys hash via write_u64 only");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// Multiply-rotate-xor hasher in the style of rustc's FxHash: a few
+/// cycles per word instead of SipHash's per-byte mixing. Deterministic
+/// (no random state); hash quality only affects bucket spread, never
+/// results.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let engine = Engine::new(threads);
+            let got = engine.par_map(&items, |_, &x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn nested_par_map_is_serial_but_correct() {
+        let engine = Engine::new(4);
+        let outer: Vec<u32> = (0..8).collect();
+        let got = engine.par_map(&outer, |_, &x| {
+            let inner: Vec<u32> = (0..5).collect();
+            engine.par_map(&inner, |_, &y| x * 10 + y)
+        });
+        for (x, row) in outer.iter().zip(&got) {
+            let want: Vec<u32> = (0..5).map(|y| x * 10 + y).collect();
+            assert_eq!(row, &want);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let engine = Engine::new(8);
+        assert_eq!(engine.par_map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(engine.par_map(&[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let engine = Engine::new(8);
+        let items: Vec<usize> = (0..64).collect();
+        let err = engine
+            .try_par_map(&items, |_, &x| if x % 7 == 3 { Err(x) } else { Ok(x) })
+            .unwrap_err();
+        assert_eq!(err, 3, "serial semantics: first failure in item order");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        use claire_model::{Activation, ActivationKind};
+        let engine = Engine::new(2);
+        let kind = LayerKind::Activation(Activation {
+            kind: ActivationKind::Relu,
+            elements: 1024,
+        });
+        let hw = HwParams::new(32, 32, 16, 16);
+        let first = engine.layer_cost(&kind, &hw);
+        let second = engine.layer_cost(&kind, &hw);
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_stays_empty_and_exact() {
+        use claire_model::Linear;
+        let engine = Engine::new(1).with_cache(false);
+        let kind = LayerKind::Linear(Linear {
+            in_features: 256,
+            out_features: 128,
+            tokens: 4,
+        });
+        let hw = HwParams::new(16, 16, 8, 8);
+        assert_eq!(engine.layer_cost(&kind, &hw), layer_cost(&kind, &hw));
+        let stats = engine.stats();
+        assert!(!stats.cache_enabled);
+        assert_eq!(stats.cache_entries, 0);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn stage_timer_accumulates_by_name() {
+        let engine = Engine::serial();
+        let v = engine.time_stage("demo", || 41) + engine.time_stage("demo", || 1);
+        assert_eq!(v, 42);
+        let stats = engine.stats();
+        assert_eq!(stats.stages.len(), 1);
+        assert_eq!(stats.stages[0].0, "demo");
+        assert!(stats.total_stage_time() >= stats.stages[0].1);
+        assert!(stats.to_string().contains("stage demo"));
+    }
+
+    #[test]
+    fn thread_resolution_prefers_knob() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "clamped to >= 1");
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -104,10 +104,7 @@ impl NreModel {
             !chiplet_areas_mm2.is_empty(),
             "a design needs at least one chiplet"
         );
-        let dies: f64 = chiplet_areas_mm2
-            .iter()
-            .map(|&a| self.chiplet_nre(a))
-            .sum();
+        let dies: f64 = chiplet_areas_mm2.iter().map(|&a| self.chiplet_nre(a)).sum();
         dies + self.integration_per_chiplet * chiplet_areas_mm2.len() as f64 + self.package_base
     }
 

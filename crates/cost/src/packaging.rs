@@ -102,9 +102,7 @@ impl PackagingModel {
         let total_area: f64 = die_areas_mm2.iter().sum();
         let carrier = total_area * (1.0 + self.carrier_overhead) * self.carrier_cost_per_mm2;
         let bonding = self.bond_cost_per_die * die_areas_mm2.len() as f64;
-        let assembly_yield = self
-            .assembly_yield_per_die
-            .powi(die_areas_mm2.len() as i32);
+        let assembly_yield = self.assembly_yield_per_die.powi(die_areas_mm2.len() as i32);
         (dies + carrier + bonding) / assembly_yield
     }
 
@@ -189,10 +187,7 @@ mod tests {
         let dies = [25.0, 25.0];
         let organic = PackagingModel::organic_substrate();
         let interposer = PackagingModel::silicon_interposer();
-        assert_eq!(
-            interposer.crossover_volume(&organic, &re(), &dies),
-            None
-        );
+        assert_eq!(interposer.crossover_volume(&organic, &re(), &dies), None);
         // ...and organic is ahead from the start (lower NRE), so the
         // crossover question is moot in that direction too.
         assert_eq!(organic.crossover_volume(&interposer, &re(), &dies), None);

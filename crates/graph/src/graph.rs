@@ -16,16 +16,9 @@ use std::fmt::Display;
 /// algorithm is deterministic.
 ///
 /// Serialisation uses node/edge *lists* (JSON maps require string
-/// keys, and node keys are typically enums).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(
-    bound(
-        serialize = "N: Ord + Clone + Serialize",
-        deserialize = "N: Ord + Clone + Deserialize<'de>"
-    ),
-    into = "GraphRepr<N>",
-    from = "GraphRepr<N>"
-)]
+/// keys, and node keys are typically enums), via hand-written impls
+/// that mirror [`GraphRepr`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightedGraph<N: Ord + Clone> {
     nodes: BTreeMap<N, f64>,
     edges: BTreeMap<(N, N), f64>,
@@ -33,12 +26,12 @@ pub struct WeightedGraph<N: Ord + Clone> {
 
 /// List-based serialisation mirror of [`WeightedGraph`].
 #[derive(Serialize, Deserialize)]
-struct GraphRepr<N> {
+struct GraphRepr<N: Serialize + Deserialize> {
     nodes: Vec<(N, f64)>,
     edges: Vec<(N, N, f64)>,
 }
 
-impl<N: Ord + Clone> From<WeightedGraph<N>> for GraphRepr<N> {
+impl<N: Ord + Clone + Serialize + Deserialize> From<WeightedGraph<N>> for GraphRepr<N> {
     fn from(g: WeightedGraph<N>) -> Self {
         GraphRepr {
             nodes: g.nodes.into_iter().collect(),
@@ -47,12 +40,24 @@ impl<N: Ord + Clone> From<WeightedGraph<N>> for GraphRepr<N> {
     }
 }
 
-impl<N: Ord + Clone> From<GraphRepr<N>> for WeightedGraph<N> {
+impl<N: Ord + Clone + Serialize + Deserialize> From<GraphRepr<N>> for WeightedGraph<N> {
     fn from(r: GraphRepr<N>) -> Self {
         WeightedGraph {
             nodes: r.nodes.into_iter().collect(),
             edges: r.edges.into_iter().map(|(a, b, w)| ((a, b), w)).collect(),
         }
+    }
+}
+
+impl<N: Ord + Clone + Serialize + Deserialize> Serialize for WeightedGraph<N> {
+    fn to_value(&self) -> serde::Value {
+        GraphRepr::from(self.clone()).to_value()
+    }
+}
+
+impl<N: Ord + Clone + Serialize + Deserialize> Deserialize for WeightedGraph<N> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        GraphRepr::from_value(v).map(WeightedGraph::from)
     }
 }
 

@@ -43,10 +43,7 @@ pub fn weighted_jaccard<K: Ord>(a: &BTreeMap<K, f64>, b: &BTreeMap<K, f64>) -> f
     let mut ib = b.iter().peekable();
 
     fn check(w: f64) -> f64 {
-        assert!(
-            w >= 0.0,
-            "weighted_jaccard requires non-negative weights"
-        );
+        assert!(w >= 0.0, "weighted_jaccard requires non-negative weights");
         w
     }
 

@@ -42,5 +42,5 @@ mod spectral;
 pub use cluster::agglomerate_by;
 pub use graph::WeightedGraph;
 pub use jaccard::weighted_jaccard;
-pub use louvain::{louvain, modularity, Partition};
+pub use louvain::{louvain, louvain_passes, modularity, Partition};
 pub use spectral::{spectral_bisect, spectral_cluster};

@@ -253,25 +253,41 @@ impl Dense {
 ///
 /// Panics if `resolution` is not finite and positive.
 pub fn louvain<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partition<N> {
+    louvain_passes(g, resolution)
+        .pop()
+        .expect("passes always holds at least the initial partition")
+}
+
+/// [`louvain`], but returning the partition after **every pass**: the
+/// initial all-singletons partition first, then one entry per
+/// local-move + aggregation round, ending with the final result
+/// (`louvain` returns the last element). Each pass only applies
+/// positive-gain moves, so modularity is non-decreasing along the
+/// returned sequence — the invariant the property tests pin.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not finite and positive.
+pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Vec<Partition<N>> {
     assert!(
         resolution.is_finite() && resolution > 0.0,
         "resolution must be positive"
     );
     let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
     if index.is_empty() {
-        return Partition {
+        return vec![Partition {
             communities: Vec::new(),
-        };
+        }];
     }
+    // node -> current community, threaded through passes.
+    let mut assignment: Vec<usize> = (0..index.len()).collect();
+    let mut passes = vec![Partition::from_assignment(&index, &assignment)];
     let dense = Dense::from_graph(g, &index);
     if dense.m2 == 0.0 {
         // No edges: singleton communities.
-        let assignment: Vec<usize> = (0..index.len()).collect();
-        return Partition::from_assignment(&index, &assignment);
+        return passes;
     }
 
-    // node -> current community, threaded through passes.
-    let mut assignment: Vec<usize> = (0..index.len()).collect();
     let mut level = dense;
     loop {
         let (community, moved) = level.local_move(resolution);
@@ -282,12 +298,13 @@ pub fn louvain<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partiti
         for a in &mut assignment {
             *a = mapping[*a];
         }
+        passes.push(Partition::from_assignment(&index, &assignment));
         if aggregated.adj.len() == level.adj.len() {
             break;
         }
         level = aggregated;
     }
-    Partition::from_assignment(&index, &assignment)
+    passes
 }
 
 /// Generalised modularity `Q` of a partition:
@@ -317,8 +334,7 @@ pub fn modularity<N: Ord + Clone>(
     let mut q = 0.0;
     for i in 0..index.len() {
         // Self-loop term: A_ii = 2·self_loop.
-        q += 2.0 * dense.self_loop[i]
-            - resolution * dense.degree[i] * dense.degree[i] / dense.m2;
+        q += 2.0 * dense.self_loop[i] - resolution * dense.degree[i] * dense.degree[i] / dense.m2;
         for &(j, w) in &dense.adj[i] {
             if comm[i] == comm[j] {
                 q += w - resolution * dense.degree[i] * dense.degree[j] / dense.m2;
@@ -330,10 +346,7 @@ pub fn modularity<N: Ord + Clone>(
     // for non-adjacent same-community pairs.
     for i in 0..index.len() {
         for j in 0..index.len() {
-            if i != j
-                && comm[i] == comm[j]
-                && !dense.adj[i].iter().any(|&(nb, _)| nb == j)
-            {
+            if i != j && comm[i] == comm[j] && !dense.adj[i].iter().any(|&(nb, _)| nb == j) {
                 q -= resolution * dense.degree[i] * dense.degree[j] / dense.m2;
             }
         }
@@ -450,10 +463,7 @@ mod tests {
         let p = louvain(&g, 1.0);
         // Strong self-communication does not force a split.
         assert!(p.len() <= 2);
-        assert_eq!(
-            p.communities().iter().map(|c| c.len()).sum::<usize>(),
-            2
-        );
+        assert_eq!(p.communities().iter().map(|c| c.len()).sum::<usize>(), 2);
     }
 
     #[test]

@@ -27,11 +27,7 @@ pub fn spectral_bisect<N: Ord + Clone>(g: &WeightedGraph<N>, iterations: usize) 
     let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
     let n = index.len();
     if n < 2 {
-        return Partition::from_communities(if n == 0 {
-            Vec::new()
-        } else {
-            vec![index]
-        });
+        return Partition::from_communities(if n == 0 { Vec::new() } else { vec![index] });
     }
 
     // Dense adjacency (self-loops do not affect the Laplacian).
@@ -133,9 +129,7 @@ pub fn spectral_cluster<N: Ord + Clone>(
     iterations: usize,
 ) -> Partition<N> {
     assert!(k > 0, "k must be positive");
-    let mut communities: Vec<Vec<N>> = spectral_bisect(g, iterations)
-        .communities()
-        .to_vec();
+    let mut communities: Vec<Vec<N>> = spectral_bisect(g, iterations).communities().to_vec();
     while communities.len() < k {
         // Split the largest splittable community.
         communities.sort_by_key(|c| std::cmp::Reverse(c.len()));

@@ -554,10 +554,7 @@ mod tests {
 
     #[test]
     fn layer_edge_weight_is_output_volume() {
-        let l = Layer::new(
-            "conv1",
-            LayerKind::Conv2d(conv(3, 64, 7, 2, 3, 224)),
-        );
+        let l = Layer::new("conv1", LayerKind::Conv2d(conv(3, 64, 7, 2, 3, 224)));
         assert_eq!(l.output_elements(), 112 * 112 * 64);
         assert_eq!(l.op_class(), OpClass::Conv2d);
     }

@@ -55,7 +55,7 @@ impl fmt::Display for ModelClass {
 ///     .op_class_weights()
 ///     .contains_key(&claire_model::OpClass::Conv1d));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Model {
     name: String,
     class: ModelClass,
@@ -64,7 +64,52 @@ pub struct Model {
     /// (embeddings, norms). Counted in [`Model::param_count`] so Table I
     /// totals are faithful, but never mapped to hardware nodes.
     extra_params: u64,
+    /// Process-unique instance id (see [`Model::instance_id`]); shared
+    /// by clones, fresh per construction/deserialisation. Excluded from
+    /// equality and serialisation.
+    instance_id: u64,
 }
+
+/// Structural equality — the instance id is deliberately ignored, so a
+/// deserialised or independently rebuilt model equals the original.
+impl PartialEq for Model {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.class == other.class
+            && self.layers == other.layers
+            && self.extra_params == other.extra_params
+    }
+}
+
+/// Serialisation proxy carrying only the structural fields.
+#[derive(Serialize, Deserialize)]
+struct ModelRepr {
+    name: String,
+    class: ModelClass,
+    layers: Vec<Layer>,
+    extra_params: u64,
+}
+
+impl Serialize for Model {
+    fn to_value(&self) -> serde::Value {
+        ModelRepr {
+            name: self.name.clone(),
+            class: self.class,
+            layers: self.layers.clone(),
+            extra_params: self.extra_params,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for Model {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        ModelRepr::from_value(v).map(|r| Model::new(r.name, r.class, r.layers, r.extra_params))
+    }
+}
+
+/// Monotonic source of [`Model::instance_id`] values.
+static NEXT_INSTANCE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Model {
     /// Creates a model from parts.
@@ -82,7 +127,19 @@ impl Model {
             class,
             layers,
             extra_params,
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// A process-unique identity for memoization: every construction
+    /// (including deserialisation) gets a fresh id, and clones share
+    /// their source's. Models are immutable after construction, so two
+    /// models with the same id are guaranteed structurally identical —
+    /// caches may key on `(instance_id, …)` without content hashing.
+    /// The converse does not hold (equal content, different ids), which
+    /// costs a cache a miss, never correctness.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
     }
 
     /// Algorithm name as listed in the paper's tables.
@@ -181,7 +238,8 @@ impl Model {
     pub fn edge_combination_counts(&self) -> BTreeMap<(OpClass, OpClass), u32> {
         let mut m = BTreeMap::new();
         for pair in self.layers.windows(2) {
-            *m.entry((pair[0].op_class(), pair[1].op_class())).or_insert(0) += 1;
+            *m.entry((pair[0].op_class(), pair[1].op_class()))
+                .or_insert(0) += 1;
         }
         m
     }

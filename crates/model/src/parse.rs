@@ -169,11 +169,7 @@ struct ModuleLine {
 /// # Ok(())
 /// # }
 /// ```
-pub fn parse_model(
-    name: &str,
-    text: &str,
-    opts: ParseOptions,
-) -> Result<Model, ParseModelError> {
+pub fn parse_model(name: &str, text: &str, opts: ParseOptions) -> Result<Model, ParseModelError> {
     let lines = lex(text);
     let mut b = ModelBuilder::new(name, opts.class);
     let mut shape = match opts.input {
@@ -232,7 +228,9 @@ fn lex(text: &str) -> Vec<ModuleLine> {
             None => (String::new(), line),
         };
 
-        let Some(paren) = rest.find('(') else { continue };
+        let Some(paren) = rest.find('(') else {
+            continue;
+        };
         let ty = rest[..paren].trim().to_owned();
         let args_part = rest[paren + 1..].trim_end();
         // A leaf line closes its own argument list; a container opens one.
@@ -340,10 +338,12 @@ fn emit(
                 .unwrap_or(1);
             let (h, w) = match shape {
                 Shape::Image { h, w, .. } => (h, w),
-                _ => return Err(ParseModelError::UnknownShape {
-                    line: m.line_no,
-                    module: m.ty.clone(),
-                }),
+                _ => {
+                    return Err(ParseModelError::UnknownShape {
+                        line: m.line_no,
+                        module: m.ty.clone(),
+                    })
+                }
             };
             let conv = Conv2d {
                 in_channels: ic,

@@ -70,7 +70,7 @@ fn random_cnn(rng: &mut StdRng, seed: u64) -> Model {
     };
     let mut fm = (224_u32, 224_u32);
     let mut ch = 3_u32;
-    let mut out_ch = 1 << rng.gen_range(4..7); // 16..64
+    let mut out_ch = 1_u32 << rng.gen_range(4_u32..7); // 16..64
     fm = conv2d_act(&mut b, "stem", ch, out_ch, 7, 2, 3, fm, 1, act_kind);
     ch = out_ch;
     for stage in 0..stages {
@@ -112,7 +112,7 @@ fn random_cnn(rng: &mut StdRng, seed: u64) -> Model {
 
 fn random_transformer(rng: &mut StdRng, seed: u64) -> Model {
     let mut b = ModelBuilder::new(format!("synth-xf-{seed}"), ModelClass::Transformer);
-    let d = 64 * rng.gen_range(2..17); // 128..1024
+    let d = 64 * rng.gen_range(2_u32..17); // 128..1024
     let depth = rng.gen_range(2..25);
     let tokens = rng.gen_range(16..1025);
     let kind = if rng.gen_bool(0.75) {
@@ -133,14 +133,28 @@ fn random_transformer(rng: &mut StdRng, seed: u64) -> Model {
 
 fn random_audio(rng: &mut StdRng, seed: u64) -> Model {
     let mut b = ModelBuilder::new(format!("synth-audio-{seed}"), ModelClass::Transformer);
-    let channels = 64 * rng.gen_range(1..9);
+    let channels = 64 * rng.gen_range(1_u32..9);
     let mut len = rng.gen_range(1_000..8_001);
     let convs = rng.gen_range(2..6);
     let mut in_ch = rng.gen_range(1..129);
     for i in 0..convs {
         let stride = rng.gen_range(1..4);
-        len = conv1d(&mut b, &format!("fe.{i}"), in_ch, channels, 3, stride, 1, len);
-        act(&mut b, &format!("fe.{i}.act"), ActivationKind::Gelu, u64::from(len) * u64::from(channels));
+        len = conv1d(
+            &mut b,
+            &format!("fe.{i}"),
+            in_ch,
+            channels,
+            3,
+            stride,
+            1,
+            len,
+        );
+        act(
+            &mut b,
+            &format!("fe.{i}.act"),
+            ActivationKind::Gelu,
+            u64::from(len) * u64::from(channels),
+        );
         in_ch = channels;
         if len < 8 {
             break;

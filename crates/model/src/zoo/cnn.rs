@@ -152,7 +152,13 @@ pub fn resnet50() -> Model {
 /// VGG-16 (Simonyan & Zisserman, 2015), 138 M parameters.
 pub fn vgg16() -> Model {
     let mut b = ModelBuilder::new("VGG16", ModelClass::Cnn);
-    let cfg: &[&[u32]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let cfg: &[&[u32]] = &[
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256],
+        &[512, 512, 512],
+        &[512, 512, 512],
+    ];
     let mut fm = (224_u32, 224_u32);
     let mut in_ch = 3;
     let mut idx = 0;
@@ -202,8 +208,28 @@ pub fn vgg16() -> Model {
 pub fn densenet121() -> Model {
     let mut b = ModelBuilder::new("Densenet121", ModelClass::Cnn);
     let growth = 32_u32;
-    let mut fm = conv2d_act(&mut b, "features.conv0", 3, 64, 7, 2, 3, (224, 224), 1, RELU);
-    fm = pool2d(&mut b, "features.pool0", PoolingKind::MaxPool, 64, fm, 3, 2, 1);
+    let mut fm = conv2d_act(
+        &mut b,
+        "features.conv0",
+        3,
+        64,
+        7,
+        2,
+        3,
+        (224, 224),
+        1,
+        RELU,
+    );
+    fm = pool2d(
+        &mut b,
+        "features.pool0",
+        PoolingKind::MaxPool,
+        64,
+        fm,
+        3,
+        2,
+        1,
+    );
 
     let mut ch = 64_u32;
     let blocks = [6_u32, 12, 24, 16];
@@ -211,7 +237,18 @@ pub fn densenet121() -> Model {
         for li in 0..layers {
             let prefix = format!("features.denseblock{}.denselayer{}", bi + 1, li + 1);
             // 1x1 bottleneck to 4*growth, then 3x3 to growth.
-            conv2d_act(&mut b, &format!("{prefix}.conv1"), ch, 4 * growth, 1, 1, 0, fm, 1, RELU);
+            conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv1"),
+                ch,
+                4 * growth,
+                1,
+                1,
+                0,
+                fm,
+                1,
+                RELU,
+            );
             conv2d_act(
                 &mut b,
                 &format!("{prefix}.conv2"),
@@ -285,7 +322,18 @@ pub fn mobilenet_v2() -> Model {
             let hidden = in_ch * t;
             let prefix = format!("features.{idx}");
             if t != 1 {
-                fm = conv2d_act(&mut b, &format!("{prefix}.expand"), in_ch, hidden, 1, 1, 0, fm, 1, RELU6);
+                fm = conv2d_act(
+                    &mut b,
+                    &format!("{prefix}.expand"),
+                    in_ch,
+                    hidden,
+                    1,
+                    1,
+                    0,
+                    fm,
+                    1,
+                    RELU6,
+                );
             }
             fm = conv2d_act(
                 &mut b,
@@ -300,7 +348,17 @@ pub fn mobilenet_v2() -> Model {
                 RELU6,
             );
             // Linear bottleneck: projection conv has no activation.
-            fm = conv2d(&mut b, &format!("{prefix}.project"), hidden, c, 1, 1, 0, fm, 1);
+            fm = conv2d(
+                &mut b,
+                &format!("{prefix}.project"),
+                hidden,
+                c,
+                1,
+                1,
+                0,
+                fm,
+                1,
+            );
             in_ch = c;
             idx += 1;
         }
@@ -321,7 +379,16 @@ pub fn alexnet() -> Model {
     fm = conv2d_act(&mut b, "features.6", 192, 384, 3, 1, 1, fm, 1, RELU);
     fm = conv2d_act(&mut b, "features.8", 384, 256, 3, 1, 1, fm, 1, RELU);
     fm = conv2d_act(&mut b, "features.10", 256, 256, 3, 1, 1, fm, 1, RELU);
-    fm = pool2d(&mut b, "features.12", PoolingKind::MaxPool, 256, fm, 3, 2, 0);
+    fm = pool2d(
+        &mut b,
+        "features.12",
+        PoolingKind::MaxPool,
+        256,
+        fm,
+        3,
+        2,
+        0,
+    );
     adaptive_avg_pool(&mut b, "avgpool", 256, fm, 6);
     linear(&mut b, "classifier.1", 256 * 6 * 6, 4096, 1);
     act(&mut b, "classifier.2", RELU, 4096);

@@ -195,21 +195,45 @@ impl EncoderBlock {
     /// Emits the block's layers under `prefix`.
     pub fn emit(&self, b: &mut ModelBuilder, prefix: &str) {
         if self.fused_qkv {
-            linear(b, &format!("{prefix}.attn.qkv"), self.d, self.d + 2 * self.kv, self.tokens);
+            linear(
+                b,
+                &format!("{prefix}.attn.qkv"),
+                self.d,
+                self.d + 2 * self.kv,
+                self.tokens,
+            );
         } else {
             linear(b, &format!("{prefix}.attn.q"), self.d, self.d, self.tokens);
             linear(b, &format!("{prefix}.attn.k"), self.d, self.kv, self.tokens);
             linear(b, &format!("{prefix}.attn.v"), self.d, self.kv, self.tokens);
         }
-        linear(b, &format!("{prefix}.attn.out"), self.d, self.d, self.tokens);
-        linear(b, &format!("{prefix}.mlp.fc1"), self.d, self.ffn, self.tokens);
+        linear(
+            b,
+            &format!("{prefix}.attn.out"),
+            self.d,
+            self.d,
+            self.tokens,
+        );
+        linear(
+            b,
+            &format!("{prefix}.mlp.fc1"),
+            self.d,
+            self.ffn,
+            self.tokens,
+        );
         act(
             b,
             &format!("{prefix}.mlp.act"),
             self.act,
             u64::from(self.ffn) * u64::from(self.tokens),
         );
-        linear(b, &format!("{prefix}.mlp.fc2"), self.ffn, self.d, self.tokens);
+        linear(
+            b,
+            &format!("{prefix}.mlp.fc2"),
+            self.ffn,
+            self.d,
+            self.tokens,
+        );
     }
 }
 
@@ -237,15 +261,33 @@ impl GatedBlock {
 
     /// Emits one gated MLP (gate, up, SiLU, down) under `prefix`.
     pub fn emit_mlp(&self, b: &mut ModelBuilder, prefix: &str) {
-        linear(b, &format!("{prefix}.gate_proj"), self.d, self.ffn, self.tokens);
-        linear(b, &format!("{prefix}.up_proj"), self.d, self.ffn, self.tokens);
+        linear(
+            b,
+            &format!("{prefix}.gate_proj"),
+            self.d,
+            self.ffn,
+            self.tokens,
+        );
+        linear(
+            b,
+            &format!("{prefix}.up_proj"),
+            self.d,
+            self.ffn,
+            self.tokens,
+        );
         act(
             b,
             &format!("{prefix}.act"),
             ActivationKind::Silu,
             u64::from(self.ffn) * u64::from(self.tokens),
         );
-        linear(b, &format!("{prefix}.down_proj"), self.ffn, self.d, self.tokens);
+        linear(
+            b,
+            &format!("{prefix}.down_proj"),
+            self.ffn,
+            self.d,
+            self.tokens,
+        );
     }
 }
 

@@ -19,8 +19,28 @@ pub fn peanut_rcnn() -> Model {
     let mut b = ModelBuilder::new("PEANUT RCNN", ModelClass::Rcnn);
 
     // --- ResNet-18 backbone (no classifier head), 800x800 detection input.
-    let mut fm = conv2d_act(&mut b, "backbone.body.conv1", 3, 64, 7, 2, 3, (800, 800), 1, RELU);
-    fm = pool2d(&mut b, "backbone.body.maxpool", PoolingKind::MaxPool, 64, fm, 3, 2, 1);
+    let mut fm = conv2d_act(
+        &mut b,
+        "backbone.body.conv1",
+        3,
+        64,
+        7,
+        2,
+        3,
+        (800, 800),
+        1,
+        RELU,
+    );
+    fm = pool2d(
+        &mut b,
+        "backbone.body.maxpool",
+        PoolingKind::MaxPool,
+        64,
+        fm,
+        3,
+        2,
+        1,
+    );
     let mut in_ch = 64;
     let mut stage_fms = Vec::new();
     for (stage, &blocks) in [2_u32, 2, 2, 2].iter().enumerate() {
@@ -29,10 +49,42 @@ pub fn peanut_rcnn() -> Model {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
             let prefix = format!("backbone.body.layer{}.{blk}", stage + 1);
             if stride != 1 || in_ch != out_ch {
-                conv2d(&mut b, &format!("{prefix}.downsample"), in_ch, out_ch, 1, stride, 0, fm, 1);
+                conv2d(
+                    &mut b,
+                    &format!("{prefix}.downsample"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    stride,
+                    0,
+                    fm,
+                    1,
+                );
             }
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv1"), in_ch, out_ch, 3, stride, 1, fm, 1, RELU);
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv2"), out_ch, out_ch, 3, 1, 1, fm, 1, RELU);
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv1"),
+                in_ch,
+                out_ch,
+                3,
+                stride,
+                1,
+                fm,
+                1,
+                RELU,
+            );
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv2"),
+                out_ch,
+                out_ch,
+                3,
+                1,
+                1,
+                fm,
+                1,
+                RELU,
+            );
             in_ch = out_ch;
         }
         stage_fms.push((out_ch, fm));
@@ -41,8 +93,28 @@ pub fn peanut_rcnn() -> Model {
     // --- FPN: lateral 1x1 + output 3x3 per pyramid level, then the
     // extra LastLevelMaxPool level.
     for (i, &(ch, sfm)) in stage_fms.iter().enumerate() {
-        conv2d(&mut b, &format!("backbone.fpn.inner.{i}"), ch, 256, 1, 1, 0, sfm, 1);
-        conv2d(&mut b, &format!("backbone.fpn.layer.{i}"), 256, 256, 3, 1, 1, sfm, 1);
+        conv2d(
+            &mut b,
+            &format!("backbone.fpn.inner.{i}"),
+            ch,
+            256,
+            1,
+            1,
+            0,
+            sfm,
+            1,
+        );
+        conv2d(
+            &mut b,
+            &format!("backbone.fpn.layer.{i}"),
+            256,
+            256,
+            3,
+            1,
+            1,
+            sfm,
+            1,
+        );
     }
     let (_, top_fm) = stage_fms[3];
     b.push(
@@ -71,7 +143,18 @@ pub fn peanut_rcnn() -> Model {
             output_elements: rois * 7 * 7 * 256,
         }),
     );
-    conv2d_act(&mut b, "roi_heads.box_head.conv", 256, 256, 1, 1, 0, (7, 7), 1, RELU);
+    conv2d_act(
+        &mut b,
+        "roi_heads.box_head.conv",
+        256,
+        256,
+        1,
+        1,
+        0,
+        (7, 7),
+        1,
+        RELU,
+    );
     linear(&mut b, "roi_heads.box_predictor.cls_score", 256, 91, 100);
     linear(&mut b, "roi_heads.box_predictor.bbox_pred", 256, 364, 100);
     b.extra_params(40_000); // batch norms
@@ -86,8 +169,28 @@ pub fn detr() -> Model {
     let mut b = ModelBuilder::new("DETR", ModelClass::Transformer);
 
     // --- ResNet-50 backbone at 800x800, no avgpool/fc.
-    let mut fm = conv2d_act(&mut b, "backbone.conv1", 3, 64, 7, 2, 3, (800, 800), 1, RELU);
-    fm = pool2d(&mut b, "backbone.maxpool", PoolingKind::MaxPool, 64, fm, 3, 2, 1);
+    let mut fm = conv2d_act(
+        &mut b,
+        "backbone.conv1",
+        3,
+        64,
+        7,
+        2,
+        3,
+        (800, 800),
+        1,
+        RELU,
+    );
+    fm = pool2d(
+        &mut b,
+        "backbone.maxpool",
+        PoolingKind::MaxPool,
+        64,
+        fm,
+        3,
+        2,
+        1,
+    );
     let mut in_ch = 64;
     for (stage, &blocks) in [3_u32, 4, 6, 3].iter().enumerate() {
         let mid = 64 << stage;
@@ -96,11 +199,54 @@ pub fn detr() -> Model {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
             let prefix = format!("backbone.layer{}.{blk}", stage + 1);
             if stride != 1 || in_ch != out_ch {
-                conv2d(&mut b, &format!("{prefix}.downsample"), in_ch, out_ch, 1, stride, 0, fm, 1);
+                conv2d(
+                    &mut b,
+                    &format!("{prefix}.downsample"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    stride,
+                    0,
+                    fm,
+                    1,
+                );
             }
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv1"), in_ch, mid, 1, 1, 0, fm, 1, RELU);
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv2"), mid, mid, 3, stride, 1, fm, 1, RELU);
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv3"), mid, out_ch, 1, 1, 0, fm, 1, RELU);
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv1"),
+                in_ch,
+                mid,
+                1,
+                1,
+                0,
+                fm,
+                1,
+                RELU,
+            );
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv2"),
+                mid,
+                mid,
+                3,
+                stride,
+                1,
+                fm,
+                1,
+                RELU,
+            );
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv3"),
+                mid,
+                out_ch,
+                1,
+                1,
+                0,
+                fm,
+                1,
+                RELU,
+            );
             in_ch = out_ch;
         }
     }
@@ -128,9 +274,20 @@ pub fn detr() -> Model {
     // --- Prediction heads.
     linear(&mut b, "class_embed", d, 92, dec_tokens);
     for i in 0..3 {
-        linear(&mut b, &format!("bbox_embed.layers.{i}"), d, if i == 2 { 4 } else { d }, dec_tokens);
+        linear(
+            &mut b,
+            &format!("bbox_embed.layers.{i}"),
+            d,
+            if i == 2 { 4 } else { d },
+            dec_tokens,
+        );
         if i < 2 {
-            act(&mut b, &format!("bbox_embed.act.{i}"), RELU, u64::from(d) * u64::from(dec_tokens));
+            act(
+                &mut b,
+                &format!("bbox_embed.act.{i}"),
+                RELU,
+                u64::from(d) * u64::from(dec_tokens),
+            );
         }
     }
     b.extra_params(180_000); // query embeddings, norms

@@ -33,12 +33,40 @@ pub fn wav2vec2_base() -> Model {
     let mut len = conv1d(&mut b, "feature_extractor.conv0", 1, 512, 10, 5, 0, 16_000);
     act(&mut b, "feature_extractor.act0", GELU, u64::from(len) * 512);
     for i in 1..5 {
-        len = conv1d(&mut b, &format!("feature_extractor.conv{i}"), 512, 512, 3, 2, 0, len);
-        act(&mut b, &format!("feature_extractor.act{i}"), GELU, u64::from(len) * 512);
+        len = conv1d(
+            &mut b,
+            &format!("feature_extractor.conv{i}"),
+            512,
+            512,
+            3,
+            2,
+            0,
+            len,
+        );
+        act(
+            &mut b,
+            &format!("feature_extractor.act{i}"),
+            GELU,
+            u64::from(len) * 512,
+        );
     }
     for i in 5..7 {
-        len = conv1d(&mut b, &format!("feature_extractor.conv{i}"), 512, 512, 2, 2, 0, len);
-        act(&mut b, &format!("feature_extractor.act{i}"), GELU, u64::from(len) * 512);
+        len = conv1d(
+            &mut b,
+            &format!("feature_extractor.conv{i}"),
+            512,
+            512,
+            2,
+            2,
+            0,
+            len,
+        );
+        act(
+            &mut b,
+            &format!("feature_extractor.act{i}"),
+            GELU,
+            u64::from(len) * 512,
+        );
     }
     linear(&mut b, "feature_projection", 512, 768, len);
     for blk in 0..12 {
@@ -59,7 +87,12 @@ pub fn distilgpt2() -> Model {
         conv1d(&mut b, &format!("{p}.attn.c_attn"), d, 3 * d, 1, 1, 0, seq);
         conv1d(&mut b, &format!("{p}.attn.c_proj"), d, d, 1, 1, 0, seq);
         conv1d(&mut b, &format!("{p}.mlp.c_fc"), d, ffn, 1, 1, 0, seq);
-        act(&mut b, &format!("{p}.mlp.act"), GELU, u64::from(ffn) * u64::from(seq));
+        act(
+            &mut b,
+            &format!("{p}.mlp.act"),
+            GELU,
+            u64::from(ffn) * u64::from(seq),
+        );
         conv1d(&mut b, &format!("{p}.mlp.c_proj"), ffn, d, 1, 1, 0, seq);
     }
     // wte + wpe + norms + persisted causal-mask buffers.
@@ -74,8 +107,28 @@ pub fn mask_rcnn_r50() -> Model {
     let mut b = ModelBuilder::new("MaskRCNN-R50", ModelClass::Rcnn);
 
     // ResNet-50 trunk at the 800x800 detection resolution.
-    let mut fm = conv2d_act(&mut b, "backbone.body.conv1", 3, 64, 7, 2, 3, (800, 800), 1, RELU);
-    fm = pool2d(&mut b, "backbone.body.maxpool", PoolingKind::MaxPool, 64, fm, 3, 2, 1);
+    let mut fm = conv2d_act(
+        &mut b,
+        "backbone.body.conv1",
+        3,
+        64,
+        7,
+        2,
+        3,
+        (800, 800),
+        1,
+        RELU,
+    );
+    fm = pool2d(
+        &mut b,
+        "backbone.body.maxpool",
+        PoolingKind::MaxPool,
+        64,
+        fm,
+        3,
+        2,
+        1,
+    );
     let mut in_ch = 64;
     let mut stage_fms = Vec::new();
     for (stage, &blocks) in [3_u32, 4, 6, 3].iter().enumerate() {
@@ -85,11 +138,54 @@ pub fn mask_rcnn_r50() -> Model {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
             let prefix = format!("backbone.body.layer{}.{blk}", stage + 1);
             if stride != 1 || in_ch != out_ch {
-                conv2d(&mut b, &format!("{prefix}.downsample"), in_ch, out_ch, 1, stride, 0, fm, 1);
+                conv2d(
+                    &mut b,
+                    &format!("{prefix}.downsample"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    stride,
+                    0,
+                    fm,
+                    1,
+                );
             }
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv1"), in_ch, mid, 1, 1, 0, fm, 1, RELU);
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv2"), mid, mid, 3, stride, 1, fm, 1, RELU);
-            fm = conv2d_act(&mut b, &format!("{prefix}.conv3"), mid, out_ch, 1, 1, 0, fm, 1, RELU);
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv1"),
+                in_ch,
+                mid,
+                1,
+                1,
+                0,
+                fm,
+                1,
+                RELU,
+            );
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv2"),
+                mid,
+                mid,
+                3,
+                stride,
+                1,
+                fm,
+                1,
+                RELU,
+            );
+            fm = conv2d_act(
+                &mut b,
+                &format!("{prefix}.conv3"),
+                mid,
+                out_ch,
+                1,
+                1,
+                0,
+                fm,
+                1,
+                RELU,
+            );
             in_ch = out_ch;
         }
         stage_fms.push((out_ch, fm));
@@ -97,8 +193,28 @@ pub fn mask_rcnn_r50() -> Model {
 
     // FPN + extra level.
     for (i, &(ch, sfm)) in stage_fms.iter().enumerate() {
-        conv2d(&mut b, &format!("backbone.fpn.inner.{i}"), ch, 256, 1, 1, 0, sfm, 1);
-        conv2d(&mut b, &format!("backbone.fpn.layer.{i}"), 256, 256, 3, 1, 1, sfm, 1);
+        conv2d(
+            &mut b,
+            &format!("backbone.fpn.inner.{i}"),
+            ch,
+            256,
+            1,
+            1,
+            0,
+            sfm,
+            1,
+        );
+        conv2d(
+            &mut b,
+            &format!("backbone.fpn.layer.{i}"),
+            256,
+            256,
+            3,
+            1,
+            1,
+            sfm,
+            1,
+        );
     }
     let (_, top) = stage_fms[3];
     b.push(
@@ -143,9 +259,30 @@ pub fn mask_rcnn_r50() -> Model {
         }),
     );
     for i in 0..4 {
-        conv2d_act(&mut b, &format!("roi_heads.mask_head.{i}"), 256, 256, 3, 1, 1, (14, 14), 1, RELU);
+        conv2d_act(
+            &mut b,
+            &format!("roi_heads.mask_head.{i}"),
+            256,
+            256,
+            3,
+            1,
+            1,
+            (14, 14),
+            1,
+            RELU,
+        );
     }
-    conv2d(&mut b, "roi_heads.mask_predictor", 256, 91, 1, 1, 0, (28, 28), 1);
+    conv2d(
+        &mut b,
+        "roi_heads.mask_predictor",
+        256,
+        91,
+        1,
+        1,
+        0,
+        (28, 28),
+        1,
+    );
     b.extra_params(60_000); // batch norms
     b.build()
 }
@@ -165,7 +302,12 @@ pub fn convnext_tiny() -> Model {
             conv2d(&mut b, &format!("{p}.dwconv"), dim, dim, 7, 1, 3, fm, dim);
             permute(&mut b, &format!("{p}.permute1"), spatial * u64::from(dim));
             linear(&mut b, &format!("{p}.pwconv1"), dim, 4 * dim, fm.0 * fm.1);
-            act(&mut b, &format!("{p}.act"), GELU, spatial * u64::from(4 * dim));
+            act(
+                &mut b,
+                &format!("{p}.act"),
+                GELU,
+                spatial * u64::from(4 * dim),
+            );
             linear(&mut b, &format!("{p}.pwconv2"), 4 * dim, dim, fm.0 * fm.1);
             permute(&mut b, &format!("{p}.permute2"), spatial * u64::from(dim));
         }
@@ -214,7 +356,18 @@ pub fn efficientnet_b0() -> Model {
             let hidden = in_ch * t;
             let p = format!("features.{idx}");
             if t != 1 {
-                fm = conv2d_act(&mut b, &format!("{p}.expand"), in_ch, hidden, 1, 1, 0, fm, 1, SILU);
+                fm = conv2d_act(
+                    &mut b,
+                    &format!("{p}.expand"),
+                    in_ch,
+                    hidden,
+                    1,
+                    1,
+                    0,
+                    fm,
+                    1,
+                    SILU,
+                );
             }
             fm = conv2d_act(
                 &mut b,
@@ -231,8 +384,29 @@ pub fn efficientnet_b0() -> Model {
             // Squeeze-excite: printed AdaptiveAvgPool2d + two 1x1 convs.
             let se = (in_ch / 4).max(1);
             adaptive_avg_pool(&mut b, &format!("{p}.se.avgpool"), hidden, fm, 1);
-            conv2d_act(&mut b, &format!("{p}.se.fc1"), hidden, se, 1, 1, 0, (1, 1), 1, SILU);
-            conv2d(&mut b, &format!("{p}.se.fc2"), se, hidden, 1, 1, 0, (1, 1), 1);
+            conv2d_act(
+                &mut b,
+                &format!("{p}.se.fc1"),
+                hidden,
+                se,
+                1,
+                1,
+                0,
+                (1, 1),
+                1,
+                SILU,
+            );
+            conv2d(
+                &mut b,
+                &format!("{p}.se.fc2"),
+                se,
+                hidden,
+                1,
+                1,
+                0,
+                (1, 1),
+                1,
+            );
             fm = conv2d(&mut b, &format!("{p}.project"), hidden, c, 1, 1, 0, fm, 1);
             in_ch = c;
             idx += 1;

@@ -20,10 +20,41 @@ pub fn unet() -> Model {
     // Encoder: double conv + pool, channels 64..1024.
     let widths = [64_u32, 128, 256, 512];
     for (i, &w) in widths.iter().enumerate() {
-        fm = conv2d_act(&mut b, &format!("down{i}.conv1"), ch, w, 3, 1, 1, fm, 1, RELU);
-        fm = conv2d_act(&mut b, &format!("down{i}.conv2"), w, w, 3, 1, 1, fm, 1, RELU);
+        fm = conv2d_act(
+            &mut b,
+            &format!("down{i}.conv1"),
+            ch,
+            w,
+            3,
+            1,
+            1,
+            fm,
+            1,
+            RELU,
+        );
+        fm = conv2d_act(
+            &mut b,
+            &format!("down{i}.conv2"),
+            w,
+            w,
+            3,
+            1,
+            1,
+            fm,
+            1,
+            RELU,
+        );
         ch = w;
-        fm = pool2d(&mut b, &format!("down{i}.pool"), PoolingKind::MaxPool, ch, fm, 2, 2, 0);
+        fm = pool2d(
+            &mut b,
+            &format!("down{i}.pool"),
+            PoolingKind::MaxPool,
+            ch,
+            fm,
+            2,
+            2,
+            0,
+        );
     }
     // Bottleneck.
     fm = conv2d_act(&mut b, "mid.conv1", ch, 1024, 3, 1, 1, fm, 1, RELU);
@@ -33,7 +64,18 @@ pub fn unet() -> Model {
     // (upsampling is functional => spatial size stays at the print-
     // visible resolution, channel arithmetic follows the skip concat).
     for (i, &w) in widths.iter().rev().enumerate() {
-        fm = conv2d_act(&mut b, &format!("up{i}.conv1"), ch + w, w, 3, 1, 1, fm, 1, RELU);
+        fm = conv2d_act(
+            &mut b,
+            &format!("up{i}.conv1"),
+            ch + w,
+            w,
+            3,
+            1,
+            1,
+            fm,
+            1,
+            RELU,
+        );
         fm = conv2d_act(&mut b, &format!("up{i}.conv2"), w, w, 3, 1, 1, fm, 1, RELU);
         ch = w;
     }
@@ -52,7 +94,8 @@ pub fn t5_small() -> Model {
     let enc_tokens = 512_u32;
     let dec_tokens = 128_u32;
     for i in 0..6 {
-        EncoderBlock::standard(d, ffn, enc_tokens, RELU).emit(&mut b, &format!("encoder.block.{i}"));
+        EncoderBlock::standard(d, ffn, enc_tokens, RELU)
+            .emit(&mut b, &format!("encoder.block.{i}"));
     }
     for i in 0..6 {
         let p = format!("decoder.block.{i}");

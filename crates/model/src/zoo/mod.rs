@@ -17,9 +17,9 @@
 //! paper's extraction path.
 
 mod cnn;
+mod detection;
 mod extended;
 mod extended2;
-mod detection;
 mod llm;
 mod transformer;
 
@@ -60,7 +60,14 @@ pub fn training_set() -> Vec<Model> {
 
 /// The 6 test-set algorithms (paper Input #6), in paper order.
 pub fn test_set() -> Vec<Model> {
-    vec![bert_base(), graphormer(), vit_base(), ast(), detr(), alexnet()]
+    vec![
+        bert_base(),
+        graphormer(),
+        vit_base(),
+        ast(),
+        detr(),
+        alexnet(),
+    ]
 }
 
 /// Looks an algorithm up by name, across the training, test and

@@ -171,7 +171,18 @@ pub fn dpt_large() -> Model {
     }
     // Monocular-depth head.
     conv2d(&mut b, "head.conv1", 256, 128, 3, 1, 1, (grid, grid), 1);
-    conv2d_act(&mut b, "head.conv2", 128, 32, 3, 1, 1, (grid, grid), 1, RELU);
+    conv2d_act(
+        &mut b,
+        "head.conv2",
+        128,
+        32,
+        3,
+        1,
+        1,
+        (grid, grid),
+        1,
+        RELU,
+    );
     conv2d_act(&mut b, "head.conv3", 32, 1, 1, 1, 0, (grid, grid), 1, RELU);
     // Position embeddings + norms.
     b.extra_params(1_200_000);
@@ -197,7 +208,12 @@ pub fn bert_base() -> Model {
         EncoderBlock::standard(d, ffn, tokens, GELU).emit(&mut b, &format!("encoder.layer.{blk}"));
     }
     linear(&mut b, "pooler.dense", d, d, 1);
-    act(&mut b, "pooler.activation", ActivationKind::Tanh, u64::from(d));
+    act(
+        &mut b,
+        "pooler.activation",
+        ActivationKind::Tanh,
+        u64::from(d),
+    );
     // Word (30522), position (512) and token-type embeddings + norms.
     b.extra_params(23_837_184);
     b.build()
@@ -212,7 +228,12 @@ pub fn graphormer() -> Model {
         EncoderBlock::standard(d, ffn, tokens, GELU).emit(&mut b, &format!("layers.{blk}"));
     }
     linear(&mut b, "lm_head_transform", d, d, tokens);
-    act(&mut b, "lm_head_act", GELU, u64::from(d) * u64::from(tokens));
+    act(
+        &mut b,
+        "lm_head_act",
+        GELU,
+        u64::from(d) * u64::from(tokens),
+    );
     // Atom/edge/spatial/degree encoders.
     b.extra_params(1_600_000);
     b.build()
@@ -247,7 +268,8 @@ pub fn ast() -> Model {
     );
     let tokens = (128 / 16) * (1024 / 16) + 2;
     for blk in 0..12 {
-        EncoderBlock::standard(768, 3072, tokens, GELU).emit(&mut b, &format!("encoder.layer.{blk}"));
+        EncoderBlock::standard(768, 3072, tokens, GELU)
+            .emit(&mut b, &format!("encoder.layer.{blk}"));
     }
     linear(&mut b, "classifier.dense", 768, 527, 1);
     b.extra_params(500_000);

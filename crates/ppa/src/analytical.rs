@@ -126,8 +126,7 @@ pub fn unit_area_mm2(class: OpClass, hw: &HwParams) -> f64 {
         OpClass::Conv2d | OpClass::Conv1d | OpClass::Linear => {
             let pes = hw.total_pes() as f64;
             let array_area = pes * tech28::PE_AREA_MM2 * (1.0 + tech28::SA_PERIPHERAL_OVERHEAD);
-            let sram =
-                f64::from(hw.n_sa) * tech28::SA_SRAM_BYTES * tech28::SRAM_AREA_MM2_PER_BYTE;
+            let sram = f64::from(hw.n_sa) * tech28::SA_SRAM_BYTES * tech28::SRAM_AREA_MM2_PER_BYTE;
             array_area + sram
         }
         OpClass::Activation(a) => f64::from(hw.n_act) * activation_ppa(a).0,

@@ -69,8 +69,13 @@ mod tests {
 
     #[test]
     fn presets_are_ordered() {
-        assert!(MemoryModel::hbm2e().bytes_per_cycle > 10.0 * MemoryModel::ddr4_3200().bytes_per_cycle / 2.0);
-        assert!(MemoryModel::hbm2e().energy_pj_per_byte < MemoryModel::ddr4_3200().energy_pj_per_byte);
+        assert!(
+            MemoryModel::hbm2e().bytes_per_cycle
+                > 10.0 * MemoryModel::ddr4_3200().bytes_per_cycle / 2.0
+        );
+        assert!(
+            MemoryModel::hbm2e().energy_pj_per_byte < MemoryModel::ddr4_3200().energy_pj_per_byte
+        );
     }
 
     #[test]

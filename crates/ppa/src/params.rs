@@ -40,7 +40,12 @@ impl HwParams {
     /// # Errors
     ///
     /// Returns [`HwParamsError::Zero`] naming the offending field.
-    pub fn try_new(sa_size: u32, n_sa: u32, n_act: u32, n_pool: u32) -> Result<Self, HwParamsError> {
+    pub fn try_new(
+        sa_size: u32,
+        n_sa: u32,
+        n_act: u32,
+        n_pool: u32,
+    ) -> Result<Self, HwParamsError> {
         for (name, v) in [
             ("sa_size", sa_size),
             ("n_sa", n_sa),
@@ -88,7 +93,9 @@ pub enum HwParamsError {
 impl fmt::Display for HwParamsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HwParamsError::Zero { field } => write!(f, "hardware parameter `{field}` must be non-zero"),
+            HwParamsError::Zero { field } => {
+                write!(f, "hardware parameter `{field}` must be non-zero")
+            }
         }
     }
 }
@@ -109,6 +116,11 @@ pub struct DseSpace {
     pub n_acts: Vec<u32>,
     /// Candidate pooling-unit counts.
     pub n_pools: Vec<u32>,
+    /// Worker threads for sweeping this space. `None` (the default,
+    /// and what older run-config files deserialize to) defers to the
+    /// `CLAIRE_THREADS` environment variable and then to the machine's
+    /// available parallelism.
+    pub threads: Option<usize>,
 }
 
 impl Default for DseSpace {
@@ -118,6 +130,7 @@ impl Default for DseSpace {
             n_sas: vec![16, 32, 64],
             n_acts: vec![8, 16, 32],
             n_pools: vec![8, 16, 32],
+            threads: None,
         }
     }
 }
@@ -138,9 +151,7 @@ impl DseSpace {
         self.sa_sizes.iter().flat_map(move |&s| {
             self.n_sas.iter().flat_map(move |&n| {
                 self.n_acts.iter().flat_map(move |&a| {
-                    self.n_pools
-                        .iter()
-                        .map(move |&p| HwParams::new(s, n, a, p))
+                    self.n_pools.iter().map(move |&p| HwParams::new(s, n, a, p))
                 })
             })
         })

@@ -83,7 +83,14 @@ impl SystolicArrayModel {
 
     /// Generic matrix-shaped workload: `reduction` × `outputs` weight
     /// matrix applied to `positions` input vectors.
-    fn matrix(&self, reduction: u64, outputs: u64, positions: u64, macs: u64, io_bytes: u64) -> SystolicCost {
+    fn matrix(
+        &self,
+        reduction: u64,
+        outputs: u64,
+        positions: u64,
+        macs: u64,
+        io_bytes: u64,
+    ) -> SystolicCost {
         let s = u64::from(self.hw.sa_size);
         let (tiles, per_tile) = match self.dataflow {
             Dataflow::WeightStationary => (
@@ -97,8 +104,8 @@ impl SystolicArrayModel {
         };
         let waves = tiles.div_ceil(u64::from(self.hw.n_sa));
         let cycles = waves * per_tile;
-        let energy_pj = macs as f64 * tech28::PE_ENERGY_PJ
-            + io_bytes as f64 * tech28::SRAM_ENERGY_PJ_PER_BYTE;
+        let energy_pj =
+            macs as f64 * tech28::PE_ENERGY_PJ + io_bytes as f64 * tech28::SRAM_ENERGY_PJ_PER_BYTE;
         SystolicCost {
             cycles,
             tiles,
@@ -135,8 +142,7 @@ impl SystolicArrayModel {
     /// Cost of a 1-D convolution.
     pub fn conv1d(&self, c: &Conv1d) -> SystolicCost {
         let reduction = u64::from(c.in_channels) * u64::from(c.kernel);
-        let io_bytes =
-            u64::from(c.length) * u64::from(c.in_channels) + c.output_elements();
+        let io_bytes = u64::from(c.length) * u64::from(c.in_channels) + c.output_elements();
         self.matrix(
             reduction,
             u64::from(c.out_channels),

@@ -45,4 +45,6 @@ mod simulate;
 
 pub use engine::{Event, EventQueue};
 pub use report::SimReport;
-pub use simulate::{pipelined_throughput, simulate, simulate_batch, simulate_trace, Mode, TraceSpan};
+pub use simulate::{
+    pipelined_throughput, simulate, simulate_batch, simulate_trace, Mode, TraceSpan,
+};

@@ -243,10 +243,7 @@ pub struct TraceSpan {
 /// # Errors
 ///
 /// [`ClaireError::IncompleteCoverage`] as for [`simulate`].
-pub fn simulate_trace(
-    model: &Model,
-    config: &DesignConfig,
-) -> Result<Vec<TraceSpan>, ClaireError> {
+pub fn simulate_trace(model: &Model, config: &DesignConfig) -> Result<Vec<TraceSpan>, ClaireError> {
     if let Some(missing) = config.first_missing(model) {
         return Err(ClaireError::IncompleteCoverage {
             algorithm: model.name().to_owned(),
@@ -301,10 +298,7 @@ pub fn simulate_trace(
 /// # Errors
 ///
 /// [`ClaireError::IncompleteCoverage`] as for [`simulate`].
-pub fn pipelined_throughput(
-    model: &Model,
-    config: &DesignConfig,
-) -> Result<f64, ClaireError> {
+pub fn pipelined_throughput(model: &Model, config: &DesignConfig) -> Result<f64, ClaireError> {
     if let Some(missing) = config.first_missing(model) {
         return Err(ClaireError::IncompleteCoverage {
             algorithm: model.name().to_owned(),
@@ -432,7 +426,12 @@ mod tests {
         let sim = simulate(&m, &cfg, Mode::Strict).unwrap();
         let analytical = evaluate(&m, &cfg).unwrap();
         let rel = (sim.latency_s() - analytical.latency_s).abs() / analytical.latency_s;
-        assert!(rel < 1e-9, "sim {} vs analytical {}", sim.latency_s(), analytical.latency_s);
+        assert!(
+            rel < 1e-9,
+            "sim {} vs analytical {}",
+            sim.latency_s(),
+            analytical.latency_s
+        );
     }
 
     #[test]
@@ -541,11 +540,7 @@ mod tests {
             let strict = simulate(&m, &cfg, Mode::Strict).unwrap();
             let tput = pipelined_throughput(&m, &cfg).unwrap();
             let serial = 1.0 / strict.latency_s();
-            assert!(
-                tput >= serial * 0.999,
-                "{}: {tput} < {serial}",
-                m.name()
-            );
+            assert!(tput >= serial * 0.999, "{}: {tput} < {serial}", m.name());
         }
     }
 
@@ -587,8 +582,7 @@ mod tests {
             let b1 = simulate_batch(&m, &cfg, 64).unwrap();
             let b2 = simulate_batch(&m, &cfg, 128).unwrap();
             let interval = (b2 - b1) as f64 / 64.0;
-            let ideal =
-                claire_ppa::tech28::CLOCK_HZ / pipelined_throughput(&m, &cfg).unwrap();
+            let ideal = claire_ppa::tech28::CLOCK_HZ / pipelined_throughput(&m, &cfg).unwrap();
             let serial = simulate(&m, &cfg, Mode::Strict).unwrap().cycles as f64;
             assert!(
                 interval >= ideal * 0.999,

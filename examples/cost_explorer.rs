@@ -12,7 +12,10 @@ fn main() {
     let total_area = 120.0; // mm^2 of accelerator silicon
 
     println!("fixed {} mm^2 of silicon, split N ways:", total_area);
-    println!("{:>3} {:>12} {:>12} {:>14} {:>16}", "N", "NRE (M$)", "unit ($)", "yield/die", "breakeven units");
+    println!(
+        "{:>3} {:>12} {:>12} {:>14} {:>16}",
+        "N", "NRE (M$)", "unit ($)", "yield/die", "breakeven units"
+    );
     for n in [1_usize, 2, 3, 4, 6, 8, 12] {
         let areas = vec![total_area / n as f64; n];
         let nre_m = nre.system_nre(&areas);
@@ -22,7 +25,10 @@ fn main() {
         let mono_nre = nre.system_nre(&[total_area]);
         let mono_unit = re.system_unit_cost(&[total_area]);
         let breakeven = if unit < mono_unit {
-            format!("{:.0}", (nre_m - mono_nre).max(0.0) * 1e6 / (mono_unit - unit))
+            format!(
+                "{:.0}",
+                (nre_m - mono_nre).max(0.0) * 1e6 / (mono_unit - unit)
+            )
         } else {
             "-".to_owned()
         };

@@ -20,11 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = ChipletLibrary::from_training("claire-2025", &train, NreModel::tsmc28());
     let path = std::env::temp_dir().join("claire-library.json");
     lib.save(&path)?;
-    println!("shipped {} ({} configurations) to {}", lib.name, lib.entries.len(), path.display());
+    println!(
+        "shipped {} ({} configurations) to {}",
+        lib.name,
+        lib.entries.len(),
+        path.display()
+    );
 
     // --- Customer side: load and deploy, never re-running DSE.
     let lib = ChipletLibrary::load(&path)?;
-    for model in [zoo::bert_base(), zoo::detr(), zoo::wav2vec2_base(), zoo::t5_small()] {
+    for model in [
+        zoo::bert_base(),
+        zoo::detr(),
+        zoo::wav2vec2_base(),
+        zoo::t5_small(),
+    ] {
         match lib.deploy(&model, WeightScale::Log) {
             Ok(d) => println!(
                 "{:16} -> {} | coverage {:.0}% | util {:.2} | {:.3} ms | avoided NRE {}",

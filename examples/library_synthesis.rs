@@ -19,15 +19,20 @@ fn main() -> Result<(), claire::core::ClaireError> {
     let out = claire.train(&training)?;
 
     println!("=== training phase ===");
-    println!("generic configuration C_g: {} chiplets, {:.1} mm^2 total",
-        out.generic.chiplet_count(), out.generic.area_mm2());
+    println!(
+        "generic configuration C_g: {} chiplets, {:.1} mm^2 total",
+        out.generic.chiplet_count(),
+        out.generic.area_mm2()
+    );
     for lib in &out.libraries {
         println!("{} <- {:?}", lib.config.name, lib.member_names);
-        println!("   {} chiplet(s), NRE {:.3} vs cumulative custom {:.3} ({:.2}x cheaper)",
+        println!(
+            "   {} chiplet(s), NRE {:.3} vs cumulative custom {:.3} ({:.2}x cheaper)",
             lib.config.chiplet_count(),
             lib.nre_normalized,
             lib.cumulative_custom_nre,
-            lib.cumulative_custom_nre / lib.nre_normalized);
+            lib.cumulative_custom_nre / lib.nre_normalized
+        );
     }
 
     println!();
@@ -35,16 +40,28 @@ fn main() -> Result<(), claire::core::ClaireError> {
     let tests = zoo::test_set();
     let t = claire.evaluate_test(&out, &tests)?;
     for r in &t.reports {
-        let lib = r.assigned_library
+        let lib = r
+            .assigned_library
             .map(|k| out.libraries[k].config.name.clone())
             .unwrap_or_else(|| "(none)".into());
-        println!("{:12} -> {}  coverage {:.0}%  utilization {:.3} (vs {:.3} on C_g)",
-            r.model_name, lib, r.coverage * 100.0,
-            r.utilization_library, r.utilization_generic);
+        println!(
+            "{:12} -> {}  coverage {:.0}%  utilization {:.3} (vs {:.3} on C_g)",
+            r.model_name,
+            lib,
+            r.coverage * 100.0,
+            r.utilization_library,
+            r.utilization_generic
+        );
     }
     for (k, names, cstm, nre) in &t.nre_rows {
-        println!("NRE on {}: custom {:.3} vs library {:.3} -> {:.2}x saved for {:?}",
-            out.libraries[*k].config.name, cstm, nre, cstm / nre, names);
+        println!(
+            "NRE on {}: custom {:.3} vs library {:.3} -> {:.2}x saved for {:?}",
+            out.libraries[*k].config.name,
+            cstm,
+            nre,
+            cstm / nre,
+            names
+        );
     }
     Ok(())
 }

@@ -30,25 +30,33 @@ EdgeNet(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ParseOptions {
-        input: InputShape::Image { channels: 3, height: 96, width: 96 },
+        input: InputShape::Image {
+            channels: 3,
+            height: 96,
+            width: 96,
+        },
         class: ModelClass::Cnn,
     };
     let model = parse_model("EdgeNet", DUMP, opts)?;
-    println!("parsed {} layers; {:.1} MMACs, {} params",
+    println!(
+        "parsed {} layers; {:.1} MMACs, {} params",
         model.layer_count(),
         model.macs() as f64 / 1e6,
-        model.param_count());
+        model.param_count()
+    );
     for l in model.layers() {
         println!("  {:24} -> {}", l.name, l.op_class());
     }
 
     let claire = Claire::new(ClaireOptions::default());
     let custom = claire.custom_for(&model)?;
-    println!("custom accelerator: {} | {} chiplet(s) | {:.1} mm^2 | {:.3} ms | {:.3} mJ",
+    println!(
+        "custom accelerator: {} | {} chiplet(s) | {:.1} mm^2 | {:.3} ms | {:.3} mJ",
         custom.config.hw,
         custom.config.chiplet_count(),
         custom.report.area_mm2,
         custom.report.latency_s * 1e3,
-        custom.report.energy_j * 1e3);
+        custom.report.energy_j * 1e3
+    );
     Ok(())
 }

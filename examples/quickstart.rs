@@ -15,10 +15,12 @@ fn main() -> Result<(), claire::core::ClaireError> {
     // Pick a workload from the built-in zoo (or parse your own
     // `print(model)` dump - see the parse_printout example).
     let model = zoo::resnet50();
-    println!("workload: {} ({} layers, {:.1} GMACs)",
+    println!(
+        "workload: {} ({} layers, {:.1} GMACs)",
         model.name(),
         model.layer_count(),
-        model.macs() as f64 / 1e9);
+        model.macs() as f64 / 1e9
+    );
 
     // Sweep the 81-configuration design space, apply the constraints,
     // and cluster the winner into chiplets.
@@ -28,13 +30,24 @@ fn main() -> Result<(), claire::core::ClaireError> {
     println!("chiplets:");
     for c in &custom.config.chiplets {
         let groups: Vec<String> = c.classes.iter().map(|g| g.label()).collect();
-        println!("  {} ({:.1} mm^2): {}", c.name, c.area_mm2, groups.join(", "));
+        println!(
+            "  {} ({:.1} mm^2): {}",
+            c.name,
+            c.area_mm2,
+            groups.join(", ")
+        );
     }
     println!("PPA:");
     println!("  latency       {:.3} ms", custom.report.latency_s * 1e3);
     println!("  energy        {:.3} mJ", custom.report.energy_j * 1e3);
     println!("  area          {:.1} mm^2", custom.report.area_mm2);
-    println!("  power density {:.3} W/mm^2", custom.report.power_density_w_per_mm2());
-    println!("  NoP energy    {:.1} uJ (inter-chiplet)", custom.report.nop_energy_j * 1e6);
+    println!(
+        "  power density {:.3} W/mm^2",
+        custom.report.power_density_w_per_mm2()
+    );
+    println!(
+        "  NoP energy    {:.1} uJ (inter-chiplet)",
+        custom.report.nop_energy_j * 1e6
+    );
     Ok(())
 }

@@ -18,7 +18,12 @@ fn main() -> Result<(), claire::core::ClaireError> {
 
     // A vision-serving pod deployed on the CNN library C_1.
     let c1 = &out.libraries[0].config;
-    println!("serving on {} ({} chiplets, {:.1} mm^2):", c1.name, c1.chiplet_count(), c1.area_mm2());
+    println!(
+        "serving on {} ({} chiplets, {:.1} mm^2):",
+        c1.name,
+        c1.chiplet_count(),
+        c1.area_mm2()
+    );
     for m in [zoo::resnet50(), zoo::mobilenet_v2(), zoo::alexnet()] {
         let strict = simulate(&m, c1, Mode::Strict)?;
         let overlapped = simulate(&m, c1, Mode::Overlapped)?;

@@ -16,11 +16,17 @@ fn main() -> Result<(), claire::core::ClaireError> {
         let overlapped = simulate(&model, &custom.config, Mode::Overlapped)?;
         println!("{}:", model.name());
         println!("  analytical          {:.4} ms", analytical * 1e3);
-        println!("  simulated (strict)  {:.4} ms  ({} tiles, {} transfers)",
-            strict.latency_s() * 1e3, strict.tiles_executed, strict.transfers);
-        println!("  simulated (overlap) {:.4} ms  ({:.1}% saved)",
+        println!(
+            "  simulated (strict)  {:.4} ms  ({} tiles, {} transfers)",
+            strict.latency_s() * 1e3,
+            strict.tiles_executed,
+            strict.transfers
+        );
+        println!(
+            "  simulated (overlap) {:.4} ms  ({:.1}% saved)",
             overlapped.latency_s() * 1e3,
-            100.0 * (1.0 - overlapped.cycles as f64 / strict.cycles as f64));
+            100.0 * (1.0 - overlapped.cycles as f64 / strict.cycles as f64)
+        );
     }
     Ok(())
 }

@@ -36,7 +36,10 @@ fn extended_set_exercises_every_library() {
             .unwrap_or_else(|| panic!("{n} missing"))
     };
     let lib_name = |r: &claire::core::TestReport| {
-        train.libraries[r.assigned_library.expect("assigned")].config.name.clone()
+        train.libraries[r.assigned_library.expect("assigned")]
+            .config
+            .name
+            .clone()
     };
 
     // Conv1d-bearing algorithms land on the Conv1d libraries.
@@ -71,10 +74,11 @@ fn extended_models_covered_by_generic() {
     // even the extended set - including the SiLU CNN.
     let claire = Claire::new(ClaireOptions::default());
     let train = claire.train(&zoo::training_set()).expect("train");
-    for m in zoo::extended_test_set()
-        .into_iter()
-        .chain([zoo::unet(), zoo::t5_small(), zoo::clip_vit_b32()])
-    {
+    for m in zoo::extended_test_set().into_iter().chain([
+        zoo::unet(),
+        zoo::t5_small(),
+        zoo::clip_vit_b32(),
+    ]) {
         assert!(train.generic.covers(&m), "{} not covered by C_g", m.name());
     }
 }

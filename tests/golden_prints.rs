@@ -1,7 +1,10 @@
 //! Golden-asset tests: real torchvision `print(model)` dumps (checked
 //! into `assets/`) parse into models whose inventories and parameter
 //! counts agree with the published architectures — the end-to-end
-//! ingestion path the paper describes, against genuine input text.
+//! ingestion path the paper describes, against genuine input text —
+//! plus golden stdout fixtures pinning all six paper tables
+//! (`tests/golden/table{1..6}.txt`). Regenerate the fixtures with
+//! `GOLDEN_BLESS=1 cargo test --test golden_prints`.
 
 use claire::core::{Claire, ClaireOptions};
 use claire::model::parse::{parse_model, ParseOptions};
@@ -14,7 +17,12 @@ fn asset(name: &str) -> String {
 
 #[test]
 fn torchvision_alexnet_dump_parses_exactly() {
-    let m = parse_model("Alexnet", &asset("alexnet_print.txt"), ParseOptions::default()).unwrap();
+    let m = parse_model(
+        "Alexnet",
+        &asset("alexnet_print.txt"),
+        ParseOptions::default(),
+    )
+    .unwrap();
     // 5 convs + 7 ReLU + 3 maxpool + 1 adaptive pool + 3 linear.
     let c = m.op_class_counts();
     assert_eq!(c[&OpClass::Conv2d], 5);
@@ -34,7 +42,12 @@ fn torchvision_alexnet_dump_parses_exactly() {
 
 #[test]
 fn torchvision_resnet18_dump_parses_with_nested_blocks() {
-    let m = parse_model("Resnet18", &asset("resnet18_print.txt"), ParseOptions::default()).unwrap();
+    let m = parse_model(
+        "Resnet18",
+        &asset("resnet18_print.txt"),
+        ParseOptions::default(),
+    )
+    .unwrap();
     let c = m.op_class_counts();
     // 20 convs (stem + 16 block convs + 3 downsample 1x1s).
     assert_eq!(c[&OpClass::Conv2d], 20);
@@ -80,11 +93,42 @@ fn torchvision_mobilenetv2_head_parses_depthwise_groups() {
     }
 }
 
+/// Tables I–VI, rendered exactly as the `table1`..`table6` bench
+/// binaries print them, must match the checked-in fixtures byte for
+/// byte. Any change to the flow's numbers, orderings or formatting
+/// shows up here as a diff against `tests/golden/`.
+#[test]
+fn tables_one_through_six_match_golden_fixtures() {
+    let run = claire_bench::run_paper_flow();
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    let mut diffs = Vec::new();
+    for (name, rendered) in claire_bench::tables::all_rendered(&run) {
+        let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+        if bless {
+            std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("{path}: {e}"));
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (run with GOLDEN_BLESS=1 to create)"));
+        if rendered != expected {
+            diffs.push(format!(
+                "{name} diverged from {path}:\n--- expected ---\n{expected}\n--- got ---\n{rendered}"
+            ));
+        }
+    }
+    assert!(diffs.is_empty(), "{}", diffs.join("\n\n"));
+}
+
 #[test]
 fn parsed_dump_drives_the_full_dse_flow() {
     // The paper's pipeline end to end from real text: parse -> DSE ->
     // chiplets.
-    let m = parse_model("Alexnet", &asset("alexnet_print.txt"), ParseOptions::default()).unwrap();
+    let m = parse_model(
+        "Alexnet",
+        &asset("alexnet_print.txt"),
+        ParseOptions::default(),
+    )
+    .unwrap();
     let claire = Claire::new(ClaireOptions::default());
     let custom = claire.custom_for(&m).expect("feasible");
     assert!(custom.config.covers(&m));

@@ -1,0 +1,154 @@
+//! Equivalence suite for the parallel, memoized evaluation engine:
+//! every thread count and every cache setting must produce results
+//! **bit-identical** to the serial, uncached reference. Comparisons
+//! go through `format!("{:?}")`, which prints `f64` exactly (Rust's
+//! float Debug output round-trips), so two equal strings mean two
+//! bit-equal result sets — down to NaN-free float payloads, orderings
+//! and tie-breaks.
+
+use claire::core::dse::{
+    custom_config, custom_config_with_engine, sweep, sweep_with_engine, DseObjective,
+};
+use claire::core::{Claire, ClaireOptions, Constraints, Engine};
+use claire::model::zoo;
+use claire::ppa::DseSpace;
+
+/// Thread counts the suite sweeps: the serial edge case, a small
+/// pool, and more workers than this container has cores.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn dse_sweep_is_bit_identical_at_any_thread_count() {
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    for model in [zoo::resnet18(), zoo::bert_base(), zoo::peanut_rcnn()] {
+        let reference = format!("{:?}", sweep(&model, &space, &cons));
+        for threads in THREAD_COUNTS {
+            let engine = Engine::new(threads);
+            let got = format!("{:?}", sweep_with_engine(&model, &space, &cons, &engine));
+            assert_eq!(
+                got,
+                reference,
+                "{} sweep diverged at {threads} thread(s)",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dse_sweep_cache_on_equals_cache_off() {
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    let model = zoo::vgg16();
+    let off = format!(
+        "{:?}",
+        sweep_with_engine(&model, &space, &cons, &Engine::new(4).with_cache(false))
+    );
+    let on = format!(
+        "{:?}",
+        sweep_with_engine(&model, &space, &cons, &Engine::new(4).with_cache(true))
+    );
+    assert_eq!(on, off, "memo cache changed sweep results");
+}
+
+#[test]
+fn custom_config_selection_is_thread_count_independent() {
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    let model = zoo::swin_t();
+    let reference = format!("{:?}", custom_config(&model, &space, &cons).unwrap());
+    for threads in THREAD_COUNTS {
+        for cache in [false, true] {
+            let engine = Engine::new(threads).with_cache(cache);
+            let got = format!(
+                "{:?}",
+                custom_config_with_engine(&model, &space, &cons, DseObjective::MinArea, &engine)
+                    .unwrap()
+            );
+            assert_eq!(
+                got, reference,
+                "selection diverged at {threads} thread(s), cache {cache}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_training_flow_is_bit_identical_across_engines() {
+    let claire = Claire::new(ClaireOptions::default());
+    let models = [
+        zoo::resnet18(),
+        zoo::alexnet(),
+        zoo::bert_base(),
+        zoo::vgg16(),
+    ];
+    let reference = format!(
+        "{:?}",
+        claire
+            .train_with_engine(&models, &Engine::serial().with_cache(false))
+            .unwrap()
+    );
+    for threads in THREAD_COUNTS {
+        for cache in [false, true] {
+            let engine = Engine::new(threads).with_cache(cache);
+            let got = format!("{:?}", claire.train_with_engine(&models, &engine).unwrap());
+            assert_eq!(
+                got, reference,
+                "training flow diverged at {threads} thread(s), cache {cache}"
+            );
+        }
+    }
+}
+
+#[test]
+fn test_phase_is_bit_identical_across_engines() {
+    let claire = Claire::new(ClaireOptions::default());
+    let training = [
+        zoo::resnet18(),
+        zoo::alexnet(),
+        zoo::bert_base(),
+        zoo::vgg16(),
+    ];
+    let tests = [zoo::resnet50(), zoo::vit_base()];
+    let serial = Engine::serial().with_cache(false);
+    let train = claire.train_with_engine(&training, &serial).unwrap();
+    let reference = format!(
+        "{:?}",
+        claire
+            .evaluate_test_with_engine(&train, &tests, &serial)
+            .unwrap()
+    );
+    for threads in THREAD_COUNTS {
+        let engine = Engine::new(threads);
+        let got = format!(
+            "{:?}",
+            claire
+                .evaluate_test_with_engine(&train, &tests, &engine)
+                .unwrap()
+        );
+        assert_eq!(got, reference, "test phase diverged at {threads} thread(s)");
+    }
+}
+
+#[test]
+fn engine_counters_see_traffic_during_a_sweep() {
+    let engine = Engine::new(2);
+    let model = zoo::resnet18();
+    sweep_with_engine(
+        &model,
+        &DseSpace::default(),
+        &Constraints::default(),
+        &engine,
+    );
+    let stats = engine.stats();
+    assert!(
+        stats.sum_misses > 0,
+        "compute-sum cache untouched by a sweep: {stats:?}"
+    );
+    assert!(
+        stats.route_hits + stats.route_misses > 0,
+        "route cache untouched by a sweep: {stats:?}"
+    );
+    assert!(stats.overall_hit_rate() > 0.0, "no memo hits: {stats:?}");
+}

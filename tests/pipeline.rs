@@ -17,7 +17,9 @@ fn paper_run() -> &'static (TrainOutput, TestOutput) {
             ..ClaireOptions::default()
         });
         let train = claire.train(&zoo::training_set()).expect("train");
-        let test = claire.evaluate_test(&train, &zoo::test_set()).expect("test");
+        let test = claire
+            .evaluate_test(&train, &zoo::test_set())
+            .expect("test");
         (train, test)
     })
 }
@@ -184,7 +186,8 @@ fn every_configuration_validates() {
         .chain(train.libraries.iter().map(|l| &l.config))
         .chain(std::iter::once(&train.generic))
     {
-        cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
     }
 }
 

@@ -5,7 +5,9 @@
 
 use claire::core::{metrics, Claire, ClaireOptions, Constraints, DesignConfig};
 use claire::cost::{NreModel, RecurringModel};
-use claire::graph::{louvain, modularity, weighted_jaccard, Partition, WeightedGraph};
+use claire::graph::{
+    louvain, louvain_passes, modularity, weighted_jaccard, Partition, WeightedGraph,
+};
 use claire::model::parse::{parse_model, to_torch_print, InputShape, ParseOptions};
 use claire::model::{
     Activation, ActivationKind, Conv2d, LayerKind, Linear, Model, ModelBuilder, ModelClass,
@@ -43,11 +45,7 @@ enum Step {
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {
     let step = prop_oneof![
-        (1u8..32, 1u8..5, 1u8..3).prop_map(|(out_ch, k, stride)| Step::Conv {
-            out_ch,
-            k,
-            stride
-        }),
+        (1u8..32, 1u8..5, 1u8..3).prop_map(|(out_ch, k, stride)| Step::Conv { out_ch, k, stride }),
         (0u8..5).prop_map(Step::Act),
         (0u8..3).prop_map(Step::Pool),
         (1u16..512).prop_map(|out| Step::Linear { out }),
@@ -186,6 +184,38 @@ proptest! {
         let q_louvain = modularity(&g, &p, 1.0);
         let q_single = modularity(&g, &singles, 1.0);
         prop_assert!(q_louvain >= q_single - 1e-9, "{q_louvain} < {q_single}");
+    }
+
+    /// Louvain carries no hidden state: the same graph (however its
+    /// edges were inserted) and the same resolution always produce the
+    /// identical community assignment, run after run.
+    #[test]
+    fn louvain_is_deterministic_across_runs(g in small_graph(), res in 0.25f64..4.0) {
+        let first = louvain(&g, res);
+        for _ in 0..3 {
+            prop_assert_eq!(&louvain(&g, res), &first);
+        }
+        // Rebuilding the graph from its own parts (fresh insertion
+        // order) changes nothing either.
+        let rebuilt = WeightedGraph::from_parts(
+            g.nodes().map(|(n, w)| (*n, w)).collect::<Vec<_>>(),
+            g.undirected_edges().into_iter().rev().map(|((a, b), w)| (a, b, w)).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(&louvain(&rebuilt, res), &first);
+    }
+
+    /// Each Louvain pass only applies positive-gain local moves, so
+    /// partition quality (modularity) never decreases from one pass to
+    /// the next — from the initial singletons to the final partition.
+    #[test]
+    fn louvain_modularity_non_decreasing_across_passes(g in small_graph(), res in 0.25f64..4.0) {
+        let passes = louvain_passes(&g, res);
+        prop_assert!(!passes.is_empty());
+        prop_assert_eq!(passes.last().unwrap(), &louvain(&g, res));
+        let qs: Vec<f64> = passes.iter().map(|p| modularity(&g, p, res)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9, "modularity dropped across a pass: {qs:?}");
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ fn headline_numbers_snapshot() {
         ..ClaireOptions::default()
     });
     let train = claire.train(&zoo::training_set()).expect("train");
-    let test = claire.evaluate_test(&train, &zoo::test_set()).expect("test");
+    let test = claire
+        .evaluate_test(&train, &zoo::test_set())
+        .expect("test");
 
     // Library NRE (normalised to C_g). Paper: 0.5 / 0.25.
     close(train.libraries[0].nre_normalized, 0.499, 0.01, "NRE C_1");
@@ -61,10 +63,30 @@ fn headline_numbers_snapshot() {
             .find(|r| r.model_name == n)
             .unwrap_or_else(|| panic!("{n} missing"))
     };
-    close(by_name("Alexnet").utilization_library, 0.500, 1e-9, "U Alexnet");
-    close(by_name("Alexnet").utilization_generic, 1.0 / 3.0, 1e-9, "U_g Alexnet");
-    close(by_name("BERT-base").utilization_generic, 0.200, 1e-9, "U_g BERT");
-    close(by_name("Graphormer").utilization_generic, 2.0 / 15.0, 1e-9, "U_g Graphormer");
+    close(
+        by_name("Alexnet").utilization_library,
+        0.500,
+        1e-9,
+        "U Alexnet",
+    );
+    close(
+        by_name("Alexnet").utilization_generic,
+        1.0 / 3.0,
+        1e-9,
+        "U_g Alexnet",
+    );
+    close(
+        by_name("BERT-base").utilization_generic,
+        0.200,
+        1e-9,
+        "U_g BERT",
+    );
+    close(
+        by_name("Graphormer").utilization_generic,
+        2.0 / 15.0,
+        1e-9,
+        "U_g Graphormer",
+    );
 
     // Test NRE rows: C_4 (BERT + Graphormer) benefit ≈ 2.01x.
     let c4 = test

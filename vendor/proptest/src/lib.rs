@@ -1,0 +1,621 @@
+//! Offline vendored mini proptest: the strategy combinators and the
+//! `proptest!` runner surface this workspace uses. Cases are generated
+//! from a deterministic RNG seeded per (test name, case index), so
+//! failures reproduce exactly on re-run; there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    use rand::{RngCore, SeedableRng, StdRng};
+
+    /// Deterministic per-case random source handed to strategies.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The generated inputs violated a `prop_assume!`; try again.
+        Reject(String),
+        /// The property itself failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Drives one property: `config.cases` cases, each from a seed
+    /// derived from the test name, case index, and reject-retry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails, or when too many inputs are rejected.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        let mut rejects_total: u32 = 0;
+        for index in 0..config.cases {
+            let mut attempt: u64 = 0;
+            loop {
+                let seed = base ^ (u64::from(index) << 20) ^ attempt.rotate_left(44);
+                let mut rng = TestRng::from_seed(seed);
+                match case(&mut rng) {
+                    Ok(()) => break,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejects_total += 1;
+                        attempt += 1;
+                        assert!(
+                            rejects_total < 65_536,
+                            "proptest `{name}`: too many prop_assume! rejections"
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest `{name}` failed at case {index} (seed {seed:#x}): {msg}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A deterministic value generator; the `Value` associated type is
+    /// what each case receives.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe shim so differently-typed strategies can share a
+    /// `BoxedStrategy` (what `prop_oneof!` builds on).
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies of the same value
+    /// type; backs `prop_oneof!`.
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    // --- string patterns --------------------------------------------------
+
+    /// One repeated atom of the tiny regex dialect we support:
+    /// `\PC` (any non-control char), `[...]` classes with ranges, and
+    /// literal characters, each optionally followed by `{m,n}`/`{n}`.
+    struct Atom {
+        chars: CharSource,
+        min: usize,
+        max: usize,
+    }
+
+    enum CharSource {
+        Printable,
+        Set(Vec<char>),
+    }
+
+    /// Sampled occasionally by `\PC` so generated text is not pure
+    /// ASCII; all are printable non-control scalars.
+    const NON_ASCII_SAMPLES: &[char] = &[
+        '\u{e9}',
+        '\u{3bb}',
+        '\u{4e2d}',
+        '\u{1F600}',
+        '\u{a0}',
+        '\u{201c}',
+        '\u{2192}',
+    ];
+
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let source = match chars[i] {
+                '\\' => {
+                    assert!(
+                        chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                        "unsupported escape in strategy pattern `{pattern}`"
+                    );
+                    i += 3;
+                    CharSource::Printable
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unclosed `[` in strategy pattern")
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            assert!(lo <= hi, "bad range in strategy pattern");
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty `[]` in strategy pattern");
+                    i = close + 1;
+                    CharSource::Set(set)
+                }
+                c => {
+                    i += 1;
+                    CharSource::Set(vec![c])
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed `{` in strategy pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition bound"),
+                        hi.parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad repetition bound");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repetition `{{{min},{max}}}`");
+            atoms.push(Atom {
+                chars: source,
+                min,
+                max,
+            });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in parse_pattern(self) {
+                let count = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..count {
+                    match &atom.chars {
+                        CharSource::Printable => {
+                            if rng.gen_bool(0.9) {
+                                out.push(char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap());
+                            } else {
+                                let idx = rng.gen_range(0..NON_ASCII_SAMPLES.len());
+                                out.push(NON_ASCII_SAMPLES[idx]);
+                            }
+                        }
+                        CharSource::Set(set) => {
+                            out.push(set[rng.gen_range(0..set.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys collapse, so maps can come up short of the
+            // drawn size — same as upstream.
+            let n = rng.gen_range(self.size.clone());
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                &__config,
+                |__rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError>
+                {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case (without panicking the generator loop's
+/// bookkeeping) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} [{}]", format!($($fmt)+), stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (left: `{:?}`, right: `{:?}`)",
+                format!($($fmt)+),
+                __l,
+                __r,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing fresh inputs) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = (0u8..10, 0.5f64..2.0, 1u16..300);
+        for _ in 0..500 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 10);
+            assert!((0.5..2.0).contains(&b));
+            assert!((1..300).contains(&c));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_and_maps_dedup() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u8..5, 1..40).generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            let m = crate::collection::btree_map(0u8..12, 0.0f64..1e9, 0..10).generate(&mut rng);
+            assert!(m.len() < 10);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_classes() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            let s = "\\PC{0,400}".generate(&mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            let t = "[a-zA-Z0-9 _.,:;#]{0,60}".generate(&mut rng);
+            assert!(t.len() <= 60);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.,:;#".contains(c)));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = prop_oneof![
+            (0u8..1).prop_map(|_| "a"),
+            Just("b"),
+            (0u8..1).prop_map(|_| "c"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec((0u8..10, 0.0f64..1e3), 0..20);
+        let a = strat.generate(&mut TestRng::from_seed(9));
+        let b = strat.generate(&mut TestRng::from_seed(9));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The runner itself: args arrive in range, assume rejects odd
+        /// values without failing, asserts pass.
+        #[test]
+        fn runner_smoke(x in 0u32..100, label in "[ab]{1,3}") {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x < 100, "{x}");
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(!label.is_empty() && label.len() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run_cases("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,510 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored mini-serde (no syn/quote — the build environment has
+//! no network access, so this parses the derive input token stream
+//! directly and emits source text).
+//!
+//! Supported shapes — everything the CLAIRE workspace derives:
+//!
+//! * structs with named fields (including generic parameters with
+//!   inline bounds)
+//! * tuple structs (newtype transparent, larger arities as arrays)
+//! * enums with unit, tuple and struct variants (externally tagged)
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; optional
+//! (`Option<T>`) fields already default to `None` when absent, which
+//! covers the workspace's only uses (`#[serde(default)]`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Generic parameter declarations, e.g. `N: Ord + Clone`.
+    params: Vec<(String, String)>,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// --- token-stream parsing -------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+
+    let params = parse_generics(&tokens, &mut i);
+
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+
+    Input { name, params, body }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + `[...]`
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A: Bound1 + Bound2, B>` into `[(name, bounds)]`; leaves
+/// `i` past the closing `>`. Lifetimes and const params are not
+/// supported (nothing in the workspace derives with them).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, String)> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                inner.push(tokens[*i].clone());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    inner.push(tokens[*i].clone());
+                }
+            }
+            Some(t) => inner.push(t.clone()),
+            None => panic!("unterminated generics"),
+        }
+        *i += 1;
+    }
+
+    // Split `inner` on top-level commas.
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    for t in inner.into_iter().chain(None) {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !current.is_empty() {
+                    params.push(split_param(&current));
+                    current.clear();
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        params.push(split_param(&current));
+    }
+    params
+}
+
+fn split_param(tokens: &[TokenTree]) -> (String, String) {
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("unsupported generic parameter: {other:?}"),
+    };
+    let bounds = if tokens.len() > 2 {
+        tokens[2..]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    } else {
+        String::new()
+    };
+    (name, bounds)
+}
+
+/// Field names of a named-field body (struct or enum-struct variant).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        // Expect `:`, then the type until a top-level `,`.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Number of fields in a tuple body `(A, B, C)`.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut fields = 1;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_field_names(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation ------------------------------------------------------
+
+fn impl_header(item: &Input, trait_name: &str) -> String {
+    if item.params.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let decls: Vec<String> = item
+            .params
+            .iter()
+            .map(|(name, bounds)| {
+                if bounds.is_empty() {
+                    format!("{name}: ::serde::{trait_name}")
+                } else {
+                    format!("{name}: {bounds} + ::serde::{trait_name}")
+                }
+            })
+            .collect();
+        let args: Vec<String> = item.params.iter().map(|(n, _)| n.clone()).collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            decls.join(", "),
+            item.name,
+            args.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pushes.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn field_from_obj(container: &str, field: &str) -> String {
+    format!(
+        "match ::serde::__field(__obj, \"{field}\") {{ \
+             ::core::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?, \
+             ::core::option::Option::None => match ::serde::Deserialize::missing() {{ \
+                 ::core::option::Option::Some(__d) => __d, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::Error::missing_field(\"{field}\", \"{container}\")), \
+             }}, \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", field_from_obj(name, f)))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\", __v))?; \
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\", __v))?; \
+                 if __arr.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::msg(\
+                     format!(\"expected a {n}-element array for {name}, got {{}}\", __arr.len()))); }} \
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                     let __arr = __inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\", __inner))?; \
+                                     if __arr.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::msg(\
+                                         format!(\"expected a {n}-element array for {name}::{vname}, got {{}}\", __arr.len()))); }} \
+                                     ::core::result::Result::Ok({name}::{vname}({})) \
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: {}", field_from_obj(name, f)))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                     let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\", __inner))?; \
+                                     ::core::result::Result::Ok({name}::{vname} {{ {} }}) \
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                     ::serde::Value::String(__s) => match __s.as_str() {{ \
+                         {} \
+                         __other => ::core::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")), \
+                     }}, \
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                         let (__tag, __inner) = &__fields[0]; \
+                         match __tag.as_str() {{ \
+                             {} \
+                             __other => ::core::result::Result::Err(::serde::Error::unknown_variant(__other, \"{name}\")), \
+                         }} \
+                     }}, \
+                     __other => ::core::result::Result::Err(::serde::Error::expected(\"string or single-key object\", \"{name}\", __other)), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
