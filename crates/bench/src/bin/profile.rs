@@ -3,15 +3,27 @@
 //! activation traffic, arithmetic intensity, layer inventory and the
 //! dominant layer connection — plus an evaluation-engine profile
 //! comparing the serial, uncached reference against the parallel,
-//! memoized engine on the full 19-model train + test flow.
+//! memoized engine on the full 19-model train + test flow, and a
+//! clustering + partitioning stage profile comparing the map-based
+//! kernels against the CSR kernels with the memoized Louvain tier.
+//!
+//! Besides the human-readable tables, the run writes
+//! `BENCH_profile.json` (per-stage wall times, memo-tier hit rates,
+//! thread count, stage speedups) for machine consumption — CI uploads
+//! it as an artifact.
 
 use claire_bench::{paper_options, render_table, run_flow_with_engine};
+use claire_core::assign::{partition_training_merged, scaled_vector, WeightScale};
 use claire_core::evaluate::EvalOptions;
-use claire_core::{DesignConfig, Engine};
+use claire_core::graphs::universal_graph;
+use claire_core::{Claire, DesignConfig, Engine, EngineStats};
+use claire_graph::{agglomerate_by, louvain_reference, weighted_jaccard};
 use claire_model::zoo;
-use claire_ppa::MemoryModel;
-use std::collections::BTreeSet;
-use std::time::Instant;
+use claire_ppa::{HwParams, MemoryModel};
+use serde::{Number, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut models = zoo::training_set();
@@ -113,4 +125,204 @@ fn main() {
     );
     println!("swept in {:>9.3} ms", streaming_time.as_secs_f64() * 1e3);
     print!("{}", streaming.stats());
+
+    // Clustering + partitioning stage: the baseline replays the stage
+    // as the pre-CSR flow ran it — every universal graph the 19-model
+    // flow clusters (each algorithm's custom graph, the generic graph,
+    // each library subset's graph) rebuilt with raw per-layer costing,
+    // clustered by `louvain_reference` over sorted-map adjacency, plus
+    // pairwise-closure Jaccard agglomeration with per-subset raw
+    // re-summation. The optimized path is the shipping one: universal
+    // graphs built once and memoized with their CSR interning in the
+    // engine's graph tier, the similarity matrix computed once with
+    // merged vectors maintained incrementally, and Louvain partitions
+    // served from the canonical-key memo tier. REPS models the flow
+    // re-clustering the same graphs (train + test custom
+    // configurations, escalation attempts, repeated table runs).
+    const REPS: usize = 10;
+    let hw = HwParams::new(32, 32, 16, 16);
+    let training = zoo::training_set();
+    let subsets = Claire::new(paper_options()).form_subsets(&training);
+    // One model set per graph the flow clusters: every algorithm's
+    // custom graph, the generic graph, each library subset's graph.
+    let mut targets: Vec<Vec<claire_model::Model>> =
+        models.iter().map(|m| vec![m.clone()]).collect();
+    targets.push(training.clone());
+    for s in &subsets {
+        targets.push(s.iter().map(|&i| training[i].clone()).collect());
+    }
+
+    let t3 = Instant::now();
+    for _ in 0..REPS {
+        let vectors: Vec<_> = training
+            .iter()
+            .map(|m| scaled_vector(m, WeightScale::Log))
+            .collect();
+        let clusters = agglomerate_by(training.len(), 0.6, |i, j| {
+            weighted_jaccard(&vectors[i], &vectors[j])
+        });
+        for c in &clusters {
+            let mut raw = BTreeMap::new();
+            for &i in c {
+                for (k, w) in training[i].op_class_weights() {
+                    *raw.entry(k).or_insert(0.0) += w;
+                }
+            }
+            black_box(raw);
+        }
+        for t in &targets {
+            let ug = universal_graph(t, &hw);
+            black_box(louvain_reference(&ug, 1.0));
+        }
+    }
+    let baseline = t3.elapsed();
+
+    let cluster_engine = Engine::for_space(&paper_options().space);
+    let t4 = Instant::now();
+    for _ in 0..REPS {
+        black_box(partition_training_merged(&training, 0.6, WeightScale::Log));
+        for t in &targets {
+            let ug = cluster_engine.universal_csr(t, &hw);
+            black_box(cluster_engine.louvain_partition(&ug.csr, 1.0));
+        }
+    }
+    let optimized = t4.elapsed();
+    let cluster_speedup = baseline.as_secs_f64() / optimized.as_secs_f64();
+    let cluster_stats = cluster_engine.stats();
+    println!();
+    println!(
+        "== Clustering + partitioning stage ({REPS} reps, {} graphs) ==",
+        targets.len()
+    );
+    println!(
+        "map-based baseline (louvain_reference + closure Jaccard): {:>9.3} ms",
+        baseline.as_secs_f64() * 1e3
+    );
+    println!(
+        "CSR kernels + memoized Louvain tier:                      {:>9.3} ms  ({cluster_speedup:.2}x speedup)",
+        optimized.as_secs_f64() * 1e3
+    );
+    print!("{cluster_stats}");
+
+    let flow_stats = parallel.stats();
+    let report = obj(vec![
+        (
+            "threads",
+            Value::Number(Number::PosInt(flow_stats.threads as u64)),
+        ),
+        (
+            "flow",
+            obj(vec![
+                ("serial_ms", ms(serial_time)),
+                ("parallel_ms", ms(parallel_time)),
+                (
+                    "speedup",
+                    num(serial_time.as_secs_f64() / parallel_time.as_secs_f64()),
+                ),
+            ]),
+        ),
+        (
+            "stages",
+            Value::Array(
+                flow_stats
+                    .stages
+                    .iter()
+                    .map(|(name, took)| {
+                        obj(vec![
+                            ("name", Value::String(name.clone())),
+                            ("ms", ms(*took)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("memo_tiers", tiers(&flow_stats)),
+        ("overall_hit_rate", num(flow_stats.overall_hit_rate())),
+        (
+            "clustering_partitioning",
+            obj(vec![
+                ("reps", Value::Number(Number::PosInt(REPS as u64))),
+                (
+                    "graphs",
+                    Value::Number(Number::PosInt(targets.len() as u64)),
+                ),
+                ("baseline_ms", ms(baseline)),
+                ("optimized_ms", ms(optimized)),
+                ("speedup", num(cluster_speedup)),
+                (
+                    "louvain_tier",
+                    tier(
+                        cluster_stats.louvain_hits,
+                        cluster_stats.louvain_misses,
+                        cluster_stats.louvain_entries,
+                    ),
+                ),
+                (
+                    "graph_tier",
+                    tier(
+                        cluster_stats.graph_hits,
+                        cluster_stats.graph_misses,
+                        cluster_stats.graph_entries,
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("profile json renders");
+    std::fs::write("BENCH_profile.json", format!("{json}\n")).expect("write BENCH_profile.json");
+    println!();
+    println!("wrote BENCH_profile.json");
+}
+
+/// A JSON object in field order.
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// A float JSON number.
+fn num(x: f64) -> Value {
+    Value::Number(Number::Float(x))
+}
+
+/// A duration in milliseconds.
+fn ms(d: Duration) -> Value {
+    num(d.as_secs_f64() * 1e3)
+}
+
+/// One memo tier's counters.
+fn tier(hits: u64, misses: u64, entries: usize) -> Value {
+    let total = hits + misses;
+    obj(vec![
+        ("hits", Value::Number(Number::PosInt(hits))),
+        ("misses", Value::Number(Number::PosInt(misses))),
+        ("entries", Value::Number(Number::PosInt(entries as u64))),
+        (
+            "hit_rate",
+            num(if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }),
+        ),
+    ])
+}
+
+/// All four memo tiers of an engine snapshot.
+fn tiers(s: &EngineStats) -> Value {
+    obj(vec![
+        (
+            "layer_cost",
+            tier(s.cache_hits, s.cache_misses, s.cache_entries),
+        ),
+        (
+            "route",
+            tier(s.route_hits, s.route_misses, s.route_topologies),
+        ),
+        ("compute_sum", tier(s.sum_hits, s.sum_misses, s.sum_entries)),
+        (
+            "louvain",
+            tier(s.louvain_hits, s.louvain_misses, s.louvain_entries),
+        ),
+        ("graph", tier(s.graph_hits, s.graph_misses, s.graph_entries)),
+    ])
 }

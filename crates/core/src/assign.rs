@@ -2,7 +2,9 @@
 //! configuration assignment, both driven by weighted Jaccard
 //! similarity over node-weight vectors.
 
-use claire_graph::{agglomerate_by, weighted_jaccard};
+use claire_graph::{
+    agglomerate_matrix, agglomerate_merge, weighted_jaccard, weighted_jaccard_matrix,
+};
 use claire_model::Model;
 use std::collections::BTreeMap;
 
@@ -28,7 +30,16 @@ pub enum WeightScale {
 
 /// The model's node-weight vector under a scale.
 pub fn scaled_vector(model: &Model, scale: WeightScale) -> BTreeMap<claire_model::OpClass, f64> {
-    let v = model.op_class_weights();
+    scale_weights(model.op_class_weights(), scale)
+}
+
+/// Applies a [`WeightScale`] to an already-extracted raw node-weight
+/// vector, so callers holding the raw weights don't walk the model's
+/// layers a second time.
+pub fn scale_weights(
+    v: BTreeMap<claire_model::OpClass, f64>,
+    scale: WeightScale,
+) -> BTreeMap<claire_model::OpClass, f64> {
     match scale {
         WeightScale::Raw => v,
         WeightScale::Log => v.into_iter().map(|(k, w)| (k, (1.0 + w).log10())).collect(),
@@ -51,8 +62,38 @@ pub fn scaled_vector(model: &Model, scale: WeightScale) -> BTreeMap<claire_model
 /// Table III.
 pub fn partition_training(models: &[Model], threshold: f64, scale: WeightScale) -> Vec<Vec<usize>> {
     let vectors: Vec<BTreeMap<_, _>> = models.iter().map(|m| scaled_vector(m, scale)).collect();
-    agglomerate_by(models.len(), threshold, |i, j| {
-        weighted_jaccard(&vectors[i], &vectors[j])
+    agglomerate_matrix(&weighted_jaccard_matrix(&vectors), threshold)
+}
+
+/// [`partition_training`] that additionally returns each subset's
+/// merged raw node-weight vector, maintained *incrementally* as
+/// clusters are united instead of being re-summed per subset
+/// afterwards. The pairwise similarity matrix is computed once over
+/// the interned scaled vectors; the payloads merged are the raw
+/// (unscaled) `op_class_weights` maps, since downstream assignment
+/// scales the subset sum as a whole.
+///
+/// Clusters are identical to [`partition_training`]. The merged sums
+/// accumulate in cluster-union order, which coincides with
+/// ascending-member order except on rare chain-shaped merge sequences
+/// (last-ulp differences at most).
+pub fn partition_training_merged(
+    models: &[Model],
+    threshold: f64,
+    scale: WeightScale,
+) -> Vec<(Vec<usize>, BTreeMap<claire_model::OpClass, f64>)> {
+    // One layer walk per model: the scaled similarity vectors are
+    // derived from the raw weights instead of re-extracted.
+    let raw: Vec<BTreeMap<_, f64>> = models.iter().map(|m| m.op_class_weights()).collect();
+    let vectors: Vec<BTreeMap<_, _>> = raw
+        .iter()
+        .map(|v| scale_weights(v.clone(), scale))
+        .collect();
+    let matrix = weighted_jaccard_matrix(&vectors);
+    agglomerate_merge(raw, &matrix, threshold, |into, from| {
+        for (k, w) in from {
+            *into.entry(k).or_insert(0.0) += w;
+        }
     })
 }
 
@@ -103,6 +144,25 @@ mod tests {
             let resnet_cluster = clusters.iter().find(|c| c.contains(&0)).unwrap();
             assert!(resnet_cluster.contains(&1), "{scale:?}");
             assert!(!resnet_cluster.contains(&2), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn merged_partition_matches_plain_and_sums_members() {
+        let models = [zoo::resnet18(), zoo::resnet50(), zoo::gpt2()];
+        for scale in [WeightScale::Raw, WeightScale::Log] {
+            let plain = partition_training(&models, 0.2, scale);
+            let merged = partition_training_merged(&models, 0.2, scale);
+            let clusters: Vec<Vec<usize>> = merged.iter().map(|(c, _)| c.clone()).collect();
+            assert_eq!(plain, clusters, "{scale:?}");
+            for (cluster, vector) in &merged {
+                let member_refs: Vec<&Model> = cluster.iter().map(|&i| &models[i]).collect();
+                let resummed = subset_vector(&member_refs);
+                assert_eq!(vector.len(), resummed.len());
+                for (k, w) in &resummed {
+                    assert!((vector[k] - w).abs() <= 1e-9 * w.abs().max(1.0), "{k}");
+                }
+            }
         }
     }
 

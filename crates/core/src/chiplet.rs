@@ -3,10 +3,12 @@
 
 use crate::config::{Chiplet, Constraints, DesignConfig};
 use crate::error::ClaireError;
-use claire_graph::{louvain, spectral_cluster};
+use crate::parallel::Engine;
+use claire_graph::{louvain_csr, spectral_cluster, CsrGraph, Partition, WeightedGraph};
 use claire_model::{Model, OpClass};
 use claire_ppa::unit_area_mm2;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Which community-detection algorithm partitions module groups into
 /// chiplets.
@@ -65,6 +67,33 @@ pub fn cluster_into_chiplets(
     )
 }
 
+/// [`cluster_into_chiplets`] with the universal graph built through
+/// the engine's memoized layer costs and each Louvain partition served
+/// from the engine's canonical-graph memo tier. The CSR kernel graph
+/// is interned **once**; the resolution-escalation loop re-clusters
+/// flat arrays instead of rebuilding maps. Bit-identical to
+/// [`cluster_into_chiplets`].
+///
+/// # Errors
+///
+/// Same as [`cluster_into_chiplets`].
+pub fn cluster_into_chiplets_with_engine(
+    config: &mut DesignConfig,
+    workloads: &[Model],
+    constraints: &Constraints,
+    resolution: f64,
+    engine: &Engine,
+) -> Result<(), ClaireError> {
+    precheck_group_areas(config, constraints)?;
+    let ug = engine.universal_csr(workloads, &config.hw);
+    let mut gamma = resolution;
+    cluster_attempts(config, constraints, &ug.graph, || {
+        let p = engine.louvain_partition(&ug.csr, gamma);
+        gamma *= 1.5;
+        p
+    })
+}
+
 /// [`cluster_into_chiplets`] under an explicit partitioning strategy.
 ///
 /// # Errors
@@ -76,7 +105,34 @@ pub fn cluster_with_strategy(
     constraints: &Constraints,
     strategy: ClusteringStrategy,
 ) -> Result<(), ClaireError> {
-    // A lone module group bigger than the limit can never fit.
+    precheck_group_areas(config, constraints)?;
+    let ug = crate::graphs::universal_graph(workloads, &config.hw);
+    match strategy {
+        ClusteringStrategy::Louvain { resolution } => {
+            let csr = CsrGraph::from_weighted(&ug);
+            let mut gamma = resolution;
+            cluster_attempts(config, constraints, &ug, || {
+                let p = Arc::new(louvain_csr(&csr, gamma));
+                gamma *= 1.5;
+                p
+            })
+        }
+        ClusteringStrategy::Spectral { k } => {
+            let mut spectral_k = k.max(1);
+            cluster_attempts(config, constraints, &ug, || {
+                let p = Arc::new(spectral_cluster(&ug, spectral_k, 200));
+                spectral_k += 1;
+                p
+            })
+        }
+    }
+}
+
+/// A lone module group bigger than the limit can never fit.
+fn precheck_group_areas(
+    config: &DesignConfig,
+    constraints: &Constraints,
+) -> Result<(), ClaireError> {
     for &class in &config.classes {
         let area = unit_area_mm2(class, &config.hw);
         if area > constraints.chiplet_area_limit_mm2 {
@@ -87,22 +143,20 @@ pub fn cluster_with_strategy(
             });
         }
     }
+    Ok(())
+}
 
-    let ug = crate::graphs::universal_graph(workloads, &config.hw);
-
-    let mut gamma = match strategy {
-        ClusteringStrategy::Louvain { resolution } => resolution,
-        ClusteringStrategy::Spectral { .. } => 1.0,
-    };
-    let mut spectral_k = match strategy {
-        ClusteringStrategy::Spectral { k } => k.max(1),
-        ClusteringStrategy::Louvain { .. } => 0,
-    };
+/// The shared escalation loop: ask `next_partition` for successively
+/// finer partitions (it advances its own granularity each call) until
+/// every materialised chiplet fits the area limit, then place.
+fn cluster_attempts(
+    config: &mut DesignConfig,
+    constraints: &Constraints,
+    ug: &WeightedGraph<OpClass>,
+    mut next_partition: impl FnMut() -> Arc<Partition<OpClass>>,
+) -> Result<(), ClaireError> {
     for _attempt in 0..12 {
-        let partition = match strategy {
-            ClusteringStrategy::Louvain { .. } => louvain(&ug, gamma),
-            ClusteringStrategy::Spectral { .. } => spectral_cluster(&ug, spectral_k, 200),
-        };
+        let partition = next_partition();
         let mut groups: Vec<BTreeSet<OpClass>> = partition
             .communities()
             .iter()
@@ -150,16 +204,15 @@ pub fn cluster_with_strategy(
             // Place the chiplets on the interposer by their mutual
             // traffic (only meaningful beyond one chiplet).
             config.placement = if config.chiplets.len() > 1 {
-                let traffic = crate::place::chiplet_traffic(config, &ug);
+                let traffic = crate::place::chiplet_traffic(config, ug);
                 Some(crate::place::place(config.chiplets.len(), &traffic))
             } else {
                 None
             };
             return Ok(());
         }
-        // Area limit violated: escalate the partition granularity.
-        gamma *= 1.5;
-        spectral_k += 1;
+        // Area limit violated: the next `next_partition` call escalates
+        // the granularity (higher γ / larger k).
     }
 
     // Resolution escalation failed; report the largest offender.
@@ -276,6 +329,26 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.chiplet_count(), 2);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn engine_clustering_is_bit_identical_and_memoized() {
+        let models = [zoo::resnet18(), zoo::alexnet()];
+        let cons = Constraints::default();
+        let mut plain = config_for(&models, "C");
+        cluster_into_chiplets(&mut plain, &models, &cons, 1.0).unwrap();
+
+        let engine = Engine::new(2);
+        let mut memo = config_for(&models, "C");
+        cluster_into_chiplets_with_engine(&mut memo, &models, &cons, 1.0, &engine).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{memo:?}"));
+
+        // Re-clustering the same workload graph hits the Louvain tier.
+        let mut again = config_for(&models, "C");
+        cluster_into_chiplets_with_engine(&mut again, &models, &cons, 1.0, &engine).unwrap();
+        let stats = engine.stats();
+        assert!(stats.louvain_hits >= 1, "{stats:?}");
+        assert!(stats.louvain_entries >= 1);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! configurations) and test phase (assignment + metric evaluation),
 //! i.e. the full Fig. 1 pipeline.
 
-use crate::assign::{assign_test, partition_training, scaled_vector, WeightScale};
-use crate::chiplet::cluster_into_chiplets;
+use crate::assign::{
+    assign_test, partition_training, partition_training_merged, scaled_vector, WeightScale,
+};
+use crate::chiplet::cluster_into_chiplets_with_engine;
 use crate::config::{Constraints, DesignConfig};
 use crate::dse::{custom_config_with_engine, set_config_with_engine, DseObjective};
 use crate::error::ClaireError;
@@ -255,11 +257,12 @@ impl Claire {
             DseObjective::MinArea,
             engine,
         )?;
-        cluster_into_chiplets(
+        cluster_into_chiplets_with_engine(
             &mut cfg,
             std::slice::from_ref(model),
             &self.opts.constraints,
             self.opts.louvain_resolution,
+            engine,
         )?;
         let report = engine.evaluate(model, &cfg)?;
         Ok(CustomResult {
@@ -357,73 +360,103 @@ impl Claire {
                 .classes
                 .insert(OpClass::Activation(ActivationKind::Tanh));
         }
-        cluster_into_chiplets(
+        cluster_into_chiplets_with_engine(
             &mut generic,
             models,
             &self.opts.constraints,
             self.opts.louvain_resolution,
+            engine,
         )?;
 
         // --- Output 3: library-synthesized configurations.
-        let subsets = self.form_subsets(models);
-        let mut libraries = Vec::with_capacity(subsets.len());
-        for (k, subset) in subsets.iter().enumerate() {
-            let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
-            let mut cfg = engine.time_stage("libraries", || {
-                set_config_with_engine(
+        //
+        // The WeightedJaccard strategy pairs each subset with its raw
+        // node-weight vector, merged incrementally while the similarity
+        // matrix is agglomerated; the Fixed strategy keeps the legacy
+        // per-subset ascending-member summation, so pinned-partition
+        // (golden-table) flows stay bit-identical.
+        // A subset paired with its incrementally merged raw node-weight
+        // vector (`None` on the pinned `Fixed` path, which re-sums).
+        type SubsetVector = (Vec<usize>, Option<BTreeMap<OpClass, f64>>);
+        let subsets: Vec<SubsetVector> =
+            engine.time_stage("subsets", || match &self.opts.subsets {
+                SubsetStrategy::WeightedJaccard { threshold, scale } => {
+                    partition_training_merged(models, *threshold, *scale)
+                        .into_iter()
+                        .map(|(subset, merged)| (subset, Some(merged)))
+                        .collect()
+                }
+                SubsetStrategy::Fixed(_) => self
+                    .form_subsets(models)
+                    .into_iter()
+                    .map(|subset| (subset, None))
+                    .collect(),
+            });
+        let libraries: Vec<LibraryConfig> = engine.time_stage("libraries", || {
+            engine.try_par_map(&subsets, |k, (subset, merged)| {
+                let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
+                let mut cfg = set_config_with_engine(
                     &format!("C_{}", k + 1),
                     &members,
                     &self.opts.space,
                     &self.opts.constraints,
                     &custom_latency,
                     engine,
-                )
-            })?;
-            let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
-            cluster_into_chiplets(
-                &mut cfg,
-                &member_models,
-                &self.opts.constraints,
-                self.opts.louvain_resolution,
-            )?;
-            // Node vector for Step #TT1 assignment: the subset's summed
-            // raw node work, scaled afterwards — "the nodes of the
-            // library-synthesized configurations". (Scaling after the
-            // sum keeps multi-member subsets comparable to singletons.)
-            let mut raw: BTreeMap<OpClass, f64> = BTreeMap::new();
-            for m in &member_models {
-                for (k, w) in m.op_class_weights() {
-                    *raw.entry(k).or_insert(0.0) += w;
-                }
-            }
-            let vector: BTreeMap<OpClass, f64> = match self.opts.assign_scale {
-                WeightScale::Raw => raw,
-                WeightScale::Log => raw
-                    .into_iter()
-                    .map(|(k, w)| (k, (1.0 + w).log10()))
-                    .collect(),
-                WeightScale::Binary => raw
-                    .into_iter()
-                    .map(|(k, w)| (k, if w > 0.0 { 1.0 } else { 0.0 }))
-                    .collect(),
-            };
-            let nre_normalized = normalized_nre(&self.opts.nre, &cfg, &generic);
-            let cumulative_custom_nre = subset
-                .iter()
-                .map(|&i| normalized_nre(&self.opts.nre, &customs[i].config, &generic))
-                .sum();
-            libraries.push(LibraryConfig {
-                config: cfg,
-                members: subset.clone(),
-                member_names: subset
+                )?;
+                let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
+                cluster_into_chiplets_with_engine(
+                    &mut cfg,
+                    &member_models,
+                    &self.opts.constraints,
+                    self.opts.louvain_resolution,
+                    engine,
+                )?;
+                // Node vector for Step #TT1 assignment: the subset's
+                // summed raw node work, scaled afterwards — "the nodes
+                // of the library-synthesized configurations". (Scaling
+                // after the sum keeps multi-member subsets comparable
+                // to singletons.)
+                let raw: BTreeMap<OpClass, f64> = match merged {
+                    Some(v) => v.clone(),
+                    None => {
+                        let mut raw = BTreeMap::new();
+                        for m in &member_models {
+                            for (class, w) in m.op_class_weights() {
+                                *raw.entry(class).or_insert(0.0) += w;
+                            }
+                        }
+                        raw
+                    }
+                };
+                let vector: BTreeMap<OpClass, f64> = match self.opts.assign_scale {
+                    WeightScale::Raw => raw,
+                    WeightScale::Log => raw
+                        .into_iter()
+                        .map(|(k, w)| (k, (1.0 + w).log10()))
+                        .collect(),
+                    WeightScale::Binary => raw
+                        .into_iter()
+                        .map(|(k, w)| (k, if w > 0.0 { 1.0 } else { 0.0 }))
+                        .collect(),
+                };
+                let nre_normalized = normalized_nre(&self.opts.nre, &cfg, &generic);
+                let cumulative_custom_nre = subset
                     .iter()
-                    .map(|&i| models[i].name().to_owned())
-                    .collect(),
-                vector,
-                nre_normalized,
-                cumulative_custom_nre,
-            });
-        }
+                    .map(|&i| normalized_nre(&self.opts.nre, &customs[i].config, &generic))
+                    .sum();
+                Ok(LibraryConfig {
+                    config: cfg,
+                    members: subset.clone(),
+                    member_names: subset
+                        .iter()
+                        .map(|&i| models[i].name().to_owned())
+                        .collect(),
+                    vector,
+                    nre_normalized,
+                    cumulative_custom_nre,
+                })
+            })
+        })?;
 
         // --- Fig. 4 data: PPA on all three configuration classes.
         let algo_ppa: Vec<AlgoPpa> = engine.time_stage("algo_ppa", || {

@@ -49,9 +49,18 @@ impl DseObjective {
     }
 }
 
+/// The hw-independent module-class inventory of a model's monolithic
+/// DSE shell.
+fn monolithic_classes(model: &Model) -> BTreeSet<OpClass> {
+    model.op_class_counts().keys().copied().collect()
+}
+
 fn monolithic_for(model: &Model, hw: HwParams) -> DesignConfig {
-    let classes: BTreeSet<OpClass> = model.op_class_counts().keys().copied().collect();
-    DesignConfig::monolithic(format!("dse:{}", model.name()), hw, classes)
+    DesignConfig::monolithic(
+        format!("dse:{}", model.name()),
+        hw,
+        monolithic_classes(model),
+    )
 }
 
 /// Sweeps the space for one algorithm, keeping points that satisfy the
@@ -72,9 +81,13 @@ pub fn sweep_with_engine(
     engine: &Engine,
 ) -> Vec<DsePoint> {
     let points: Vec<HwParams> = space.iter().collect();
+    // The monolithic shell differs only in `hw` across the sweep:
+    // derive the class inventory and name once, not per point.
+    let classes = monolithic_classes(model);
+    let dse_name = format!("dse:{}", model.name());
     engine
         .par_map(&points, |_, &hw| {
-            let cfg = monolithic_for(model, hw);
+            let cfg = DesignConfig::monolithic(dse_name.clone(), hw, classes.clone());
             let report = engine.evaluate(model, &cfg).ok()?;
             let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
                 && report.power_density_w_per_mm2() <= constraints.power_density_limit_w_per_mm2;
@@ -208,10 +221,16 @@ pub fn set_config_with_engine(
     }
 
     let points: Vec<HwParams> = space.iter().collect();
+    // Per-member monolithic shells: class inventories and names are
+    // hw-independent, so derive them once for the whole sweep.
+    let shells: Vec<(String, BTreeSet<OpClass>)> = models
+        .iter()
+        .map(|m| (format!("dse:{}", m.name()), monolithic_classes(m)))
+        .collect();
     let totals: Vec<Option<f64>> = engine.par_map(&points, |_, &hw| {
         let mut total_area = 0.0;
-        for m in models {
-            let cfg = monolithic_for(m, hw);
+        for (m, (dse_name, classes)) in models.iter().zip(&shells) {
+            let cfg = DesignConfig::monolithic(dse_name.clone(), hw, classes.clone());
             let report = engine.evaluate(m, &cfg).ok()?;
             let latency_ok = custom_latency_s
                 .get(m.name())
@@ -241,10 +260,7 @@ pub fn set_config_with_engine(
     let (_, hw) = best.ok_or_else(|| ClaireError::NoFeasibleConfiguration {
         subject: name.to_owned(),
     })?;
-    let classes: BTreeSet<OpClass> = models
-        .iter()
-        .flat_map(|m| m.op_class_counts().into_keys())
-        .collect();
+    let classes: BTreeSet<OpClass> = shells.into_iter().flat_map(|(_, c)| c).collect();
     Ok(DesignConfig::monolithic(name, hw, classes))
 }
 

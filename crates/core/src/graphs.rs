@@ -7,6 +7,7 @@
 //! configured hardware), and edge weights are "the volume of data
 //! communication between layers" in bytes (8-bit activations).
 
+use crate::evaluate::CostProvider;
 use claire_graph::WeightedGraph;
 use claire_model::{Model, OpClass};
 use claire_ppa::{layer_cost, HwParams};
@@ -18,9 +19,20 @@ use std::collections::BTreeMap;
 /// layer mapping to that unit; edge weights accumulate the activation
 /// volume flowing between consecutive layers' units.
 pub fn build_graph(model: &Model, hw: &HwParams) -> WeightedGraph<OpClass> {
+    build_graph_with_costs(model, hw, &RawCosts)
+}
+
+/// [`build_graph`] with layer costs served by `costs` (e.g. the
+/// memoized [`crate::parallel::Engine`]) — value-identical, since the
+/// provider contract is to return exactly what a recomputation would.
+pub fn build_graph_with_costs<C: CostProvider + ?Sized>(
+    model: &Model,
+    hw: &HwParams,
+    costs: &C,
+) -> WeightedGraph<OpClass> {
     let mut g = WeightedGraph::new();
     for layer in model.layers() {
-        let cost = layer_cost(&layer.kind, hw);
+        let cost = costs.layer_cost(&layer.kind, hw);
         g.add_node(layer.op_class(), cost.executions as f64);
     }
     for (a, b, bytes) in model.edges() {
@@ -32,11 +44,33 @@ pub fn build_graph(model: &Model, hw: &HwParams) -> WeightedGraph<OpClass> {
 /// Builds the universal graph `UG` of an algorithm set: the merge of
 /// all individual graphs, consolidating node and edge weights.
 pub fn universal_graph(models: &[Model], hw: &HwParams) -> WeightedGraph<OpClass> {
+    universal_graph_with_costs(models, hw, &RawCosts)
+}
+
+/// [`universal_graph`] with layer costs served by `costs`.
+pub fn universal_graph_with_costs<C: CostProvider + ?Sized>(
+    models: &[Model],
+    hw: &HwParams,
+    costs: &C,
+) -> WeightedGraph<OpClass> {
     let mut ug = WeightedGraph::new();
     for m in models {
-        ug.merge(&build_graph(m, hw));
+        ug.merge(&build_graph_with_costs(m, hw, costs));
     }
     ug
+}
+
+/// The unmemoized provider behind the plain entry points.
+struct RawCosts;
+
+impl CostProvider for RawCosts {
+    fn layer_cost(
+        &self,
+        kind: &claire_model::LayerKind,
+        hw: &claire_ppa::HwParams,
+    ) -> claire_ppa::LayerCost {
+        layer_cost(kind, hw)
+    }
 }
 
 /// Edge-combination occurrence counts across an algorithm set — the

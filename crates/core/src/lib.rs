@@ -69,6 +69,6 @@ pub use evaluate::{
 };
 pub use io::{ConfigIoError, RunConfig};
 pub use library::{ChipletLibrary, Deployment, LibraryEntry};
-pub use parallel::{resolve_threads, Engine, EngineStats, THREADS_ENV};
+pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};

@@ -23,6 +23,7 @@
 
 use crate::config::DesignConfig;
 use crate::evaluate::{ComputeSum, CostProvider, RouteTable};
+use claire_graph::{louvain_csr, CsrGraph, Partition};
 use claire_model::{LayerKind, OpClass};
 use claire_ppa::{layer_cost, DseSpace, HwParams, LayerCost};
 use std::collections::HashMap;
@@ -93,6 +94,18 @@ pub struct EngineStats {
     pub sum_misses: u64,
     /// Distinct (model, hardware) compute sums currently cached.
     pub sum_entries: usize,
+    /// Louvain partitions served from the canonical-graph cache.
+    pub louvain_hits: u64,
+    /// Louvain partitions clustered fresh (and then stored).
+    pub louvain_misses: u64,
+    /// Distinct (canonical graph, resolution) partitions cached.
+    pub louvain_entries: usize,
+    /// Universal graph + CSR builds served from the cache.
+    pub graph_hits: u64,
+    /// Universal graph + CSR builds constructed fresh (and stored).
+    pub graph_misses: u64,
+    /// Distinct (model set, hardware) universal graphs cached.
+    pub graph_entries: usize,
     /// Accumulated wall time per pipeline stage, in first-recorded
     /// order.
     pub stages: Vec<(String, Duration)>,
@@ -105,12 +118,17 @@ impl EngineStats {
         ratio(self.cache_hits, self.cache_misses)
     }
 
-    /// Hit rate across every memo tier (layer costs, route tables and
-    /// compute sums) in `[0, 1]`; 0 when nothing was looked up.
+    /// Hit rate across every memo tier (layer costs, route tables,
+    /// compute sums and Louvain partitions) in `[0, 1]`; 0 when nothing
+    /// was looked up.
     pub fn overall_hit_rate(&self) -> f64 {
         ratio(
-            self.cache_hits + self.route_hits + self.sum_hits,
-            self.cache_misses + self.route_misses + self.sum_misses,
+            self.cache_hits + self.route_hits + self.sum_hits + self.louvain_hits + self.graph_hits,
+            self.cache_misses
+                + self.route_misses
+                + self.sum_misses
+                + self.louvain_misses
+                + self.graph_misses,
         )
     }
 
@@ -164,6 +182,22 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  louvain cache: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+            self.louvain_hits,
+            self.louvain_misses,
+            100.0 * ratio(self.louvain_hits, self.louvain_misses),
+            self.louvain_entries
+        )?;
+        writeln!(
+            f,
+            "  graph cache: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+            self.graph_hits,
+            self.graph_misses,
+            100.0 * ratio(self.graph_hits, self.graph_misses),
+            self.graph_entries
+        )?;
+        writeln!(
+            f,
             "  overall memo hit rate: {:.1} %",
             100.0 * self.overall_hit_rate()
         )?;
@@ -178,6 +212,9 @@ impl std::fmt::Display for EngineStats {
     }
 }
 
+/// One memo tier: an FxHash map behind a single reader–writer lock.
+type MemoMap<K, V> = RwLock<HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>>;
+
 /// The evaluation engine: a thread-count policy, a sharded layer-cost
 /// memo cache, and stage/wall-time counters. Cheap to share by
 /// reference across the whole pipeline; all interior state is
@@ -187,15 +224,31 @@ pub struct Engine {
     threads: usize,
     cache_enabled: bool,
     shards: Vec<RwLock<Shard>>,
-    routes: RwLock<HashMap<TopologyKey, Arc<RouteTable>, std::hash::BuildHasherDefault<FxHasher>>>,
-    sums: RwLock<HashMap<(u64, HwParams), ComputeSum, std::hash::BuildHasherDefault<FxHasher>>>,
+    routes: MemoMap<TopologyKey, Arc<RouteTable>>,
+    sums: MemoMap<(u64, HwParams), ComputeSum>,
+    louvains: MemoMap<Box<[u64]>, Arc<Partition<OpClass>>>,
+    graphs: MemoMap<(Box<[u64]>, HwParams), Arc<UniversalCsr>>,
     hits: AtomicU64,
     misses: AtomicU64,
     route_hits: AtomicU64,
     route_misses: AtomicU64,
     sum_hits: AtomicU64,
     sum_misses: AtomicU64,
+    louvain_hits: AtomicU64,
+    louvain_misses: AtomicU64,
+    graph_hits: AtomicU64,
+    graph_misses: AtomicU64,
     stages: Mutex<Vec<(String, Duration)>>,
+}
+
+/// A universal graph paired with its interned CSR form, as built and
+/// memoized by [`Engine::universal_csr`].
+#[derive(Debug, Clone)]
+pub struct UniversalCsr {
+    /// The merged universal graph `UG` of the model set.
+    pub graph: claire_graph::WeightedGraph<OpClass>,
+    /// The CSR interning of [`UniversalCsr::graph`].
+    pub csr: CsrGraph<OpClass>,
 }
 
 impl Default for Engine {
@@ -216,12 +269,18 @@ impl Engine {
                 .collect(),
             routes: RwLock::new(HashMap::default()),
             sums: RwLock::new(HashMap::default()),
+            louvains: RwLock::new(HashMap::default()),
+            graphs: RwLock::new(HashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             route_hits: AtomicU64::new(0),
             route_misses: AtomicU64::new(0),
             sum_hits: AtomicU64::new(0),
             sum_misses: AtomicU64::new(0),
+            louvain_hits: AtomicU64::new(0),
+            louvain_misses: AtomicU64::new(0),
+            graph_hits: AtomicU64::new(0),
+            graph_misses: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
         }
     }
@@ -267,6 +326,12 @@ impl Engine {
             sum_hits: self.sum_hits.load(Ordering::Relaxed),
             sum_misses: self.sum_misses.load(Ordering::Relaxed),
             sum_entries: self.sums.read().expect("sum cache poisoned").len(),
+            louvain_hits: self.louvain_hits.load(Ordering::Relaxed),
+            louvain_misses: self.louvain_misses.load(Ordering::Relaxed),
+            louvain_entries: self.louvains.read().expect("louvain cache poisoned").len(),
+            graph_hits: self.graph_hits.load(Ordering::Relaxed),
+            graph_misses: self.graph_misses.load(Ordering::Relaxed),
+            graph_entries: self.graphs.read().expect("graph cache poisoned").len(),
             stages: self.stages.lock().expect("stage log poisoned").clone(),
         }
     }
@@ -346,6 +411,92 @@ impl Engine {
                 .expect("route cache poisoned")
                 .entry(key)
                 .or_default(),
+        )
+    }
+
+    /// Memoized [`claire_graph::louvain_csr`] over a universal graph —
+    /// the fourth memo tier. Keyed by the **complete canonical
+    /// encoding** of the CSR graph (interned class sequence, adjacency
+    /// arrays, bit-exact edge and self-loop weights) plus the
+    /// resolution, so a hit provably returns the partition a fresh
+    /// clustering would produce: the key is the entire input of the
+    /// algorithm, not a lossy hash. Node weights are excluded — Louvain
+    /// never reads them, so graphs differing only there share an entry.
+    ///
+    /// The chiplet-count escalation loop sweeps resolutions over the
+    /// same graph, and subsets repeat whole universal graphs across
+    /// training and test phases; both patterns hit this tier.
+    pub fn louvain_partition(
+        &self,
+        csr: &CsrGraph<OpClass>,
+        resolution: f64,
+    ) -> Arc<Partition<OpClass>> {
+        if !self.cache_enabled {
+            return Arc::new(louvain_csr(csr, resolution));
+        }
+        let key = louvain_key(csr, resolution);
+        if let Some(p) = self
+            .louvains
+            .read()
+            .expect("louvain cache poisoned")
+            .get(&key)
+        {
+            self.louvain_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        self.louvain_misses.fetch_add(1, Ordering::Relaxed);
+        let partition = Arc::new(louvain_csr(csr, resolution));
+        Arc::clone(
+            self.louvains
+                .write()
+                .expect("louvain cache poisoned")
+                .entry(key)
+                .or_insert(partition),
+        )
+    }
+
+    /// Memoized universal-graph construction (Step #TR1) with CSR
+    /// interning — the fifth memo tier. Keyed by the models'
+    /// process-unique [`claire_model::Model::instance_id`]s (shared by
+    /// clones, fresh per construction or deserialisation, so a hit can
+    /// only ever serve a set of the very same model objects — never a
+    /// structurally similar impostor) plus the hardware point. On a
+    /// miss the build routes layer costs through the layer memo tier.
+    ///
+    /// The flow re-derives the same universal graphs over and over
+    /// (custom-configuration clustering across the train and test
+    /// phases, escalation retries, repeated table runs on a shared
+    /// engine), and each build walks every layer of every member
+    /// model — skipping it dominates the clustering stage's wall time.
+    pub fn universal_csr(
+        &self,
+        models: &[claire_model::Model],
+        hw: &HwParams,
+    ) -> Arc<UniversalCsr> {
+        if !self.cache_enabled {
+            let graph = crate::graphs::universal_graph_with_costs(models, hw, self);
+            let csr = CsrGraph::from_weighted(&graph);
+            return Arc::new(UniversalCsr { graph, csr });
+        }
+        let ids: Box<[u64]> = models
+            .iter()
+            .map(claire_model::Model::instance_id)
+            .collect();
+        let key = (ids, *hw);
+        if let Some(g) = self.graphs.read().expect("graph cache poisoned").get(&key) {
+            self.graph_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(g);
+        }
+        self.graph_misses.fetch_add(1, Ordering::Relaxed);
+        let graph = crate::graphs::universal_graph_with_costs(models, hw, self);
+        let csr = CsrGraph::from_weighted(&graph);
+        let built = Arc::new(UniversalCsr { graph, csr });
+        Arc::clone(
+            self.graphs
+                .write()
+                .expect("graph cache poisoned")
+                .entry(key)
+                .or_insert(built),
         )
     }
 
@@ -544,6 +695,25 @@ impl TopologyKey {
             n_chiplets: config.chiplets.len() as u8,
         })
     }
+}
+
+/// The canonical Louvain memo key: every array [`claire_graph::louvain_csr`]
+/// reads, flattened to `u64` words (floats by `to_bits`, so two graphs
+/// share a key only when every weight is bit-identical), plus the
+/// resolution. Degrees and `2m` are derived from these arrays and need
+/// no words of their own.
+fn louvain_key(csr: &CsrGraph<OpClass>, resolution: f64) -> Box<[u64]> {
+    let n = csr.node_count();
+    let e = csr.targets().len();
+    let mut key = Vec::with_capacity(2 + n * 3 + e * 2 + 2);
+    key.push(n as u64);
+    key.extend(csr.keys().iter().map(|c| c.index() as u64));
+    key.extend(csr.offsets().iter().map(|&o| u64::from(o)));
+    key.extend(csr.targets().iter().map(|&t| u64::from(t)));
+    key.extend(csr.weights().iter().map(|w| w.to_bits()));
+    key.extend(csr.self_loops().iter().map(|w| w.to_bits()));
+    key.push(resolution.to_bits());
+    key.into_boxed_slice()
 }
 
 thread_local! {

@@ -70,6 +70,100 @@ where
     clusters.into_values().collect()
 }
 
+/// [`agglomerate_by`] driven by a precomputed similarity matrix (e.g.
+/// [`crate::weighted_jaccard_matrix`]): same pair-scan order, same
+/// inclusive threshold, same deterministic output — without
+/// recomputing each similarity inside the scan.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or contains NaN above the
+/// diagonal.
+pub fn agglomerate_matrix(matrix: &[Vec<f64>], threshold: f64) -> Vec<Vec<usize>> {
+    let n = matrix.len();
+    assert!(
+        matrix.iter().all(|row| row.len() == n),
+        "similarity matrix must be square"
+    );
+    agglomerate_by(n, threshold, |i, j| matrix[i][j])
+}
+
+/// [`agglomerate_matrix`] that additionally folds a payload per item
+/// into one merged payload per cluster, **incrementally**: each
+/// union-find union merges the absorbed root's payload into the
+/// surviving root's via `merge`, so an accumulated structure (a merged
+/// universal graph, a summed weight vector) is built once instead of
+/// being re-merged from scratch after clustering.
+///
+/// Merges happen in pair-scan order (`i` ascending, then `j > i`), with
+/// the smaller root always surviving; the returned list pairs each
+/// sorted index cluster with its merged payload, ordered by smallest
+/// member — exactly the clusters [`agglomerate_matrix`] returns.
+///
+/// # Panics
+///
+/// Panics if `payloads.len() != matrix.len()`, the matrix is not
+/// square, or it contains NaN above the diagonal.
+pub fn agglomerate_merge<T, M>(
+    payloads: Vec<T>,
+    matrix: &[Vec<f64>],
+    threshold: f64,
+    mut merge: M,
+) -> Vec<(Vec<usize>, T)>
+where
+    M: FnMut(&mut T, T),
+{
+    let n = matrix.len();
+    assert!(
+        matrix.iter().all(|row| row.len() == n),
+        "similarity matrix must be square"
+    );
+    assert_eq!(payloads.len(), n, "one payload per item");
+
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut payload: Vec<Option<T>> = payloads.into_iter().map(Some).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &s) in row.iter().enumerate().skip(i + 1) {
+            assert!(!s.is_nan(), "similarity({i}, {j}) is NaN");
+            if s >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    let (lo, hi) = (ri.min(rj), ri.max(rj));
+                    parent[hi] = lo;
+                    let absorbed = payload[hi].take().expect("root payload present");
+                    merge(
+                        payload[lo].as_mut().expect("root payload present"),
+                        absorbed,
+                    );
+                }
+            }
+        }
+    }
+
+    let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        clusters.entry(r).or_default().push(i);
+    }
+    clusters
+        .into_iter()
+        .map(|(root, members)| {
+            let p = payload[root].take().expect("root payload present");
+            (members, p)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +210,54 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_similarity_panics() {
         agglomerate_by(2, 0.5, |_, _| f64::NAN);
+    }
+
+    fn chain_matrix() -> Vec<Vec<f64>> {
+        // 0~1, 1~2 similar; 3 isolated.
+        let mut m = vec![vec![0.0; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        m[0][1] = 0.9;
+        m[1][0] = 0.9;
+        m[1][2] = 0.9;
+        m[2][1] = 0.9;
+        m
+    }
+
+    #[test]
+    fn matrix_variant_matches_closure_variant() {
+        let m = chain_matrix();
+        let a = agglomerate_matrix(&m, 0.5);
+        let b = agglomerate_by(4, 0.5, |i, j| m[i][j]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![vec![0, 1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn merge_variant_accumulates_payloads_incrementally() {
+        let m = chain_matrix();
+        let merged = agglomerate_merge(vec![1_u64, 10, 100, 1000], &m, 0.5, |acc, x| *acc += x);
+        assert_eq!(merged, vec![(vec![0, 1, 2], 111), (vec![3], 1000)]);
+    }
+
+    #[test]
+    fn merge_variant_clusters_match_matrix_variant() {
+        let m = chain_matrix();
+        let merged = agglomerate_merge(vec![(); 4], &m, 0.5, |_, _| {});
+        let clusters: Vec<Vec<usize>> = merged.into_iter().map(|(c, _)| c).collect();
+        assert_eq!(clusters, agglomerate_matrix(&m, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_matrix_panics() {
+        agglomerate_matrix(&[vec![1.0, 0.5], vec![0.5]], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one payload per item")]
+    fn payload_count_mismatch_panics() {
+        agglomerate_merge(vec![1], &chain_matrix(), 0.5, |a: &mut i32, b| *a += b);
     }
 }

@@ -1,0 +1,316 @@
+//! Flat, interned CSR (compressed sparse row) kernel representation
+//! of a [`WeightedGraph`]'s undirected view.
+//!
+//! Every clustering pass of the CLAIRE synthesis phase (Louvain over a
+//! universal graph, spectral bisection in the ablation path) used to
+//! start by materialising a `BTreeMap<(N, N), f64>` of undirected
+//! edges and a `Vec<Vec<(usize, f64)>>` adjacency — one tree and one
+//! nested allocation per call, with node keys cloned throughout.
+//! [`CsrGraph`] does that work **once**: node keys are interned to
+//! `u32` indices (their rank in key order) and the undirected
+//! adjacency is stored as three flat arrays (`offsets` / `targets` /
+//! `weights`), together with the per-node self-loop weights, weighted
+//! degrees and the total `2m` that modularity needs.
+//!
+//! Bit-compatibility contract: the builder reproduces the exact
+//! neighbour ordering and floating-point summation order of the
+//! previous map-based construction ([`WeightedGraph::undirected_edges`]
+//! followed by index lookup), so any algorithm ported from the map
+//! representation to CSR yields bit-identical results. Concretely:
+//!
+//! * interned index = rank of the node key in `BTreeMap` order, so
+//!   index comparisons equal key comparisons;
+//! * reciprocal directed edges `a -> b` / `b -> a` collapse onto the
+//!   `(min, max)` pair with `w(a→b) + w(b→a)` summed in directed key
+//!   order (a stable sort preserves that order inside each run);
+//! * each adjacency row lists neighbours in ascending index order —
+//!   exactly the push order a key-ordered map walk produces;
+//! * degrees sum each row left-to-right and `2m` sums degrees in node
+//!   order, matching the previous loops term for term.
+
+use crate::graph::WeightedGraph;
+
+/// An interned, flat CSR snapshot of a [`WeightedGraph`]'s undirected
+/// view. Build once with [`CsrGraph::from_weighted`], hand to the
+/// flat-array kernels ([`crate::louvain`], [`crate::spectral_bisect`]),
+/// convert back with [`CsrGraph::to_weighted`] when a map view is
+/// needed again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph<N> {
+    /// Interning table: node keys in ascending order; a node's interned
+    /// id is its position here.
+    keys: Vec<N>,
+    /// Node weights (`w_N`) in key order.
+    node_w: Vec<f64>,
+    /// Row offsets into `targets` / `weights`; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Neighbour indices, ascending within each row; both directions of
+    /// every undirected pair are stored (self-loops excluded).
+    targets: Vec<u32>,
+    /// Undirected edge weight per `targets` entry.
+    weights: Vec<f64>,
+    /// Raw self-loop weight per node (`A_ii / 2` in the modularity
+    /// convention).
+    self_loop: Vec<f64>,
+    /// Weighted degree per node: `k_i = Σ_j≠i A_ij + 2·self_loop_i`.
+    degree: Vec<f64>,
+    /// `2m = Σ_i k_i`.
+    m2: f64,
+}
+
+impl<N: Ord + Clone> CsrGraph<N> {
+    /// Interns `g`'s nodes and flattens its undirected view into CSR
+    /// arrays. `O(E log E)` once, against the per-call map rebuild the
+    /// clustering kernels previously paid.
+    pub fn from_weighted(g: &WeightedGraph<N>) -> Self {
+        let keys: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
+        let node_w: Vec<f64> = g.nodes().map(|(_, w)| w).collect();
+        let n = keys.len();
+
+        // Canonical (lo, hi, w) entries in directed key order. The
+        // stable sort below groups each undirected pair while keeping
+        // lo->hi before hi->lo (directed keys already order that way),
+        // so run-accumulation reproduces the map's summation order.
+        let mut self_loop = vec![0.0; n];
+        let mut entries: Vec<(u32, u32, f64)> = Vec::with_capacity(g.edge_count());
+        for (a, b, w) in g.edges() {
+            let i = keys.binary_search(a).expect("edge endpoint interned") as u32;
+            let j = keys.binary_search(b).expect("edge endpoint interned") as u32;
+            if i == j {
+                self_loop[i as usize] += w;
+            } else {
+                entries.push((i.min(j), i.max(j), w));
+            }
+        }
+        entries.sort_by_key(|x| (x.0, x.1));
+        let mut pairs: Vec<(u32, u32, f64)> = Vec::with_capacity(entries.len());
+        for (lo, hi, w) in entries {
+            match pairs.last_mut() {
+                Some(p) if p.0 == lo && p.1 == hi => p.2 += w,
+                _ => pairs.push((lo, hi, w)),
+            }
+        }
+
+        let (offsets, targets, weights) = csr_from_pairs(n, &pairs);
+        let (degree, m2) = degrees(&offsets, &weights, &self_loop);
+        CsrGraph {
+            keys,
+            node_w,
+            offsets,
+            targets,
+            weights,
+            self_loop,
+            degree,
+            m2,
+        }
+    }
+
+    /// Reconstructs a [`WeightedGraph`] carrying this CSR's undirected
+    /// view: every undirected pair becomes one directed `lo -> hi`
+    /// edge, self-loops stay self-loops, node weights carry over.
+    /// `CsrGraph::from_weighted(&csr.to_weighted())` round-trips.
+    pub fn to_weighted(&self) -> WeightedGraph<N> {
+        let mut g = WeightedGraph::new();
+        for (i, k) in self.keys.iter().enumerate() {
+            g.add_node(k.clone(), self.node_w[i]);
+        }
+        for i in 0..self.node_count() {
+            if self.self_loop[i] != 0.0 {
+                g.add_edge(
+                    self.keys[i].clone(),
+                    self.keys[i].clone(),
+                    self.self_loop[i],
+                );
+            }
+            let (row_t, row_w) = self.row(i);
+            for (&j, &w) in row_t.iter().zip(row_w) {
+                if (j as usize) > i {
+                    g.add_edge(self.keys[i].clone(), self.keys[j as usize].clone(), w);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of interned nodes.
+    pub fn node_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True for a graph with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The interning table: node keys in ascending order; a key's
+    /// interned index is its position.
+    pub fn keys(&self) -> &[N] {
+        &self.keys
+    }
+
+    /// The interned index of `key`, if present.
+    pub fn index_of(&self, key: &N) -> Option<u32> {
+        self.keys.binary_search(key).ok().map(|i| i as u32)
+    }
+
+    /// Node weights in interned order.
+    pub fn node_weights(&self) -> &[f64] {
+        &self.node_w
+    }
+
+    /// Row offsets (`n + 1` entries) into [`CsrGraph::targets`].
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Flat neighbour indices, ascending within each row.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Undirected edge weights, parallel to [`CsrGraph::targets`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Raw self-loop weight per node.
+    pub fn self_loops(&self) -> &[f64] {
+        &self.self_loop
+    }
+
+    /// Weighted degrees (`k_i`, self-loops counted twice).
+    pub fn degrees(&self) -> &[f64] {
+        &self.degree
+    }
+
+    /// Total weighted degree `2m`.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Node `i`'s neighbour row: `(targets, weights)` slices.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        (&self.targets[s..e], &self.weights[s..e])
+    }
+}
+
+/// Builds `(offsets, targets, weights)` from unique undirected pairs
+/// sorted by `(lo, hi)`. Filling both directions in pair order leaves
+/// every row ascending: row `i` first receives its `j < i` neighbours
+/// (from pairs `(j, i)`, ascending `j`), then its `j > i` neighbours
+/// (from the `(i, j)` block, ascending `j`).
+pub(crate) fn csr_from_pairs(
+    n: usize,
+    pairs: &[(u32, u32, f64)],
+) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+    let mut offsets = vec![0u32; n + 1];
+    for &(lo, hi, _) in pairs {
+        offsets[lo as usize + 1] += 1;
+        offsets[hi as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut targets = vec![0u32; 2 * pairs.len()];
+    let mut weights = vec![0.0f64; 2 * pairs.len()];
+    for &(lo, hi, w) in pairs {
+        targets[cursor[lo as usize] as usize] = hi;
+        weights[cursor[lo as usize] as usize] = w;
+        cursor[lo as usize] += 1;
+        targets[cursor[hi as usize] as usize] = lo;
+        weights[cursor[hi as usize] as usize] = w;
+        cursor[hi as usize] += 1;
+    }
+    (offsets, targets, weights)
+}
+
+/// Per-node weighted degrees (row sums left-to-right, self-loops
+/// twice) and their total `2m`, summed in node order — the exact
+/// summation order of the previous dense construction.
+pub(crate) fn degrees(offsets: &[u32], weights: &[f64], self_loop: &[f64]) -> (Vec<f64>, f64) {
+    let n = self_loop.len();
+    let mut degree = vec![0.0; n];
+    let mut m2 = 0.0;
+    for i in 0..n {
+        let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+        let k: f64 = weights[s..e].iter().sum::<f64>() + 2.0 * self_loop[i];
+        degree[i] = k;
+        m2 += k;
+    }
+    (degree, m2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph<&'static str> {
+        let mut g = WeightedGraph::new();
+        g.add_edge("b", "a", 2.0);
+        g.add_edge("a", "b", 3.0);
+        g.add_edge("a", "c", 1.0);
+        g.add_edge("c", "c", 7.0);
+        g.add_node("d", 4.0);
+        g.add_node("a", 1.5);
+        g
+    }
+
+    #[test]
+    fn interning_follows_key_order() {
+        let csr = CsrGraph::from_weighted(&sample());
+        assert_eq!(csr.keys(), &["a", "b", "c", "d"]);
+        assert_eq!(csr.index_of(&"c"), Some(2));
+        assert_eq!(csr.index_of(&"z"), None);
+        assert_eq!(csr.node_weights()[0], 1.5);
+        assert_eq!(csr.node_weights()[3], 4.0);
+    }
+
+    #[test]
+    fn reciprocal_edges_collapse_and_rows_ascend() {
+        let csr = CsrGraph::from_weighted(&sample());
+        let (t, w) = csr.row(0); // "a": neighbours b (2+3) and c (1)
+        assert_eq!(t, &[1, 2]);
+        assert_eq!(w, &[5.0, 1.0]);
+        let (t, w) = csr.row(2); // "c": neighbour a; self-loop separate
+        assert_eq!(t, &[0]);
+        assert_eq!(w, &[1.0]);
+        assert_eq!(csr.self_loops(), &[0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn degrees_match_map_view() {
+        let g = sample();
+        let csr = CsrGraph::from_weighted(&g);
+        for (i, k) in csr.keys().iter().enumerate() {
+            assert_eq!(csr.degrees()[i], g.degree(k), "{k}");
+        }
+        let total: f64 = csr.degrees().iter().sum();
+        assert_eq!(csr.m2(), total);
+    }
+
+    #[test]
+    fn round_trips_through_weighted() {
+        let g = sample();
+        let csr = CsrGraph::from_weighted(&g);
+        let back = csr.to_weighted();
+        assert_eq!(CsrGraph::from_weighted(&back), csr);
+        // The undirected views agree edge for edge.
+        assert_eq!(g.undirected_edges(), back.undirected_edges());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let empty: WeightedGraph<u32> = WeightedGraph::new();
+        let csr = CsrGraph::from_weighted(&empty);
+        assert!(csr.is_empty());
+        assert_eq!(csr.m2(), 0.0);
+
+        let mut lone = WeightedGraph::new();
+        lone.add_node(9_u32, 2.0);
+        let csr = CsrGraph::from_weighted(&lone);
+        assert_eq!(csr.node_count(), 1);
+        assert_eq!(csr.row(0), (&[] as &[u32], &[] as &[f64]));
+    }
+}

@@ -24,23 +24,14 @@ pub struct WeightedGraph<N: Ord + Clone> {
     edges: BTreeMap<(N, N), f64>,
 }
 
-/// List-based serialisation mirror of [`WeightedGraph`].
-#[derive(Serialize, Deserialize)]
-struct GraphRepr<N: Serialize + Deserialize> {
+/// List-based deserialisation mirror of [`WeightedGraph`].
+#[derive(Deserialize)]
+struct GraphRepr<N: Deserialize> {
     nodes: Vec<(N, f64)>,
     edges: Vec<(N, N, f64)>,
 }
 
-impl<N: Ord + Clone + Serialize + Deserialize> From<WeightedGraph<N>> for GraphRepr<N> {
-    fn from(g: WeightedGraph<N>) -> Self {
-        GraphRepr {
-            nodes: g.nodes.into_iter().collect(),
-            edges: g.edges.into_iter().map(|((a, b), w)| (a, b, w)).collect(),
-        }
-    }
-}
-
-impl<N: Ord + Clone + Serialize + Deserialize> From<GraphRepr<N>> for WeightedGraph<N> {
+impl<N: Ord + Clone + Deserialize> From<GraphRepr<N>> for WeightedGraph<N> {
     fn from(r: GraphRepr<N>) -> Self {
         WeightedGraph {
             nodes: r.nodes.into_iter().collect(),
@@ -50,8 +41,25 @@ impl<N: Ord + Clone + Serialize + Deserialize> From<GraphRepr<N>> for WeightedGr
 }
 
 impl<N: Ord + Clone + Serialize + Deserialize> Serialize for WeightedGraph<N> {
+    // Serialised by reference (no whole-graph clone), emitting exactly
+    // the shape the derived `GraphRepr` impl produced: an object of
+    // `[key, weight]` / `[from, to, weight]` list entries.
     fn to_value(&self) -> serde::Value {
-        GraphRepr::from(self.clone()).to_value()
+        use serde::Value;
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|(n, w)| Value::Array(vec![n.to_value(), w.to_value()]))
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|((a, b), w)| Value::Array(vec![a.to_value(), b.to_value(), w.to_value()]))
+            .collect();
+        Value::Object(vec![
+            ("nodes".to_owned(), Value::Array(nodes)),
+            ("edges".to_owned(), Value::Array(edges)),
+        ])
     }
 }
 
@@ -350,6 +358,19 @@ mod tests {
         assert_eq!(g.density(), 1.0);
         g.add_node(3, 1.0);
         assert!((g.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializes_as_node_and_edge_lists() {
+        // Wire format pinned to the old derived-`GraphRepr` shape so
+        // fixtures written before the by-reference impl still parse.
+        let mut g = WeightedGraph::new();
+        g.add_node("a".to_owned(), 2.0);
+        g.add_edge("a".to_owned(), "b".to_owned(), 9.0);
+        assert_eq!(
+            serde_json::to_string(&g).unwrap(),
+            r#"{"nodes":[["a",2.0],["b",0.0]],"edges":[["a","b",9.0]]}"#
+        );
     }
 
     #[test]

@@ -84,6 +84,60 @@ pub fn weighted_jaccard<K: Ord>(a: &BTreeMap<K, f64>, b: &BTreeMap<K, f64>) -> f
     }
 }
 
+/// The full pairwise [`weighted_jaccard`] matrix of `vectors`,
+/// computed once over *interned* dense vectors: the union keyset is
+/// collected a single time, every map is flattened to a dense `f64`
+/// vector over it, and each pair is scored with two flat-array sweeps
+/// instead of a `BTreeMap` merge-walk — the kernel behind Algorithm 1's
+/// subset partitioning when the training set grows.
+///
+/// Entry `[i][j]` is **bit-identical** to `weighted_jaccard(&vectors[i],
+/// &vectors[j])`: the dense sweep visits keys in the same sorted order
+/// and only inserts `+ 0.0` terms for keys a vector lacks, which leaves
+/// every non-negative partial sum unchanged. The matrix is symmetric
+/// with a unit diagonal (two all-zero vectors score `1.0`, matching the
+/// pairwise convention).
+///
+/// # Panics
+///
+/// Panics if any weight is negative or NaN.
+pub fn weighted_jaccard_matrix<K: Ord>(vectors: &[BTreeMap<K, f64>]) -> Vec<Vec<f64>> {
+    let keys: std::collections::BTreeSet<&K> = vectors.iter().flat_map(|v| v.keys()).collect();
+    let dense: Vec<Vec<f64>> = vectors
+        .iter()
+        .map(|v| {
+            keys.iter()
+                .map(|k| {
+                    let w = v.get(k).copied().unwrap_or(0.0);
+                    assert!(w >= 0.0, "weighted_jaccard requires non-negative weights");
+                    w
+                })
+                .collect()
+        })
+        .collect();
+
+    let n = vectors.len();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        matrix[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let (mut min_sum, mut max_sum) = (0.0, 0.0);
+            for (&x, &y) in dense[i].iter().zip(&dense[j]) {
+                min_sum += x.min(y);
+                max_sum += x.max(y);
+            }
+            let s = if max_sum == 0.0 {
+                1.0
+            } else {
+                min_sum / max_sum
+            };
+            matrix[i][j] = s;
+            matrix[j][i] = s;
+        }
+    }
+    matrix
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +207,56 @@ mod tests {
         let a = v(&[("x", -1.0)]);
         let b = v(&[("x", 1.0)]);
         weighted_jaccard(&a, &b);
+    }
+
+    #[test]
+    fn matrix_matches_pairwise_bit_exactly() {
+        let vs = vec![
+            v(&[("x", 3.0), ("y", 1.0)]),
+            v(&[("x", 1.0), ("z", 4.0)]),
+            v(&[("y", 2.5)]),
+            v(&[("x", 0.125), ("y", 7.75), ("z", 1e9)]),
+            BTreeMap::new(),
+        ];
+        let m = weighted_jaccard_matrix(&vs);
+        for (i, a) in vs.iter().enumerate() {
+            for (j, b) in vs.iter().enumerate() {
+                assert_eq!(
+                    m[i][j].to_bits(),
+                    weighted_jaccard(a, b).to_bits(),
+                    "({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let vs = vec![
+            v(&[("x", 3.0), ("y", 1.0)]),
+            v(&[("x", 1.0), ("z", 4.0)]),
+            v(&[("q", 0.0)]),
+        ];
+        let m = weighted_jaccard_matrix(&vs);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0, "diagonal at {i}");
+            for (j, s) in row.iter().enumerate() {
+                assert_eq!(s.to_bits(), m[j][i].to_bits(), "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_inputs() {
+        let none: Vec<BTreeMap<&str, f64>> = Vec::new();
+        assert!(weighted_jaccard_matrix(&none).is_empty());
+        let one = vec![v(&[("x", 2.0)])];
+        assert_eq!(weighted_jaccard_matrix(&one), vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn matrix_rejects_negative_weights() {
+        weighted_jaccard_matrix(&[v(&[("x", -2.0)]), v(&[("x", 1.0)])]);
     }
 }

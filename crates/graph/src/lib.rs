@@ -14,6 +14,12 @@
 //! * [`agglomerate_by`] — single-linkage agglomerative clustering over
 //!   an arbitrary similarity, used to form the algorithm subsets
 //!   `TR_k`.
+//! * [`CsrGraph`] — the flat, interned CSR kernel representation the
+//!   clustering hot paths run over: node keys interned to `u32`
+//!   indices, adjacency in offsets/targets/weights arrays, built once
+//!   from a [`WeightedGraph`] and convertible back. [`louvain_csr`],
+//!   [`weighted_jaccard_matrix`] + [`agglomerate_matrix`] /
+//!   [`agglomerate_merge`] are the batch entry points built on it.
 //!
 //! # Example
 //!
@@ -34,13 +40,18 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod csr;
 mod graph;
 mod jaccard;
 mod louvain;
 mod spectral;
 
-pub use cluster::agglomerate_by;
+pub use cluster::{agglomerate_by, agglomerate_matrix, agglomerate_merge};
+pub use csr::CsrGraph;
 pub use graph::WeightedGraph;
-pub use jaccard::weighted_jaccard;
-pub use louvain::{louvain, louvain_passes, modularity, Partition};
-pub use spectral::{spectral_bisect, spectral_cluster};
+pub use jaccard::{weighted_jaccard, weighted_jaccard_matrix};
+pub use louvain::{
+    louvain, louvain_csr, louvain_csr_passes, louvain_passes, louvain_passes_reference,
+    louvain_reference, modularity, modularity_csr, Partition,
+};
+pub use spectral::{spectral_bisect, spectral_bisect_csr, spectral_cluster};

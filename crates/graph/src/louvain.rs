@@ -6,7 +6,14 @@
 //! with low inter-node communication in different chiplets to reduce
 //! NoP communication energy overhead" — i.e. classic modularity
 //! maximisation over the communication-volume graph.
+//!
+//! The hot path runs over the flat [`CsrGraph`] kernel representation
+//! with per-pass scratch buffers reused across levels; the original
+//! `BTreeMap`-backed implementation is preserved as
+//! [`louvain_reference`] so the property tests can pin bit-identical
+//! partitions and the benches can measure against the map baseline.
 
+use crate::csr::{csr_from_pairs, degrees, CsrGraph};
 use crate::graph::WeightedGraph;
 
 /// A disjoint partition of a graph's nodes into communities
@@ -85,7 +92,355 @@ impl<N: Ord + Clone> Partition<N> {
     }
 }
 
-/// Dense internal graph used during the passes.
+/// One aggregation level of the CSR pass hierarchy. The first level
+/// borrows the caller's [`CsrGraph`] arrays; aggregated levels own
+/// theirs.
+struct LevelView<'a> {
+    offsets: &'a [u32],
+    targets: &'a [u32],
+    weights: &'a [f64],
+    self_loop: &'a [f64],
+    degree: &'a [f64],
+    m2: f64,
+}
+
+struct Level {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    self_loop: Vec<f64>,
+    degree: Vec<f64>,
+    m2: f64,
+}
+
+impl Level {
+    fn view(&self) -> LevelView<'_> {
+        LevelView {
+            offsets: &self.offsets,
+            targets: &self.targets,
+            weights: &self.weights,
+            self_loop: &self.self_loop,
+            degree: &self.degree,
+            m2: self.m2,
+        }
+    }
+}
+
+impl LevelView<'_> {
+    fn node_count(&self) -> usize {
+        self.self_loop.len()
+    }
+}
+
+/// Reusable per-pass scratch. Allocated once per `louvain_csr_passes`
+/// call and recycled across levels (levels only shrink), replacing the
+/// per-move map allocations of the old implementation.
+#[derive(Default)]
+struct Scratch {
+    /// Weight from the node under consideration to each community;
+    /// kept all-zero between nodes via `touched`.
+    w_to: Vec<f64>,
+    touched: Vec<usize>,
+    community: Vec<usize>,
+    comm_degree: Vec<f64>,
+    /// Community -> dense renumbering used by `aggregate`.
+    renum: Vec<usize>,
+    /// (lo, hi, w) inter-community edge entries used by `aggregate`.
+    entries: Vec<(u32, u32, f64)>,
+    pairs: Vec<(u32, u32, f64)>,
+}
+
+/// One local-moving phase over `view`; leaves the node→community
+/// assignment in `s.community` and returns whether anything moved.
+///
+/// Bit-identical to the map-based phase: nodes are visited in index
+/// (= key) order, each row's neighbour weights accumulate in ascending
+/// neighbour order, and ties break toward the smaller community index
+/// within the same 1e-12 window.
+fn local_move(view: &LevelView<'_>, resolution: f64, s: &mut Scratch) -> bool {
+    let n = view.node_count();
+    s.community.clear();
+    s.community.extend(0..n);
+    s.comm_degree.clear();
+    s.comm_degree.extend_from_slice(view.degree);
+    if s.w_to.len() < n {
+        s.w_to.resize(n, 0.0);
+    }
+    s.touched.clear();
+    let mut any_moved = false;
+
+    loop {
+        let mut moved = false;
+        for i in 0..n {
+            let old = s.community[i];
+            // Gather weights to neighbouring communities.
+            let (row_start, row_end) = (view.offsets[i] as usize, view.offsets[i + 1] as usize);
+            for e in row_start..row_end {
+                let c = s.community[view.targets[e] as usize];
+                if s.w_to[c] == 0.0 {
+                    s.touched.push(c);
+                }
+                s.w_to[c] += view.weights[e];
+            }
+            // Remove i from its community.
+            s.comm_degree[old] -= view.degree[i];
+
+            // Best community by modularity gain:
+            // ΔQ ∝ w_to[c] − γ · k_i · Σ_tot(c) / 2m
+            let mut best = old;
+            let mut best_gain =
+                s.w_to[old] - resolution * view.degree[i] * s.comm_degree[old] / view.m2;
+            for &c in &s.touched {
+                let gain = s.w_to[c] - resolution * view.degree[i] * s.comm_degree[c] / view.m2;
+                if gain > best_gain + 1e-12 || (gain > best_gain - 1e-12 && c < best) {
+                    best = c;
+                    best_gain = gain;
+                }
+            }
+
+            s.comm_degree[best] += view.degree[i];
+            if best != old {
+                s.community[i] = best;
+                moved = true;
+                any_moved = true;
+            }
+            for &c in &s.touched {
+                s.w_to[c] = 0.0;
+            }
+            s.touched.clear();
+        }
+        if !moved {
+            break;
+        }
+    }
+    any_moved
+}
+
+/// Aggregates communities into super-nodes; returns the aggregated
+/// level and the node→super-node mapping.
+///
+/// Reproduces the map-based aggregation's float summation order: edge
+/// entries are collected in (node, row-position) visit order and a
+/// *stable* sort groups each community pair without reordering its
+/// contributions, so run-accumulation matches the old `BTreeMap`
+/// entry-accumulation term for term.
+fn aggregate(view: &LevelView<'_>, s: &mut Scratch) -> (Level, Vec<usize>) {
+    let n = view.node_count();
+    // Renumber communities densely, in first-appearance (node) order.
+    s.renum.clear();
+    s.renum.resize(n, usize::MAX);
+    let mut next = 0;
+    for &c in &s.community {
+        if s.renum[c] == usize::MAX {
+            s.renum[c] = next;
+            next += 1;
+        }
+    }
+    let mapping: Vec<usize> = s.community.iter().map(|&c| s.renum[c]).collect();
+
+    let mut self_loop = vec![0.0; next];
+    s.entries.clear();
+    for (i, &ci) in mapping.iter().enumerate() {
+        self_loop[ci] += view.self_loop[i];
+        let (row_start, row_end) = (view.offsets[i] as usize, view.offsets[i + 1] as usize);
+        for e in row_start..row_end {
+            let j = view.targets[e] as usize;
+            if j < i {
+                continue; // each undirected pair once
+            }
+            let cj = mapping[j];
+            if ci == cj {
+                self_loop[ci] += view.weights[e];
+            } else {
+                let (lo, hi) = (ci.min(cj) as u32, ci.max(cj) as u32);
+                s.entries.push((lo, hi, view.weights[e]));
+            }
+        }
+    }
+    s.entries.sort_by_key(|x| (x.0, x.1));
+    s.pairs.clear();
+    for &(lo, hi, w) in &s.entries {
+        match s.pairs.last_mut() {
+            Some(p) if p.0 == lo && p.1 == hi => p.2 += w,
+            _ => s.pairs.push((lo, hi, w)),
+        }
+    }
+    let (offsets, targets, weights) = csr_from_pairs(next, &s.pairs);
+    let (degree, m2) = degrees(&offsets, &weights, &self_loop);
+    (
+        Level {
+            offsets,
+            targets,
+            weights,
+            self_loop,
+            degree,
+            m2,
+        },
+        mapping,
+    )
+}
+
+/// Runs Louvain modularity clustering on the undirected view of `g`.
+///
+/// `resolution` is the γ of generalised modularity: 1.0 is classic
+/// Louvain; higher values produce more, smaller communities (more
+/// chiplets), lower values fewer, larger ones.
+///
+/// Nodes with no edges each form their own community. Deterministic:
+/// ties are broken toward the smaller community index and nodes are
+/// visited in key order.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not finite and positive.
+pub fn louvain<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partition<N> {
+    louvain_csr(&CsrGraph::from_weighted(g), resolution)
+}
+
+/// [`louvain`], but returning the partition after **every pass**: the
+/// initial all-singletons partition first, then one entry per
+/// local-move + aggregation round, ending with the final result
+/// (`louvain` returns the last element). Each pass only applies
+/// positive-gain moves, so modularity is non-decreasing along the
+/// returned sequence — the invariant the property tests pin.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not finite and positive.
+pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Vec<Partition<N>> {
+    louvain_csr_passes(&CsrGraph::from_weighted(g), resolution)
+}
+
+/// [`louvain`] over a prebuilt [`CsrGraph`] — the zero-rebuild entry
+/// point for callers that cluster the same graph repeatedly (e.g. the
+/// chiplet-count escalation loop sweeping `resolution`).
+pub fn louvain_csr<N: Ord + Clone>(csr: &CsrGraph<N>, resolution: f64) -> Partition<N> {
+    louvain_csr_passes(csr, resolution)
+        .pop()
+        .expect("passes always holds at least the initial partition")
+}
+
+/// [`louvain_passes`] over a prebuilt [`CsrGraph`].
+///
+/// # Panics
+///
+/// Panics if `resolution` is not finite and positive.
+pub fn louvain_csr_passes<N: Ord + Clone>(csr: &CsrGraph<N>, resolution: f64) -> Vec<Partition<N>> {
+    assert!(
+        resolution.is_finite() && resolution > 0.0,
+        "resolution must be positive"
+    );
+    if csr.is_empty() {
+        return vec![Partition {
+            communities: Vec::new(),
+        }];
+    }
+    // node -> current community, threaded through passes.
+    let mut assignment: Vec<usize> = (0..csr.node_count()).collect();
+    let mut passes = vec![Partition::from_assignment(csr.keys(), &assignment)];
+    if csr.m2() == 0.0 {
+        // No edges: singleton communities.
+        return passes;
+    }
+
+    let mut scratch = Scratch::default();
+    let first = LevelView {
+        offsets: csr.offsets(),
+        targets: csr.targets(),
+        weights: csr.weights(),
+        self_loop: csr.self_loops(),
+        degree: csr.degrees(),
+        m2: csr.m2(),
+    };
+    let mut owned: Option<Level> = None;
+    loop {
+        let view = owned.as_ref().map(Level::view).unwrap_or(LevelView {
+            offsets: first.offsets,
+            targets: first.targets,
+            weights: first.weights,
+            self_loop: first.self_loop,
+            degree: first.degree,
+            m2: first.m2,
+        });
+        let moved = local_move(&view, resolution, &mut scratch);
+        if !moved {
+            break;
+        }
+        let node_count = view.node_count();
+        let (aggregated, mapping) = aggregate(&view, &mut scratch);
+        for a in &mut assignment {
+            *a = mapping[*a];
+        }
+        passes.push(Partition::from_assignment(csr.keys(), &assignment));
+        if aggregated.self_loop.len() == node_count {
+            break;
+        }
+        owned = Some(aggregated);
+    }
+    passes
+}
+
+/// Generalised modularity `Q` of a partition:
+///
+/// `Q = (1/2m) Σ_ij (A_ij − γ·k_i·k_j/2m) δ(c_i, c_j)`
+///
+/// with `A_ii` twice the self-loop weight (the standard convention).
+/// Returns 0.0 for graphs without edges.
+pub fn modularity<N: Ord + Clone>(
+    g: &WeightedGraph<N>,
+    partition: &Partition<N>,
+    resolution: f64,
+) -> f64 {
+    modularity_csr(&CsrGraph::from_weighted(g), partition, resolution)
+}
+
+/// [`modularity`] over a prebuilt [`CsrGraph`].
+pub fn modularity_csr<N: Ord + Clone>(
+    csr: &CsrGraph<N>,
+    partition: &Partition<N>,
+    resolution: f64,
+) -> f64 {
+    let n = csr.node_count();
+    if n == 0 || csr.m2() == 0.0 {
+        return 0.0;
+    }
+    let comm: Vec<usize> = csr
+        .keys()
+        .iter()
+        .map(|k| partition.community_of(k).expect("partition covers graph"))
+        .collect();
+    let (degree, m2) = (csr.degrees(), csr.m2());
+
+    let mut q = 0.0;
+    for i in 0..n {
+        // Self-loop term: A_ii = 2·self_loop.
+        q += 2.0 * csr.self_loops()[i] - resolution * degree[i] * degree[i] / m2;
+        let (row_t, row_w) = csr.row(i);
+        for (&j, &w) in row_t.iter().zip(row_w) {
+            if comm[i] == comm[j as usize] {
+                q += w - resolution * degree[i] * degree[j as usize] / m2;
+            }
+        }
+    }
+    // Correct the pair terms we skipped: the loop above double-counts
+    // nothing (rows list both directions), but misses k_i·k_j penalties
+    // for non-adjacent same-community pairs.
+    for i in 0..n {
+        let (row_t, _) = csr.row(i);
+        for j in 0..n {
+            if i != j && comm[i] == comm[j] && row_t.binary_search(&(j as u32)).is_err() {
+                q -= resolution * degree[i] * degree[j] / m2;
+            }
+        }
+    }
+    q / m2
+}
+
+// ---------------------------------------------------------------------
+// Map-based reference implementation (pre-CSR), preserved verbatim.
+// ---------------------------------------------------------------------
+
+/// Dense internal graph used by the reference implementation.
 struct Dense {
     /// adj[i] = (neighbor, weight) with i != neighbor.
     adj: Vec<Vec<(usize, f64)>>,
@@ -142,7 +497,6 @@ impl Dense {
             let mut moved = false;
             for i in 0..n {
                 let old = community[i];
-                // Gather weights to neighbouring communities.
                 for &(j, w) in &self.adj[i] {
                     let c = community[j];
                     if w_to[c] == 0.0 {
@@ -150,11 +504,8 @@ impl Dense {
                     }
                     w_to[c] += w;
                 }
-                // Remove i from its community.
                 comm_degree[old] -= self.degree[i];
 
-                // Best community by modularity gain:
-                // ΔQ ∝ w_to[c] − γ · k_i · Σ_tot(c) / 2m
                 let mut best = old;
                 let mut best_gain =
                     w_to[old] - resolution * self.degree[i] * comm_degree[old] / self.m2;
@@ -186,7 +537,6 @@ impl Dense {
 
     /// Aggregates communities into super-nodes.
     fn aggregate(&self, community: &[usize]) -> (Dense, Vec<usize>) {
-        // Renumber communities densely.
         let mut renum = vec![usize::MAX; community.len()];
         let mut next = 0;
         for &c in community {
@@ -239,36 +589,25 @@ impl Dense {
     }
 }
 
-/// Runs Louvain modularity clustering on the undirected view of `g`.
-///
-/// `resolution` is the γ of generalised modularity: 1.0 is classic
-/// Louvain; higher values produce more, smaller communities (more
-/// chiplets), lower values fewer, larger ones.
-///
-/// Nodes with no edges each form their own community. Deterministic:
-/// ties are broken toward the smaller community index and nodes are
-/// visited in key order.
-///
-/// # Panics
-///
-/// Panics if `resolution` is not finite and positive.
-pub fn louvain<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partition<N> {
-    louvain_passes(g, resolution)
+/// The pre-CSR, `BTreeMap`-backed [`louvain`] implementation,
+/// preserved as the bit-exactness reference: the property tests assert
+/// `louvain == louvain_reference` on random graphs, and the `profile`
+/// bench uses it as the baseline for the CSR kernel speedup.
+pub fn louvain_reference<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partition<N> {
+    louvain_passes_reference(g, resolution)
         .pop()
         .expect("passes always holds at least the initial partition")
 }
 
-/// [`louvain`], but returning the partition after **every pass**: the
-/// initial all-singletons partition first, then one entry per
-/// local-move + aggregation round, ending with the final result
-/// (`louvain` returns the last element). Each pass only applies
-/// positive-gain moves, so modularity is non-decreasing along the
-/// returned sequence — the invariant the property tests pin.
+/// The pre-CSR [`louvain_passes`]; see [`louvain_reference`].
 ///
 /// # Panics
 ///
 /// Panics if `resolution` is not finite and positive.
-pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Vec<Partition<N>> {
+pub fn louvain_passes_reference<N: Ord + Clone>(
+    g: &WeightedGraph<N>,
+    resolution: f64,
+) -> Vec<Partition<N>> {
     assert!(
         resolution.is_finite() && resolution > 0.0,
         "resolution must be positive"
@@ -279,12 +618,10 @@ pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> 
             communities: Vec::new(),
         }];
     }
-    // node -> current community, threaded through passes.
     let mut assignment: Vec<usize> = (0..index.len()).collect();
     let mut passes = vec![Partition::from_assignment(&index, &assignment)];
     let dense = Dense::from_graph(g, &index);
     if dense.m2 == 0.0 {
-        // No edges: singleton communities.
         return passes;
     }
 
@@ -305,53 +642,6 @@ pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> 
         level = aggregated;
     }
     passes
-}
-
-/// Generalised modularity `Q` of a partition:
-///
-/// `Q = (1/2m) Σ_ij (A_ij − γ·k_i·k_j/2m) δ(c_i, c_j)`
-///
-/// with `A_ii` twice the self-loop weight (the standard convention).
-/// Returns 0.0 for graphs without edges.
-pub fn modularity<N: Ord + Clone>(
-    g: &WeightedGraph<N>,
-    partition: &Partition<N>,
-    resolution: f64,
-) -> f64 {
-    let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
-    if index.is_empty() {
-        return 0.0;
-    }
-    let dense = Dense::from_graph(g, &index);
-    if dense.m2 == 0.0 {
-        return 0.0;
-    }
-    let comm: Vec<usize> = index
-        .iter()
-        .map(|n| partition.community_of(n).expect("partition covers graph"))
-        .collect();
-
-    let mut q = 0.0;
-    for i in 0..index.len() {
-        // Self-loop term: A_ii = 2·self_loop.
-        q += 2.0 * dense.self_loop[i] - resolution * dense.degree[i] * dense.degree[i] / dense.m2;
-        for &(j, w) in &dense.adj[i] {
-            if comm[i] == comm[j] {
-                q += w - resolution * dense.degree[i] * dense.degree[j] / dense.m2;
-            }
-        }
-    }
-    // Correct the pair terms we skipped: the loop above double-counts
-    // nothing (adj lists both directions), but misses k_i·k_j penalties
-    // for non-adjacent same-community pairs.
-    for i in 0..index.len() {
-        for j in 0..index.len() {
-            if i != j && comm[i] == comm[j] && !dense.adj[i].iter().any(|&(nb, _)| nb == j) {
-                q -= resolution * dense.degree[i] * dense.degree[j] / dense.m2;
-            }
-        }
-    }
-    q / dense.m2
 }
 
 #[cfg(test)]
@@ -480,5 +770,32 @@ mod tests {
         let a = louvain(&g, 1.0);
         let b = louvain(&g, 1.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_matches_reference_on_fixed_graphs() {
+        for gamma in [0.5, 1.0, 1.5, 3.0] {
+            let g = two_triangles();
+            assert_eq!(louvain(&g, gamma), louvain_reference(&g, gamma));
+            assert_eq!(
+                louvain_passes(&g, gamma),
+                louvain_passes_reference(&g, gamma)
+            );
+        }
+        let mut weird = WeightedGraph::new();
+        weird.add_edge("x", "x", 9.0);
+        weird.add_edge("x", "y", 0.25);
+        weird.add_edge("y", "x", 0.5);
+        weird.add_node("lonely", 3.0);
+        assert_eq!(louvain(&weird, 1.0), louvain_reference(&weird, 1.0));
+    }
+
+    #[test]
+    fn modularity_csr_reuses_prebuilt_graph() {
+        let g = two_triangles();
+        let csr = CsrGraph::from_weighted(&g);
+        let p = louvain_csr(&csr, 1.0);
+        assert_eq!(p, louvain(&g, 1.0));
+        assert_eq!(modularity_csr(&csr, &p, 1.0), modularity(&g, &p, 1.0));
     }
 }

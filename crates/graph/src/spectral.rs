@@ -7,6 +7,7 @@
 //! iteration (no linear-algebra dependency), deflating the trivial
 //! all-ones eigenvector.
 
+use crate::csr::CsrGraph;
 use crate::graph::WeightedGraph;
 use crate::louvain::Partition;
 
@@ -23,30 +24,36 @@ use crate::louvain::Partition;
 ///
 /// Panics if `iterations` is zero.
 pub fn spectral_bisect<N: Ord + Clone>(g: &WeightedGraph<N>, iterations: usize) -> Partition<N> {
+    spectral_bisect_csr(&CsrGraph::from_weighted(g), iterations)
+}
+
+/// [`spectral_bisect`] over a prebuilt [`CsrGraph`] — the entry point
+/// callers with an interned graph in hand use to skip the map rebuild.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn spectral_bisect_csr<N: Ord + Clone>(csr: &CsrGraph<N>, iterations: usize) -> Partition<N> {
     assert!(iterations > 0, "iterations must be positive");
-    let index: Vec<N> = g.nodes().map(|(n, _)| n.clone()).collect();
+    let index: Vec<N> = csr.keys().to_vec();
     let n = index.len();
     if n < 2 {
         return Partition::from_communities(if n == 0 { Vec::new() } else { vec![index] });
     }
 
-    // Dense adjacency (self-loops do not affect the Laplacian).
-    let pos = |k: &N| index.binary_search(k).expect("node in index");
+    // Dense adjacency from the CSR rows (self-loops are stored apart
+    // and do not affect the Laplacian). Row order matches the old
+    // sorted-map walk, so degree sums are bit-identical.
     let mut adj = vec![vec![0.0_f64; n]; n];
     let mut degree = vec![0.0_f64; n];
-    let mut has_edges = false;
-    for ((a, b), w) in g.undirected_edges() {
-        let (i, j) = (pos(&a), pos(&b));
-        if i == j {
-            continue;
+    for i in 0..n {
+        let (row_t, row_w) = csr.row(i);
+        for (&j, &w) in row_t.iter().zip(row_w) {
+            adj[i][j as usize] = w;
+            degree[i] += w;
         }
-        adj[i][j] += w;
-        adj[j][i] += w;
-        degree[i] += w;
-        degree[j] += w;
-        has_edges = true;
     }
-    if !has_edges {
+    if csr.targets().is_empty() {
         return Partition::from_communities(vec![index]);
     }
 

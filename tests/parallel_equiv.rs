@@ -9,7 +9,7 @@
 use claire::core::dse::{
     custom_config, custom_config_with_engine, sweep, sweep_with_engine, DseObjective,
 };
-use claire::core::{Claire, ClaireOptions, Constraints, Engine};
+use claire::core::{Claire, ClaireOptions, Constraints, Engine, SubsetStrategy, WeightScale};
 use claire::model::zoo;
 use claire::ppa::DseSpace;
 
@@ -98,6 +98,72 @@ fn full_training_flow_is_bit_identical_across_engines() {
                 "training flow diverged at {threads} thread(s), cache {cache}"
             );
         }
+    }
+}
+
+#[test]
+fn library_synthesis_is_bit_identical_across_engines() {
+    // Parallel library synthesis: the subset fan-out (one `C_k`
+    // configuration per WeightedJaccard subset, clustered through the
+    // engine's graph and Louvain memo tiers) must not change any
+    // output bit. The training set is chosen so agglomeration forms
+    // several multi-member subsets — compact CNNs, attention
+    // transformers, and the Conv1d-bearing GPT-2 — exercising the
+    // merged-vector maintenance and the per-subset par_map.
+    let claire = Claire::new(ClaireOptions {
+        subsets: SubsetStrategy::WeightedJaccard {
+            threshold: 0.6,
+            scale: WeightScale::Log,
+        },
+        ..ClaireOptions::default()
+    });
+    let models = [
+        zoo::resnet18(),
+        zoo::resnet50(),
+        zoo::mobilenet_v2(),
+        zoo::bert_base(),
+        zoo::vit_base(),
+        zoo::gpt2(),
+    ];
+    let reference = format!(
+        "{:?}",
+        claire
+            .train_with_engine(&models, &Engine::serial().with_cache(false))
+            .unwrap()
+    );
+    for threads in THREAD_COUNTS {
+        for cache in [false, true] {
+            let engine = Engine::new(threads).with_cache(cache);
+            let got = format!("{:?}", claire.train_with_engine(&models, &engine).unwrap());
+            assert_eq!(
+                got, reference,
+                "library synthesis diverged at {threads} thread(s), cache {cache}"
+            );
+        }
+    }
+}
+
+#[test]
+fn clustering_memo_tiers_see_traffic_during_training() {
+    let engine = Engine::new(2);
+    let claire = Claire::new(ClaireOptions::default());
+    claire
+        .train_with_engine(&[zoo::resnet18(), zoo::alexnet()], &engine)
+        .unwrap();
+    let stats = engine.stats();
+    assert!(
+        stats.graph_misses > 0,
+        "graph cache untouched by training: {stats:?}"
+    );
+    assert!(
+        stats.louvain_hits + stats.louvain_misses > 0,
+        "louvain cache untouched by training: {stats:?}"
+    );
+    for stage in ["customs", "generic", "subsets", "libraries", "algo_ppa"] {
+        assert!(
+            stats.stages.iter().any(|(name, _)| name == stage),
+            "stage {stage} not timed: {stats:?}"
+        );
     }
 }
 

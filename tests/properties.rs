@@ -6,7 +6,8 @@
 use claire::core::{metrics, Claire, ClaireOptions, Constraints, DesignConfig};
 use claire::cost::{NreModel, RecurringModel};
 use claire::graph::{
-    louvain, louvain_passes, modularity, weighted_jaccard, Partition, WeightedGraph,
+    louvain, louvain_passes, louvain_passes_reference, louvain_reference, modularity,
+    weighted_jaccard, weighted_jaccard_matrix, CsrGraph, Partition, WeightedGraph,
 };
 use claire::model::parse::{parse_model, to_torch_print, InputShape, ParseOptions};
 use claire::model::{
@@ -149,6 +150,27 @@ proptest! {
         prop_assert_eq!(weighted_jaccard(&a, &a), 1.0);
     }
 
+    /// The batch similarity matrix is bit-for-bit the pairwise
+    /// function: symmetric, unit diagonal, every off-diagonal entry
+    /// identical (`to_bits`) to `weighted_jaccard` on the same pair.
+    #[test]
+    fn jaccard_matrix_matches_pairwise(vs in proptest::collection::vec(weight_vec(), 0..8)) {
+        let m = weighted_jaccard_matrix(&vs);
+        prop_assert_eq!(m.len(), vs.len());
+        for i in 0..vs.len() {
+            prop_assert_eq!(m[i][i], 1.0);
+            for j in 0..vs.len() {
+                prop_assert_eq!(m[i][j].to_bits(), m[j][i].to_bits());
+                if i != j {
+                    prop_assert_eq!(
+                        m[i][j].to_bits(),
+                        weighted_jaccard(&vs[i], &vs[j]).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn jaccard_scaling_down_reduces_similarity(a in weight_vec(), f in 1.5f64..100.0) {
         prop_assume!(a.values().any(|&w| w > 0.0));
@@ -216,6 +238,27 @@ proptest! {
         for w in qs.windows(2) {
             prop_assert!(w[1] >= w[0] - 1e-9, "modularity dropped across a pass: {qs:?}");
         }
+    }
+
+    /// The flat CSR Louvain is a drop-in replacement for the map-based
+    /// reference implementation: identical partitions — not merely
+    /// equal modularity — on arbitrary random weighted graphs and
+    /// resolutions, pass by pass.
+    #[test]
+    fn csr_louvain_matches_map_reference(g in small_graph(), res in 0.25f64..4.0) {
+        prop_assert_eq!(&louvain(&g, res), &louvain_reference(&g, res));
+        prop_assert_eq!(&louvain_passes(&g, res), &louvain_passes_reference(&g, res));
+    }
+
+    /// Interning to CSR and back loses nothing the kernels read:
+    /// re-interning the round-tripped graph reproduces the CSR arrays
+    /// exactly, and community structure is unchanged.
+    #[test]
+    fn csr_round_trip_is_lossless(g in small_graph(), res in 0.25f64..4.0) {
+        let csr = CsrGraph::from_weighted(&g);
+        let rt = csr.to_weighted();
+        prop_assert_eq!(&CsrGraph::from_weighted(&rt), &csr);
+        prop_assert_eq!(&louvain(&rt, res), &louvain(&g, res));
     }
 
     #[test]
