@@ -94,6 +94,19 @@ impl Chiplet {
     }
 }
 
+/// Silicon area of a monolithic (unclustered) configuration holding
+/// `classes` under `hw`: the module-group areas summed in class order
+/// plus one NoC router per group. This is **the** monolithic area
+/// formula — [`DesignConfig::area_mm2`] and the engine's memoized
+/// per-op-class area tables both evaluate it with the identical
+/// floating-point operation order, which is what lets the staged DSE
+/// sweep prune on area without ever disagreeing with a full
+/// evaluation by even one bit.
+pub fn monolithic_area_mm2(classes: &BTreeSet<OpClass>, hw: &HwParams) -> f64 {
+    let units: f64 = classes.iter().map(|&c| unit_area_mm2(c, hw)).sum();
+    units + classes.len() as f64 * Network::noc().router.area_mm2
+}
+
 /// A design configuration: the DSE-selected hardware parameters, the
 /// module groups it instantiates, and (after Step #TR3) its chiplet
 /// partition.
@@ -138,15 +151,10 @@ impl DesignConfig {
 
     /// Total silicon area, mm²: the sum of chiplet areas when
     /// clustered, otherwise the monolithic module-group area plus
-    /// per-group routers.
+    /// per-group routers (see [`monolithic_area_mm2`]).
     pub fn area_mm2(&self) -> f64 {
         if self.chiplets.is_empty() {
-            let units: f64 = self
-                .classes
-                .iter()
-                .map(|&c| unit_area_mm2(c, &self.hw))
-                .sum();
-            units + self.classes.len() as f64 * Network::noc().router.area_mm2
+            monolithic_area_mm2(&self.classes, &self.hw)
         } else {
             self.chiplets.iter().map(|c| c.area_mm2).sum()
         }
@@ -400,6 +408,21 @@ mod tests {
             &hw(),
         )];
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn monolithic_area_helper_matches_config_area() {
+        let cfg = DesignConfig::monolithic(
+            "c",
+            hw(),
+            classes(&[
+                OpClass::Conv2d,
+                OpClass::Linear,
+                OpClass::Activation(ActivationKind::Relu),
+            ]),
+        );
+        let direct = monolithic_area_mm2(&cfg.classes, &cfg.hw);
+        assert_eq!(direct.to_bits(), cfg.area_mm2().to_bits());
     }
 
     #[test]

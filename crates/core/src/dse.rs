@@ -55,6 +55,17 @@ fn monolithic_classes(model: &Model) -> BTreeSet<OpClass> {
     model.op_class_counts().keys().copied().collect()
 }
 
+/// The hw axes never affect a shell's name or class inventory, so the
+/// sweeps build one shell per model under this placeholder point and
+/// clone-with-hw per space point — the `format!` and class-set
+/// derivation run once, outside the hot loop.
+const SHELL_HW: HwParams = HwParams {
+    sa_size: 1,
+    n_sa: 1,
+    n_act: 1,
+    n_pool: 1,
+};
+
 fn monolithic_for(model: &Model, hw: HwParams) -> DesignConfig {
     DesignConfig::monolithic(
         format!("dse:{}", model.name()),
@@ -71,23 +82,46 @@ pub fn sweep(model: &Model, space: &DseSpace, constraints: &Constraints) -> Vec<
     sweep_with_engine(model, space, constraints, &Engine::serial())
 }
 
-/// [`sweep`] on an explicit [`Engine`]: space points are evaluated in
-/// parallel (memoized) and the surviving points are returned in space
-/// iteration order, identical to the serial sweep at any thread count.
+/// [`sweep`] on an explicit [`Engine`]: a staged, constraint-pruned
+/// search that returns the surviving points in space iteration order,
+/// identical to the serial exhaustive sweep at any thread count.
+///
+/// **Stage A** prices every point's monolithic area from the engine's
+/// memoized per-op-class tables — no per-layer work — and (when
+/// [`Engine::pruning_enabled`]) drops points already over
+/// `chiplet_area_limit_mm2`. **Stage B** runs the full timing/energy
+/// evaluation on the survivors only. The screen is *sound*: the
+/// model-light area is bit-identical to the `area_mm2` a full
+/// evaluation reports (see [`crate::config::monolithic_area_mm2`]),
+/// so stage A removes exactly a subset of the points the exhaustive
+/// feasibility check would reject — the returned feasible set is
+/// unchanged, element for element and bit for bit.
 pub fn sweep_with_engine(
     model: &Model,
     space: &DseSpace,
     constraints: &Constraints,
     engine: &Engine,
 ) -> Vec<DsePoint> {
-    let points: Vec<HwParams> = space.iter().collect();
-    // The monolithic shell differs only in `hw` across the sweep:
-    // derive the class inventory and name once, not per point.
-    let classes = monolithic_classes(model);
-    let dse_name = format!("dse:{}", model.name());
+    let shell = monolithic_for(model, SHELL_HW);
+    let all: Vec<HwParams> = space.iter().collect();
+    let points: Vec<HwParams> = if engine.pruning_enabled() {
+        let kept: Vec<HwParams> = all
+            .iter()
+            .copied()
+            .filter(|hw| {
+                engine.monolithic_area(&shell.classes, hw) <= constraints.chiplet_area_limit_mm2
+            })
+            .collect();
+        engine.note_dse_pruned((all.len() - kept.len()) as u64);
+        engine.note_dse_evaluated(kept.len() as u64);
+        kept
+    } else {
+        all
+    };
     engine
         .par_map(&points, |_, &hw| {
-            let cfg = DesignConfig::monolithic(dse_name.clone(), hw, classes.clone());
+            let mut cfg = shell.clone();
+            cfg.hw = hw;
             let report = engine.evaluate(model, &cfg).ok()?;
             let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
                 && report.power_density_w_per_mm2() <= constraints.power_density_limit_w_per_mm2;
@@ -220,17 +254,35 @@ pub fn set_config_with_engine(
         return Err(ClaireError::EmptyAlgorithmSet);
     }
 
-    let points: Vec<HwParams> = space.iter().collect();
-    // Per-member monolithic shells: class inventories and names are
-    // hw-independent, so derive them once for the whole sweep.
-    let shells: Vec<(String, BTreeSet<OpClass>)> = models
-        .iter()
-        .map(|m| (format!("dse:{}", m.name()), monolithic_classes(m)))
-        .collect();
+    let all: Vec<HwParams> = space.iter().collect();
+    // Per-member monolithic shells, built once for the whole sweep and
+    // cloned-with-hw per point.
+    let shells: Vec<DesignConfig> = models.iter().map(|m| monolithic_for(m, SHELL_HW)).collect();
+    // Stage A: a point is worth full evaluation only if every member's
+    // model-light monolithic area fits the chiplet cap — the same
+    // early-`None` the exhaustive member loop below takes, decided
+    // from the memoized area tables alone.
+    let points: Vec<HwParams> = if engine.pruning_enabled() {
+        let kept: Vec<HwParams> = all
+            .iter()
+            .copied()
+            .filter(|hw| {
+                shells.iter().all(|s| {
+                    engine.monolithic_area(&s.classes, hw) <= constraints.chiplet_area_limit_mm2
+                })
+            })
+            .collect();
+        engine.note_dse_pruned((all.len() - kept.len()) as u64);
+        engine.note_dse_evaluated(kept.len() as u64);
+        kept
+    } else {
+        all
+    };
     let totals: Vec<Option<f64>> = engine.par_map(&points, |_, &hw| {
         let mut total_area = 0.0;
-        for (m, (dse_name, classes)) in models.iter().zip(&shells) {
-            let cfg = DesignConfig::monolithic(dse_name.clone(), hw, classes.clone());
+        for (m, shell) in models.iter().zip(&shells) {
+            let mut cfg = shell.clone();
+            cfg.hw = hw;
             let report = engine.evaluate(m, &cfg).ok()?;
             let latency_ok = custom_latency_s
                 .get(m.name())
@@ -260,7 +312,7 @@ pub fn set_config_with_engine(
     let (_, hw) = best.ok_or_else(|| ClaireError::NoFeasibleConfiguration {
         subject: name.to_owned(),
     })?;
-    let classes: BTreeSet<OpClass> = shells.into_iter().flat_map(|(_, c)| c).collect();
+    let classes: BTreeSet<OpClass> = shells.into_iter().flat_map(|s| s.classes).collect();
     Ok(DesignConfig::monolithic(name, hw, classes))
 }
 
@@ -353,6 +405,63 @@ mod tests {
         assert!(area_r.area_mm2 <= lat_r.area_mm2);
         assert!(lat_r.latency_s <= area_r.latency_s);
         assert!(edp_r.energy_j * edp_r.latency_s <= area_r.energy_j * area_r.latency_s + 1e-18);
+    }
+
+    #[test]
+    fn staged_sweep_matches_exhaustive_bit_for_bit() {
+        let (space, cons) = setup();
+        let m = zoo::vgg16();
+        let staged_engine = Engine::serial();
+        let staged = sweep_with_engine(&m, &space, &cons, &staged_engine);
+        let exhaustive =
+            sweep_with_engine(&m, &space, &cons, &Engine::serial().with_pruning(false));
+        assert_eq!(format!("{staged:?}"), format!("{exhaustive:?}"));
+        let stats = staged_engine.stats();
+        assert!(stats.dse_pruned > 0, "default space has oversized points");
+        assert_eq!(
+            stats.dse_pruned + stats.dse_evaluated,
+            space.len() as u64,
+            "every point is screened exactly once"
+        );
+    }
+
+    #[test]
+    fn exhaustive_engine_screens_nothing() {
+        let (space, cons) = setup();
+        let engine = Engine::serial().with_pruning(false);
+        assert!(!engine.pruning_enabled());
+        sweep_with_engine(&zoo::vgg16(), &space, &cons, &engine);
+        let stats = engine.stats();
+        assert_eq!(stats.dse_pruned, 0);
+        assert_eq!(stats.dse_evaluated, 0);
+        assert_eq!(stats.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn staged_set_config_matches_exhaustive() {
+        let (space, cons) = setup();
+        let models = [zoo::resnet18(), zoo::bert_base()];
+        let refs: BTreeMap<String, f64> = models
+            .iter()
+            .map(|m| {
+                let (_, r) = custom_config(m, &space, &cons).unwrap();
+                (m.name().to_owned(), r.latency_s)
+            })
+            .collect();
+        let refs_list: Vec<&Model> = models.iter().collect();
+        let staged =
+            set_config_with_engine("C_g", &refs_list, &space, &cons, &refs, &Engine::serial())
+                .unwrap();
+        let exhaustive = set_config_with_engine(
+            "C_g",
+            &refs_list,
+            &space,
+            &cons,
+            &refs,
+            &Engine::serial().with_pruning(false),
+        )
+        .unwrap();
+        assert_eq!(format!("{staged:?}"), format!("{exhaustive:?}"));
     }
 
     #[test]

@@ -282,6 +282,14 @@ pub trait CostProvider: Sync {
         let _ = config;
         Arc::new(RouteTable::new())
     }
+
+    /// Silicon area of `config`. The default computes it directly;
+    /// the engine serves monolithic configurations from its memoized
+    /// per-op-class area tables. Implementations must return a value
+    /// bit-identical to [`DesignConfig::area_mm2`].
+    fn config_area(&self, config: &DesignConfig) -> f64 {
+        config.area_mm2()
+    }
 }
 
 /// The uncached reference [`CostProvider`].
@@ -389,7 +397,7 @@ pub fn evaluate_with_costs(
         nop_pj += t.nop_pj();
     }
 
-    let area = config.area_mm2();
+    let area = costs.config_area(config);
     let leakage_j = if opts.include_leakage {
         let leaking_area = if opts.power_gating {
             // Only module groups the algorithm exercises leak, plus

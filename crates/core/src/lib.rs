@@ -60,7 +60,7 @@ pub use claire::{
     paper_table3_subsets, AlgoPpa, Claire, ClaireOptions, CustomResult, LibraryConfig,
     SubsetStrategy, TestOutput, TestReport, TrainOutput,
 };
-pub use config::{Chiplet, Constraints, DesignConfig};
+pub use config::{monolithic_area_mm2, Chiplet, Constraints, DesignConfig};
 pub use dse::DseObjective;
 pub use error::ClaireError;
 pub use evaluate::{

@@ -21,12 +21,12 @@
 //! the `CLAIRE_THREADS` environment variable, then
 //! [`std::thread::available_parallelism`].
 
-use crate::config::DesignConfig;
+use crate::config::{monolithic_area_mm2, DesignConfig};
 use crate::evaluate::{ComputeSum, CostProvider, RouteTable};
 use claire_graph::{louvain_csr, CsrGraph, Partition};
 use claire_model::{LayerKind, OpClass};
-use claire_ppa::{layer_cost, DseSpace, HwParams, LayerCost};
-use std::collections::HashMap;
+use claire_ppa::{layer_cost, unit_area_mm2, DseSpace, HwParams, LayerBatch, LayerCost};
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -106,6 +106,24 @@ pub struct EngineStats {
     pub graph_misses: u64,
     /// Distinct (model set, hardware) universal graphs cached.
     pub graph_entries: usize,
+    /// Monolithic-area computations served from the per-op-class area
+    /// tables.
+    pub area_hits: u64,
+    /// Monolithic-area computations that built a new per-hardware
+    /// area table.
+    pub area_misses: u64,
+    /// Distinct hardware points with cached area tables.
+    pub area_entries: usize,
+    /// Distinct layer structures interned (structural memo keys).
+    pub struct_entries: usize,
+    /// Distinct model instances mapped onto those structures; a gap
+    /// over `struct_entries` is exactly the sharing instance-id keys
+    /// would have missed.
+    pub struct_instances: usize,
+    /// DSE points skipped by the staged sweep's area screen.
+    pub dse_pruned: u64,
+    /// DSE points that survived the screen into full PPA evaluation.
+    pub dse_evaluated: u64,
     /// Accumulated wall time per pipeline stage, in first-recorded
     /// order.
     pub stages: Vec<(String, Duration)>,
@@ -119,17 +137,44 @@ impl EngineStats {
     }
 
     /// Hit rate across every memo tier (layer costs, route tables,
-    /// compute sums and Louvain partitions) in `[0, 1]`; 0 when nothing
-    /// was looked up.
+    /// compute sums, Louvain partitions, universal graphs and area
+    /// tables) in `[0, 1]`; 0 when nothing was looked up.
     pub fn overall_hit_rate(&self) -> f64 {
         ratio(
-            self.cache_hits + self.route_hits + self.sum_hits + self.louvain_hits + self.graph_hits,
+            self.cache_hits
+                + self.route_hits
+                + self.sum_hits
+                + self.louvain_hits
+                + self.graph_hits
+                + self.area_hits,
             self.cache_misses
                 + self.route_misses
                 + self.sum_misses
                 + self.louvain_misses
-                + self.graph_misses,
+                + self.graph_misses
+                + self.area_misses,
         )
+    }
+
+    /// Compute-sum tier hit rate in `[0, 1]`.
+    pub fn sum_hit_rate(&self) -> f64 {
+        ratio(self.sum_hits, self.sum_misses)
+    }
+
+    /// Area-table tier hit rate in `[0, 1]`.
+    pub fn area_hit_rate(&self) -> f64 {
+        ratio(self.area_hits, self.area_misses)
+    }
+
+    /// Fraction of DSE points the staged sweep pruned before full
+    /// evaluation, in `[0, 1]`; 0 when no sweep ran.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.dse_pruned + self.dse_evaluated;
+        if total == 0 {
+            0.0
+        } else {
+            self.dse_pruned as f64 / total as f64
+        }
     }
 
     /// Total wall time recorded across stages.
@@ -198,6 +243,26 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  area tables: {} hits / {} misses ({:.1} % hit rate, {} hw points)",
+            self.area_hits,
+            self.area_misses,
+            100.0 * self.area_hit_rate(),
+            self.area_entries
+        )?;
+        writeln!(
+            f,
+            "  structural keys: {} structures over {} model instances",
+            self.struct_entries, self.struct_instances
+        )?;
+        writeln!(
+            f,
+            "  dse screen: {} pruned / {} evaluated ({:.1} % pruned)",
+            self.dse_pruned,
+            self.dse_evaluated,
+            100.0 * self.pruned_fraction()
+        )?;
+        writeln!(
+            f,
             "  overall memo hit rate: {:.1} %",
             100.0 * self.overall_hit_rate()
         )?;
@@ -223,11 +288,14 @@ type MemoMap<K, V> = RwLock<HashMap<K, V, std::hash::BuildHasherDefault<FxHasher
 pub struct Engine {
     threads: usize,
     cache_enabled: bool,
+    pruning_enabled: bool,
     shards: Vec<RwLock<Shard>>,
     routes: MemoMap<TopologyKey, Arc<RouteTable>>,
-    sums: MemoMap<(u64, HwParams), ComputeSum>,
+    sums: MemoMap<(u32, HwParams), ComputeSum>,
     louvains: MemoMap<Box<[u64]>, Arc<Partition<OpClass>>>,
     graphs: MemoMap<(Box<[u64]>, HwParams), Arc<UniversalCsr>>,
+    areas: MemoMap<HwParams, Arc<[f64; OpClass::COUNT]>>,
+    models: RwLock<ModelInterner>,
     hits: AtomicU64,
     misses: AtomicU64,
     route_hits: AtomicU64,
@@ -238,7 +306,27 @@ pub struct Engine {
     louvain_misses: AtomicU64,
     graph_hits: AtomicU64,
     graph_misses: AtomicU64,
+    area_hits: AtomicU64,
+    area_misses: AtomicU64,
+    dse_pruned: AtomicU64,
+    dse_evaluated: AtomicU64,
     stages: Mutex<Vec<(String, Duration)>>,
+}
+
+/// The structural model interner behind the compute-sum tier's memo
+/// keys. Every model maps to a dense **structural id**: models whose
+/// layer sequences are element-wise identical share one id (and one
+/// preprocessed [`LayerBatch`]), however they were constructed. The
+/// content key is the complete `Box<[LayerKind]>` layer sequence — a
+/// total encoding, not a hash — so two models share an id only when a
+/// compute sum provably cannot distinguish them. A per-instance fast
+/// path (keyed by [`claire_model::Model::instance_id`], shared by
+/// clones) skips the content comparison after a model's first visit.
+#[derive(Debug, Default)]
+struct ModelInterner {
+    by_instance: HashMap<u64, u32, std::hash::BuildHasherDefault<FxHasher>>,
+    by_content: HashMap<Box<[LayerKind]>, u32, std::hash::BuildHasherDefault<FxHasher>>,
+    batches: Vec<Arc<LayerBatch>>,
 }
 
 /// A universal graph paired with its interned CSR form, as built and
@@ -264,6 +352,7 @@ impl Engine {
         Engine {
             threads: threads.max(1),
             cache_enabled: true,
+            pruning_enabled: true,
             shards: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(Shard::default()))
                 .collect(),
@@ -271,6 +360,8 @@ impl Engine {
             sums: RwLock::new(HashMap::default()),
             louvains: RwLock::new(HashMap::default()),
             graphs: RwLock::new(HashMap::default()),
+            areas: RwLock::new(HashMap::default()),
+            models: RwLock::new(ModelInterner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             route_hits: AtomicU64::new(0),
@@ -281,6 +372,10 @@ impl Engine {
             louvain_misses: AtomicU64::new(0),
             graph_hits: AtomicU64::new(0),
             graph_misses: AtomicU64::new(0),
+            area_hits: AtomicU64::new(0),
+            area_misses: AtomicU64::new(0),
+            dse_pruned: AtomicU64::new(0),
+            dse_evaluated: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
         }
     }
@@ -303,13 +398,31 @@ impl Engine {
         self
     }
 
+    /// Disables or enables the staged DSE sweep's area screen (builder
+    /// style; on by default). With pruning off, [`crate::dse`] sweeps
+    /// exhaustively — the reference the equivalence tests and the
+    /// profile bench compare the staged path against.
+    pub fn with_pruning(mut self, enabled: bool) -> Self {
+        self.pruning_enabled = enabled;
+        self
+    }
+
     /// The worker count this engine maps with.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// Whether the staged DSE sweep may screen points on cheap area.
+    pub fn pruning_enabled(&self) -> bool {
+        self.pruning_enabled
+    }
+
     /// Snapshots counters, cache size and stage timings.
     pub fn stats(&self) -> EngineStats {
+        let (struct_entries, struct_instances) = {
+            let interner = self.models.read().expect("model interner poisoned");
+            (interner.by_content.len(), interner.by_instance.len())
+        };
         EngineStats {
             threads: self.threads,
             cache_enabled: self.cache_enabled,
@@ -332,6 +445,13 @@ impl Engine {
             graph_hits: self.graph_hits.load(Ordering::Relaxed),
             graph_misses: self.graph_misses.load(Ordering::Relaxed),
             graph_entries: self.graphs.read().expect("graph cache poisoned").len(),
+            area_hits: self.area_hits.load(Ordering::Relaxed),
+            area_misses: self.area_misses.load(Ordering::Relaxed),
+            area_entries: self.areas.read().expect("area cache poisoned").len(),
+            struct_entries,
+            struct_instances,
+            dse_pruned: self.dse_pruned.load(Ordering::Relaxed),
+            dse_evaluated: self.dse_evaluated.load(Ordering::Relaxed),
             stages: self.stages.lock().expect("stage log poisoned").clone(),
         }
     }
@@ -500,6 +620,80 @@ impl Engine {
         )
     }
 
+    /// Model-light monolithic area of `classes` under `hw` — the sixth
+    /// memo tier, shared by every model the staged DSE sweep screens.
+    /// The per-hardware-point table stores `unit_area_mm2` for all
+    /// [`OpClass::COUNT`] classes; the sum walks `classes` in the same
+    /// `BTreeSet` order and adds the same per-group router term as
+    /// [`monolithic_area_mm2`], so the memoized value is bit-identical
+    /// to what [`DesignConfig::area_mm2`] computes for an unclustered
+    /// configuration.
+    pub fn monolithic_area(&self, classes: &BTreeSet<OpClass>, hw: &HwParams) -> f64 {
+        if !self.cache_enabled {
+            return monolithic_area_mm2(classes, hw);
+        }
+        let table = self.area_table(hw);
+        let units: f64 = classes.iter().map(|&c| table[c.index()]).sum();
+        units + classes.len() as f64 * claire_noc::Network::noc().router.area_mm2
+    }
+
+    /// The memoized per-op-class area table for `hw`.
+    fn area_table(&self, hw: &HwParams) -> Arc<[f64; OpClass::COUNT]> {
+        if let Some(t) = self.areas.read().expect("area cache poisoned").get(hw) {
+            self.area_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        self.area_misses.fetch_add(1, Ordering::Relaxed);
+        let mut table = [0.0; OpClass::COUNT];
+        for c in OpClass::all() {
+            table[c.index()] = unit_area_mm2(c, hw);
+        }
+        Arc::clone(
+            self.areas
+                .write()
+                .expect("area cache poisoned")
+                .entry(*hw)
+                .or_insert_with(|| Arc::new(table)),
+        )
+    }
+
+    /// The structural id and preprocessed [`LayerBatch`] for `model`
+    /// (see [`ModelInterner`]).
+    fn structural(&self, model: &claire_model::Model) -> (u32, Arc<LayerBatch>) {
+        let iid = model.instance_id();
+        {
+            let interner = self.models.read().expect("model interner poisoned");
+            if let Some(&sid) = interner.by_instance.get(&iid) {
+                return (sid, Arc::clone(&interner.batches[sid as usize]));
+            }
+        }
+        let kinds: Box<[LayerKind]> = model.layers().iter().map(|l| l.kind).collect();
+        let mut interner = self.models.write().expect("model interner poisoned");
+        let sid = match interner.by_content.get(&kinds) {
+            Some(&sid) => sid,
+            None => {
+                let sid = interner.batches.len() as u32;
+                let batch = Arc::new(LayerBatch::from_kinds(kinds.iter()));
+                interner.batches.push(batch);
+                interner.by_content.insert(kinds, sid);
+                sid
+            }
+        };
+        interner.by_instance.insert(iid, sid);
+        (sid, Arc::clone(&interner.batches[sid as usize]))
+    }
+
+    /// Records `n` DSE points skipped by the staged sweep's area
+    /// screen.
+    pub(crate) fn note_dse_pruned(&self, n: u64) {
+        self.dse_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` DSE points that reached full PPA evaluation.
+    pub(crate) fn note_dse_evaluated(&self, n: u64) {
+        self.dse_evaluated.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Runs `f`, adding its wall time to the named stage counter, and
     /// returns its result.
     pub fn time_stage<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
@@ -602,27 +796,46 @@ impl CostProvider for Engine {
         Engine::route_table(self, config)
     }
 
-    /// Memoized whole-model compute totals, keyed by
-    /// [`claire_model::Model::instance_id`] and the hardware point.
-    /// Sound because models are immutable and an id is only ever shared
-    /// by clones; exact because hits return the stored sum a
-    /// recomputation would reproduce bit-for-bit.
+    /// Memoized whole-model compute totals, keyed by the model's
+    /// **structural id** (see [`ModelInterner`]) and the hardware
+    /// point. Sound because the structural id is derived from the
+    /// complete layer sequence — models sharing an id are element-wise
+    /// identical, so their sums are too; exact because a miss computes
+    /// through the interned [`LayerBatch`], whose accumulation replays
+    /// the per-layer reference walk's execution order bit-for-bit.
     fn compute_sum(&self, model: &claire_model::Model, hw: &HwParams) -> ComputeSum {
         if !self.cache_enabled {
             return raw_compute_sum(model, hw);
         }
-        let key = (model.instance_id(), *hw);
+        let (sid, batch) = self.structural(model);
+        let key = (sid, *hw);
         if let Some(cached) = self.sums.read().expect("sum cache poisoned").get(&key) {
             self.sum_hits.fetch_add(1, Ordering::Relaxed);
             return *cached;
         }
         self.sum_misses.fetch_add(1, Ordering::Relaxed);
-        let computed = raw_compute_sum(model, hw);
+        let sum = batch.compute_sum(hw);
+        let computed = ComputeSum {
+            cycles: sum.cycles,
+            energy_pj: sum.energy_pj,
+        };
         self.sums
             .write()
             .expect("sum cache poisoned")
             .insert(key, computed);
         computed
+    }
+
+    /// Monolithic configurations price their area through the memoized
+    /// per-op-class tables (bit-identical to
+    /// [`DesignConfig::area_mm2`]); clustered configurations fall back
+    /// to the direct sum over chiplet areas.
+    fn config_area(&self, config: &DesignConfig) -> f64 {
+        if config.chiplets.is_empty() {
+            self.monolithic_area(&config.classes, &config.hw)
+        } else {
+            config.area_mm2()
+        }
     }
 }
 

@@ -2,9 +2,11 @@
 //! and area of each hardware unit, parameterised by [`HwParams`].
 
 use crate::params::HwParams;
-use crate::systolic::SystolicArrayModel;
+use crate::systolic::{SystolicArrayModel, SystolicCost};
 use crate::tech28;
-use claire_model::{ActivationKind, LayerKind, OpClass, PoolingKind};
+use claire_model::{
+    Activation, ActivationKind, Flatten, LayerKind, OpClass, Permute, Pooling, PoolingKind,
+};
 
 /// Latency/energy of executing one layer on its module group.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,73 +46,77 @@ fn pooling_ppa(kind: PoolingKind) -> (f64, f64) {
     }
 }
 
+/// Converts a systolic tiling result into a [`LayerCost`].
+pub(crate) fn systolic_layer_cost(s: SystolicCost) -> LayerCost {
+    LayerCost {
+        cycles: s.cycles,
+        energy_pj: s.energy_pj,
+        executions: s.tiles,
+    }
+}
+
+/// Cost of one activation layer: `elements` stream through the
+/// `n_act` units of its kind, one element per cycle per unit.
+pub(crate) fn activation_cost(a: &Activation, hw: &HwParams) -> LayerCost {
+    let (_, e) = activation_ppa(a.kind);
+    let units = u64::from(hw.n_act);
+    LayerCost {
+        cycles: a.elements.div_ceil(units),
+        energy_pj: a.elements as f64 * e,
+        executions: a.elements.div_ceil(units),
+    }
+}
+
+/// Cost of one pooling layer across the `n_pool` units of its kind.
+pub(crate) fn pooling_cost(p: &Pooling, hw: &HwParams) -> LayerCost {
+    let (_, e) = pooling_ppa(p.kind);
+    let units = u64::from(hw.n_pool);
+    LayerCost {
+        cycles: p.input_elements.div_ceil(units),
+        energy_pj: p.input_elements as f64 * e,
+        executions: p.input_elements.div_ceil(units),
+    }
+}
+
+/// Cost of a flatten (reshape drain) layer.
+pub(crate) fn flatten_cost(f: &Flatten) -> LayerCost {
+    let cycles = (f.elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64;
+    LayerCost {
+        cycles,
+        energy_pj: f.elements as f64 * tech28::FLATTEN.1,
+        executions: cycles,
+    }
+}
+
+/// Cost of a permute (dimension reordering) layer.
+pub(crate) fn permute_cost(p: &Permute) -> LayerCost {
+    let cycles = (p.elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64;
+    LayerCost {
+        cycles,
+        energy_pj: p.elements as f64 * tech28::PERMUTE.1,
+        executions: cycles,
+    }
+}
+
 /// Evaluates one layer on the design point `hw`.
 ///
 /// Systolic layers use the weight-stationary tiling model; activation
 /// and pooling layers stream one element per cycle per unit across the
 /// `n_act`/`n_pool` units of their kind; flatten/permute drain
 /// [`tech28::RESHAPE_ELEMENTS_PER_CYCLE`] elements per cycle.
+///
+/// The per-family formulas are shared with [`crate::LayerBatch`], the
+/// batched struct-of-arrays kernel, so the two can never drift apart.
 pub fn layer_cost(layer: &LayerKind, hw: &HwParams) -> LayerCost {
     let sa = SystolicArrayModel::new(*hw);
     match layer {
-        LayerKind::Conv2d(c) => {
-            let s = sa.conv2d(c);
-            LayerCost {
-                cycles: s.cycles,
-                energy_pj: s.energy_pj,
-                executions: s.tiles,
-            }
-        }
-        LayerKind::Conv1d(c) => {
-            let s = sa.conv1d(c);
-            LayerCost {
-                cycles: s.cycles,
-                energy_pj: s.energy_pj,
-                executions: s.tiles,
-            }
-        }
-        LayerKind::Linear(l) => {
-            let s = sa.linear(l);
-            LayerCost {
-                cycles: s.cycles,
-                energy_pj: s.energy_pj,
-                executions: s.tiles,
-            }
-        }
-        LayerKind::Activation(a) => {
-            let (_, e) = activation_ppa(a.kind);
-            let units = u64::from(hw.n_act);
-            LayerCost {
-                cycles: a.elements.div_ceil(units),
-                energy_pj: a.elements as f64 * e,
-                executions: a.elements.div_ceil(units),
-            }
-        }
-        LayerKind::Pooling(p) => {
-            let (_, e) = pooling_ppa(p.kind);
-            let units = u64::from(hw.n_pool);
-            LayerCost {
-                cycles: p.input_elements.div_ceil(units),
-                energy_pj: p.input_elements as f64 * e,
-                executions: p.input_elements.div_ceil(units),
-            }
-        }
-        LayerKind::Flatten(f) => {
-            let cycles = (f.elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64;
-            LayerCost {
-                cycles,
-                energy_pj: f.elements as f64 * tech28::FLATTEN.1,
-                executions: cycles,
-            }
-        }
-        LayerKind::Permute(p) => {
-            let cycles = (p.elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64;
-            LayerCost {
-                cycles,
-                energy_pj: p.elements as f64 * tech28::PERMUTE.1,
-                executions: cycles,
-            }
-        }
+        LayerKind::Conv2d(c) => systolic_layer_cost(sa.conv2d(c)),
+        LayerKind::Conv1d(c) => systolic_layer_cost(sa.conv1d(c)),
+        LayerKind::Linear(l) => systolic_layer_cost(sa.linear(l)),
+        LayerKind::Activation(a) => activation_cost(a, hw),
+        LayerKind::Pooling(p) => pooling_cost(p, hw),
+        LayerKind::Flatten(f) => flatten_cost(f),
+        LayerKind::Permute(p) => permute_cost(p),
     }
 }
 

@@ -1,0 +1,312 @@
+//! Batched struct-of-arrays layer-cost kernel.
+//!
+//! The DSE sweep prices the *same* layer list under dozens to
+//! thousands of hardware points, and real models repeat identical
+//! layer shapes heavily (a transformer is dozens of bit-identical
+//! blocks). Per-layer evaluation pays the `LayerKind` dispatch, a
+//! fresh [`SystolicArrayModel`] and — when memoized per layer — a
+//! locked cache lookup for every repetition, which PR 2's profiling
+//! showed costs as much as the analytical kernel itself.
+//!
+//! [`LayerBatch`] preprocesses a layer list **once**: identical shapes
+//! are deduplicated and the distinct shapes are regrouped by unit
+//! family into homogeneous pools (struct-of-arrays). Evaluating a
+//! hardware point then walks each pool in a tight, dispatch-free loop
+//! (one [`SystolicArrayModel`] for the whole batch) and replays the
+//! original execution order through a precomputed index sequence.
+//!
+//! **Bit-exactness.** The per-family formulas are the very functions
+//! [`crate::layer_cost`] dispatches to, and the accumulation in
+//! [`LayerBatch::compute_sum`] adds per-layer values in the original
+//! execution order — the identical sequence of `f64` additions the
+//! naive per-layer walk performs — so batched totals are bit-identical
+//! to the reference, not merely close.
+
+use crate::analytical::{
+    activation_cost, flatten_cost, permute_cost, pooling_cost, systolic_layer_cost, LayerCost,
+};
+use crate::params::HwParams;
+use crate::systolic::SystolicArrayModel;
+use claire_model::{Activation, Conv1d, Conv2d, Flatten, LayerKind, Linear, Permute, Pooling};
+use std::collections::HashMap;
+
+/// Whole-batch compute totals under one hardware point — the batched
+/// equivalent of summing [`crate::layer_cost`] over the layer list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSum {
+    /// Total compute cycles across all layers.
+    pub cycles: u64,
+    /// Total dynamic compute energy, pJ, accumulated in execution
+    /// order (bit-identical to the per-layer reference walk).
+    pub energy_pj: f64,
+}
+
+/// A preprocessed layer list: deduplicated shapes in per-family
+/// struct-of-arrays pools plus the execution-order replay sequence.
+///
+/// Build once per distinct layer structure (the engine interns batches
+/// by structural content), evaluate per hardware point.
+#[derive(Debug, Clone, Default)]
+pub struct LayerBatch {
+    // Homogeneous pools of *distinct* layer shapes, in first-seen
+    // order within each family. Slot numbering is pool-concatenation
+    // order: conv2d, conv1d, linear, act, pool, flatten, permute.
+    conv2d: Vec<Conv2d>,
+    conv1d: Vec<Conv1d>,
+    linear: Vec<Linear>,
+    act: Vec<Activation>,
+    pool: Vec<Pooling>,
+    flatten: Vec<Flatten>,
+    permute: Vec<Permute>,
+    /// Global slot index per layer, in execution order.
+    seq: Vec<u32>,
+}
+
+impl LayerBatch {
+    /// Preprocesses `kinds` (a model's layer sequence, in execution
+    /// order) into the batched form.
+    pub fn from_kinds<'a, I>(kinds: I) -> Self
+    where
+        I: IntoIterator<Item = &'a LayerKind>,
+    {
+        // First pass: dedupe into pools, recording (family, pool
+        // index) per layer; global slots are assigned afterwards once
+        // every pool size is known.
+        let mut batch = LayerBatch::default();
+        let mut interned: HashMap<LayerKind, (u8, u32)> = HashMap::new();
+        let mut pairs: Vec<(u8, u32)> = Vec::new();
+        for kind in kinds {
+            let slot = *interned.entry(*kind).or_insert_with(|| match kind {
+                LayerKind::Conv2d(c) => {
+                    batch.conv2d.push(*c);
+                    (0, batch.conv2d.len() as u32 - 1)
+                }
+                LayerKind::Conv1d(c) => {
+                    batch.conv1d.push(*c);
+                    (1, batch.conv1d.len() as u32 - 1)
+                }
+                LayerKind::Linear(l) => {
+                    batch.linear.push(*l);
+                    (2, batch.linear.len() as u32 - 1)
+                }
+                LayerKind::Activation(a) => {
+                    batch.act.push(*a);
+                    (3, batch.act.len() as u32 - 1)
+                }
+                LayerKind::Pooling(p) => {
+                    batch.pool.push(*p);
+                    (4, batch.pool.len() as u32 - 1)
+                }
+                LayerKind::Flatten(f) => {
+                    batch.flatten.push(*f);
+                    (5, batch.flatten.len() as u32 - 1)
+                }
+                LayerKind::Permute(p) => {
+                    batch.permute.push(*p);
+                    (6, batch.permute.len() as u32 - 1)
+                }
+            });
+            pairs.push(slot);
+        }
+        let bases = batch.family_bases();
+        batch.seq = pairs
+            .into_iter()
+            .map(|(family, idx)| bases[family as usize] + idx)
+            .collect();
+        batch
+    }
+
+    /// Global slot offset of each family under pool-concatenation
+    /// order.
+    fn family_bases(&self) -> [u32; 7] {
+        let mut bases = [0u32; 7];
+        let lens = [
+            self.conv2d.len(),
+            self.conv1d.len(),
+            self.linear.len(),
+            self.act.len(),
+            self.pool.len(),
+            self.flatten.len(),
+            self.permute.len(),
+        ];
+        let mut acc = 0u32;
+        for (base, len) in bases.iter_mut().zip(lens) {
+            *base = acc;
+            acc += len as u32;
+        }
+        bases
+    }
+
+    /// Number of layers in the original sequence.
+    pub fn layer_count(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Number of distinct layer shapes (cost evaluations per point).
+    pub fn slot_count(&self) -> usize {
+        self.conv2d.len()
+            + self.conv1d.len()
+            + self.linear.len()
+            + self.act.len()
+            + self.pool.len()
+            + self.flatten.len()
+            + self.permute.len()
+    }
+
+    /// True when the batch holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Evaluates every distinct shape under `hw` into `out`
+    /// (slot-ordered; cleared first). One dispatch-free loop per pool,
+    /// sharing a single [`SystolicArrayModel`] across the batch.
+    pub fn costs_into(&self, hw: &HwParams, out: &mut Vec<LayerCost>) {
+        out.clear();
+        out.reserve(self.slot_count());
+        let sa = SystolicArrayModel::new(*hw);
+        out.extend(
+            self.conv2d
+                .iter()
+                .map(|c| systolic_layer_cost(sa.conv2d(c))),
+        );
+        out.extend(
+            self.conv1d
+                .iter()
+                .map(|c| systolic_layer_cost(sa.conv1d(c))),
+        );
+        out.extend(
+            self.linear
+                .iter()
+                .map(|l| systolic_layer_cost(sa.linear(l))),
+        );
+        out.extend(self.act.iter().map(|a| activation_cost(a, hw)));
+        out.extend(self.pool.iter().map(|p| pooling_cost(p, hw)));
+        out.extend(self.flatten.iter().map(flatten_cost));
+        out.extend(self.permute.iter().map(permute_cost));
+    }
+
+    /// Per-distinct-shape costs under `hw`, slot-ordered.
+    pub fn costs(&self, hw: &HwParams) -> Vec<LayerCost> {
+        let mut out = Vec::new();
+        self.costs_into(hw, &mut out);
+        out
+    }
+
+    /// [`LayerBatch::compute_sum`] with a caller-provided scratch
+    /// buffer for the per-slot costs (reused across hardware points).
+    pub fn compute_sum_with(&self, hw: &HwParams, scratch: &mut Vec<LayerCost>) -> BatchSum {
+        self.costs_into(hw, scratch);
+        let mut cycles: u64 = 0;
+        let mut energy_pj = 0.0;
+        for &slot in &self.seq {
+            let c = scratch[slot as usize];
+            cycles += c.cycles;
+            energy_pj += c.energy_pj;
+        }
+        BatchSum { cycles, energy_pj }
+    }
+
+    /// Whole-batch compute totals under `hw`: each distinct shape is
+    /// priced once, then the totals replay the original execution
+    /// order — bit-identical to the per-layer reference summation.
+    pub fn compute_sum(&self, hw: &HwParams) -> BatchSum {
+        let mut scratch = Vec::new();
+        self.compute_sum_with(hw, &mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical::layer_cost;
+    use claire_model::ActivationKind;
+
+    fn kinds() -> Vec<LayerKind> {
+        let conv = LayerKind::Conv2d(Conv2d {
+            in_channels: 16,
+            out_channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+            ifm: (28, 28),
+            groups: 1,
+        });
+        let relu = LayerKind::Activation(Activation {
+            kind: ActivationKind::Relu,
+            elements: 32 * 28 * 28,
+        });
+        let fc = LayerKind::Linear(Linear {
+            in_features: 256,
+            out_features: 64,
+            tokens: 4,
+        });
+        let flat = LayerKind::Flatten(Flatten { elements: 4096 });
+        // Heavy repetition, interleaved, like a real block stack.
+        vec![conv, relu, conv, relu, conv, relu, flat, fc, relu, fc, fc]
+    }
+
+    #[test]
+    fn dedup_preserves_sequence_length() {
+        let k = kinds();
+        let b = LayerBatch::from_kinds(k.iter());
+        assert_eq!(b.layer_count(), k.len());
+        assert_eq!(b.slot_count(), 4, "conv, relu, fc, flatten");
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn batched_sum_is_bit_identical_to_per_layer_walk() {
+        let k = kinds();
+        let b = LayerBatch::from_kinds(k.iter());
+        for hw in [
+            HwParams::new(16, 16, 8, 8),
+            HwParams::new(32, 32, 16, 16),
+            HwParams::new(64, 8, 32, 4),
+        ] {
+            let mut cycles: u64 = 0;
+            let mut energy_pj = 0.0;
+            for kind in &k {
+                let c = layer_cost(kind, &hw);
+                cycles += c.cycles;
+                energy_pj += c.energy_pj;
+            }
+            let got = b.compute_sum(&hw);
+            assert_eq!(got.cycles, cycles, "{hw}");
+            assert_eq!(got.energy_pj.to_bits(), energy_pj.to_bits(), "{hw}");
+        }
+    }
+
+    #[test]
+    fn slot_costs_match_layer_cost() {
+        let k = kinds();
+        let b = LayerBatch::from_kinds(k.iter());
+        let hw = HwParams::new(32, 32, 16, 16);
+        let costs = b.costs(&hw);
+        assert_eq!(costs.len(), b.slot_count());
+        // Every distinct kind's slot cost equals the reference kernel.
+        for kind in &k {
+            let reference = layer_cost(kind, &hw);
+            assert!(costs.contains(&reference), "no slot matches {kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_sums_to_zero() {
+        let b = LayerBatch::from_kinds(std::iter::empty());
+        assert!(b.is_empty());
+        let s = b.compute_sum(&HwParams::new(8, 8, 8, 8));
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.energy_pj, 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let k = kinds();
+        let b = LayerBatch::from_kinds(k.iter());
+        let mut scratch = Vec::new();
+        let a = b.compute_sum_with(&HwParams::new(16, 16, 8, 8), &mut scratch);
+        let c = b.compute_sum_with(&HwParams::new(16, 16, 8, 8), &mut scratch);
+        assert_eq!(a, c);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod analytical;
+mod batch;
 mod memory;
 mod params;
 pub mod scaling;
@@ -43,6 +44,7 @@ pub mod tech28;
 pub mod thermal;
 
 pub use analytical::{config_area_mm2, layer_cost, unit_area_mm2, LayerCost};
+pub use batch::{BatchSum, LayerBatch};
 pub use memory::{layer_weight_bytes, MemoryModel};
 pub use params::{DseSpace, HwParams, HwParamsError};
 pub use scaling::{NodeScaling, TechNode};

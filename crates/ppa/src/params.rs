@@ -136,6 +136,32 @@ impl Default for DseSpace {
 }
 
 impl DseSpace {
+    /// A parameterised dense stress space: `per_axis` values on every
+    /// axis, i.e. `per_axis⁴` design points (`dense(10)` = 10,000 —
+    /// two orders of magnitude beyond the paper's 81). The axes extend
+    /// well past the point where systolic-group area alone exceeds any
+    /// realistic chiplet cap, so a large fraction of the space is
+    /// area-infeasible — the regime the staged, constraint-pruned
+    /// sweep is built for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `per_axis` is zero.
+    pub fn dense(per_axis: usize) -> Self {
+        assert!(
+            per_axis > 0,
+            "dense space needs at least one value per axis"
+        );
+        let axis = |step: u32| -> Vec<u32> { (1..=per_axis as u32).map(|i| i * step).collect() };
+        DseSpace {
+            sa_sizes: axis(12),
+            n_sas: axis(8),
+            n_acts: axis(4),
+            n_pools: axis(4),
+            threads: None,
+        }
+    }
+
     /// Number of configurations in the sweep.
     pub fn len(&self) -> usize {
         self.sa_sizes.len() * self.n_sas.len() * self.n_acts.len() * self.n_pools.len()
@@ -178,6 +204,18 @@ mod tests {
         let mut set: Vec<_> = a.clone();
         set.dedup();
         assert_eq!(set.len(), 81);
+    }
+
+    #[test]
+    fn dense_space_is_per_axis_to_the_fourth() {
+        let space = DseSpace::dense(10);
+        assert_eq!(space.len(), 10_000);
+        assert_eq!(space.sa_sizes.len(), 10);
+        assert!(space
+            .iter()
+            .all(|hw| hw.sa_size > 0 && hw.n_sa > 0 && hw.n_act > 0 && hw.n_pool > 0));
+        let small = DseSpace::dense(2);
+        assert_eq!(small.len(), 16);
     }
 
     #[test]

@@ -198,6 +198,132 @@ fn test_phase_is_bit_identical_across_engines() {
 }
 
 #[test]
+fn staged_sweep_is_bit_identical_to_exhaustive_everywhere() {
+    // The staged area screen must never change a sweep's output: at
+    // every thread count, cache on or off, the pruned feasible set is
+    // Debug-string identical to the exhaustive one (and the custom
+    // selection downstream of it).
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    for model in [zoo::vgg16(), zoo::bert_base()] {
+        let reference = format!(
+            "{:?}",
+            sweep_with_engine(
+                &model,
+                &space,
+                &cons,
+                &Engine::serial().with_cache(false).with_pruning(false)
+            )
+        );
+        for threads in THREAD_COUNTS {
+            for cache in [false, true] {
+                for pruning in [false, true] {
+                    let engine = Engine::new(threads).with_cache(cache).with_pruning(pruning);
+                    let got = format!("{:?}", sweep_with_engine(&model, &space, &cons, &engine));
+                    assert_eq!(
+                        got,
+                        reference,
+                        "{} sweep diverged at {threads} thread(s), cache {cache}, \
+                         pruning {pruning}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn staged_selection_is_bit_identical_to_exhaustive() {
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    let model = zoo::swin_t();
+    for objective in [
+        DseObjective::MinArea,
+        DseObjective::MinLatency,
+        DseObjective::MinEnergyDelayProduct,
+    ] {
+        let reference = format!(
+            "{:?}",
+            custom_config_with_engine(
+                &model,
+                &space,
+                &cons,
+                objective,
+                &Engine::serial().with_pruning(false)
+            )
+            .unwrap()
+        );
+        for threads in THREAD_COUNTS {
+            let engine = Engine::new(threads);
+            let got = format!(
+                "{:?}",
+                custom_config_with_engine(&model, &space, &cons, objective, &engine).unwrap()
+            );
+            assert_eq!(
+                got, reference,
+                "staged {objective:?} selection diverged at {threads} thread(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn area_tier_and_structural_keys_see_traffic() {
+    let space = DseSpace::default();
+    let cons = Constraints::default();
+    for threads in THREAD_COUNTS {
+        let engine = Engine::new(threads);
+        // Two *independent* constructions of the same architecture:
+        // distinct instance ids, identical layer content.
+        let first = zoo::resnet18();
+        let second = zoo::resnet18();
+        sweep_with_engine(&first, &space, &cons, &engine);
+        let cold = engine.stats();
+        assert!(
+            cold.area_hits + cold.area_misses > 0,
+            "area tables untouched by a staged sweep: {cold:?}"
+        );
+        assert_eq!(cold.struct_entries, 1, "one architecture interned");
+        sweep_with_engine(&second, &space, &cons, &engine);
+        let warm = engine.stats();
+        assert_eq!(
+            warm.struct_entries, 1,
+            "structurally identical model must not add an interner entry"
+        );
+        assert_eq!(
+            warm.struct_instances, 2,
+            "both instances mapped onto the shared structure"
+        );
+        assert_eq!(
+            warm.sum_misses, cold.sum_misses,
+            "structural keys must serve the second instance's sums from cache \
+             ({threads} thread(s))"
+        );
+        assert!(
+            warm.sum_hits > cold.sum_hits,
+            "second sweep produced no compute-sum hits: {warm:?}"
+        );
+    }
+}
+
+#[test]
+fn cache_off_engine_interns_nothing() {
+    let engine = Engine::new(2).with_cache(false);
+    sweep_with_engine(
+        &zoo::resnet18(),
+        &DseSpace::default(),
+        &Constraints::default(),
+        &engine,
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.struct_entries, 0);
+    assert_eq!(stats.struct_instances, 0);
+    assert_eq!(stats.area_hits + stats.area_misses, 0);
+    assert_eq!(stats.area_entries, 0);
+}
+
+#[test]
 fn engine_counters_see_traffic_during_a_sweep() {
     let engine = Engine::new(2);
     let model = zoo::resnet18();

@@ -15,7 +15,7 @@ use claire::model::{
     Pooling, PoolingKind,
 };
 use claire::noc::{Network, Torus2d};
-use claire::ppa::{layer_cost, unit_area_mm2, HwParams};
+use claire::ppa::{layer_cost, unit_area_mm2, DseSpace, HwParams};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -339,6 +339,76 @@ proptest! {
         for ch in &custom.config.chiplets {
             prop_assert!(ch.area_mm2 <= cons.chiplet_area_limit_mm2);
         }
+    }
+}
+
+// ---------- staged DSE pruning vs the exhaustive reference ----------
+
+fn random_space() -> impl Strategy<Value = DseSpace> {
+    let axis = |range: std::ops::Range<u32>| proptest::collection::vec(range, 1..3);
+    (axis(4..64), axis(1..48), axis(1..48), axis(1..48)).prop_map(
+        |(sa_sizes, n_sas, n_acts, n_pools)| DseSpace {
+            sa_sizes,
+            n_sas,
+            n_acts,
+            n_pools,
+            threads: Some(1),
+        },
+    )
+}
+
+fn random_constraints() -> impl Strategy<Value = Constraints> {
+    (10.0f64..300.0, 0.0f64..1.0).prop_map(|(area, slack)| Constraints {
+        chiplet_area_limit_mm2: area,
+        latency_slack: slack,
+        ..Constraints::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The staged, area-pruned sweep is indistinguishable from the
+    /// exhaustive reference on arbitrary models, spaces, and
+    /// constraints: the feasible set is bit-identical (Debug strings
+    /// compare `f64`s exactly) and so is the selected configuration
+    /// under every objective — including agreement on infeasibility.
+    #[test]
+    fn staged_sweep_equals_exhaustive_on_random_inputs(
+        s in steps(),
+        space in random_space(),
+        cons in random_constraints(),
+    ) {
+        use claire::core::dse::{custom_config_with_engine, sweep_with_engine, DseObjective};
+        use claire::core::Engine;
+        let model = materialize(&s);
+        let staged_engine = Engine::serial();
+        let exhaustive_engine = Engine::serial().with_pruning(false);
+        let staged = sweep_with_engine(&model, &space, &cons, &staged_engine);
+        let exhaustive = sweep_with_engine(&model, &space, &cons, &exhaustive_engine);
+        prop_assert_eq!(format!("{staged:?}"), format!("{exhaustive:?}"));
+        for objective in [
+            DseObjective::MinArea,
+            DseObjective::MinLatency,
+            DseObjective::MinEnergyDelayProduct,
+        ] {
+            let a = custom_config_with_engine(&model, &space, &cons, objective, &staged_engine);
+            let b = custom_config_with_engine(
+                &model, &space, &cons, objective, &exhaustive_engine,
+            );
+            prop_assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "objective {:?} diverged",
+                objective
+            );
+        }
+        // The screen accounted for every point of every staged sweep
+        // (1 sweep + 3 selections), and never touched the exhaustive
+        // engine.
+        let stats = staged_engine.stats();
+        prop_assert_eq!(stats.dse_pruned + stats.dse_evaluated, 4 * space.len() as u64);
+        prop_assert_eq!(exhaustive_engine.stats().dse_pruned, 0);
     }
 }
 
