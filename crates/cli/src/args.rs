@@ -169,6 +169,22 @@ pub fn extract_threads(args: &[String]) -> Result<(Option<usize>, Vec<String>), 
     Ok((threads, rest))
 }
 
+/// Strips a global `--degrade` flag (valid with any command) from the
+/// raw argument list, returning whether graceful degradation was
+/// requested and the remaining arguments for [`parse_args`].
+pub fn extract_degrade(args: &[String]) -> (bool, Vec<String>) {
+    let mut degrade = false;
+    let mut rest = Vec::with_capacity(args.len());
+    for a in args {
+        if a == "--degrade" {
+            degrade = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (degrade, rest)
+}
+
 /// Parses the command line (excluding argv\[0\]).
 ///
 /// # Errors
@@ -368,7 +384,18 @@ USAGE:
       Show this text.
 
 Any command also accepts --threads <n> to set the evaluation
-engine's worker count (else CLAIRE_THREADS, else all cores).
+engine's worker count (else CLAIRE_THREADS, else all cores), and
+--degrade to relax constraints (latency slack, then power density,
+then chiplet area) instead of failing when the DSE finds no feasible
+configuration; degraded results are flagged on stderr.
+
+EXIT CODES:
+  0 success (including --degrade fallbacks)   2 usage / bad input file
+  3 empty algorithm set      4 no feasible configuration
+  5 chiplet area unsatisfiable   6 incomplete coverage
+  7 worker panic             8 non-finite metric
+  9 invalid input           10 no interposer route
+ 11 internal invariant violation   1 other errors
 ";
 
 #[cfg(test)]
@@ -465,6 +492,16 @@ mod tests {
                 config: None
             }
         );
+    }
+
+    #[test]
+    fn degrade_is_extracted_from_any_position() {
+        let (d, rest) = extract_degrade(&v(&["flow", "--degrade", "--json"]));
+        assert!(d);
+        assert_eq!(rest, v(&["flow", "--json"]));
+        let (d, rest) = extract_degrade(&v(&["train"]));
+        assert!(!d);
+        assert_eq!(rest, v(&["train"]));
     }
 
     #[test]

@@ -6,10 +6,10 @@
 mod args;
 mod summary;
 
-use args::{extract_threads, parse_args, Command, USAGE};
+use args::{extract_degrade, extract_threads, parse_args, Command, USAGE};
 use claire_core::{
-    paper_table3_subsets, ChipletLibrary, Claire, ClaireOptions, RunConfig, SubsetStrategy,
-    WeightScale,
+    paper_table3_subsets, ChipletLibrary, Claire, ClaireError, ClaireOptions, Degradation,
+    RobustnessPolicy, RunConfig, SubsetStrategy, TrainOutput, WeightScale,
 };
 use claire_model::parse::{parse_model, InputShape, ParseOptions};
 use claire_model::{zoo, Model, ModelClass};
@@ -17,10 +17,11 @@ use summary::{CustomSummary, FlowSummary, TrainSummary};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (degrade, argv) = extract_degrade(&argv);
     let parsed =
         extract_threads(&argv).and_then(|(threads, rest)| Ok((parse_args(&rest)?, threads)));
     let code = match parsed {
-        Ok((cmd, threads)) => run(cmd, threads),
+        Ok((cmd, threads)) => run(cmd, threads, degrade),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -30,11 +31,53 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Maps each [`ClaireError`] variant to a distinct non-zero exit code
+/// (documented in [`USAGE`]), so scripts can branch on the failure
+/// class without scraping stderr.
+fn exit_code(e: &ClaireError) -> i32 {
+    match e {
+        ClaireError::EmptyAlgorithmSet => 3,
+        ClaireError::NoFeasibleConfiguration { .. } => 4,
+        ClaireError::ChipletAreaUnsatisfiable { .. } => 5,
+        ClaireError::IncompleteCoverage { .. } => 6,
+        ClaireError::WorkerPanic { .. } => 7,
+        ClaireError::NonFiniteMetric { .. } => 8,
+        ClaireError::InvalidInput { .. } => 9,
+        ClaireError::NoRoute { .. } => 10,
+        ClaireError::Internal { .. } => 11,
+    }
+}
+
+/// Prints a pipeline error to stderr and returns its exit code.
+fn fail(e: &ClaireError) -> i32 {
+    eprintln!("error: {e}");
+    exit_code(e)
+}
+
+/// Flags a degraded (constraint-relaxed) result on stderr; the exit
+/// code stays 0 — the run produced a usable configuration.
+fn warn_degraded(subject: &str, d: Option<&Degradation>) {
+    if let Some(d) = d {
+        eprintln!("warning: {subject}: {d}");
+    }
+}
+
+fn warn_train(out: &TrainOutput) {
+    warn_degraded("generic C_g", out.generic_degradation.as_ref());
+    for c in &out.customs {
+        warn_degraded(c.model.name(), c.degradation.as_ref());
+    }
+    for l in &out.libraries {
+        warn_degraded(&l.config.name, l.degradation.as_ref());
+    }
+}
+
 fn options(
     paper_subsets: bool,
     threshold: Option<f64>,
     config: Option<&str>,
     threads: Option<usize>,
+    degrade: bool,
 ) -> Result<ClaireOptions, String> {
     let mut opts = match config {
         Some(path) => RunConfig::load(path)
@@ -54,10 +97,13 @@ fn options(
     if threads.is_some() {
         opts.space.threads = threads;
     }
+    if degrade {
+        opts.policy = RobustnessPolicy::Degrade;
+    }
     Ok(opts)
 }
 
-fn run(cmd: Command, threads: Option<usize>) -> i32 {
+fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -102,7 +148,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                 eprintln!("error: unknown model `{model}` (see `claire-cli models --extended`)");
                 return 2;
             };
-            let opts = match options(false, None, config.as_deref(), threads) {
+            let opts = match options(false, None, config.as_deref(), threads, degrade) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -112,6 +158,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             let claire = Claire::new(opts);
             match claire.custom_for(&m) {
                 Ok(custom) => {
+                    warn_degraded(custom.model.name(), custom.degradation.as_ref());
                     let s = CustomSummary::from(&custom);
                     if json {
                         println!("{}", serde_json::to_string_pretty(&s).expect("serialise"));
@@ -136,10 +183,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                     }
                     0
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
+                Err(e) => fail(&e),
             }
         }
         Command::Train {
@@ -148,7 +192,13 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             json,
             config,
         } => {
-            let opts = match options(paper_subsets, threshold, config.as_deref(), threads) {
+            let opts = match options(
+                paper_subsets,
+                threshold,
+                config.as_deref(),
+                threads,
+                degrade,
+            ) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -158,6 +208,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             let claire = Claire::new(opts);
             match claire.train(&zoo::training_set()) {
                 Ok(out) => {
+                    warn_train(&out);
                     let s = TrainSummary::from(&out);
                     if json {
                         println!("{}", serde_json::to_string_pretty(&s).expect("serialise"));
@@ -166,10 +217,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                     }
                     0
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
+                Err(e) => fail(&e),
             }
         }
         Command::Flow {
@@ -177,7 +225,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             extended,
             json,
         } => {
-            let opts = match options(paper_subsets, None, None, threads) {
+            let opts = match options(paper_subsets, None, None, threads, degrade) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -186,11 +234,11 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             };
             let claire = Claire::new(opts);
             let train = match claire.train(&zoo::training_set()) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return 1;
+                Ok(t) => {
+                    warn_train(&t);
+                    t
                 }
+                Err(e) => return fail(&e),
             };
             let mut tests = zoo::test_set();
             if extended {
@@ -220,10 +268,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                     }
                     0
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
+                Err(e) => fail(&e),
             }
         }
         Command::Describe { model } => {
@@ -257,7 +302,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             paper_subsets,
             threshold,
         } => {
-            let opts = match options(paper_subsets, threshold, None, threads) {
+            let opts = match options(paper_subsets, threshold, None, threads, degrade) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -267,11 +312,11 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             let nre = opts.nre;
             let claire = Claire::new(opts);
             let train = match claire.train(&zoo::training_set()) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return 1;
+                Ok(t) => {
+                    warn_train(&t);
+                    t
                 }
+                Err(e) => return fail(&e),
             };
             let lib = ChipletLibrary::from_training("claire-library", &train, nre);
             match lib.save(&path) {
@@ -338,10 +383,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                     }
                     0
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
+                Err(e) => fail(&e),
             }
         }
         Command::Simulate {
@@ -357,13 +399,16 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             if threads.is_some() {
                 opts.space.threads = threads;
             }
+            if degrade {
+                opts.policy = RobustnessPolicy::Degrade;
+            }
             let claire = Claire::new(opts);
             let custom = match claire.custom_for(&m) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return 1;
+                Ok(c) => {
+                    warn_degraded(c.model.name(), c.degradation.as_ref());
+                    c
                 }
+                Err(e) => return fail(&e),
             };
             let mode = if overlap {
                 claire_sim::Mode::Overlapped
@@ -389,18 +434,12 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                                     cycles as f64 / 1e6
                                 );
                             }
-                            Err(e) => {
-                                eprintln!("error: {e}");
-                                return 1;
-                            }
+                            Err(e) => return fail(&e),
                         }
                     }
                     0
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
+                Err(e) => fail(&e),
             }
         }
         Command::Parse {
@@ -457,9 +496,13 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
             if threads.is_some() {
                 opts.space.threads = threads;
             }
+            if degrade {
+                opts.policy = RobustnessPolicy::Degrade;
+            }
             let claire = Claire::new(opts);
             match claire.custom_for(&model) {
                 Ok(custom) => {
+                    warn_degraded(custom.model.name(), custom.degradation.as_ref());
                     let s = CustomSummary::from(&custom);
                     if json {
                         println!("{}", serde_json::to_string_pretty(&s).expect("serialise"));
@@ -475,10 +518,7 @@ fn run(cmd: Command, threads: Option<usize>) -> i32 {
                     }
                     0
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    1
-                }
+                Err(e) => fail(&e),
             }
         }
     }

@@ -139,7 +139,8 @@ fn export_then_deploy_round_trip() {
     assert_eq!(v["coverage"], 1.0);
     assert_eq!(v["config"], "C_3");
 
-    // The composability gap exits non-zero with a clear message.
+    // The composability gap exits with the IncompleteCoverage code
+    // and a clear message.
     let out = cli()
         .args([
             "deploy",
@@ -149,9 +150,81 @@ fn export_then_deploy_round_trip() {
         ])
         .output()
         .expect("run");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(6));
     assert!(String::from_utf8_lossy(&out.stderr).contains("SILU"));
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn infeasible_constraints_exit_with_distinct_code() {
+    // A config whose chiplet-area cap no chiplet can meet: FailFast
+    // surfaces NoFeasibleConfiguration as exit 4.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("claire-cli-tight-{}.json", std::process::id()));
+    let out = cli()
+        .args(["init-config", path.to_str().expect("utf8")])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    // Tighten the per-chiplet area cap to an impossible 0.5 mm^2 by
+    // rewriting the default value in the emitted JSON.
+    let text = std::fs::read_to_string(&path).expect("config written");
+    assert!(text.contains("\"chiplet_area_limit_mm2\": 100.0"), "{text}");
+    let tight = text.replacen(
+        "\"chiplet_area_limit_mm2\": 100.0",
+        "\"chiplet_area_limit_mm2\": 0.5",
+        1,
+    );
+    std::fs::write(&path, tight).expect("rewrite");
+
+    let out = cli()
+        .args([
+            "custom",
+            "Alexnet",
+            "--config",
+            path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // With --degrade the same run succeeds, flagging the relaxation
+    // on stderr and keeping stdout's report intact.
+    let out = cli()
+        .args([
+            "custom",
+            "Alexnet",
+            "--degrade",
+            "--config",
+            path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning"), "{err}");
+    assert!(err.contains("degraded"), "{err}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("custom configuration"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn usage_documents_exit_codes_and_degrade() {
+    let out = cli().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--degrade"));
+    assert!(text.contains("EXIT CODES"));
 }
 
 #[test]

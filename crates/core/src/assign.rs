@@ -115,7 +115,7 @@ pub fn assign_test(
         .iter()
         .enumerate()
         .map(|(i, lv)| (i, weighted_jaccard(&v, lv)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("similarities are finite"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 /// The summed node-weight vector of a model subset (the "nodes of the

@@ -216,20 +216,23 @@ fn cluster_attempts(
     }
 
     // Resolution escalation failed; report the largest offender.
-    let worst = config
+    // total_cmp orders any area values (NaN included) without
+    // panicking; areas are finite in practice so the order matches
+    // partial_cmp.
+    match config
         .classes
         .iter()
-        .max_by(|a, b| {
-            unit_area_mm2(**a, &config.hw)
-                .partial_cmp(&unit_area_mm2(**b, &config.hw))
-                .expect("finite areas")
-        })
-        .expect("non-empty config");
-    Err(ClaireError::ChipletAreaUnsatisfiable {
-        group: worst.label(),
-        area_mm2: unit_area_mm2(*worst, &config.hw),
-        limit_mm2: constraints.chiplet_area_limit_mm2,
-    })
+        .max_by(|a, b| unit_area_mm2(**a, &config.hw).total_cmp(&unit_area_mm2(**b, &config.hw)))
+    {
+        Some(worst) => Err(ClaireError::ChipletAreaUnsatisfiable {
+            group: worst.label(),
+            area_mm2: unit_area_mm2(*worst, &config.hw),
+            limit_mm2: constraints.chiplet_area_limit_mm2,
+        }),
+        None => Err(ClaireError::Internal {
+            detail: "cluster_attempts on a configuration with no module classes".to_owned(),
+        }),
+    }
 }
 
 #[cfg(test)]

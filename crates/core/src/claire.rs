@@ -7,7 +7,10 @@ use crate::assign::{
 };
 use crate::chiplet::cluster_into_chiplets_with_engine;
 use crate::config::{Constraints, DesignConfig};
-use crate::dse::{custom_config_with_engine, set_config_with_engine, DseObjective};
+use crate::dse::{
+    custom_config_with_engine, set_config_with_engine, with_relaxation, Degradation, DseObjective,
+    RobustnessPolicy,
+};
 use crate::error::ClaireError;
 use crate::evaluate::PpaReport;
 use crate::metrics::{algorithm_coverage, chiplet_utilization, normalized_nre};
@@ -66,6 +69,10 @@ pub struct ClaireOptions {
     /// tanh block even when no training algorithm exercises it (full
     /// composability of the generic library).
     pub provision_tanh_in_generic: bool,
+    /// What to do when a stage finds no feasible configuration:
+    /// fail fast with a typed error, or walk the constraint-relaxation
+    /// ladder and flag the result as degraded.
+    pub policy: RobustnessPolicy,
 }
 
 impl Default for ClaireOptions {
@@ -78,6 +85,7 @@ impl Default for ClaireOptions {
             louvain_resolution: 1.0,
             nre: NreModel::tsmc28(),
             provision_tanh_in_generic: true,
+            policy: RobustnessPolicy::default(),
         }
     }
 }
@@ -121,6 +129,10 @@ pub struct CustomResult {
     pub config: DesignConfig,
     /// PPA of the algorithm on it.
     pub report: PpaReport,
+    /// Constraint relaxations that were needed to find the
+    /// configuration (`None` when it satisfied the caller's
+    /// constraints as given).
+    pub degradation: Option<Degradation>,
 }
 
 /// One library-synthesized configuration `C_k` with its subset.
@@ -140,6 +152,8 @@ pub struct LibraryConfig {
     /// `NRE_cstm(k, TR_k)`: cumulative normalised NRE of the members'
     /// custom configurations.
     pub cumulative_custom_nre: f64,
+    /// Constraint relaxations needed to synthesize the configuration.
+    pub degradation: Option<Degradation>,
 }
 
 /// Per-algorithm PPA on all three configuration classes (Fig. 4 data).
@@ -169,6 +183,17 @@ pub struct TrainOutput {
     pub libraries: Vec<LibraryConfig>,
     /// Per-algorithm PPA on custom / generic / library (Fig. 4).
     pub algo_ppa: Vec<AlgoPpa>,
+    /// Constraint relaxations needed for the generic configuration.
+    pub generic_degradation: Option<Degradation>,
+}
+
+impl TrainOutput {
+    /// Whether any stage of the run needed constraint relaxation.
+    pub fn is_degraded(&self) -> bool {
+        self.generic_degradation.is_some()
+            || self.customs.iter().any(|c| c.degradation.is_some())
+            || self.libraries.iter().any(|l| l.degradation.is_some())
+    }
 }
 
 impl TrainOutput {
@@ -250,26 +275,57 @@ impl Claire {
         model: &Model,
         engine: &Engine,
     ) -> Result<CustomResult, ClaireError> {
-        let (mut cfg, _) = custom_config_with_engine(
-            model,
-            &self.opts.space,
-            &self.opts.constraints,
-            DseObjective::MinArea,
-            engine,
-        )?;
-        cluster_into_chiplets_with_engine(
-            &mut cfg,
-            std::slice::from_ref(model),
-            &self.opts.constraints,
-            self.opts.louvain_resolution,
-            engine,
-        )?;
-        let report = engine.evaluate(model, &cfg)?;
+        self.validate_inputs()?;
+        let base = self.effective_constraints(model.name(), engine);
+        let ((config, report), degradation) = with_relaxation(self.opts.policy, &base, |cons| {
+            let (mut cfg, _) = custom_config_with_engine(
+                model,
+                &self.opts.space,
+                cons,
+                DseObjective::MinArea,
+                engine,
+            )?;
+            cluster_into_chiplets_with_engine(
+                &mut cfg,
+                std::slice::from_ref(model),
+                cons,
+                self.opts.louvain_resolution,
+                engine,
+            )?;
+            let report = engine.evaluate(model, &cfg)?;
+            Ok((cfg, report))
+        })?;
         Ok(CustomResult {
             model: model.clone(),
-            config: cfg,
+            config,
             report,
+            degradation,
         })
+    }
+
+    /// The constraints a stage actually sees: the configured set,
+    /// unless the engine's fault plan injects an unsatisfiable set for
+    /// this subject (exercising the degradation ladder end to end).
+    fn effective_constraints(&self, subject: &str, engine: &Engine) -> Constraints {
+        match engine.faults() {
+            Some(plan) if plan.infeasible_constraints(subject) => Constraints {
+                chiplet_area_limit_mm2: f64::MIN_POSITIVE,
+                power_density_limit_w_per_mm2: f64::MIN_POSITIVE,
+                latency_slack: 0.0,
+            },
+            _ => self.opts.constraints,
+        }
+    }
+
+    /// Rejects degenerate run inputs with a typed error instead of
+    /// letting them surface as panics deep in the sweep.
+    fn validate_inputs(&self) -> Result<(), ClaireError> {
+        self.opts
+            .space
+            .validate()
+            .map_err(|e| ClaireError::InvalidInput {
+                what: e.to_string(),
+            })
     }
 
     /// Materialises the subset partition of `models` according to the
@@ -333,6 +389,7 @@ impl Claire {
         if models.is_empty() {
             return Err(ClaireError::EmptyAlgorithmSet);
         }
+        self.validate_inputs()?;
 
         // --- Output 1: custom configurations.
         let customs: Vec<CustomResult> = engine.time_stage("customs", || {
@@ -345,28 +402,32 @@ impl Claire {
 
         // --- Output 2: the generic configuration.
         let refs: Vec<&Model> = models.iter().collect();
-        let mut generic = engine.time_stage("generic", || {
-            set_config_with_engine(
-                "C_g",
-                &refs,
-                &self.opts.space,
-                &self.opts.constraints,
-                &custom_latency,
-                engine,
-            )
+        let generic_base = self.effective_constraints("C_g", engine);
+        let (generic, generic_degradation) = engine.time_stage("generic", || {
+            with_relaxation(self.opts.policy, &generic_base, |cons| {
+                let mut generic = set_config_with_engine(
+                    "C_g",
+                    &refs,
+                    &self.opts.space,
+                    cons,
+                    &custom_latency,
+                    engine,
+                )?;
+                if self.opts.provision_tanh_in_generic {
+                    generic
+                        .classes
+                        .insert(OpClass::Activation(ActivationKind::Tanh));
+                }
+                cluster_into_chiplets_with_engine(
+                    &mut generic,
+                    models,
+                    cons,
+                    self.opts.louvain_resolution,
+                    engine,
+                )?;
+                Ok(generic)
+            })
         })?;
-        if self.opts.provision_tanh_in_generic {
-            generic
-                .classes
-                .insert(OpClass::Activation(ActivationKind::Tanh));
-        }
-        cluster_into_chiplets_with_engine(
-            &mut generic,
-            models,
-            &self.opts.constraints,
-            self.opts.louvain_resolution,
-            engine,
-        )?;
 
         // --- Output 3: library-synthesized configurations.
         //
@@ -393,24 +454,29 @@ impl Claire {
                     .collect(),
             });
         let libraries: Vec<LibraryConfig> = engine.time_stage("libraries", || {
-            engine.try_par_map(&subsets, |k, (subset, merged)| {
+            engine.try_par_map(&subsets, |k, (subset, merged)| -> Result<_, ClaireError> {
+                let name = format!("C_{}", k + 1);
                 let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
-                let mut cfg = set_config_with_engine(
-                    &format!("C_{}", k + 1),
-                    &members,
-                    &self.opts.space,
-                    &self.opts.constraints,
-                    &custom_latency,
-                    engine,
-                )?;
                 let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
-                cluster_into_chiplets_with_engine(
-                    &mut cfg,
-                    &member_models,
-                    &self.opts.constraints,
-                    self.opts.louvain_resolution,
-                    engine,
-                )?;
+                let lib_base = self.effective_constraints(&name, engine);
+                let (cfg, degradation) = with_relaxation(self.opts.policy, &lib_base, |cons| {
+                    let mut cfg = set_config_with_engine(
+                        &name,
+                        &members,
+                        &self.opts.space,
+                        cons,
+                        &custom_latency,
+                        engine,
+                    )?;
+                    cluster_into_chiplets_with_engine(
+                        &mut cfg,
+                        &member_models,
+                        cons,
+                        self.opts.louvain_resolution,
+                        engine,
+                    )?;
+                    Ok(cfg)
+                })?;
                 // Node vector for Step #TT1 assignment: the subset's
                 // summed raw node work, scaled afterwards — "the nodes
                 // of the library-synthesized configurations". (Scaling
@@ -454,17 +520,20 @@ impl Claire {
                     vector,
                     nre_normalized,
                     cumulative_custom_nre,
+                    degradation,
                 })
             })
         })?;
 
         // --- Fig. 4 data: PPA on all three configuration classes.
         let algo_ppa: Vec<AlgoPpa> = engine.time_stage("algo_ppa", || {
-            engine.try_par_map(models, |i, m| {
+            engine.try_par_map(models, |i, m| -> Result<_, ClaireError> {
                 let lib_idx = libraries
                     .iter()
                     .position(|l| l.members.contains(&i))
-                    .expect("every training model belongs to a subset");
+                    .ok_or_else(|| ClaireError::Internal {
+                        detail: format!("training model {i} missing from every subset"),
+                    })?;
                 Ok(AlgoPpa {
                     model_name: m.name().to_owned(),
                     custom: customs[i].report,
@@ -480,6 +549,7 @@ impl Claire {
             generic,
             libraries,
             algo_ppa,
+            generic_degradation,
         })
     }
 
@@ -519,10 +589,11 @@ impl Claire {
         if tests.is_empty() {
             return Err(ClaireError::EmptyAlgorithmSet);
         }
+        self.validate_inputs()?;
         let vectors: Vec<_> = train.libraries.iter().map(|l| l.vector.clone()).collect();
 
         let reports: Vec<TestReport> = engine.time_stage("test", || {
-            engine.try_par_map(tests, |_, m| {
+            engine.try_par_map(tests, |_, m| -> Result<_, ClaireError> {
                 let custom = self.custom_for_with_engine(m, engine)?;
 
                 // Rank libraries by similarity; take the best that covers.
@@ -532,7 +603,9 @@ impl Claire {
                     .enumerate()
                     .map(|(i, v)| (i, claire_graph::weighted_jaccard(&mv, v)))
                     .collect();
-                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                // Similarities are finite by construction; total_cmp
+                // keeps the sort panic-free and identical on them.
+                ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let assigned = ranked
                     .iter()
                     .find(|&&(i, _)| train.libraries[i].config.covers(m))
@@ -653,6 +726,47 @@ mod tests {
             .unwrap();
         let gpt2_lib = out.library_of(2).unwrap();
         assert_eq!(out.libraries[gpt2_lib].members, vec![2]);
+    }
+
+    #[test]
+    fn degrade_policy_rescues_impossible_area_constraint() {
+        let tight = Constraints {
+            chiplet_area_limit_mm2: 0.5, // nothing fits
+            ..Constraints::default()
+        };
+        let strict = Claire::new(ClaireOptions {
+            constraints: tight,
+            ..ClaireOptions::default()
+        });
+        assert!(matches!(
+            strict.train(&[zoo::alexnet()]).unwrap_err(),
+            ClaireError::NoFeasibleConfiguration { .. }
+        ));
+
+        let lenient = Claire::new(ClaireOptions {
+            constraints: tight,
+            policy: RobustnessPolicy::Degrade,
+            ..ClaireOptions::default()
+        });
+        let out = lenient.train(&[zoo::alexnet()]).unwrap();
+        assert!(out.is_degraded());
+        assert!(out.customs[0].degradation.is_some());
+        assert!(out.customs[0].report.latency_s.is_finite());
+    }
+
+    #[test]
+    fn degenerate_space_is_a_typed_error() {
+        let claire = Claire::new(ClaireOptions {
+            space: DseSpace {
+                sa_sizes: vec![],
+                ..DseSpace::default()
+            },
+            ..ClaireOptions::default()
+        });
+        assert!(matches!(
+            claire.train(&[zoo::alexnet()]).unwrap_err(),
+            ClaireError::InvalidInput { .. }
+        ));
     }
 
     #[test]

@@ -49,6 +49,135 @@ impl DseObjective {
     }
 }
 
+/// How the pipeline responds when a DSE subject has no feasible
+/// configuration under the given constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum RobustnessPolicy {
+    /// Surface the typed error immediately (the historical behaviour,
+    /// and the default).
+    #[default]
+    FailFast,
+    /// Walk the constraint-relaxation ladder — latency slack, then
+    /// power density, then chiplet area — and return the first rung's
+    /// solution, flagged with the [`Degradation`] that was required.
+    Degrade,
+}
+
+/// One relaxed constraint on the degradation ladder, in relax order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RelaxStep {
+    /// The latency-slack bound against the custom reference was lifted.
+    LatencySlack,
+    /// The power-density ceiling was lifted.
+    PowerDensity,
+    /// The per-chiplet area cap was lifted.
+    ChipletArea,
+}
+
+impl std::fmt::Display for RelaxStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RelaxStep::LatencySlack => "latency slack",
+            RelaxStep::PowerDensity => "power density",
+            RelaxStep::ChipletArea => "chiplet area",
+        })
+    }
+}
+
+/// The record attached to a result that only exists because
+/// constraints were relaxed: which rungs of the ladder were taken.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Degradation {
+    /// The constraints that had to be lifted, in relax order.
+    pub steps: Vec<RelaxStep>,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degraded: relaxed ")?;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The constraint-relaxation ladder for `base`: rung 0 is `base`
+/// unchanged; each later rung additionally lifts the next constraint
+/// in the documented relax order — latency slack first (a slower but
+/// physically buildable design), then power density (throttleable in
+/// deployment), then chiplet area last (lifting it abandons the
+/// composability premise, so it is the final resort). Lifted bounds
+/// are internal sentinels (`f64::INFINITY` / `f64::MAX`) that never
+/// appear in any report — they only widen the feasibility filter.
+pub fn relaxation_ladder(base: &Constraints) -> Vec<(Vec<RelaxStep>, Constraints)> {
+    let mut rungs = Vec::with_capacity(4);
+    rungs.push((Vec::new(), *base));
+    let mut relaxed = *base;
+    let mut steps = Vec::new();
+    relaxed.latency_slack = f64::INFINITY;
+    steps.push(RelaxStep::LatencySlack);
+    rungs.push((steps.clone(), relaxed));
+    relaxed.power_density_limit_w_per_mm2 = f64::INFINITY;
+    steps.push(RelaxStep::PowerDensity);
+    rungs.push((steps.clone(), relaxed));
+    relaxed.chiplet_area_limit_mm2 = f64::MAX;
+    steps.push(RelaxStep::ChipletArea);
+    rungs.push((steps, relaxed));
+    rungs
+}
+
+/// True when retrying `e` under relaxed constraints could succeed —
+/// the feasibility errors. Coverage gaps, contained panics, corrupt
+/// numerics and invalid inputs are not constraint problems and must
+/// not be retried.
+fn relaxation_can_help(e: &ClaireError) -> bool {
+    matches!(
+        e,
+        ClaireError::NoFeasibleConfiguration { .. } | ClaireError::ChipletAreaUnsatisfiable { .. }
+    )
+}
+
+/// Runs `attempt` under `policy`: fail-fast runs it once with `base`;
+/// degrade walks the [`relaxation_ladder`] until a rung succeeds,
+/// returning the winning value and the [`Degradation`] taken (`None`
+/// on rung 0, i.e. no relaxation was needed). Errors that relaxation
+/// cannot fix propagate immediately from any rung.
+///
+/// # Errors
+///
+/// The last rung's feasibility error when even fully lifted
+/// constraints admit no solution, or the first non-feasibility error
+/// any rung surfaces.
+pub fn with_relaxation<T>(
+    policy: RobustnessPolicy,
+    base: &Constraints,
+    mut attempt: impl FnMut(&Constraints) -> Result<T, ClaireError>,
+) -> Result<(T, Option<Degradation>), ClaireError> {
+    match policy {
+        RobustnessPolicy::FailFast => Ok((attempt(base)?, None)),
+        RobustnessPolicy::Degrade => {
+            let mut last: Option<ClaireError> = None;
+            for (steps, rung) in relaxation_ladder(base) {
+                match attempt(&rung) {
+                    Ok(v) => {
+                        let degradation = (!steps.is_empty()).then_some(Degradation { steps });
+                        return Ok((v, degradation));
+                    }
+                    Err(e) if relaxation_can_help(&e) => last = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(last.unwrap_or(ClaireError::NoFeasibleConfiguration {
+                subject: "relaxation ladder".to_owned(),
+            }))
+        }
+    }
+}
+
 /// The hw-independent module-class inventory of a model's monolithic
 /// DSE shell.
 fn monolithic_classes(model: &Model) -> BTreeSet<OpClass> {
@@ -186,6 +315,10 @@ pub fn custom_config_with_engine(
             subject: model.name().to_owned(),
         });
     }
+    // An infinite slack (degradation ladder) must admit every point,
+    // which `best * inf = inf` does; `total_cmp` below orders exactly
+    // like `partial_cmp` here because every surviving report passed
+    // the evaluator's finiteness gate.
     let limit = best_latency * (1.0 + constraints.latency_slack);
     let chosen = points
         .into_iter()
@@ -193,10 +326,13 @@ pub fn custom_config_with_engine(
         .min_by(|a, b| {
             objective
                 .score(&a.report)
-                .partial_cmp(&objective.score(&b.report))
-                .expect("scores are finite")
+                .total_cmp(&objective.score(&b.report))
         })
-        .expect("non-empty: best-latency point satisfies its own limit");
+        .ok_or_else(|| ClaireError::NoFeasibleConfiguration {
+            // Unreachable — the best-latency point satisfies its own
+            // limit — but a typed error beats a panic if it ever isn't.
+            subject: model.name().to_owned(),
+        })?;
 
     let mut cfg = monolithic_for(model, chosen.hw);
     cfg.name = format!("C_{}", model.name());
@@ -473,5 +609,87 @@ mod tests {
         };
         let err = custom_config(&zoo::alexnet(), &space, &cons).unwrap_err();
         assert!(matches!(err, ClaireError::NoFeasibleConfiguration { .. }));
+    }
+
+    #[test]
+    fn ladder_relaxes_in_documented_order() {
+        let rungs = relaxation_ladder(&Constraints::default());
+        assert_eq!(rungs.len(), 4);
+        assert!(rungs[0].0.is_empty());
+        assert_eq!(rungs[1].0, vec![RelaxStep::LatencySlack]);
+        assert_eq!(
+            rungs[2].0,
+            vec![RelaxStep::LatencySlack, RelaxStep::PowerDensity]
+        );
+        assert_eq!(
+            rungs[3].0,
+            vec![
+                RelaxStep::LatencySlack,
+                RelaxStep::PowerDensity,
+                RelaxStep::ChipletArea
+            ]
+        );
+        assert!(rungs[3].1.chiplet_area_limit_mm2 > 1e300);
+        assert!(rungs[2].1.power_density_limit_w_per_mm2.is_infinite());
+        assert!(rungs[1].1.latency_slack.is_infinite());
+    }
+
+    #[test]
+    fn with_relaxation_flags_only_relaxed_successes() {
+        let cons = Constraints::default();
+        // Succeeds on rung 0: no degradation.
+        let (v, d) = with_relaxation(RobustnessPolicy::Degrade, &cons, |_| {
+            Ok::<_, ClaireError>(1)
+        })
+        .unwrap();
+        assert_eq!((v, d), (1, None));
+        // Needs the power-density rung: two steps flagged.
+        let (_, d) = with_relaxation(RobustnessPolicy::Degrade, &cons, |c| {
+            if c.power_density_limit_w_per_mm2.is_infinite() {
+                Ok(2)
+            } else {
+                Err(ClaireError::NoFeasibleConfiguration {
+                    subject: "t".into(),
+                })
+            }
+        })
+        .unwrap();
+        let d = d.unwrap();
+        assert_eq!(
+            d.steps,
+            vec![RelaxStep::LatencySlack, RelaxStep::PowerDensity]
+        );
+        assert!(d.to_string().contains("power density"));
+        // Fail-fast never retries.
+        let err = with_relaxation(RobustnessPolicy::FailFast, &cons, |_| {
+            Err::<(), _>(ClaireError::NoFeasibleConfiguration {
+                subject: "t".into(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, ClaireError::NoFeasibleConfiguration { .. }));
+        // Non-feasibility errors propagate from any rung unchanged.
+        let err = with_relaxation(RobustnessPolicy::Degrade, &cons, |_| {
+            Err::<(), _>(ClaireError::EmptyAlgorithmSet)
+        })
+        .unwrap_err();
+        assert_eq!(err, ClaireError::EmptyAlgorithmSet);
+    }
+
+    #[test]
+    fn degrade_mode_rescues_impossible_area() {
+        let space = DseSpace::default();
+        let cons = Constraints {
+            chiplet_area_limit_mm2: 0.5, // nothing fits
+            ..Constraints::default()
+        };
+        let m = zoo::alexnet();
+        let ((_, report), degradation) = with_relaxation(RobustnessPolicy::Degrade, &cons, |c| {
+            custom_config(&m, &space, c)
+        })
+        .unwrap();
+        let degradation = degradation.expect("area rescue requires relaxation");
+        assert!(degradation.steps.contains(&RelaxStep::ChipletArea));
+        assert!(report.latency_s.is_finite() && report.area_mm2.is_finite());
     }
 }

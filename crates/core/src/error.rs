@@ -33,6 +33,45 @@ pub enum ClaireError {
         /// A layer class the configuration cannot implement.
         missing: String,
     },
+    /// A worker closure panicked inside a parallel map; the panic was
+    /// contained and the sweep's remaining items completed.
+    WorkerPanic {
+        /// Index of the work item whose closure panicked.
+        index: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An evaluated metric came out NaN or infinite — corrupt unit-PPA
+    /// data or a degenerate configuration; the report was withheld
+    /// rather than propagating the non-finite value.
+    NonFiniteMetric {
+        /// The algorithm being evaluated.
+        algorithm: String,
+        /// The configuration it was evaluated on.
+        config: String,
+        /// Which metric failed the finiteness check.
+        metric: &'static str,
+    },
+    /// An input failed validation before the pipeline ran (empty or
+    /// zero-valued DSE axes, degenerate hardware parameters, …).
+    InvalidInput {
+        /// What was wrong.
+        what: String,
+    },
+    /// No route exists between two op classes' execution sites — every
+    /// path crosses a failed NoC link.
+    NoRoute {
+        /// Source op class.
+        from: String,
+        /// Destination op class.
+        to: String,
+    },
+    /// An internal invariant did not hold; surfaced as a typed error
+    /// instead of a panic so callers can degrade gracefully.
+    Internal {
+        /// The violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ClaireError {
@@ -58,11 +97,38 @@ impl fmt::Display for ClaireError {
                 f,
                 "configuration {config} cannot implement layer class {missing} of {algorithm}"
             ),
+            ClaireError::WorkerPanic { index, message } => {
+                write!(f, "worker panicked on item {index}: {message}")
+            }
+            ClaireError::NonFiniteMetric {
+                algorithm,
+                config,
+                metric,
+            } => write!(
+                f,
+                "metric {metric} of {algorithm} on {config} is not finite"
+            ),
+            ClaireError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            ClaireError::NoRoute { from, to } => {
+                write!(f, "no surviving NoC route from {from} to {to}")
+            }
+            ClaireError::Internal { detail } => {
+                write!(f, "internal invariant violated: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClaireError {}
+
+impl From<crate::parallel::WorkerPanic> for ClaireError {
+    fn from(p: crate::parallel::WorkerPanic) -> Self {
+        ClaireError::WorkerPanic {
+            index: p.index,
+            message: p.message,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

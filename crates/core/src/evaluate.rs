@@ -125,15 +125,36 @@ pub fn route_of(
     from: claire_model::OpClass,
     to: claire_model::OpClass,
 ) -> EdgeRoute {
+    // With no fault plan every class pair routes, so the fallback is
+    // unreachable.
+    route_of_avoiding(config, from, to, None).unwrap_or(EdgeRoute {
+        crosses_chiplet: false,
+        hops: 0,
+    })
+}
+
+/// [`route_of`] under an optional fault plan whose failed torus links
+/// must be routed around. Returns `None` when every surviving path is
+/// severed (only possible with a plan). With `faults == None` this is
+/// exactly [`route_of`]: same-die hop counts come from the intact
+/// torus's XY distance.
+pub(crate) fn route_of_avoiding(
+    config: &DesignConfig,
+    from: claire_model::OpClass,
+    to: claire_model::OpClass,
+    faults: Option<&crate::fault::FaultPlan>,
+) -> Option<EdgeRoute> {
     let cross = match (config.chiplet_of(from), config.chiplet_of(to)) {
         (Some(x), Some(y)) if x != y => Some((x, y)),
         _ => None, // same chiplet or monolithic
     };
     match cross {
-        Some((x, y)) => EdgeRoute {
+        // Cross-chiplet transfers ride dedicated AIB channels, not the
+        // torus, so link faults never sever them.
+        Some((x, y)) => Some(EdgeRoute {
             crosses_chiplet: true,
             hops: config.chiplet_distance(x, y),
-        },
+        }),
         None => {
             // Same chiplet (or monolithic): NoC with hop distance on
             // the torus of the die hosting both units — the chiplet's
@@ -145,10 +166,18 @@ pub fn route_of(
             };
             let position = |class| classes.binary_search(&class).unwrap_or(0) as u32;
             let torus = Torus2d::fitting(classes.len());
-            EdgeRoute {
+            let a = position(from) % torus.size();
+            let b = position(to) % torus.size();
+            let hops = match faults {
+                Some(plan) if plan.has_link_faults() => torus.hops_avoiding(a, b, &|u, v| {
+                    plan.link_failed(torus.cols(), torus.rows(), u, v)
+                })?,
+                _ => torus.hops(a, b),
+            };
+            Some(EdgeRoute {
                 crosses_chiplet: false,
-                hops: torus.hops(position(from) % torus.size(), position(to) % torus.size()),
-            }
+                hops,
+            })
         }
     }
 }
@@ -207,28 +236,51 @@ pub fn edge_transfer(
 /// A lazily filled per-class-pair route matrix for one configuration
 /// topology. Cells are [`OnceLock`]s, so a table shared across threads
 /// (from the engine's topology cache) fills each pair at most once and
-/// every later edge pays a single atomic load.
+/// every later edge pays a single atomic load. A table may carry a
+/// fault plan with failed torus links; its routes then detour around
+/// the dead links (degraded hop counts) and a severed class pair
+/// memoizes as unroutable.
 #[derive(Debug, Default)]
 pub struct RouteTable {
-    cells: [[OnceLock<EdgeRoute>; OpClass::COUNT]; OpClass::COUNT],
+    cells: [[OnceLock<Option<EdgeRoute>>; OpClass::COUNT]; OpClass::COUNT],
+    faults: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 impl RouteTable {
-    /// An empty table.
+    /// An empty table with no link faults.
     pub fn new() -> Self {
         RouteTable::default()
+    }
+
+    /// An empty table whose routes avoid the plan's failed links.
+    pub fn with_link_faults(plan: Arc<crate::fault::FaultPlan>) -> Self {
+        RouteTable {
+            cells: Default::default(),
+            faults: Some(plan),
+        }
     }
 
     /// The route between two **distinct** classes, computing and
     /// memoizing it on first use. `config` must have the topology this
     /// table was created for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClaireError::NoRoute`] when failed links disconnect
+    /// the pair (only possible on a table built with
+    /// [`RouteTable::with_link_faults`]).
     pub fn route(
         &self,
         config: &DesignConfig,
         from: claire_model::OpClass,
         to: claire_model::OpClass,
-    ) -> EdgeRoute {
-        *self.cells[from.index()][to.index()].get_or_init(|| route_of(config, from, to))
+    ) -> Result<EdgeRoute, ClaireError> {
+        (*self.cells[from.index()][to.index()]
+            .get_or_init(|| route_of_avoiding(config, from, to, self.faults.as_deref())))
+        .ok_or_else(|| ClaireError::NoRoute {
+            from: from.label(),
+            to: to.label(),
+        })
     }
 }
 
@@ -383,15 +435,24 @@ pub fn evaluate_with_costs(
     let mut noc_pj = 0.0;
     let mut nop_pj = 0.0;
     let routes = costs.routes(config);
+    // Coverage was prechecked above; a class that still fails to
+    // resolve indicates the check and the executor disagree — surfaced
+    // as the same typed error rather than a panic.
+    let executing = |c: OpClass| {
+        config
+            .executing_class(c)
+            .ok_or_else(|| ClaireError::IncompleteCoverage {
+                algorithm: model.name().to_owned(),
+                config: config.name.clone(),
+                missing: c.label(),
+            })
+    };
     for (a, b, bytes) in model.edges() {
-        let (ea, eb) = (
-            config.executing_class(a).expect("covered"),
-            config.executing_class(b).expect("covered"),
-        );
+        let (ea, eb) = (executing(a)?, executing(b)?);
         if ea == eb {
             continue; // same-class transfers are free
         }
-        let t = transfer_on_route(routes.route(config, ea, eb), bytes);
+        let t = transfer_on_route(routes.route(config, ea, eb)?, bytes);
         latency_s += t.latency_s();
         noc_pj += t.noc_pj();
         nop_pj += t.nop_pj();
@@ -422,14 +483,36 @@ pub fn evaluate_with_costs(
         0.0
     };
 
-    Ok(PpaReport {
+    let report = PpaReport {
         latency_s,
         energy_j: (energy_pj + noc_pj + nop_pj) * 1e-12 + leakage_j,
         area_mm2: area,
         nop_energy_j: nop_pj * 1e-12,
         noc_energy_j: noc_pj * 1e-12,
         leakage_j,
-    })
+    };
+    // Finiteness gate: corrupt unit-PPA data or a degenerate
+    // configuration must surface as a typed error here, never as a
+    // NaN/Inf that silently poisons downstream sums and comparisons.
+    // Derived metrics are included so a zero latency or area (which
+    // would make power or density non-finite) is caught too.
+    let checks: [(&'static str, f64); 5] = [
+        ("latency", report.latency_s),
+        ("energy", report.energy_j),
+        ("area", report.area_mm2),
+        ("power", report.power_w()),
+        ("power_density", report.power_density_w_per_mm2()),
+    ];
+    for (metric, value) in checks {
+        if !value.is_finite() {
+            return Err(ClaireError::NonFiniteMetric {
+                algorithm: model.name().to_owned(),
+                config: config.name.clone(),
+                metric,
+            });
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

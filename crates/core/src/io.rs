@@ -92,9 +92,9 @@ impl RunConfig {
     ///
     /// [`ConfigIoError::Invalid`] naming the offending field.
     pub fn validate(&self) -> Result<(), ConfigIoError> {
-        if self.space.is_empty() {
-            return Err(ConfigIoError::Invalid("DSE space has an empty axis".into()));
-        }
+        self.space
+            .validate()
+            .map_err(|e| ConfigIoError::Invalid(e.to_string()))?;
         if !(0.0..=1.0).contains(&self.jaccard_threshold) {
             return Err(ConfigIoError::Invalid(format!(
                 "jaccard_threshold {} outside [0, 1]",
@@ -133,9 +133,9 @@ impl RunConfig {
     ///
     /// # Errors
     ///
-    /// I/O failure.
+    /// I/O or serialisation failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ConfigIoError> {
-        let text = serde_json::to_string_pretty(self).expect("RunConfig serialises");
+        let text = serde_json::to_string_pretty(self)?;
         std::fs::write(path, text)?;
         Ok(())
     }
@@ -196,6 +196,14 @@ mod tests {
         let mut cfg = RunConfig::default();
         cfg.space.sa_sizes.clear();
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_valued_axis() {
+        let mut cfg = RunConfig::default();
+        cfg.space.n_pools = vec![8, 0];
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("n_pools"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod assign;
 pub mod chiplet;
@@ -46,6 +47,7 @@ mod config;
 pub mod dse;
 mod error;
 pub mod evaluate;
+pub mod fault;
 pub mod graphs;
 pub mod io;
 pub mod library;
@@ -61,14 +63,15 @@ pub use claire::{
     SubsetStrategy, TestOutput, TestReport, TrainOutput,
 };
 pub use config::{monolithic_area_mm2, Chiplet, Constraints, DesignConfig};
-pub use dse::DseObjective;
+pub use dse::{Degradation, DseObjective, RelaxStep, RobustnessPolicy};
 pub use error::ClaireError;
 pub use evaluate::{
     edge_transfer, route_of, transfer_on_route, CostProvider, DirectCosts, EdgeRoute, EvalOptions,
     PpaReport, RouteTable, TransferCost,
 };
+pub use fault::{FaultClass, FaultPlan};
 pub use io::{ConfigIoError, RunConfig};
 pub use library::{ChipletLibrary, Deployment, LibraryEntry};
-pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, THREADS_ENV};
+pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, WorkerPanic, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};

@@ -97,9 +97,9 @@ impl ChipletLibrary {
     ///
     /// # Errors
     ///
-    /// I/O failure.
+    /// I/O or serialisation failure.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ConfigIoError> {
-        let text = serde_json::to_string_pretty(self).expect("library serialises");
+        let text = serde_json::to_string_pretty(self)?;
         std::fs::write(path, text)?;
         Ok(())
     }
@@ -152,7 +152,7 @@ impl ChipletLibrary {
                 (i, weighted_jaccard(&mv, &v))
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let Some(&(idx, similarity)) = ranked
             .iter()

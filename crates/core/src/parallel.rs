@@ -23,15 +23,78 @@
 
 use crate::config::{monolithic_area_mm2, DesignConfig};
 use crate::evaluate::{ComputeSum, CostProvider, RouteTable};
+use crate::fault::FaultPlan;
 use claire_graph::{louvain_csr, CsrGraph, Partition};
 use claire_model::{LayerKind, OpClass};
 use claire_ppa::{layer_cost, unit_area_mm2, DseSpace, HwParams, LayerBatch, LayerCost};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
+
+/// Read-locks `lock`, recovering from poisoning. Every lock in this
+/// module guards a pure memo cache: entries are exact functions of
+/// their keys and are only ever *inserted*, so a writer that panicked
+/// mid-update can at worst have left a complete entry or no entry —
+/// both valid states — and the data behind a poisoned lock is safe to
+/// keep serving.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `lock`, recovering from poisoning (see [`read_lock`]).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks `lock`, recovering from poisoning (see [`read_lock`]).
+fn lock_mutex<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A contained panic from a parallel-map worker closure: the item
+/// index and the panic payload's message (when it was a string).
+/// Convertible into [`crate::ClaireError::WorkerPanic`] so fallible
+/// sweeps surface contained panics as typed errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the work item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a `&str` or `String`.
+    pub message: String,
+}
+
+impl WorkerPanic {
+    fn new(index: usize, payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        WorkerPanic { index, message }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+impl From<WorkerPanic> for String {
+    fn from(p: WorkerPanic) -> String {
+        p.to_string()
+    }
+}
 
 /// Number of independently locked cache shards; a small power of two
 /// keeps contention negligible at realistic thread counts.
@@ -289,6 +352,7 @@ pub struct Engine {
     threads: usize,
     cache_enabled: bool,
     pruning_enabled: bool,
+    faults: Option<Arc<FaultPlan>>,
     shards: Vec<RwLock<Shard>>,
     routes: MemoMap<TopologyKey, Arc<RouteTable>>,
     sums: MemoMap<(u32, HwParams), ComputeSum>,
@@ -353,6 +417,7 @@ impl Engine {
             threads: threads.max(1),
             cache_enabled: true,
             pruning_enabled: true,
+            faults: None,
             shards: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(Shard::default()))
                 .collect(),
@@ -407,6 +472,33 @@ impl Engine {
         self
     }
 
+    /// Attaches a fault-injection plan (builder style). Shards the
+    /// plan selects for [`crate::fault::FaultClass::PoisonShard`] are
+    /// poisoned immediately — a controlled panic inside each shard's
+    /// write guard sets the lock's poison flag, exercising the
+    /// poison-recovering accessors on every later lookup.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        let plan = Arc::new(plan);
+        for i in plan.poisoned_shards(self.shards.len()) {
+            let shard = &self.shards[i];
+            // Panicking while holding the write guard poisons the
+            // RwLock; the unwind is contained here so construction
+            // itself never propagates a panic.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = shard.write().unwrap_or_else(PoisonError::into_inner);
+                panic!("injected shard poison");
+            }));
+            debug_assert!(shard.is_poisoned());
+        }
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
     /// The worker count this engine maps with.
     pub fn threads(&self) -> usize {
         self.threads
@@ -420,7 +512,7 @@ impl Engine {
     /// Snapshots counters, cache size and stage timings.
     pub fn stats(&self) -> EngineStats {
         let (struct_entries, struct_instances) = {
-            let interner = self.models.read().expect("model interner poisoned");
+            let interner = read_lock(&self.models);
             (interner.by_content.len(), interner.by_instance.len())
         };
         EngineStats {
@@ -428,53 +520,68 @@ impl Engine {
             cache_enabled: self.cache_enabled,
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
-            cache_entries: self
-                .shards
-                .iter()
-                .map(|s| s.read().expect("cache shard poisoned").len())
-                .sum(),
+            cache_entries: self.shards.iter().map(|s| read_lock(s).len()).sum(),
             route_hits: self.route_hits.load(Ordering::Relaxed),
             route_misses: self.route_misses.load(Ordering::Relaxed),
-            route_topologies: self.routes.read().expect("route cache poisoned").len(),
+            route_topologies: read_lock(&self.routes).len(),
             sum_hits: self.sum_hits.load(Ordering::Relaxed),
             sum_misses: self.sum_misses.load(Ordering::Relaxed),
-            sum_entries: self.sums.read().expect("sum cache poisoned").len(),
+            sum_entries: read_lock(&self.sums).len(),
             louvain_hits: self.louvain_hits.load(Ordering::Relaxed),
             louvain_misses: self.louvain_misses.load(Ordering::Relaxed),
-            louvain_entries: self.louvains.read().expect("louvain cache poisoned").len(),
+            louvain_entries: read_lock(&self.louvains).len(),
             graph_hits: self.graph_hits.load(Ordering::Relaxed),
             graph_misses: self.graph_misses.load(Ordering::Relaxed),
-            graph_entries: self.graphs.read().expect("graph cache poisoned").len(),
+            graph_entries: read_lock(&self.graphs).len(),
             area_hits: self.area_hits.load(Ordering::Relaxed),
             area_misses: self.area_misses.load(Ordering::Relaxed),
-            area_entries: self.areas.read().expect("area cache poisoned").len(),
+            area_entries: read_lock(&self.areas).len(),
             struct_entries,
             struct_instances,
             dse_pruned: self.dse_pruned.load(Ordering::Relaxed),
             dse_evaluated: self.dse_evaluated.load(Ordering::Relaxed),
-            stages: self.stages.lock().expect("stage log poisoned").clone(),
+            stages: lock_mutex(&self.stages).clone(),
         }
     }
 
     /// Memoized [`claire_ppa::layer_cost`]: exact, keyed by the full
-    /// layer shape and hardware point.
+    /// layer shape and hardware point. When a fault plan is attached,
+    /// the computed cost passes through
+    /// [`FaultPlan::corrupt_cost`] first; values that come out
+    /// non-finite are **never inserted into the cache** — the
+    /// finiteness guard at this boundary keeps corrupt entries from
+    /// outliving the evaluation that detects them.
     pub fn layer_cost(&self, kind: &LayerKind, hw: &HwParams) -> LayerCost {
         if !self.cache_enabled {
-            return layer_cost(kind, hw);
+            return self.maybe_corrupt_cost(kind, hw, layer_cost(kind, hw));
         }
         let key = Prehashed::new((*kind, *hw));
         let shard = &self.shards[key.shard()];
-        if let Some(cached) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(cached) = read_lock(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *cached;
         }
-        let computed = layer_cost(kind, hw);
+        let computed = self.maybe_corrupt_cost(kind, hw, layer_cost(kind, hw));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        shard
-            .write()
-            .expect("cache shard poisoned")
-            .insert(key, computed);
+        if computed.energy_pj.is_finite() {
+            write_lock(shard).insert(key, computed);
+        }
         computed
+    }
+
+    /// Applies the fault plan's PPA corruption to a freshly computed
+    /// cost. The injection site is the FxHash of the memo key, so the
+    /// same (layer, hardware) pair is corrupted identically however
+    /// and wherever it is recomputed.
+    fn maybe_corrupt_cost(&self, kind: &LayerKind, hw: &HwParams, cost: LayerCost) -> LayerCost {
+        match &self.faults {
+            Some(plan) if plan.has_ppa_faults() => {
+                let mut hasher = FxHasher::default();
+                (*kind, *hw).hash(&mut hasher);
+                plan.corrupt_cost(hasher.finish(), cost)
+            }
+            _ => cost,
+        }
     }
 
     /// Memoized [`crate::evaluate::evaluate`]: full-model PPA with
@@ -502,6 +609,15 @@ impl Engine {
         config: &crate::config::DesignConfig,
         opts: crate::evaluate::EvalOptions,
     ) -> Result<crate::evaluate::PpaReport, crate::error::ClaireError> {
+        if let Some(plan) = &self.faults {
+            if plan.drops_coverage(model.name(), &config.name) {
+                return Err(crate::error::ClaireError::IncompleteCoverage {
+                    algorithm: model.name().to_owned(),
+                    config: config.name.clone(),
+                    missing: "UNAVAILABLE (injected coverage drop)".to_owned(),
+                });
+            }
+        }
         crate::evaluate::evaluate_with_costs(model, config, opts, self)
     }
 
@@ -512,25 +628,30 @@ impl Engine {
     /// when the cache is disabled or the topology cannot be encoded
     /// exactly (see [`TopologyKey::of`]).
     pub fn route_table(&self, config: &DesignConfig) -> Arc<RouteTable> {
+        // A plan with armed link faults is fixed for the engine's
+        // lifetime, so fault-aware tables are as cacheable as plain
+        // ones — the fresh table just has to carry the plan too.
+        let fresh = || match &self.faults {
+            Some(plan) if plan.has_link_faults() => RouteTable::with_link_faults(Arc::clone(plan)),
+            _ => RouteTable::new(),
+        };
         let key = if self.cache_enabled {
             TopologyKey::of(config)
         } else {
             None
         };
         let Some(key) = key else {
-            return Arc::new(RouteTable::new());
+            return Arc::new(fresh());
         };
-        if let Some(table) = self.routes.read().expect("route cache poisoned").get(&key) {
+        if let Some(table) = read_lock(&self.routes).get(&key) {
             self.route_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(table);
         }
         self.route_misses.fetch_add(1, Ordering::Relaxed);
         Arc::clone(
-            self.routes
-                .write()
-                .expect("route cache poisoned")
+            write_lock(&self.routes)
                 .entry(key)
-                .or_default(),
+                .or_insert_with(|| Arc::new(fresh())),
         )
     }
 
@@ -555,24 +676,13 @@ impl Engine {
             return Arc::new(louvain_csr(csr, resolution));
         }
         let key = louvain_key(csr, resolution);
-        if let Some(p) = self
-            .louvains
-            .read()
-            .expect("louvain cache poisoned")
-            .get(&key)
-        {
+        if let Some(p) = read_lock(&self.louvains).get(&key) {
             self.louvain_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(p);
         }
         self.louvain_misses.fetch_add(1, Ordering::Relaxed);
         let partition = Arc::new(louvain_csr(csr, resolution));
-        Arc::clone(
-            self.louvains
-                .write()
-                .expect("louvain cache poisoned")
-                .entry(key)
-                .or_insert(partition),
-        )
+        Arc::clone(write_lock(&self.louvains).entry(key).or_insert(partition))
     }
 
     /// Memoized universal-graph construction (Step #TR1) with CSR
@@ -603,7 +713,7 @@ impl Engine {
             .map(claire_model::Model::instance_id)
             .collect();
         let key = (ids, *hw);
-        if let Some(g) = self.graphs.read().expect("graph cache poisoned").get(&key) {
+        if let Some(g) = read_lock(&self.graphs).get(&key) {
             self.graph_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(g);
         }
@@ -611,13 +721,7 @@ impl Engine {
         let graph = crate::graphs::universal_graph_with_costs(models, hw, self);
         let csr = CsrGraph::from_weighted(&graph);
         let built = Arc::new(UniversalCsr { graph, csr });
-        Arc::clone(
-            self.graphs
-                .write()
-                .expect("graph cache poisoned")
-                .entry(key)
-                .or_insert(built),
-        )
+        Arc::clone(write_lock(&self.graphs).entry(key).or_insert(built))
     }
 
     /// Model-light monolithic area of `classes` under `hw` — the sixth
@@ -639,7 +743,7 @@ impl Engine {
 
     /// The memoized per-op-class area table for `hw`.
     fn area_table(&self, hw: &HwParams) -> Arc<[f64; OpClass::COUNT]> {
-        if let Some(t) = self.areas.read().expect("area cache poisoned").get(hw) {
+        if let Some(t) = read_lock(&self.areas).get(hw) {
             self.area_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(t);
         }
@@ -649,9 +753,7 @@ impl Engine {
             table[c.index()] = unit_area_mm2(c, hw);
         }
         Arc::clone(
-            self.areas
-                .write()
-                .expect("area cache poisoned")
+            write_lock(&self.areas)
                 .entry(*hw)
                 .or_insert_with(|| Arc::new(table)),
         )
@@ -662,13 +764,13 @@ impl Engine {
     fn structural(&self, model: &claire_model::Model) -> (u32, Arc<LayerBatch>) {
         let iid = model.instance_id();
         {
-            let interner = self.models.read().expect("model interner poisoned");
+            let interner = read_lock(&self.models);
             if let Some(&sid) = interner.by_instance.get(&iid) {
                 return (sid, Arc::clone(&interner.batches[sid as usize]));
             }
         }
         let kinds: Box<[LayerKind]> = model.layers().iter().map(|l| l.kind).collect();
-        let mut interner = self.models.write().expect("model interner poisoned");
+        let mut interner = write_lock(&self.models);
         let sid = match interner.by_content.get(&kinds) {
             Some(&sid) => sid,
             None => {
@@ -700,7 +802,7 @@ impl Engine {
         let start = Instant::now();
         let out = f();
         let took = start.elapsed();
-        let mut stages = self.stages.lock().expect("stage log poisoned");
+        let mut stages = lock_mutex(&self.stages);
         match stages.iter_mut().find(|(name, _)| name == stage) {
             Some((_, total)) => *total += took,
             None => stages.push((stage.to_owned(), took)),
@@ -714,8 +816,66 @@ impl Engine {
     /// short items balance), and each worker's `(index, result)` pairs
     /// are reassembled into input order afterwards.
     ///
-    /// A panic in `f` propagates to the caller after all workers stop.
+    /// A panic in `f` is contained per item and re-raised for the
+    /// **lowest-indexed** panicking item after every worker finishes —
+    /// deterministic regardless of which worker hit it first.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for caught in self.par_map_catch(items, &f) {
+            match caught {
+                Ok(r) => out.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// [`Engine::par_map`] over fallible work: returns all results in
+    /// item order, or the error of the **lowest-indexed** failing item
+    /// — the same error a serial left-to-right run would surface. A
+    /// panic in `f` counts as that item failing with
+    /// [`WorkerPanic`] (converted through the error type's `From`
+    /// impl), so a panicking worker can never tear down the sweep.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send + From<WorkerPanic>,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let plan = self.faults.clone();
+        let wrapped = |i: usize, t: &T| {
+            if let Some(plan) = &plan {
+                if plan.panics_worker(i) {
+                    panic!("injected fault: worker panic on item {i}");
+                }
+            }
+            f(i, t)
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for (i, caught) in self.par_map_catch(items, &wrapped).into_iter().enumerate() {
+            match caught {
+                Ok(Ok(r)) => out.push(r),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => return Err(E::from(WorkerPanic::new(i, payload.as_ref()))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The shared map core: applies `f` to every item, catching each
+    /// item's unwind individually, and returns per-item outcomes in
+    /// item order. All items run to completion even when some panic.
+    fn par_map_catch<T, R, F>(
+        &self,
+        items: &[T],
+        f: &F,
+    ) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
     where
         T: Sync,
         R: Send,
@@ -723,16 +883,17 @@ impl Engine {
     {
         let n = items.len();
         let workers = self.threads.min(n);
+        let run_one = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
         // Nested `par_map` calls (a per-model sweep inside a per-model
         // stage) run serially on the worker that reached them: the outer
         // map already saturates the thread budget, and W x W transient
         // threads would only add scheduling overhead.
         if workers <= 1 || IN_WORKER.with(|w| w.get()) {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return (0..n).map(run_one).collect();
         }
 
         let cursor = AtomicUsize::new(0);
-        let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let buckets: Vec<Vec<(usize, _)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -743,7 +904,7 @@ impl Engine {
                             if i >= n {
                                 break;
                             }
-                            local.push((i, f(i, &items[i])));
+                            local.push((i, run_one(i)));
                         }
                         local
                     })
@@ -753,37 +914,22 @@ impl Engine {
                 .into_iter()
                 .map(|h| match h.join() {
                     Ok(local) => local,
+                    // Unreachable — `run_one` contains every unwind —
+                    // but a worker dying some other way must still
+                    // not hang the caller.
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .collect()
         });
 
-        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut slots: Vec<Option<_>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, r) in buckets.into_iter().flatten() {
             debug_assert!(slots[i].is_none(), "index {i} computed twice");
             slots[i] = Some(r);
         }
-        slots
-            .into_iter()
-            .map(|r| r.expect("every index claimed exactly once"))
-            .collect()
-    }
-
-    /// [`Engine::par_map`] over fallible work: returns all results in
-    /// item order, or the error of the **lowest-indexed** failing item
-    /// — the same error a serial left-to-right run would surface.
-    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
-    where
-        T: Sync,
-        R: Send,
-        E: Send,
-        F: Fn(usize, &T) -> Result<R, E> + Sync,
-    {
-        let mut out = Vec::with_capacity(items.len());
-        for result in self.par_map(items, f) {
-            out.push(result?);
-        }
-        Ok(out)
+        let out: Vec<_> = slots.into_iter().flatten().collect();
+        assert_eq!(out.len(), n, "every index claimed exactly once");
+        out
     }
 }
 
@@ -804,12 +950,28 @@ impl CostProvider for Engine {
     /// through the interned [`LayerBatch`], whose accumulation replays
     /// the per-layer reference walk's execution order bit-for-bit.
     fn compute_sum(&self, model: &claire_model::Model, hw: &HwParams) -> ComputeSum {
+        // With PPA corruption armed, sums must route through
+        // `Engine::layer_cost` layer by layer so each layer's
+        // injection site is consulted; the batched kernel (which
+        // bypasses per-layer hooks) only serves unfaulted engines.
+        if let Some(plan) = &self.faults {
+            if plan.has_ppa_faults() {
+                let mut cycles: u64 = 0;
+                let mut energy_pj = 0.0;
+                for layer in model.layers() {
+                    let c = self.layer_cost(&layer.kind, hw);
+                    cycles += c.cycles;
+                    energy_pj += c.energy_pj;
+                }
+                return ComputeSum { cycles, energy_pj };
+            }
+        }
         if !self.cache_enabled {
             return raw_compute_sum(model, hw);
         }
         let (sid, batch) = self.structural(model);
         let key = (sid, *hw);
-        if let Some(cached) = self.sums.read().expect("sum cache poisoned").get(&key) {
+        if let Some(cached) = read_lock(&self.sums).get(&key) {
             self.sum_hits.fetch_add(1, Ordering::Relaxed);
             return *cached;
         }
@@ -819,10 +981,12 @@ impl CostProvider for Engine {
             cycles: sum.cycles,
             energy_pj: sum.energy_pj,
         };
-        self.sums
-            .write()
-            .expect("sum cache poisoned")
-            .insert(key, computed);
+        // Finiteness guard at the sum-aggregation boundary: a
+        // non-finite aggregate is surfaced by the evaluation that
+        // produced it but never memoized.
+        if computed.energy_pj.is_finite() {
+            write_lock(&self.sums).insert(key, computed);
+        }
         computed
     }
 
@@ -1088,9 +1252,96 @@ mod tests {
         let engine = Engine::new(8);
         let items: Vec<usize> = (0..64).collect();
         let err = engine
-            .try_par_map(&items, |_, &x| if x % 7 == 3 { Err(x) } else { Ok(x) })
+            .try_par_map(&items, |_, &x| {
+                if x % 7 == 3 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
             .unwrap_err();
-        assert_eq!(err, 3, "serial semantics: first failure in item order");
+        assert_eq!(
+            err, "bad 3",
+            "serial semantics: first failure in item order"
+        );
+    }
+
+    #[test]
+    fn try_par_map_contains_panics_as_typed_errors() {
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(threads);
+            let items: Vec<usize> = (0..32).collect();
+            let err: String = engine
+                .try_par_map(&items, |_, &x| -> Result<usize, String> {
+                    if x == 5 {
+                        panic!("boom at {x}");
+                    }
+                    Ok(x)
+                })
+                .unwrap_err();
+            assert!(err.contains("item 5"), "threads {threads}: {err}");
+            assert!(err.contains("boom at 5"), "threads {threads}: {err}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_prefers_lowest_index_among_error_and_panic() {
+        let engine = Engine::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        // Item 2 errors, item 6 panics: the lower index wins.
+        let err: String = engine
+            .try_par_map(&items, |_, &x| {
+                if x == 6 {
+                    panic!("late panic");
+                }
+                if x == 2 {
+                    Err("early error".to_owned())
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "early error");
+    }
+
+    #[test]
+    fn par_map_reraises_lowest_index_panic_after_completion() {
+        let engine = Engine::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            engine.par_map(&items, |_, &x| {
+                if x == 3 || x == 11 {
+                    panic!("p{x}");
+                }
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert_eq!(msg, "p3", "lowest-indexed panic is the one re-raised");
+    }
+
+    #[test]
+    fn poisoned_engine_locks_recover() {
+        use claire_model::{Activation, ActivationKind};
+        let plan = crate::fault::FaultPlan::new(9).with(crate::fault::FaultClass::PoisonShard, 1.0);
+        let engine = Engine::new(2).with_faults(plan);
+        assert!(engine.shards.iter().all(|s| s.is_poisoned()));
+        let kind = LayerKind::Activation(Activation {
+            kind: ActivationKind::Relu,
+            elements: 64,
+        });
+        let hw = HwParams::new(16, 16, 8, 8);
+        let first = engine.layer_cost(&kind, &hw);
+        let second = engine.layer_cost(&kind, &hw);
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1, "poisoned shard still serves hits");
+        assert_eq!(stats.cache_misses, 1);
     }
 
     #[test]

@@ -115,12 +115,7 @@ pub fn place(n: usize, traffic: &BTreeMap<(usize, usize), f64>) -> InterposerPla
         degree[b] += w;
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        degree[b]
-            .partial_cmp(&degree[a])
-            .expect("finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| degree[b].total_cmp(&degree[a]).then(a.cmp(&b)));
 
     // Greedy construction.
     let mut slot_of: Vec<Option<(u32, u32)>> = vec![None; n];
@@ -155,13 +150,15 @@ pub fn place(n: usize, traffic: &BTreeMap<(usize, usize), f64>) -> InterposerPla
                 best = Some((score, si, s));
             }
         }
-        let (_, si, s) = best.expect("grid holds all chiplets");
+        // The grid always holds at least n slots, so a candidate
+        // exists; the guard keeps the loop total regardless.
+        let Some((_, si, s)) = best else { continue };
         used[si] = true;
         slot_of[c] = Some(s);
     }
     let mut placement = InterposerPlacement {
         cols,
-        slots: slot_of.into_iter().map(|s| s.expect("placed")).collect(),
+        slots: slot_of.into_iter().map(|s| s.unwrap_or((0, 0))).collect(),
     };
 
     // Pairwise-swap refinement.

@@ -139,11 +139,13 @@ where
                 if ri != rj {
                     let (lo, hi) = (ri.min(rj), ri.max(rj));
                     parent[hi] = lo;
-                    let absorbed = payload[hi].take().expect("root payload present");
-                    merge(
-                        payload[lo].as_mut().expect("root payload present"),
-                        absorbed,
-                    );
+                    // Both are union-find roots, so both payloads are
+                    // present; stated as control flow to stay total.
+                    if let (Some(absorbed), Some(target)) =
+                        (payload[hi].take(), payload[lo].as_mut())
+                    {
+                        merge(target, absorbed);
+                    }
                 }
             }
         }
@@ -157,10 +159,7 @@ where
     }
     clusters
         .into_iter()
-        .map(|(root, members)| {
-            let p = payload[root].take().expect("root payload present");
-            (members, p)
-        })
+        .filter_map(|(root, members)| payload[root].take().map(|p| (members, p)))
         .collect()
 }
 

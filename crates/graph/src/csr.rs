@@ -74,8 +74,12 @@ impl<N: Ord + Clone> CsrGraph<N> {
         let mut self_loop = vec![0.0; n];
         let mut entries: Vec<(u32, u32, f64)> = Vec::with_capacity(g.edge_count());
         for (a, b, w) in g.edges() {
-            let i = keys.binary_search(a).expect("edge endpoint interned") as u32;
-            let j = keys.binary_search(b).expect("edge endpoint interned") as u32;
+            // Every edge endpoint is a graph node, so the searches hit;
+            // an (impossible) miss drops the edge instead of panicking.
+            let (Ok(i), Ok(j)) = (keys.binary_search(a), keys.binary_search(b)) else {
+                continue;
+            };
+            let (i, j) = (i as u32, j as u32);
             if i == j {
                 self_loop[i as usize] += w;
             } else {

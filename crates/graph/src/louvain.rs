@@ -315,9 +315,11 @@ pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> 
 /// point for callers that cluster the same graph repeatedly (e.g. the
 /// chiplet-count escalation loop sweeping `resolution`).
 pub fn louvain_csr<N: Ord + Clone>(csr: &CsrGraph<N>, resolution: f64) -> Partition<N> {
+    // Passes always holds at least the initial partition; the fallback
+    // (empty partition) is unreachable but keeps the function total.
     louvain_csr_passes(csr, resolution)
         .pop()
-        .expect("passes always holds at least the initial partition")
+        .unwrap_or_else(|| Partition::from_communities(Vec::new()))
 }
 
 /// [`louvain_passes`] over a prebuilt [`CsrGraph`].
@@ -404,10 +406,14 @@ pub fn modularity_csr<N: Ord + Clone>(
     if n == 0 || csr.m2() == 0.0 {
         return 0.0;
     }
+    // The partition covers every graph node; an uncovered node (never
+    // produced by the kernels here) gets a sentinel community of its
+    // own instead of panicking.
     let comm: Vec<usize> = csr
         .keys()
         .iter()
-        .map(|k| partition.community_of(k).expect("partition covers graph"))
+        .enumerate()
+        .map(|(i, k)| partition.community_of(k).unwrap_or(usize::MAX - i))
         .collect();
     let (degree, m2) = (csr.degrees(), csr.m2());
 
@@ -455,7 +461,9 @@ struct Dense {
 impl Dense {
     fn from_graph<N: Ord + Clone>(g: &WeightedGraph<N>, index: &[N]) -> Self {
         let n = index.len();
-        let pos = |k: &N| index.binary_search(k).expect("node in index");
+        // Every node is in the sorted index by construction; the
+        // fallback keeps the lookup total.
+        let pos = |k: &N| index.binary_search(k).unwrap_or(0);
         let mut adj = vec![Vec::new(); n];
         let mut self_loop = vec![0.0; n];
         for ((a, b), w) in g.undirected_edges() {
@@ -596,7 +604,7 @@ impl Dense {
 pub fn louvain_reference<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> Partition<N> {
     louvain_passes_reference(g, resolution)
         .pop()
-        .expect("passes always holds at least the initial partition")
+        .unwrap_or_else(|| Partition::from_communities(Vec::new()))
 }
 
 /// The pre-CSR [`louvain_passes`]; see [`louvain_reference`].

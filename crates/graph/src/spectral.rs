@@ -89,7 +89,9 @@ pub fn spectral_bisect_csr<N: Ord + Clone>(csr: &CsrGraph<N>, iterations: usize)
     // dominant gap; a degenerate spectrum (complete graph) falls back
     // toward a balanced cut via the weighting.
     let mut sorted = v.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // Fiedler components are finite, so total_cmp sorts identically
+    // to partial_cmp while staying panic-free.
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut best_pos = n / 2;
     let mut best_score = f64::NEG_INFINITY;
     for pos in 1..n {

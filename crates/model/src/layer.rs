@@ -126,8 +126,15 @@ pub struct Conv2d {
 impl Conv2d {
     /// Output feature-map size (`OFM_x`, `OFM_y`) under the usual
     /// floor-division convolution arithmetic.
+    ///
+    /// Total over all field values (degenerate strides are treated as
+    /// 1, extreme sizes saturate) so that parsed-then-mutated layer
+    /// records can never divide by zero or overflow.
     pub fn ofm(&self) -> (u32, u32) {
-        let o = |i: u32, k: u32, s: u32, p: u32| (i + 2 * p).saturating_sub(k) / s + 1;
+        let o = |i: u32, k: u32, s: u32, p: u32| {
+            let span = (u64::from(i) + 2 * u64::from(p)).saturating_sub(u64::from(k));
+            u32::try_from(span / u64::from(s.max(1)) + 1).unwrap_or(u32::MAX)
+        };
         (
             o(self.ifm.0, self.kernel.0, self.stride.0, self.padding.0),
             o(self.ifm.1, self.kernel.1, self.stride.1, self.padding.1),
@@ -137,27 +144,29 @@ impl Conv2d {
     /// Trainable parameter count (weights + biases).
     pub fn params(&self) -> u64 {
         let w = u64::from(self.out_channels)
-            * u64::from(self.in_channels / self.groups)
-            * u64::from(self.kernel.0)
-            * u64::from(self.kernel.1);
-        w + u64::from(self.out_channels)
+            .saturating_mul(u64::from(self.in_channels / self.groups.max(1)))
+            .saturating_mul(u64::from(self.kernel.0))
+            .saturating_mul(u64::from(self.kernel.1));
+        w.saturating_add(u64::from(self.out_channels))
     }
 
     /// Multiply-accumulate operations for one inference.
     pub fn macs(&self) -> u64 {
         let (ox, oy) = self.ofm();
         u64::from(ox)
-            * u64::from(oy)
-            * u64::from(self.out_channels)
-            * u64::from(self.in_channels / self.groups)
-            * u64::from(self.kernel.0)
-            * u64::from(self.kernel.1)
+            .saturating_mul(u64::from(oy))
+            .saturating_mul(u64::from(self.out_channels))
+            .saturating_mul(u64::from(self.in_channels / self.groups.max(1)))
+            .saturating_mul(u64::from(self.kernel.0))
+            .saturating_mul(u64::from(self.kernel.1))
     }
 
     /// Number of output activations produced.
     pub fn output_elements(&self) -> u64 {
         let (ox, oy) = self.ofm();
-        u64::from(ox) * u64::from(oy) * u64::from(self.out_channels)
+        u64::from(ox)
+            .saturating_mul(u64::from(oy))
+            .saturating_mul(u64::from(self.out_channels))
     }
 }
 
@@ -184,28 +193,33 @@ pub struct Conv1d {
 }
 
 impl Conv1d {
-    /// Output sequence length.
+    /// Output sequence length (total: degenerate strides count as 1,
+    /// extreme sizes saturate).
     pub fn output_length(&self) -> u32 {
-        (self.length + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1
+        let span = (u64::from(self.length) + 2 * u64::from(self.padding))
+            .saturating_sub(u64::from(self.kernel));
+        u32::try_from(span / u64::from(self.stride.max(1)) + 1).unwrap_or(u32::MAX)
     }
 
     /// Trainable parameter count.
     pub fn params(&self) -> u64 {
-        u64::from(self.out_channels) * u64::from(self.in_channels) * u64::from(self.kernel)
-            + u64::from(self.out_channels)
+        u64::from(self.out_channels)
+            .saturating_mul(u64::from(self.in_channels))
+            .saturating_mul(u64::from(self.kernel))
+            .saturating_add(u64::from(self.out_channels))
     }
 
     /// Multiply-accumulate operations for one inference.
     pub fn macs(&self) -> u64 {
         u64::from(self.output_length())
-            * u64::from(self.out_channels)
-            * u64::from(self.in_channels)
-            * u64::from(self.kernel)
+            .saturating_mul(u64::from(self.out_channels))
+            .saturating_mul(u64::from(self.in_channels))
+            .saturating_mul(u64::from(self.kernel))
     }
 
     /// Number of output activations produced.
     pub fn output_elements(&self) -> u64 {
-        u64::from(self.output_length()) * u64::from(self.out_channels)
+        u64::from(self.output_length()).saturating_mul(u64::from(self.out_channels))
     }
 }
 
@@ -224,17 +238,21 @@ pub struct Linear {
 impl Linear {
     /// Trainable parameter count.
     pub fn params(&self) -> u64 {
-        u64::from(self.in_features) * u64::from(self.out_features) + u64::from(self.out_features)
+        u64::from(self.in_features)
+            .saturating_mul(u64::from(self.out_features))
+            .saturating_add(u64::from(self.out_features))
     }
 
     /// Multiply-accumulate operations for one inference.
     pub fn macs(&self) -> u64 {
-        u64::from(self.in_features) * u64::from(self.out_features) * u64::from(self.tokens)
+        u64::from(self.in_features)
+            .saturating_mul(u64::from(self.out_features))
+            .saturating_mul(u64::from(self.tokens))
     }
 
     /// Number of output activations produced.
     pub fn output_elements(&self) -> u64 {
-        u64::from(self.out_features) * u64::from(self.tokens)
+        u64::from(self.out_features).saturating_mul(u64::from(self.tokens))
     }
 }
 

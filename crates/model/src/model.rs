@@ -160,30 +160,46 @@ impl Model {
     /// Total trainable parameters (layer parameters + embedding/norm
     /// parameters recorded at construction).
     pub fn param_count(&self) -> u64 {
-        self.layers.iter().map(Layer::params).sum::<u64>() + self.extra_params
+        self.layers
+            .iter()
+            .map(Layer::params)
+            .fold(self.extra_params, u64::saturating_add)
     }
 
     /// Total multiply-accumulate operations for one inference.
     pub fn macs(&self) -> u64 {
-        self.layers.iter().map(Layer::macs).sum()
+        self.layers
+            .iter()
+            .map(Layer::macs)
+            .fold(0, u64::saturating_add)
     }
 
     /// Total element-wise (activation / pooling / reshape) operations.
     pub fn element_ops(&self) -> u64 {
-        self.layers.iter().map(Layer::element_ops).sum()
+        self.layers
+            .iter()
+            .map(Layer::element_ops)
+            .fold(0, u64::saturating_add)
     }
 
     /// Total activation bytes flowing between layers (8-bit elements).
     pub fn activation_bytes(&self) -> u64 {
-        self.edges().iter().map(|(_, _, b)| b).sum()
+        self.edges()
+            .iter()
+            .map(|(_, _, b)| *b)
+            .fold(0, u64::saturating_add)
     }
 
     /// Arithmetic intensity: MACs per byte of weights + inter-layer
     /// activations (8-bit). High values are compute-bound on any
     /// sane memory system; low values live on the memory wall.
     pub fn arithmetic_intensity(&self) -> f64 {
-        let weight_bytes: u64 = self.layers.iter().map(Layer::params).sum();
-        let traffic = weight_bytes + self.activation_bytes();
+        let weight_bytes = self
+            .layers
+            .iter()
+            .map(Layer::params)
+            .fold(0u64, u64::saturating_add);
+        let traffic = weight_bytes.saturating_add(self.activation_bytes());
         if traffic == 0 {
             return 0.0;
         }

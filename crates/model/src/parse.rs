@@ -125,8 +125,12 @@ enum Shape {
 impl Shape {
     fn elements(&self) -> u64 {
         match *self {
-            Shape::Image { c, h, w } => u64::from(c) * u64::from(h) * u64::from(w),
-            Shape::Seq { tokens, features } => u64::from(tokens) * u64::from(features),
+            Shape::Image { c, h, w } => u64::from(c)
+                .saturating_mul(u64::from(h))
+                .saturating_mul(u64::from(w)),
+            Shape::Seq { tokens, features } => {
+                u64::from(tokens).saturating_mul(u64::from(features))
+            }
             Shape::Flat { features } => u64::from(features),
         }
     }
@@ -336,6 +340,12 @@ fn emit(
             let groups = kw(&m.args, "groups")
                 .and_then(|x| x.parse().ok())
                 .unwrap_or(1);
+            if s.0 == 0 || s.1 == 0 {
+                return Err(bad(m, "zero stride"));
+            }
+            if groups == 0 {
+                return Err(bad(m, "zero groups"));
+            }
             let (h, w) = match shape {
                 Shape::Image { h, w, .. } => (h, w),
                 _ => {
@@ -390,6 +400,9 @@ fn emit(
                 .and_then(|x| pair(&x))
                 .map(|(a, _)| a)
                 .unwrap_or(0);
+            if s == 0 {
+                return Err(bad(m, "zero stride"));
+            }
             let length = match shape {
                 Shape::Seq { tokens, .. } => tokens,
                 Shape::Image { w, .. } => w,
@@ -473,20 +486,32 @@ fn emit(
             let p = kw(&m.args, "padding")
                 .and_then(|x| pair(&x))
                 .unwrap_or((0, 0));
+            if s.0 == 0 || s.1 == 0 {
+                return Err(bad(m, "zero stride"));
+            }
             let Shape::Image { c, h, w } = shape else {
                 return Err(ParseModelError::UnknownShape {
                     line: m.line_no,
                     module: m.ty.clone(),
                 });
             };
-            let oh = (h + 2 * p.0).saturating_sub(k.0) / s.0 + 1;
-            let ow = (w + 2 * p.1).saturating_sub(k.1) / s.1 + 1;
+            let window = |i: u32, k: u32, s: u32, p: u32| {
+                let span = (u64::from(i) + 2 * u64::from(p)).saturating_sub(u64::from(k));
+                u32::try_from(span / u64::from(s) + 1).unwrap_or(u32::MAX)
+            };
+            let oh = window(h, k.0, s.0, p.0);
+            let ow = window(w, k.1, s.1, p.1);
+            let volume = |h: u32, w: u32| {
+                u64::from(c)
+                    .saturating_mul(u64::from(h))
+                    .saturating_mul(u64::from(w))
+            };
             b.push(
                 &m.path,
                 LayerKind::Pooling(Pooling {
                     kind,
-                    input_elements: u64::from(c) * u64::from(h) * u64::from(w),
-                    output_elements: u64::from(c) * u64::from(oh) * u64::from(ow),
+                    input_elements: volume(h, w),
+                    output_elements: volume(oh, ow),
                 }),
             );
             Ok(Some(Shape::Image { c, h: oh, w: ow }))
@@ -505,8 +530,12 @@ fn emit(
                 &m.path,
                 LayerKind::Pooling(Pooling {
                     kind: PoolingKind::AdaptiveAvgPool,
-                    input_elements: u64::from(c) * u64::from(h) * u64::from(w),
-                    output_elements: u64::from(c) * u64::from(out.0) * u64::from(out.1),
+                    input_elements: u64::from(c)
+                        .saturating_mul(u64::from(h))
+                        .saturating_mul(u64::from(w)),
+                    output_elements: u64::from(c)
+                        .saturating_mul(u64::from(out.0))
+                        .saturating_mul(u64::from(out.1)),
                 }),
             );
             Ok(Some(Shape::Image {

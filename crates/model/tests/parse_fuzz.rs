@@ -1,0 +1,135 @@
+//! Mutation fuzzing for the `print(model)` parser: whatever bytes a
+//! dump is mangled into — flipped bytes, deleted / duplicated lines,
+//! truncation, injected garbage — `parse_model` must return `Ok` or a
+//! typed [`ParseModelError`], never panic. Errors must carry the
+//! 1-based line number of the offending module so users can fix real
+//! dumps.
+
+use claire_model::parse::{parse_model, to_torch_print, ParseModelError, ParseOptions};
+use claire_model::zoo;
+use proptest::prelude::*;
+
+/// One mutilation of a dump's byte stream. Positions are taken modulo
+/// the current length, so any usize is valid.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// Overwrite one byte.
+    FlipByte(usize, u8),
+    /// Remove one line entirely.
+    DeleteLine(usize),
+    /// Repeat one line immediately after itself.
+    DuplicateLine(usize),
+    /// Cut the dump off mid-stream.
+    Truncate(usize),
+    /// Splice arbitrary bytes in.
+    InsertBytes(usize, Vec<u8>),
+}
+
+fn apply(m: &Mutation, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        return;
+    }
+    match m {
+        Mutation::FlipByte(pos, val) => {
+            let p = pos % bytes.len();
+            bytes[p] = *val;
+        }
+        Mutation::DeleteLine(idx) | Mutation::DuplicateLine(idx) => {
+            let text = String::from_utf8_lossy(bytes).into_owned();
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return;
+            }
+            let i = idx % lines.len();
+            if matches!(m, Mutation::DeleteLine(_)) {
+                lines.remove(i);
+            } else {
+                lines.insert(i, lines[i]);
+            }
+            *bytes = lines.join("\n").into_bytes();
+        }
+        Mutation::Truncate(pos) => {
+            let p = pos % (bytes.len() + 1);
+            bytes.truncate(p);
+        }
+        Mutation::InsertBytes(pos, extra) => {
+            let p = pos % (bytes.len() + 1);
+            for (k, b) in extra.iter().enumerate() {
+                bytes.insert(p + k, *b);
+            }
+        }
+    }
+}
+
+fn position() -> std::ops::Range<usize> {
+    // Positions are reduced modulo the live length, so any wide range
+    // exercises every spot, including far past the end.
+    0..1 << 20
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (position(), 0u8..255).prop_map(|(p, v)| Mutation::FlipByte(p, v)),
+        position().prop_map(Mutation::DeleteLine),
+        position().prop_map(Mutation::DuplicateLine),
+        position().prop_map(Mutation::Truncate),
+        (position(), proptest::collection::vec(0u8..255, 1..24))
+            .prop_map(|(p, b)| Mutation::InsertBytes(p, b)),
+    ]
+}
+
+/// The zoo printouts the fuzzer mutates: a grouped-conv CNN, the
+/// Conv1d-bearing GPT-2 and a Linear-heavy transformer cover every
+/// parsed module family.
+fn seed_dumps() -> Vec<String> {
+    [zoo::resnet18(), zoo::gpt2(), zoo::bert_base()]
+        .iter()
+        .map(to_torch_print)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn parse_model_never_panics_on_mutated_dumps(
+        seed in 0usize..3,
+        muts in proptest::collection::vec(mutation(), 1..12),
+    ) {
+        let mut bytes = seed_dumps()[seed].clone().into_bytes();
+        for m in &muts {
+            apply(m, &mut bytes);
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // Ok or a typed error are both acceptable; a panic fails the
+        // whole property.
+        let _ = parse_model("mutated", &text, ParseOptions::default());
+    }
+
+    #[test]
+    fn parse_model_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..255, 0..2048),
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_model("garbage", &text, ParseOptions::default());
+    }
+}
+
+#[test]
+fn unmutated_dumps_round_trip() {
+    for dump in seed_dumps() {
+        parse_model("clean", &dump, ParseOptions::default()).expect("clean dump parses");
+    }
+}
+
+#[test]
+fn bad_arguments_carry_the_offending_line_number() {
+    let text = "Net(\n  (r): ReLU()\n  (c): Conv2d(3, 8, kernel_size=(3, 3), stride=(0, 1))\n)\n";
+    match parse_model("n", text, ParseOptions::default()) {
+        Err(ParseModelError::BadArguments { line, module, .. }) => {
+            assert_eq!(line, 3, "1-based line of the zero-stride Conv2d");
+            assert_eq!(module, "Conv2d");
+        }
+        other => panic!("expected BadArguments with a line number, got {other:?}"),
+    }
+}

@@ -70,6 +70,63 @@ impl Torus2d {
         dx.min(self.cols - dx) + dy.min(self.rows - dy)
     }
 
+    /// Minimal hop count from `a` to `b` when some links are dead,
+    /// by breadth-first search over the surviving topology. `failed`
+    /// is consulted per link with its endpoints in canonical
+    /// `(min, max)` position order (links are undirected). Returns
+    /// `None` when every path from `a` to `b` crosses a failed link.
+    ///
+    /// With no failed links this equals [`Torus2d::hops`]: BFS finds
+    /// shortest paths, and on an intact torus the shortest path length
+    /// is exactly the wraparound XY distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn hops_avoiding(&self, a: u32, b: u32, failed: &dyn Fn(u32, u32) -> bool) -> Option<u32> {
+        assert!(a < self.size(), "position {a} out of range");
+        assert!(b < self.size(), "position {b} out of range");
+        if a == b {
+            return Some(0);
+        }
+        let n = self.size() as usize;
+        let mut dist: Vec<u32> = vec![u32::MAX; n];
+        dist[a as usize] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[u as usize];
+            for v in self.neighbors(u) {
+                if v == u || dist[v as usize] != u32::MAX {
+                    continue;
+                }
+                if failed(u.min(v), u.max(v)) {
+                    continue;
+                }
+                if v == b {
+                    return Some(d + 1);
+                }
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// The (up to four) torus neighbours of position `i`, with
+    /// wraparound. Degenerate axes (a single column or row) yield the
+    /// position itself, which traversals skip.
+    fn neighbors(&self, i: u32) -> [u32; 4] {
+        let (x, y) = self.coords(i);
+        let idx = |x: u32, y: u32| y * self.cols + x;
+        [
+            idx((x + self.cols - 1) % self.cols, y),
+            idx((x + 1) % self.cols, y),
+            idx(x, (y + self.rows - 1) % self.rows),
+            idx(x, (y + 1) % self.rows),
+        ]
+    }
+
     /// Number of channels crossing the bisection of the torus: a 2-D
     /// torus cut across its longer dimension severs `2 × shorter side`
     /// links (the wraparound doubles the mesh cut).
@@ -153,6 +210,40 @@ mod tests {
         assert_eq!(Torus2d::new(4, 4).bisection_channels(), 8);
         assert_eq!(Torus2d::new(8, 2).bisection_channels(), 4);
         assert_eq!(Torus2d::new(1, 1).bisection_channels(), 2);
+    }
+
+    #[test]
+    fn hops_avoiding_matches_hops_with_no_failures() {
+        for (c, r) in [(1, 1), (1, 4), (2, 2), (3, 3), (4, 3)] {
+            let t = Torus2d::new(c, r);
+            for a in 0..t.size() {
+                for b in 0..t.size() {
+                    assert_eq!(
+                        t.hops_avoiding(a, b, &|_, _| false),
+                        Some(t.hops(a, b)),
+                        "{c}x{r} torus, {a} -> {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_avoiding_routes_around_failed_link() {
+        // 3x1 ring 0-1-2-(0). Killing 0-1 forces 0 -> 2 -> 1.
+        let t = Torus2d::new(3, 1);
+        assert_eq!(t.hops(0, 1), 1);
+        let dead = |a: u32, b: u32| (a, b) == (0, 1);
+        assert_eq!(t.hops_avoiding(0, 1, &dead), Some(2));
+        assert_eq!(t.hops_avoiding(1, 0, &dead), Some(2), "symmetric");
+    }
+
+    #[test]
+    fn hops_avoiding_reports_disconnection() {
+        // 2x1: positions 0 and 1 joined by a single canonical link.
+        let t = Torus2d::new(2, 1);
+        assert_eq!(t.hops_avoiding(0, 1, &|_, _| true), None);
+        assert_eq!(t.hops_avoiding(0, 0, &|_, _| true), Some(0), "self");
     }
 
     #[test]

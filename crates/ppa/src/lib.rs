@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod analytical;
 mod batch;
@@ -46,7 +47,7 @@ pub mod thermal;
 pub use analytical::{config_area_mm2, layer_cost, unit_area_mm2, LayerCost};
 pub use batch::{BatchSum, LayerBatch};
 pub use memory::{layer_weight_bytes, MemoryModel};
-pub use params::{DseSpace, HwParams, HwParamsError};
+pub use params::{DseSpace, DseSpaceError, HwParams, HwParamsError};
 pub use scaling::{NodeScaling, TechNode};
 pub use systolic::{Dataflow, SystolicArrayModel};
 pub use thermal::ThermalModel;

@@ -32,7 +32,10 @@ impl HwParams {
     /// Panics if any parameter is zero; use [`HwParams::try_new`] for a
     /// fallible constructor.
     pub fn new(sa_size: u32, n_sa: u32, n_act: u32, n_pool: u32) -> Self {
-        Self::try_new(sa_size, n_sa, n_act, n_pool).expect("hardware parameters must be non-zero")
+        match Self::try_new(sa_size, n_sa, n_act, n_pool) {
+            Ok(hw) => hw,
+            Err(e) => panic!("hardware parameters must be non-zero: {e}"),
+        }
     }
 
     /// Fallible constructor validating all parameters are non-zero.
@@ -173,16 +176,73 @@ impl DseSpace {
     }
 
     /// Iterates every configuration in deterministic axis order.
+    /// Zero-valued axis entries (rejected by [`DseSpace::validate`])
+    /// are skipped rather than panicking, keeping iteration total.
     pub fn iter(&self) -> impl Iterator<Item = HwParams> + '_ {
         self.sa_sizes.iter().flat_map(move |&s| {
             self.n_sas.iter().flat_map(move |&n| {
                 self.n_acts.iter().flat_map(move |&a| {
-                    self.n_pools.iter().map(move |&p| HwParams::new(s, n, a, p))
+                    self.n_pools
+                        .iter()
+                        .filter_map(move |&p| HwParams::try_new(s, n, a, p).ok())
                 })
             })
         })
     }
+
+    /// Checks the space describes at least one valid design point:
+    /// every axis non-empty, every value non-zero.
+    ///
+    /// # Errors
+    ///
+    /// [`DseSpaceError`] naming the offending axis.
+    pub fn validate(&self) -> Result<(), DseSpaceError> {
+        for (axis, values) in [
+            ("sa_sizes", &self.sa_sizes),
+            ("n_sas", &self.n_sas),
+            ("n_acts", &self.n_acts),
+            ("n_pools", &self.n_pools),
+        ] {
+            if values.is_empty() {
+                return Err(DseSpaceError::EmptyAxis { axis });
+            }
+            if values.contains(&0) {
+                return Err(DseSpaceError::ZeroValue { axis });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Error validating a [`DseSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DseSpaceError {
+    /// An axis has no candidate values, so the sweep is empty.
+    EmptyAxis {
+        /// Which axis.
+        axis: &'static str,
+    },
+    /// An axis contains a zero, which no hardware point can realise.
+    ZeroValue {
+        /// Which axis.
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for DseSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseSpaceError::EmptyAxis { axis } => {
+                write!(f, "DSE axis `{axis}` has no candidate values")
+            }
+            DseSpaceError::ZeroValue { axis } => {
+                write!(f, "DSE axis `{axis}` contains a zero value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DseSpaceError {}
 
 #[cfg(test)]
 mod tests {
@@ -223,6 +283,41 @@ mod tests {
         let err = HwParams::try_new(32, 0, 16, 16).unwrap_err();
         assert_eq!(err, HwParamsError::Zero { field: "n_sa" });
         assert!(err.to_string().contains("n_sa"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_parameter_panics_in_infallible_constructor() {
+        HwParams::new(0, 32, 16, 16);
+    }
+
+    #[test]
+    fn degenerate_spaces_fail_validation() {
+        assert!(DseSpace::default().validate().is_ok());
+        let empty = DseSpace {
+            n_acts: vec![],
+            ..DseSpace::default()
+        };
+        assert_eq!(
+            empty.validate().unwrap_err(),
+            DseSpaceError::EmptyAxis { axis: "n_acts" }
+        );
+        let zeroed = DseSpace {
+            sa_sizes: vec![16, 0],
+            ..DseSpace::default()
+        };
+        assert_eq!(
+            zeroed.validate().unwrap_err(),
+            DseSpaceError::ZeroValue { axis: "sa_sizes" }
+        );
+        assert!(zeroed.validate().unwrap_err().to_string().contains("zero"));
+        // Iteration skips the invalid points instead of panicking:
+        // [16, 0] yields exactly the points [16] would.
+        let valid_only = DseSpace {
+            sa_sizes: vec![16],
+            ..DseSpace::default()
+        };
+        assert_eq!(zeroed.iter().count(), valid_only.iter().count());
     }
 
     #[test]

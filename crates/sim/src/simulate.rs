@@ -40,11 +40,23 @@ struct LayerWork {
     out_bytes: u64,
 }
 
-fn work_for(model: &Model, config: &DesignConfig, i: usize) -> LayerWork {
+/// The unit class executing layer `i`, as a typed error when the
+/// configuration lacks it (all entry points pre-check coverage, so
+/// the error is defensive rather than reachable).
+fn executing(model: &Model, config: &DesignConfig, i: usize) -> Result<OpClass, ClaireError> {
+    let class = model.layers()[i].op_class();
+    config
+        .executing_class(class)
+        .ok_or_else(|| ClaireError::IncompleteCoverage {
+            algorithm: model.name().to_owned(),
+            config: config.name.clone(),
+            missing: class.label(),
+        })
+}
+
+fn work_for(model: &Model, config: &DesignConfig, i: usize) -> Result<LayerWork, ClaireError> {
     let layer = &model.layers()[i];
-    let class = config
-        .executing_class(layer.op_class())
-        .expect("covered by caller");
+    let class = executing(model, config, i)?;
     let out_bytes = layer.output_elements();
     let sa = SystolicArrayModel::new(config.hw);
     match &layer.kind {
@@ -53,49 +65,49 @@ fn work_for(model: &Model, config: &DesignConfig, i: usize) -> LayerWork {
             let groups = u64::from(c.groups).max(1);
             let tiles_per_group = cost.tiles / groups;
             let waves_pg = tiles_per_group.div_ceil(u64::from(config.hw.n_sa));
-            LayerWork {
+            Ok(LayerWork {
                 class,
                 groups,
                 tiles_per_group,
                 per_tile: cost.cycles / (groups * waves_pg).max(1),
                 servers: u64::from(config.hw.n_sa),
                 out_bytes,
-            }
+            })
         }
         LayerKind::Conv1d(c) => {
             let cost = sa.conv1d(c);
             let waves = cost.tiles.div_ceil(u64::from(config.hw.n_sa));
-            LayerWork {
+            Ok(LayerWork {
                 class,
                 groups: 1,
                 tiles_per_group: cost.tiles,
                 per_tile: cost.cycles / waves.max(1),
                 servers: u64::from(config.hw.n_sa),
                 out_bytes,
-            }
+            })
         }
         LayerKind::Linear(l) => {
             let cost = sa.linear(l);
             let waves = cost.tiles.div_ceil(u64::from(config.hw.n_sa));
-            LayerWork {
+            Ok(LayerWork {
                 class,
                 groups: 1,
                 tiles_per_group: cost.tiles,
                 per_tile: cost.cycles / waves.max(1),
                 servers: u64::from(config.hw.n_sa),
                 out_bytes,
-            }
+            })
         }
         other => {
             let cost = layer_cost(other, &config.hw);
-            LayerWork {
+            Ok(LayerWork {
                 class,
                 groups: 1,
                 tiles_per_group: 1,
                 per_tile: cost.cycles,
                 servers: 1,
                 out_bytes,
-            }
+            })
         }
     }
 }
@@ -133,7 +145,7 @@ pub fn simulate(
 
     let n_layers = model.layer_count();
     for i in 0..n_layers {
-        let work = work_for(model, config, i);
+        let work = work_for(model, config, i)?;
         energy_pj += layer_cost(&model.layers()[i].kind, &config.hw).energy_pj;
         let start = now;
 
@@ -167,9 +179,7 @@ pub fn simulate(
         if i + 1 == n_layers {
             continue;
         }
-        let next_class = config
-            .executing_class(model.layers()[i + 1].op_class())
-            .expect("covered");
+        let next_class = executing(model, config, i + 1)?;
         let t = edge_transfer(config, work.class, next_class, work.out_bytes);
         energy_pj += t.noc_pj() + t.nop_pj();
         if t.ser_cycles == 0 && t.fixed_cycles == 0 {
@@ -255,15 +265,13 @@ pub fn simulate_trace(model: &Model, config: &DesignConfig) -> Result<Vec<TraceS
     let mut spans = Vec::with_capacity(n_layers);
     let mut now = 0_u64;
     for i in 0..n_layers {
-        let work = work_for(model, config, i);
+        let work = work_for(model, config, i)?;
         let waves = work.tiles_per_group.div_ceil(work.servers) * work.groups;
         let start = now;
         let end = start + waves * work.per_tile;
         let mut end_with_transfer = end;
         if i + 1 < n_layers {
-            let next_class = config
-                .executing_class(model.layers()[i + 1].op_class())
-                .expect("covered");
+            let next_class = executing(model, config, i + 1)?;
             let t = edge_transfer(config, work.class, next_class, work.out_bytes);
             end_with_transfer = end + t.ser_cycles + t.fixed_cycles;
         }
@@ -311,14 +319,12 @@ pub fn pipelined_throughput(model: &Model, config: &DesignConfig) -> Result<f64,
     // group, and consecutive inputs contend for it.
     let mut class_cycles: BTreeMap<OpClass, u64> = BTreeMap::new();
     for i in 0..n_layers {
-        let work = work_for(model, config, i);
+        let work = work_for(model, config, i)?;
         let waves = work.tiles_per_group.div_ceil(work.servers) * work.groups;
         let compute = waves * work.per_tile;
         let mut stage = compute;
         if i + 1 < n_layers {
-            let next_class = config
-                .executing_class(model.layers()[i + 1].op_class())
-                .expect("covered");
+            let next_class = executing(model, config, i + 1)?;
             let t = edge_transfer(config, work.class, next_class, work.out_bytes);
             stage += t.ser_cycles + t.fixed_cycles;
         }
@@ -366,14 +372,12 @@ pub fn simulate_batch(
     let mut transfers = Vec::with_capacity(n_layers);
     let mut classes = Vec::with_capacity(n_layers);
     for i in 0..n_layers {
-        let work = work_for(model, config, i);
+        let work = work_for(model, config, i)?;
         let waves = work.tiles_per_group.div_ceil(work.servers) * work.groups;
         durations.push(waves * work.per_tile);
         classes.push(work.class);
         if i + 1 < n_layers {
-            let next_class = config
-                .executing_class(model.layers()[i + 1].op_class())
-                .expect("covered");
+            let next_class = executing(model, config, i + 1)?;
             let t = edge_transfer(config, work.class, next_class, work.out_bytes);
             transfers.push(t.ser_cycles + t.fixed_cycles);
         } else {

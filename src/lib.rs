@@ -44,6 +44,7 @@
 //! paper-vs-measured results, and `MODELING.md` for every formula.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub use claire_core as core;
 pub use claire_cost as cost;
