@@ -24,7 +24,8 @@ use claire_core::assign::{partition_training_merged, scaled_vector, WeightScale}
 use claire_core::dse::{custom_config_with_engine, set_config_with_engine, DseObjective};
 use claire_core::evaluate::EvalOptions;
 use claire_core::graphs::universal_graph;
-use claire_core::{Claire, Constraints, DesignConfig, Engine, EngineStats};
+use claire_core::telemetry::Metric;
+use claire_core::{Claire, Constraints, DesignConfig, Engine, EngineStats, Telemetry};
 use claire_graph::{agglomerate_by, louvain_reference, weighted_jaccard};
 use claire_model::{zoo, Model};
 use claire_ppa::{DseSpace, HwParams, MemoryModel};
@@ -304,6 +305,115 @@ fn main() {
     );
     print!("{cluster_stats}");
 
+    // Telemetry overhead model: with tracing disabled every hook on
+    // the hot path is one relaxed atomic op (a counter bump or the
+    // tracing-flag check). Price one hook by spamming a scratch
+    // telemetry, count the hooks the flow engine actually executed
+    // (counter increments + stage spans — across BOTH the cold and
+    // warm flows, so the numerator is deliberately conservative), and
+    // bound the modeled disabled-path cost against one flow's wall
+    // time. The 2 % budget is the CI perf-smoke gate.
+    let scratch = Telemetry::new();
+    const HOOK_REPS: u64 = 4_000_000;
+    let t5 = Instant::now();
+    for _ in 0..HOOK_REPS {
+        black_box(&scratch).count(Metric::ParItems);
+        black_box(black_box(&scratch).tracing_enabled());
+    }
+    let per_hook_ns = t5.elapsed().as_secs_f64() * 1e9 / HOOK_REPS as f64;
+    let tel = parallel.telemetry();
+    let counter_hooks: u64 = Metric::ALL.iter().map(|&m| tel.counter(m)).sum();
+    let span_hooks: u64 = tel
+        .stage_aggregates_detailed()
+        .iter()
+        .map(|a| a.count)
+        .sum();
+    let hook_executions = counter_hooks + span_hooks;
+    let modeled_overhead_fraction =
+        per_hook_ns * hook_executions as f64 / (parallel_time.as_secs_f64() * 1e9);
+    assert!(
+        modeled_overhead_fraction <= 0.02,
+        "modeled telemetry-disabled overhead {:.4} exceeds the 2 % budget \
+         ({per_hook_ns:.1} ns/hook x {hook_executions} hooks over {:.3} ms)",
+        modeled_overhead_fraction,
+        parallel_time.as_secs_f64() * 1e3,
+    );
+    // Informational reference: the same flow with tracing enabled
+    // (span buffers + Chrome-trace events armed).
+    let traced = Engine::for_space(&paper_options().space).with_tracing(true);
+    let t6 = Instant::now();
+    run_flow_with_engine(paper_options(), &traced);
+    let traced_time = t6.elapsed();
+    println!();
+    println!("== Telemetry ==");
+    println!(
+        "disabled-path hook: {per_hook_ns:.1} ns; flow executed {hook_executions} hooks \
+         -> modeled overhead {:.3} % (budget 2 %)",
+        100.0 * modeled_overhead_fraction
+    );
+    println!(
+        "tracing-enabled flow: {:>9.3} ms (informational; disabled flow {:.3} ms)",
+        traced_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3
+    );
+
+    // ROADMAP test-stage load balance, now with real numbers: per-
+    // worker busy time for the `test` stage par_map (cold + warm
+    // flows). A high max/min ratio is the data seeding the follow-up
+    // test-stage batching work.
+    let test_busy: Vec<f64> = tel
+        .stage_worker_busy("test")
+        .iter()
+        .map(|(_, d)| d.as_secs_f64() * 1e3)
+        .filter(|b| *b > 0.0)
+        .collect();
+    let max_busy = test_busy.iter().copied().fold(0.0_f64, f64::max);
+    let min_busy = test_busy.iter().copied().fold(f64::INFINITY, f64::min);
+    let imbalance = (test_busy.len() >= 2).then(|| max_busy / min_busy);
+    match imbalance {
+        Some(ratio) => println!(
+            "test stage worker busy max/min: {max_busy:.3} ms / {min_busy:.3} ms \
+             (imbalance {ratio:.2}x over {} active workers)",
+            test_busy.len()
+        ),
+        None => println!("test stage worker busy max/min: n/a (serial or single-worker run)"),
+    }
+
+    let worker_utilization = Value::Array(
+        tel.worker_utilization()
+            .iter()
+            .map(|u| {
+                obj(vec![
+                    ("worker", Value::Number(Number::PosInt(u.worker as u64))),
+                    ("busy_ms", ms(u.busy)),
+                    ("wall_ms", ms(u.wall)),
+                    ("items", Value::Number(Number::PosInt(u.items))),
+                    ("utilization", num(u.utilization())),
+                ])
+            })
+            .collect(),
+    );
+    let span_aggregates = Value::Array(
+        tel.stage_aggregates_detailed()
+            .iter()
+            .map(|a| {
+                obj(vec![
+                    ("name", Value::String(a.name.clone())),
+                    ("total_ms", ms(a.total)),
+                    ("count", Value::Number(Number::PosInt(a.count))),
+                    (
+                        "mean_ms",
+                        num(if a.count == 0 {
+                            0.0
+                        } else {
+                            a.total.as_secs_f64() * 1e3 / a.count as f64
+                        }),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
     let report = obj(vec![
         (
             "threads",
@@ -383,6 +493,50 @@ fn main() {
                     ),
                 ),
                 ("selections_identical", Value::Bool(selections_identical)),
+            ]),
+        ),
+        ("span_aggregates", span_aggregates),
+        ("worker_utilization", worker_utilization),
+        (
+            "test_stage_imbalance",
+            obj(vec![
+                (
+                    "active_workers",
+                    Value::Number(Number::PosInt(test_busy.len() as u64)),
+                ),
+                (
+                    "max_busy_ms",
+                    if test_busy.is_empty() {
+                        Value::Null
+                    } else {
+                        num(max_busy)
+                    },
+                ),
+                (
+                    "min_busy_ms",
+                    if test_busy.is_empty() {
+                        Value::Null
+                    } else {
+                        num(min_busy)
+                    },
+                ),
+                ("ratio", imbalance.map_or(Value::Null, num)),
+            ]),
+        ),
+        (
+            "telemetry",
+            obj(vec![
+                ("per_hook_ns", num(per_hook_ns)),
+                (
+                    "hook_executions",
+                    Value::Number(Number::PosInt(hook_executions)),
+                ),
+                (
+                    "modeled_disabled_overhead_fraction",
+                    num(modeled_overhead_fraction),
+                ),
+                ("enabled_ms", ms(traced_time)),
+                ("disabled_ms", ms(parallel_time)),
             ]),
         ),
         (

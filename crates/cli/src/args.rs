@@ -185,6 +185,50 @@ pub fn extract_degrade(args: &[String]) -> (bool, Vec<String>) {
     (degrade, rest)
 }
 
+/// Strips a global `--trace-out <path>` option (valid with any
+/// command) from the raw argument list, returning the Chrome-trace
+/// export path and the remaining arguments for [`parse_args`].
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] when the value is missing.
+pub fn extract_trace_out(args: &[String]) -> Result<(Option<String>, Vec<String>), ParseArgsError> {
+    extract_path_option(args, "--trace-out")
+}
+
+/// Strips a global `--metrics-json <path>` option (valid with any
+/// command) from the raw argument list, returning the metrics export
+/// path and the remaining arguments for [`parse_args`].
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] when the value is missing.
+pub fn extract_metrics_json(
+    args: &[String],
+) -> Result<(Option<String>, Vec<String>), ParseArgsError> {
+    extract_path_option(args, "--metrics-json")
+}
+
+fn extract_path_option(
+    args: &[String],
+    name: &str,
+) -> Result<(Option<String>, Vec<String>), ParseArgsError> {
+    let mut path = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            let v = it
+                .next()
+                .ok_or_else(|| err(format!("{name} requires a value")))?;
+            path = Some(v.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((path, rest))
+}
+
 /// Parses the command line (excluding argv\[0\]).
 ///
 /// # Errors
@@ -389,6 +433,14 @@ engine's worker count (else CLAIRE_THREADS, else all cores), and
 then chiplet area) instead of failing when the DSE finds no feasible
 configuration; degraded results are flagged on stderr.
 
+Telemetry exports (also valid with any command):
+  --trace-out <path>     Write a Chrome Trace Event JSON of the run
+                         (load in Perfetto or chrome://tracing; one
+                         track per worker thread). Enables tracing.
+  --metrics-json <path>  Write the run's counters, gauges, histograms,
+                         stage aggregates and per-worker utilization
+                         as JSON.
+
 EXIT CODES:
   0 success (including --degrade fallbacks)   2 usage / bad input file
   3 empty algorithm set      4 no feasible configuration
@@ -502,6 +554,27 @@ mod tests {
         let (d, rest) = extract_degrade(&v(&["train"]));
         assert!(!d);
         assert_eq!(rest, v(&["train"]));
+    }
+
+    #[test]
+    fn telemetry_paths_are_extracted_from_any_position() {
+        let (trace, rest) =
+            extract_trace_out(&v(&["flow", "--trace-out", "t.json", "--json"])).unwrap();
+        assert_eq!(trace.as_deref(), Some("t.json"));
+        assert_eq!(rest, v(&["flow", "--json"]));
+        let (metrics, rest) =
+            extract_metrics_json(&v(&["--metrics-json", "m.json", "train"])).unwrap();
+        assert_eq!(metrics.as_deref(), Some("m.json"));
+        assert_eq!(rest, v(&["train"]));
+        let (none, rest) = extract_trace_out(&v(&["flow"])).unwrap();
+        assert_eq!(none, None);
+        assert_eq!(rest, v(&["flow"]));
+    }
+
+    #[test]
+    fn telemetry_paths_require_values() {
+        assert!(extract_trace_out(&v(&["flow", "--trace-out"])).is_err());
+        assert!(extract_metrics_json(&v(&["flow", "--metrics-json"])).is_err());
     }
 
     #[test]

@@ -6,22 +6,35 @@
 mod args;
 mod summary;
 
-use args::{extract_degrade, extract_threads, parse_args, Command, USAGE};
+use args::{
+    extract_degrade, extract_metrics_json, extract_threads, extract_trace_out, parse_args, Command,
+    USAGE,
+};
 use claire_core::{
-    paper_table3_subsets, ChipletLibrary, Claire, ClaireError, ClaireOptions, Degradation,
-    RobustnessPolicy, RunConfig, SubsetStrategy, TrainOutput, WeightScale,
+    paper_table3_subsets, ChipletLibrary, Claire, ClaireError, ClaireOptions, Degradation, Engine,
+    RobustnessPolicy, RunConfig, SubsetStrategy, TelemetryOptions, TrainOutput, WeightScale,
 };
 use claire_model::parse::{parse_model, InputShape, ParseOptions};
 use claire_model::{zoo, Model, ModelClass};
+use std::path::PathBuf;
 use summary::{CustomSummary, FlowSummary, TrainSummary};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (degrade, argv) = extract_degrade(&argv);
-    let parsed =
-        extract_threads(&argv).and_then(|(threads, rest)| Ok((parse_args(&rest)?, threads)));
+    let parsed = extract_trace_out(&argv).and_then(|(trace, rest)| {
+        let (metrics, rest) = extract_metrics_json(&rest)?;
+        let (threads, rest) = extract_threads(&rest)?;
+        Ok((parse_args(&rest)?, threads, trace, metrics))
+    });
     let code = match parsed {
-        Ok((cmd, threads)) => run(cmd, threads, degrade),
+        Ok((cmd, threads, trace, metrics)) => {
+            let telemetry = TelemetryOptions {
+                trace_out: trace.map(PathBuf::from),
+                metrics_out: metrics.map(PathBuf::from),
+            };
+            run(cmd, threads, degrade, telemetry)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -78,6 +91,7 @@ fn options(
     config: Option<&str>,
     threads: Option<usize>,
     degrade: bool,
+    telemetry: &TelemetryOptions,
 ) -> Result<ClaireOptions, String> {
     let mut opts = match config {
         Some(path) => RunConfig::load(path)
@@ -100,10 +114,11 @@ fn options(
     if degrade {
         opts.policy = RobustnessPolicy::Degrade;
     }
+    opts.telemetry = telemetry.clone();
     Ok(opts)
 }
 
-fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
+fn run(cmd: Command, threads: Option<usize>, degrade: bool, telemetry: TelemetryOptions) -> i32 {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -148,7 +163,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
                 eprintln!("error: unknown model `{model}` (see `claire-cli models --extended`)");
                 return 2;
             };
-            let opts = match options(false, None, config.as_deref(), threads, degrade) {
+            let opts = match options(false, None, config.as_deref(), threads, degrade, &telemetry) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -198,6 +213,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
                 config.as_deref(),
                 threads,
                 degrade,
+                &telemetry,
             ) {
                 Ok(o) => o,
                 Err(e) => {
@@ -225,7 +241,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
             extended,
             json,
         } => {
-            let opts = match options(paper_subsets, None, None, threads, degrade) {
+            let opts = match options(paper_subsets, None, None, threads, degrade, &telemetry) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -233,7 +249,11 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
                 }
             };
             let claire = Claire::new(opts);
-            let train = match claire.train(&zoo::training_set()) {
+            // One explicit engine for both phases, so a --trace-out
+            // export covers all six flow stages in a single trace.
+            let engine = Engine::for_space(&claire.options().space)
+                .with_tracing(claire.options().telemetry.trace_out.is_some());
+            let train = match claire.train_with_engine(&zoo::training_set(), &engine) {
                 Ok(t) => {
                     warn_train(&t);
                     t
@@ -244,8 +264,11 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
             if extended {
                 tests.extend(zoo::extended_test_set());
             }
-            match claire.evaluate_test(&train, &tests) {
+            match claire.evaluate_test_with_engine(&train, &tests, &engine) {
                 Ok(test) => {
+                    if let Err(e) = claire.export_telemetry(&engine) {
+                        return fail(&e);
+                    }
                     let flow = FlowSummary::new(&train, &test);
                     if json {
                         println!(
@@ -302,7 +325,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
             paper_subsets,
             threshold,
         } => {
-            let opts = match options(paper_subsets, threshold, None, threads, degrade) {
+            let opts = match options(paper_subsets, threshold, None, threads, degrade, &telemetry) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -402,6 +425,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
             if degrade {
                 opts.policy = RobustnessPolicy::Degrade;
             }
+            opts.telemetry = telemetry.clone();
             let claire = Claire::new(opts);
             let custom = match claire.custom_for(&m) {
                 Ok(c) => {
@@ -499,6 +523,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool) -> i32 {
             if degrade {
                 opts.policy = RobustnessPolicy::Degrade;
             }
+            opts.telemetry = telemetry.clone();
             let claire = Claire::new(opts);
             match claire.custom_for(&model) {
                 Ok(custom) => {

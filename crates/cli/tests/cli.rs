@@ -256,3 +256,67 @@ fn parse_missing_file_exits_2() {
         .expect("run");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn flow_exports_chrome_trace_and_metrics() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("claire-cli-trace-{}.json", std::process::id()));
+    let metrics = dir.join(format!("claire-cli-metrics-{}.json", std::process::id()));
+    let out = cli()
+        .args([
+            "flow",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().expect("utf8"),
+            "--metrics-json",
+            metrics.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    std::fs::remove_file(&trace).ok();
+    let parsed: serde_json::Value = serde_json::from_str(&trace_text).expect("trace reparses");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents");
+    for stage in [
+        "customs",
+        "generic",
+        "subsets",
+        "libraries",
+        "algo_ppa",
+        "test",
+    ] {
+        let name = format!("stage.{stage}");
+        assert!(
+            events.iter().any(|e| e["name"].as_str() == Some(&name)),
+            "trace missing {name}"
+        );
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| e["name"].as_str() == Some("thread_name")),
+        "trace missing thread_name metadata"
+    );
+
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    std::fs::remove_file(&metrics).ok();
+    let parsed: serde_json::Value = serde_json::from_str(&metrics_text).expect("metrics reparses");
+    for key in ["counters", "stages", "worker_utilization"] {
+        assert!(parsed.get(key).is_some(), "metrics missing {key:?}");
+    }
+}
+
+#[test]
+fn trace_out_requires_a_value() {
+    let out = cli().args(["flow", "--trace-out"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace-out requires a value"));
+}

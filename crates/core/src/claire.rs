@@ -8,13 +8,14 @@ use crate::assign::{
 use crate::chiplet::cluster_into_chiplets_with_engine;
 use crate::config::{Constraints, DesignConfig};
 use crate::dse::{
-    custom_config_with_engine, set_config_with_engine, with_relaxation, Degradation, DseObjective,
-    RobustnessPolicy,
+    custom_config_with_engine, set_config_with_engine, with_relaxation_observed, Degradation,
+    DseObjective, RobustnessPolicy,
 };
 use crate::error::ClaireError;
 use crate::evaluate::PpaReport;
 use crate::metrics::{algorithm_coverage, chiplet_utilization, normalized_nre};
 use crate::parallel::Engine;
+use crate::telemetry::TelemetryOptions;
 use claire_cost::NreModel;
 use claire_model::{ActivationKind, Model, OpClass};
 use claire_ppa::DseSpace;
@@ -73,6 +74,11 @@ pub struct ClaireOptions {
     /// fail fast with a typed error, or walk the constraint-relaxation
     /// ladder and flag the result as degraded.
     pub policy: RobustnessPolicy,
+    /// Telemetry export destinations (Chrome trace and/or metrics
+    /// JSON). Tracing is armed on façade-built engines exactly when a
+    /// trace path is set, so runs without exports stay on the
+    /// counters-only fast path.
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for ClaireOptions {
@@ -86,6 +92,7 @@ impl Default for ClaireOptions {
             nre: NreModel::tsmc28(),
             provision_tanh_in_generic: true,
             policy: RobustnessPolicy::default(),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -254,6 +261,40 @@ impl Claire {
         &self.opts
     }
 
+    /// Builds the engine a façade call runs on: tracing is armed
+    /// exactly when the options name a trace export path.
+    fn engine(&self) -> Engine {
+        Engine::for_space(&self.opts.space).with_tracing(self.opts.telemetry.trace_out.is_some())
+    }
+
+    /// Writes the telemetry exports named by the options (Chrome trace
+    /// and/or metrics JSON) from `engine`'s telemetry. A no-op when no
+    /// export path is configured. Callers driving the flow through the
+    /// `*_with_engine` methods call this once, after the last phase,
+    /// so a single trace covers the whole run.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::Internal`] when an export file cannot be
+    /// written.
+    pub fn export_telemetry(&self, engine: &Engine) -> Result<(), ClaireError> {
+        if let Some(path) = &self.opts.telemetry.trace_out {
+            engine
+                .write_trace(path)
+                .map_err(|e| ClaireError::Internal {
+                    detail: format!("failed to write trace {}: {e}", path.display()),
+                })?;
+        }
+        if let Some(path) = &self.opts.telemetry.metrics_out {
+            engine
+                .write_metrics(path)
+                .map_err(|e| ClaireError::Internal {
+                    detail: format!("failed to write metrics {}: {e}", path.display()),
+                })?;
+        }
+        Ok(())
+    }
+
     /// Derives a custom, clustered configuration for one algorithm
     /// (Algorithm 1 lines 1–8 + Step #TR3).
     ///
@@ -261,7 +302,10 @@ impl Claire {
     ///
     /// Propagates DSE/clustering failures.
     pub fn custom_for(&self, model: &Model) -> Result<CustomResult, ClaireError> {
-        self.custom_for_with_engine(model, &Engine::for_space(&self.opts.space))
+        let engine = self.engine();
+        let out = self.custom_for_with_engine(model, &engine)?;
+        self.export_telemetry(&engine)?;
+        Ok(out)
     }
 
     /// [`Claire::custom_for`] on an explicit [`Engine`] (shared memo
@@ -277,24 +321,30 @@ impl Claire {
     ) -> Result<CustomResult, ClaireError> {
         self.validate_inputs()?;
         let base = self.effective_constraints(model.name(), engine);
-        let ((config, report), degradation) = with_relaxation(self.opts.policy, &base, |cons| {
-            let (mut cfg, _) = custom_config_with_engine(
-                model,
-                &self.opts.space,
-                cons,
-                DseObjective::MinArea,
-                engine,
-            )?;
-            cluster_into_chiplets_with_engine(
-                &mut cfg,
-                std::slice::from_ref(model),
-                cons,
-                self.opts.louvain_resolution,
-                engine,
-            )?;
-            let report = engine.evaluate(model, &cfg)?;
-            Ok((cfg, report))
-        })?;
+        let ((config, report), degradation) = with_relaxation_observed(
+            self.opts.policy,
+            &base,
+            Some(engine.telemetry()),
+            model.name(),
+            |cons| {
+                let (mut cfg, _) = custom_config_with_engine(
+                    model,
+                    &self.opts.space,
+                    cons,
+                    DseObjective::MinArea,
+                    engine,
+                )?;
+                cluster_into_chiplets_with_engine(
+                    &mut cfg,
+                    std::slice::from_ref(model),
+                    cons,
+                    self.opts.louvain_resolution,
+                    engine,
+                )?;
+                let report = engine.evaluate(model, &cfg)?;
+                Ok((cfg, report))
+            },
+        )?;
         Ok(CustomResult {
             model: model.clone(),
             config,
@@ -369,7 +419,10 @@ impl Claire {
     /// [`ClaireError::EmptyAlgorithmSet`] for an empty slice, plus any
     /// DSE or clustering failure.
     pub fn train(&self, models: &[Model]) -> Result<TrainOutput, ClaireError> {
-        self.train_with_engine(models, &Engine::for_space(&self.opts.space))
+        let engine = self.engine();
+        let out = self.train_with_engine(models, &engine)?;
+        self.export_telemetry(&engine)?;
+        Ok(out)
     }
 
     /// [`Claire::train`] on an explicit [`Engine`]: custom
@@ -404,29 +457,35 @@ impl Claire {
         let refs: Vec<&Model> = models.iter().collect();
         let generic_base = self.effective_constraints("C_g", engine);
         let (generic, generic_degradation) = engine.time_stage("generic", || {
-            with_relaxation(self.opts.policy, &generic_base, |cons| {
-                let mut generic = set_config_with_engine(
-                    "C_g",
-                    &refs,
-                    &self.opts.space,
-                    cons,
-                    &custom_latency,
-                    engine,
-                )?;
-                if self.opts.provision_tanh_in_generic {
-                    generic
-                        .classes
-                        .insert(OpClass::Activation(ActivationKind::Tanh));
-                }
-                cluster_into_chiplets_with_engine(
-                    &mut generic,
-                    models,
-                    cons,
-                    self.opts.louvain_resolution,
-                    engine,
-                )?;
-                Ok(generic)
-            })
+            with_relaxation_observed(
+                self.opts.policy,
+                &generic_base,
+                Some(engine.telemetry()),
+                "C_g",
+                |cons| {
+                    let mut generic = set_config_with_engine(
+                        "C_g",
+                        &refs,
+                        &self.opts.space,
+                        cons,
+                        &custom_latency,
+                        engine,
+                    )?;
+                    if self.opts.provision_tanh_in_generic {
+                        generic
+                            .classes
+                            .insert(OpClass::Activation(ActivationKind::Tanh));
+                    }
+                    cluster_into_chiplets_with_engine(
+                        &mut generic,
+                        models,
+                        cons,
+                        self.opts.louvain_resolution,
+                        engine,
+                    )?;
+                    Ok(generic)
+                },
+            )
         })?;
 
         // --- Output 3: library-synthesized configurations.
@@ -459,24 +518,30 @@ impl Claire {
                 let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
                 let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
                 let lib_base = self.effective_constraints(&name, engine);
-                let (cfg, degradation) = with_relaxation(self.opts.policy, &lib_base, |cons| {
-                    let mut cfg = set_config_with_engine(
-                        &name,
-                        &members,
-                        &self.opts.space,
-                        cons,
-                        &custom_latency,
-                        engine,
-                    )?;
-                    cluster_into_chiplets_with_engine(
-                        &mut cfg,
-                        &member_models,
-                        cons,
-                        self.opts.louvain_resolution,
-                        engine,
-                    )?;
-                    Ok(cfg)
-                })?;
+                let (cfg, degradation) = with_relaxation_observed(
+                    self.opts.policy,
+                    &lib_base,
+                    Some(engine.telemetry()),
+                    &name,
+                    |cons| {
+                        let mut cfg = set_config_with_engine(
+                            &name,
+                            &members,
+                            &self.opts.space,
+                            cons,
+                            &custom_latency,
+                            engine,
+                        )?;
+                        cluster_into_chiplets_with_engine(
+                            &mut cfg,
+                            &member_models,
+                            cons,
+                            self.opts.louvain_resolution,
+                            engine,
+                        )?;
+                        Ok(cfg)
+                    },
+                )?;
                 // Node vector for Step #TT1 assignment: the subset's
                 // summed raw node work, scaled afterwards — "the nodes
                 // of the library-synthesized configurations". (Scaling
@@ -570,7 +635,10 @@ impl Claire {
         train: &TrainOutput,
         tests: &[Model],
     ) -> Result<TestOutput, ClaireError> {
-        self.evaluate_test_with_engine(train, tests, &Engine::for_space(&self.opts.space))
+        let engine = self.engine();
+        let out = self.evaluate_test_with_engine(train, tests, &engine)?;
+        self.export_telemetry(&engine)?;
+        Ok(out)
     }
 
     /// [`Claire::evaluate_test`] with an explicit [`Engine`], so test

@@ -9,6 +9,7 @@ use crate::config::{Constraints, DesignConfig};
 use crate::error::ClaireError;
 use crate::evaluate::PpaReport;
 use crate::parallel::Engine;
+use crate::telemetry::{ArgValue, Metric, Telemetry};
 use claire_model::{Model, OpClass};
 use claire_ppa::{DseSpace, HwParams};
 use std::collections::{BTreeMap, BTreeSet};
@@ -155,15 +156,63 @@ fn relaxation_can_help(e: &ClaireError) -> bool {
 pub fn with_relaxation<T>(
     policy: RobustnessPolicy,
     base: &Constraints,
+    attempt: impl FnMut(&Constraints) -> Result<T, ClaireError>,
+) -> Result<(T, Option<Degradation>), ClaireError> {
+    with_relaxation_observed(policy, base, None, "", attempt)
+}
+
+/// [`with_relaxation`] that reports ladder activity to `telemetry`
+/// (when given): every winning rung lands in the `degrade.rungs`
+/// histogram, each relaxed retry counts a `degrade.attempts`, a
+/// relaxed success counts a `degrade.successes` and — when tracing —
+/// emits a `degrade.success` instant event carrying `subject` and the
+/// rung index, so `--degrade` runs leave an auditable trail.
+/// Observation never changes the returned value.
+///
+/// # Errors
+///
+/// Same as [`with_relaxation`].
+pub fn with_relaxation_observed<T>(
+    policy: RobustnessPolicy,
+    base: &Constraints,
+    telemetry: Option<&Telemetry>,
+    subject: &str,
     mut attempt: impl FnMut(&Constraints) -> Result<T, ClaireError>,
 ) -> Result<(T, Option<Degradation>), ClaireError> {
     match policy {
-        RobustnessPolicy::FailFast => Ok((attempt(base)?, None)),
+        RobustnessPolicy::FailFast => {
+            let v = attempt(base)?;
+            if let Some(t) = telemetry {
+                t.record_degrade_rung(0);
+            }
+            Ok((v, None))
+        }
         RobustnessPolicy::Degrade => {
             let mut last: Option<ClaireError> = None;
-            for (steps, rung) in relaxation_ladder(base) {
+            for (rung_index, (steps, rung)) in relaxation_ladder(base).into_iter().enumerate() {
+                if rung_index > 0 {
+                    if let Some(t) = telemetry {
+                        t.count(Metric::DegradeAttempts);
+                    }
+                }
                 match attempt(&rung) {
                     Ok(v) => {
+                        if let Some(t) = telemetry {
+                            t.record_degrade_rung(rung_index as u64);
+                            if rung_index > 0 {
+                                t.count(Metric::DegradeSuccesses);
+                                if t.tracing_enabled() {
+                                    t.instant(
+                                        "degrade.success",
+                                        "degrade",
+                                        vec![
+                                            ("subject", ArgValue::Text(subject.to_owned())),
+                                            ("rung", ArgValue::Int(rung_index as u64)),
+                                        ],
+                                    );
+                                }
+                            }
+                        }
                         let degradation = (!steps.is_empty()).then_some(Degradation { steps });
                         return Ok((v, degradation));
                     }
@@ -234,6 +283,7 @@ pub fn sweep_with_engine(
     let shell = monolithic_for(model, SHELL_HW);
     let all: Vec<HwParams> = space.iter().collect();
     let points: Vec<HwParams> = if engine.pruning_enabled() {
+        let mut span = engine.telemetry().span("dse.screen", "dse");
         let kept: Vec<HwParams> = all
             .iter()
             .copied()
@@ -243,10 +293,14 @@ pub fn sweep_with_engine(
             .collect();
         engine.note_dse_pruned((all.len() - kept.len()) as u64);
         engine.note_dse_evaluated(kept.len() as u64);
+        span.arg("pruned", ArgValue::Int((all.len() - kept.len()) as u64));
+        span.arg("kept", ArgValue::Int(kept.len() as u64));
         kept
     } else {
         all
     };
+    let mut span = engine.telemetry().span("dse.eval", "dse");
+    span.arg("points", ArgValue::Int(points.len() as u64));
     engine
         .par_map(&points, |_, &hw| {
             let mut cfg = shell.clone();
@@ -399,6 +453,7 @@ pub fn set_config_with_engine(
     // early-`None` the exhaustive member loop below takes, decided
     // from the memoized area tables alone.
     let points: Vec<HwParams> = if engine.pruning_enabled() {
+        let mut span = engine.telemetry().span("dse.screen", "dse");
         let kept: Vec<HwParams> = all
             .iter()
             .copied()
@@ -410,10 +465,14 @@ pub fn set_config_with_engine(
             .collect();
         engine.note_dse_pruned((all.len() - kept.len()) as u64);
         engine.note_dse_evaluated(kept.len() as u64);
+        span.arg("pruned", ArgValue::Int((all.len() - kept.len()) as u64));
+        span.arg("kept", ArgValue::Int(kept.len() as u64));
         kept
     } else {
         all
     };
+    let mut eval_span = engine.telemetry().span("dse.eval", "dse");
+    eval_span.arg("points", ArgValue::Int(points.len() as u64));
     let totals: Vec<Option<f64>> = engine.par_map(&points, |_, &hw| {
         let mut total_area = 0.0;
         for (m, shell) in models.iter().zip(&shells) {
@@ -434,6 +493,7 @@ pub fn set_config_with_engine(
         }
         Some(total_area)
     });
+    drop(eval_span);
 
     let mut best: Option<(f64, HwParams)> = None;
     for (&hw, total_area) in points.iter().zip(totals) {

@@ -169,9 +169,19 @@ pub(crate) fn route_of_avoiding(
             let a = position(from) % torus.size();
             let b = position(to) % torus.size();
             let hops = match faults {
-                Some(plan) if plan.has_link_faults() => torus.hops_avoiding(a, b, &|u, v| {
-                    plan.link_failed(torus.cols(), torus.rows(), u, v)
-                })?,
+                Some(plan) if plan.has_link_faults() => {
+                    let (hops, expanded) = torus.hops_avoiding_counted(a, b, &|u, v| {
+                        plan.link_failed(torus.cols(), torus.rows(), u, v)
+                    });
+                    if let Some(t) = plan.telemetry() {
+                        t.count(crate::telemetry::Metric::NocReroutes);
+                        t.count_by(
+                            crate::telemetry::Metric::NocRerouteVisited,
+                            u64::from(expanded),
+                        );
+                    }
+                    hops?
+                }
                 _ => torus.hops(a, b),
             };
             Some(EdgeRoute {

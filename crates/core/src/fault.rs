@@ -46,7 +46,9 @@
 //!   surface [`ClaireError::NoRoute`](crate::ClaireError::NoRoute)
 //!   when a class pair is disconnected.
 
+use crate::telemetry::{ArgValue, Metric, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The classes of fault a [`FaultPlan`] can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +101,21 @@ impl FaultClass {
         }
     }
 
+    /// The class's lower-snake-case label, used in telemetry event
+    /// arguments and counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::NanPpa => "nan_ppa",
+            FaultClass::InfPpa => "inf_ppa",
+            FaultClass::PerturbPpa => "perturb_ppa",
+            FaultClass::DropCoverage => "drop_coverage",
+            FaultClass::WorkerPanic => "worker_panic",
+            FaultClass::PoisonShard => "poison_shard",
+            FaultClass::InfeasibleConstraints => "infeasible_constraints",
+            FaultClass::FailedNocLink => "failed_noc_link",
+        }
+    }
+
     /// A per-class tag mixed into every decision hash so the same
     /// site draws independently for different classes.
     fn tag(self) -> u64 {
@@ -122,6 +139,10 @@ pub struct FaultPlan {
     seed: u64,
     rates: [f64; FaultClass::COUNT],
     injected: [AtomicU64; FaultClass::COUNT],
+    /// Set once by [`crate::Engine::with_faults`]; mirrors every
+    /// positive decision into the engine's fault counters and (when
+    /// tracing) the trace as `fault.injected` instant events.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl FaultPlan {
@@ -132,7 +153,19 @@ impl FaultPlan {
             seed,
             rates: [0.0; FaultClass::COUNT],
             injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Binds the plan to an engine's telemetry hub (first bind wins;
+    /// a plan is owned by at most one engine).
+    pub(crate) fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub(crate) fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.get().map(Arc::as_ref)
     }
 
     /// Arms `class` at `rate` (clamped to `[0, 1]`), builder style.
@@ -189,6 +222,19 @@ impl FaultPlan {
         let hit = unit_draw(self.seed, class, site) < rate;
         if hit {
             self.injected[class.index()].fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.telemetry() {
+                t.count(Metric::for_fault(class));
+                if t.tracing_enabled() {
+                    t.instant(
+                        "fault.injected",
+                        "fault",
+                        vec![
+                            ("class", ArgValue::Text(class.label().to_owned())),
+                            ("site", ArgValue::Int(site)),
+                        ],
+                    );
+                }
+            }
         }
         hit
     }

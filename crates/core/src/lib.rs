@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod place;
 pub mod plan;
+pub mod telemetry;
 
 pub use assign::WeightScale;
 pub use chiplet::ClusteringStrategy;
@@ -75,3 +76,4 @@ pub use library::{ChipletLibrary, Deployment, LibraryEntry};
 pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, WorkerPanic, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};
+pub use telemetry::{Telemetry, TelemetryOptions};

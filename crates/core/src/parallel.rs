@@ -24,15 +24,16 @@
 use crate::config::{monolithic_area_mm2, DesignConfig};
 use crate::evaluate::{ComputeSum, CostProvider, RouteTable};
 use crate::fault::FaultPlan;
-use claire_graph::{louvain_csr, CsrGraph, Partition};
+use crate::telemetry::{self, ArgValue, Gauge, Metric, Telemetry, WorkerSample};
+use claire_graph::{louvain_csr_counted, CsrGraph, Partition};
 use claire_model::{LayerKind, OpClass};
 use claire_ppa::{layer_cost, unit_area_mm2, DseSpace, HwParams, LayerBatch, LayerCost};
 use std::collections::{BTreeSet, HashMap};
 use std::hash::{BuildHasher, Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Read-locks `lock`, recovering from poisoning. Every lock in this
@@ -48,11 +49,6 @@ fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 /// Write-locks `lock`, recovering from poisoning (see [`read_lock`]).
 fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Locks `lock`, recovering from poisoning (see [`read_lock`]).
-fn lock_mutex<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
-    lock.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A contained panic from a parallel-map worker closure: the item
@@ -360,21 +356,9 @@ pub struct Engine {
     graphs: MemoMap<(Box<[u64]>, HwParams), Arc<UniversalCsr>>,
     areas: MemoMap<HwParams, Arc<[f64; OpClass::COUNT]>>,
     models: RwLock<ModelInterner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    route_hits: AtomicU64,
-    route_misses: AtomicU64,
-    sum_hits: AtomicU64,
-    sum_misses: AtomicU64,
-    louvain_hits: AtomicU64,
-    louvain_misses: AtomicU64,
-    graph_hits: AtomicU64,
-    graph_misses: AtomicU64,
-    area_hits: AtomicU64,
-    area_misses: AtomicU64,
-    dse_pruned: AtomicU64,
-    dse_evaluated: AtomicU64,
-    stages: Mutex<Vec<(String, Duration)>>,
+    /// The telemetry hub every counter, span and export reads from —
+    /// the single source of truth behind [`EngineStats`].
+    telemetry: Arc<Telemetry>,
 }
 
 /// The structural model interner behind the compute-sum tier's memo
@@ -427,21 +411,7 @@ impl Engine {
             graphs: RwLock::new(HashMap::default()),
             areas: RwLock::new(HashMap::default()),
             models: RwLock::new(ModelInterner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            route_hits: AtomicU64::new(0),
-            route_misses: AtomicU64::new(0),
-            sum_hits: AtomicU64::new(0),
-            sum_misses: AtomicU64::new(0),
-            louvain_hits: AtomicU64::new(0),
-            louvain_misses: AtomicU64::new(0),
-            graph_hits: AtomicU64::new(0),
-            graph_misses: AtomicU64::new(0),
-            area_hits: AtomicU64::new(0),
-            area_misses: AtomicU64::new(0),
-            dse_pruned: AtomicU64::new(0),
-            dse_evaluated: AtomicU64::new(0),
-            stages: Mutex::new(Vec::new()),
+            telemetry: Arc::new(Telemetry::new()),
         }
     }
 
@@ -472,6 +442,14 @@ impl Engine {
         self
     }
 
+    /// Enables or disables trace-span recording (builder style; off
+    /// by default). Counters and stage aggregates are always on;
+    /// tracing adds the per-span event log behind `--trace-out`.
+    pub fn with_tracing(self, enabled: bool) -> Self {
+        self.telemetry.set_tracing(enabled);
+        self
+    }
+
     /// Attaches a fault-injection plan (builder style). Shards the
     /// plan selects for [`crate::fault::FaultClass::PoisonShard`] are
     /// poisoned immediately — a controlled panic inside each shard's
@@ -479,6 +457,9 @@ impl Engine {
     /// poison-recovering accessors on every later lookup.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         let plan = Arc::new(plan);
+        // Bind before the first decision (shard poisoning below) so
+        // every injection lands in the fault counters and the trace.
+        plan.attach_telemetry(Arc::clone(&self.telemetry));
         for i in plan.poisoned_shards(self.shards.len()) {
             let shard = &self.shards[i];
             // Panicking while holding the write guard poisons the
@@ -509,38 +490,97 @@ impl Engine {
         self.pruning_enabled
     }
 
-    /// Snapshots counters, cache size and stage timings.
+    /// The engine's telemetry hub: counters, spans, histograms and
+    /// the trace/metrics exporters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Copies the current cache sizes and thread count into the
+    /// telemetry gauges (called before a metrics export so the
+    /// snapshot carries them).
+    fn sync_gauges(&self) {
+        let t = &self.telemetry;
+        t.set_gauge(Gauge::Threads, self.threads as u64);
+        t.set_gauge(
+            Gauge::LayerEntries,
+            self.shards
+                .iter()
+                .map(|s| read_lock(s).len())
+                .sum::<usize>() as u64,
+        );
+        t.set_gauge(Gauge::RouteEntries, read_lock(&self.routes).len() as u64);
+        t.set_gauge(Gauge::SumEntries, read_lock(&self.sums).len() as u64);
+        t.set_gauge(
+            Gauge::LouvainEntries,
+            read_lock(&self.louvains).len() as u64,
+        );
+        t.set_gauge(Gauge::GraphEntries, read_lock(&self.graphs).len() as u64);
+        t.set_gauge(Gauge::AreaEntries, read_lock(&self.areas).len() as u64);
+        let interner = read_lock(&self.models);
+        t.set_gauge(Gauge::StructEntries, interner.by_content.len() as u64);
+        t.set_gauge(Gauge::StructInstances, interner.by_instance.len() as u64);
+    }
+
+    /// Writes the Chrome Trace Event JSON export to `path` (loadable
+    /// in Perfetto or `chrome://tracing`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(&self.telemetry.chrome_trace())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(path, format!("{json}\n"))
+    }
+
+    /// Writes the metrics snapshot (counters, gauges, histograms,
+    /// stage aggregates, per-worker utilization) as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.sync_gauges();
+        let json = serde_json::to_string_pretty(&self.telemetry.metrics_value())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(path, format!("{json}\n"))
+    }
+
+    /// Snapshots counters, cache sizes and stage timings — a
+    /// read-only view over the telemetry layer plus the memo maps.
     pub fn stats(&self) -> EngineStats {
         let (struct_entries, struct_instances) = {
             let interner = read_lock(&self.models);
             (interner.by_content.len(), interner.by_instance.len())
         };
+        let t = &self.telemetry;
         EngineStats {
             threads: self.threads,
             cache_enabled: self.cache_enabled,
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_hits: t.counter(Metric::LayerHit),
+            cache_misses: t.counter(Metric::LayerMiss),
             cache_entries: self.shards.iter().map(|s| read_lock(s).len()).sum(),
-            route_hits: self.route_hits.load(Ordering::Relaxed),
-            route_misses: self.route_misses.load(Ordering::Relaxed),
+            route_hits: t.counter(Metric::RouteHit),
+            route_misses: t.counter(Metric::RouteMiss),
             route_topologies: read_lock(&self.routes).len(),
-            sum_hits: self.sum_hits.load(Ordering::Relaxed),
-            sum_misses: self.sum_misses.load(Ordering::Relaxed),
+            sum_hits: t.counter(Metric::SumHit),
+            sum_misses: t.counter(Metric::SumMiss),
             sum_entries: read_lock(&self.sums).len(),
-            louvain_hits: self.louvain_hits.load(Ordering::Relaxed),
-            louvain_misses: self.louvain_misses.load(Ordering::Relaxed),
+            louvain_hits: t.counter(Metric::LouvainHit),
+            louvain_misses: t.counter(Metric::LouvainMiss),
             louvain_entries: read_lock(&self.louvains).len(),
-            graph_hits: self.graph_hits.load(Ordering::Relaxed),
-            graph_misses: self.graph_misses.load(Ordering::Relaxed),
+            graph_hits: t.counter(Metric::GraphHit),
+            graph_misses: t.counter(Metric::GraphMiss),
             graph_entries: read_lock(&self.graphs).len(),
-            area_hits: self.area_hits.load(Ordering::Relaxed),
-            area_misses: self.area_misses.load(Ordering::Relaxed),
+            area_hits: t.counter(Metric::AreaHit),
+            area_misses: t.counter(Metric::AreaMiss),
             area_entries: read_lock(&self.areas).len(),
             struct_entries,
             struct_instances,
-            dse_pruned: self.dse_pruned.load(Ordering::Relaxed),
-            dse_evaluated: self.dse_evaluated.load(Ordering::Relaxed),
-            stages: lock_mutex(&self.stages).clone(),
+            dse_pruned: t.counter(Metric::DsePruned),
+            dse_evaluated: t.counter(Metric::DseEvaluated),
+            stages: t.stage_aggregates(),
         }
     }
 
@@ -558,11 +598,11 @@ impl Engine {
         let key = Prehashed::new((*kind, *hw));
         let shard = &self.shards[key.shard()];
         if let Some(cached) = read_lock(shard).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Metric::LayerHit);
             return *cached;
         }
         let computed = self.maybe_corrupt_cost(kind, hw, layer_cost(kind, hw));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count(Metric::LayerMiss);
         if computed.energy_pj.is_finite() {
             write_lock(shard).insert(key, computed);
         }
@@ -644,15 +684,16 @@ impl Engine {
             return Arc::new(fresh());
         };
         if let Some(table) = read_lock(&self.routes).get(&key) {
-            self.route_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Metric::RouteHit);
             return Arc::clone(table);
         }
-        self.route_misses.fetch_add(1, Ordering::Relaxed);
-        Arc::clone(
-            write_lock(&self.routes)
-                .entry(key)
-                .or_insert_with(|| Arc::new(fresh())),
-        )
+        self.telemetry.count(Metric::RouteMiss);
+        let built = {
+            let mut span = self.telemetry.span("route.build", "memo");
+            span.arg("chiplets", ArgValue::Int(config.chiplets.len() as u64));
+            Arc::new(fresh())
+        };
+        Arc::clone(write_lock(&self.routes).entry(key).or_insert(built))
     }
 
     /// Memoized [`claire_graph::louvain_csr`] over a universal graph —
@@ -673,16 +714,28 @@ impl Engine {
         resolution: f64,
     ) -> Arc<Partition<OpClass>> {
         if !self.cache_enabled {
-            return Arc::new(louvain_csr(csr, resolution));
+            return Arc::new(self.cluster_csr(csr, resolution));
         }
         let key = louvain_key(csr, resolution);
         if let Some(p) = read_lock(&self.louvains).get(&key) {
-            self.louvain_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Metric::LouvainHit);
             return Arc::clone(p);
         }
-        self.louvain_misses.fetch_add(1, Ordering::Relaxed);
-        let partition = Arc::new(louvain_csr(csr, resolution));
+        self.telemetry.count(Metric::LouvainMiss);
+        let partition = Arc::new(self.cluster_csr(csr, resolution));
         Arc::clone(write_lock(&self.louvains).entry(key).or_insert(partition))
+    }
+
+    /// Runs the Louvain clustering kernel under a trace span, counting
+    /// the local-move + aggregation rounds it took.
+    fn cluster_csr(&self, csr: &CsrGraph<OpClass>, resolution: f64) -> Partition<OpClass> {
+        let mut span = self.telemetry.span("louvain.cluster", "memo");
+        span.arg("nodes", ArgValue::Int(csr.node_count() as u64));
+        let (partition, passes) = louvain_csr_counted(csr, resolution);
+        self.telemetry
+            .count_by(Metric::LouvainPasses, passes as u64);
+        span.arg("passes", ArgValue::Int(passes as u64));
+        partition
     }
 
     /// Memoized universal-graph construction (Step #TR1) with CSR
@@ -704,9 +757,7 @@ impl Engine {
         hw: &HwParams,
     ) -> Arc<UniversalCsr> {
         if !self.cache_enabled {
-            let graph = crate::graphs::universal_graph_with_costs(models, hw, self);
-            let csr = CsrGraph::from_weighted(&graph);
-            return Arc::new(UniversalCsr { graph, csr });
+            return Arc::new(self.build_universal_csr(models, hw));
         }
         let ids: Box<[u64]> = models
             .iter()
@@ -714,14 +765,21 @@ impl Engine {
             .collect();
         let key = (ids, *hw);
         if let Some(g) = read_lock(&self.graphs).get(&key) {
-            self.graph_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Metric::GraphHit);
             return Arc::clone(g);
         }
-        self.graph_misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count(Metric::GraphMiss);
+        let built = Arc::new(self.build_universal_csr(models, hw));
+        Arc::clone(write_lock(&self.graphs).entry(key).or_insert(built))
+    }
+
+    /// Builds a universal graph + CSR interning under a trace span.
+    fn build_universal_csr(&self, models: &[claire_model::Model], hw: &HwParams) -> UniversalCsr {
+        let mut span = self.telemetry.span("graph.build", "memo");
+        span.arg("models", ArgValue::Int(models.len() as u64));
         let graph = crate::graphs::universal_graph_with_costs(models, hw, self);
         let csr = CsrGraph::from_weighted(&graph);
-        let built = Arc::new(UniversalCsr { graph, csr });
-        Arc::clone(write_lock(&self.graphs).entry(key).or_insert(built))
+        UniversalCsr { graph, csr }
     }
 
     /// Model-light monolithic area of `classes` under `hw` — the sixth
@@ -744,10 +802,10 @@ impl Engine {
     /// The memoized per-op-class area table for `hw`.
     fn area_table(&self, hw: &HwParams) -> Arc<[f64; OpClass::COUNT]> {
         if let Some(t) = read_lock(&self.areas).get(hw) {
-            self.area_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Metric::AreaHit);
             return Arc::clone(t);
         }
-        self.area_misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.count(Metric::AreaMiss);
         let mut table = [0.0; OpClass::COUNT];
         for c in OpClass::all() {
             table[c.index()] = unit_area_mm2(c, hw);
@@ -788,26 +846,20 @@ impl Engine {
     /// Records `n` DSE points skipped by the staged sweep's area
     /// screen.
     pub(crate) fn note_dse_pruned(&self, n: u64) {
-        self.dse_pruned.fetch_add(n, Ordering::Relaxed);
+        self.telemetry.count_by(Metric::DsePruned, n);
     }
 
     /// Records `n` DSE points that reached full PPA evaluation.
     pub(crate) fn note_dse_evaluated(&self, n: u64) {
-        self.dse_evaluated.fetch_add(n, Ordering::Relaxed);
+        self.telemetry.count_by(Metric::DseEvaluated, n);
     }
 
-    /// Runs `f`, adding its wall time to the named stage counter, and
-    /// returns its result.
+    /// Runs `f` under a telemetry stage span (accumulated into the
+    /// named stage aggregate, and emitted into the trace when tracing
+    /// is enabled) and returns its result.
     pub fn time_stage<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
-        let out = f();
-        let took = start.elapsed();
-        let mut stages = lock_mutex(&self.stages);
-        match stages.iter_mut().find(|(name, _)| name == stage) {
-            Some((_, total)) => *total += took,
-            None => stages.push((stage.to_owned(), took)),
-        }
-        out
+        let _span = self.telemetry.stage_span(stage);
+        f()
     }
 
     /// Deterministic parallel map: applies `f` to every item and
@@ -883,7 +935,19 @@ impl Engine {
     {
         let n = items.len();
         let workers = self.threads.min(n);
-        let run_one = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+        self.telemetry.count_by(Metric::ParItems, n as u64);
+        let run_one = |i: usize| {
+            let r = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+            if r.is_err() {
+                self.telemetry.count(Metric::ParPanics);
+                self.telemetry.instant(
+                    "par.panic",
+                    "item",
+                    vec![("index", ArgValue::Int(i as u64))],
+                );
+            }
+            r
+        };
         // Nested `par_map` calls (a per-model sweep inside a per-model
         // stage) run serially on the worker that reached them: the outer
         // map already saturates the thread budget, and W x W transient
@@ -892,20 +956,46 @@ impl Engine {
             return (0..n).map(run_one).collect();
         }
 
+        let tel = &self.telemetry;
+        let stage = tel.current_stage();
         let cursor = AtomicUsize::new(0);
         let buckets: Vec<Vec<(usize, _)>> = std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let run_one = &run_one;
+            let stage = &stage;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        IN_WORKER.with(|w| w.set(true));
+                .map(|w| {
+                    scope.spawn(move || {
+                        IN_WORKER.with(|x| x.set(true));
+                        telemetry::set_current_tid(w as u32 + 1);
+                        let wall_start = Instant::now();
+                        let mut busy = Duration::ZERO;
+                        let mut items_done = 0u64;
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            local.push((i, run_one(i)));
+                            let t0 = Instant::now();
+                            let r = {
+                                let _span = tel.item_span(i, stage.as_deref());
+                                run_one(i)
+                            };
+                            let took = t0.elapsed();
+                            busy += took;
+                            items_done += 1;
+                            tel.record_item_duration(took);
+                            local.push((i, r));
                         }
+                        tel.record_worker(WorkerSample {
+                            stage: stage.clone(),
+                            worker: w,
+                            busy,
+                            wall: wall_start.elapsed(),
+                            items: items_done,
+                        });
+                        tel.flush_thread_events();
                         local
                     })
                 })
@@ -972,11 +1062,17 @@ impl CostProvider for Engine {
         let (sid, batch) = self.structural(model);
         let key = (sid, *hw);
         if let Some(cached) = read_lock(&self.sums).get(&key) {
-            self.sum_hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Metric::SumHit);
             return *cached;
         }
-        self.sum_misses.fetch_add(1, Ordering::Relaxed);
-        let sum = batch.compute_sum(hw);
+        self.telemetry.count(Metric::SumMiss);
+        let sum = {
+            let mut span = self.telemetry.span("sum.batch", "memo");
+            span.arg("layers", ArgValue::Int(batch.layer_count() as u64));
+            span.arg("families", ArgValue::Int(batch.family_count() as u64));
+            self.telemetry.count(Metric::BatchSums);
+            batch.compute_sum(hw)
+        };
         let computed = ComputeSum {
             cycles: sum.cycles,
             energy_pj: sum.energy_pj,

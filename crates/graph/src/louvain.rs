@@ -315,11 +315,26 @@ pub fn louvain_passes<N: Ord + Clone>(g: &WeightedGraph<N>, resolution: f64) -> 
 /// point for callers that cluster the same graph repeatedly (e.g. the
 /// chiplet-count escalation loop sweeping `resolution`).
 pub fn louvain_csr<N: Ord + Clone>(csr: &CsrGraph<N>, resolution: f64) -> Partition<N> {
+    louvain_csr_counted(csr, resolution).0
+}
+
+/// [`louvain_csr`] that also reports how many improvement passes ran
+/// (the pass count excludes the initial singleton partition, so a
+/// graph where no move improves modularity reports zero passes). The
+/// returned partition is bit-identical to [`louvain_csr`]'s — the
+/// count is observational only.
+pub fn louvain_csr_counted<N: Ord + Clone>(
+    csr: &CsrGraph<N>,
+    resolution: f64,
+) -> (Partition<N>, usize) {
+    let mut passes = louvain_csr_passes(csr, resolution);
+    let count = passes.len().saturating_sub(1);
     // Passes always holds at least the initial partition; the fallback
     // (empty partition) is unreachable but keeps the function total.
-    louvain_csr_passes(csr, resolution)
+    let partition = passes
         .pop()
-        .unwrap_or_else(|| Partition::from_communities(Vec::new()))
+        .unwrap_or_else(|| Partition::from_communities(Vec::new()));
+    (partition, count)
 }
 
 /// [`louvain_passes`] over a prebuilt [`CsrGraph`].

@@ -84,17 +84,36 @@ impl Torus2d {
     ///
     /// Panics if either position is out of range.
     pub fn hops_avoiding(&self, a: u32, b: u32, failed: &dyn Fn(u32, u32) -> bool) -> Option<u32> {
+        self.hops_avoiding_counted(a, b, failed).0
+    }
+
+    /// [`Torus2d::hops_avoiding`] that also reports how many positions
+    /// the BFS expanded (dequeued and scanned), quantifying the cost
+    /// of routing around failures. The hop count is bit-identical to
+    /// [`Torus2d::hops_avoiding`]'s — the count is observational only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn hops_avoiding_counted(
+        &self,
+        a: u32,
+        b: u32,
+        failed: &dyn Fn(u32, u32) -> bool,
+    ) -> (Option<u32>, u32) {
         assert!(a < self.size(), "position {a} out of range");
         assert!(b < self.size(), "position {b} out of range");
         if a == b {
-            return Some(0);
+            return (Some(0), 0);
         }
         let n = self.size() as usize;
         let mut dist: Vec<u32> = vec![u32::MAX; n];
         dist[a as usize] = 0;
         let mut queue = std::collections::VecDeque::with_capacity(n);
         queue.push_back(a);
+        let mut expanded = 0u32;
         while let Some(u) = queue.pop_front() {
+            expanded += 1;
             let d = dist[u as usize];
             for v in self.neighbors(u) {
                 if v == u || dist[v as usize] != u32::MAX {
@@ -104,13 +123,13 @@ impl Torus2d {
                     continue;
                 }
                 if v == b {
-                    return Some(d + 1);
+                    return (Some(d + 1), expanded);
                 }
                 dist[v as usize] = d + 1;
                 queue.push_back(v);
             }
         }
-        None
+        (None, expanded)
     }
 
     /// The (up to four) torus neighbours of position `i`, with

@@ -153,6 +153,24 @@ impl LayerBatch {
             + self.permute.len()
     }
 
+    /// Number of non-empty layer-family pools — i.e. how many of the
+    /// dispatch-free kernel loops a [`LayerBatch::costs_into`] pass
+    /// actually runs.
+    pub fn family_count(&self) -> usize {
+        [
+            !self.conv2d.is_empty(),
+            !self.conv1d.is_empty(),
+            !self.linear.is_empty(),
+            !self.act.is_empty(),
+            !self.pool.is_empty(),
+            !self.flatten.is_empty(),
+            !self.permute.is_empty(),
+        ]
+        .iter()
+        .filter(|&&x| x)
+        .count()
+    }
+
     /// True when the batch holds no layers.
     pub fn is_empty(&self) -> bool {
         self.seq.is_empty()
