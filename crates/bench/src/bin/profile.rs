@@ -109,6 +109,20 @@ fn main() {
     // rerun re-missed every compute sum; the structural keys serve
     // them all from cache, which is exactly what this section pins.
     let flow_stats = parallel.stats();
+    // Hook counts of the cold flow alone, snapshotted before the warm
+    // reflow doubles them — the telemetry overhead model below divides
+    // by the cold flow's wall time, so its numerator must count the
+    // same flow.
+    let cold_counter_hooks: u64 = Metric::ALL
+        .iter()
+        .map(|&m| parallel.telemetry().counter(m))
+        .sum();
+    let cold_span_hooks: u64 = parallel
+        .telemetry()
+        .stage_aggregates_detailed()
+        .iter()
+        .map(|a| a.count)
+        .sum();
     let t_reflow = Instant::now();
     run_flow_with_engine(paper_options(), &parallel);
     let reflow_time = t_reflow.elapsed();
@@ -308,11 +322,11 @@ fn main() {
     // Telemetry overhead model: with tracing disabled every hook on
     // the hot path is one relaxed atomic op (a counter bump or the
     // tracing-flag check). Price one hook by spamming a scratch
-    // telemetry, count the hooks the flow engine actually executed
-    // (counter increments + stage spans — across BOTH the cold and
-    // warm flows, so the numerator is deliberately conservative), and
-    // bound the modeled disabled-path cost against one flow's wall
-    // time. The 2 % budget is the CI perf-smoke gate.
+    // telemetry, count the hooks the cold flow actually executed
+    // (counter increments + stage spans, snapshotted before the warm
+    // reflow), and bound the modeled disabled-path cost against the
+    // same flow's wall time. The 2 % budget is the CI perf-smoke
+    // gate.
     let scratch = Telemetry::new();
     const HOOK_REPS: u64 = 4_000_000;
     let t5 = Instant::now();
@@ -322,13 +336,7 @@ fn main() {
     }
     let per_hook_ns = t5.elapsed().as_secs_f64() * 1e9 / HOOK_REPS as f64;
     let tel = parallel.telemetry();
-    let counter_hooks: u64 = Metric::ALL.iter().map(|&m| tel.counter(m)).sum();
-    let span_hooks: u64 = tel
-        .stage_aggregates_detailed()
-        .iter()
-        .map(|a| a.count)
-        .sum();
-    let hook_executions = counter_hooks + span_hooks;
+    let hook_executions = cold_counter_hooks + cold_span_hooks;
     let modeled_overhead_fraction =
         per_hook_ns * hook_executions as f64 / (parallel_time.as_secs_f64() * 1e9);
     assert!(
@@ -358,10 +366,26 @@ fn main() {
     );
 
     // ROADMAP test-stage load balance, now with real numbers: per-
-    // worker busy time for the `test` stage par_map (cold + warm
-    // flows). A high max/min ratio is the data seeding the follow-up
-    // test-stage batching work.
-    let test_busy: Vec<f64> = tel
+    // worker busy time for the `test` stage's parallel maps. The flat
+    // plan made the cached flow's test stage short enough to finish
+    // inside one scheduler timeslice, where busy ratios measure which
+    // thread the OS ran first instead of work claiming — so the
+    // measurement runs its own flows over a dense DSE space with the
+    // cache disabled, keeping every flat-plan item at full evaluation
+    // price and the stage long enough for every worker to be
+    // scheduled. The recursive flow's per-model claiming measured 3.2x
+    // on the cached paper-space flow (PR 5's committed profile); the
+    // flat plan's per-point claiming must stay within 2.0x here (the
+    // CI perf-smoke gate).
+    const IMB_FLOWS: usize = 2;
+    let mut imb_opts = paper_options();
+    imb_opts.space = DseSpace::dense(6);
+    let imb_engine = Engine::for_space(&imb_opts.space).with_cache(false);
+    for _ in 0..IMB_FLOWS {
+        run_flow_with_engine(imb_opts.clone(), &imb_engine);
+    }
+    let test_busy: Vec<f64> = imb_engine
+        .telemetry()
         .stage_worker_busy("test")
         .iter()
         .map(|(_, d)| d.as_secs_f64() * 1e3)
@@ -378,6 +402,51 @@ fn main() {
         ),
         None => println!("test stage worker busy max/min: n/a (serial or single-worker run)"),
     }
+
+    // Flat-execution-plan profile (cold flow): the up-front item set,
+    // the three plan-level coarse memo tiers, and the load balance the
+    // single flat par_map buys. The graph tier's cold hit rate is the
+    // merged-member-build payoff — before the plan it was 0 % (every
+    // multi-member graph rebuilt its members from scratch).
+    let graph_cold_hit_rate = {
+        let total = flow_stats.graph_hits + flow_stats.graph_misses;
+        if total == 0 {
+            0.0
+        } else {
+            flow_stats.graph_hits as f64 / total as f64
+        }
+    };
+    println!();
+    println!("== Flat execution plan (cold flow) ==");
+    println!("plan items: {}", flow_stats.plan_items);
+    println!(
+        "comm tier: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+        flow_stats.comm_hits,
+        flow_stats.comm_misses,
+        100.0 * flow_stats.comm_hit_rate(),
+        flow_stats.comm_entries
+    );
+    println!(
+        "louvain warm tier: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+        flow_stats.louvain_warm_hits,
+        flow_stats.louvain_warm_misses,
+        100.0 * flow_stats.louvain_warm_hit_rate(),
+        flow_stats.louvain_warm_entries
+    );
+    println!(
+        "merged graph builds: {}; graph tier cold hit rate {:.1} %",
+        flow_stats.merged_graph_builds,
+        100.0 * graph_cold_hit_rate
+    );
+    assert!(
+        flow_stats.plan_items > 0,
+        "planned flow enumerated no evaluation items"
+    );
+    assert!(
+        graph_cold_hit_rate > 0.0,
+        "graph tier's cold hit rate is still 0 % — merged member-graph \
+         builds are not sharing member graphs"
+    );
 
     let worker_utilization = Value::Array(
         tel.worker_utilization()
@@ -447,6 +516,40 @@ fn main() {
         ),
         ("memo_tiers", tiers(&flow_stats)),
         ("overall_hit_rate", num(flow_stats.overall_hit_rate())),
+        (
+            "plan",
+            obj(vec![
+                (
+                    "items",
+                    Value::Number(Number::PosInt(flow_stats.plan_items)),
+                ),
+                (
+                    "comm_tier",
+                    tier(
+                        flow_stats.comm_hits,
+                        flow_stats.comm_misses,
+                        flow_stats.comm_entries,
+                    ),
+                ),
+                (
+                    "louvain_warm_tier",
+                    tier(
+                        flow_stats.louvain_warm_hits,
+                        flow_stats.louvain_warm_misses,
+                        flow_stats.louvain_warm_entries,
+                    ),
+                ),
+                (
+                    "merged_graph_builds",
+                    Value::Number(Number::PosInt(flow_stats.merged_graph_builds)),
+                ),
+                ("graph_cold_hit_rate", num(graph_cold_hit_rate)),
+                (
+                    "test_stage_imbalance_ratio",
+                    imbalance.map_or(Value::Null, num),
+                ),
+            ]),
+        ),
         (
             "reflow",
             obj(vec![
@@ -658,5 +761,14 @@ fn tiers(s: &EngineStats) -> Value {
         ),
         ("graph", tier(s.graph_hits, s.graph_misses, s.graph_entries)),
         ("area", tier(s.area_hits, s.area_misses, s.area_entries)),
+        ("comm", tier(s.comm_hits, s.comm_misses, s.comm_entries)),
+        (
+            "louvain_warm",
+            tier(
+                s.louvain_warm_hits,
+                s.louvain_warm_misses,
+                s.louvain_warm_entries,
+            ),
+        ),
     ])
 }

@@ -7,8 +7,8 @@ mod args;
 mod summary;
 
 use args::{
-    extract_degrade, extract_metrics_json, extract_threads, extract_trace_out, parse_args, Command,
-    USAGE,
+    extract_degrade, extract_legacy_flow, extract_metrics_json, extract_threads, extract_trace_out,
+    parse_args, Command, USAGE,
 };
 use claire_core::{
     paper_table3_subsets, ChipletLibrary, Claire, ClaireError, ClaireOptions, Degradation, Engine,
@@ -22,6 +22,7 @@ use summary::{CustomSummary, FlowSummary, TrainSummary};
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (degrade, argv) = extract_degrade(&argv);
+    let (legacy_flow, argv) = extract_legacy_flow(&argv);
     let parsed = extract_trace_out(&argv).and_then(|(trace, rest)| {
         let (metrics, rest) = extract_metrics_json(&rest)?;
         let (threads, rest) = extract_threads(&rest)?;
@@ -33,7 +34,7 @@ fn main() {
                 trace_out: trace.map(PathBuf::from),
                 metrics_out: metrics.map(PathBuf::from),
             };
-            run(cmd, threads, degrade, telemetry)
+            run(cmd, threads, degrade, legacy_flow, telemetry)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -91,6 +92,7 @@ fn options(
     config: Option<&str>,
     threads: Option<usize>,
     degrade: bool,
+    legacy_flow: bool,
     telemetry: &TelemetryOptions,
 ) -> Result<ClaireOptions, String> {
     let mut opts = match config {
@@ -114,11 +116,22 @@ fn options(
     if degrade {
         opts.policy = RobustnessPolicy::Degrade;
     }
+    // The legacy recursive flow is opt-in; the flat execution plan is
+    // the default (bit-identical either way).
+    if legacy_flow {
+        opts.legacy_flow = true;
+    }
     opts.telemetry = telemetry.clone();
     Ok(opts)
 }
 
-fn run(cmd: Command, threads: Option<usize>, degrade: bool, telemetry: TelemetryOptions) -> i32 {
+fn run(
+    cmd: Command,
+    threads: Option<usize>,
+    degrade: bool,
+    legacy_flow: bool,
+    telemetry: TelemetryOptions,
+) -> i32 {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -163,7 +176,15 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool, telemetry: Telemetry
                 eprintln!("error: unknown model `{model}` (see `claire-cli models --extended`)");
                 return 2;
             };
-            let opts = match options(false, None, config.as_deref(), threads, degrade, &telemetry) {
+            let opts = match options(
+                false,
+                None,
+                config.as_deref(),
+                threads,
+                degrade,
+                legacy_flow,
+                &telemetry,
+            ) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -213,6 +234,7 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool, telemetry: Telemetry
                 config.as_deref(),
                 threads,
                 degrade,
+                legacy_flow,
                 &telemetry,
             ) {
                 Ok(o) => o,
@@ -241,7 +263,15 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool, telemetry: Telemetry
             extended,
             json,
         } => {
-            let opts = match options(paper_subsets, None, None, threads, degrade, &telemetry) {
+            let opts = match options(
+                paper_subsets,
+                None,
+                None,
+                threads,
+                degrade,
+                legacy_flow,
+                &telemetry,
+            ) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -325,7 +355,15 @@ fn run(cmd: Command, threads: Option<usize>, degrade: bool, telemetry: Telemetry
             paper_subsets,
             threshold,
         } => {
-            let opts = match options(paper_subsets, threshold, None, threads, degrade, &telemetry) {
+            let opts = match options(
+                paper_subsets,
+                threshold,
+                None,
+                threads,
+                degrade,
+                legacy_flow,
+                &telemetry,
+            ) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");

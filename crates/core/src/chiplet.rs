@@ -69,9 +69,13 @@ pub fn cluster_into_chiplets(
 
 /// [`cluster_into_chiplets`] with the universal graph built through
 /// the engine's memoized layer costs and each Louvain partition served
-/// from the engine's canonical-graph memo tier. The CSR kernel graph
+/// from the engine's canonical-graph memo tiers. The CSR kernel graph
 /// is interned **once**; the resolution-escalation loop re-clusters
-/// flat arrays instead of rebuilding maps. Bit-identical to
+/// flat arrays instead of rebuilding maps, and each escalation step
+/// (`γ, 1.5γ, …`) first consults the engine's certified warm-start
+/// tier ([`Engine::louvain_partition_escalating`]) so a prior
+/// clustering whose γ-interval covers the escalated resolution is
+/// served without re-running the kernel. Bit-identical to
 /// [`cluster_into_chiplets`].
 ///
 /// # Errors
@@ -88,7 +92,7 @@ pub fn cluster_into_chiplets_with_engine(
     let ug = engine.universal_csr(workloads, &config.hw);
     let mut gamma = resolution;
     cluster_attempts(config, constraints, &ug.graph, || {
-        let p = engine.louvain_partition(&ug.csr, gamma);
+        let p = engine.louvain_partition_escalating(&ug.csr, gamma);
         gamma *= 1.5;
         p
     })

@@ -15,6 +15,9 @@ use crate::error::ClaireError;
 use crate::evaluate::PpaReport;
 use crate::metrics::{algorithm_coverage, chiplet_utilization, normalized_nre};
 use crate::parallel::Engine;
+use crate::plan::flat::{
+    build_eval_table, custom_from_row, set_config_from_table, EvalTable, ModelRow,
+};
 use crate::telemetry::TelemetryOptions;
 use claire_cost::NreModel;
 use claire_model::{ActivationKind, Model, OpClass};
@@ -79,6 +82,15 @@ pub struct ClaireOptions {
     /// trace path is set, so runs without exports stay on the
     /// counters-only fast path.
     pub telemetry: TelemetryOptions,
+    /// Run the legacy recursive flow — per-model staged sweeps with
+    /// nested (serialised) parallel maps — instead of the default
+    /// flat execution plan. The recursive flow is the oracle the
+    /// plan-equivalence suite pins the planned flow against; both
+    /// produce bit-identical outputs at any thread count. Engines
+    /// with an armed fault plan always take the legacy path (fault
+    /// injection sites are calibrated against the recursive call
+    /// order).
+    pub legacy_flow: bool,
 }
 
 impl Default for ClaireOptions {
@@ -93,6 +105,7 @@ impl Default for ClaireOptions {
             provision_tanh_in_generic: true,
             policy: RobustnessPolicy::default(),
             telemetry: TelemetryOptions::default(),
+            legacy_flow: false,
         }
     }
 }
@@ -353,6 +366,56 @@ impl Claire {
         })
     }
 
+    /// [`Claire::custom_for_with_engine`]'s planned twin: rung 0 of
+    /// the relaxation ladder selects from the flat plan's
+    /// pre-computed row (bit-identical — same feasibility filter,
+    /// same shared selection tail, same evaluations); relaxed rungs,
+    /// whose widened screens can need points outside the table, fall
+    /// back to the recursive sweep (memo-warm from the plan).
+    fn custom_from_plan(
+        &self,
+        model: &Model,
+        row: &ModelRow,
+        engine: &Engine,
+    ) -> Result<CustomResult, ClaireError> {
+        let base = self.effective_constraints(model.name(), engine);
+        let mut first = true;
+        let ((config, report), degradation) = with_relaxation_observed(
+            self.opts.policy,
+            &base,
+            Some(engine.telemetry()),
+            model.name(),
+            |cons| {
+                let (mut cfg, _) = if std::mem::take(&mut first) {
+                    custom_from_row(model, row, cons, DseObjective::MinArea)
+                } else {
+                    custom_config_with_engine(
+                        model,
+                        &self.opts.space,
+                        cons,
+                        DseObjective::MinArea,
+                        engine,
+                    )
+                }?;
+                cluster_into_chiplets_with_engine(
+                    &mut cfg,
+                    std::slice::from_ref(model),
+                    cons,
+                    self.opts.louvain_resolution,
+                    engine,
+                )?;
+                let report = engine.evaluate(model, &cfg)?;
+                Ok((cfg, report))
+            },
+        )?;
+        Ok(CustomResult {
+            model: model.clone(),
+            config,
+            report,
+            degradation,
+        })
+    }
+
     /// The constraints a stage actually sees: the configured set,
     /// unless the engine's fault plan injects an unsatisfiable set for
     /// this subject (exercising the degradation ladder end to end).
@@ -431,6 +494,15 @@ impl Claire {
     /// and all layer costs share the engine's memo cache. The output
     /// is bit-identical to the serial flow at any thread count.
     ///
+    /// By default the run opens with the **flat execution plan**
+    /// (`plan` stage): every `(model, hw-point)` evaluation of the
+    /// run is enumerated as one item set and fed through a single
+    /// parallel map, and the per-model/per-subset selections replay
+    /// from the resulting table (see [`crate::plan::flat`]).
+    /// [`ClaireOptions::legacy_flow`] — or an armed fault plan —
+    /// selects the legacy recursive flow instead; both produce
+    /// bit-identical outputs.
+    ///
     /// # Errors
     ///
     /// Same as [`Claire::train`].
@@ -443,10 +515,40 @@ impl Claire {
             return Err(ClaireError::EmptyAlgorithmSet);
         }
         self.validate_inputs()?;
+        if self.legacy_flow_active(engine) {
+            self.train_impl(models, engine, None)
+        } else {
+            let table = engine.time_stage("plan", || {
+                build_eval_table(models, &self.opts.space, &self.opts.constraints, engine)
+            });
+            self.train_impl(models, engine, Some(&table))
+        }
+    }
 
+    /// Whether this run takes the legacy recursive flow: requested via
+    /// [`ClaireOptions::legacy_flow`], or forced by an armed fault
+    /// plan (injection sites are calibrated against the recursive call
+    /// order).
+    fn legacy_flow_active(&self, engine: &Engine) -> bool {
+        self.opts.legacy_flow || engine.faults().is_some()
+    }
+
+    /// The shared train-phase body: stage structure and selection
+    /// logic are identical for both flows; `table` (the flat plan's
+    /// output) switches rung-0 DSE selections from recursive sweeps to
+    /// table replays.
+    fn train_impl(
+        &self,
+        models: &[Model],
+        engine: &Engine,
+        table: Option<&EvalTable>,
+    ) -> Result<TrainOutput, ClaireError> {
         // --- Output 1: custom configurations.
         let customs: Vec<CustomResult> = engine.time_stage("customs", || {
-            engine.try_par_map(models, |_, m| self.custom_for_with_engine(m, engine))
+            engine.try_par_map(models, |i, m| match table {
+                Some(t) => self.custom_from_plan(m, &t.rows[i], engine),
+                None => self.custom_for_with_engine(m, engine),
+            })
         })?;
         let custom_latency: BTreeMap<String, f64> = customs
             .iter()
@@ -456,21 +558,43 @@ impl Claire {
         // --- Output 2: the generic configuration.
         let refs: Vec<&Model> = models.iter().collect();
         let generic_base = self.effective_constraints("C_g", engine);
+        let all_members: Vec<usize> = (0..models.len()).collect();
         let (generic, generic_degradation) = engine.time_stage("generic", || {
+            let mut first = true;
             with_relaxation_observed(
                 self.opts.policy,
                 &generic_base,
                 Some(engine.telemetry()),
                 "C_g",
                 |cons| {
-                    let mut generic = set_config_with_engine(
-                        "C_g",
-                        &refs,
-                        &self.opts.space,
-                        cons,
-                        &custom_latency,
-                        engine,
-                    )?;
+                    // Rung 0 replays from the flat plan's table; relaxed
+                    // rungs re-sweep recursively (their widened screens
+                    // can need points outside the table).
+                    let from_table = if first {
+                        first = false;
+                        table
+                    } else {
+                        None
+                    };
+                    let mut generic = match from_table {
+                        Some(t) => set_config_from_table(
+                            "C_g",
+                            &all_members,
+                            models,
+                            t,
+                            cons,
+                            &custom_latency,
+                            engine,
+                        ),
+                        None => set_config_with_engine(
+                            "C_g",
+                            &refs,
+                            &self.opts.space,
+                            cons,
+                            &custom_latency,
+                            engine,
+                        ),
+                    }?;
                     if self.opts.provision_tanh_in_generic {
                         generic
                             .classes
@@ -518,20 +642,38 @@ impl Claire {
                 let members: Vec<&Model> = subset.iter().map(|&i| &models[i]).collect();
                 let member_models: Vec<Model> = members.iter().map(|m| (*m).clone()).collect();
                 let lib_base = self.effective_constraints(&name, engine);
+                let mut first = true;
                 let (cfg, degradation) = with_relaxation_observed(
                     self.opts.policy,
                     &lib_base,
                     Some(engine.telemetry()),
                     &name,
                     |cons| {
-                        let mut cfg = set_config_with_engine(
-                            &name,
-                            &members,
-                            &self.opts.space,
-                            cons,
-                            &custom_latency,
-                            engine,
-                        )?;
+                        let from_table = if first {
+                            first = false;
+                            table
+                        } else {
+                            None
+                        };
+                        let mut cfg = match from_table {
+                            Some(t) => set_config_from_table(
+                                &name,
+                                subset,
+                                models,
+                                t,
+                                cons,
+                                &custom_latency,
+                                engine,
+                            ),
+                            None => set_config_with_engine(
+                                &name,
+                                &members,
+                                &self.opts.space,
+                                cons,
+                                &custom_latency,
+                                engine,
+                            ),
+                        }?;
                         cluster_into_chiplets_with_engine(
                             &mut cfg,
                             &member_models,
@@ -645,6 +787,14 @@ impl Claire {
     /// models are evaluated in parallel and layer costs are shared with
     /// any prior training run through the memo cache.
     ///
+    /// By default the test stage opens with the flat execution plan:
+    /// every `(test-model, hw-point)` evaluation runs through one
+    /// load-balanced parallel map before the per-model selections,
+    /// clustering and assignment replay — collapsing the per-model
+    /// nested sweeps whose serialisation skews worker busy time.
+    /// [`ClaireOptions::legacy_flow`] (or an armed fault plan) selects
+    /// the recursive flow; outputs are bit-identical either way.
+    ///
     /// # Errors
     ///
     /// Same as [`Claire::evaluate_test`].
@@ -661,8 +811,13 @@ impl Claire {
         let vectors: Vec<_> = train.libraries.iter().map(|l| l.vector.clone()).collect();
 
         let reports: Vec<TestReport> = engine.time_stage("test", || {
-            engine.try_par_map(tests, |_, m| -> Result<_, ClaireError> {
-                let custom = self.custom_for_with_engine(m, engine)?;
+            let table = (!self.legacy_flow_active(engine))
+                .then(|| build_eval_table(tests, &self.opts.space, &self.opts.constraints, engine));
+            engine.try_par_map(tests, |i, m| -> Result<_, ClaireError> {
+                let custom = match &table {
+                    Some(t) => self.custom_from_plan(m, &t.rows[i], engine)?,
+                    None => self.custom_for_with_engine(m, engine)?,
+                };
 
                 // Rank libraries by similarity; take the best that covers.
                 let mv = scaled_vector(m, self.opts.assign_scale);

@@ -237,14 +237,14 @@ fn monolithic_classes(model: &Model) -> BTreeSet<OpClass> {
 /// sweeps build one shell per model under this placeholder point and
 /// clone-with-hw per space point — the `format!` and class-set
 /// derivation run once, outside the hot loop.
-const SHELL_HW: HwParams = HwParams {
+pub(crate) const SHELL_HW: HwParams = HwParams {
     sa_size: 1,
     n_sa: 1,
     n_act: 1,
     n_pool: 1,
 };
 
-fn monolithic_for(model: &Model, hw: HwParams) -> DesignConfig {
+pub(crate) fn monolithic_for(model: &Model, hw: HwParams) -> DesignConfig {
     DesignConfig::monolithic(
         format!("dse:{}", model.name()),
         hw,
@@ -360,6 +360,26 @@ pub fn custom_config_with_engine(
     engine: &Engine,
 ) -> Result<(DesignConfig, PpaReport), ClaireError> {
     let points = sweep_with_engine(model, space, constraints, engine);
+    select_custom_config(model, points, constraints, objective)
+}
+
+/// The selection tail of [`custom_config_with_engine`]: latency-slack
+/// filter against the best feasible latency, then the objective
+/// minimum. Shared with the flat-plan replay
+/// ([`crate::plan::flat`]), which feeds it the same feasible point
+/// list from the pre-computed evaluation table — the fold order and
+/// comparisons are this one code path, so both flows select the same
+/// point bit for bit.
+///
+/// # Errors
+///
+/// Same as [`custom_config`].
+pub(crate) fn select_custom_config(
+    model: &Model,
+    points: Vec<DsePoint>,
+    constraints: &Constraints,
+    objective: DseObjective,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
     let best_latency = points
         .iter()
         .map(|p| p.report.latency_s)
@@ -495,21 +515,39 @@ pub fn set_config_with_engine(
     });
     drop(eval_span);
 
+    let hw = select_set_hw(name, &points, &totals)?;
+    let classes: BTreeSet<OpClass> = shells.into_iter().flat_map(|s| s.classes).collect();
+    Ok(DesignConfig::monolithic(name, hw, classes))
+}
+
+/// The selection fold of [`set_config_with_engine`]: the first strict
+/// minimum-total-area point in space iteration order wins, so ties
+/// resolve exactly as in the serial loop. Shared with the flat-plan
+/// replay ([`crate::plan::flat`]), which computes the same per-point
+/// member totals from the pre-computed evaluation table.
+///
+/// # Errors
+///
+/// [`ClaireError::NoFeasibleConfiguration`] when every total is
+/// `None`.
+pub(crate) fn select_set_hw(
+    name: &str,
+    points: &[HwParams],
+    totals: &[Option<f64>],
+) -> Result<HwParams, ClaireError> {
     let mut best: Option<(f64, HwParams)> = None;
     for (&hw, total_area) in points.iter().zip(totals) {
-        let Some(total_area) = total_area else {
+        let Some(total_area) = *total_area else {
             continue;
         };
         if best.map(|(a, _)| total_area < a).unwrap_or(true) {
             best = Some((total_area, hw));
         }
     }
-
     let (_, hw) = best.ok_or_else(|| ClaireError::NoFeasibleConfiguration {
         subject: name.to_owned(),
     })?;
-    let classes: BTreeSet<OpClass> = shells.into_iter().flat_map(|s| s.classes).collect();
-    Ok(DesignConfig::monolithic(name, hw, classes))
+    Ok(hw)
 }
 
 #[cfg(test)]

@@ -352,6 +352,21 @@ pub trait CostProvider: Sync {
     fn config_area(&self, config: &DesignConfig) -> f64 {
         config.area_mm2()
     }
+
+    /// The execution-order per-edge transfer-cost sequence for
+    /// `(model, config)`, if the provider has one. `Some(seq)` makes
+    /// the evaluator replay `seq` instead of walking `model.edges()`
+    /// through [`RouteTable::route`]; the sequence must be exactly
+    /// what [`edge_cost_sequence`] returns for the pair (same values,
+    /// same order, same-class edges excluded), which makes the replay
+    /// bit-identical to the walk. `None` (the default) keeps the
+    /// direct walk — also the escape hatch when the sequence cannot
+    /// be built (coverage/route errors must surface from the walk's
+    /// own error path).
+    fn edge_costs(&self, model: &Model, config: &DesignConfig) -> Option<Arc<[TransferCost]>> {
+        let _ = (model, config);
+        None
+    }
 }
 
 /// The uncached reference [`CostProvider`].
@@ -359,6 +374,56 @@ pub trait CostProvider: Sync {
 pub struct DirectCosts;
 
 impl CostProvider for DirectCosts {}
+
+/// Builds the execution-order sequence of per-edge [`TransferCost`]s
+/// for `(model, config)` using aggregated `(route, bytes)` buckets:
+/// each distinct bucket is priced through [`transfer_on_route`] once
+/// and every later edge in the same bucket reuses the priced cost.
+/// [`TransferCost`]'s fields are integer/fixed-point, so a bucket hit
+/// returns a value bit-identical to repricing — replaying the
+/// sequence in order is therefore bit-identical to the evaluator's
+/// per-class-pair walk. Same-class edges are free and excluded, as in
+/// the walk.
+///
+/// This is the miss path of the engine's per-`(model, topology)`
+/// communication memo tier, and the reference the bucket-costing
+/// property tests pin.
+///
+/// # Errors
+///
+/// Exactly the walk's errors: [`ClaireError::IncompleteCoverage`] for
+/// a class `config` cannot execute, [`ClaireError::NoRoute`] when a
+/// fault-carrying `routes` table has the pair severed.
+pub fn edge_cost_sequence(
+    model: &Model,
+    config: &DesignConfig,
+    routes: &RouteTable,
+) -> Result<Vec<TransferCost>, ClaireError> {
+    let executing = |c: OpClass| {
+        config
+            .executing_class(c)
+            .ok_or_else(|| ClaireError::IncompleteCoverage {
+                algorithm: model.name().to_owned(),
+                config: config.name.clone(),
+                missing: c.label(),
+            })
+    };
+    let mut buckets: std::collections::HashMap<(EdgeRoute, u64), TransferCost> =
+        std::collections::HashMap::new();
+    let mut seq = Vec::new();
+    for (a, b, bytes) in model.edges() {
+        let (ea, eb) = (executing(a)?, executing(b)?);
+        if ea == eb {
+            continue; // same-class transfers are free
+        }
+        let route = routes.route(config, ea, eb)?;
+        let t = *buckets
+            .entry((route, bytes))
+            .or_insert_with(|| transfer_on_route(route, bytes));
+        seq.push(t);
+    }
+    Ok(seq)
+}
 
 /// Evaluates `model` on `config`.
 ///
@@ -444,28 +509,39 @@ pub fn evaluate_with_costs(
     // [`edge_transfer`].
     let mut noc_pj = 0.0;
     let mut nop_pj = 0.0;
-    let routes = costs.routes(config);
-    // Coverage was prechecked above; a class that still fails to
-    // resolve indicates the check and the executor disagree — surfaced
-    // as the same typed error rather than a panic.
-    let executing = |c: OpClass| {
-        config
-            .executing_class(c)
-            .ok_or_else(|| ClaireError::IncompleteCoverage {
-                algorithm: model.name().to_owned(),
-                config: config.name.clone(),
-                missing: c.label(),
-            })
-    };
-    for (a, b, bytes) in model.edges() {
-        let (ea, eb) = (executing(a)?, executing(b)?);
-        if ea == eb {
-            continue; // same-class transfers are free
+    if let Some(seq) = costs.edge_costs(model, config) {
+        // Memoized sequence replay: same costs, same order, same fold
+        // as the walk below — bit-identical by construction (see
+        // [`edge_cost_sequence`]).
+        for t in seq.iter() {
+            latency_s += t.latency_s();
+            noc_pj += t.noc_pj();
+            nop_pj += t.nop_pj();
         }
-        let t = transfer_on_route(routes.route(config, ea, eb)?, bytes);
-        latency_s += t.latency_s();
-        noc_pj += t.noc_pj();
-        nop_pj += t.nop_pj();
+    } else {
+        let routes = costs.routes(config);
+        // Coverage was prechecked above; a class that still fails to
+        // resolve indicates the check and the executor disagree —
+        // surfaced as the same typed error rather than a panic.
+        let executing = |c: OpClass| {
+            config
+                .executing_class(c)
+                .ok_or_else(|| ClaireError::IncompleteCoverage {
+                    algorithm: model.name().to_owned(),
+                    config: config.name.clone(),
+                    missing: c.label(),
+                })
+        };
+        for (a, b, bytes) in model.edges() {
+            let (ea, eb) = (executing(a)?, executing(b)?);
+            if ea == eb {
+                continue; // same-class transfers are free
+            }
+            let t = transfer_on_route(routes.route(config, ea, eb)?, bytes);
+            latency_s += t.latency_s();
+            noc_pj += t.noc_pj();
+            nop_pj += t.nop_pj();
+        }
     }
 
     let area = costs.config_area(config);
@@ -677,6 +753,78 @@ mod tests {
         )
         .unwrap();
         assert!(gated.leakage_j < 0.5 * ungated.leakage_j);
+    }
+
+    fn split_alexnet() -> (claire_model::Model, DesignConfig) {
+        let m = zoo::alexnet();
+        let mut split = config_for(&m);
+        let head: BTreeSet<OpClass> = [OpClass::Linear].into_iter().collect();
+        let body: BTreeSet<OpClass> = split
+            .classes
+            .iter()
+            .copied()
+            .filter(|c| *c != OpClass::Linear)
+            .collect();
+        split.chiplets = vec![
+            Chiplet::from_classes("L1", body, &hw()),
+            Chiplet::from_classes("L2", head, &hw()),
+        ];
+        (m, split)
+    }
+
+    #[test]
+    fn edge_cost_sequence_matches_per_edge_walk() {
+        let (m, split) = split_alexnet();
+        for cfg in [config_for(&m), split] {
+            let seq = edge_cost_sequence(&m, &cfg, &RouteTable::new()).unwrap();
+            let mut walk = Vec::new();
+            for (a, b, bytes) in m.edges() {
+                let ea = cfg.executing_class(a).unwrap();
+                let eb = cfg.executing_class(b).unwrap();
+                if ea == eb {
+                    continue;
+                }
+                walk.push(transfer_on_route(route_of(&cfg, ea, eb), bytes));
+            }
+            assert_eq!(seq, walk, "bucketed sequence diverged on {}", cfg.name);
+            assert!(!seq.is_empty(), "alexnet has cross-class edges");
+        }
+    }
+
+    struct SeqCosts(Arc<[TransferCost]>);
+
+    impl CostProvider for SeqCosts {
+        fn edge_costs(&self, _m: &Model, _c: &DesignConfig) -> Option<Arc<[TransferCost]>> {
+            Some(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn evaluator_sequence_replay_is_bit_identical() {
+        let (m, split) = split_alexnet();
+        for cfg in [config_for(&m), split] {
+            let seq: Arc<[TransferCost]> = edge_cost_sequence(&m, &cfg, &RouteTable::new())
+                .unwrap()
+                .into();
+            let direct = evaluate(&m, &cfg).unwrap();
+            let replay =
+                evaluate_with_costs(&m, &cfg, EvalOptions::default(), &SeqCosts(seq)).unwrap();
+            assert_eq!(
+                format!("{direct:?}"),
+                format!("{replay:?}"),
+                "replay diverged on {}",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn edge_cost_sequence_surfaces_coverage_error() {
+        let m = zoo::alexnet();
+        let cfg =
+            DesignConfig::monolithic("linear-only", hw(), [OpClass::Linear].into_iter().collect());
+        let err = edge_cost_sequence(&m, &cfg, &RouteTable::new()).unwrap_err();
+        assert!(matches!(err, ClaireError::IncompleteCoverage { .. }));
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub use config::{monolithic_area_mm2, Chiplet, Constraints, DesignConfig};
 pub use dse::{Degradation, DseObjective, RelaxStep, RobustnessPolicy};
 pub use error::ClaireError;
 pub use evaluate::{
-    edge_transfer, route_of, transfer_on_route, CostProvider, DirectCosts, EdgeRoute, EvalOptions,
-    PpaReport, RouteTable, TransferCost,
+    edge_cost_sequence, edge_transfer, route_of, transfer_on_route, CostProvider, DirectCosts,
+    EdgeRoute, EvalOptions, PpaReport, RouteTable, TransferCost,
 };
 pub use fault::{FaultClass, FaultPlan};
 pub use io::{ConfigIoError, RunConfig};

@@ -22,10 +22,10 @@
 //! [`std::thread::available_parallelism`].
 
 use crate::config::{monolithic_area_mm2, DesignConfig};
-use crate::evaluate::{ComputeSum, CostProvider, RouteTable};
+use crate::evaluate::{ComputeSum, CostProvider, RouteTable, TransferCost};
 use crate::fault::FaultPlan;
 use crate::telemetry::{self, ArgValue, Gauge, Metric, Telemetry, WorkerSample};
-use claire_graph::{louvain_csr_counted, CsrGraph, Partition};
+use claire_graph::{louvain_csr_certified, louvain_csr_counted, CsrGraph, Partition};
 use claire_model::{LayerKind, OpClass};
 use claire_ppa::{layer_cost, unit_area_mm2, DseSpace, HwParams, LayerBatch, LayerCost};
 use std::collections::{BTreeSet, HashMap};
@@ -183,6 +183,22 @@ pub struct EngineStats {
     pub dse_pruned: u64,
     /// DSE points that survived the screen into full PPA evaluation.
     pub dse_evaluated: u64,
+    /// Edge-cost sequences served from the communication memo tier.
+    pub comm_hits: u64,
+    /// Edge-cost sequences built fresh through bucketed pricing.
+    pub comm_misses: u64,
+    /// Distinct (model structure, topology) edge-cost sequences cached.
+    pub comm_entries: usize,
+    /// Louvain partitions served from a certified warm-start interval.
+    pub louvain_warm_hits: u64,
+    /// Warm-tier consultations that had to cluster fresh.
+    pub louvain_warm_misses: u64,
+    /// Distinct graphs with certified warm-start entries cached.
+    pub louvain_warm_entries: usize,
+    /// Multi-member universal graphs assembled from cached members.
+    pub merged_graph_builds: u64,
+    /// Evaluation items enumerated by the flat execution plan.
+    pub plan_items: u64,
     /// Accumulated wall time per pipeline stage, in first-recorded
     /// order.
     pub stages: Vec<(String, Duration)>,
@@ -223,6 +239,16 @@ impl EngineStats {
     /// Area-table tier hit rate in `[0, 1]`.
     pub fn area_hit_rate(&self) -> f64 {
         ratio(self.area_hits, self.area_misses)
+    }
+
+    /// Communication edge-cost tier hit rate in `[0, 1]`.
+    pub fn comm_hit_rate(&self) -> f64 {
+        ratio(self.comm_hits, self.comm_misses)
+    }
+
+    /// Louvain warm-start tier hit rate in `[0, 1]`.
+    pub fn louvain_warm_hit_rate(&self) -> f64 {
+        ratio(self.louvain_warm_hits, self.louvain_warm_misses)
     }
 
     /// Fraction of DSE points the staged sweep pruned before full
@@ -310,6 +336,22 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  comm sequences: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+            self.comm_hits,
+            self.comm_misses,
+            100.0 * self.comm_hit_rate(),
+            self.comm_entries
+        )?;
+        writeln!(
+            f,
+            "  louvain warm-start: {} hits / {} misses ({} entries); {} merged graph builds",
+            self.louvain_warm_hits,
+            self.louvain_warm_misses,
+            self.louvain_warm_entries,
+            self.merged_graph_builds
+        )?;
+        writeln!(
+            f,
             "  structural keys: {} structures over {} model instances",
             self.struct_entries, self.struct_instances
         )?;
@@ -353,7 +395,13 @@ pub struct Engine {
     routes: MemoMap<TopologyKey, Arc<RouteTable>>,
     sums: MemoMap<(u32, HwParams), ComputeSum>,
     louvains: MemoMap<Box<[u64]>, Arc<Partition<OpClass>>>,
+    /// Warm-start tier: per canonical graph (resolution-free key), the
+    /// certified γ-intervals of prior runs with their partitions.
+    louvain_warm: MemoMap<Box<[u64]>, Vec<WarmEntry>>,
     graphs: MemoMap<(Box<[u64]>, HwParams), Arc<UniversalCsr>>,
+    /// Communication tier: execution-order per-edge transfer costs,
+    /// keyed by (model structural id, configuration topology).
+    comms: MemoMap<(u32, TopologyKey), Arc<[TransferCost]>>,
     areas: MemoMap<HwParams, Arc<[f64; OpClass::COUNT]>>,
     models: RwLock<ModelInterner>,
     /// The telemetry hub every counter, span and export reads from —
@@ -375,6 +423,18 @@ struct ModelInterner {
     by_instance: HashMap<u64, u32, std::hash::BuildHasherDefault<FxHasher>>,
     by_content: HashMap<Box<[LayerKind]>, u32, std::hash::BuildHasherDefault<FxHasher>>,
     batches: Vec<Arc<LayerBatch>>,
+}
+
+/// One warm-start record: a certified open γ-interval and the
+/// partition every resolution strictly inside it provably reproduces
+/// (see [`claire_graph::GammaInterval`]). Entries for one graph may
+/// overlap; any entry containing a resolution serves the identical
+/// partition, so lookup order never affects results.
+#[derive(Debug, Clone)]
+struct WarmEntry {
+    lo: f64,
+    hi: f64,
+    partition: Arc<Partition<OpClass>>,
 }
 
 /// A universal graph paired with its interned CSR form, as built and
@@ -408,7 +468,9 @@ impl Engine {
             routes: RwLock::new(HashMap::default()),
             sums: RwLock::new(HashMap::default()),
             louvains: RwLock::new(HashMap::default()),
+            louvain_warm: RwLock::new(HashMap::default()),
             graphs: RwLock::new(HashMap::default()),
+            comms: RwLock::new(HashMap::default()),
             areas: RwLock::new(HashMap::default()),
             models: RwLock::new(ModelInterner::default()),
             telemetry: Arc::new(Telemetry::new()),
@@ -517,6 +579,11 @@ impl Engine {
         );
         t.set_gauge(Gauge::GraphEntries, read_lock(&self.graphs).len() as u64);
         t.set_gauge(Gauge::AreaEntries, read_lock(&self.areas).len() as u64);
+        t.set_gauge(Gauge::CommEntries, read_lock(&self.comms).len() as u64);
+        t.set_gauge(
+            Gauge::LouvainWarmEntries,
+            read_lock(&self.louvain_warm).len() as u64,
+        );
         let interner = read_lock(&self.models);
         t.set_gauge(Gauge::StructEntries, interner.by_content.len() as u64);
         t.set_gauge(Gauge::StructInstances, interner.by_instance.len() as u64);
@@ -580,6 +647,14 @@ impl Engine {
             struct_instances,
             dse_pruned: t.counter(Metric::DsePruned),
             dse_evaluated: t.counter(Metric::DseEvaluated),
+            comm_hits: t.counter(Metric::CommHit),
+            comm_misses: t.counter(Metric::CommMiss),
+            comm_entries: read_lock(&self.comms).len(),
+            louvain_warm_hits: t.counter(Metric::LouvainWarmHit),
+            louvain_warm_misses: t.counter(Metric::LouvainWarmMiss),
+            louvain_warm_entries: read_lock(&self.louvain_warm).len(),
+            merged_graph_builds: t.counter(Metric::MergedGraphBuilds),
+            plan_items: t.counter(Metric::PlanItems),
             stages: t.stage_aggregates(),
         }
     }
@@ -726,6 +801,69 @@ impl Engine {
         Arc::clone(write_lock(&self.louvains).entry(key).or_insert(partition))
     }
 
+    /// [`Engine::louvain_partition`] for resolution-escalation loops:
+    /// consults the exact tier first, then the **warm-start tier** —
+    /// certified γ-intervals recorded by prior runs on the same
+    /// canonical graph (see [`claire_graph::louvain_csr_certified`]).
+    /// A warm hit returns a partition *provably* bit-identical to what
+    /// a fresh clustering at `resolution` would produce, so results
+    /// never depend on cache state. A miss clusters with certification
+    /// and records the new interval.
+    ///
+    /// The chiplet-count escalation loop re-clusters the same graph at
+    /// `γ, 1.5γ, 2.25γ, …`; on strongly clustered communication graphs
+    /// the certified interval typically spans several escalation
+    /// steps, so the re-runs collapse into lookups.
+    pub fn louvain_partition_escalating(
+        &self,
+        csr: &CsrGraph<OpClass>,
+        resolution: f64,
+    ) -> Arc<Partition<OpClass>> {
+        if !self.cache_enabled {
+            return Arc::new(self.cluster_csr(csr, resolution));
+        }
+        let exact_key = louvain_key(csr, resolution);
+        if let Some(p) = read_lock(&self.louvains).get(&exact_key) {
+            self.telemetry.count(Metric::LouvainHit);
+            return Arc::clone(p);
+        }
+        let graph_key = louvain_graph_key(csr);
+        if let Some(entries) = read_lock(&self.louvain_warm).get(&graph_key) {
+            if let Some(e) = entries
+                .iter()
+                .find(|e| resolution > e.lo && resolution < e.hi)
+            {
+                self.telemetry.count(Metric::LouvainWarmHit);
+                let p = Arc::clone(&e.partition);
+                // Publish into the exact tier so later lookups at this
+                // resolution hit without an interval scan.
+                write_lock(&self.louvains)
+                    .entry(exact_key)
+                    .or_insert_with(|| Arc::clone(&p));
+                return p;
+            }
+        }
+        self.telemetry.count(Metric::LouvainWarmMiss);
+        self.telemetry.count(Metric::LouvainMiss);
+        let (partition, cert) = self.cluster_csr_certified(csr, resolution);
+        let partition = Arc::new(partition);
+        if !cert.is_empty() {
+            write_lock(&self.louvain_warm)
+                .entry(graph_key)
+                .or_default()
+                .push(WarmEntry {
+                    lo: cert.lo(),
+                    hi: cert.hi(),
+                    partition: Arc::clone(&partition),
+                });
+        }
+        Arc::clone(
+            write_lock(&self.louvains)
+                .entry(exact_key)
+                .or_insert(partition),
+        )
+    }
+
     /// Runs the Louvain clustering kernel under a trace span, counting
     /// the local-move + aggregation rounds it took.
     fn cluster_csr(&self, csr: &CsrGraph<OpClass>, resolution: f64) -> Partition<OpClass> {
@@ -736,6 +874,23 @@ impl Engine {
             .count_by(Metric::LouvainPasses, passes as u64);
         span.arg("passes", ArgValue::Int(passes as u64));
         partition
+    }
+
+    /// [`Engine::cluster_csr`] through the certified kernel: the
+    /// partition is bit-identical ([`louvain_csr_certified`]'s
+    /// contract); the certificate feeds the warm-start tier.
+    fn cluster_csr_certified(
+        &self,
+        csr: &CsrGraph<OpClass>,
+        resolution: f64,
+    ) -> (Partition<OpClass>, claire_graph::GammaInterval) {
+        let mut span = self.telemetry.span("louvain.cluster", "memo");
+        span.arg("nodes", ArgValue::Int(csr.node_count() as u64));
+        let (partition, passes, cert) = louvain_csr_certified(csr, resolution);
+        self.telemetry
+            .count_by(Metric::LouvainPasses, passes as u64);
+        span.arg("passes", ArgValue::Int(passes as u64));
+        (partition, cert)
     }
 
     /// Memoized universal-graph construction (Step #TR1) with CSR
@@ -769,8 +924,35 @@ impl Engine {
             return Arc::clone(g);
         }
         self.telemetry.count(Metric::GraphMiss);
-        let built = Arc::new(self.build_universal_csr(models, hw));
+        let built = if models.len() > 1 {
+            Arc::new(self.merge_member_graphs(models, hw))
+        } else {
+            Arc::new(self.build_universal_csr(models, hw))
+        };
         Arc::clone(write_lock(&self.graphs).entry(key).or_insert(built))
+    }
+
+    /// Multi-member miss path for [`Engine::universal_csr`]: fetch (or
+    /// build and intern) each member's **single-model** graph through
+    /// the same tier, then merge in member order. Because a merge
+    /// re-adds every node and edge weight onto a fresh graph
+    /// (`0.0 + w`, exact for the non-negative byte/count weights), the
+    /// merged graph is bit-identical to the direct
+    /// [`crate::graphs::universal_graph_with_costs`] build — but the
+    /// member graphs now hit across *different* model subsets (customs
+    /// → generic → library subsets share members), fixing the tier's
+    /// zero cold-run hit rate under composite keys.
+    fn merge_member_graphs(&self, models: &[claire_model::Model], hw: &HwParams) -> UniversalCsr {
+        let mut span = self.telemetry.span("graph.merge", "memo");
+        span.arg("models", ArgValue::Int(models.len() as u64));
+        self.telemetry.count(Metric::MergedGraphBuilds);
+        let mut graph = claire_graph::WeightedGraph::new();
+        for m in models {
+            let member = self.universal_csr(std::slice::from_ref(m), hw);
+            graph.merge(&member.graph);
+        }
+        let csr = CsrGraph::from_weighted(&graph);
+        UniversalCsr { graph, csr }
     }
 
     /// Builds a universal graph + CSR interning under a trace span.
@@ -852,6 +1034,11 @@ impl Engine {
     /// Records `n` DSE points that reached full PPA evaluation.
     pub(crate) fn note_dse_evaluated(&self, n: u64) {
         self.telemetry.count_by(Metric::DseEvaluated, n);
+    }
+
+    /// Records `n` items enumerated into a flat execution plan.
+    pub(crate) fn note_plan_items(&self, n: u64) {
+        self.telemetry.count_by(Metric::PlanItems, n);
     }
 
     /// Runs `f` under a telemetry stage span (accumulated into the
@@ -959,15 +1146,23 @@ impl Engine {
         let tel = &self.telemetry;
         let stage = tel.current_stage();
         let cursor = AtomicUsize::new(0);
+        // Workers start claiming only once every worker thread is up:
+        // without the barrier the first-spawned worker drains a short
+        // item set before the later spawns even begin, and the busy
+        // imbalance the worker samples report measures thread-spawn
+        // latency instead of load balance.
+        let start = std::sync::Barrier::new(workers);
         let buckets: Vec<Vec<(usize, _)>> = std::thread::scope(|scope| {
             let cursor = &cursor;
             let run_one = &run_one;
             let stage = &stage;
+            let start = &start;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
                         IN_WORKER.with(|x| x.set(true));
                         telemetry::set_current_tid(w as u32 + 1);
+                        start.wait();
                         let wall_start = Instant::now();
                         let mut busy = Duration::ZERO;
                         let mut items_done = 0u64;
@@ -1086,6 +1281,42 @@ impl CostProvider for Engine {
         computed
     }
 
+    /// Memoized per-(model structure, topology) edge-cost sequences —
+    /// the comm tier. Keyed by the model's structural id (sound:
+    /// `Model::edges` is a pure function of the layer-kind sequence the
+    /// id interns) and the exact [`TopologyKey`] encoding. A miss
+    /// prices each distinct `(route, bytes)` bucket once and expands it
+    /// into the edge-order sequence ([`edge_cost_sequence`]'s
+    /// contract), so replay is bit-identical to the per-edge walk.
+    /// Returns `None` — routing the evaluator to the legacy walk —
+    /// when caching is off, faults are armed (injection sites must see
+    /// every pricing call), the topology has no compact encoding, or
+    /// the sequence build fails (the walk then surfaces the identical
+    /// typed error).
+    fn edge_costs(
+        &self,
+        model: &claire_model::Model,
+        config: &DesignConfig,
+    ) -> Option<Arc<[TransferCost]>> {
+        if !self.cache_enabled || self.faults.is_some() {
+            return None;
+        }
+        let topo = TopologyKey::of(config)?;
+        let (sid, _) = self.structural(model);
+        let key = (sid, topo);
+        if let Some(seq) = read_lock(&self.comms).get(&key) {
+            self.telemetry.count(Metric::CommHit);
+            return Some(Arc::clone(seq));
+        }
+        let routes = self.route_table(config);
+        let seq = crate::evaluate::edge_cost_sequence(model, config, &routes).ok()?;
+        self.telemetry.count(Metric::CommMiss);
+        let seq: Arc<[TransferCost]> = seq.into();
+        Some(Arc::clone(
+            write_lock(&self.comms).entry(key).or_insert(seq),
+        ))
+    }
+
     /// Monolithic configurations price their area through the memoized
     /// per-op-class tables (bit-identical to
     /// [`DesignConfig::area_mm2`]); clustered configurations fall back
@@ -1176,6 +1407,19 @@ impl TopologyKey {
 /// resolution. Degrees and `2m` are derived from these arrays and need
 /// no words of their own.
 fn louvain_key(csr: &CsrGraph<OpClass>, resolution: f64) -> Box<[u64]> {
+    let mut key = louvain_graph_key_vec(csr);
+    key.push(resolution.to_bits());
+    key.into_boxed_slice()
+}
+
+/// The resolution-free prefix of [`louvain_key`]: the canonical graph
+/// encoding alone, keying the warm-start tier (whose entries each carry
+/// their own certified resolution interval).
+fn louvain_graph_key(csr: &CsrGraph<OpClass>) -> Box<[u64]> {
+    louvain_graph_key_vec(csr).into_boxed_slice()
+}
+
+fn louvain_graph_key_vec(csr: &CsrGraph<OpClass>) -> Vec<u64> {
     let n = csr.node_count();
     let e = csr.targets().len();
     let mut key = Vec::with_capacity(2 + n * 3 + e * 2 + 2);
@@ -1185,8 +1429,7 @@ fn louvain_key(csr: &CsrGraph<OpClass>, resolution: f64) -> Box<[u64]> {
     key.extend(csr.targets().iter().map(|&t| u64::from(t)));
     key.extend(csr.weights().iter().map(|w| w.to_bits()));
     key.extend(csr.self_loops().iter().map(|w| w.to_bits()));
-    key.push(resolution.to_bits());
-    key.into_boxed_slice()
+    key
 }
 
 thread_local! {

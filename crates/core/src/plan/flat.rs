@@ -1,0 +1,267 @@
+//! The flat execution plan: one up-front item set for a whole flow.
+//!
+//! The recursive flow runs one staged DSE sweep per model; the outer
+//! parallel map claims whole models, the nested per-point maps are
+//! forced serial inside workers, and models of very different sizes
+//! leave workers idle (the test stage's ~3.2× worker-busy imbalance
+//! at 4 threads). The flat plan instead enumerates **every**
+//! `(model, hw-point)` evaluation the flow will need as one item set
+//! and feeds it through a single [`Engine::par_map`], so the atomic
+//! work cursor balances points — not models — across workers.
+//!
+//! The per-model and per-subset *selections* then replay serially from
+//! the resulting [`EvalTable`]. Replay calls the exact selection code
+//! the recursive flow uses ([`crate::dse::select_custom_config`],
+//! [`crate::dse::select_set_hw`]) on the same point lists in the same
+//! space iteration order, and every table entry is produced by the
+//! same [`Engine::evaluate`] call the recursive flow would make —
+//! deterministic and cache-state-independent by the engine's core
+//! invariant — so the planned flow's outputs are bit-identical to the
+//! recursive flow's at any thread count.
+
+use crate::config::{Constraints, DesignConfig};
+use crate::dse::{
+    monolithic_for, select_custom_config, select_set_hw, DseObjective, DsePoint, SHELL_HW,
+};
+use crate::error::ClaireError;
+use crate::evaluate::PpaReport;
+use crate::parallel::Engine;
+use crate::telemetry::ArgValue;
+use claire_model::{Model, OpClass};
+use claire_ppa::{DseSpace, HwParams};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One model's slice of the evaluation table: its screened DSE points
+/// in space iteration order, with each point's monolithic-shell
+/// evaluation (`None` when the evaluation surfaced an error — the same
+/// points the recursive sweep drops).
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// The model's screened hardware points, in space iteration order.
+    pub points: Vec<HwParams>,
+    /// Per-point monolithic-shell reports, parallel to `points`.
+    pub reports: Vec<Option<PpaReport>>,
+    /// `points`/`reports` re-indexed by hardware point for the subset
+    /// replays (a set sweep visits the intersection of its members'
+    /// screens, so every lookup lands in the member's row).
+    by_hw: HashMap<HwParams, Option<PpaReport>>,
+}
+
+impl ModelRow {
+    /// The feasible [`DsePoint`]s of this row under `constraints`, in
+    /// space iteration order — the same list (element for element, bit
+    /// for bit) the recursive [`crate::dse::sweep_with_engine`]
+    /// returns.
+    pub fn feasible_points(&self, constraints: &Constraints) -> Vec<DsePoint> {
+        self.points
+            .iter()
+            .zip(&self.reports)
+            .filter_map(|(&hw, r)| {
+                let report = (*r)?;
+                let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
+                    && report.power_density_w_per_mm2()
+                        <= constraints.power_density_limit_w_per_mm2;
+                feasible.then_some(DsePoint { hw, report })
+            })
+            .collect()
+    }
+
+    /// The stored report for `hw`, or `None` when the point was
+    /// screened out or its evaluation failed.
+    fn report_for(&self, hw: HwParams) -> Option<PpaReport> {
+        self.by_hw.get(&hw).copied().flatten()
+    }
+}
+
+/// The flat plan's output: every `(model, hw-point)` evaluation a flow
+/// needs, computed once through a single load-balanced parallel map.
+#[derive(Debug, Clone)]
+pub struct EvalTable {
+    /// The full DSE space, in iteration order (the subset replays
+    /// re-screen from it).
+    pub space_points: Vec<HwParams>,
+    /// Per-model monolithic DSE shells, parallel to the planned model
+    /// list.
+    pub shells: Vec<DesignConfig>,
+    /// Per-model rows, parallel to the planned model list.
+    pub rows: Vec<ModelRow>,
+}
+
+/// Builds the evaluation table for `models`: screens each model's
+/// points from the engine's memoized area tables (stage A of the
+/// staged sweep, identical constraints and counters), then evaluates
+/// the union of all screened `(model, hw-point)` items through one
+/// [`Engine::par_map`]. The item count lands on the `plan.items`
+/// counter.
+pub fn build_eval_table(
+    models: &[Model],
+    space: &DseSpace,
+    constraints: &Constraints,
+    engine: &Engine,
+) -> EvalTable {
+    let space_points: Vec<HwParams> = space.iter().collect();
+    let shells: Vec<DesignConfig> = models.iter().map(|m| monolithic_for(m, SHELL_HW)).collect();
+
+    // Stage A per model: the same sound area screen the recursive
+    // sweep applies, decided from the memoized area tables alone.
+    let mut rows: Vec<ModelRow> = Vec::with_capacity(models.len());
+    for shell in &shells {
+        let points: Vec<HwParams> = if engine.pruning_enabled() {
+            let mut span = engine.telemetry().span("dse.screen", "dse");
+            let kept: Vec<HwParams> = space_points
+                .iter()
+                .copied()
+                .filter(|hw| {
+                    engine.monolithic_area(&shell.classes, hw) <= constraints.chiplet_area_limit_mm2
+                })
+                .collect();
+            engine.note_dse_pruned((space_points.len() - kept.len()) as u64);
+            engine.note_dse_evaluated(kept.len() as u64);
+            span.arg(
+                "pruned",
+                ArgValue::Int((space_points.len() - kept.len()) as u64),
+            );
+            span.arg("kept", ArgValue::Int(kept.len() as u64));
+            kept
+        } else {
+            space_points.clone()
+        };
+        rows.push(ModelRow {
+            points,
+            reports: Vec::new(),
+            by_hw: HashMap::new(),
+        });
+    }
+
+    // The flat item set: every evaluation of the flow, one parallel
+    // map, points (not models) as the unit of work claiming.
+    let items: Vec<(usize, usize)> = rows
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, row)| (0..row.points.len()).map(move |pi| (mi, pi)))
+        .collect();
+    engine.note_plan_items(items.len() as u64);
+    let mut span = engine.telemetry().span("plan.eval", "plan");
+    span.arg("items", ArgValue::Int(items.len() as u64));
+    let reports: Vec<Option<PpaReport>> = engine.par_map(&items, |_, &(mi, pi)| {
+        let mut cfg = shells[mi].clone();
+        cfg.hw = rows[mi].points[pi];
+        engine.evaluate(&models[mi], &cfg).ok()
+    });
+    drop(span);
+
+    // Scatter the row-major results back into per-model rows.
+    let mut it = reports.into_iter();
+    for row in &mut rows {
+        row.reports = it.by_ref().take(row.points.len()).collect();
+        row.by_hw = row
+            .points
+            .iter()
+            .copied()
+            .zip(row.reports.iter().copied())
+            .collect();
+    }
+
+    EvalTable {
+        space_points,
+        shells,
+        rows,
+    }
+}
+
+/// The flat-plan replay of [`crate::dse::custom_config_with_engine`]:
+/// filters the model's row to its feasible points (the recursive
+/// sweep's exact survivor list) and runs the shared selection tail.
+///
+/// # Errors
+///
+/// Same as [`crate::dse::custom_config`].
+pub fn custom_from_row(
+    model: &Model,
+    row: &ModelRow,
+    constraints: &Constraints,
+    objective: DseObjective,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
+    select_custom_config(
+        model,
+        row.feasible_points(constraints),
+        constraints,
+        objective,
+    )
+}
+
+/// The flat-plan replay of [`crate::dse::set_config_with_engine`]:
+/// re-screens the space for the member set (every member's shell must
+/// fit, same counters), computes each surviving point's member-total
+/// area from the table in member order (the recursive sweep's exact
+/// early-exit fold), and runs the shared selection fold.
+///
+/// # Errors
+///
+/// Same as [`crate::dse::set_config`].
+pub fn set_config_from_table(
+    name: &str,
+    members: &[usize],
+    models: &[Model],
+    table: &EvalTable,
+    constraints: &Constraints,
+    custom_latency_s: &BTreeMap<String, f64>,
+    engine: &Engine,
+) -> Result<DesignConfig, ClaireError> {
+    if members.is_empty() {
+        return Err(ClaireError::EmptyAlgorithmSet);
+    }
+    let points: Vec<HwParams> = if engine.pruning_enabled() {
+        let mut span = engine.telemetry().span("dse.screen", "dse");
+        let kept: Vec<HwParams> = table
+            .space_points
+            .iter()
+            .copied()
+            .filter(|hw| {
+                members.iter().all(|&mi| {
+                    engine.monolithic_area(&table.shells[mi].classes, hw)
+                        <= constraints.chiplet_area_limit_mm2
+                })
+            })
+            .collect();
+        engine.note_dse_pruned((table.space_points.len() - kept.len()) as u64);
+        engine.note_dse_evaluated(kept.len() as u64);
+        span.arg(
+            "pruned",
+            ArgValue::Int((table.space_points.len() - kept.len()) as u64),
+        );
+        span.arg("kept", ArgValue::Int(kept.len() as u64));
+        kept
+    } else {
+        table.space_points.clone()
+    };
+    let totals: Vec<Option<f64>> = points
+        .iter()
+        .map(|&hw| {
+            let mut total_area = 0.0;
+            for &mi in members {
+                let m = &models[mi];
+                let report = table.rows[mi].report_for(hw)?;
+                let latency_ok = custom_latency_s
+                    .get(m.name())
+                    .map(|&l| report.latency_s <= l * (1.0 + constraints.latency_slack))
+                    .unwrap_or(true);
+                if report.area_mm2 > constraints.chiplet_area_limit_mm2
+                    || report.power_density_w_per_mm2() > constraints.power_density_limit_w_per_mm2
+                    || !latency_ok
+                {
+                    return None;
+                }
+                total_area += report.area_mm2;
+            }
+            Some(total_area)
+        })
+        .collect();
+
+    let hw = select_set_hw(name, &points, &totals)?;
+    let classes: BTreeSet<OpClass> = members
+        .iter()
+        .flat_map(|&mi| table.shells[mi].classes.iter().copied())
+        .collect();
+    Ok(DesignConfig::monolithic(name, hw, classes))
+}

@@ -120,11 +120,26 @@ pub enum Metric {
     FaultInfeasibleConstraints,
     /// Injected NoC link failures.
     FaultFailedNocLink,
+    /// Edge-cost sequences served from the communication memo tier.
+    CommHit,
+    /// Edge-cost sequences built fresh (bucketed pricing).
+    CommMiss,
+    /// Louvain partitions served from a prior resolution's certified
+    /// γ-interval (warm-start reuse).
+    LouvainWarmHit,
+    /// Louvain runs whose certificate was consulted but did not cover
+    /// the requested resolution.
+    LouvainWarmMiss,
+    /// Multi-member universal graphs assembled by merging cached
+    /// member graphs instead of rebuilding from scratch.
+    MergedGraphBuilds,
+    /// Evaluation items enumerated by the flat execution plan.
+    PlanItems,
 }
 
 impl Metric {
     /// Number of counter instruments.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 36;
 
     /// Every counter, in index order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -158,6 +173,12 @@ impl Metric {
         Metric::FaultPoisonShard,
         Metric::FaultInfeasibleConstraints,
         Metric::FaultFailedNocLink,
+        Metric::CommHit,
+        Metric::CommMiss,
+        Metric::LouvainWarmHit,
+        Metric::LouvainWarmMiss,
+        Metric::MergedGraphBuilds,
+        Metric::PlanItems,
     ];
 
     /// The counter's dotted instrument name.
@@ -193,6 +214,12 @@ impl Metric {
             Metric::FaultPoisonShard => "fault.poison_shard",
             Metric::FaultInfeasibleConstraints => "fault.infeasible_constraints",
             Metric::FaultFailedNocLink => "fault.failed_noc_link",
+            Metric::CommHit => "memo.comm.hit",
+            Metric::CommMiss => "memo.comm.miss",
+            Metric::LouvainWarmHit => "memo.louvain_warm.hit",
+            Metric::LouvainWarmMiss => "memo.louvain_warm.miss",
+            Metric::MergedGraphBuilds => "graph.merged_builds",
+            Metric::PlanItems => "plan.items",
         }
     }
 
@@ -233,11 +260,15 @@ pub enum Gauge {
     StructEntries,
     /// Model instances mapped onto interned structures.
     StructInstances,
+    /// Entries in the communication edge-cost sequence cache.
+    CommEntries,
+    /// Graphs carrying certified Louvain warm-start intervals.
+    LouvainWarmEntries,
 }
 
 impl Gauge {
     /// Number of gauge instruments.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every gauge, in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -250,6 +281,8 @@ impl Gauge {
         Gauge::AreaEntries,
         Gauge::StructEntries,
         Gauge::StructInstances,
+        Gauge::CommEntries,
+        Gauge::LouvainWarmEntries,
     ];
 
     /// The gauge's dotted instrument name.
@@ -264,6 +297,8 @@ impl Gauge {
             Gauge::AreaEntries => "memo.area.entries",
             Gauge::StructEntries => "engine.struct_entries",
             Gauge::StructInstances => "engine.struct_instances",
+            Gauge::CommEntries => "memo.comm.entries",
+            Gauge::LouvainWarmEntries => "memo.louvain_warm.entries",
         }
     }
 }

@@ -3,11 +3,15 @@
 //! `print(model)` parser round-trip, DSE feasibility, the metrics'
 //! ranges, and the cost/NoC models.
 
-use claire::core::{metrics, Claire, ClaireOptions, Constraints, DesignConfig};
+use claire::core::{
+    edge_cost_sequence, metrics, route_of, transfer_on_route, Claire, ClaireOptions, Constraints,
+    DesignConfig, RouteTable, TransferCost,
+};
 use claire::cost::{NreModel, RecurringModel};
 use claire::graph::{
-    louvain, louvain_passes, louvain_passes_reference, louvain_reference, modularity,
-    weighted_jaccard, weighted_jaccard_matrix, CsrGraph, Partition, WeightedGraph,
+    louvain, louvain_csr_certified, louvain_csr_passes, louvain_csr_passes_certified,
+    louvain_passes, louvain_passes_reference, louvain_reference, modularity, weighted_jaccard,
+    weighted_jaccard_matrix, CsrGraph, Partition, WeightedGraph,
 };
 use claire::model::parse::{parse_model, to_torch_print, InputShape, ParseOptions};
 use claire::model::{
@@ -468,6 +472,105 @@ proptest! {
                 prop_assert_eq!(t.ser_cycles, rev.ser_cycles);
                 prop_assert_eq!(t.fixed_cycles, rev.fixed_cycles);
             }
+        }
+    }
+}
+
+// ---------- certified Louvain warm-start ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The γ-interval certificate is sound: any resolution strictly
+    /// inside the certified interval reproduces the certified run's
+    /// pass sequence — and therefore its final partition —
+    /// bit-for-bit. This is the invariant the engine's Louvain
+    /// warm-start tier rests on when a chiplet-count escalation
+    /// serves `1.5γ` from the partition certified at `γ`.
+    #[test]
+    fn gamma_certificate_reproduces_passes(
+        g in small_graph(),
+        res in 0.25f64..4.0,
+        frac in 0.05f64..0.95,
+    ) {
+        let csr = CsrGraph::from_weighted(&g);
+        let (passes, cert) = louvain_csr_passes_certified(&csr, res);
+        // Certification is observational: the certified run itself is
+        // bit-identical to the plain kernel, pass by pass.
+        prop_assert_eq!(&passes, &louvain_csr_passes(&csr, res));
+        let (partition, _, cert2) = louvain_csr_certified(&csr, res);
+        prop_assert_eq!(&partition, passes.last().unwrap());
+        prop_assert_eq!((cert2.lo(), cert2.hi()), (cert.lo(), cert.hi()));
+        // A non-collapsed certificate always covers the resolution it
+        // was recorded at.
+        if !cert.is_empty() {
+            prop_assert!(
+                cert.contains(res),
+                "certificate ({}, {}) excludes its own resolution {res}",
+                cert.lo(), cert.hi()
+            );
+        }
+        // Probe a different resolution strictly inside the interval:
+        // the warm-start tier would serve the stored partition there,
+        // so the cold run at the probe must match pass-for-pass.
+        let probe = if cert.hi().is_finite() {
+            cert.lo() + (cert.hi() - cert.lo()) * frac
+        } else {
+            res * (1.0 + frac)
+        };
+        prop_assume!(cert.contains(probe) && probe > 0.0);
+        prop_assert_eq!(
+            &louvain_csr_passes(&csr, probe),
+            &passes,
+            "probe {} inside certificate ({}, {}) diverged from the run at {}",
+            probe, cert.lo(), cert.hi(), res
+        );
+    }
+}
+
+// ---------- bucketed edge-cost sequences ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The aggregated per-`(route, bytes)` bucket costing behind the
+    /// engine's communication memo tier is bit-equal to the
+    /// evaluator's per-class-pair `route_of` walk, edge for edge in
+    /// execution order — and so are the latency/energy folds over the
+    /// sequence.
+    #[test]
+    fn edge_cost_sequence_matches_per_edge_walk(s in steps()) {
+        let model = materialize(&s);
+        let claire = Claire::new(ClaireOptions::default());
+        // Both topologies the flow evaluates: the clustered custom
+        // configuration (multi-chiplet, NoP crossings) and the
+        // monolithic shell (NoC only).
+        let custom = claire.custom_for(&model).expect("feasible");
+        let classes = model.op_class_counts().into_keys().collect();
+        let mono = DesignConfig::monolithic("mono", HwParams::new(32, 32, 16, 16), classes);
+        for cfg in [&custom.config, &mono] {
+            let routes = RouteTable::new();
+            let seq = edge_cost_sequence(&model, cfg, &routes).expect("covered");
+            let mut walk = Vec::new();
+            for (a, b, bytes) in model.edges() {
+                let ea = cfg.executing_class(a).expect("covered");
+                let eb = cfg.executing_class(b).expect("covered");
+                if ea == eb {
+                    continue;
+                }
+                walk.push(transfer_on_route(route_of(cfg, ea, eb), bytes));
+            }
+            prop_assert_eq!(&seq, &walk, "{} sequence diverged", cfg.name);
+            let fold = |ts: &[TransferCost]| {
+                let (mut lat, mut noc, mut nop) = (0.0f64, 0.0f64, 0.0f64);
+                for t in ts {
+                    lat += t.latency_s();
+                    noc += t.noc_pj();
+                    nop += t.nop_pj();
+                }
+                (lat.to_bits(), noc.to_bits(), nop.to_bits())
+            };
+            prop_assert_eq!(fold(&seq), fold(&walk));
         }
     }
 }

@@ -116,6 +116,7 @@ fn stage_aggregates_match_engine_stats_stages() {
     assert_eq!(
         names,
         [
+            "plan",
             "customs",
             "generic",
             "subsets",
@@ -123,7 +124,7 @@ fn stage_aggregates_match_engine_stats_stages() {
             "algo_ppa",
             "test"
         ],
-        "six flow stages in execution order"
+        "the flat-plan stage plus the six flow stages, in execution order"
     );
 }
 
