@@ -18,6 +18,14 @@
 //! mode the run asserts the staged sweep is at least 2x faster than
 //! the exhaustive reference while selecting bit-identical
 //! configurations.
+//!
+//! Pass `--huge` to additionally stress the generative search path:
+//! a seeded successive-halving run over [`GridSpace::huge`]'s 2²⁰
+//! (~10⁶) hardware points, never materialized as a vector, priced
+//! exactly only at the surviving rung. The run reports the wall time
+//! in the `search.huge` JSON object; combined with `--dense`, it
+//! asserts the 2²⁰-point sampled search finishes within the dense
+//! exhaustive sweep's wall time.
 
 use claire_bench::{paper_options, render_table, run_flow_with_engine};
 use claire_core::assign::{partition_training_merged, scaled_vector, WeightScale};
@@ -25,10 +33,13 @@ use claire_core::dse::{custom_config_with_engine, set_config_with_engine, DseObj
 use claire_core::evaluate::EvalOptions;
 use claire_core::graphs::universal_graph;
 use claire_core::telemetry::Metric;
-use claire_core::{Claire, Constraints, DesignConfig, Engine, EngineStats, Telemetry};
+use claire_core::{
+    search_with_engine, Claire, Constraints, DesignConfig, Engine, EngineStats, SearchPolicy,
+    Telemetry,
+};
 use claire_graph::{agglomerate_by, louvain_reference, weighted_jaccard};
 use claire_model::{zoo, Model};
-use claire_ppa::{DseSpace, HwParams, MemoryModel};
+use claire_ppa::{DesignSpace, DseSpace, GridSpace, HwParams, MemoryModel};
 use serde::{Number, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::hint::black_box;
@@ -113,8 +124,25 @@ fn main() {
     // reflow doubles them — the telemetry overhead model below divides
     // by the cold flow's wall time, so its numerator must count the
     // same flow.
+    // Batch-added metrics land in one `count_by` atomic op per call
+    // site (a screen noting its whole pruned count, a par_map noting
+    // its item total), not one op per counted event — their values
+    // overstate the executed hooks by orders of magnitude, so the
+    // op-count model excludes them. The batch ops themselves are
+    // bounded by the screen/map call counts, which the span total
+    // already covers.
+    const BATCHED: &[Metric] = &[
+        Metric::DsePruned,
+        Metric::DseEvaluated,
+        Metric::DseLbPruned,
+        Metric::PlanItems,
+        Metric::ParItems,
+        Metric::LouvainPasses,
+        Metric::NocRerouteVisited,
+    ];
     let cold_counter_hooks: u64 = Metric::ALL
         .iter()
+        .filter(|m| !BATCHED.contains(m))
         .map(|&m| parallel.telemetry().counter(m))
         .sum();
     let cold_span_hooks: u64 = parallel
@@ -208,6 +236,161 @@ fn main() {
             "dense-mode staged DSE speedup {dse_speedup:.2}x below the required 2x"
         );
     }
+
+    // Search-at-scale profile: the latency lower-bound screen, the
+    // successive-halving policy's exhaustive degeneracy and seeded
+    // reproducibility, and (with --huge) a generative 2^20-point
+    // sampled search.
+    let lb_screen_total = dse_stats.dse_pruned + dse_stats.dse_lb_pruned + dse_stats.dse_evaluated;
+    let lb_pruned_fraction = if lb_screen_total == 0 {
+        0.0
+    } else {
+        dse_stats.dse_lb_pruned as f64 / lb_screen_total as f64
+    };
+    if dense_axis.is_some() {
+        assert!(
+            dse_stats.dse_lb_pruned > 0,
+            "dense-mode latency lower-bound screen pruned nothing"
+        );
+    }
+
+    // Budget >= |space| makes successive halving exactly exhaustive:
+    // no rung ever fires, the point lists are bit-identical. Checked
+    // on the paper's 81-point space for every built-in algorithm.
+    let paper_space = DseSpace::default();
+    let degen_engine = Engine::for_space(&paper_space);
+    let degen_policy = SearchPolicy::SuccessiveHalving {
+        seed: 7,
+        eta: 2,
+        budget: paper_space.len(),
+    };
+    let sh_degenerate_identical = models.iter().all(|m| {
+        let sh = search_with_engine(m, &paper_space, &cons, degen_policy, &degen_engine);
+        let ex = search_with_engine(
+            m,
+            &paper_space,
+            &cons,
+            SearchPolicy::Exhaustive,
+            &degen_engine,
+        );
+        !sh.sampled && format!("{:?}", sh.points) == format!("{:?}", ex.points)
+    });
+    assert!(
+        sh_degenerate_identical,
+        "full-budget successive halving diverged from the exhaustive oracle"
+    );
+
+    // A genuinely sampled run on the comparison space: seeded, so two
+    // runs walk identical trajectories.
+    let sh_policy = SearchPolicy::SuccessiveHalving {
+        seed: 42,
+        eta: 2,
+        budget: 16,
+    };
+    let t_sh = Instant::now();
+    let sh_first = search_with_engine(&models[0], &dse_space, &cons, sh_policy, &staged_engine);
+    let sh_time = t_sh.elapsed();
+    let sh_second = search_with_engine(&models[0], &dse_space, &cons, sh_policy, &staged_engine);
+    let sh_reproducible = format!("{:?}", sh_first.points) == format!("{:?}", sh_second.points);
+    assert!(
+        sh_reproducible,
+        "seeded successive halving is not reproducible"
+    );
+    let search_stats = staged_engine.stats();
+    println!();
+    println!("== Search at scale ==");
+    println!(
+        "latency lower-bound screen: {} points pruned ({:.1} % of {})",
+        dse_stats.dse_lb_pruned,
+        100.0 * lb_pruned_fraction,
+        lb_screen_total
+    );
+    println!(
+        "lower-bound memo tier: {} hits / {} misses ({} entries)",
+        search_stats.lb_hits, search_stats.lb_misses, search_stats.lb_entries
+    );
+    println!("successive halving, budget >= |space|: exhaustive-identical on all 19 models");
+    println!(
+        "successive halving, budget 16 over {} points: {:>9.3} ms, {} survivors, \
+         {} Pareto entries, {} rungs, reproducible {}",
+        dse_space.len(),
+        sh_time.as_secs_f64() * 1e3,
+        sh_first.points.len(),
+        sh_first.front.len(),
+        search_stats.search_rungs,
+        sh_reproducible
+    );
+
+    // --huge: the generative stress mode. 2^20 grid points streamed —
+    // never collected into a Vec — through the direct (memo-free)
+    // area screen and the thread-local lower-bound kernel; exact
+    // pricing only at the surviving rung.
+    let huge = std::env::args().skip(1).any(|a| a == "--huge");
+    let huge_report = if huge {
+        let grid = GridSpace::huge();
+        let huge_engine = Engine::for_space(&paper_options().space);
+        let huge_policy = SearchPolicy::SuccessiveHalving {
+            seed: 42,
+            eta: 4,
+            budget: 64,
+        };
+        let t_huge = Instant::now();
+        let out = search_with_engine(&models[0], &grid, &cons, huge_policy, &huge_engine);
+        let huge_time = t_huge.elapsed();
+        let huge_stats = huge_engine.stats();
+        assert!(out.sampled, "2^20-point grid search did not sample");
+        assert!(
+            !out.front.is_empty(),
+            "2^20-point grid search found no feasible configuration"
+        );
+        println!(
+            "huge mode: {} grid points -> {} survivors in {:>9.3} ms \
+             ({} rungs, {} lb-pruned, best {})",
+            grid.size(),
+            out.points.len(),
+            huge_time.as_secs_f64() * 1e3,
+            huge_stats.search_rungs,
+            huge_stats.dse_lb_pruned,
+            out.points
+                .first()
+                .map(|p| p.hw.to_string())
+                .unwrap_or_default()
+        );
+        if dense_axis.is_some() {
+            assert!(
+                huge_time <= exhaustive_time,
+                "2^20-point sampled search ({:.3} ms) exceeded the dense \
+                 exhaustive sweep's wall time ({:.3} ms)",
+                huge_time.as_secs_f64() * 1e3,
+                exhaustive_time.as_secs_f64() * 1e3
+            );
+        }
+        obj(vec![
+            ("points", Value::Number(Number::PosInt(grid.size() as u64))),
+            ("budget", Value::Number(Number::PosInt(64))),
+            ("eta", Value::Number(Number::PosInt(4))),
+            ("seed", Value::Number(Number::PosInt(42))),
+            ("wall_ms", ms(huge_time)),
+            (
+                "survivors",
+                Value::Number(Number::PosInt(out.points.len() as u64)),
+            ),
+            (
+                "front",
+                Value::Number(Number::PosInt(out.front.len() as u64)),
+            ),
+            (
+                "rungs",
+                Value::Number(Number::PosInt(huge_stats.search_rungs)),
+            ),
+            (
+                "lb_pruned",
+                Value::Number(Number::PosInt(huge_stats.dse_lb_pruned)),
+            ),
+        ])
+    } else {
+        Value::Null
+    };
 
     // The per-layer memo tier serves the paths that price layers one
     // at a time — here, a weight-streaming sweep, where each layer's
@@ -328,13 +511,19 @@ fn main() {
     // same flow's wall time. The 2 % budget is the CI perf-smoke
     // gate.
     let scratch = Telemetry::new();
-    const HOOK_REPS: u64 = 4_000_000;
-    let t5 = Instant::now();
-    for _ in 0..HOOK_REPS {
-        black_box(&scratch).count(Metric::ParItems);
-        black_box(black_box(&scratch).tracing_enabled());
-    }
-    let per_hook_ns = t5.elapsed().as_secs_f64() * 1e9 / HOOK_REPS as f64;
+    const HOOK_REPS: u64 = 1_000_000;
+    // Best of several batches: scheduler noise only ever inflates the
+    // measurement, so the minimum is the honest per-hook price.
+    let per_hook_ns = (0..5)
+        .map(|_| {
+            let t5 = Instant::now();
+            for _ in 0..HOOK_REPS {
+                black_box(&scratch).count(Metric::ParItems);
+                black_box(black_box(&scratch).tracing_enabled());
+            }
+            t5.elapsed().as_secs_f64() * 1e9 / HOOK_REPS as f64
+        })
+        .fold(f64::INFINITY, f64::min);
     let tel = parallel.telemetry();
     let hook_executions = cold_counter_hooks + cold_span_hooks;
     let modeled_overhead_fraction =
@@ -598,6 +787,58 @@ fn main() {
                 ("selections_identical", Value::Bool(selections_identical)),
             ]),
         ),
+        (
+            "search",
+            obj(vec![
+                (
+                    "lb_screen",
+                    obj(vec![
+                        (
+                            "pruned",
+                            Value::Number(Number::PosInt(dse_stats.dse_lb_pruned)),
+                        ),
+                        ("fraction", num(lb_pruned_fraction)),
+                        ("screened", Value::Number(Number::PosInt(lb_screen_total))),
+                    ]),
+                ),
+                (
+                    "lb_tier",
+                    tier(
+                        search_stats.lb_hits,
+                        search_stats.lb_misses,
+                        search_stats.lb_entries,
+                    ),
+                ),
+                ("selections_identical", Value::Bool(selections_identical)),
+                (
+                    "sh_degenerate_identical",
+                    Value::Bool(sh_degenerate_identical),
+                ),
+                (
+                    "successive_halving",
+                    obj(vec![
+                        ("budget", Value::Number(Number::PosInt(16))),
+                        ("eta", Value::Number(Number::PosInt(2))),
+                        ("seed", Value::Number(Number::PosInt(42))),
+                        ("wall_ms", ms(sh_time)),
+                        (
+                            "survivors",
+                            Value::Number(Number::PosInt(sh_first.points.len() as u64)),
+                        ),
+                        (
+                            "front",
+                            Value::Number(Number::PosInt(sh_first.front.len() as u64)),
+                        ),
+                        (
+                            "rungs",
+                            Value::Number(Number::PosInt(search_stats.search_rungs)),
+                        ),
+                        ("reproducible", Value::Bool(sh_reproducible)),
+                    ]),
+                ),
+                ("huge", huge_report),
+            ]),
+        ),
         ("span_aggregates", span_aggregates),
         ("worker_utilization", worker_utilization),
         (
@@ -770,5 +1011,6 @@ fn tiers(s: &EngineStats) -> Value {
                 s.louvain_warm_entries,
             ),
         ),
+        ("lb", tier(s.lb_hits, s.lb_misses, s.lb_entries)),
     ])
 }

@@ -7,12 +7,13 @@ mod args;
 mod summary;
 
 use args::{
-    extract_degrade, extract_legacy_flow, extract_metrics_json, extract_threads, extract_trace_out,
-    parse_args, Command, USAGE,
+    extract_degrade, extract_legacy_flow, extract_metrics_json, extract_search, extract_threads,
+    extract_trace_out, parse_args, CliSearch, Command, USAGE,
 };
 use claire_core::{
     paper_table3_subsets, ChipletLibrary, Claire, ClaireError, ClaireOptions, Degradation, Engine,
-    RobustnessPolicy, RunConfig, SubsetStrategy, TelemetryOptions, TrainOutput, WeightScale,
+    RobustnessPolicy, RunConfig, SearchPolicy, SubsetStrategy, TelemetryOptions, TrainOutput,
+    WeightScale,
 };
 use claire_model::parse::{parse_model, InputShape, ParseOptions};
 use claire_model::{zoo, Model, ModelClass};
@@ -26,15 +27,22 @@ fn main() {
     let parsed = extract_trace_out(&argv).and_then(|(trace, rest)| {
         let (metrics, rest) = extract_metrics_json(&rest)?;
         let (threads, rest) = extract_threads(&rest)?;
-        Ok((parse_args(&rest)?, threads, trace, metrics))
+        let (search, rest) = extract_search(&rest)?;
+        Ok((parse_args(&rest)?, threads, trace, metrics, search))
     });
     let code = match parsed {
-        Ok((cmd, threads, trace, metrics)) => {
-            let telemetry = TelemetryOptions {
-                trace_out: trace.map(PathBuf::from),
-                metrics_out: metrics.map(PathBuf::from),
+        Ok((cmd, threads, trace, metrics, search)) => {
+            let globals = Globals {
+                threads,
+                degrade,
+                legacy_flow,
+                search,
+                telemetry: TelemetryOptions {
+                    trace_out: trace.map(PathBuf::from),
+                    metrics_out: metrics.map(PathBuf::from),
+                },
             };
-            run(cmd, threads, degrade, legacy_flow, telemetry)
+            run(cmd, &globals)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -86,14 +94,33 @@ fn warn_train(out: &TrainOutput) {
     }
 }
 
+/// The command-agnostic options stripped from argv before command
+/// parsing — every command accepts all of them.
+struct Globals {
+    threads: Option<usize>,
+    degrade: bool,
+    legacy_flow: bool,
+    search: Option<CliSearch>,
+    telemetry: TelemetryOptions,
+}
+
+/// Maps the dependency-free CLI search policy onto the core's.
+fn search_policy(search: Option<CliSearch>) -> SearchPolicy {
+    match search {
+        None | Some(CliSearch::Exhaustive) => SearchPolicy::Exhaustive,
+        Some(CliSearch::SuccessiveHalving { seed, budget }) => SearchPolicy::SuccessiveHalving {
+            seed,
+            eta: 2,
+            budget,
+        },
+    }
+}
+
 fn options(
     paper_subsets: bool,
     threshold: Option<f64>,
     config: Option<&str>,
-    threads: Option<usize>,
-    degrade: bool,
-    legacy_flow: bool,
-    telemetry: &TelemetryOptions,
+    g: &Globals,
 ) -> Result<ClaireOptions, String> {
     let mut opts = match config {
         Some(path) => RunConfig::load(path)
@@ -110,28 +137,23 @@ fn options(
         };
     }
     // A --threads flag beats the config file's knob.
-    if threads.is_some() {
-        opts.space.threads = threads;
+    if g.threads.is_some() {
+        opts.space.threads = g.threads;
     }
-    if degrade {
+    if g.degrade {
         opts.policy = RobustnessPolicy::Degrade;
     }
     // The legacy recursive flow is opt-in; the flat execution plan is
     // the default (bit-identical either way).
-    if legacy_flow {
+    if g.legacy_flow {
         opts.legacy_flow = true;
     }
-    opts.telemetry = telemetry.clone();
+    opts.search = search_policy(g.search);
+    opts.telemetry = g.telemetry.clone();
     Ok(opts)
 }
 
-fn run(
-    cmd: Command,
-    threads: Option<usize>,
-    degrade: bool,
-    legacy_flow: bool,
-    telemetry: TelemetryOptions,
-) -> i32 {
+fn run(cmd: Command, g: &Globals) -> i32 {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -176,15 +198,7 @@ fn run(
                 eprintln!("error: unknown model `{model}` (see `claire-cli models --extended`)");
                 return 2;
             };
-            let opts = match options(
-                false,
-                None,
-                config.as_deref(),
-                threads,
-                degrade,
-                legacy_flow,
-                &telemetry,
-            ) {
+            let opts = match options(false, None, config.as_deref(), g) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -228,15 +242,7 @@ fn run(
             json,
             config,
         } => {
-            let opts = match options(
-                paper_subsets,
-                threshold,
-                config.as_deref(),
-                threads,
-                degrade,
-                legacy_flow,
-                &telemetry,
-            ) {
+            let opts = match options(paper_subsets, threshold, config.as_deref(), g) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -263,15 +269,7 @@ fn run(
             extended,
             json,
         } => {
-            let opts = match options(
-                paper_subsets,
-                None,
-                None,
-                threads,
-                degrade,
-                legacy_flow,
-                &telemetry,
-            ) {
+            let opts = match options(paper_subsets, None, None, g) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -355,15 +353,7 @@ fn run(
             paper_subsets,
             threshold,
         } => {
-            let opts = match options(
-                paper_subsets,
-                threshold,
-                None,
-                threads,
-                degrade,
-                legacy_flow,
-                &telemetry,
-            ) {
+            let opts = match options(paper_subsets, threshold, None, g) {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -457,13 +447,14 @@ fn run(
                 return 2;
             };
             let mut opts = ClaireOptions::default();
-            if threads.is_some() {
-                opts.space.threads = threads;
+            if g.threads.is_some() {
+                opts.space.threads = g.threads;
             }
-            if degrade {
+            if g.degrade {
                 opts.policy = RobustnessPolicy::Degrade;
             }
-            opts.telemetry = telemetry.clone();
+            opts.search = search_policy(g.search);
+            opts.telemetry = g.telemetry.clone();
             let claire = Claire::new(opts);
             let custom = match claire.custom_for(&m) {
                 Ok(c) => {
@@ -555,13 +546,14 @@ fn run(
                 model.param_count()
             );
             let mut opts = ClaireOptions::default();
-            if threads.is_some() {
-                opts.space.threads = threads;
+            if g.threads.is_some() {
+                opts.space.threads = g.threads;
             }
-            if degrade {
+            if g.degrade {
                 opts.policy = RobustnessPolicy::Degrade;
             }
-            opts.telemetry = telemetry.clone();
+            opts.search = search_policy(g.search);
+            opts.telemetry = g.telemetry.clone();
             let claire = Claire::new(opts);
             match claire.custom_for(&model) {
                 Ok(custom) => {

@@ -8,8 +8,8 @@ use crate::assign::{
 use crate::chiplet::cluster_into_chiplets_with_engine;
 use crate::config::{Constraints, DesignConfig};
 use crate::dse::{
-    custom_config_with_engine, set_config_with_engine, with_relaxation_observed, Degradation,
-    DseObjective, RobustnessPolicy,
+    custom_config_searched, custom_config_with_engine, set_config_with_engine,
+    with_relaxation_observed, Degradation, DseObjective, RobustnessPolicy,
 };
 use crate::error::ClaireError;
 use crate::evaluate::PpaReport;
@@ -18,6 +18,7 @@ use crate::parallel::Engine;
 use crate::plan::flat::{
     build_eval_table, custom_from_row, set_config_from_table, EvalTable, ModelRow,
 };
+use crate::search::SearchPolicy;
 use crate::telemetry::TelemetryOptions;
 use claire_cost::NreModel;
 use claire_model::{ActivationKind, Model, OpClass};
@@ -91,6 +92,13 @@ pub struct ClaireOptions {
     /// injection sites are calibrated against the recursive call
     /// order).
     pub legacy_flow: bool,
+    /// How the per-model custom sweeps walk the DSE space (default:
+    /// exhaustive — the oracle). A sampled policy
+    /// ([`SearchPolicy::SuccessiveHalving`]) routes the run through
+    /// the legacy recursive flow: the flat plan's evaluation table
+    /// assumes every model prices the same exhaustively screened
+    /// point set, which sampling deliberately breaks.
+    pub search: SearchPolicy,
 }
 
 impl Default for ClaireOptions {
@@ -106,6 +114,7 @@ impl Default for ClaireOptions {
             policy: RobustnessPolicy::default(),
             telemetry: TelemetryOptions::default(),
             legacy_flow: false,
+            search: SearchPolicy::default(),
         }
     }
 }
@@ -340,11 +349,12 @@ impl Claire {
             Some(engine.telemetry()),
             model.name(),
             |cons| {
-                let (mut cfg, _) = custom_config_with_engine(
+                let (mut cfg, _) = custom_config_searched(
                     model,
                     &self.opts.space,
                     cons,
                     DseObjective::MinArea,
+                    self.opts.search,
                     engine,
                 )?;
                 cluster_into_chiplets_with_engine(
@@ -526,11 +536,12 @@ impl Claire {
     }
 
     /// Whether this run takes the legacy recursive flow: requested via
-    /// [`ClaireOptions::legacy_flow`], or forced by an armed fault
-    /// plan (injection sites are calibrated against the recursive call
-    /// order).
+    /// [`ClaireOptions::legacy_flow`], forced by an armed fault plan
+    /// (injection sites are calibrated against the recursive call
+    /// order), or forced by a sampled search policy (the flat plan's
+    /// table assumes exhaustively screened point sets).
     fn legacy_flow_active(&self, engine: &Engine) -> bool {
-        self.opts.legacy_flow || engine.faults().is_some()
+        self.opts.legacy_flow || engine.faults().is_some() || self.opts.search.is_sampled()
     }
 
     /// The shared train-phase body: stage structure and selection

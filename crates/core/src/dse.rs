@@ -9,9 +9,10 @@ use crate::config::{Constraints, DesignConfig};
 use crate::error::ClaireError;
 use crate::evaluate::PpaReport;
 use crate::parallel::Engine;
+use crate::search::{search_with_engine, ParetoFront, SearchPolicy};
 use crate::telemetry::{ArgValue, Metric, Telemetry};
 use claire_model::{Model, OpClass};
-use claire_ppa::{DseSpace, HwParams};
+use claire_ppa::{DesignSpace, DseSpace, HwParams};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One evaluated DSE point.
@@ -40,6 +41,14 @@ pub enum DseObjective {
 }
 
 impl DseObjective {
+    /// Every objective, in declaration order — the axes of the
+    /// three-objective Pareto front ([`crate::search::ParetoFront`]).
+    pub const ALL: [DseObjective; 3] = [
+        DseObjective::MinArea,
+        DseObjective::MinLatency,
+        DseObjective::MinEnergyDelayProduct,
+    ];
+
     /// The scalar this objective minimises.
     pub fn score(self, report: &PpaReport) -> f64 {
         match self {
@@ -260,59 +269,35 @@ pub fn sweep(model: &Model, space: &DseSpace, constraints: &Constraints) -> Vec<
     sweep_with_engine(model, space, constraints, &Engine::serial())
 }
 
-/// [`sweep`] on an explicit [`Engine`]: a staged, constraint-pruned
-/// search that returns the surviving points in space iteration order,
-/// identical to the serial exhaustive sweep at any thread count.
+/// [`sweep`] on an explicit [`Engine`]: the exhaustive-policy
+/// three-stage search ([`crate::search::search_with_engine`]),
+/// returning the exactly priced survivors in space iteration order,
+/// identical selections to the serial exhaustive sweep at any thread
+/// count.
 ///
 /// **Stage A** prices every point's monolithic area from the engine's
 /// memoized per-op-class tables — no per-layer work — and (when
 /// [`Engine::pruning_enabled`]) drops points already over
-/// `chiplet_area_limit_mm2`. **Stage B** runs the full timing/energy
-/// evaluation on the survivors only. The screen is *sound*: the
-/// model-light area is bit-identical to the `area_mm2` a full
-/// evaluation reports (see [`crate::config::monolithic_area_mm2`]),
-/// so stage A removes exactly a subset of the points the exhaustive
-/// feasibility check would reject — the returned feasible set is
-/// unchanged, element for element and bit for bit.
+/// `chiplet_area_limit_mm2`; this screen is bit-exact against the
+/// evaluated `area_mm2`, so it only removes points the feasibility
+/// check would reject. **Stage A′** additionally drops points whose
+/// compute-only latency lower bound already exceeds the
+/// latency-slack window around an exactly priced pivot (see the
+/// [`crate::search`] soundness argument) — such points can never be
+/// selected under any objective, though they may be *feasible*, so
+/// the returned list can be a strict subset of the unscreened
+/// feasible set. **Stage B** runs the full timing/energy evaluation
+/// on the survivors only. Every downstream selection
+/// ([`custom_config_with_engine`], [`set_config_with_engine`], the
+/// flat-plan replay) is bit-identical to the exhaustive oracle
+/// (`engine.with_pruning(false)`).
 pub fn sweep_with_engine(
     model: &Model,
     space: &DseSpace,
     constraints: &Constraints,
     engine: &Engine,
 ) -> Vec<DsePoint> {
-    let shell = monolithic_for(model, SHELL_HW);
-    let all: Vec<HwParams> = space.iter().collect();
-    let points: Vec<HwParams> = if engine.pruning_enabled() {
-        let mut span = engine.telemetry().span("dse.screen", "dse");
-        let kept: Vec<HwParams> = all
-            .iter()
-            .copied()
-            .filter(|hw| {
-                engine.monolithic_area(&shell.classes, hw) <= constraints.chiplet_area_limit_mm2
-            })
-            .collect();
-        engine.note_dse_pruned((all.len() - kept.len()) as u64);
-        engine.note_dse_evaluated(kept.len() as u64);
-        span.arg("pruned", ArgValue::Int((all.len() - kept.len()) as u64));
-        span.arg("kept", ArgValue::Int(kept.len() as u64));
-        kept
-    } else {
-        all
-    };
-    let mut span = engine.telemetry().span("dse.eval", "dse");
-    span.arg("points", ArgValue::Int(points.len() as u64));
-    engine
-        .par_map(&points, |_, &hw| {
-            let mut cfg = shell.clone();
-            cfg.hw = hw;
-            let report = engine.evaluate(model, &cfg).ok()?;
-            let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
-                && report.power_density_w_per_mm2() <= constraints.power_density_limit_w_per_mm2;
-            feasible.then_some(DsePoint { hw, report })
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+    search_with_engine(model, space, constraints, SearchPolicy::Exhaustive, engine).points
 }
 
 /// Algorithm 1, lines 1–8: the custom design configuration `C_i` for
@@ -359,17 +344,47 @@ pub fn custom_config_with_engine(
     objective: DseObjective,
     engine: &Engine,
 ) -> Result<(DesignConfig, PpaReport), ClaireError> {
-    let points = sweep_with_engine(model, space, constraints, engine);
-    select_custom_config(model, points, constraints, objective)
+    custom_config_searched(
+        model,
+        space,
+        constraints,
+        objective,
+        SearchPolicy::Exhaustive,
+        engine,
+    )
 }
 
-/// The selection tail of [`custom_config_with_engine`]: latency-slack
-/// filter against the best feasible latency, then the objective
-/// minimum. Shared with the flat-plan replay
-/// ([`crate::plan::flat`]), which feeds it the same feasible point
-/// list from the pre-computed evaluation table — the fold order and
-/// comparisons are this one code path, so both flows select the same
-/// point bit for bit.
+/// [`custom_config_with_engine`] over any [`DesignSpace`] and
+/// [`SearchPolicy`]: one search builds the Pareto front, selection
+/// replays from the front. Under [`SearchPolicy::Exhaustive`] the
+/// result is bit-identical to the classic sweep-then-select path;
+/// sampled policies trade that oracle guarantee for a reproducible
+/// (seeded) trajectory over spaces exhaustive pricing can't touch.
+///
+/// # Errors
+///
+/// Same as [`custom_config`].
+pub fn custom_config_searched(
+    model: &Model,
+    space: &dyn DesignSpace,
+    constraints: &Constraints,
+    objective: DseObjective,
+    policy: SearchPolicy,
+    engine: &Engine,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
+    let outcome = search_with_engine(model, space, constraints, policy, engine);
+    select_from_front(model, &outcome.front, constraints, objective)
+}
+
+/// The selection tail of [`custom_config_with_engine`]: folds the
+/// feasible points into a [`ParetoFront`] (space order) and selects
+/// from it. Shared with the flat-plan replay
+/// ([`crate::plan::flat`]), which feeds it the feasible point list
+/// from the pre-computed evaluation table — the fold order and
+/// comparisons are this one code path (and front-based selection is
+/// provably bit-identical to the historical full-list fold, see
+/// [`ParetoFront::select`]), so both flows select the same point bit
+/// for bit.
 ///
 /// # Errors
 ///
@@ -380,34 +395,31 @@ pub(crate) fn select_custom_config(
     constraints: &Constraints,
     objective: DseObjective,
 ) -> Result<(DesignConfig, PpaReport), ClaireError> {
-    let best_latency = points
-        .iter()
-        .map(|p| p.report.latency_s)
-        .fold(f64::INFINITY, f64::min);
-    if !best_latency.is_finite() {
-        return Err(ClaireError::NoFeasibleConfiguration {
-            subject: model.name().to_owned(),
-        });
-    }
-    // An infinite slack (degradation ladder) must admit every point,
-    // which `best * inf = inf` does; `total_cmp` below orders exactly
-    // like `partial_cmp` here because every surviving report passed
-    // the evaluator's finiteness gate.
-    let limit = best_latency * (1.0 + constraints.latency_slack);
-    let chosen = points
-        .into_iter()
-        .filter(|p| p.report.latency_s <= limit)
-        .min_by(|a, b| {
-            objective
-                .score(&a.report)
-                .total_cmp(&objective.score(&b.report))
-        })
-        .ok_or_else(|| ClaireError::NoFeasibleConfiguration {
-            // Unreachable — the best-latency point satisfies its own
-            // limit — but a typed error beats a panic if it ever isn't.
-            subject: model.name().to_owned(),
-        })?;
+    let front = ParetoFront::from_points(&points);
+    select_from_front(model, &front, constraints, objective)
+}
 
+/// Selection from an already-built [`ParetoFront`]: best-latency
+/// fold, latency-slack window (an infinite slack — degradation
+/// ladder — admits every point, which `best * inf = inf` does), then
+/// the objective minimum under `total_cmp` (which orders exactly like
+/// `partial_cmp` here because every surviving report passed the
+/// evaluator's finiteness gate), first tie wins.
+///
+/// # Errors
+///
+/// Same as [`custom_config`].
+pub(crate) fn select_from_front(
+    model: &Model,
+    front: &ParetoFront,
+    constraints: &Constraints,
+    objective: DseObjective,
+) -> Result<(DesignConfig, PpaReport), ClaireError> {
+    let chosen = front.select(constraints, objective).ok_or_else(|| {
+        ClaireError::NoFeasibleConfiguration {
+            subject: model.name().to_owned(),
+        }
+    })?;
     let mut cfg = monolithic_for(model, chosen.hw);
     cfg.name = format!("C_{}", model.name());
     Ok((cfg, chosen.report))
@@ -472,7 +484,7 @@ pub fn set_config_with_engine(
     // model-light monolithic area fits the chiplet cap — the same
     // early-`None` the exhaustive member loop below takes, decided
     // from the memoized area tables alone.
-    let points: Vec<HwParams> = if engine.pruning_enabled() {
+    let mut points: Vec<HwParams> = if engine.pruning_enabled() {
         let mut span = engine.telemetry().span("dse.screen", "dse");
         let kept: Vec<HwParams> = all
             .iter()
@@ -484,13 +496,53 @@ pub fn set_config_with_engine(
             })
             .collect();
         engine.note_dse_pruned((all.len() - kept.len()) as u64);
-        engine.note_dse_evaluated(kept.len() as u64);
         span.arg("pruned", ArgValue::Int((all.len() - kept.len()) as u64));
         span.arg("kept", ArgValue::Int(kept.len() as u64));
         kept
     } else {
         all
     };
+    // Stage A′: members with a custom latency reference admit an
+    // *absolute* latency bound known before any pricing —
+    // `l_m × (1 + slack)` — so any point whose compute-only cycle
+    // lower bound already exceeds a member's bound would come back
+    // `None` from the exhaustive member fold below
+    // (`report.latency_s ≥ lb_s > bound` fails `latency_ok`).
+    // Dropping it up front leaves the selection input unchanged.
+    if engine.lb_screen_enabled() && constraints.latency_slack.is_finite() && !points.is_empty() {
+        let bounds: Vec<(usize, f64)> = models
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| {
+                custom_latency_s
+                    .get(m.name())
+                    .map(|&l| (i, l * (1.0 + constraints.latency_slack)))
+            })
+            .filter(|(_, b)| b.is_finite())
+            .collect();
+        if !bounds.is_empty() {
+            let mut span = engine.telemetry().span("dse.lb_screen", "dse");
+            let clock = claire_ppa::tech28::CLOCK_HZ;
+            let keep: Vec<bool> = engine.par_map(&points, |_, hw| {
+                bounds.iter().all(|&(i, bound)| {
+                    engine.compute_cycles_lb(models[i], hw) as f64 / clock <= bound
+                })
+            });
+            let before = points.len();
+            let mut i = 0usize;
+            points.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+            engine.note_dse_lb_pruned((before - points.len()) as u64);
+            span.arg("pruned", ArgValue::Int((before - points.len()) as u64));
+            span.arg("kept", ArgValue::Int(points.len() as u64));
+        }
+    }
+    if engine.pruning_enabled() {
+        engine.note_dse_evaluated(points.len() as u64);
+    }
     let mut eval_span = engine.telemetry().span("dse.eval", "dse");
     eval_span.arg("points", ArgValue::Int(points.len() as u64));
     let totals: Vec<Option<f64>> = engine.par_map(&points, |_, &hw| {
@@ -649,11 +701,45 @@ mod tests {
         let staged = sweep_with_engine(&m, &space, &cons, &staged_engine);
         let exhaustive =
             sweep_with_engine(&m, &space, &cons, &Engine::serial().with_pruning(false));
-        assert_eq!(format!("{staged:?}"), format!("{exhaustive:?}"));
+        // The lb screen may drop feasible-but-never-selectable points,
+        // so the staged list is an order-preserving subset…
+        let exhaustive_dbg: Vec<String> = exhaustive.iter().map(|p| format!("{p:?}")).collect();
+        let mut cursor = 0usize;
+        for p in &staged {
+            let needle = format!("{p:?}");
+            let pos = exhaustive_dbg[cursor..]
+                .iter()
+                .position(|e| *e == needle)
+                .expect("staged point missing from exhaustive sweep");
+            cursor += pos + 1;
+        }
+        // …whose removals all sit outside the latency-slack window,
+        // so every objective's selection replays bit-identically.
+        let best_latency = exhaustive
+            .iter()
+            .map(|p| p.report.latency_s)
+            .fold(f64::INFINITY, f64::min);
+        let limit = best_latency * (1.0 + cons.latency_slack);
+        let staged_set: std::collections::BTreeSet<String> =
+            staged.iter().map(|p| format!("{p:?}")).collect();
+        for p in &exhaustive {
+            if !staged_set.contains(&format!("{p:?}")) {
+                assert!(
+                    p.report.latency_s > limit,
+                    "{} pruned but inside the latency window",
+                    p.hw
+                );
+            }
+        }
+        for objective in DseObjective::ALL {
+            let a = select_custom_config(&m, staged.clone(), &cons, objective).unwrap();
+            let b = select_custom_config(&m, exhaustive.clone(), &cons, objective).unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "{objective:?}");
+        }
         let stats = staged_engine.stats();
         assert!(stats.dse_pruned > 0, "default space has oversized points");
         assert_eq!(
-            stats.dse_pruned + stats.dse_evaluated,
+            stats.dse_pruned + stats.dse_lb_pruned + stats.dse_evaluated,
             space.len() as u64,
             "every point is screened exactly once"
         );

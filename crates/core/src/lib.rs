@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod place;
 pub mod plan;
+pub mod search;
 pub mod telemetry;
 
 pub use assign::WeightScale;
@@ -64,7 +65,7 @@ pub use claire::{
     SubsetStrategy, TestOutput, TestReport, TrainOutput,
 };
 pub use config::{monolithic_area_mm2, Chiplet, Constraints, DesignConfig};
-pub use dse::{Degradation, DseObjective, RelaxStep, RobustnessPolicy};
+pub use dse::{Degradation, DseObjective, DsePoint, RelaxStep, RobustnessPolicy};
 pub use error::ClaireError;
 pub use evaluate::{
     edge_cost_sequence, edge_transfer, route_of, transfer_on_route, CostProvider, DirectCosts,
@@ -76,4 +77,5 @@ pub use library::{ChipletLibrary, Deployment, LibraryEntry};
 pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, WorkerPanic, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};
+pub use search::{search_with_engine, ParetoFront, SearchOutcome, SearchPolicy};
 pub use telemetry::{Telemetry, TelemetryOptions};

@@ -199,6 +199,16 @@ pub struct EngineStats {
     pub merged_graph_builds: u64,
     /// Evaluation items enumerated by the flat execution plan.
     pub plan_items: u64,
+    /// Latency lower bounds served from the memo tier.
+    pub lb_hits: u64,
+    /// Latency lower bounds computed fresh (cycles-only kernel).
+    pub lb_misses: u64,
+    /// Distinct (model, hardware) lower bounds currently cached.
+    pub lb_entries: usize,
+    /// DSE points skipped by the latency lower-bound screen.
+    pub dse_lb_pruned: u64,
+    /// Successive-halving rungs executed by sampled searches.
+    pub search_rungs: u64,
     /// Accumulated wall time per pipeline stage, in first-recorded
     /// order.
     pub stages: Vec<(String, Duration)>,
@@ -259,6 +269,23 @@ impl EngineStats {
             0.0
         } else {
             self.dse_pruned as f64 / total as f64
+        }
+    }
+
+    /// Latency lower-bound tier hit rate in `[0, 1]`.
+    pub fn lb_hit_rate(&self) -> f64 {
+        ratio(self.lb_hits, self.lb_misses)
+    }
+
+    /// Fraction of area-screen survivors the latency lower-bound
+    /// screen pruned before exact pricing, in `[0, 1]`; 0 when no
+    /// screen ran.
+    pub fn lb_pruned_fraction(&self) -> f64 {
+        let total = self.dse_lb_pruned + self.dse_evaluated;
+        if total == 0 {
+            0.0
+        } else {
+            self.dse_lb_pruned as f64 / total as f64
         }
     }
 
@@ -352,15 +379,27 @@ impl std::fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
+            "  latency lower bounds: {} hits / {} misses ({:.1} % hit rate, {} entries)",
+            self.lb_hits,
+            self.lb_misses,
+            100.0 * self.lb_hit_rate(),
+            self.lb_entries
+        )?;
+        writeln!(
+            f,
             "  structural keys: {} structures over {} model instances",
             self.struct_entries, self.struct_instances
         )?;
         writeln!(
             f,
-            "  dse screen: {} pruned / {} evaluated ({:.1} % pruned)",
+            "  dse screens: {} area-pruned / {} lb-pruned / {} evaluated \
+             ({:.1} % area, {:.1} % lb); {} search rungs",
             self.dse_pruned,
+            self.dse_lb_pruned,
             self.dse_evaluated,
-            100.0 * self.pruned_fraction()
+            100.0 * self.pruned_fraction(),
+            100.0 * self.lb_pruned_fraction(),
+            self.search_rungs
         )?;
         writeln!(
             f,
@@ -403,6 +442,9 @@ pub struct Engine {
     /// keyed by (model structural id, configuration topology).
     comms: MemoMap<(u32, TopologyKey), Arc<[TransferCost]>>,
     areas: MemoMap<HwParams, Arc<[f64; OpClass::COUNT]>>,
+    /// Lower-bound tier: whole-model compute cycles (latency at
+    /// infinite bandwidth), keyed like the compute-sum tier.
+    lbs: MemoMap<(u32, HwParams), u64>,
     models: RwLock<ModelInterner>,
     /// The telemetry hub every counter, span and export reads from —
     /// the single source of truth behind [`EngineStats`].
@@ -472,6 +514,7 @@ impl Engine {
             graphs: RwLock::new(HashMap::default()),
             comms: RwLock::new(HashMap::default()),
             areas: RwLock::new(HashMap::default()),
+            lbs: RwLock::new(HashMap::default()),
             models: RwLock::new(ModelInterner::default()),
             telemetry: Arc::new(Telemetry::new()),
         }
@@ -584,6 +627,7 @@ impl Engine {
             Gauge::LouvainWarmEntries,
             read_lock(&self.louvain_warm).len() as u64,
         );
+        t.set_gauge(Gauge::LbEntries, read_lock(&self.lbs).len() as u64);
         let interner = read_lock(&self.models);
         t.set_gauge(Gauge::StructEntries, interner.by_content.len() as u64);
         t.set_gauge(Gauge::StructInstances, interner.by_instance.len() as u64);
@@ -655,6 +699,11 @@ impl Engine {
             louvain_warm_entries: read_lock(&self.louvain_warm).len(),
             merged_graph_builds: t.counter(Metric::MergedGraphBuilds),
             plan_items: t.counter(Metric::PlanItems),
+            lb_hits: t.counter(Metric::LbHit),
+            lb_misses: t.counter(Metric::LbMiss),
+            lb_entries: read_lock(&self.lbs).len(),
+            dse_lb_pruned: t.counter(Metric::DseLbPruned),
+            search_rungs: t.counter(Metric::SearchRungs),
             stages: t.stage_aggregates(),
         }
     }
@@ -802,13 +851,22 @@ impl Engine {
     }
 
     /// [`Engine::louvain_partition`] for resolution-escalation loops:
-    /// consults the exact tier first, then the **warm-start tier** —
-    /// certified γ-intervals recorded by prior runs on the same
-    /// canonical graph (see [`claire_graph::louvain_csr_certified`]).
-    /// A warm hit returns a partition *provably* bit-identical to what
-    /// a fresh clustering at `resolution` would produce, so results
-    /// never depend on cache state. A miss clusters with certification
-    /// and records the new interval.
+    /// consults the **warm-start tier** first — certified γ-intervals
+    /// recorded by prior runs on the same canonical graph (see
+    /// [`claire_graph::louvain_csr_certified`]) — then falls back to
+    /// the exact tier. A warm hit returns a partition *provably*
+    /// bit-identical to what a fresh clustering at `resolution` would
+    /// produce (any γ strictly inside a certified interval reproduces
+    /// the certified run's partition, including the γ the certificate
+    /// was recorded at), so results never depend on cache state. A
+    /// miss on both tiers clusters with certification and records the
+    /// new interval.
+    ///
+    /// The warm tier is consulted *before* the exact tier so repeat
+    /// clusterings at an already-certified resolution land as the
+    /// warm hits the certificates promise; the exact tier (which also
+    /// holds cert-empty partitions and entries published by the
+    /// non-escalating path) remains the fallback.
     ///
     /// The chiplet-count escalation loop re-clusters the same graph at
     /// `γ, 1.5γ, 2.25γ, …`; on strongly clustered communication graphs
@@ -822,12 +880,8 @@ impl Engine {
         if !self.cache_enabled {
             return Arc::new(self.cluster_csr(csr, resolution));
         }
-        let exact_key = louvain_key(csr, resolution);
-        if let Some(p) = read_lock(&self.louvains).get(&exact_key) {
-            self.telemetry.count(Metric::LouvainHit);
-            return Arc::clone(p);
-        }
         let graph_key = louvain_graph_key(csr);
+        let exact_key = louvain_key(csr, resolution);
         if let Some(entries) = read_lock(&self.louvain_warm).get(&graph_key) {
             if let Some(e) = entries
                 .iter()
@@ -835,8 +889,8 @@ impl Engine {
             {
                 self.telemetry.count(Metric::LouvainWarmHit);
                 let p = Arc::clone(&e.partition);
-                // Publish into the exact tier so later lookups at this
-                // resolution hit without an interval scan.
+                // Publish into the exact tier so the non-escalating
+                // entry point hits at this resolution too.
                 write_lock(&self.louvains)
                     .entry(exact_key)
                     .or_insert_with(|| Arc::clone(&p));
@@ -844,6 +898,10 @@ impl Engine {
             }
         }
         self.telemetry.count(Metric::LouvainWarmMiss);
+        if let Some(p) = read_lock(&self.louvains).get(&exact_key) {
+            self.telemetry.count(Metric::LouvainHit);
+            return Arc::clone(p);
+        }
         self.telemetry.count(Metric::LouvainMiss);
         let (partition, cert) = self.cluster_csr_certified(csr, resolution);
         let partition = Arc::new(partition);
@@ -1025,6 +1083,13 @@ impl Engine {
         (sid, Arc::clone(&interner.batches[sid as usize]))
     }
 
+    /// The interned preprocessed [`LayerBatch`] for `model` — lets the
+    /// search run direct (non-memoized) batch kernels over huge spaces
+    /// without re-preprocessing the model per point.
+    pub(crate) fn model_batch(&self, model: &claire_model::Model) -> Arc<LayerBatch> {
+        self.structural(model).1
+    }
+
     /// Records `n` DSE points skipped by the staged sweep's area
     /// screen.
     pub(crate) fn note_dse_pruned(&self, n: u64) {
@@ -1039,6 +1104,65 @@ impl Engine {
     /// Records `n` items enumerated into a flat execution plan.
     pub(crate) fn note_plan_items(&self, n: u64) {
         self.telemetry.count_by(Metric::PlanItems, n);
+    }
+
+    /// Records `n` DSE points skipped by the latency lower-bound
+    /// screen.
+    pub(crate) fn note_dse_lb_pruned(&self, n: u64) {
+        self.telemetry.count_by(Metric::DseLbPruned, n);
+    }
+
+    /// Records one executed successive-halving rung.
+    pub(crate) fn note_search_rung(&self) {
+        self.telemetry.count(Metric::SearchRungs);
+    }
+
+    /// Memoized whole-model **compute-cycle lower bound**: the total
+    /// compute cycles of `model` under `hw` from the cycles-only
+    /// [`LayerBatch::compute_cycles_with`] kernel, keyed like the
+    /// compute-sum tier (structural id + hardware point). The cycle
+    /// count is bit-equal to [`CostProvider::compute_sum`]'s `cycles`
+    /// but skips all of its floating-point energy work — the cheap
+    /// low-fidelity pass the search's screens and rungs rank with.
+    pub fn compute_cycles_lb(&self, model: &claire_model::Model, hw: &HwParams) -> u64 {
+        if !self.cache_enabled {
+            // `u64` addition is associative, so the per-layer walk
+            // sums to the exact batched value.
+            return model
+                .layers()
+                .iter()
+                .map(|l| claire_ppa::layer_cycles(&l.kind, hw))
+                .sum();
+        }
+        let (sid, batch) = self.structural(model);
+        let key = (sid, *hw);
+        if let Some(&c) = read_lock(&self.lbs).get(&key) {
+            self.telemetry.count(Metric::LbHit);
+            return c;
+        }
+        self.telemetry.count(Metric::LbMiss);
+        let mut scratch = Vec::new();
+        let cycles = batch.compute_cycles_with(hw, &mut scratch);
+        *write_lock(&self.lbs).entry(key).or_insert(cycles)
+    }
+
+    /// [`Engine::compute_cycles_lb`] in seconds: `cycles / CLOCK_HZ` —
+    /// the identical division [`crate::evaluate`] performs for the
+    /// compute term of `latency_s`, whose remaining terms (per-edge
+    /// transfer latencies) are all nonnegative. Hence
+    /// `latency_lower_bound(m, hw) ≤ report.latency_s` holds
+    /// *exactly*, not merely within rounding: it is latency at
+    /// infinite interconnect bandwidth.
+    pub fn latency_lower_bound(&self, model: &claire_model::Model, hw: &HwParams) -> f64 {
+        self.compute_cycles_lb(model, hw) as f64 / claire_ppa::tech28::CLOCK_HZ
+    }
+
+    /// Whether the DSE latency lower-bound screen may run: pruning on
+    /// and **no fault plan attached** — injected PPA corruptions move
+    /// exact costs out from under the uncorrupted bound, which would
+    /// break the screen's soundness argument.
+    pub fn lb_screen_enabled(&self) -> bool {
+        self.pruning_enabled && self.faults.is_none()
     }
 
     /// Runs `f` under a telemetry stage span (accumulated into the

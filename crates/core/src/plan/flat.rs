@@ -49,9 +49,13 @@ pub struct ModelRow {
 
 impl ModelRow {
     /// The feasible [`DsePoint`]s of this row under `constraints`, in
-    /// space iteration order — the same list (element for element, bit
-    /// for bit) the recursive [`crate::dse::sweep_with_engine`]
-    /// returns.
+    /// space iteration order. The recursive
+    /// [`crate::dse::sweep_with_engine`] additionally drops points the
+    /// latency lower-bound screen proves can never be selected, so its
+    /// list is an order-preserving subset of this one — and every
+    /// selection over either list is bit-identical (the shared
+    /// [`crate::dse::select_custom_config`] tail, see the
+    /// [`crate::search`] soundness argument).
     pub fn feasible_points(&self, constraints: &Constraints) -> Vec<DsePoint> {
         self.points
             .iter()
@@ -103,26 +107,28 @@ pub fn build_eval_table(
     let shells: Vec<DesignConfig> = models.iter().map(|m| monolithic_for(m, SHELL_HW)).collect();
 
     // Stage A per model: the same sound area screen the recursive
-    // sweep applies, decided from the memoized area tables alone.
+    // sweep applies, decided from the memoized area tables alone. The
+    // survivor scratch is hoisted out of the per-model loop — each
+    // screen filters into the same full-capacity buffer and copies
+    // once into an exact-sized row, instead of growth-reallocating a
+    // fresh `Vec` per model.
     let mut rows: Vec<ModelRow> = Vec::with_capacity(models.len());
+    let mut scratch: Vec<HwParams> = Vec::with_capacity(space_points.len());
     for shell in &shells {
         let points: Vec<HwParams> = if engine.pruning_enabled() {
             let mut span = engine.telemetry().span("dse.screen", "dse");
-            let kept: Vec<HwParams> = space_points
-                .iter()
-                .copied()
-                .filter(|hw| {
-                    engine.monolithic_area(&shell.classes, hw) <= constraints.chiplet_area_limit_mm2
-                })
-                .collect();
-            engine.note_dse_pruned((space_points.len() - kept.len()) as u64);
-            engine.note_dse_evaluated(kept.len() as u64);
+            scratch.clear();
+            scratch.extend(space_points.iter().copied().filter(|hw| {
+                engine.monolithic_area(&shell.classes, hw) <= constraints.chiplet_area_limit_mm2
+            }));
+            engine.note_dse_pruned((space_points.len() - scratch.len()) as u64);
+            engine.note_dse_evaluated(scratch.len() as u64);
             span.arg(
                 "pruned",
-                ArgValue::Int((space_points.len() - kept.len()) as u64),
+                ArgValue::Int((space_points.len() - scratch.len()) as u64),
             );
-            span.arg("kept", ArgValue::Int(kept.len() as u64));
-            kept
+            span.arg("kept", ArgValue::Int(scratch.len() as u64));
+            scratch.as_slice().to_vec()
         } else {
             space_points.clone()
         };

@@ -135,11 +135,19 @@ pub enum Metric {
     MergedGraphBuilds,
     /// Evaluation items enumerated by the flat execution plan.
     PlanItems,
+    /// Latency lower bounds served from the memo tier.
+    LbHit,
+    /// Latency lower bounds computed fresh (cycles-only kernel).
+    LbMiss,
+    /// DSE points screened out by the latency lower-bound stage.
+    DseLbPruned,
+    /// Successive-halving rungs executed by sampled searches.
+    SearchRungs,
 }
 
 impl Metric {
     /// Number of counter instruments.
-    pub const COUNT: usize = 36;
+    pub const COUNT: usize = 40;
 
     /// Every counter, in index order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -179,6 +187,10 @@ impl Metric {
         Metric::LouvainWarmMiss,
         Metric::MergedGraphBuilds,
         Metric::PlanItems,
+        Metric::LbHit,
+        Metric::LbMiss,
+        Metric::DseLbPruned,
+        Metric::SearchRungs,
     ];
 
     /// The counter's dotted instrument name.
@@ -220,6 +232,10 @@ impl Metric {
             Metric::LouvainWarmMiss => "memo.louvain_warm.miss",
             Metric::MergedGraphBuilds => "graph.merged_builds",
             Metric::PlanItems => "plan.items",
+            Metric::LbHit => "memo.lb.hit",
+            Metric::LbMiss => "memo.lb.miss",
+            Metric::DseLbPruned => "dse.lb_pruned",
+            Metric::SearchRungs => "dse.search.rungs",
         }
     }
 
@@ -264,11 +280,13 @@ pub enum Gauge {
     CommEntries,
     /// Graphs carrying certified Louvain warm-start intervals.
     LouvainWarmEntries,
+    /// Entries in the latency lower-bound cache.
+    LbEntries,
 }
 
 impl Gauge {
     /// Number of gauge instruments.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// Every gauge, in index order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -283,6 +301,7 @@ impl Gauge {
         Gauge::StructInstances,
         Gauge::CommEntries,
         Gauge::LouvainWarmEntries,
+        Gauge::LbEntries,
     ];
 
     /// The gauge's dotted instrument name.
@@ -299,6 +318,7 @@ impl Gauge {
             Gauge::StructInstances => "engine.struct_instances",
             Gauge::CommEntries => "memo.comm.entries",
             Gauge::LouvainWarmEntries => "memo.louvain_warm.entries",
+            Gauge::LbEntries => "memo.lb.entries",
         }
     }
 }

@@ -55,32 +55,49 @@ pub(crate) fn systolic_layer_cost(s: SystolicCost) -> LayerCost {
     }
 }
 
+/// Execution cycles of one activation layer — the integer core shared
+/// by [`activation_cost`] and the cycles-only lower-bound kernel, so
+/// the two can never drift.
+pub(crate) fn activation_cycles(a: &Activation, hw: &HwParams) -> u64 {
+    a.elements.div_ceil(u64::from(hw.n_act))
+}
+
+/// Execution cycles of one pooling layer (see [`activation_cycles`]).
+pub(crate) fn pooling_cycles(p: &Pooling, hw: &HwParams) -> u64 {
+    p.input_elements.div_ceil(u64::from(hw.n_pool))
+}
+
+/// Execution cycles of a reshape drain (flatten / permute).
+pub(crate) fn reshape_cycles(elements: u64) -> u64 {
+    (elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64
+}
+
 /// Cost of one activation layer: `elements` stream through the
 /// `n_act` units of its kind, one element per cycle per unit.
 pub(crate) fn activation_cost(a: &Activation, hw: &HwParams) -> LayerCost {
     let (_, e) = activation_ppa(a.kind);
-    let units = u64::from(hw.n_act);
+    let cycles = activation_cycles(a, hw);
     LayerCost {
-        cycles: a.elements.div_ceil(units),
+        cycles,
         energy_pj: a.elements as f64 * e,
-        executions: a.elements.div_ceil(units),
+        executions: cycles,
     }
 }
 
 /// Cost of one pooling layer across the `n_pool` units of its kind.
 pub(crate) fn pooling_cost(p: &Pooling, hw: &HwParams) -> LayerCost {
     let (_, e) = pooling_ppa(p.kind);
-    let units = u64::from(hw.n_pool);
+    let cycles = pooling_cycles(p, hw);
     LayerCost {
-        cycles: p.input_elements.div_ceil(units),
+        cycles,
         energy_pj: p.input_elements as f64 * e,
-        executions: p.input_elements.div_ceil(units),
+        executions: cycles,
     }
 }
 
 /// Cost of a flatten (reshape drain) layer.
 pub(crate) fn flatten_cost(f: &Flatten) -> LayerCost {
-    let cycles = (f.elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64;
+    let cycles = reshape_cycles(f.elements);
     LayerCost {
         cycles,
         energy_pj: f.elements as f64 * tech28::FLATTEN.1,
@@ -90,7 +107,7 @@ pub(crate) fn flatten_cost(f: &Flatten) -> LayerCost {
 
 /// Cost of a permute (dimension reordering) layer.
 pub(crate) fn permute_cost(p: &Permute) -> LayerCost {
-    let cycles = (p.elements as f64 / tech28::RESHAPE_ELEMENTS_PER_CYCLE).ceil() as u64;
+    let cycles = reshape_cycles(p.elements);
     LayerCost {
         cycles,
         energy_pj: p.elements as f64 * tech28::PERMUTE.1,
@@ -117,6 +134,28 @@ pub fn layer_cost(layer: &LayerKind, hw: &HwParams) -> LayerCost {
         LayerKind::Pooling(p) => pooling_cost(p, hw),
         LayerKind::Flatten(f) => flatten_cost(f),
         LayerKind::Permute(p) => permute_cost(p),
+    }
+}
+
+/// Execution cycles of one layer on the design point `hw` —
+/// [`layer_cost`] without any of the floating-point energy work.
+///
+/// Every arm routes through the same integer cycle helpers the exact
+/// costing uses, so `layer_cycles(l, hw) == layer_cost(l, hw).cycles`
+/// bit for bit. This is the per-layer core of the compute-only
+/// latency **lower bound**: summed over a model it gives the cycles
+/// the compute units alone need, ignoring all inter-chiplet transfer
+/// latency (i.e. latency at infinite bandwidth).
+pub fn layer_cycles(layer: &LayerKind, hw: &HwParams) -> u64 {
+    let sa = SystolicArrayModel::new(*hw);
+    match layer {
+        LayerKind::Conv2d(c) => sa.conv2d_cycles(c),
+        LayerKind::Conv1d(c) => sa.conv1d_cycles(c),
+        LayerKind::Linear(l) => sa.linear_cycles(l),
+        LayerKind::Activation(a) => activation_cycles(a, hw),
+        LayerKind::Pooling(p) => pooling_cycles(p, hw),
+        LayerKind::Flatten(f) => reshape_cycles(f.elements),
+        LayerKind::Permute(p) => reshape_cycles(p.elements),
     }
 }
 
@@ -241,6 +280,41 @@ mod tests {
         let small = layer_cost(&conv, &HwParams::new(32, 16, 16, 16));
         let big = layer_cost(&conv, &HwParams::new(32, 64, 16, 16));
         assert!(big.cycles < small.cycles);
+    }
+
+    #[test]
+    fn layer_cycles_matches_layer_cost() {
+        let layers = [
+            LayerKind::Conv2d(Conv2d {
+                in_channels: 64,
+                out_channels: 128,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                ifm: (28, 28),
+                groups: 1,
+            }),
+            LayerKind::Linear(Linear {
+                in_features: 768,
+                out_features: 3072,
+                tokens: 128,
+            }),
+            LayerKind::Activation(Activation {
+                kind: ActivationKind::Gelu,
+                elements: 1_000,
+            }),
+            LayerKind::Pooling(Pooling {
+                kind: PoolingKind::MaxPool,
+                input_elements: 10_000,
+                output_elements: 2_500,
+            }),
+            LayerKind::Flatten(Flatten { elements: 4097 }),
+        ];
+        for hwp in [HwParams::new(16, 4, 8, 8), HwParams::new(64, 8, 32, 4)] {
+            for l in &layers {
+                assert_eq!(layer_cycles(l, &hwp), layer_cost(l, &hwp).cycles, "{l:?}");
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! to the reference, not merely close.
 
 use crate::analytical::{
-    activation_cost, flatten_cost, permute_cost, pooling_cost, systolic_layer_cost, LayerCost,
+    activation_cost, activation_cycles, flatten_cost, permute_cost, pooling_cost, pooling_cycles,
+    reshape_cycles, systolic_layer_cost, LayerCost,
 };
 use crate::params::HwParams;
 use crate::systolic::SystolicArrayModel;
@@ -232,6 +233,48 @@ impl LayerBatch {
         let mut scratch = Vec::new();
         self.compute_sum_with(hw, &mut scratch)
     }
+
+    /// Evaluates every distinct shape's **cycles** under `hw` into
+    /// `out` (slot-ordered; cleared first) — [`LayerBatch::costs_into`]
+    /// with all floating-point energy work stripped. Systolic slots
+    /// run pure integer tile/wave arithmetic.
+    fn cycles_into(&self, hw: &HwParams, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.slot_count());
+        let sa = SystolicArrayModel::new(*hw);
+        out.extend(self.conv2d.iter().map(|c| sa.conv2d_cycles(c)));
+        out.extend(self.conv1d.iter().map(|c| sa.conv1d_cycles(c)));
+        out.extend(self.linear.iter().map(|l| sa.linear_cycles(l)));
+        out.extend(self.act.iter().map(|a| activation_cycles(a, hw)));
+        out.extend(self.pool.iter().map(|p| pooling_cycles(p, hw)));
+        out.extend(self.flatten.iter().map(|f| reshape_cycles(f.elements)));
+        out.extend(self.permute.iter().map(|p| reshape_cycles(p.elements)));
+    }
+
+    /// Whole-batch compute **cycles** under `hw` — the cycles-only
+    /// lower-bound kernel.
+    ///
+    /// The per-slot cycle formulas are the exact integer cores the
+    /// full costing path uses, and `u64` addition is associative, so
+    /// `compute_cycles_with(hw, _) == compute_sum(hw).cycles` exactly.
+    /// Dividing by the clock gives a **latency lower bound**: total
+    /// latency is these compute seconds plus nonnegative transfer
+    /// terms. Materially cheaper than [`LayerBatch::compute_sum`] —
+    /// systolic cycles are tile/wave integer math with none of the
+    /// energy `f64` work.
+    pub fn compute_cycles_with(&self, hw: &HwParams, scratch: &mut Vec<u64>) -> u64 {
+        self.cycles_into(hw, scratch);
+        self.seq
+            .iter()
+            .map(|&slot| scratch[slot as usize])
+            .sum::<u64>()
+    }
+
+    /// [`LayerBatch::compute_cycles_with`] with a fresh scratch buffer.
+    pub fn compute_cycles(&self, hw: &HwParams) -> u64 {
+        let mut scratch = Vec::new();
+        self.compute_cycles_with(hw, &mut scratch)
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +359,35 @@ mod tests {
         let s = b.compute_sum(&HwParams::new(8, 8, 8, 8));
         assert_eq!(s.cycles, 0);
         assert_eq!(s.energy_pj, 0.0);
+    }
+
+    #[test]
+    fn cycles_kernel_is_bit_identical_to_full_costing() {
+        let k = kinds();
+        let b = LayerBatch::from_kinds(k.iter());
+        let mut scratch = Vec::new();
+        for hw in [
+            HwParams::new(16, 16, 8, 8),
+            HwParams::new(32, 32, 16, 16),
+            HwParams::new(64, 8, 32, 4),
+            HwParams::new(1, 1, 1, 1),
+        ] {
+            assert_eq!(
+                b.compute_cycles_with(&hw, &mut scratch),
+                b.compute_sum(&hw).cycles,
+                "{hw}"
+            );
+            assert_eq!(b.compute_cycles(&hw), b.compute_sum(&hw).cycles, "{hw}");
+        }
+    }
+
+    #[test]
+    fn cycles_kernel_matches_per_layer_reference() {
+        let k = kinds();
+        let b = LayerBatch::from_kinds(k.iter());
+        let hw = HwParams::new(32, 32, 16, 16);
+        let reference: u64 = k.iter().map(|kind| layer_cost(kind, &hw).cycles).sum();
+        assert_eq!(b.compute_cycles(&hw), reference);
     }
 
     #[test]

@@ -40,14 +40,16 @@ mod batch;
 mod memory;
 mod params;
 pub mod scaling;
+mod space;
 mod systolic;
 pub mod tech28;
 pub mod thermal;
 
-pub use analytical::{config_area_mm2, layer_cost, unit_area_mm2, LayerCost};
+pub use analytical::{config_area_mm2, layer_cost, layer_cycles, unit_area_mm2, LayerCost};
 pub use batch::{BatchSum, LayerBatch};
 pub use memory::{layer_weight_bytes, MemoryModel};
 pub use params::{DseSpace, DseSpaceError, HwParams, HwParamsError};
 pub use scaling::{NodeScaling, TechNode};
+pub use space::{space_points, DesignSpace, GridAxis, GridSpace};
 pub use systolic::{Dataflow, SystolicArrayModel};
 pub use thermal::ThermalModel;

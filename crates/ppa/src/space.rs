@@ -1,0 +1,243 @@
+//! Generative design spaces: lazy [`HwParams`] producers that never
+//! allocate the cross-product.
+//!
+//! The explicit [`DseSpace`] stores one `Vec` per axis and stays the
+//! right tool at paper scale (81 points) and dense-stress scale (10⁴).
+//! At 10⁶+ points even the *axis values* are better described than
+//! stored — [`GridSpace`] holds four arithmetic progressions (12
+//! words) and decodes any flat index on demand. The [`DesignSpace`]
+//! trait abstracts both behind index-addressed enumeration so the
+//! search can screen, sample and re-visit points by index without
+//! ever materializing `size()` `HwParams` values at once.
+//!
+//! **Index order is iteration order.** `point_at` decodes a flat
+//! index mixed-radix over the axes with `sa_size` slowest and
+//! `n_pool` fastest — exactly the nested-loop order of
+//! [`DseSpace::iter`] — so `space_points(&s)` yields the same point
+//! sequence as the explicit iterator, and every downstream
+//! deterministic tie-break ("first point in space order") means the
+//! same thing for explicit and generative spaces.
+
+use crate::params::{DseSpace, HwParams};
+use serde::{Deserialize, Serialize};
+
+/// A lazily enumerable hardware design space.
+///
+/// Implementations expose a raw index range `0..size()`; each slot
+/// decodes to a design point or to `None` when the slot's parameter
+/// combination is invalid (zero-valued — the same combinations
+/// [`DseSpace::iter`] skips). Object-safe so sweep code can take
+/// `&dyn DesignSpace`.
+pub trait DesignSpace {
+    /// Number of raw index slots (the axis cross-product size,
+    /// counting slots whose decoded point is invalid).
+    fn size(&self) -> usize;
+
+    /// The design point at flat `index`, or `None` when the slot is
+    /// out of range or decodes to a zero-valued parameter.
+    fn point_at(&self, index: usize) -> Option<HwParams>;
+}
+
+/// Iterates the valid points of `space` in index order, yielding
+/// `(flat index, point)` pairs. For a [`DseSpace`] the point sequence
+/// is exactly [`DseSpace::iter`]'s.
+pub fn space_points(
+    space: &(impl DesignSpace + ?Sized),
+) -> impl Iterator<Item = (u32, HwParams)> + '_ {
+    (0..space.size()).filter_map(move |i| space.point_at(i).map(|hw| (i as u32, hw)))
+}
+
+impl DesignSpace for DseSpace {
+    fn size(&self) -> usize {
+        self.len()
+    }
+
+    fn point_at(&self, index: usize) -> Option<HwParams> {
+        let np = self.n_pools.len().max(1);
+        let na = self.n_acts.len().max(1);
+        let nn = self.n_sas.len().max(1);
+        let pi = index % np;
+        let rest = index / np;
+        let ai = rest % na;
+        let rest = rest / na;
+        let ni = rest % nn;
+        let si = rest / nn;
+        let s = *self.sa_sizes.get(si)?;
+        let n = *self.n_sas.get(ni)?;
+        let a = *self.n_acts.get(ai)?;
+        let p = *self.n_pools.get(pi)?;
+        HwParams::try_new(s, n, a, p).ok()
+    }
+}
+
+/// One axis of a [`GridSpace`]: the arithmetic progression
+/// `start, start+step, …` of `count` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridAxis {
+    /// First value of the progression.
+    pub start: u32,
+    /// Increment between consecutive values.
+    pub step: u32,
+    /// Number of values on the axis.
+    pub count: u32,
+}
+
+impl GridAxis {
+    /// Builds the axis `start, start+step, …` (`count` values).
+    pub fn new(start: u32, step: u32, count: u32) -> Self {
+        GridAxis { start, step, count }
+    }
+
+    /// The `i`-th value (saturating, so decoding stays panic-free
+    /// under `-C overflow-checks=on` even for absurd descriptors).
+    pub fn value(&self, i: u32) -> u32 {
+        self.start.saturating_add(self.step.saturating_mul(i))
+    }
+
+    /// Number of values on the axis.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// True when the axis holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A generative grid over the four hardware axes: O(1) storage for an
+/// arbitrarily large cross-product, decoded point by point through
+/// [`DesignSpace::point_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpace {
+    /// Systolic-array dimension axis.
+    pub sa_size: GridAxis,
+    /// Array-count axis.
+    pub n_sa: GridAxis,
+    /// Activation-unit-count axis.
+    pub n_act: GridAxis,
+    /// Pooling-unit-count axis.
+    pub n_pool: GridAxis,
+}
+
+impl GridSpace {
+    /// The 10⁶-point stress grid: 32 values per axis, 32⁴ = 1 048 576
+    /// raw slots, spanning tiny (8×8 array) through far-over-budget
+    /// (132×132 arrays × 128) corners so the area and lower-bound
+    /// screens both have real work to do.
+    pub fn huge() -> Self {
+        GridSpace {
+            sa_size: GridAxis::new(8, 4, 32),
+            n_sa: GridAxis::new(4, 4, 32),
+            n_act: GridAxis::new(2, 2, 32),
+            n_pool: GridAxis::new(2, 2, 32),
+        }
+    }
+}
+
+impl DesignSpace for GridSpace {
+    fn size(&self) -> usize {
+        self.sa_size.len() * self.n_sa.len() * self.n_act.len() * self.n_pool.len()
+    }
+
+    fn point_at(&self, index: usize) -> Option<HwParams> {
+        if index >= self.size() {
+            return None;
+        }
+        let np = self.n_pool.len().max(1);
+        let na = self.n_act.len().max(1);
+        let nn = self.n_sa.len().max(1);
+        let pi = index % np;
+        let rest = index / np;
+        let ai = rest % na;
+        let rest = rest / na;
+        let ni = rest % nn;
+        let si = rest / nn;
+        HwParams::try_new(
+            self.sa_size.value(si as u32),
+            self.n_sa.value(ni as u32),
+            self.n_act.value(ai as u32),
+            self.n_pool.value(pi as u32),
+        )
+        .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dse_space_point_at_matches_iter_order() {
+        for space in [DseSpace::default(), DseSpace::dense(6)] {
+            let explicit: Vec<HwParams> = space.iter().collect();
+            let decoded: Vec<HwParams> = space_points(&space).map(|(_, hw)| hw).collect();
+            assert_eq!(explicit, decoded);
+            assert_eq!(space.size(), space.len());
+        }
+    }
+
+    #[test]
+    fn zero_valued_slots_are_skipped_not_panicked() {
+        let space = DseSpace {
+            sa_sizes: vec![16, 0, 32],
+            ..DseSpace::default()
+        };
+        let explicit: Vec<HwParams> = space.iter().collect();
+        let decoded: Vec<HwParams> = space_points(&space).map(|(_, hw)| hw).collect();
+        assert_eq!(explicit, decoded);
+        assert!(decoded.len() < space.size());
+    }
+
+    #[test]
+    fn out_of_range_index_is_none() {
+        let space = DseSpace::default();
+        assert!(space.point_at(space.size()).is_none());
+        assert!(space.point_at(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn grid_space_decodes_every_slot_in_order() {
+        let g = GridSpace {
+            sa_size: GridAxis::new(16, 16, 3),
+            n_sa: GridAxis::new(8, 8, 2),
+            n_act: GridAxis::new(4, 4, 2),
+            n_pool: GridAxis::new(4, 4, 2),
+        };
+        assert_eq!(g.size(), 3 * 2 * 2 * 2);
+        let pts: Vec<HwParams> = space_points(&g).map(|(_, hw)| hw).collect();
+        assert_eq!(pts.len(), g.size(), "no zero-valued slots in this grid");
+        // Equivalent explicit space must enumerate identically.
+        let explicit = DseSpace {
+            sa_sizes: vec![16, 32, 48],
+            n_sas: vec![8, 16],
+            n_acts: vec![4, 8],
+            n_pools: vec![4, 8],
+            threads: None,
+        };
+        let reference: Vec<HwParams> = explicit.iter().collect();
+        assert_eq!(pts, reference);
+    }
+
+    #[test]
+    fn huge_grid_has_a_million_slots_without_allocating_them() {
+        let g = GridSpace::huge();
+        assert_eq!(g.size(), 1 << 20);
+        assert!(g.point_at(0).is_some());
+        assert!(g.point_at(g.size() - 1).is_some());
+        assert!(g.point_at(g.size()).is_none());
+        // Spot-check index round-tripping against the mixed-radix
+        // layout: slot 0 is every axis at start.
+        assert_eq!(g.point_at(0), HwParams::try_new(8, 4, 2, 2).ok());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let spaces: Vec<Box<dyn DesignSpace>> =
+            vec![Box::new(DseSpace::default()), Box::new(GridSpace::huge())];
+        for s in &spaces {
+            assert!(s.size() > 0);
+            assert!(space_points(s.as_ref()).count() > 0);
+        }
+    }
+}

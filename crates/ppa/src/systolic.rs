@@ -81,16 +81,13 @@ impl SystolicArrayModel {
         self.dataflow
     }
 
-    /// Generic matrix-shaped workload: `reduction` × `outputs` weight
-    /// matrix applied to `positions` input vectors.
-    fn matrix(
-        &self,
-        reduction: u64,
-        outputs: u64,
-        positions: u64,
-        macs: u64,
-        io_bytes: u64,
-    ) -> SystolicCost {
+    /// Timing of the generic matrix-shaped workload, `(cycles, tiles)`.
+    ///
+    /// Pure integer tile/wave arithmetic — the single implementation
+    /// shared by the exact costing path and the cycles-only
+    /// lower-bound accessors ([`Self::conv2d_cycles`] and friends), so
+    /// the two can never drift.
+    fn matrix_timing(&self, reduction: u64, outputs: u64, positions: u64) -> (u64, u64) {
         let s = u64::from(self.hw.sa_size);
         let (tiles, per_tile) = match self.dataflow {
             Dataflow::WeightStationary => (
@@ -103,7 +100,20 @@ impl SystolicArrayModel {
             ),
         };
         let waves = tiles.div_ceil(u64::from(self.hw.n_sa));
-        let cycles = waves * per_tile;
+        (waves * per_tile, tiles)
+    }
+
+    /// Generic matrix-shaped workload: `reduction` × `outputs` weight
+    /// matrix applied to `positions` input vectors.
+    fn matrix(
+        &self,
+        reduction: u64,
+        outputs: u64,
+        positions: u64,
+        macs: u64,
+        io_bytes: u64,
+    ) -> SystolicCost {
+        let (cycles, tiles) = self.matrix_timing(reduction, outputs, positions);
         let energy_pj =
             macs as f64 * tech28::PE_ENERGY_PJ + io_bytes as f64 * tech28::SRAM_ENERGY_PJ_PER_BYTE;
         SystolicCost {
@@ -116,40 +126,36 @@ impl SystolicArrayModel {
     /// Cost of a 2-D convolution (im2col mapping: reduction dimension
     /// is `C_in/groups · K_x · K_y`, repeated per group).
     pub fn conv2d(&self, c: &Conv2d) -> SystolicCost {
-        let (ox, oy) = c.ofm();
-        let positions = u64::from(ox) * u64::from(oy);
-        let reduction =
-            u64::from(c.in_channels / c.groups) * u64::from(c.kernel.0) * u64::from(c.kernel.1);
-        let outputs = u64::from(c.out_channels / c.groups);
-        let per_group = self.matrix(
-            reduction.max(1),
-            outputs.max(1),
-            positions,
-            c.macs() / u64::from(c.groups).max(1),
-            0,
-        );
-        let groups = u64::from(c.groups);
+        let (reduction, outputs, positions, groups) = conv2d_shape(c);
+        let (cycles, tiles) = self.matrix_timing(reduction, outputs, positions);
         let in_bytes = u64::from(c.ifm.0) * u64::from(c.ifm.1) * u64::from(c.in_channels);
         let io_bytes = in_bytes + c.output_elements();
         SystolicCost {
-            cycles: per_group.cycles * groups,
-            tiles: per_group.tiles * groups,
+            cycles: cycles * groups,
+            tiles: tiles * groups,
             energy_pj: c.macs() as f64 * tech28::PE_ENERGY_PJ
                 + io_bytes as f64 * tech28::SRAM_ENERGY_PJ_PER_BYTE,
         }
     }
 
+    /// Execution cycles of a 2-D convolution — [`Self::conv2d`]
+    /// without any of the floating-point energy work.
+    pub fn conv2d_cycles(&self, c: &Conv2d) -> u64 {
+        let (reduction, outputs, positions, groups) = conv2d_shape(c);
+        self.matrix_timing(reduction, outputs, positions).0 * groups
+    }
+
     /// Cost of a 1-D convolution.
     pub fn conv1d(&self, c: &Conv1d) -> SystolicCost {
-        let reduction = u64::from(c.in_channels) * u64::from(c.kernel);
+        let (reduction, outputs, positions) = conv1d_shape(c);
         let io_bytes = u64::from(c.length) * u64::from(c.in_channels) + c.output_elements();
-        self.matrix(
-            reduction,
-            u64::from(c.out_channels),
-            u64::from(c.output_length()),
-            c.macs(),
-            io_bytes,
-        )
+        self.matrix(reduction, outputs, positions, c.macs(), io_bytes)
+    }
+
+    /// Execution cycles of a 1-D convolution.
+    pub fn conv1d_cycles(&self, c: &Conv1d) -> u64 {
+        let (reduction, outputs, positions) = conv1d_shape(c);
+        self.matrix_timing(reduction, outputs, positions).0
     }
 
     /// Cost of a fully connected layer over `tokens` positions.
@@ -163,6 +169,41 @@ impl SystolicArrayModel {
             io_bytes,
         )
     }
+
+    /// Execution cycles of a fully connected layer.
+    pub fn linear_cycles(&self, l: &Linear) -> u64 {
+        self.matrix_timing(
+            u64::from(l.in_features),
+            u64::from(l.out_features),
+            u64::from(l.tokens),
+        )
+        .0
+    }
+}
+
+/// The im2col matrix shape of a 2-D convolution:
+/// `(reduction, outputs, positions, groups)`.
+fn conv2d_shape(c: &Conv2d) -> (u64, u64, u64, u64) {
+    let (ox, oy) = c.ofm();
+    let positions = u64::from(ox) * u64::from(oy);
+    let reduction =
+        u64::from(c.in_channels / c.groups) * u64::from(c.kernel.0) * u64::from(c.kernel.1);
+    let outputs = u64::from(c.out_channels / c.groups);
+    (
+        reduction.max(1),
+        outputs.max(1),
+        positions,
+        u64::from(c.groups),
+    )
+}
+
+/// The matrix shape of a 1-D convolution: `(reduction, outputs, positions)`.
+fn conv1d_shape(c: &Conv1d) -> (u64, u64, u64) {
+    (
+        u64::from(c.in_channels) * u64::from(c.kernel),
+        u64::from(c.out_channels),
+        u64::from(c.output_length()),
+    )
 }
 
 #[cfg(test)]
@@ -304,6 +345,39 @@ mod tests {
             SystolicArrayModel::new(hw()).dataflow(),
             Dataflow::WeightStationary
         );
+    }
+
+    #[test]
+    fn cycles_accessors_match_full_costing() {
+        let c1 = Conv1d {
+            in_channels: 128,
+            out_channels: 1280,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            length: 3000,
+        };
+        let l = Linear {
+            in_features: 768,
+            out_features: 3072,
+            tokens: 128,
+        };
+        let mut dw = conv(32, 32, 3, 56);
+        dw.groups = 32;
+        for hwp in [
+            HwParams::new(16, 4, 8, 8),
+            HwParams::new(32, 32, 16, 16),
+            HwParams::new(64, 1, 16, 16),
+        ] {
+            for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+                let m = SystolicArrayModel::with_dataflow(hwp, df);
+                let c2 = conv(64, 128, 3, 28);
+                assert_eq!(m.conv2d(&c2).cycles, m.conv2d_cycles(&c2));
+                assert_eq!(m.conv2d(&dw).cycles, m.conv2d_cycles(&dw));
+                assert_eq!(m.conv1d(&c1).cycles, m.conv1d_cycles(&c1));
+                assert_eq!(m.linear(&l).cycles, m.linear_cycles(&l));
+            }
+        }
     }
 
     #[test]

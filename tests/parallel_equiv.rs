@@ -199,20 +199,30 @@ fn test_phase_is_bit_identical_across_engines() {
 
 #[test]
 fn staged_sweep_is_bit_identical_to_exhaustive_everywhere() {
-    // The staged area screen must never change a sweep's output: at
-    // every thread count, cache on or off, the pruned feasible set is
-    // Debug-string identical to the exhaustive one (and the custom
-    // selection downstream of it).
+    // The staged screens (area + latency lower bound) must be
+    // deterministic and selection-preserving: at every thread count,
+    // cache on or off, the screened sweep output is Debug-string
+    // identical to the serial screened reference, an order-preserving
+    // subset of the exhaustive oracle whose removals all sit outside
+    // the latency-slack window, and every objective's selection from
+    // either list is bit-identical.
     let space = DseSpace::default();
     let cons = Constraints::default();
     for model in [zoo::vgg16(), zoo::bert_base()] {
-        let reference = format!(
+        let oracle = sweep_with_engine(
+            &model,
+            &space,
+            &cons,
+            &Engine::serial().with_cache(false).with_pruning(false),
+        );
+        let oracle_ref = format!("{oracle:?}");
+        let staged_ref = format!(
             "{:?}",
             sweep_with_engine(
                 &model,
                 &space,
                 &cons,
-                &Engine::serial().with_cache(false).with_pruning(false)
+                &Engine::serial().with_cache(false).with_pruning(true)
             )
         );
         for threads in THREAD_COUNTS {
@@ -220,15 +230,63 @@ fn staged_sweep_is_bit_identical_to_exhaustive_everywhere() {
                 for pruning in [false, true] {
                     let engine = Engine::new(threads).with_cache(cache).with_pruning(pruning);
                     let got = format!("{:?}", sweep_with_engine(&model, &space, &cons, &engine));
+                    let want = if pruning { &staged_ref } else { &oracle_ref };
                     assert_eq!(
-                        got,
-                        reference,
+                        &got,
+                        want,
                         "{} sweep diverged at {threads} thread(s), cache {cache}, \
                          pruning {pruning}",
                         model.name()
                     );
                 }
             }
+        }
+        // Screened ⊆ oracle, order preserved, removals out of window.
+        let staged = sweep_with_engine(&model, &space, &cons, &Engine::serial());
+        let oracle_dbg: Vec<String> = oracle.iter().map(|p| format!("{p:?}")).collect();
+        let mut cursor = 0usize;
+        for p in &staged {
+            let needle = format!("{p:?}");
+            let pos = oracle_dbg[cursor..]
+                .iter()
+                .position(|e| *e == needle)
+                .unwrap_or_else(|| panic!("staged point {} missing from oracle", p.hw));
+            cursor += pos + 1;
+        }
+        let best_latency = oracle
+            .iter()
+            .map(|p| p.report.latency_s)
+            .fold(f64::INFINITY, f64::min);
+        let limit = best_latency * (1.0 + cons.latency_slack);
+        let staged_set: std::collections::BTreeSet<String> =
+            staged.iter().map(|p| format!("{p:?}")).collect();
+        for p in &oracle {
+            if !staged_set.contains(&format!("{p:?}")) {
+                assert!(
+                    p.report.latency_s > limit,
+                    "{} pruned but inside the latency window",
+                    p.hw
+                );
+            }
+        }
+        for objective in DseObjective::ALL {
+            let a = format!(
+                "{:?}",
+                custom_config_with_engine(&model, &space, &cons, objective, &Engine::serial())
+                    .unwrap()
+            );
+            let b = format!(
+                "{:?}",
+                custom_config_with_engine(
+                    &model,
+                    &space,
+                    &cons,
+                    objective,
+                    &Engine::serial().with_pruning(false)
+                )
+                .unwrap()
+            );
+            assert_eq!(a, b, "{} {objective:?} selection diverged", model.name());
         }
     }
 }

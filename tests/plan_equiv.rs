@@ -205,6 +205,11 @@ fn plan_memo_tiers_see_traffic() {
         "louvain warm tier never consulted: {stats:?}"
     );
     assert!(
+        stats.louvain_warm_hits > 0,
+        "louvain warm tier consulted but never *hit* — the certified \
+         warm-start path is dead on the paper-scale flow: {stats:?}"
+    );
+    assert!(
         stats.merged_graph_builds > 0,
         "no multi-member graph assembled from cached members: {stats:?}"
     );

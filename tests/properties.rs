@@ -372,11 +372,14 @@ fn random_constraints() -> impl Strategy<Value = Constraints> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The staged, area-pruned sweep is indistinguishable from the
-    /// exhaustive reference on arbitrary models, spaces, and
-    /// constraints: the feasible set is bit-identical (Debug strings
-    /// compare `f64`s exactly) and so is the selected configuration
-    /// under every objective — including agreement on infeasibility.
+    /// The staged, screened sweep (area + latency lower bound) is
+    /// selection-indistinguishable from the exhaustive reference on
+    /// arbitrary models, spaces, and constraints: its output is an
+    /// order-preserving subset of the exhaustive feasible set whose
+    /// removals all sit outside the latency-slack window, and the
+    /// selected configuration under every objective is bit-identical
+    /// (Debug strings compare `f64`s exactly) — including agreement
+    /// on infeasibility.
     #[test]
     fn staged_sweep_equals_exhaustive_on_random_inputs(
         s in steps(),
@@ -390,7 +393,33 @@ proptest! {
         let exhaustive_engine = Engine::serial().with_pruning(false);
         let staged = sweep_with_engine(&model, &space, &cons, &staged_engine);
         let exhaustive = sweep_with_engine(&model, &space, &cons, &exhaustive_engine);
-        prop_assert_eq!(format!("{staged:?}"), format!("{exhaustive:?}"));
+        // Order-preserving subset…
+        let exhaustive_dbg: Vec<String> =
+            exhaustive.iter().map(|p| format!("{p:?}")).collect();
+        let mut cursor = 0usize;
+        for p in &staged {
+            let needle = format!("{p:?}");
+            let pos = exhaustive_dbg[cursor..].iter().position(|e| *e == needle);
+            prop_assert!(pos.is_some(), "staged point {} missing from oracle", p.hw);
+            cursor += pos.unwrap() + 1;
+        }
+        // …with every removal outside the latency window.
+        let best_latency = exhaustive
+            .iter()
+            .map(|p| p.report.latency_s)
+            .fold(f64::INFINITY, f64::min);
+        let limit = best_latency * (1.0 + cons.latency_slack);
+        let staged_set: std::collections::BTreeSet<String> =
+            staged.iter().map(|p| format!("{p:?}")).collect();
+        for p in &exhaustive {
+            if !staged_set.contains(&format!("{p:?}")) {
+                prop_assert!(
+                    p.report.latency_s > limit,
+                    "{} pruned but inside the latency window",
+                    p.hw
+                );
+            }
+        }
         for objective in [
             DseObjective::MinArea,
             DseObjective::MinLatency,
@@ -407,12 +436,107 @@ proptest! {
                 objective
             );
         }
-        // The screen accounted for every point of every staged sweep
+        // The screens accounted for every point of every staged sweep
         // (1 sweep + 3 selections), and never touched the exhaustive
         // engine.
         let stats = staged_engine.stats();
-        prop_assert_eq!(stats.dse_pruned + stats.dse_evaluated, 4 * space.len() as u64);
+        prop_assert_eq!(
+            stats.dse_pruned + stats.dse_lb_pruned + stats.dse_evaluated,
+            4 * space.len() as u64
+        );
         prop_assert_eq!(exhaustive_engine.stats().dse_pruned, 0);
+        prop_assert_eq!(exhaustive_engine.stats().dse_lb_pruned, 0);
+    }
+
+    /// The three-objective Pareto front of a feasible sweep contains
+    /// the windowed argmin of **every** objective, and selection from
+    /// the front reproduces the sweep's winner bit-identically — one
+    /// sweep answers all objective queries.
+    #[test]
+    fn pareto_front_reproduces_every_objective_winner(
+        s in steps(),
+        space in random_space(),
+        cons in random_constraints(),
+    ) {
+        use claire::core::dse::{sweep_with_engine, DseObjective};
+        use claire::core::{Engine, ParetoFront};
+        let model = materialize(&s);
+        let points =
+            sweep_with_engine(&model, &space, &cons, &Engine::serial().with_pruning(false));
+        let front = ParetoFront::from_points(&points);
+        prop_assert!(front.len() <= points.len());
+        let best_latency = points
+            .iter()
+            .map(|p| p.report.latency_s)
+            .fold(f64::INFINITY, f64::min);
+        for objective in [
+            DseObjective::MinArea,
+            DseObjective::MinLatency,
+            DseObjective::MinEnergyDelayProduct,
+        ] {
+            // The historical full-list fold: window, then first-tie
+            // argmin.
+            let limit = best_latency * (1.0 + cons.latency_slack);
+            let reference = points
+                .iter()
+                .filter(|p| p.report.latency_s <= limit)
+                .min_by(|a, b| {
+                    objective
+                        .score(&a.report)
+                        .total_cmp(&objective.score(&b.report))
+                });
+            let got = front.select(&cons, objective);
+            prop_assert_eq!(
+                format!("{got:?}"),
+                format!("{reference:?}"),
+                "objective {:?} diverged on the front",
+                objective
+            );
+        }
+    }
+
+    /// Successive halving with `budget ≥ |space|` never samples: its
+    /// exactly priced point set, front, and selections are
+    /// bit-identical to the exhaustive policy on random small spaces.
+    #[test]
+    fn full_budget_successive_halving_degenerates_to_exhaustive(
+        s in steps(),
+        space in random_space(),
+        cons in random_constraints(),
+        seed in 0u64..u64::MAX,
+    ) {
+        use claire::core::dse::DseObjective;
+        use claire::core::{search_with_engine, Engine, SearchPolicy};
+        let model = materialize(&s);
+        let policy = SearchPolicy::SuccessiveHalving {
+            seed,
+            eta: 2,
+            budget: space.len(),
+        };
+        let sh = search_with_engine(&model, &space, &cons, policy, &Engine::serial());
+        let ex = search_with_engine(
+            &model,
+            &space,
+            &cons,
+            SearchPolicy::Exhaustive,
+            &Engine::serial(),
+        );
+        prop_assert!(!sh.sampled);
+        prop_assert_eq!(format!("{:?}", sh.points), format!("{:?}", ex.points));
+        prop_assert_eq!(
+            format!("{:?}", sh.front.entries()),
+            format!("{:?}", ex.front.entries())
+        );
+        for objective in [
+            DseObjective::MinArea,
+            DseObjective::MinLatency,
+            DseObjective::MinEnergyDelayProduct,
+        ] {
+            prop_assert_eq!(
+                format!("{:?}", sh.front.select(&cons, objective)),
+                format!("{:?}", ex.front.select(&cons, objective))
+            );
+        }
     }
 }
 
