@@ -92,6 +92,12 @@ pub enum Command {
         /// Pipelined batch size (1 = single inference).
         batch: usize,
     },
+    /// `serve [--config <file>]` — resident engine answering
+    /// JSON-lines requests on stdin.
+    Serve {
+        /// Optional RunConfig JSON file.
+        config: Option<String>,
+    },
     /// `help`.
     Help,
 }
@@ -309,6 +315,21 @@ pub fn extract_metrics_json(
     extract_path_option(args, "--metrics-json")
 }
 
+/// Strips a global `--cache-dir <dir>` option (valid with any
+/// command) from the raw argument list, returning the warm-state
+/// snapshot directory and the remaining arguments for [`parse_args`].
+/// When set, the engine loads `<dir>/claire.snapshot` before the flow
+/// (falling back to a cold start, with a warning, when the file is
+/// missing or invalid) and saves the warmed memo tiers back on
+/// success.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] when the value is missing.
+pub fn extract_cache_dir(args: &[String]) -> Result<(Option<String>, Vec<String>), ParseArgsError> {
+    extract_path_option(args, "--cache-dir")
+}
+
 fn extract_path_option(
     args: &[String],
     name: &str,
@@ -486,6 +507,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 batch,
             })
         }
+        "serve" => Ok(Command::Serve {
+            config: value("--config").map(str::to_owned),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(err(format!(
             "unknown command `{other}` (try `claire-cli help`)"
@@ -524,6 +548,22 @@ USAGE:
       library as a JSON artifact.
   claire-cli deploy <model> --library <file> [--json]
       Deploy an algorithm onto a stored library without retraining.
+  claire-cli serve [--config <file>]
+      Stay resident and answer JSON-lines requests on stdin (one
+      object per line, responses on stdout). Concurrent requests are
+      batched into shared evaluations over one warm engine. Ops:
+        {\"op\":\"custom\",\"model\":\"Resnet50\"}
+        {\"op\":\"custom\",\"printout\":\"<print(model) dump>\",
+         \"name\":\"net\",\"image\":[3,224,224]}     (or \"seq\":[T,F])
+        {\"op\":\"assign\",\"model\":\"VGG16\"}
+        {\"op\":\"what_if\",\"model\":\"Resnet50\",
+         \"constraints\":{\"chiplet_area_limit_mm2\":50.0}}
+      Optional per request: \"id\" (echoed back), \"degrade\"
+      (true/false overrides the global policy), \"trace_out\" (write
+      the engine trace so far to this path; needs --trace-out to arm
+      tracing). Errors come back typed per request:
+      {\"ok\":false,\"error\":{\"code\":N,\"detail\":...}} with the
+      exit-code numbering below; the server keeps running.
   claire-cli help
       Show this text.
 
@@ -552,6 +592,16 @@ Search policy (also valid with any command):
                                     --search successive-halving \
                                     --budget 16 --seed 42
 
+Warm-state persistence (also valid with any command):
+  --cache-dir <dir>      Load <dir>/claire.snapshot into the engine
+                         before the flow and save the warmed memo
+                         tiers back after it. Results are bit-identical
+                         to a cold run — the snapshot only stores memo
+                         entries keyed by their exact inputs. A
+                         missing, corrupt or version-mismatched
+                         snapshot degrades to a cold start with a
+                         warning on stderr; it never fails the run.
+
 Telemetry exports (also valid with any command):
   --trace-out <path>     Write a Chrome Trace Event JSON of the run
                          (load in Perfetto or chrome://tracing; one
@@ -566,7 +616,8 @@ EXIT CODES:
   5 chiplet area unsatisfiable   6 incomplete coverage
   7 worker panic             8 non-finite metric
   9 invalid input           10 no interposer route
- 11 internal invariant violation   1 other errors
+ 11 internal invariant violation   12 invalid warm-state snapshot
+  1 other errors
 ";
 
 #[cfg(test)]
@@ -777,6 +828,32 @@ mod tests {
         assert!(extract_threads(&v(&["flow", "--threads", "0"])).is_err());
         assert!(extract_threads(&v(&["flow", "--threads", "many"])).is_err());
         assert!(extract_threads(&v(&["flow", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn cache_dir_is_extracted_from_any_position() {
+        let (dir, rest) =
+            extract_cache_dir(&v(&["flow", "--cache-dir", ".cache", "--json"])).unwrap();
+        assert_eq!(dir.as_deref(), Some(".cache"));
+        assert_eq!(rest, v(&["flow", "--json"]));
+        let (none, rest) = extract_cache_dir(&v(&["flow"])).unwrap();
+        assert_eq!(none, None);
+        assert_eq!(rest, v(&["flow"]));
+        assert!(extract_cache_dir(&v(&["flow", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_optional_config() {
+        assert_eq!(
+            parse_args(&v(&["serve"])).unwrap(),
+            Command::Serve { config: None }
+        );
+        assert_eq!(
+            parse_args(&v(&["serve", "--config", "run.json"])).unwrap(),
+            Command::Serve {
+                config: Some("run.json".into())
+            }
+        );
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! a library call through the `claire-core` façade.
 
 mod args;
+mod serve;
 mod summary;
 
 use args::{
-    extract_degrade, extract_legacy_flow, extract_metrics_json, extract_search, extract_threads,
-    extract_trace_out, parse_args, CliSearch, Command, USAGE,
+    extract_cache_dir, extract_degrade, extract_legacy_flow, extract_metrics_json, extract_search,
+    extract_threads, extract_trace_out, parse_args, CliSearch, Command, USAGE,
 };
 use claire_core::{
     paper_table3_subsets, ChipletLibrary, Claire, ClaireError, ClaireOptions, Degradation, Engine,
@@ -26,17 +27,26 @@ fn main() {
     let (legacy_flow, argv) = extract_legacy_flow(&argv);
     let parsed = extract_trace_out(&argv).and_then(|(trace, rest)| {
         let (metrics, rest) = extract_metrics_json(&rest)?;
+        let (cache_dir, rest) = extract_cache_dir(&rest)?;
         let (threads, rest) = extract_threads(&rest)?;
         let (search, rest) = extract_search(&rest)?;
-        Ok((parse_args(&rest)?, threads, trace, metrics, search))
+        Ok((
+            parse_args(&rest)?,
+            threads,
+            trace,
+            metrics,
+            cache_dir,
+            search,
+        ))
     });
     let code = match parsed {
-        Ok((cmd, threads, trace, metrics, search)) => {
+        Ok((cmd, threads, trace, metrics, cache_dir, search)) => {
             let globals = Globals {
                 threads,
                 degrade,
                 legacy_flow,
                 search,
+                cache_dir,
                 telemetry: TelemetryOptions {
                     trace_out: trace.map(PathBuf::from),
                     metrics_out: metrics.map(PathBuf::from),
@@ -67,6 +77,33 @@ fn exit_code(e: &ClaireError) -> i32 {
         ClaireError::InvalidInput { .. } => 9,
         ClaireError::NoRoute { .. } => 10,
         ClaireError::Internal { .. } => 11,
+        ClaireError::SnapshotInvalid { .. } => 12,
+    }
+}
+
+/// Builds the engine a command runs on: tracing armed exactly when a
+/// trace export path is set (mirrors the façade's internal policy).
+fn engine_for(claire: &Claire) -> Engine {
+    Engine::for_space(&claire.options().space)
+        .with_tracing(claire.options().telemetry.trace_out.is_some())
+}
+
+/// Loads the warm-state snapshot (if `--cache-dir` names one) into
+/// `engine`. A corrupt or incompatible snapshot degrades to a cold
+/// start with a warning — it never fails the run, and the staged
+/// validation guarantees the engine is untouched.
+fn load_warm(claire: &Claire, engine: &Engine) {
+    if let Err(e) = claire.load_warm_state(engine) {
+        eprintln!("warning: {e}; starting cold");
+    }
+}
+
+/// Saves the warmed memo tiers back to `--cache-dir` after a
+/// successful run. A write failure costs only the warm start of the
+/// next run, so it warns instead of failing.
+fn save_warm(claire: &Claire, engine: &Engine) {
+    if let Err(e) = claire.save_warm_state(engine) {
+        eprintln!("warning: failed to save warm state: {e}");
     }
 }
 
@@ -101,6 +138,7 @@ struct Globals {
     degrade: bool,
     legacy_flow: bool,
     search: Option<CliSearch>,
+    cache_dir: Option<String>,
     telemetry: TelemetryOptions,
 }
 
@@ -150,6 +188,7 @@ fn options(
     }
     opts.search = search_policy(g.search);
     opts.telemetry = g.telemetry.clone();
+    opts.cache_dir = g.cache_dir.as_ref().map(PathBuf::from);
     Ok(opts)
 }
 
@@ -206,8 +245,14 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                 }
             };
             let claire = Claire::new(opts);
-            match claire.custom_for(&m) {
+            let engine = engine_for(&claire);
+            load_warm(&claire, &engine);
+            match claire.custom_for_with_engine(&m, &engine) {
                 Ok(custom) => {
+                    if let Err(e) = claire.export_telemetry(&engine) {
+                        return fail(&e);
+                    }
+                    save_warm(&claire, &engine);
                     warn_degraded(custom.model.name(), custom.degradation.as_ref());
                     let s = CustomSummary::from(&custom);
                     if json {
@@ -250,8 +295,14 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                 }
             };
             let claire = Claire::new(opts);
-            match claire.train(&zoo::training_set()) {
+            let engine = engine_for(&claire);
+            load_warm(&claire, &engine);
+            match claire.train_with_engine(&zoo::training_set(), &engine) {
                 Ok(out) => {
+                    if let Err(e) = claire.export_telemetry(&engine) {
+                        return fail(&e);
+                    }
+                    save_warm(&claire, &engine);
                     warn_train(&out);
                     let s = TrainSummary::from(&out);
                     if json {
@@ -278,9 +329,10 @@ fn run(cmd: Command, g: &Globals) -> i32 {
             };
             let claire = Claire::new(opts);
             // One explicit engine for both phases, so a --trace-out
-            // export covers all six flow stages in a single trace.
-            let engine = Engine::for_space(&claire.options().space)
-                .with_tracing(claire.options().telemetry.trace_out.is_some());
+            // export covers all six flow stages in a single trace and
+            // a --cache-dir snapshot captures both phases' tiers.
+            let engine = engine_for(&claire);
+            load_warm(&claire, &engine);
             let train = match claire.train_with_engine(&zoo::training_set(), &engine) {
                 Ok(t) => {
                     warn_train(&t);
@@ -297,6 +349,7 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                     if let Err(e) = claire.export_telemetry(&engine) {
                         return fail(&e);
                     }
+                    save_warm(&claire, &engine);
                     let flow = FlowSummary::new(&train, &test);
                     if json {
                         println!(
@@ -321,6 +374,16 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                 }
                 Err(e) => fail(&e),
             }
+        }
+        Command::Serve { config } => {
+            let opts = match options(false, None, config.as_deref(), g) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            serve::run(opts)
         }
         Command::Describe { model } => {
             let Some(m) = zoo::by_name(&model) else {
@@ -545,18 +608,22 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                 model.macs() as f64 / 1e6,
                 model.param_count()
             );
-            let mut opts = ClaireOptions::default();
-            if g.threads.is_some() {
-                opts.space.threads = g.threads;
-            }
-            if g.degrade {
-                opts.policy = RobustnessPolicy::Degrade;
-            }
-            opts.search = search_policy(g.search);
-            opts.telemetry = g.telemetry.clone();
+            let opts = match options(false, None, None, g) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
             let claire = Claire::new(opts);
-            match claire.custom_for(&model) {
+            let engine = engine_for(&claire);
+            load_warm(&claire, &engine);
+            match claire.custom_for_with_engine(&model, &engine) {
                 Ok(custom) => {
+                    if let Err(e) = claire.export_telemetry(&engine) {
+                        return fail(&e);
+                    }
+                    save_warm(&claire, &engine);
                     warn_degraded(custom.model.name(), custom.degradation.as_ref());
                     let s = CustomSummary::from(&custom);
                     if json {

@@ -1,0 +1,431 @@
+//! `claire-cli serve` — a resident engine answering JSON-lines
+//! requests on stdin.
+//!
+//! One [`ResidentEngine`] lives for the whole session: every request
+//! shares its memo tiers, and requests that arrive together are
+//! batched into shared evaluations (one flat plan per custom batch,
+//! one test table per assign batch). Combined with `--cache-dir`, the
+//! first request after a restart is answered at warm-reflow speed.
+//!
+//! Protocol: one JSON object per input line, one JSON object per
+//! output line, in request order within a batch. Every response
+//! carries `"ok"` plus either the op's result or a typed `"error"`
+//! `{code, detail}` using the CLI exit-code numbering — a failed
+//! request never takes the server down. See [`crate::args::USAGE`].
+
+use crate::summary::CustomSummary;
+use claire_core::{
+    ClaireError, ClaireOptions, Constraints, CustomRequest, ResidentEngine, RobustnessPolicy,
+};
+use claire_model::parse::{parse_model, InputShape, ParseOptions};
+use claire_model::{zoo, Model, ModelClass};
+use serde::Value;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+/// One parsed request line.
+struct Request {
+    /// Caller correlation id, echoed back verbatim.
+    id: Value,
+    /// Per-request Chrome-trace export path.
+    trace_out: Option<String>,
+    op: Op,
+}
+
+enum Op {
+    Custom {
+        model: Model,
+        policy: Option<RobustnessPolicy>,
+    },
+    Assign {
+        model: Model,
+    },
+    WhatIf {
+        model: Model,
+        constraints: Constraints,
+    },
+}
+
+/// Runs the resident server until stdin closes. Returns the process
+/// exit code (0 — per-request failures are answered, not fatal).
+pub fn run(opts: ClaireOptions) -> i32 {
+    let resident = ResidentEngine::new(opts, zoo::training_set());
+    match resident.load_warm_state() {
+        Ok(true) => eprintln!("info: warm state loaded"),
+        Ok(false) => {}
+        Err(e) => eprintln!("warning: {e}; starting cold"),
+    }
+
+    // A reader thread keeps pulling lines while the engine evaluates,
+    // so requests arriving mid-batch are served together in the next
+    // batch instead of one by one.
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::spawn(move || {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    while let Ok(first) = rx.recv() {
+        let mut lines = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            lines.push(more);
+        }
+        let responses = serve_batch(&resident, &lines);
+        let mut out = std::io::stdout().lock();
+        for r in &responses {
+            let line = serde_json::to_string(r).unwrap_or_else(|_| "null".into());
+            if writeln!(out, "{line}").is_err() {
+                return 1;
+            }
+        }
+        if out.flush().is_err() {
+            return 1;
+        }
+    }
+
+    if let Err(e) = resident.save_warm_state() {
+        eprintln!("warning: failed to save warm state: {e}");
+    }
+    let _ = reader.join();
+    0
+}
+
+/// Serves one batch of request lines, returning responses in input
+/// order. Custom requests across the batch share one flat evaluation
+/// table; assignment requests share one test table.
+fn serve_batch(resident: &ResidentEngine, lines: &[String]) -> Vec<Value> {
+    let parsed: Vec<Result<Request, String>> = lines.iter().map(|l| parse_request(l)).collect();
+    let mut responses: Vec<Option<Value>> = parsed.iter().map(|_| None).collect();
+
+    // Batch all customs into one plan.
+    let custom_idx: Vec<usize> = parsed
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            matches!(
+                p,
+                Ok(Request {
+                    op: Op::Custom { .. },
+                    ..
+                })
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if !custom_idx.is_empty() {
+        let requests: Vec<CustomRequest> = custom_idx
+            .iter()
+            .map(|&i| match &parsed[i] {
+                Ok(Request {
+                    op: Op::Custom { model, policy },
+                    ..
+                }) => CustomRequest {
+                    model: model.clone(),
+                    policy: *policy,
+                    constraints: None,
+                },
+                _ => unreachable!("custom_idx filters Op::Custom"),
+            })
+            .collect();
+        for (&i, result) in custom_idx.iter().zip(resident.custom_batch(&requests)) {
+            responses[i] = Some(match result {
+                Ok(custom) => {
+                    let degradation = custom.degradation.as_ref().map(ToString::to_string);
+                    serde_json::json!({
+                        "op": "custom",
+                        "ok": true,
+                        "result": CustomSummary::from(&custom),
+                        "degradation": degradation,
+                    })
+                }
+                Err(e) => error_value("custom", &e),
+            });
+        }
+    }
+
+    // Batch all assignments into one test table.
+    let assign_idx: Vec<usize> = parsed
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            matches!(
+                p,
+                Ok(Request {
+                    op: Op::Assign { .. },
+                    ..
+                })
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if !assign_idx.is_empty() {
+        let models: Vec<Model> = assign_idx
+            .iter()
+            .map(|&i| match &parsed[i] {
+                Ok(Request {
+                    op: Op::Assign { model },
+                    ..
+                }) => model.clone(),
+                _ => unreachable!("assign_idx filters Op::Assign"),
+            })
+            .collect();
+        match resident.assign_batch(&models) {
+            Ok(reports) => {
+                for (&i, report) in assign_idx.iter().zip(&reports) {
+                    responses[i] = Some(assign_value(resident, report));
+                }
+            }
+            // A whole-batch failure (e.g. one uncoverable model)
+            // isolates to per-model retries so the others still get
+            // answers.
+            Err(_) => {
+                for (&i, model) in assign_idx.iter().zip(&models) {
+                    responses[i] = Some(match resident.assign(model) {
+                        Ok(report) => assign_value(resident, &report),
+                        Err(e) => error_value("assign", &e),
+                    });
+                }
+            }
+        }
+    }
+
+    // What-if probes and parse errors, individually.
+    for (i, p) in parsed.iter().enumerate() {
+        if responses[i].is_some() {
+            continue;
+        }
+        responses[i] = Some(match p {
+            Ok(Request {
+                op: Op::WhatIf { model, constraints },
+                ..
+            }) => match resident.what_if(model, *constraints) {
+                Ok(report) => serde_json::json!({
+                    "op": "what_if",
+                    "ok": true,
+                    "feasible": report.feasible,
+                    "result": report.result.as_ref().map(CustomSummary::from),
+                    "infeasibility": report.infeasibility.as_ref().map(ToString::to_string),
+                }),
+                Err(e) => error_value("what_if", &e),
+            },
+            Err(msg) => serde_json::json!({
+                "ok": false,
+                "error": serde_json::json!({ "code": 2, "detail": msg }),
+            }),
+            Ok(_) => unreachable!("custom/assign answered above"),
+        });
+    }
+
+    // Echo ids and honor per-request trace exports.
+    parsed
+        .iter()
+        .zip(responses)
+        .map(|(p, r)| {
+            let mut value = r.unwrap_or(Value::Null);
+            if let (Ok(req), Value::Object(fields)) = (p, &mut value) {
+                fields.insert(0, ("id".to_string(), req.id.clone()));
+                if let Some(path) = &req.trace_out {
+                    let note = export_trace(resident, path);
+                    fields.push(("trace".to_string(), note));
+                }
+            }
+            value
+        })
+        .collect()
+}
+
+/// Writes the engine's trace so far to `path` (the trace spans the
+/// resident engine's whole life, not just this request), returning a
+/// note for the response.
+fn export_trace(resident: &ResidentEngine, path: &str) -> Value {
+    if resident.options().telemetry.trace_out.is_none() {
+        return Value::String("tracing disabled (start serve with --trace-out to arm)".into());
+    }
+    match resident.engine().write_trace(std::path::Path::new(path)) {
+        Ok(()) => Value::String(format!("written to {path}")),
+        Err(e) => Value::String(format!("failed: {e}")),
+    }
+}
+
+/// The success response for one assignment report.
+fn assign_value(resident: &ResidentEngine, report: &claire_core::TestReport) -> Value {
+    let assigned = report.assigned_library.and_then(|k| {
+        resident
+            .train_output()
+            .ok()
+            .and_then(|t| t.libraries.get(k))
+            .map(|l| l.config.name.clone())
+    });
+    serde_json::json!({
+        "op": "assign",
+        "ok": true,
+        "model": report.model_name,
+        "assigned": assigned,
+        "similarity": report.similarity,
+        "coverage": report.coverage,
+        "utilization_library": report.utilization_library,
+        "utilization_generic": report.utilization_generic,
+        "ppa": report.ppa.library,
+    })
+}
+
+/// The failure response for a typed pipeline error, with the CLI
+/// exit-code numbering.
+fn error_value(op: &str, e: &ClaireError) -> Value {
+    serde_json::json!({
+        "op": op,
+        "ok": false,
+        "error": serde_json::json!({ "code": crate::exit_code(e), "detail": e.to_string() }),
+    })
+}
+
+/// Parses one request line into a [`Request`], with a user-facing
+/// message on malformed input.
+fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let obj = value.as_object().ok_or("request must be a JSON object")?;
+    for (key, _) in obj {
+        if !matches!(
+            key.as_str(),
+            "id" | "op"
+                | "model"
+                | "printout"
+                | "name"
+                | "image"
+                | "seq"
+                | "degrade"
+                | "constraints"
+                | "trace_out"
+        ) {
+            return Err(format!("unknown request field `{key}`"));
+        }
+    }
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let trace_out = value
+        .get("trace_out")
+        .map(|v| {
+            v.as_str()
+                .ok_or("trace_out must be a string")
+                .map(str::to_owned)
+        })
+        .transpose()?;
+    let model = request_model(&value)?;
+    let op = match value.get("op").and_then(Value::as_str) {
+        Some("custom") => Op::Custom {
+            model,
+            policy: match value.get("degrade").map(Value::as_bool) {
+                None => None,
+                Some(Some(true)) => Some(RobustnessPolicy::Degrade),
+                Some(Some(false)) => Some(RobustnessPolicy::FailFast),
+                Some(None) => return Err("degrade must be a boolean".into()),
+            },
+        },
+        Some("assign") => Op::Assign { model },
+        Some("what_if") => Op::WhatIf {
+            model,
+            constraints: request_constraints(&value)?,
+        },
+        Some(other) => return Err(format!("unknown op `{other}`")),
+        None => return Err("missing `op` (custom | assign | what_if)".into()),
+    };
+    Ok(Request { id, trace_out, op })
+}
+
+/// Resolves the request's model: a zoo name (`"model"`) or an inline
+/// `print(model)` dump (`"printout"` with optional `"name"`,
+/// `"image": [C,H,W]` or `"seq": [TOKENS,FEATURES]`).
+fn request_model(value: &Value) -> Result<Model, String> {
+    match (value.get("model"), value.get("printout")) {
+        (Some(_), Some(_)) => Err("`model` and `printout` are mutually exclusive".into()),
+        (Some(name), None) => {
+            let name = name.as_str().ok_or("model must be a string")?;
+            zoo::by_name(name)
+                .ok_or_else(|| format!("unknown model `{name}` (see `claire-cli models`)"))
+        }
+        (None, Some(text)) => {
+            let text = text.as_str().ok_or("printout must be a string")?;
+            let name = match value.get("name") {
+                Some(n) => n.as_str().ok_or("name must be a string")?,
+                None => "parsed",
+            };
+            let (input, class) = match (dims(value, "image", 3)?, dims(value, "seq", 2)?) {
+                (Some(_), Some(_)) => return Err("image and seq are mutually exclusive".into()),
+                (_, Some(s)) => (
+                    InputShape::Sequence {
+                        tokens: s[0],
+                        features: s[1],
+                    },
+                    ModelClass::Transformer,
+                ),
+                (Some(i), None) => (
+                    InputShape::Image {
+                        channels: i[0],
+                        height: i[1],
+                        width: i[2],
+                    },
+                    ModelClass::Cnn,
+                ),
+                (None, None) => (
+                    InputShape::Image {
+                        channels: 3,
+                        height: 224,
+                        width: 224,
+                    },
+                    ModelClass::Cnn,
+                ),
+            };
+            parse_model(name, text, ParseOptions { input, class }).map_err(|e| e.to_string())
+        }
+        (None, None) => Err("missing `model` or `printout`".into()),
+    }
+}
+
+/// Reads an optional `[u32; n]` shape field.
+fn dims(value: &Value, key: &str, n: usize) -> Result<Option<Vec<u32>>, String> {
+    let Some(v) = value.get(key) else {
+        return Ok(None);
+    };
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("{key} must be an array of {n} integers"))?;
+    if arr.len() != n {
+        return Err(format!("{key} must have exactly {n} elements"));
+    }
+    arr.iter()
+        .map(|e| {
+            e.as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| format!("{key} elements must be u32 integers"))
+        })
+        .collect::<Result<Vec<u32>, String>>()
+        .map(Some)
+}
+
+/// Builds the what-if constraints: the resident defaults overridden
+/// by any fields present in the request's `constraints` object.
+fn request_constraints(value: &Value) -> Result<Constraints, String> {
+    let Some(c) = value.get("constraints") else {
+        return Err("what_if requires a `constraints` object".into());
+    };
+    let fields = c.as_object().ok_or("constraints must be an object")?;
+    let mut out = Constraints::default();
+    for (key, v) in fields {
+        let num = v
+            .as_f64()
+            .ok_or_else(|| format!("constraint `{key}` must be a number"))?;
+        match key.as_str() {
+            "chiplet_area_limit_mm2" => out.chiplet_area_limit_mm2 = num,
+            "power_density_limit_w_per_mm2" => out.power_density_limit_w_per_mm2 = num,
+            "latency_slack" => out.latency_slack = num,
+            other => return Err(format!("unknown constraint `{other}`")),
+        }
+    }
+    Ok(out)
+}

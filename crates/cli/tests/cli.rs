@@ -320,3 +320,130 @@ fn trace_out_requires_a_value() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--trace-out requires a value"));
 }
+
+#[test]
+fn cache_dir_round_trip_is_bit_identical_and_survives_corruption() {
+    let dir = std::env::temp_dir().join(format!("claire-cli-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = dir.to_str().expect("utf8");
+
+    // Cold run: saves a snapshot on exit.
+    let cold = cli()
+        .args(["custom", "Alexnet", "--json", "--cache-dir", cache])
+        .output()
+        .expect("run");
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let snapshot = dir.join("claire.snapshot");
+    assert!(snapshot.exists(), "cold run saved no snapshot");
+
+    // Warm run: loads the snapshot; the report must be bit-identical.
+    let warm = cli()
+        .args(["custom", "Alexnet", "--json", "--cache-dir", cache])
+        .output()
+        .expect("run");
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm-from-snapshot output diverged from cold"
+    );
+
+    // A corrupt snapshot degrades to a cold start with a typed
+    // warning — same output, exit 0, never a panic.
+    std::fs::write(&snapshot, b"not a snapshot").expect("corrupt");
+    let recovered = cli()
+        .args(["custom", "Alexnet", "--json", "--cache-dir", cache])
+        .output()
+        .expect("run");
+    assert!(
+        recovered.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recovered.stderr)
+    );
+    assert_eq!(recovered.stdout, cold.stdout);
+    let err = String::from_utf8_lossy(&recovered.stderr);
+    assert!(
+        err.contains("warm-state snapshot rejected"),
+        "no typed warning on corrupt snapshot: {err}"
+    );
+    // The recovered run overwrote the corrupt file with a fresh,
+    // loadable snapshot.
+    let again = cli()
+        .args(["custom", "Alexnet", "--json", "--cache-dir", cache])
+        .output()
+        .expect("run");
+    assert!(again.status.success());
+    assert!(!String::from_utf8_lossy(&again.stderr).contains("rejected"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_answers_batched_json_lines_requests() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = cli()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    // Three well-formed requests (all three op families) plus one
+    // malformed line: the server answers each in order and keeps
+    // running.
+    stdin
+        .write_all(
+            concat!(
+                "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}\n",
+                "{\"id\":2,\"op\":\"assign\",\"model\":\"VGG16\"}\n",
+                "{\"id\":3,\"op\":\"what_if\",\"model\":\"Alexnet\",",
+                "\"constraints\":{\"chiplet_area_limit_mm2\":0.5}}\n",
+                "{\"id\":4,\"op\":\"frobnicate\"}\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    drop(stdin); // EOF ends the session.
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("each response line is JSON"))
+        .collect();
+    assert_eq!(lines.len(), 4, "{lines:?}");
+
+    let by_id = |id: u64| {
+        lines
+            .iter()
+            .find(|l| l["id"].as_u64() == Some(id))
+            .unwrap_or_else(|| panic!("no response with id {id}"))
+    };
+    let custom = by_id(1);
+    assert_eq!(custom["ok"].as_bool(), Some(true));
+    assert_eq!(custom["result"]["model"].as_str(), Some("Alexnet"));
+    let assign = by_id(2);
+    assert_eq!(assign["ok"].as_bool(), Some(true));
+    assert_eq!(assign["coverage"].as_f64(), Some(1.0));
+    let what_if = by_id(3);
+    assert_eq!(what_if["ok"].as_bool(), Some(true));
+    assert_eq!(what_if["feasible"].as_bool(), Some(false));
+    // The malformed request is answered (code 2), not fatal; it has
+    // no id field matcher, so find it by ok=false.
+    let bad = lines
+        .iter()
+        .find(|l| l["ok"].as_bool() == Some(false))
+        .expect("malformed request answered");
+    assert_eq!(bad["error"]["code"].as_u64(), Some(2));
+}

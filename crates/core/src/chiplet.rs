@@ -351,8 +351,8 @@ mod tests {
         assert_eq!(format!("{plain:?}"), format!("{memo:?}"));
 
         // Re-clustering the same workload graph hits a Louvain memo
-        // tier — the warm (certificate) tier is consulted first, the
-        // exact tier backs it up.
+        // tier — the exact tier's hash probe is consulted first, the
+        // warm (certificate) tier backs it up for distinct γ.
         let mut again = config_for(&models, "C");
         cluster_into_chiplets_with_engine(&mut again, &models, &cons, 1.0, &engine).unwrap();
         assert_eq!(format!("{plain:?}"), format!("{again:?}"));

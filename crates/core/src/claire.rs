@@ -99,6 +99,15 @@ pub struct ClaireOptions {
     /// assumes every model prices the same exhaustively screened
     /// point set, which sampling deliberately breaks.
     pub search: SearchPolicy,
+    /// Directory for the persistent warm-state snapshot (`None`
+    /// disables persistence). When set, drivers load the snapshot
+    /// into a fresh engine before the flow
+    /// ([`Claire::load_warm_state`]) and save the warmed tiers after
+    /// it ([`Claire::save_warm_state`]), so the next process starts
+    /// at warm-reflow speed. The snapshot holds only memo-tier
+    /// entries — pure functions of their canonical keys — so loading
+    /// one never changes results, only how fast they arrive.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ClaireOptions {
@@ -115,6 +124,7 @@ impl Default for ClaireOptions {
             telemetry: TelemetryOptions::default(),
             legacy_flow: false,
             search: SearchPolicy::default(),
+            cache_dir: None,
         }
     }
 }
@@ -317,6 +327,55 @@ impl Claire {
         Ok(())
     }
 
+    /// The snapshot file the options' `cache_dir` names, or `None`
+    /// when persistence is disabled.
+    pub fn snapshot_path(&self) -> Option<std::path::PathBuf> {
+        self.opts
+            .cache_dir
+            .as_ref()
+            .map(|d| d.join("claire.snapshot"))
+    }
+
+    /// Loads the warm-state snapshot named by the options into
+    /// `engine`, returning whether one was applied. `Ok(false)` when
+    /// persistence is disabled, no snapshot exists yet, or the engine
+    /// cannot soundly accept one (cache disabled, fault plan armed).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::SnapshotInvalid`] on a corrupt or incompatible
+    /// snapshot. The engine is untouched — validation is staged
+    /// before any tier is written — so callers degrade to a cold
+    /// start by warning and continuing.
+    pub fn load_warm_state(&self, engine: &Engine) -> Result<bool, ClaireError> {
+        match self.snapshot_path() {
+            Some(path) => engine.load_snapshot(&path),
+            None => Ok(false),
+        }
+    }
+
+    /// Saves `engine`'s memo tiers to the snapshot named by the
+    /// options (creating `cache_dir` if needed), returning whether
+    /// one was written. `Ok(false)` when persistence is disabled or
+    /// the engine's tiers are not snapshot-sound (cache disabled,
+    /// fault plan armed).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::Internal`] when the directory or file cannot be
+    /// written.
+    pub fn save_warm_state(&self, engine: &Engine) -> Result<bool, ClaireError> {
+        let Some(path) = self.snapshot_path() else {
+            return Ok(false);
+        };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| ClaireError::Internal {
+                detail: format!("cannot create cache dir {}: {e}", dir.display()),
+            })?;
+        }
+        engine.save_snapshot(&path)
+    }
+
     /// Derives a custom, clustered configuration for one algorithm
     /// (Algorithm 1 lines 1–8 + Step #TR3).
     ///
@@ -382,7 +441,7 @@ impl Claire {
     /// same shared selection tail, same evaluations); relaxed rungs,
     /// whose widened screens can need points outside the table, fall
     /// back to the recursive sweep (memo-warm from the plan).
-    fn custom_from_plan(
+    pub(crate) fn custom_from_plan(
         &self,
         model: &Model,
         row: &ModelRow,
@@ -540,7 +599,7 @@ impl Claire {
     /// (injection sites are calibrated against the recursive call
     /// order), or forced by a sampled search policy (the flat plan's
     /// table assumes exhaustively screened point sets).
-    fn legacy_flow_active(&self, engine: &Engine) -> bool {
+    pub(crate) fn legacy_flow_active(&self, engine: &Engine) -> bool {
         self.opts.legacy_flow || engine.faults().is_some() || self.opts.search.is_sampled()
     }
 

@@ -72,6 +72,14 @@ pub enum ClaireError {
         /// The violated invariant.
         detail: String,
     },
+    /// A warm-state snapshot could not be read: missing or truncated
+    /// file, bad magic, foreign endianness, version mismatch, checksum
+    /// failure, or a payload that fails validation. Callers degrade to
+    /// a cold start — the snapshot is an accelerator, never an input.
+    SnapshotInvalid {
+        /// What was wrong with the snapshot.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ClaireError {
@@ -114,6 +122,9 @@ impl fmt::Display for ClaireError {
             }
             ClaireError::Internal { detail } => {
                 write!(f, "internal invariant violated: {detail}")
+            }
+            ClaireError::SnapshotInvalid { detail } => {
+                write!(f, "warm-state snapshot rejected: {detail}")
             }
         }
     }

@@ -80,9 +80,10 @@ pub struct TransferCost {
     /// Whether the transfer crosses a chiplet boundary (NoP).
     pub crosses_chiplet: bool,
     /// NoC energy, whole picojoules ×1000 (fixed-point to keep `Eq`).
-    noc_mpj: u64,
+    /// `pub(crate)` so [`crate::snapshot`] can serialize the comm tier.
+    pub(crate) noc_mpj: u64,
     /// NoP energy, milli-picojoules.
-    nop_mpj: u64,
+    pub(crate) nop_mpj: u64,
 }
 
 impl TransferCost {

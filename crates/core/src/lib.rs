@@ -55,7 +55,9 @@ pub mod metrics;
 pub mod parallel;
 pub mod place;
 pub mod plan;
+mod resident;
 pub mod search;
+mod snapshot;
 pub mod telemetry;
 
 pub use assign::WeightScale;
@@ -77,5 +79,7 @@ pub use library::{ChipletLibrary, Deployment, LibraryEntry};
 pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, WorkerPanic, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};
+pub use resident::{CustomRequest, ResidentEngine, WhatIfReport};
 pub use search::{search_with_engine, ParetoFront, SearchOutcome, SearchPolicy};
+pub use snapshot::SNAPSHOT_VERSION;
 pub use telemetry::{Telemetry, TelemetryOptions};

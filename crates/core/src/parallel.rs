@@ -42,12 +42,12 @@ use std::time::{Duration, Instant};
 /// mid-update can at worst have left a complete entry or no entry —
 /// both valid states — and the data behind a poisoned lock is safe to
 /// keep serving.
-fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Write-locks `lock`, recovering from poisoning (see [`read_lock`]).
-fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -99,14 +99,14 @@ const CACHE_SHARDS: usize = 16;
 /// Memo key: a layer's full shape plus the hardware design point.
 /// Both are `Copy + Eq + Hash`, and together they determine
 /// [`LayerCost`] exactly.
-type CacheKey = (LayerKind, HwParams);
+pub(crate) type CacheKey = (LayerKind, HwParams);
 
 /// One cache shard. Keys carry a precomputed [`FxHasher`] hash that
 /// doubles as the shard selector, so each lookup hashes exactly once
 /// with a multiply-xor hasher instead of twice with SipHash — the
 /// analytical cost model is cheap enough that hashing speed decides
 /// whether the memo cache wins at all.
-type Shard = HashMap<Prehashed, LayerCost, PrehashedState>;
+pub(crate) type Shard = HashMap<Prehashed, LayerCost, PrehashedState>;
 
 /// Environment variable overriding the engine's thread count.
 pub const THREADS_ENV: &str = "CLAIRE_THREADS";
@@ -418,7 +418,7 @@ impl std::fmt::Display for EngineStats {
 }
 
 /// One memo tier: an FxHash map behind a single reader–writer lock.
-type MemoMap<K, V> = RwLock<HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>>;
+pub(crate) type MemoMap<K, V> = RwLock<HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>>;
 
 /// The evaluation engine: a thread-count policy, a sharded layer-cost
 /// memo cache, and stage/wall-time counters. Cheap to share by
@@ -430,22 +430,26 @@ pub struct Engine {
     cache_enabled: bool,
     pruning_enabled: bool,
     faults: Option<Arc<FaultPlan>>,
-    shards: Vec<RwLock<Shard>>,
-    routes: MemoMap<TopologyKey, Arc<RouteTable>>,
-    sums: MemoMap<(u32, HwParams), ComputeSum>,
-    louvains: MemoMap<Box<[u64]>, Arc<Partition<OpClass>>>,
+    // Tier fields are `pub(crate)` so [`crate::snapshot`] can
+    // serialize and restore them without widening the public API.
+    pub(crate) shards: Vec<RwLock<Shard>>,
+    pub(crate) routes: MemoMap<TopologyKey, Arc<RouteTable>>,
+    pub(crate) sums: MemoMap<(u32, HwParams), ComputeSum>,
+    pub(crate) louvains: MemoMap<Box<[u64]>, Arc<Partition<OpClass>>>,
     /// Warm-start tier: per canonical graph (resolution-free key), the
     /// certified γ-intervals of prior runs with their partitions.
-    louvain_warm: MemoMap<Box<[u64]>, Vec<WarmEntry>>,
-    graphs: MemoMap<(Box<[u64]>, HwParams), Arc<UniversalCsr>>,
+    pub(crate) louvain_warm: MemoMap<Box<[u64]>, Vec<WarmEntry>>,
+    /// Universal-graph tier, keyed by the member models' structural
+    /// ids (in member order) plus the hardware point.
+    pub(crate) graphs: MemoMap<(Box<[u64]>, HwParams), Arc<UniversalCsr>>,
     /// Communication tier: execution-order per-edge transfer costs,
     /// keyed by (model structural id, configuration topology).
-    comms: MemoMap<(u32, TopologyKey), Arc<[TransferCost]>>,
-    areas: MemoMap<HwParams, Arc<[f64; OpClass::COUNT]>>,
+    pub(crate) comms: MemoMap<(u32, TopologyKey), Arc<[TransferCost]>>,
+    pub(crate) areas: MemoMap<HwParams, Arc<[f64; OpClass::COUNT]>>,
     /// Lower-bound tier: whole-model compute cycles (latency at
     /// infinite bandwidth), keyed like the compute-sum tier.
-    lbs: MemoMap<(u32, HwParams), u64>,
-    models: RwLock<ModelInterner>,
+    pub(crate) lbs: MemoMap<(u32, HwParams), u64>,
+    pub(crate) models: RwLock<ModelInterner>,
     /// The telemetry hub every counter, span and export reads from —
     /// the single source of truth behind [`EngineStats`].
     telemetry: Arc<Telemetry>,
@@ -461,10 +465,30 @@ pub struct Engine {
 /// path (keyed by [`claire_model::Model::instance_id`], shared by
 /// clones) skips the content comparison after a model's first visit.
 #[derive(Debug, Default)]
-struct ModelInterner {
-    by_instance: HashMap<u64, u32, std::hash::BuildHasherDefault<FxHasher>>,
-    by_content: HashMap<Box<[LayerKind]>, u32, std::hash::BuildHasherDefault<FxHasher>>,
-    batches: Vec<Arc<LayerBatch>>,
+pub(crate) struct ModelInterner {
+    pub(crate) by_instance: HashMap<u64, u32, std::hash::BuildHasherDefault<FxHasher>>,
+    pub(crate) by_content: HashMap<Box<[LayerKind]>, u32, std::hash::BuildHasherDefault<FxHasher>>,
+    pub(crate) batches: Vec<Arc<LayerBatch>>,
+}
+
+impl ModelInterner {
+    /// Interns a layer-kind sequence directly (no model instance),
+    /// returning its structural id — the snapshot loader's entry
+    /// point. Identical id-assignment logic to [`Engine::structural`]:
+    /// an existing content entry keeps its id, a new sequence gets the
+    /// next dense id and a preprocessed batch.
+    pub(crate) fn intern_content(&mut self, kinds: Box<[LayerKind]>) -> u32 {
+        match self.by_content.get(&kinds) {
+            Some(&sid) => sid,
+            None => {
+                let sid = self.batches.len() as u32;
+                let batch = Arc::new(LayerBatch::from_kinds(kinds.iter()));
+                self.batches.push(batch);
+                self.by_content.insert(kinds, sid);
+                sid
+            }
+        }
+    }
 }
 
 /// One warm-start record: a certified open γ-interval and the
@@ -473,10 +497,10 @@ struct ModelInterner {
 /// overlap; any entry containing a resolution serves the identical
 /// partition, so lookup order never affects results.
 #[derive(Debug, Clone)]
-struct WarmEntry {
-    lo: f64,
-    hi: f64,
-    partition: Arc<Partition<OpClass>>,
+pub(crate) struct WarmEntry {
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
+    pub(crate) partition: Arc<Partition<OpClass>>,
 }
 
 /// A universal graph paired with its interned CSR form, as built and
@@ -593,6 +617,12 @@ impl Engine {
     /// Whether the staged DSE sweep may screen points on cheap area.
     pub fn pruning_enabled(&self) -> bool {
         self.pruning_enabled
+    }
+
+    /// Whether the memo tiers are enabled (snapshots are only
+    /// meaningful — and only taken/loaded — when they are).
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
     }
 
     /// The engine's telemetry hub: counters, spans, histograms and
@@ -851,22 +881,21 @@ impl Engine {
     }
 
     /// [`Engine::louvain_partition`] for resolution-escalation loops:
-    /// consults the **warm-start tier** first — certified γ-intervals
-    /// recorded by prior runs on the same canonical graph (see
-    /// [`claire_graph::louvain_csr_certified`]) — then falls back to
-    /// the exact tier. A warm hit returns a partition *provably*
-    /// bit-identical to what a fresh clustering at `resolution` would
-    /// produce (any γ strictly inside a certified interval reproduces
-    /// the certified run's partition, including the γ the certificate
-    /// was recorded at), so results never depend on cache state. A
-    /// miss on both tiers clusters with certification and records the
-    /// new interval.
-    ///
-    /// The warm tier is consulted *before* the exact tier so repeat
-    /// clusterings at an already-certified resolution land as the
-    /// warm hits the certificates promise; the exact tier (which also
-    /// holds cert-empty partitions and entries published by the
-    /// non-escalating path) remains the fallback.
+    /// consults the **exact tier** first (an O(1) hash probe — repeat
+    /// requests at an already-resolved γ, including replays across
+    /// processes from a warm-state snapshot, never re-scan
+    /// certificates), then the **warm-start tier** — certified
+    /// γ-intervals recorded by prior runs on the same canonical graph
+    /// (see [`claire_graph::louvain_csr_certified`]). A warm hit
+    /// returns a partition *provably* bit-identical to what a fresh
+    /// clustering at `resolution` would produce (any γ strictly inside
+    /// a certified interval reproduces the certified run's partition,
+    /// including the γ the certificate was recorded at), so results
+    /// never depend on cache state — and it is **published back into
+    /// the exact tier** under the exact `(graph, γ)` key, so repeat-γ
+    /// requests stop consulting the interval scan entirely. A miss on
+    /// both tiers clusters with certification and records the new
+    /// interval.
     ///
     /// The chiplet-count escalation loop re-clusters the same graph at
     /// `γ, 1.5γ, 2.25γ, …`; on strongly clustered communication graphs
@@ -880,8 +909,12 @@ impl Engine {
         if !self.cache_enabled {
             return Arc::new(self.cluster_csr(csr, resolution));
         }
-        let graph_key = louvain_graph_key(csr);
         let exact_key = louvain_key(csr, resolution);
+        if let Some(p) = read_lock(&self.louvains).get(&exact_key) {
+            self.telemetry.count(Metric::LouvainHit);
+            return Arc::clone(p);
+        }
+        let graph_key = louvain_graph_key(csr);
         if let Some(entries) = read_lock(&self.louvain_warm).get(&graph_key) {
             if let Some(e) = entries
                 .iter()
@@ -889,8 +922,8 @@ impl Engine {
             {
                 self.telemetry.count(Metric::LouvainWarmHit);
                 let p = Arc::clone(&e.partition);
-                // Publish into the exact tier so the non-escalating
-                // entry point hits at this resolution too.
+                // Publish into the exact tier so repeat-γ requests (and
+                // the non-escalating entry point) hit the hash probe.
                 write_lock(&self.louvains)
                     .entry(exact_key)
                     .or_insert_with(|| Arc::clone(&p));
@@ -898,22 +931,26 @@ impl Engine {
             }
         }
         self.telemetry.count(Metric::LouvainWarmMiss);
-        if let Some(p) = read_lock(&self.louvains).get(&exact_key) {
-            self.telemetry.count(Metric::LouvainHit);
-            return Arc::clone(p);
-        }
         self.telemetry.count(Metric::LouvainMiss);
         let (partition, cert) = self.cluster_csr_certified(csr, resolution);
         let partition = Arc::new(partition);
         if !cert.is_empty() {
-            write_lock(&self.louvain_warm)
-                .entry(graph_key)
-                .or_default()
-                .push(WarmEntry {
-                    lo: cert.lo(),
-                    hi: cert.hi(),
+            let (lo, hi) = (cert.lo(), cert.hi());
+            let mut warm = write_lock(&self.louvain_warm);
+            let entries = warm.entry(graph_key).or_default();
+            // Racing derivations of the same γ produce identical
+            // certificates; keep one so the entry list (and hence a
+            // snapshot of it) never depends on scheduling.
+            if !entries
+                .iter()
+                .any(|e| e.lo.to_bits() == lo.to_bits() && e.hi.to_bits() == hi.to_bits())
+            {
+                entries.push(WarmEntry {
+                    lo,
+                    hi,
                     partition: Arc::clone(&partition),
                 });
+            }
         }
         Arc::clone(
             write_lock(&self.louvains)
@@ -952,12 +989,18 @@ impl Engine {
     }
 
     /// Memoized universal-graph construction (Step #TR1) with CSR
-    /// interning — the fifth memo tier. Keyed by the models'
-    /// process-unique [`claire_model::Model::instance_id`]s (shared by
-    /// clones, fresh per construction or deserialisation, so a hit can
-    /// only ever serve a set of the very same model objects — never a
-    /// structurally similar impostor) plus the hardware point. On a
-    /// miss the build routes layer costs through the layer memo tier.
+    /// interning — the fifth memo tier. Keyed by the member models'
+    /// **structural ids** (see [`ModelInterner`]), in member order,
+    /// plus the hardware point. The key is sound for the same reason
+    /// the compute-sum and comm tiers' structural keys are: the graph's
+    /// nodes aggregate per-class execution counts from the layer costs
+    /// (pure functions of `(LayerKind, HwParams)`) and its edges come
+    /// from `Model::edges`, a pure function of the layer-kind sequence
+    /// the id interns — so models sharing an id produce bit-identical
+    /// graphs. Structural keys (unlike the process-unique instance ids
+    /// used previously) are also stable across processes, which lets a
+    /// warm-state snapshot replay this tier. On a miss the build
+    /// routes layer costs through the layer memo tier.
     ///
     /// The flow re-derives the same universal graphs over and over
     /// (custom-configuration clustering across the train and test
@@ -974,7 +1017,7 @@ impl Engine {
         }
         let ids: Box<[u64]> = models
             .iter()
-            .map(claire_model::Model::instance_id)
+            .map(|m| u64::from(self.structural(m).0))
             .collect();
         let key = (ids, *hw);
         if let Some(g) = read_lock(&self.graphs).get(&key) {
@@ -1264,7 +1307,27 @@ impl Engine {
         // map already saturates the thread budget, and W x W transient
         // threads would only add scheduling overhead.
         if workers <= 1 || IN_WORKER.with(|w| w.get()) {
-            return (0..n).map(run_one).collect();
+            // A *top-level* serial map still publishes a worker-0
+            // sample (busy = wall: the only worker never waits), so
+            // per-worker utilization and the stage imbalance ratio
+            // stay defined on single-threaded runs. Nested maps don't:
+            // their time already lands in the enclosing worker's
+            // sample, and a second record would double-count it.
+            let nested = IN_WORKER.with(|w| w.get());
+            if nested || n == 0 {
+                return (0..n).map(run_one).collect();
+            }
+            let wall_start = Instant::now();
+            let out: Vec<_> = (0..n).map(run_one).collect();
+            let wall = wall_start.elapsed();
+            self.telemetry.record_worker(WorkerSample {
+                stage: self.telemetry.current_stage(),
+                worker: 0,
+                busy: wall,
+                wall,
+                items: n as u64,
+            });
+            return out;
         }
 
         let tel = &self.telemetry;
@@ -1478,16 +1541,16 @@ fn raw_compute_sum(model: &claire_model::Model, hw: &HwParams) -> ComputeSum {
 /// interposer slots. Two configs with equal keys provably yield
 /// identical routes for every class pair — the key is a complete
 /// encoding, not a hash, so route-cache hits cannot collide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TopologyKey {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct TopologyKey {
     /// Bitmask over [`OpClass::index`] of the configuration's classes.
-    classes: u16,
+    pub(crate) classes: u16,
     /// Per-chiplet class bitmasks, in chiplet order (0 = unused slot).
-    chiplets: [u16; OpClass::COUNT],
+    pub(crate) chiplets: [u16; OpClass::COUNT],
     /// Interposer slot per chiplet; `(u8::MAX, u8::MAX)` when unplaced.
-    slots: [(u8, u8); OpClass::COUNT],
+    pub(crate) slots: [(u8, u8); OpClass::COUNT],
     /// Number of chiplets (0 = monolithic).
-    n_chiplets: u8,
+    pub(crate) n_chiplets: u8,
 }
 
 impl TopologyKey {
@@ -1565,13 +1628,13 @@ thread_local! {
 
 /// A cache key bundled with its hash, computed once per lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Prehashed {
+pub(crate) struct Prehashed {
     hash: u64,
-    key: CacheKey,
+    pub(crate) key: CacheKey,
 }
 
 impl Prehashed {
-    fn new(key: CacheKey) -> Self {
+    pub(crate) fn new(key: CacheKey) -> Self {
         let mut hasher = FxHasher::default();
         key.hash(&mut hasher);
         Prehashed {
@@ -1584,7 +1647,7 @@ impl Prehashed {
     /// the low bits (hashbrown's bucket index) and the top bits (its
     /// control tag), so sharding does not degrade bucket spread.
     /// Shard choice affects only lock distribution, never results.
-    fn shard(&self) -> usize {
+    pub(crate) fn shard(&self) -> usize {
         ((self.hash >> 32) as usize) % CACHE_SHARDS
     }
 }
@@ -1598,7 +1661,7 @@ impl Hash for Prehashed {
 /// Build-hasher for [`Shard`] maps: keys already carry their hash, so
 /// the map's hasher just passes the stored `u64` through.
 #[derive(Debug, Clone, Default)]
-struct PrehashedState;
+pub(crate) struct PrehashedState;
 
 impl BuildHasher for PrehashedState {
     type Hasher = PassThroughHasher;
@@ -1609,7 +1672,7 @@ impl BuildHasher for PrehashedState {
 }
 
 /// Identity hasher over a single `write_u64`.
-struct PassThroughHasher(u64);
+pub(crate) struct PassThroughHasher(u64);
 
 impl Hasher for PassThroughHasher {
     fn finish(&self) -> u64 {
@@ -1630,7 +1693,7 @@ impl Hasher for PassThroughHasher {
 /// (no random state); hash quality only affects bucket spread, never
 /// results.
 #[derive(Default)]
-struct FxHasher(u64);
+pub(crate) struct FxHasher(u64);
 
 impl FxHasher {
     const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -1701,6 +1764,52 @@ mod tests {
             let want: Vec<u32> = (0..5).map(|y| x * 10 + y).collect();
             assert_eq!(row, &want);
         }
+    }
+
+    #[test]
+    fn warm_certificate_serves_distinct_gamma_and_publishes_exact() {
+        let engine = Engine::new(1);
+        let mut g = claire_graph::WeightedGraph::new();
+        // Two dense pairs bridged weakly — enough structure for a
+        // non-trivial γ-certificate around the query resolution.
+        g.add_edge(OpClass::Conv2d, OpClass::Linear, 8.0);
+        g.add_edge(OpClass::Conv1d, OpClass::Flatten, 8.0);
+        g.add_edge(OpClass::Linear, OpClass::Conv1d, 1.0);
+        let csr = CsrGraph::from_weighted(&g);
+
+        let base = engine.louvain_partition_escalating(&csr, 1.0);
+        let s = engine.stats();
+        assert_eq!((s.louvain_warm_hits, s.louvain_hits), (0, 0), "{s:?}");
+
+        // Read back the recorded certificate and pick a *distinct*
+        // resolution strictly inside it.
+        let (lo, hi) = {
+            let warm = read_lock(&engine.louvain_warm);
+            let entries = warm
+                .get(&louvain_graph_key(&csr))
+                .expect("derivation recorded a certificate");
+            (entries[0].lo, entries[0].hi)
+        };
+        let gamma = if hi.is_finite() {
+            (1.0 + hi) / 2.0
+        } else if lo.is_finite() {
+            1.0 + (1.0 - lo).abs() + 1.0
+        } else {
+            2.0
+        };
+        assert!(gamma > lo && gamma < hi && gamma != 1.0);
+
+        let served = engine.louvain_partition_escalating(&csr, gamma);
+        assert!(Arc::ptr_eq(&base, &served));
+        assert_eq!(engine.stats().louvain_warm_hits, 1);
+
+        // The warm hit published the resolved partition into the
+        // exact tier: the repeat-γ request is now a hash probe, not a
+        // certificate scan.
+        let again = engine.louvain_partition_escalating(&csr, gamma);
+        assert!(Arc::ptr_eq(&base, &again));
+        let s = engine.stats();
+        assert_eq!((s.louvain_warm_hits, s.louvain_hits), (1, 1), "{s:?}");
     }
 
     #[test]

@@ -31,36 +31,53 @@ use claire_model::{Model, OpClass};
 use claire_ppa::{DseSpace, HwParams};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// One model's slice of the evaluation table: its screened DSE points
-/// in space iteration order, with each point's monolithic-shell
-/// evaluation (`None` when the evaluation surfaced an error — the same
-/// points the recursive sweep drops).
+/// One model's slice of the evaluation table: its area-screened DSE
+/// points in space iteration order, with each point's
+/// monolithic-shell evaluation (`None` when the evaluation surfaced
+/// an error — the same points the recursive sweep drops) and a marker
+/// for points the latency lower-bound screen dropped *before*
+/// evaluation (the same points the recursive stage A′ drops).
 #[derive(Debug, Clone)]
 pub struct ModelRow {
-    /// The model's screened hardware points, in space iteration order.
+    /// The model's area-screened hardware points, in space iteration
+    /// order.
     pub points: Vec<HwParams>,
     /// Per-point monolithic-shell reports, parallel to `points`.
+    /// `None` for failed evaluations *and* for lb-screened points —
+    /// `lb_screened` tells them apart.
     pub reports: Vec<Option<PpaReport>>,
-    /// `points`/`reports` re-indexed by hardware point for the subset
-    /// replays (a set sweep visits the intersection of its members'
-    /// screens, so every lookup lands in the member's row).
-    by_hw: HashMap<HwParams, Option<PpaReport>>,
+    /// Parallel to `points`: `true` when the latency lower-bound
+    /// screen proved the point can never be selected, so the plan
+    /// never priced it. A subset replay that still needs such a point
+    /// (its member-set bound can be looser than this row's pivot
+    /// bound) prices it lazily through the engine's memo tiers — see
+    /// [`set_config_from_table`].
+    lb_screened: Vec<bool>,
+    /// `points`/`reports`/`lb_screened` re-indexed by hardware point
+    /// for the subset replays (a set sweep visits the intersection of
+    /// its members' screens, so every lookup lands in the member's
+    /// row).
+    by_hw: HashMap<HwParams, (Option<PpaReport>, bool)>,
 }
 
 impl ModelRow {
     /// The feasible [`DsePoint`]s of this row under `constraints`, in
-    /// space iteration order. The recursive
-    /// [`crate::dse::sweep_with_engine`] additionally drops points the
-    /// latency lower-bound screen proves can never be selected, so its
-    /// list is an order-preserving subset of this one — and every
-    /// selection over either list is bit-identical (the shared
+    /// space iteration order — exactly the recursive
+    /// [`crate::dse::sweep_with_engine`] survivor list: area screen,
+    /// then the latency lower-bound screen, then per-point
+    /// feasibility. Every selection over it is bit-identical to the
+    /// recursive flow's (the shared
     /// [`crate::dse::select_custom_config`] tail, see the
     /// [`crate::search`] soundness argument).
     pub fn feasible_points(&self, constraints: &Constraints) -> Vec<DsePoint> {
         self.points
             .iter()
             .zip(&self.reports)
-            .filter_map(|(&hw, r)| {
+            .zip(&self.lb_screened)
+            .filter_map(|((&hw, r), &screened)| {
+                if screened {
+                    return None;
+                }
                 let report = (*r)?;
                 let feasible = report.area_mm2 <= constraints.chiplet_area_limit_mm2
                     && report.power_density_w_per_mm2()
@@ -70,10 +87,10 @@ impl ModelRow {
             .collect()
     }
 
-    /// The stored report for `hw`, or `None` when the point was
-    /// screened out or its evaluation failed.
-    fn report_for(&self, hw: HwParams) -> Option<PpaReport> {
-        self.by_hw.get(&hw).copied().flatten()
+    /// The row's slot for `hw`: `(report, lb_screened)`. `None` when
+    /// the point was dropped by the area screen.
+    fn slot_for(&self, hw: HwParams) -> Option<(Option<PpaReport>, bool)> {
+        self.by_hw.get(&hw).copied()
     }
 }
 
@@ -122,7 +139,6 @@ pub fn build_eval_table(
                 engine.monolithic_area(&shell.classes, hw) <= constraints.chiplet_area_limit_mm2
             }));
             engine.note_dse_pruned((space_points.len() - scratch.len()) as u64);
-            engine.note_dse_evaluated(scratch.len() as u64);
             span.arg(
                 "pruned",
                 ArgValue::Int((space_points.len() - scratch.len()) as u64),
@@ -132,19 +148,115 @@ pub fn build_eval_table(
         } else {
             space_points.clone()
         };
+        let n = points.len();
         rows.push(ModelRow {
             points,
             reports: Vec::new(),
+            lb_screened: vec![false; n],
             by_hw: HashMap::new(),
         });
     }
 
-    // The flat item set: every evaluation of the flow, one parallel
-    // map, points (not models) as the unit of work claiming.
+    // Stage A′ per model: the latency lower-bound screen — the same
+    // sound pre-pricing drop the recursive sweep applies (see
+    // [`crate::search`]). All models' lower bounds run through one
+    // flat `par_map` (they hit the memoized `lb` tier and the
+    // structural interner, never the full evaluator), each model's
+    // pivot — its first minimal-bound point in space order — is
+    // priced, and every point whose bound exceeds the pivot's slack-
+    // widened latency is marked screened: provably never selectable,
+    // so the plan's big map need not price it.
+    if engine.lb_screen_enabled() && constraints.latency_slack.is_finite() {
+        let mut span = engine.telemetry().span("plan.lb_screen", "plan");
+        let lb_items: Vec<(usize, usize)> = rows
+            .iter()
+            .enumerate()
+            .flat_map(|(mi, row)| (0..row.points.len()).map(move |pi| (mi, pi)))
+            .collect();
+        let lbs: Vec<u64> = engine.par_map(&lb_items, |_, &(mi, pi)| {
+            engine.compute_cycles_lb(&models[mi], &rows[mi].points[pi])
+        });
+        // Per-model lb slices (rows are contiguous in the flat list).
+        let mut offsets = Vec::with_capacity(rows.len());
+        let mut at = 0usize;
+        for row in &rows {
+            offsets.push(at);
+            at += row.points.len();
+        }
+        // Pivot per model: first index with minimal bound (u64
+        // compare — exact, order-deterministic).
+        let pivots: Vec<Option<usize>> = rows
+            .iter()
+            .enumerate()
+            .map(|(mi, row)| {
+                (!row.points.is_empty()).then(|| {
+                    let slice = &lbs[offsets[mi]..offsets[mi] + row.points.len()];
+                    let mut pivot = 0usize;
+                    for (i, &lb) in slice.iter().enumerate() {
+                        if lb < slice[pivot] {
+                            pivot = i;
+                        }
+                    }
+                    pivot
+                })
+            })
+            .collect();
+        // Price every pivot (one small parallel map over models); an
+        // infeasible or failed pivot yields no sound bound — keep all.
+        let bounds: Vec<f64> = engine.par_map(&pivots, |mi, pivot| {
+            let Some(pi) = *pivot else {
+                return f64::INFINITY;
+            };
+            let mut cfg = shells[mi].clone();
+            cfg.hw = rows[mi].points[pi];
+            match engine.evaluate(&models[mi], &cfg) {
+                Ok(r)
+                    if r.area_mm2 <= constraints.chiplet_area_limit_mm2
+                        && r.power_density_w_per_mm2()
+                            <= constraints.power_density_limit_w_per_mm2 =>
+                {
+                    r.latency_s * (1.0 + constraints.latency_slack)
+                }
+                _ => f64::INFINITY,
+            }
+        });
+        let clock = claire_ppa::tech28::CLOCK_HZ;
+        let mut total_pruned: u64 = 0;
+        for (mi, row) in rows.iter_mut().enumerate() {
+            if !bounds[mi].is_finite() {
+                continue;
+            }
+            let slice = &lbs[offsets[mi]..offsets[mi] + row.points.len()];
+            for (pi, &lb) in slice.iter().enumerate() {
+                // The pivot's own bound never exceeds its latency, so
+                // the pivot always survives its own screen.
+                if lb as f64 / clock > bounds[mi] {
+                    row.lb_screened[pi] = true;
+                    total_pruned += 1;
+                }
+            }
+        }
+        engine.note_dse_lb_pruned(total_pruned);
+        span.arg("pruned", ArgValue::Int(total_pruned));
+    }
+    if engine.pruning_enabled() {
+        let evaluated: u64 = rows
+            .iter()
+            .map(|r| r.lb_screened.iter().filter(|&&s| !s).count() as u64)
+            .sum();
+        engine.note_dse_evaluated(evaluated);
+    }
+
+    // The flat item set: every surviving evaluation of the flow, one
+    // parallel map, points (not models) as the unit of work claiming.
     let items: Vec<(usize, usize)> = rows
         .iter()
         .enumerate()
-        .flat_map(|(mi, row)| (0..row.points.len()).map(move |pi| (mi, pi)))
+        .flat_map(|(mi, row)| {
+            (0..row.points.len())
+                .filter(|&pi| !row.lb_screened[pi])
+                .map(move |pi| (mi, pi))
+        })
         .collect();
     engine.note_plan_items(items.len() as u64);
     let mut span = engine.telemetry().span("plan.eval", "plan");
@@ -156,15 +268,25 @@ pub fn build_eval_table(
     });
     drop(span);
 
-    // Scatter the row-major results back into per-model rows.
+    // Scatter the results back into per-model rows; lb-screened slots
+    // stay `None` (never priced).
     let mut it = reports.into_iter();
     for row in &mut rows {
-        row.reports = it.by_ref().take(row.points.len()).collect();
+        row.reports = row
+            .lb_screened
+            .iter()
+            .map(|&screened| if screened { None } else { it.next().flatten() })
+            .collect();
         row.by_hw = row
             .points
             .iter()
             .copied()
-            .zip(row.reports.iter().copied())
+            .zip(
+                row.reports
+                    .iter()
+                    .copied()
+                    .zip(row.lb_screened.iter().copied()),
+            )
             .collect();
     }
 
@@ -198,9 +320,16 @@ pub fn custom_from_row(
 
 /// The flat-plan replay of [`crate::dse::set_config_with_engine`]:
 /// re-screens the space for the member set (every member's shell must
-/// fit, same counters), computes each surviving point's member-total
-/// area from the table in member order (the recursive sweep's exact
+/// fit, then the members' custom-latency lower bounds — same screens,
+/// same counters), computes each surviving point's member-total area
+/// from the table in member order (the recursive sweep's exact
 /// early-exit fold), and runs the shared selection fold.
+///
+/// A surviving point may have been lb-screened in a *member's* row
+/// (the member's pivot bound can be tighter than its custom-latency
+/// bound); such points are priced lazily here through the engine's
+/// memo tiers — the identical [`Engine::evaluate`] call the plan's
+/// map would have made, so the fold's inputs are unchanged.
 ///
 /// # Errors
 ///
@@ -217,7 +346,7 @@ pub fn set_config_from_table(
     if members.is_empty() {
         return Err(ClaireError::EmptyAlgorithmSet);
     }
-    let points: Vec<HwParams> = if engine.pruning_enabled() {
+    let mut points: Vec<HwParams> = if engine.pruning_enabled() {
         let mut span = engine.telemetry().span("dse.screen", "dse");
         let kept: Vec<HwParams> = table
             .space_points
@@ -231,7 +360,6 @@ pub fn set_config_from_table(
             })
             .collect();
         engine.note_dse_pruned((table.space_points.len() - kept.len()) as u64);
-        engine.note_dse_evaluated(kept.len() as u64);
         span.arg(
             "pruned",
             ArgValue::Int((table.space_points.len() - kept.len()) as u64),
@@ -241,13 +369,61 @@ pub fn set_config_from_table(
     } else {
         table.space_points.clone()
     };
+    // Stage A′: members with a custom latency reference admit an
+    // absolute latency bound known before any pricing — the same
+    // screen the recursive set sweep applies (see
+    // [`crate::dse::set_config_with_engine`]); a dropped point's
+    // member fold would have come back `None` anyway.
+    if engine.lb_screen_enabled() && constraints.latency_slack.is_finite() && !points.is_empty() {
+        let bounds: Vec<(usize, f64)> = members
+            .iter()
+            .filter_map(|&mi| {
+                custom_latency_s
+                    .get(models[mi].name())
+                    .map(|&l| (mi, l * (1.0 + constraints.latency_slack)))
+            })
+            .filter(|(_, b)| b.is_finite())
+            .collect();
+        if !bounds.is_empty() {
+            let mut span = engine.telemetry().span("dse.lb_screen", "dse");
+            let clock = claire_ppa::tech28::CLOCK_HZ;
+            let keep: Vec<bool> = engine.par_map(&points, |_, hw| {
+                bounds.iter().all(|&(mi, bound)| {
+                    engine.compute_cycles_lb(&models[mi], hw) as f64 / clock <= bound
+                })
+            });
+            let before = points.len();
+            let mut i = 0usize;
+            points.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+            engine.note_dse_lb_pruned((before - points.len()) as u64);
+            span.arg("pruned", ArgValue::Int((before - points.len()) as u64));
+            span.arg("kept", ArgValue::Int(points.len() as u64));
+        }
+    }
+    if engine.pruning_enabled() {
+        engine.note_dse_evaluated(points.len() as u64);
+    }
     let totals: Vec<Option<f64>> = points
         .iter()
         .map(|&hw| {
             let mut total_area = 0.0;
             for &mi in members {
                 let m = &models[mi];
-                let report = table.rows[mi].report_for(hw)?;
+                let (stored, lb_screened) = table.rows[mi].slot_for(hw)?;
+                let report = if lb_screened {
+                    // Never priced by the plan (screened under the
+                    // member's tighter pivot bound): price it now,
+                    // memo-warm — bit-identical to the plan's map.
+                    let mut cfg = table.shells[mi].clone();
+                    cfg.hw = hw;
+                    engine.evaluate(m, &cfg).ok()?
+                } else {
+                    stored?
+                };
                 let latency_ok = custom_latency_s
                     .get(m.name())
                     .map(|&l| report.latency_s <= l * (1.0 + constraints.latency_slack))

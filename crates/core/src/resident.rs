@@ -1,0 +1,343 @@
+//! A resident engine: one warm [`Engine`] serving many requests.
+//!
+//! The one-shot façade ([`Claire`]) builds an engine per call, so every
+//! process pays the cold path once per run and the memo tiers die with
+//! it. [`ResidentEngine`] inverts that: one engine — its tiers behind
+//! the existing shard locks — lives for the process and is shared (via
+//! `&self`, or `Arc<ResidentEngine>` across threads) by every request.
+//! Three request families are served:
+//!
+//! - **custom** ([`ResidentEngine::custom_batch`]): derive a custom,
+//!   clustered configuration per model. A whole batch is planned as
+//!   *one* flat evaluation table, so the single `par_map` load-balances
+//!   across requests, not just within one.
+//! - **assign** ([`ResidentEngine::assign_batch`]): score test models
+//!   against the resident training output (built lazily, once).
+//! - **what-if** ([`ResidentEngine::what_if`]): probe feasibility of a
+//!   model under caller-supplied constraints without failing the
+//!   server.
+//!
+//! Per-request knobs (degrade policy, constraint overrides) ride a
+//! cheap [`Claire`] clone; the engine — and with it every memo tier —
+//! is always the shared one. Combined with
+//! [`Engine::load_snapshot`](crate::Engine::load_snapshot), a freshly
+//! started server answers its first request at warm-reflow speed.
+
+use crate::claire::{Claire, ClaireOptions, CustomResult, TestReport, TrainOutput};
+use crate::config::Constraints;
+use crate::dse::RobustnessPolicy;
+use crate::error::ClaireError;
+use crate::parallel::Engine;
+use crate::plan::flat::build_eval_table;
+use claire_model::Model;
+use std::sync::OnceLock;
+
+/// One custom-configuration request in a [`ResidentEngine::custom_batch`].
+#[derive(Debug, Clone)]
+pub struct CustomRequest {
+    /// The algorithm to derive a configuration for.
+    pub model: Model,
+    /// Per-request robustness policy; `None` inherits the resident
+    /// options.
+    pub policy: Option<RobustnessPolicy>,
+    /// Per-request constraint override; `None` inherits the resident
+    /// options. Overridden requests take the recursive sweep (the
+    /// shared flat table is screened under the resident constraints,
+    /// so a *looser* override could need points outside it) — still
+    /// memo-warm, just not table-replayed.
+    pub constraints: Option<Constraints>,
+}
+
+impl CustomRequest {
+    /// A request that inherits every resident option.
+    pub fn new(model: Model) -> Self {
+        CustomRequest {
+            model,
+            policy: None,
+            constraints: None,
+        }
+    }
+}
+
+/// The outcome of a [`ResidentEngine::what_if`] probe.
+#[derive(Debug, Clone)]
+pub struct WhatIfReport {
+    /// Whether a feasible configuration exists under the probed
+    /// constraints (without any relaxation).
+    pub feasible: bool,
+    /// The configuration and PPA when feasible.
+    pub result: Option<CustomResult>,
+    /// The typed infeasibility when not (`NoFeasibleConfiguration`,
+    /// `ChipletAreaUnsatisfiable`, or `IncompleteCoverage`).
+    pub infeasibility: Option<ClaireError>,
+}
+
+/// A long-lived engine + façade pair serving batched requests over
+/// shared memo tiers. See the module docs.
+#[derive(Debug)]
+pub struct ResidentEngine {
+    claire: Claire,
+    engine: Engine,
+    training: Vec<Model>,
+    trained: OnceLock<Result<TrainOutput, ClaireError>>,
+}
+
+impl ResidentEngine {
+    /// Builds a resident engine from run options and the training set
+    /// used by assignment requests. The engine is constructed exactly
+    /// as the one-shot façade would (thread resolution, tracing armed
+    /// iff a trace path is configured), so resident answers are
+    /// bit-identical to one-shot answers.
+    pub fn new(opts: ClaireOptions, training: Vec<Model>) -> Self {
+        let engine =
+            Engine::for_space(&opts.space).with_tracing(opts.telemetry.trace_out.is_some());
+        ResidentEngine {
+            claire: Claire::new(opts),
+            engine,
+            training,
+            trained: OnceLock::new(),
+        }
+    }
+
+    /// The shared engine (for snapshot load/save, stats, telemetry).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The resident options.
+    pub fn options(&self) -> &ClaireOptions {
+        self.claire.options()
+    }
+
+    /// Loads the warm-state snapshot named by the resident options
+    /// into the shared engine; see [`Claire::load_warm_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::SnapshotInvalid`] on a corrupt snapshot; the
+    /// engine stays cold-usable.
+    pub fn load_warm_state(&self) -> Result<bool, ClaireError> {
+        self.claire.load_warm_state(&self.engine)
+    }
+
+    /// Saves the shared engine's memo tiers to the snapshot named by
+    /// the resident options; see [`Claire::save_warm_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::Internal`] when the snapshot cannot be written.
+    pub fn save_warm_state(&self) -> Result<bool, ClaireError> {
+        self.claire.save_warm_state(&self.engine)
+    }
+
+    /// A façade clone with per-request overrides applied.
+    fn claire_for(
+        &self,
+        policy: Option<RobustnessPolicy>,
+        constraints: Option<Constraints>,
+    ) -> Claire {
+        match (policy, constraints) {
+            (None, None) => self.claire.clone(),
+            (p, c) => {
+                let mut opts = self.claire.options().clone();
+                if let Some(p) = p {
+                    opts.policy = p;
+                }
+                if let Some(c) = c {
+                    opts.constraints = c;
+                }
+                Claire::new(opts)
+            }
+        }
+    }
+
+    /// Serves a batch of custom-configuration requests. Every request
+    /// without a constraint override shares **one** flat evaluation
+    /// table — one `par_map` over the union of all `(model, hw-point)`
+    /// items — and replays its selection from it; overridden requests
+    /// fall back to the (memo-warm) recursive sweep. Results are in
+    /// request order, each independently succeeding or failing.
+    pub fn custom_batch(
+        &self,
+        requests: &[CustomRequest],
+    ) -> Vec<Result<CustomResult, ClaireError>> {
+        // Partition: table-eligible requests batch into one plan.
+        let eligible: Vec<usize> = requests
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.constraints.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let use_table = !eligible.is_empty() && !self.claire.legacy_flow_active(&self.engine);
+
+        let mut out: Vec<Option<Result<CustomResult, ClaireError>>> =
+            requests.iter().map(|_| None).collect();
+
+        if use_table {
+            let models: Vec<Model> = eligible
+                .iter()
+                .map(|&i| requests[i].model.clone())
+                .collect();
+            let opts = self.claire.options();
+            let table = self.engine.time_stage("plan", || {
+                build_eval_table(&models, &opts.space, &opts.constraints, &self.engine)
+            });
+            for (row, &i) in table.rows.iter().zip(&eligible) {
+                let claire = self.claire_for(requests[i].policy, None);
+                out[i] = Some(claire.custom_from_plan(&requests[i].model, row, &self.engine));
+            }
+        }
+
+        for (i, req) in requests.iter().enumerate() {
+            if out[i].is_none() {
+                let claire = self.claire_for(req.policy, req.constraints);
+                out[i] = Some(claire.custom_for_with_engine(&req.model, &self.engine));
+            }
+        }
+
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(ClaireError::Internal {
+                        detail: "batched request produced no result".into(),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// The resident training output, built on first use and shared by
+    /// every assignment request afterwards.
+    ///
+    /// # Errors
+    ///
+    /// The (cached) training failure, if the resident training set
+    /// cannot be trained.
+    pub fn train_output(&self) -> Result<&TrainOutput, ClaireError> {
+        self.trained
+            .get_or_init(|| self.claire.train_with_engine(&self.training, &self.engine))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Scores a batch of test models against the resident training
+    /// output — assignment, coverage, utilization, and PPA on
+    /// custom/generic/library, exactly as the one-shot test phase. The
+    /// whole batch shares one flat evaluation table.
+    ///
+    /// # Errors
+    ///
+    /// Training failure or any per-model evaluation failure.
+    pub fn assign_batch(&self, models: &[Model]) -> Result<Vec<TestReport>, ClaireError> {
+        let train = self.train_output()?;
+        let out = self
+            .claire
+            .evaluate_test_with_engine(train, models, &self.engine)?;
+        Ok(out.reports)
+    }
+
+    /// Scores one test model; see [`ResidentEngine::assign_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ResidentEngine::assign_batch`].
+    pub fn assign(&self, model: &Model) -> Result<TestReport, ClaireError> {
+        let mut reports = self.assign_batch(std::slice::from_ref(model))?;
+        reports.pop().ok_or(ClaireError::Internal {
+            detail: "test phase returned no report for a one-model batch".into(),
+        })
+    }
+
+    /// Probes whether `model` has a feasible configuration under
+    /// `constraints`, without relaxation and without failing the
+    /// server: infeasibility is an answer, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Genuine evaluation failures (invalid inputs, internal errors) —
+    /// never plain infeasibility.
+    pub fn what_if(
+        &self,
+        model: &Model,
+        constraints: Constraints,
+    ) -> Result<WhatIfReport, ClaireError> {
+        let claire = self.claire_for(Some(RobustnessPolicy::FailFast), Some(constraints));
+        match claire.custom_for_with_engine(model, &self.engine) {
+            Ok(result) => Ok(WhatIfReport {
+                feasible: true,
+                result: Some(result),
+                infeasibility: None,
+            }),
+            Err(
+                e @ (ClaireError::NoFeasibleConfiguration { .. }
+                | ClaireError::ChipletAreaUnsatisfiable { .. }
+                | ClaireError::IncompleteCoverage { .. }),
+            ) => Ok(WhatIfReport {
+                feasible: false,
+                result: None,
+                infeasibility: Some(e),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use claire_model::zoo;
+
+    #[test]
+    fn batched_customs_match_one_shot() {
+        let resident = ResidentEngine::new(ClaireOptions::default(), vec![]);
+        let requests = vec![
+            CustomRequest::new(zoo::resnet18()),
+            CustomRequest::new(zoo::gpt2()),
+        ];
+        let batched = resident.custom_batch(&requests);
+        let claire = Claire::default();
+        for (req, got) in requests.iter().zip(&batched) {
+            let got = got.as_ref().expect("batched custom succeeds");
+            let one_shot = claire.custom_for(&req.model).expect("one-shot succeeds");
+            assert_eq!(got.config.chiplets.len(), one_shot.config.chiplets.len());
+            assert_eq!(got.report, one_shot.report);
+        }
+    }
+
+    #[test]
+    fn what_if_reports_infeasibility_as_an_answer() {
+        let resident = ResidentEngine::new(ClaireOptions::default(), vec![]);
+        let impossible = Constraints {
+            chiplet_area_limit_mm2: 0.5,
+            ..Constraints::default()
+        };
+        let report = resident
+            .what_if(&zoo::alexnet(), impossible)
+            .expect("probe itself succeeds");
+        assert!(!report.feasible);
+        assert!(report.infeasibility.is_some());
+
+        let roomy = resident
+            .what_if(&zoo::alexnet(), Constraints::default())
+            .expect("probe succeeds");
+        assert!(roomy.feasible);
+        assert!(roomy.result.is_some());
+    }
+
+    #[test]
+    fn assignment_reuses_the_lazily_trained_output() {
+        let resident = ResidentEngine::new(
+            ClaireOptions::default(),
+            vec![zoo::resnet18(), zoo::resnet50(), zoo::gpt2()],
+        );
+        let report = resident.assign(&zoo::alexnet()).expect("assign");
+        assert!(report.assigned_library.is_some());
+        // Second call must not retrain: the cached output is the same
+        // allocation.
+        let first = std::ptr::from_ref(resident.train_output().expect("trained"));
+        let second = std::ptr::from_ref(resident.train_output().expect("trained"));
+        assert_eq!(first, second);
+        let again = resident.assign(&zoo::alexnet()).expect("assign");
+        assert_eq!(report.ppa.library, again.ppa.library);
+    }
+}

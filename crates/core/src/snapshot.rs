@@ -1,0 +1,896 @@
+//! Persistent warm state: versioned snapshots of the engine's memo tiers.
+//!
+//! Every memo tier the [`Engine`](crate::Engine) builds during a run is
+//! keyed canonically — by layer content, hardware parameters, complete
+//! topology encodings, or bit-exact graph encodings — never by process
+//! addresses or hash-iteration order (the one instance-keyed map,
+//! `ModelInterner::by_instance`, is deliberately *not* persisted). That
+//! is what makes cross-process reuse sound: an entry looked up from a
+//! snapshot is indistinguishable from one the loading process would
+//! have computed itself, so a flow started from a snapshot is
+//! bit-identical to the cold flow.
+//!
+//! # File format
+//!
+//! A fixed binary header followed by a canonical JSON payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic `CLAIRSNP`
+//!      8     2  byte-order mark 0xFEFF, little-endian (`FF FE`)
+//!     10     4  format version (u32 LE, currently 1)
+//!     14     8  payload length in bytes (u64 LE)
+//!     22     8  FNV-1a-64 checksum of the payload (u64 LE)
+//!     30     …  JSON payload
+//! ```
+//!
+//! The payload is self-describing JSON (schema in [`Payload`]) with
+//! every float stored as its IEEE-754 bit pattern (`f64::to_bits`), so
+//! a round trip is bit-exact and never passes through decimal
+//! formatting. All sections are canonically ordered and structural ids
+//! are renumbered into content order before writing, which makes
+//! snapshots **byte-identical across thread counts** and across
+//! processes that computed the same entries in different orders.
+//!
+//! # Versioning and invalidation
+//!
+//! Any reader-visible change to the payload schema or to the meaning
+//! of a cached value (a cost-model change, a new key field) must bump
+//! [`SNAPSHOT_VERSION`]. A reader rejects unknown versions — along
+//! with short files, bad magic, foreign byte order, checksum
+//! mismatches, and payloads that fail validation — with a typed
+//! [`ClaireError::SnapshotInvalid`], and the caller degrades to a cold
+//! start. A snapshot is an accelerator, never an input: no failure
+//! mode may panic or alter results.
+
+use crate::error::ClaireError;
+use crate::evaluate::{ComputeSum, RouteTable, TransferCost};
+use crate::parallel::{
+    read_lock, write_lock, Engine, Prehashed, TopologyKey, UniversalCsr, WarmEntry,
+};
+use claire_graph::{CsrGraph, Partition, WeightedGraph};
+use claire_model::{LayerKind, OpClass};
+use claire_ppa::{HwParams, LayerCost};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Snapshot file magic.
+const MAGIC: [u8; 8] = *b"CLAIRSNP";
+
+/// Byte-order mark: written little-endian, so the file starts a
+/// foreign-endianness (or byte-swapped) header check cheaply.
+const BOM: u16 = 0xFEFF;
+
+/// Current snapshot format version. Bump on any schema or
+/// cached-value-semantics change; readers reject other versions.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Header length in bytes: magic + BOM + version + length + checksum.
+const HEADER_LEN: usize = 8 + 2 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit checksum — dependency-free and byte-order independent.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn invalid(detail: impl Into<String>) -> ClaireError {
+    ClaireError::SnapshotInvalid {
+        detail: detail.into(),
+    }
+}
+
+// --- payload schema -------------------------------------------------------
+
+/// One `layer_cost` tier entry: the memoized per-layer PPA numbers for
+/// a (layer, hardware) pair.
+#[derive(Serialize, Deserialize)]
+struct CostEntry {
+    kind: LayerKind,
+    hw: HwParams,
+    cycles: u64,
+    /// `f64::to_bits` of the energy in pJ.
+    energy_pj: u64,
+    executions: u64,
+}
+
+/// One `area` tier entry: per-class unit areas for a hardware point.
+#[derive(Serialize, Deserialize)]
+struct AreaEntry {
+    hw: HwParams,
+    /// `f64::to_bits` per [`OpClass::index`]; length [`OpClass::COUNT`].
+    areas_mm2: Vec<u64>,
+}
+
+/// One `compute_sum` tier entry, keyed by snapshot structural id.
+#[derive(Serialize, Deserialize)]
+struct SumEntry {
+    sid: u32,
+    hw: HwParams,
+    cycles: u64,
+    energy_pj: u64,
+}
+
+/// One `lb` tier entry: the latency lower bound for (structure, hw).
+#[derive(Serialize, Deserialize)]
+struct LbEntry {
+    sid: u32,
+    hw: HwParams,
+    cycles: u64,
+}
+
+/// A [`TopologyKey`] in portable form (fixed arrays become vectors —
+/// the vendored serde deserializes only into growable containers).
+#[derive(Serialize, Deserialize, PartialEq, Eq, PartialOrd, Ord)]
+struct TopoRecord {
+    classes: u16,
+    chiplets: Vec<u16>,
+    slots: Vec<(u8, u8)>,
+    n_chiplets: u8,
+}
+
+impl TopoRecord {
+    fn of(key: &TopologyKey) -> TopoRecord {
+        TopoRecord {
+            classes: key.classes,
+            chiplets: key.chiplets.to_vec(),
+            slots: key.slots.to_vec(),
+            n_chiplets: key.n_chiplets,
+        }
+    }
+
+    fn into_key(self) -> Result<TopologyKey, ClaireError> {
+        let chiplets: [u16; OpClass::COUNT] = self
+            .chiplets
+            .try_into()
+            .map_err(|_| invalid("topology key with wrong chiplet-mask count"))?;
+        let slots: [(u8, u8); OpClass::COUNT] = self
+            .slots
+            .try_into()
+            .map_err(|_| invalid("topology key with wrong slot count"))?;
+        Ok(TopologyKey {
+            classes: self.classes,
+            chiplets,
+            slots,
+            n_chiplets: self.n_chiplets,
+        })
+    }
+}
+
+/// One `comm` tier entry: the per-edge transfer costs of a model
+/// structure on a topology.
+#[derive(Serialize, Deserialize)]
+struct CommEntry {
+    sid: u32,
+    topo: TopoRecord,
+    /// `(ser_cycles, fixed_cycles, crosses_chiplet, noc_mpj, nop_mpj)`
+    /// per model edge — all fixed-point integers, so exact by nature.
+    costs: Vec<(u64, u64, bool, u64, u64)>,
+}
+
+/// One exact-tier Louvain entry: canonical graph+γ key words and the
+/// partition's communities.
+#[derive(Serialize, Deserialize)]
+struct LouvainEntry {
+    key: Vec<u64>,
+    communities: Vec<Vec<OpClass>>,
+}
+
+/// One warm-tier Louvain record: a certified γ-interval (bounds as
+/// `f64::to_bits`) and the partition it reproduces.
+#[derive(Serialize, Deserialize)]
+struct WarmRecord {
+    lo: u64,
+    hi: u64,
+    communities: Vec<Vec<OpClass>>,
+}
+
+/// All warm-tier records for one graph key.
+#[derive(Serialize, Deserialize)]
+struct WarmGroup {
+    key: Vec<u64>,
+    entries: Vec<WarmRecord>,
+}
+
+/// One universal-graph tier entry: the merged graph of a model set
+/// (weights as `f64::to_bits`); the CSR form is re-interned on load.
+#[derive(Serialize, Deserialize)]
+struct GraphEntry {
+    sids: Vec<u32>,
+    hw: HwParams,
+    nodes: Vec<(OpClass, u64)>,
+    edges: Vec<(OpClass, OpClass, u64)>,
+}
+
+/// The snapshot payload: every memo tier whose keys are canonical.
+/// `structures[i]` is the layer sequence of snapshot structural id
+/// `i`; structures are sorted by their JSON encoding, and every other
+/// section is sorted by its key, so equal tier *contents* produce
+/// equal *bytes* regardless of insertion order.
+#[derive(Serialize, Deserialize)]
+struct Payload {
+    structures: Vec<Vec<LayerKind>>,
+    layer_costs: Vec<CostEntry>,
+    areas: Vec<AreaEntry>,
+    sums: Vec<SumEntry>,
+    lbs: Vec<LbEntry>,
+    /// Route tables are lazily-filled `OnceLock` grids; persisting the
+    /// keys alone preserves the "which topologies exist" working set
+    /// while letting routes refill deterministically on first use.
+    routes: Vec<TopoRecord>,
+    comms: Vec<CommEntry>,
+    louvains: Vec<LouvainEntry>,
+    louvain_warm: Vec<WarmGroup>,
+    graphs: Vec<GraphEntry>,
+}
+
+// --- encoding -------------------------------------------------------------
+
+/// A canonical encoding of a layer sequence — the sort key that fixes
+/// structure order. `LayerKind` is not `Ord`, but its derived `Debug`
+/// is deterministic and injective (the enum is `Eq`, so all-integer),
+/// which is all a canonical order needs.
+fn kinds_sort_key(kinds: &[LayerKind]) -> String {
+    format!("{kinds:?}")
+}
+
+fn encode_partition(p: &Partition<OpClass>) -> Vec<Vec<OpClass>> {
+    p.communities().to_vec()
+}
+
+/// Validates and rebuilds a partition. [`Partition::from_communities`]
+/// panics on malformed input, so a corrupt snapshot must be caught
+/// here — before any engine state is touched.
+fn decode_partition(communities: Vec<Vec<OpClass>>) -> Result<Partition<OpClass>, ClaireError> {
+    let mut seen = std::collections::BTreeSet::new();
+    for c in &communities {
+        if c.is_empty() {
+            return Err(invalid("partition with an empty community"));
+        }
+        for n in c {
+            if !seen.insert(*n) {
+                return Err(invalid("partition with a node in two communities"));
+            }
+        }
+    }
+    Ok(Partition::from_communities(communities))
+}
+
+fn decode_finite(bits: u64, what: &str) -> Result<f64, ClaireError> {
+    let v = f64::from_bits(bits);
+    if !v.is_finite() {
+        return Err(invalid(format!("non-finite {what} in snapshot")));
+    }
+    Ok(v)
+}
+
+/// Serializes the engine's memo tiers into snapshot bytes (header +
+/// canonical JSON payload). Pure read: takes every tier lock briefly,
+/// never mutates.
+///
+/// # Errors
+///
+/// [`ClaireError::Internal`] if the payload fails to serialize — the
+/// schema contains only integers, booleans, and enums, so this cannot
+/// occur for any reachable engine state.
+pub(crate) fn encode(engine: &Engine) -> Result<Vec<u8>, ClaireError> {
+    // Canonical structural ids: sort interned structures by content
+    // encoding, then renumber. `old_to_new[old_sid] = snapshot_sid`.
+    let (structures, old_to_new) = {
+        let models = read_lock(&engine.models);
+        let mut entries: Vec<(String, &[LayerKind], u32)> = models
+            .by_content
+            .iter()
+            .map(|(kinds, &sid)| (kinds_sort_key(kinds), kinds.as_ref(), sid))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut old_to_new = vec![u32::MAX; models.batches.len()];
+        let structures: Vec<Vec<LayerKind>> = entries
+            .iter()
+            .enumerate()
+            .map(|(new, (_, kinds, old))| {
+                old_to_new[*old as usize] = new as u32;
+                kinds.to_vec()
+            })
+            .collect();
+        (structures, old_to_new)
+    };
+    let renum = |old: u32| old_to_new[old as usize];
+
+    let mut layer_costs: Vec<CostEntry> = engine
+        .shards
+        .iter()
+        .flat_map(|shard| {
+            read_lock(shard)
+                .iter()
+                .map(|(k, c)| CostEntry {
+                    kind: k.key.0,
+                    hw: k.key.1,
+                    cycles: c.cycles,
+                    energy_pj: c.energy_pj.to_bits(),
+                    executions: c.executions,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    layer_costs.sort_by(|a, b| {
+        kinds_sort_key(std::slice::from_ref(&a.kind))
+            .cmp(&kinds_sort_key(std::slice::from_ref(&b.kind)))
+            .then(a.hw.cmp(&b.hw))
+    });
+
+    let mut areas: Vec<AreaEntry> = read_lock(&engine.areas)
+        .iter()
+        .map(|(hw, table)| AreaEntry {
+            hw: *hw,
+            areas_mm2: table.iter().map(|a| a.to_bits()).collect(),
+        })
+        .collect();
+    areas.sort_by_key(|e| e.hw);
+
+    let mut sums: Vec<SumEntry> = read_lock(&engine.sums)
+        .iter()
+        .map(|(&(sid, hw), s)| SumEntry {
+            sid: renum(sid),
+            hw,
+            cycles: s.cycles,
+            energy_pj: s.energy_pj.to_bits(),
+        })
+        .collect();
+    sums.sort_by_key(|e| (e.sid, e.hw));
+
+    let mut lbs: Vec<LbEntry> = read_lock(&engine.lbs)
+        .iter()
+        .map(|(&(sid, hw), &cycles)| LbEntry {
+            sid: renum(sid),
+            hw,
+            cycles,
+        })
+        .collect();
+    lbs.sort_by_key(|e| (e.sid, e.hw));
+
+    let mut routes: Vec<TopoRecord> = read_lock(&engine.routes)
+        .keys()
+        .map(TopoRecord::of)
+        .collect();
+    routes.sort();
+
+    let mut comms: Vec<CommEntry> = read_lock(&engine.comms)
+        .iter()
+        .map(|((sid, topo), costs)| CommEntry {
+            sid: renum(*sid),
+            topo: TopoRecord::of(topo),
+            costs: costs
+                .iter()
+                .map(|t| {
+                    (
+                        t.ser_cycles,
+                        t.fixed_cycles,
+                        t.crosses_chiplet,
+                        t.noc_mpj,
+                        t.nop_mpj,
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    comms.sort_by(|a, b| (a.sid, &a.topo).cmp(&(b.sid, &b.topo)));
+
+    let mut louvains: Vec<LouvainEntry> = read_lock(&engine.louvains)
+        .iter()
+        .map(|(key, p)| LouvainEntry {
+            key: key.to_vec(),
+            communities: encode_partition(p),
+        })
+        .collect();
+    louvains.sort_by(|a, b| a.key.cmp(&b.key));
+
+    let mut louvain_warm: Vec<WarmGroup> = read_lock(&engine.louvain_warm)
+        .iter()
+        .map(|(key, entries)| {
+            let mut recs: Vec<WarmRecord> = entries
+                .iter()
+                .map(|e| WarmRecord {
+                    lo: e.lo.to_bits(),
+                    hi: e.hi.to_bits(),
+                    communities: encode_partition(&e.partition),
+                })
+                .collect();
+            recs.sort_by_key(|r| (r.lo, r.hi));
+            WarmGroup {
+                key: key.to_vec(),
+                entries: recs,
+            }
+        })
+        .collect();
+    louvain_warm.sort_by(|a, b| a.key.cmp(&b.key));
+
+    let mut graphs: Vec<GraphEntry> = read_lock(&engine.graphs)
+        .iter()
+        .map(|((sids, hw), ug)| GraphEntry {
+            // Graph-tier keys hold structural ids widened to u64; map
+            // them through the same renumbering as every other tier.
+            sids: sids.iter().map(|&s| renum(s as u32)).collect(),
+            hw: *hw,
+            nodes: ug.graph.nodes().map(|(n, w)| (*n, w.to_bits())).collect(),
+            edges: ug
+                .graph
+                .edges()
+                .map(|(a, b, w)| (*a, *b, w.to_bits()))
+                .collect(),
+        })
+        .collect();
+    graphs.sort_by(|a, b| (&a.sids, a.hw).cmp(&(&b.sids, b.hw)));
+
+    let payload = Payload {
+        structures,
+        layer_costs,
+        areas,
+        sums,
+        lbs,
+        routes,
+        comms,
+        louvains,
+        louvain_warm,
+        graphs,
+    };
+    let json = serde_json::to_string(&payload).map_err(|e| ClaireError::Internal {
+        detail: format!("snapshot payload failed to serialize: {e}"),
+    })?;
+    let body = json.into_bytes();
+
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&BOM.to_le_bytes());
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+// --- decoding -------------------------------------------------------------
+
+/// A staged exact-tier Louvain entry: the γ-free canonical CSR key
+/// and the memoized partition.
+type StagedLouvain = (Box<[u64]>, Arc<Partition<OpClass>>);
+
+/// Everything a snapshot contributes, fully parsed and validated but
+/// not yet applied — so a corrupt file can be rejected without having
+/// touched any engine state.
+#[derive(Debug)]
+struct Staged {
+    structures: Vec<Box<[LayerKind]>>,
+    layer_costs: Vec<(LayerKind, HwParams, LayerCost)>,
+    areas: Vec<(HwParams, Arc<[f64; OpClass::COUNT]>)>,
+    sums: Vec<(u32, HwParams, ComputeSum)>,
+    lbs: Vec<(u32, HwParams, u64)>,
+    routes: Vec<TopologyKey>,
+    comms: Vec<(u32, TopologyKey, Arc<[TransferCost]>)>,
+    louvains: Vec<StagedLouvain>,
+    louvain_warm: Vec<(Box<[u64]>, Vec<WarmEntry>)>,
+    graphs: Vec<(Vec<u32>, HwParams, Arc<UniversalCsr>)>,
+}
+
+/// Parses and validates snapshot bytes into staged tier contents.
+fn decode(bytes: &[u8]) -> Result<Staged, ClaireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(invalid(format!(
+            "file too short for header ({} < {HEADER_LEN} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(invalid("bad magic (not a CLAIRE snapshot)"));
+    }
+    let bom = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if bom != BOM {
+        return Err(if bom == BOM.swap_bytes() {
+            invalid("foreign-endianness header (byte-swapped BOM)")
+        } else {
+            invalid(format!("corrupt byte-order mark 0x{bom:04X}"))
+        });
+    }
+    let version = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(invalid(format!(
+            "version {version} (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    let le_u64 = |at: usize| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[at..at + 8]);
+        u64::from_le_bytes(w)
+    };
+    let len = le_u64(14);
+    let body = &bytes[HEADER_LEN..];
+    if len != body.len() as u64 {
+        return Err(invalid(format!(
+            "truncated payload ({} of {len} bytes)",
+            body.len()
+        )));
+    }
+    let checksum = le_u64(22);
+    if fnv1a(body) != checksum {
+        return Err(invalid("payload checksum mismatch"));
+    }
+    let payload: Payload =
+        serde_json::from_slice(body).map_err(|e| invalid(format!("payload parse failed: {e}")))?;
+
+    let n = payload.structures.len() as u32;
+    let check_sid = |sid: u32| {
+        if sid < n {
+            Ok(sid)
+        } else {
+            Err(invalid(format!("structural id {sid} out of range (< {n})")))
+        }
+    };
+
+    let structures: Vec<Box<[LayerKind]>> = payload
+        .structures
+        .into_iter()
+        .map(|kinds| kinds.into_boxed_slice())
+        .collect();
+
+    let layer_costs = payload
+        .layer_costs
+        .into_iter()
+        .map(|e| {
+            Ok((
+                e.kind,
+                e.hw,
+                LayerCost {
+                    cycles: e.cycles,
+                    energy_pj: decode_finite(e.energy_pj, "layer-cost energy")?,
+                    executions: e.executions,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let areas = payload
+        .areas
+        .into_iter()
+        .map(|e| {
+            if e.areas_mm2.len() != OpClass::COUNT {
+                return Err(invalid(format!(
+                    "area table with {} classes (expected {})",
+                    e.areas_mm2.len(),
+                    OpClass::COUNT
+                )));
+            }
+            let mut table = [0.0f64; OpClass::COUNT];
+            for (slot, bits) in table.iter_mut().zip(e.areas_mm2) {
+                *slot = decode_finite(bits, "unit area")?;
+            }
+            Ok((e.hw, Arc::new(table)))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let sums = payload
+        .sums
+        .into_iter()
+        .map(|e| {
+            Ok((
+                check_sid(e.sid)?,
+                e.hw,
+                ComputeSum {
+                    cycles: e.cycles,
+                    energy_pj: decode_finite(e.energy_pj, "compute-sum energy")?,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let lbs = payload
+        .lbs
+        .into_iter()
+        .map(|e| Ok((check_sid(e.sid)?, e.hw, e.cycles)))
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let routes = payload
+        .routes
+        .into_iter()
+        .map(TopoRecord::into_key)
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let comms = payload
+        .comms
+        .into_iter()
+        .map(|e| {
+            let costs: Arc<[TransferCost]> = e
+                .costs
+                .into_iter()
+                .map(
+                    |(ser_cycles, fixed_cycles, crosses_chiplet, noc_mpj, nop_mpj)| TransferCost {
+                        ser_cycles,
+                        fixed_cycles,
+                        crosses_chiplet,
+                        noc_mpj,
+                        nop_mpj,
+                    },
+                )
+                .collect();
+            Ok((check_sid(e.sid)?, e.topo.into_key()?, costs))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let louvains = payload
+        .louvains
+        .into_iter()
+        .map(|e| {
+            Ok((
+                e.key.into_boxed_slice(),
+                Arc::new(decode_partition(e.communities)?),
+            ))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let louvain_warm = payload
+        .louvain_warm
+        .into_iter()
+        .map(|g| {
+            let entries = g
+                .entries
+                .into_iter()
+                .map(|r| {
+                    Ok(WarmEntry {
+                        lo: f64::from_bits(r.lo),
+                        hi: f64::from_bits(r.hi),
+                        partition: Arc::new(decode_partition(r.communities)?),
+                    })
+                })
+                .collect::<Result<Vec<_>, ClaireError>>()?;
+            Ok((g.key.into_boxed_slice(), entries))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    let graphs = payload
+        .graphs
+        .into_iter()
+        .map(|e| {
+            let sids = e
+                .sids
+                .iter()
+                .map(|&s| check_sid(s))
+                .collect::<Result<Vec<_>, ClaireError>>()?;
+            let graph = WeightedGraph::from_parts(
+                e.nodes
+                    .into_iter()
+                    .map(|(n, bits)| (n, f64::from_bits(bits))),
+                e.edges
+                    .into_iter()
+                    .map(|(a, b, bits)| (a, b, f64::from_bits(bits))),
+            );
+            let csr = CsrGraph::from_weighted(&graph);
+            Ok((sids, e.hw, Arc::new(UniversalCsr { graph, csr })))
+        })
+        .collect::<Result<Vec<_>, ClaireError>>()?;
+
+    Ok(Staged {
+        structures,
+        layer_costs,
+        areas,
+        sums,
+        lbs,
+        routes,
+        comms,
+        louvains,
+        louvain_warm,
+        graphs,
+    })
+}
+
+/// Merges staged snapshot contents into the engine's tiers. Existing
+/// live entries always win (`or_insert`): a tier entry is an exact
+/// function of its key, so on a genuine collision both sides are
+/// equal and keeping the resident one is free.
+fn apply(engine: &Engine, staged: Staged) {
+    // Intern the snapshot's structures; `sid_map[snapshot_sid]` is the
+    // live structural id in this process.
+    let sid_map: Vec<u32> = {
+        let mut models = write_lock(&engine.models);
+        staged
+            .structures
+            .into_iter()
+            .map(|kinds| models.intern_content(kinds))
+            .collect()
+    };
+    let live = |sid: u32| sid_map[sid as usize];
+
+    for (kind, hw, cost) in staged.layer_costs {
+        let key = Prehashed::new((kind, hw));
+        let mut shard = write_lock(&engine.shards[key.shard()]);
+        shard.entry(key).or_insert(cost);
+    }
+    {
+        let mut areas = write_lock(&engine.areas);
+        for (hw, table) in staged.areas {
+            areas.entry(hw).or_insert(table);
+        }
+    }
+    {
+        let mut sums = write_lock(&engine.sums);
+        for (sid, hw, sum) in staged.sums {
+            sums.entry((live(sid), hw)).or_insert(sum);
+        }
+    }
+    {
+        let mut lbs = write_lock(&engine.lbs);
+        for (sid, hw, cycles) in staged.lbs {
+            lbs.entry((live(sid), hw)).or_insert(cycles);
+        }
+    }
+    {
+        // Fresh fault-free tables: route cells refill deterministically
+        // on first use, and snapshots never load into faulted engines.
+        let mut routes = write_lock(&engine.routes);
+        for key in staged.routes {
+            routes
+                .entry(key)
+                .or_insert_with(|| Arc::new(RouteTable::new()));
+        }
+    }
+    {
+        let mut comms = write_lock(&engine.comms);
+        for (sid, topo, costs) in staged.comms {
+            comms.entry((live(sid), topo)).or_insert(costs);
+        }
+    }
+    {
+        let mut louvains = write_lock(&engine.louvains);
+        for (key, partition) in staged.louvains {
+            louvains.entry(key).or_insert(partition);
+        }
+    }
+    {
+        let mut warm = write_lock(&engine.louvain_warm);
+        for (key, entries) in staged.louvain_warm {
+            let slot = warm.entry(key).or_default();
+            for e in entries {
+                let dup = slot
+                    .iter()
+                    .any(|s| s.lo.to_bits() == e.lo.to_bits() && s.hi.to_bits() == e.hi.to_bits());
+                if !dup {
+                    slot.push(e);
+                }
+            }
+        }
+    }
+    {
+        let mut graphs = write_lock(&engine.graphs);
+        for (sids, hw, ug) in staged.graphs {
+            let key: Box<[u64]> = sids.iter().map(|&s| u64::from(live(s))).collect();
+            graphs.entry((key, hw)).or_insert(ug);
+        }
+    }
+}
+
+impl Engine {
+    /// Writes the engine's memo tiers to `path` as a versioned
+    /// snapshot, atomically (write to a sibling temp file, then
+    /// rename). Returns `false` — without writing — when the engine
+    /// cannot produce a reusable snapshot: cache disabled (nothing to
+    /// save) or a fault plan armed (faulted routes and evaluations
+    /// must not leak into healthy runs).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::SnapshotInvalid`] when the file cannot be
+    /// written.
+    pub fn save_snapshot(&self, path: &Path) -> Result<bool, ClaireError> {
+        if !self.cache_enabled() || self.faults().is_some() {
+            return Ok(false);
+        }
+        let _span = self.telemetry().span("snapshot.save", "persist");
+        let bytes = encode(self)?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| invalid(format!("write failed: {e}")))?;
+        Ok(true)
+    }
+
+    /// Loads a snapshot from `path` into the engine's memo tiers.
+    /// Returns `false` — without reading — when the file does not
+    /// exist (a first run is not an error) or when the engine is not
+    /// eligible (cache disabled, fault plan armed). Existing live
+    /// entries are never overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::SnapshotInvalid`] on any unreadable or invalid
+    /// snapshot — short/truncated file, bad magic, foreign byte
+    /// order, unknown version, checksum mismatch, malformed payload.
+    /// The engine is untouched in every error case: validation
+    /// completes before any tier is written, so the caller simply
+    /// continues cold.
+    pub fn load_snapshot(&self, path: &Path) -> Result<bool, ClaireError> {
+        if !self.cache_enabled() || self.faults().is_some() {
+            return Ok(false);
+        }
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(invalid(format!("read failed: {e}"))),
+        };
+        let _span = self.telemetry().span("snapshot.load", "persist");
+        let staged = decode(&bytes)?;
+        apply(self, staged);
+        Ok(true)
+    }
+
+    /// The snapshot encoding of the current tiers, for byte-identity
+    /// checks without touching the filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaireError::Internal`] — see [`save_snapshot`](Engine::save_snapshot);
+    /// unreachable for any engine state this crate constructs.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, ClaireError> {
+        encode(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn empty_engine_round_trips() {
+        let engine = Engine::new(1);
+        let bytes = encode(&engine).expect("encode");
+        let staged = decode(&bytes).expect("fresh snapshot decodes");
+        assert!(staged.structures.is_empty());
+        let again = Engine::new(1);
+        apply(&again, staged);
+        assert_eq!(encode(&again).expect("encode"), bytes);
+    }
+
+    #[test]
+    fn header_corruptions_are_typed() {
+        let engine = Engine::new(1);
+        let bytes = encode(&engine).expect("encode");
+
+        // Truncated below the header.
+        let err = decode(&bytes[..10]).unwrap_err();
+        assert!(matches!(err, ClaireError::SnapshotInvalid { .. }));
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode(&bad).is_err());
+
+        // Byte-swapped BOM reads as foreign endianness.
+        let mut swapped = bytes.clone();
+        swapped.swap(8, 9);
+        let err = decode(&swapped).unwrap_err();
+        assert!(err.to_string().contains("endian"), "{err}");
+
+        // Future version.
+        let mut vers = bytes.clone();
+        vers[10] = 0xFE;
+        let err = decode(&vers).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Payload corruption trips the checksum.
+        let mut flip = bytes.clone();
+        let last = flip.len() - 1;
+        flip[last] ^= 0x01;
+        let err = decode(&flip).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Warm-state snapshot suite: the serialized memo tiers must be a
+//! pure accelerant. A flow resumed from a snapshot is bit-identical
+//! to a cold flow, the snapshot bytes are canonical (independent of
+//! thread count and evaluation order), and every corruption mode is
+//! rejected with a typed error that degrades to a cold start —
+//! never a panic, never a poisoned engine.
+
+use claire::core::{Claire, ClaireError, ClaireOptions, Engine};
+use claire::model::zoo;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("claire-snap-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn flow_from_snapshot_is_bit_identical_to_cold() {
+    let dir = scratch("flow");
+    let claire = Claire::new(ClaireOptions::default());
+    let training = [zoo::resnet18(), zoo::alexnet()];
+    let tests = [zoo::vgg16()];
+
+    let cold = Engine::new(2);
+    let cold_train = claire
+        .train_with_engine(&training, &cold)
+        .expect("cold train");
+    let cold_test = claire
+        .evaluate_test_with_engine(&cold_train, &tests, &cold)
+        .expect("cold test");
+    let reference = format!("{cold_train:?}\n{cold_test:?}");
+
+    let path = dir.join("claire.snapshot");
+    assert!(cold.save_snapshot(&path).expect("save"), "nothing saved");
+
+    let warm = Engine::new(2);
+    assert!(warm.load_snapshot(&path).expect("load"), "nothing loaded");
+    let warm_train = claire
+        .train_with_engine(&training, &warm)
+        .expect("warm train");
+    let warm_test = claire
+        .evaluate_test_with_engine(&warm_train, &tests, &warm)
+        .expect("warm test");
+    assert_eq!(
+        format!("{warm_train:?}\n{warm_test:?}"),
+        reference,
+        "flow from snapshot diverged from the cold flow"
+    );
+
+    // The warm flow re-derives nothing the snapshot carried: every
+    // Louvain clustering and compute sum is a restored-tier hit.
+    let stats = warm.stats();
+    assert_eq!(stats.louvain_misses, 0, "{stats:?}");
+    assert_eq!(stats.sum_misses, 0, "{stats:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_bytes_are_identical_across_thread_counts() {
+    let claire = Claire::new(ClaireOptions::default());
+    let training = [zoo::resnet18(), zoo::gpt2()];
+    let mut snapshots = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let engine = Engine::new(threads);
+        claire.train_with_engine(&training, &engine).expect("train");
+        snapshots.push((threads, engine.snapshot_bytes().expect("encode")));
+    }
+    let (_, reference) = &snapshots[0];
+    for (threads, bytes) in &snapshots[1..] {
+        assert_eq!(
+            bytes, reference,
+            "snapshot bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn corruption_is_typed_and_degrades_to_cold_start() {
+    let dir = scratch("corrupt");
+    let claire = Claire::new(ClaireOptions {
+        cache_dir: Some(dir.clone()),
+        ..ClaireOptions::default()
+    });
+    let model = zoo::alexnet();
+
+    let cold = Engine::new(2);
+    let reference = claire
+        .custom_for_with_engine(&model, &cold)
+        .expect("cold custom");
+    assert!(claire.save_warm_state(&cold).expect("save"));
+    let path = claire.snapshot_path().expect("cache dir set");
+    let valid = std::fs::read(&path).expect("snapshot bytes");
+
+    // Every corruption mode: (tag, mutated bytes, detail substring).
+    let mut truncated = valid.clone();
+    truncated.truncate(17);
+    let mut bad_magic = valid.clone();
+    bad_magic[0] ^= 0xFF;
+    let mut foreign_endian = valid.clone();
+    foreign_endian.swap(8, 9); // byte-swapped BOM
+    let mut bad_version = valid.clone();
+    bad_version[10] = bad_version[10].wrapping_add(1);
+    let mut bad_checksum = valid.clone();
+    *bad_checksum.last_mut().expect("non-empty") ^= 0x01;
+    let cases = [
+        ("truncated", truncated, "short"),
+        ("magic", bad_magic, "magic"),
+        ("endianness", foreign_endian, "endian"),
+        ("version", bad_version, "version"),
+        ("checksum", bad_checksum, "checksum"),
+    ];
+
+    for (tag, bytes, detail) in cases {
+        std::fs::write(&path, &bytes).expect("write corrupt");
+        let engine = Engine::new(2);
+        let err = claire.load_warm_state(&engine).expect_err(tag);
+        match &err {
+            ClaireError::SnapshotInvalid { detail: d } => {
+                assert!(d.contains(detail), "{tag}: unexpected detail {d:?}");
+            }
+            other => panic!("{tag}: expected SnapshotInvalid, got {other:?}"),
+        }
+        // The rejected load left the engine untouched: the cold run
+        // still works and matches the reference bit for bit.
+        let recovered = claire
+            .custom_for_with_engine(&model, &engine)
+            .unwrap_or_else(|e| panic!("{tag}: engine unusable after rejected load: {e}"));
+        assert_eq!(
+            format!("{recovered:?}"),
+            format!("{reference:?}"),
+            "{tag}: cold fallback diverged"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_snapshot_is_a_quiet_cold_start() {
+    let dir = scratch("missing");
+    let claire = Claire::new(ClaireOptions {
+        cache_dir: Some(dir.join("never-written")),
+        ..ClaireOptions::default()
+    });
+    let engine = Engine::new(1);
+    assert!(!claire
+        .load_warm_state(&engine)
+        .expect("missing is not an error"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Round-tripping is idempotent and canonical: an engine warmed
+    /// by any subset of workloads in any order produces the same
+    /// bytes as an engine restored from its own snapshot, and the
+    /// same bytes as a second engine warmed in a different order.
+    #[test]
+    fn snapshot_round_trip_is_canonical(
+        order in proptest::collection::vec(0usize..4, 1..4),
+        threads in 1usize..4,
+    ) {
+        let pool = [zoo::alexnet(), zoo::resnet18(), zoo::vgg16(), zoo::gpt2()];
+        let claire = Claire::new(ClaireOptions::default());
+
+        let warm = |indices: &[usize], threads: usize| {
+            let engine = Engine::new(threads);
+            for &i in indices {
+                claire
+                    .custom_for_with_engine(&pool[i], &engine)
+                    .expect("custom");
+            }
+            engine
+        };
+
+        let a = warm(&order, threads);
+        let bytes_a = a.snapshot_bytes().expect("encode a");
+
+        // Restore into a fresh engine: the re-encoded bytes match.
+        let dir = scratch("prop");
+        let path = dir.join("claire.snapshot");
+        std::fs::write(&path, &bytes_a).expect("write");
+        let restored = Engine::new(threads);
+        prop_assert!(restored.load_snapshot(&path).expect("load"));
+        prop_assert_eq!(&restored.snapshot_bytes().expect("encode restored"), &bytes_a);
+
+        // A different evaluation order (and thread count) over the
+        // same workload set reaches the same canonical bytes.
+        let reversed: Vec<usize> = order.iter().rev().copied().collect();
+        let b = warm(&reversed, 4usize.saturating_sub(threads).max(1));
+        prop_assert_eq!(&b.snapshot_bytes().expect("encode b"), &bytes_a);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
