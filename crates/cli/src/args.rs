@@ -92,11 +92,24 @@ pub enum Command {
         /// Pipelined batch size (1 = single inference).
         batch: usize,
     },
-    /// `serve [--config <file>]` — resident engine answering
-    /// JSON-lines requests on stdin.
+    /// `serve [--config <file>] [--listen <addr>] [--queue <n>]
+    /// [--io-timeout-ms <ms>] [--checkpoint-ms <ms>]
+    /// [--serve-faults <spec>]` — resident engine answering JSON-lines
+    /// requests on stdin or a socket.
     Serve {
         /// Optional RunConfig JSON file.
         config: Option<String>,
+        /// Socket address: a unix path (contains `/`) or `host:port`;
+        /// `None` serves stdin.
+        listen: Option<String>,
+        /// Admission queue capacity before typed load shedding.
+        queue: usize,
+        /// Per-connection read/write timeout, milliseconds.
+        io_timeout_ms: u64,
+        /// Warm-state checkpoint interval, milliseconds (0 disables).
+        checkpoint_ms: u64,
+        /// Seeded serve-layer fault drill: `SEED[:RATE|:class=rate,…]`.
+        serve_faults: Option<String>,
     },
     /// `help`.
     Help,
@@ -386,6 +399,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                         | "--config"
                         | "--batch"
                         | "--library"
+                        | "--listen"
+                        | "--queue"
+                        | "--io-timeout-ms"
+                        | "--checkpoint-ms"
+                        | "--serve-faults"
                 ) && i + 1 < rest.len()
                 {
                     skip = true;
@@ -507,9 +525,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 batch,
             })
         }
-        "serve" => Ok(Command::Serve {
-            config: value("--config").map(str::to_owned),
-        }),
+        "serve" => {
+            let queue = value("--queue")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| err(format!("bad queue capacity `{v}`")))
+                })
+                .transpose()?
+                .unwrap_or(64);
+            if queue == 0 {
+                return Err(err("--queue must be at least 1"));
+            }
+            let io_timeout_ms = value("--io-timeout-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad io timeout `{v}`")))
+                })
+                .transpose()?
+                .unwrap_or(30_000);
+            if io_timeout_ms == 0 {
+                return Err(err("--io-timeout-ms must be at least 1"));
+            }
+            let checkpoint_ms = value("--checkpoint-ms")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| err(format!("bad checkpoint interval `{v}`")))
+                })
+                .transpose()?
+                .unwrap_or(15_000);
+            Ok(Command::Serve {
+                config: value("--config").map(str::to_owned),
+                listen: value("--listen").map(str::to_owned),
+                queue,
+                io_timeout_ms,
+                checkpoint_ms,
+                serve_faults: value("--serve-faults").map(str::to_owned),
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(err(format!(
             "unknown command `{other}` (try `claire-cli help`)"
@@ -548,10 +600,16 @@ USAGE:
       library as a JSON artifact.
   claire-cli deploy <model> --library <file> [--json]
       Deploy an algorithm onto a stored library without retraining.
-  claire-cli serve [--config <file>]
-      Stay resident and answer JSON-lines requests on stdin (one
-      object per line, responses on stdout). Concurrent requests are
-      batched into shared evaluations over one warm engine. Ops:
+  claire-cli serve [--config <file>] [--listen <addr>] [--queue <n>]
+             [--io-timeout-ms <ms>] [--checkpoint-ms <ms>]
+             [--serve-faults <spec>]
+      Stay resident and answer JSON-lines requests (one object per
+      line, one response per line). Concurrent requests are batched
+      into shared evaluations over one warm engine. Without --listen
+      the protocol runs on stdin/stdout; --listen binds a multi-client
+      socket instead: a unix path when the address contains '/'
+      (e.g. /tmp/claire.sock), else host:port (the bound address —
+      useful with :0 — is announced on stderr). Ops:
         {\"op\":\"custom\",\"model\":\"Resnet50\"}
         {\"op\":\"custom\",\"printout\":\"<print(model) dump>\",
          \"name\":\"net\",\"image\":[3,224,224]}     (or \"seq\":[T,F])
@@ -559,11 +617,39 @@ USAGE:
         {\"op\":\"what_if\",\"model\":\"Resnet50\",
          \"constraints\":{\"chiplet_area_limit_mm2\":50.0}}
       Optional per request: \"id\" (echoed back), \"degrade\"
-      (true/false overrides the global policy), \"trace_out\" (write
+      (true/false overrides the global policy), \"deadline_ms\"
+      (latency budget; a lapsed request is answered with error code 14
+      — still queued, or cancelled cooperatively mid-evaluation —
+      without touching its batch neighbours), \"trace_out\" (write
       the engine trace so far to this path; needs --trace-out to arm
       tracing). Errors come back typed per request:
       {\"ok\":false,\"error\":{\"code\":N,\"detail\":...}} with the
       exit-code numbering below; the server keeps running.
+      Robustness knobs:
+        --queue <n>           Admission queue capacity (default 64).
+                              A full queue answers code 13 instead of
+                              queueing unboundedly.
+        --io-timeout-ms <ms>  Socket read/write timeout (default
+                              30000). A stalled (slow-loris) client
+                              gets a typed code-2 answer and a closed
+                              connection.
+        --checkpoint-ms <ms>  Warm-state checkpoint interval (default
+                              15000; 0 disables; needs --cache-dir).
+                              Checkpoints are atomic tmp+rename,
+                              generation-countered, and skipped while
+                              the memo tiers are unchanged. SIGINT/
+                              SIGTERM drains the queue and saves once
+                              more, so kill -9 loses at most one
+                              interval of warmth — never snapshot
+                              validity.
+        --serve-faults <spec> Seeded serve-layer fault drill:
+                              SEED (all classes at 0.1), SEED:RATE,
+                              or SEED:class=rate,... over classes
+                              dropped_connection, slow_loris_client,
+                              mid_batch_panic,
+                              checkpoint_write_failure. Faults stay in
+                              the serving layer — answers remain
+                              bit-identical to a fault-free run.
   claire-cli help
       Show this text.
 
@@ -617,6 +703,8 @@ EXIT CODES:
   7 worker panic             8 non-finite metric
   9 invalid input           10 no interposer route
  11 internal invariant violation   12 invalid warm-state snapshot
+ 13 overloaded (admission queue full, request shed)
+ 14 deadline exceeded (request budget lapsed)
   1 other errors
 ";
 
@@ -846,14 +934,62 @@ mod tests {
     fn serve_parses_with_optional_config() {
         assert_eq!(
             parse_args(&v(&["serve"])).unwrap(),
-            Command::Serve { config: None }
-        );
-        assert_eq!(
-            parse_args(&v(&["serve", "--config", "run.json"])).unwrap(),
             Command::Serve {
-                config: Some("run.json".into())
+                config: None,
+                listen: None,
+                queue: 64,
+                io_timeout_ms: 30_000,
+                checkpoint_ms: 15_000,
+                serve_faults: None,
             }
         );
+        match parse_args(&v(&["serve", "--config", "run.json"])).unwrap() {
+            Command::Serve { config, .. } => assert_eq!(config.as_deref(), Some("run.json")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_parses_robustness_knobs() {
+        match parse_args(&v(&[
+            "serve",
+            "--listen",
+            "/tmp/claire.sock",
+            "--queue",
+            "8",
+            "--io-timeout-ms",
+            "500",
+            "--checkpoint-ms",
+            "0",
+            "--serve-faults",
+            "42:mid_batch_panic=1.0",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                listen,
+                queue,
+                io_timeout_ms,
+                checkpoint_ms,
+                serve_faults,
+                ..
+            } => {
+                assert_eq!(listen.as_deref(), Some("/tmp/claire.sock"));
+                assert_eq!(queue, 8);
+                assert_eq!(io_timeout_ms, 500);
+                assert_eq!(checkpoint_ms, 0);
+                assert_eq!(serve_faults.as_deref(), Some("42:mid_batch_panic=1.0"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_knobs() {
+        assert!(parse_args(&v(&["serve", "--queue", "0"])).is_err());
+        assert!(parse_args(&v(&["serve", "--queue", "many"])).is_err());
+        assert!(parse_args(&v(&["serve", "--io-timeout-ms", "0"])).is_err());
+        assert!(parse_args(&v(&["serve", "--checkpoint-ms", "soon"])).is_err());
     }
 
     #[test]

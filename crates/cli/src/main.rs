@@ -78,6 +78,8 @@ fn exit_code(e: &ClaireError) -> i32 {
         ClaireError::NoRoute { .. } => 10,
         ClaireError::Internal { .. } => 11,
         ClaireError::SnapshotInvalid { .. } => 12,
+        ClaireError::Overloaded { .. } => 13,
+        ClaireError::DeadlineExceeded { .. } => 14,
     }
 }
 
@@ -375,7 +377,14 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                 Err(e) => fail(&e),
             }
         }
-        Command::Serve { config } => {
+        Command::Serve {
+            config,
+            listen,
+            queue,
+            io_timeout_ms,
+            checkpoint_ms,
+            serve_faults,
+        } => {
             let opts = match options(false, None, config.as_deref(), g) {
                 Ok(o) => o,
                 Err(e) => {
@@ -383,7 +392,16 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                     return 2;
                 }
             };
-            serve::run(opts)
+            serve::run(
+                opts,
+                &serve::ServeSettings {
+                    listen,
+                    queue,
+                    io_timeout_ms,
+                    checkpoint_ms,
+                    serve_faults,
+                },
+            )
         }
         Command::Describe { model } => {
             let Some(m) = zoo::by_name(&model) else {

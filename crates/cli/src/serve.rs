@@ -1,5 +1,5 @@
-//! `claire-cli serve` — a resident engine answering JSON-lines
-//! requests on stdin.
+//! `claire-cli serve` — a crash-safe, admission-controlled resident
+//! engine answering JSON-lines requests on stdin or a socket.
 //!
 //! One [`ResidentEngine`] lives for the whole session: every request
 //! shares its memo tiers, and requests that arrive together are
@@ -7,21 +7,82 @@
 //! one test table per assign batch). Combined with `--cache-dir`, the
 //! first request after a restart is answered at warm-reflow speed.
 //!
+//! Hardening layers, front to back:
+//!
+//! * **Front ends** — stdin (the original mode) or `--listen` with a
+//!   unix socket path or a `host:port`. Socket connections get one
+//!   reader and one writer thread each, both under `--io-timeout-ms`;
+//!   a stalled (slow-loris) client earns a typed timeout error and a
+//!   closed connection, never a wedged server.
+//! * **Admission** — a bounded queue (`--queue`). When it is full the
+//!   request is answered immediately with a typed
+//!   [`ClaireError::Overloaded`] (exit-code 13 numbering) instead of
+//!   queueing unboundedly.
+//! * **Deadlines** — a request may declare `"deadline_ms"`. A watchdog
+//!   fires its cancel flag when the budget lapses: still-queued
+//!   requests are answered `DeadlineExceeded{stage:"queued"}`, and
+//!   in-flight custom evaluations stop at the flat plan's cooperative
+//!   checkpoints and answer `stage:"evaluating"`. Completed neighbours
+//!   in the same batch are untouched — answers stay bit-identical.
+//! * **Crash safety** — with `--cache-dir`, warm state is checkpointed
+//!   every `--checkpoint-ms` (atomic tmp+rename, generation-countered,
+//!   skipped when the memo tiers are unchanged) and saved again on
+//!   SIGINT/SIGTERM after a graceful drain. A `kill -9` loses at most
+//!   one checkpoint interval of warmth, never the snapshot's validity.
+//! * **Fault drills** — `--serve-faults SEED[:SPEC]` arms the seeded
+//!   serve-layer [`FaultPlan`] classes (dropped connection, slow-loris
+//!   client, mid-batch panic, checkpoint write failure). The plan is
+//!   consulted by this front end only and never attached to the
+//!   engine, so answers stay bit-identical and snapshots still save.
+//!
 //! Protocol: one JSON object per input line, one JSON object per
-//! output line, in request order within a batch. Every response
-//! carries `"ok"` plus either the op's result or a typed `"error"`
-//! `{code, detail}` using the CLI exit-code numbering — a failed
-//! request never takes the server down. See [`crate::args::USAGE`].
+//! output line, in request order within a batch (admission-shed and
+//! malformed-input errors are answered immediately and may overtake
+//! earlier queued work). Every response carries `"ok"` plus either the
+//! op's result or a typed `"error"` `{code, detail}` using the CLI
+//! exit-code numbering — a failed request never takes the server
+//! down. See [`crate::args::USAGE`].
 
 use crate::summary::CustomSummary;
+use claire_core::telemetry::Metric;
 use claire_core::{
-    ClaireError, ClaireOptions, Constraints, CustomRequest, ResidentEngine, RobustnessPolicy,
+    ClaireError, ClaireOptions, Constraints, CustomRequest, FaultClass, FaultPlan, ResidentEngine,
+    RobustnessPolicy,
 };
 use claire_model::parse::{parse_model, InputShape, ParseOptions};
 use claire_model::{zoo, Model, ModelClass};
 use serde::Value;
-use std::io::{BufRead, Write};
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How often the dispatcher wakes with an empty queue to poll for
+/// shutdown and drive periodic checkpoints.
+const DISPATCH_TICK: Duration = Duration::from_millis(50);
+
+/// How often the deadline watchdog scans for lapsed budgets.
+const WATCHDOG_TICK: Duration = Duration::from_millis(5);
+
+/// Serving knobs parsed from the command line (defaults in
+/// [`crate::args`]).
+pub struct ServeSettings {
+    /// `--listen`: a unix socket path (contains `/`) or `host:port`;
+    /// `None` serves stdin.
+    pub listen: Option<String>,
+    /// `--queue`: admission queue capacity before typed shedding.
+    pub queue: usize,
+    /// `--io-timeout-ms`: per-connection read/write timeout.
+    pub io_timeout_ms: u64,
+    /// `--checkpoint-ms`: warm-state checkpoint interval (0 disables;
+    /// needs `--cache-dir` to have any effect).
+    pub checkpoint_ms: u64,
+    /// `--serve-faults`: seeded serve-layer fault drill spec.
+    pub serve_faults: Option<String>,
+}
 
 /// One parsed request line.
 struct Request {
@@ -29,6 +90,8 @@ struct Request {
     id: Value,
     /// Per-request Chrome-trace export path.
     trace_out: Option<String>,
+    /// Per-request latency budget; lapse answers `DeadlineExceeded`.
+    deadline_ms: Option<u64>,
     op: Op,
 }
 
@@ -46,90 +109,640 @@ enum Op {
     },
 }
 
-/// Runs the resident server until stdin closes. Returns the process
-/// exit code (0 — per-request failures are answered, not fatal).
-pub fn run(opts: ClaireOptions) -> i32 {
-    let resident = ResidentEngine::new(opts, zoo::training_set());
+fn op_label(op: &Op) -> &'static str {
+    match op {
+        Op::Custom { .. } => "custom",
+        Op::Assign { .. } => "assign",
+        Op::WhatIf { .. } => "what_if",
+    }
+}
+
+/// One admitted request waiting for (or in) evaluation.
+struct Job {
+    request: Request,
+    /// Where the response line goes (stdout writer or the
+    /// connection's writer thread).
+    reply: mpsc::Sender<String>,
+    /// Admission time, for the queue-wait histogram.
+    enqueued: Instant,
+    /// Absolute deadline derived from `deadline_ms` at admission.
+    deadline: Option<Instant>,
+    /// Set by the watchdog when the deadline lapses; threaded into the
+    /// flat plan's cooperative cancellation checkpoints.
+    cancel: Arc<AtomicBool>,
+}
+
+/// Everything the front ends, watchdog and dispatcher share.
+struct ServerState {
+    resident: Arc<ResidentEngine>,
+    queue: Mutex<VecDeque<Job>>,
+    wakeup: Condvar,
+    capacity: usize,
+    io_timeout: Duration,
+    /// stdin closed (stdin mode only); socket mode drains on signal.
+    eof: AtomicBool,
+    conn_seq: AtomicU64,
+    batch_seq: AtomicU64,
+    /// Live deadlines the watchdog scans: `(lapse instant, cancel)`.
+    deadlines: Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
+    /// The serve-layer fault drill; never attached to the engine.
+    faults: Option<FaultPlan>,
+}
+
+impl ServerState {
+    fn telemetry(&self) -> &claire_core::Telemetry {
+        self.resident.engine().telemetry()
+    }
+}
+
+/// Poison-tolerant lock: a panicking holder must not wedge serving.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+mod signals {
+    //! SIGINT/SIGTERM latch. The CLI binary links libc through std, so
+    //! the two-line handler is registered with the C `signal` entry
+    //! point directly — no new dependency, and the handler only stores
+    //! an atomic flag (async-signal-safe).
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    /// Whether a drain-and-save shutdown was requested.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the latch for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        #[cfg(unix)]
+        unsafe {
+            let handler = on_signal as extern "C" fn(i32) as usize;
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+}
+
+/// Runs the resident server until stdin closes (stdin mode) or a
+/// SIGINT/SIGTERM drain (either mode). Returns the process exit code
+/// (0 — per-request failures are answered, not fatal).
+pub fn run(opts: ClaireOptions, settings: &ServeSettings) -> i32 {
+    let faults = match settings.serve_faults.as_deref().map(parse_serve_faults) {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(msg)) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+
+    let resident = Arc::new(ResidentEngine::new(opts, zoo::training_set()));
     match resident.load_warm_state() {
         Ok(true) => eprintln!("info: warm state loaded"),
         Ok(false) => {}
         Err(e) => eprintln!("warning: {e}; starting cold"),
     }
+    signals::install();
 
-    // A reader thread keeps pulling lines while the engine evaluates,
-    // so requests arriving mid-batch are served together in the next
-    // batch instead of one by one.
+    let state = Arc::new(ServerState {
+        resident: Arc::clone(&resident),
+        queue: Mutex::new(VecDeque::new()),
+        wakeup: Condvar::new(),
+        capacity: settings.queue.max(1),
+        io_timeout: Duration::from_millis(settings.io_timeout_ms.max(1)),
+        eof: AtomicBool::new(false),
+        conn_seq: AtomicU64::new(0),
+        batch_seq: AtomicU64::new(0),
+        deadlines: Mutex::new(Vec::new()),
+        faults,
+    });
+
+    {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || watchdog(&state));
+    }
+
+    let stdout_flusher = match &settings.listen {
+        Some(addr) => {
+            if let Err(msg) = spawn_listener(addr, &state) {
+                eprintln!("error: {msg}");
+                return 2;
+            }
+            None
+        }
+        None => Some(spawn_stdin_frontend(&state)),
+    };
+
+    dispatch(&resident, &state, settings);
+
+    if signals::requested() {
+        eprintln!("info: shutdown signal received; queue drained, saving warm state");
+    }
+    // Final save goes through the generation counter too, but skips
+    // the fault drill: the shutdown save is the durability anchor the
+    // periodic-checkpoint drill is measured against.
+    match resident.checkpoint() {
+        Ok(Some(generation)) => {
+            state.telemetry().count(Metric::ServeCheckpoints);
+            eprintln!("info: warm state saved (checkpoint generation {generation})");
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to save warm state: {e}"),
+    }
+    export_shutdown_telemetry(&resident);
+
+    match stdout_flusher {
+        // stdin mode after EOF: every sender is gone once the queue is
+        // drained, so joining guarantees all responses are flushed.
+        Some(flusher) if !signals::requested() => {
+            let _ = flusher.join();
+        }
+        // Signal path (and socket mode): connection readers may still
+        // hold reply senders while blocked on their sockets, so a join
+        // could hang; a short grace period lets writers flush instead.
+        _ => std::thread::sleep(Duration::from_millis(250)),
+    }
+    0
+}
+
+/// Parses `--serve-faults SEED[:SPEC]`: bare `SEED` arms every serve
+/// fault class at rate 0.1; `SEED:RATE` arms them all at `RATE`;
+/// `SEED:class=rate,...` arms the named classes only (labels as in
+/// `fault.*` metrics, e.g. `dropped_connection=1.0`).
+fn parse_serve_faults(spec: &str) -> Result<FaultPlan, String> {
+    let (seed, rest) = match spec.split_once(':') {
+        Some((s, r)) => (s, Some(r)),
+        None => (spec, None),
+    };
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("bad --serve-faults seed `{seed}`"))?;
+    let mut plan = FaultPlan::new(seed);
+    match rest {
+        None => {
+            for class in FaultClass::SERVE {
+                plan = plan.with(class, 0.1);
+            }
+        }
+        Some(spec) if spec.contains('=') => {
+            for part in spec.split(',') {
+                let (label, rate) = part.split_once('=').ok_or_else(|| {
+                    format!("bad --serve-faults entry `{part}` (want class=rate)")
+                })?;
+                let class = FaultClass::from_label(label)
+                    .filter(|c| FaultClass::SERVE.contains(c))
+                    .ok_or_else(|| format!("unknown serve fault class `{label}`"))?;
+                let rate: f64 = rate
+                    .parse()
+                    .map_err(|_| format!("bad --serve-faults rate `{rate}`"))?;
+                plan = plan.with(class, rate);
+            }
+        }
+        Some(rate) => {
+            let rate: f64 = rate
+                .parse()
+                .map_err(|_| format!("bad --serve-faults rate `{rate}`"))?;
+            for class in FaultClass::SERVE {
+                plan = plan.with(class, rate);
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// The deadline watchdog: fires cancel flags when budgets lapse and
+/// prunes entries whose request already finished (their cancel Arc has
+/// no other holder).
+fn watchdog(state: &ServerState) {
+    loop {
+        std::thread::sleep(WATCHDOG_TICK);
+        let now = Instant::now();
+        let mut entries = lock(&state.deadlines);
+        entries.retain(|(deadline, cancel)| {
+            if Arc::strong_count(cancel) == 1 {
+                return false;
+            }
+            if *deadline <= now {
+                cancel.store(true, Ordering::Relaxed);
+                return false;
+            }
+            true
+        });
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Front ends: stdin and socket listeners feeding the admission queue.
+// ---------------------------------------------------------------- //
+
+/// Stdin front end: a reader thread admitting lines and a stdout
+/// writer thread draining response lines. Returns the writer handle so
+/// the EOF path can join it before exiting.
+fn spawn_stdin_frontend(state: &Arc<ServerState>) -> std::thread::JoinHandle<()> {
     let (tx, rx) = mpsc::channel::<String>();
-    let reader = std::thread::spawn(move || {
+    let flusher = std::thread::spawn(move || {
+        let mut out = std::io::stdout().lock();
+        for line in rx {
+            if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    });
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
         for line in std::io::stdin().lock().lines() {
             let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                admit(&state, trimmed, &tx);
             }
-            if tx.send(line).is_err() {
+            if signals::requested() {
+                break;
+            }
+        }
+        state.eof.store(true, Ordering::SeqCst);
+        state.wakeup.notify_all();
+    });
+    flusher
+}
+
+/// Minimal common surface of [`UnixStream`] and [`TcpStream`] the
+/// connection handler needs.
+trait Conn: Read + Write + Send + Sized + 'static {
+    fn try_clone_conn(&self) -> std::io::Result<Self>;
+    fn set_io_timeouts(&self, timeout: Duration) -> std::io::Result<()>;
+    fn shutdown_both(&self);
+}
+
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_io_timeouts(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))?;
+        self.set_write_timeout(Some(timeout))
+    }
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_io_timeouts(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))?;
+        self.set_write_timeout(Some(timeout))
+    }
+    fn shutdown_both(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Binds the `--listen` address (unix socket path when it contains a
+/// `/`, else `host:port`) and spawns the accept loop. The bound
+/// address is announced on stderr — with `:0` that is how callers
+/// learn the chosen port.
+fn spawn_listener(addr: &str, state: &Arc<ServerState>) -> Result<(), String> {
+    if addr.contains('/') {
+        // A stale socket file from a crashed predecessor would make
+        // bind fail; serving takes over the path.
+        let _ = std::fs::remove_file(addr);
+        let listener =
+            UnixListener::bind(addr).map_err(|e| format!("cannot bind unix socket {addr}: {e}"))?;
+        eprintln!("info: listening on unix socket {addr}");
+        let state = Arc::clone(state);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || handle_connection(stream, &state));
+            }
+        });
+    } else {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        match listener.local_addr() {
+            Ok(local) => eprintln!("info: listening on {local}"),
+            Err(_) => eprintln!("info: listening on {addr}"),
+        }
+        let state = Arc::clone(state);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || handle_connection(stream, &state));
+            }
+        });
+    }
+    Ok(())
+}
+
+/// One socket connection: a writer thread draining response lines and
+/// this thread reading request lines under the io timeout. The seeded
+/// fault drill may turn the connection into a slow-loris (typed
+/// timeout answer, closed) or drop it abruptly after its first
+/// request (client sees EOF; the late answer lands on a dead socket).
+fn handle_connection<S: Conn>(stream: S, state: &Arc<ServerState>) {
+    let conn_id = state.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_io_timeouts(state.io_timeout);
+    let Ok(mut write_half) = stream.try_clone_conn() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in rx {
+            if write_half.write_all(line.as_bytes()).is_err()
+                || write_half.write_all(b"\n").is_err()
+                || write_half.flush().is_err()
+            {
                 break;
             }
         }
     });
 
-    while let Ok(first) = rx.recv() {
-        let mut lines = vec![first];
-        while let Ok(more) = rx.try_recv() {
-            lines.push(more);
-        }
-        let responses = serve_batch(&resident, &lines);
-        let mut out = std::io::stdout().lock();
-        for r in &responses {
-            let line = serde_json::to_string(r).unwrap_or_else(|_| "null".into());
-            if writeln!(out, "{line}").is_err() {
-                return 1;
-            }
-        }
-        if out.flush().is_err() {
-            return 1;
+    if let Some(plan) = &state.faults {
+        if plan.slow_loris(conn_id) {
+            // Drill: pretend the client stalled mid-line. Same typed
+            // answer and close a real slow-loris earns below.
+            state
+                .telemetry()
+                .count(Metric::for_fault(FaultClass::SlowLorisClient));
+            let _ = tx.send(plain_error_line(
+                2,
+                "read timed out waiting for a complete request line; closing connection",
+            ));
+            return;
         }
     }
+    let drop_after_first = state.faults.as_ref().is_some_and(|plan| {
+        let drop = plan.drops_connection(conn_id);
+        if drop {
+            state
+                .telemetry()
+                .count(Metric::for_fault(FaultClass::DroppedConnection));
+        }
+        drop
+    });
 
-    if let Err(e) = resident.save_warm_state() {
-        eprintln!("warning: failed to save warm state: {e}");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if signals::requested() {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if drop_after_first {
+                    // Close both halves before the request can be
+                    // answered: the client deterministically sees EOF
+                    // (finite), while the work itself still runs and
+                    // its late answer lands on the dead socket.
+                    reader.get_ref().shutdown_both();
+                    admit(state, trimmed, &tx);
+                    return;
+                }
+                admit(state, trimmed, &tx);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = tx.send(plain_error_line(
+                    2,
+                    "read timed out waiting for a complete request line; closing connection",
+                ));
+                break;
+            }
+            Err(_) => break,
+        }
     }
-    let _ = reader.join();
-    0
 }
 
-/// Serves one batch of request lines, returning responses in input
+/// Parses one line and either enqueues it or answers immediately:
+/// malformed input gets a typed code-2 error, and a full queue sheds
+/// the request with [`ClaireError::Overloaded`].
+fn admit(state: &ServerState, line: &str, reply: &mpsc::Sender<String>) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            let _ = reply.send(plain_error_line(2, &msg));
+            return;
+        }
+    };
+    let mut queue = lock(&state.queue);
+    if queue.len() >= state.capacity {
+        let shed = ClaireError::Overloaded {
+            queued: queue.len(),
+            capacity: state.capacity,
+        };
+        drop(queue);
+        state.telemetry().count(Metric::ServeShed);
+        let mut value = error_value(op_label(&request.op), &shed);
+        if let Value::Object(fields) = &mut value {
+            fields.insert(0, ("id".to_string(), request.id.clone()));
+        }
+        let _ = reply.send(to_line(&value));
+        return;
+    }
+    let now = Instant::now();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let deadline = request
+        .deadline_ms
+        .map(|ms| now + Duration::from_millis(ms));
+    if let Some(deadline) = deadline {
+        lock(&state.deadlines).push((deadline, Arc::clone(&cancel)));
+    }
+    queue.push_back(Job {
+        request,
+        reply: reply.clone(),
+        enqueued: now,
+        deadline,
+        cancel,
+    });
+    state.wakeup.notify_one();
+}
+
+// ---------------------------------------------------------------- //
+// The dispatcher: batches, evaluates, checkpoints, survives panics.
+// ---------------------------------------------------------------- //
+
+/// The dispatcher loop: drains the admission queue into batches,
+/// triages lapsed deadlines, evaluates the rest (containing even a
+/// mid-batch panic), and drives periodic warm-state checkpoints. Exits
+/// once shutdown was requested (signal, or stdin EOF) and the queue is
+/// drained.
+fn dispatch(resident: &ResidentEngine, state: &ServerState, settings: &ServeSettings) {
+    let telemetry = resident.engine().telemetry();
+    let checkpoint_every =
+        (settings.checkpoint_ms > 0).then(|| Duration::from_millis(settings.checkpoint_ms));
+    let mut last_checkpoint = Instant::now();
+
+    loop {
+        let jobs = next_batch(state);
+        if jobs.is_empty() {
+            if signals::requested() || state.eof.load(Ordering::SeqCst) {
+                break;
+            }
+            maybe_checkpoint(resident, state, checkpoint_every, &mut last_checkpoint);
+            continue;
+        }
+        telemetry.record_in_flight(jobs.len() as u64);
+        for job in &jobs {
+            telemetry.record_queue_wait(job.enqueued.elapsed());
+        }
+
+        // Requests whose deadline lapsed while queued are answered
+        // without ever touching the engine.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.deadline.is_some_and(|d| now >= d) {
+                let lapsed = ClaireError::DeadlineExceeded {
+                    deadline_ms: job.request.deadline_ms.unwrap_or(0),
+                    stage: "queued",
+                };
+                deliver(
+                    resident,
+                    &job,
+                    error_value(op_label(&job.request.op), &lapsed),
+                );
+            } else {
+                live.push(job);
+            }
+        }
+
+        if !live.is_empty() {
+            let batch_id = state.batch_seq.fetch_add(1, Ordering::Relaxed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(plan) = &state.faults {
+                    if plan.panics_batch(batch_id) {
+                        telemetry.count(Metric::for_fault(FaultClass::MidBatchPanic));
+                        panic!("injected mid-batch dispatcher panic (serve fault drill)");
+                    }
+                }
+                serve_jobs(resident, &live)
+            }));
+            match outcome {
+                Ok(responses) => {
+                    for (job, value) in live.iter().zip(responses) {
+                        deliver(resident, job, value);
+                    }
+                }
+                // The batch died mid-evaluation; every member gets a
+                // typed answer and the server keeps serving — the memo
+                // tiers only ever hold completed exact values.
+                Err(_) => {
+                    for job in &live {
+                        let panicked = ClaireError::WorkerPanic {
+                            index: 0,
+                            message: "serve batch panicked mid-evaluation; request answered, \
+                                      server still running"
+                                .into(),
+                        };
+                        deliver(
+                            resident,
+                            job,
+                            error_value(op_label(&job.request.op), &panicked),
+                        );
+                    }
+                }
+            }
+        }
+        maybe_checkpoint(resident, state, checkpoint_every, &mut last_checkpoint);
+    }
+}
+
+/// Waits up to [`DISPATCH_TICK`] for work, then drains the whole queue
+/// as one batch.
+fn next_batch(state: &ServerState) -> Vec<Job> {
+    let mut queue = lock(&state.queue);
+    if queue.is_empty() {
+        let (guard, _) = state
+            .wakeup
+            .wait_timeout(queue, DISPATCH_TICK)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        queue = guard;
+    }
+    queue.drain(..).collect()
+}
+
+/// Runs one periodic checkpoint when the interval lapsed. The fault
+/// drill may simulate a write failure — counted, logged, and harmless:
+/// the previous snapshot generation on disk stays valid.
+fn maybe_checkpoint(
+    resident: &ResidentEngine,
+    state: &ServerState,
+    every: Option<Duration>,
+    last: &mut Instant,
+) {
+    let Some(every) = every else { return };
+    if last.elapsed() < every {
+        return;
+    }
+    *last = Instant::now();
+    if let Some(plan) = &state.faults {
+        if plan.fails_checkpoint(resident.checkpoint_generation() + 1) {
+            state
+                .telemetry()
+                .count(Metric::for_fault(FaultClass::CheckpointWriteFailure));
+            eprintln!("warning: checkpoint write failed (injected); serving continues");
+            return;
+        }
+    }
+    match resident.checkpoint() {
+        Ok(Some(generation)) => {
+            state.telemetry().count(Metric::ServeCheckpoints);
+            eprintln!("info: warm-state checkpoint generation {generation} written");
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: checkpoint failed: {e}; serving continues"),
+    }
+}
+
+/// Serves one batch of admitted jobs, returning responses in job
 /// order. Custom requests across the batch share one flat evaluation
-/// table; assignment requests share one test table.
-fn serve_batch(resident: &ResidentEngine, lines: &[String]) -> Vec<Value> {
-    let parsed: Vec<Result<Request, String>> = lines.iter().map(|l| parse_request(l)).collect();
-    let mut responses: Vec<Option<Value>> = parsed.iter().map(|_| None).collect();
+/// table (with per-request cancel flags); assignment requests share
+/// one test table.
+fn serve_jobs(resident: &ResidentEngine, jobs: &[Job]) -> Vec<Value> {
+    let mut responses: Vec<Option<Value>> = jobs.iter().map(|_| None).collect();
 
     // Batch all customs into one plan.
-    let custom_idx: Vec<usize> = parsed
+    let custom_idx: Vec<usize> = jobs
         .iter()
         .enumerate()
-        .filter(|(_, p)| {
-            matches!(
-                p,
-                Ok(Request {
-                    op: Op::Custom { .. },
-                    ..
-                })
-            )
-        })
+        .filter(|(_, j)| matches!(j.request.op, Op::Custom { .. }))
         .map(|(i, _)| i)
         .collect();
     if !custom_idx.is_empty() {
         let requests: Vec<CustomRequest> = custom_idx
             .iter()
-            .map(|&i| match &parsed[i] {
-                Ok(Request {
-                    op: Op::Custom { model, policy },
-                    ..
-                }) => CustomRequest {
+            .map(|&i| match &jobs[i].request.op {
+                Op::Custom { model, policy } => CustomRequest {
                     model: model.clone(),
                     policy: *policy,
                     constraints: None,
+                    cancel: Some(Arc::clone(&jobs[i].cancel)),
+                    deadline_ms: jobs[i].request.deadline_ms,
                 },
                 _ => unreachable!("custom_idx filters Op::Custom"),
             })
@@ -151,28 +764,17 @@ fn serve_batch(resident: &ResidentEngine, lines: &[String]) -> Vec<Value> {
     }
 
     // Batch all assignments into one test table.
-    let assign_idx: Vec<usize> = parsed
+    let assign_idx: Vec<usize> = jobs
         .iter()
         .enumerate()
-        .filter(|(_, p)| {
-            matches!(
-                p,
-                Ok(Request {
-                    op: Op::Assign { .. },
-                    ..
-                })
-            )
-        })
+        .filter(|(_, j)| matches!(j.request.op, Op::Assign { .. }))
         .map(|(i, _)| i)
         .collect();
     if !assign_idx.is_empty() {
         let models: Vec<Model> = assign_idx
             .iter()
-            .map(|&i| match &parsed[i] {
-                Ok(Request {
-                    op: Op::Assign { model },
-                    ..
-                }) => model.clone(),
+            .map(|&i| match &jobs[i].request.op {
+                Op::Assign { model } => model.clone(),
                 _ => unreachable!("assign_idx filters Op::Assign"),
             })
             .collect();
@@ -196,16 +798,13 @@ fn serve_batch(resident: &ResidentEngine, lines: &[String]) -> Vec<Value> {
         }
     }
 
-    // What-if probes and parse errors, individually.
-    for (i, p) in parsed.iter().enumerate() {
+    // What-if probes, individually.
+    for (i, job) in jobs.iter().enumerate() {
         if responses[i].is_some() {
             continue;
         }
-        responses[i] = Some(match p {
-            Ok(Request {
-                op: Op::WhatIf { model, constraints },
-                ..
-            }) => match resident.what_if(model, *constraints) {
+        responses[i] = Some(match &job.request.op {
+            Op::WhatIf { model, constraints } => match resident.what_if(model, *constraints) {
                 Ok(report) => serde_json::json!({
                     "op": "what_if",
                     "ok": true,
@@ -215,30 +814,70 @@ fn serve_batch(resident: &ResidentEngine, lines: &[String]) -> Vec<Value> {
                 }),
                 Err(e) => error_value("what_if", &e),
             },
-            Err(msg) => serde_json::json!({
-                "ok": false,
-                "error": serde_json::json!({ "code": 2, "detail": msg }),
-            }),
-            Ok(_) => unreachable!("custom/assign answered above"),
+            _ => unreachable!("custom/assign answered above"),
         });
     }
 
-    // Echo ids and honor per-request trace exports.
-    parsed
-        .iter()
-        .zip(responses)
-        .map(|(p, r)| {
-            let mut value = r.unwrap_or(Value::Null);
-            if let (Ok(req), Value::Object(fields)) = (p, &mut value) {
-                fields.insert(0, ("id".to_string(), req.id.clone()));
-                if let Some(path) = &req.trace_out {
-                    let note = export_trace(resident, path);
-                    fields.push(("trace".to_string(), note));
-                }
-            }
-            value
-        })
+    responses
+        .into_iter()
+        .map(|r| r.unwrap_or(Value::Null))
         .collect()
+}
+
+/// Finalizes one response — echoes the id, honors the per-request
+/// trace export, mirrors deadline answers into the
+/// `serve.deadline_expired` counter — and sends it to the job's
+/// writer.
+fn deliver(resident: &ResidentEngine, job: &Job, mut value: Value) {
+    if let Value::Object(fields) = &mut value {
+        fields.insert(0, ("id".to_string(), job.request.id.clone()));
+        if let Some(path) = &job.request.trace_out {
+            let note = export_trace(resident, path);
+            fields.push(("trace".to_string(), note));
+        }
+    }
+    let deadline_code = value
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_u64);
+    if deadline_code == Some(14) {
+        resident
+            .engine()
+            .telemetry()
+            .count(Metric::ServeDeadlineExpired);
+    }
+    let _ = job.reply.send(to_line(&value));
+}
+
+/// Serializes one response line.
+fn to_line(value: &Value) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "null".into())
+}
+
+/// A bare (no-id) typed error line for input that never became a
+/// request: malformed JSON, or a connection-level timeout.
+fn plain_error_line(code: i64, detail: &str) -> String {
+    to_line(&serde_json::json!({
+        "ok": false,
+        "error": serde_json::json!({ "code": code, "detail": detail }),
+    }))
+}
+
+/// Writes the session's trace/metrics exports (the `--trace-out` and
+/// `--metrics-json` paths) on the way out, so `serve.*` counters and
+/// the queue-wait/in-flight histograms survive the process.
+fn export_shutdown_telemetry(resident: &ResidentEngine) {
+    let telemetry = &resident.options().telemetry;
+    if let Some(path) = &telemetry.trace_out {
+        if let Err(e) = resident.engine().write_trace(path) {
+            eprintln!("warning: failed to write trace {}: {e}", path.display());
+        }
+    }
+    if let Some(path) = &telemetry.metrics_out {
+        if let Err(e) = resident.engine().write_metrics(path) {
+            eprintln!("warning: failed to write metrics {}: {e}", path.display());
+        }
+    }
 }
 
 /// Writes the engine's trace so far to `path` (the trace spans the
@@ -303,6 +942,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 | "degrade"
                 | "constraints"
                 | "trace_out"
+                | "deadline_ms"
         ) {
             return Err(format!("unknown request field `{key}`"));
         }
@@ -314,6 +954,13 @@ fn parse_request(line: &str) -> Result<Request, String> {
             v.as_str()
                 .ok_or("trace_out must be a string")
                 .map(str::to_owned)
+        })
+        .transpose()?;
+    let deadline_ms = value
+        .get("deadline_ms")
+        .map(|v| {
+            v.as_u64()
+                .ok_or("deadline_ms must be a non-negative integer")
         })
         .transpose()?;
     let model = request_model(&value)?;
@@ -335,7 +982,12 @@ fn parse_request(line: &str) -> Result<Request, String> {
         Some(other) => return Err(format!("unknown op `{other}`")),
         None => return Err("missing `op` (custom | assign | what_if)".into()),
     };
-    Ok(Request { id, trace_out, op })
+    Ok(Request {
+        id,
+        trace_out,
+        deadline_ms,
+        op,
+    })
 }
 
 /// Resolves the request's model: a zoo name (`"model"`) or an inline

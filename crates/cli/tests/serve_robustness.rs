@@ -1,0 +1,516 @@
+//! End-to-end robustness tests for `claire-cli serve`: every seeded
+//! serve-layer fault class ends in a typed wire error or a finite
+//! answer (never a dead server), admission control sheds with a typed
+//! code-13 answer, deadlines answer code 14, a `kill -9` mid-serve
+//! leaves a loadable checkpoint behind, and a signalled shutdown
+//! drains and saves.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_claire-cli"))
+}
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("claire-serve-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Spawns `serve --listen <unix socket>` with extra args and waits for
+/// the socket to accept connections. Every caller reaps the child —
+/// through `terminate` or an explicit kill + wait.
+#[allow(clippy::zombie_processes)]
+fn spawn_listening(socket: &Path, extra: &[&str]) -> Child {
+    let child = cli()
+        .arg("serve")
+        .args(["--listen", socket.to_str().expect("utf8")])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve --listen");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if UnixStream::connect(socket).is_ok() {
+            return child;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never bound {}",
+            socket.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Sends SIGTERM and returns the exit status.
+fn terminate(child: &mut Child) -> std::process::ExitStatus {
+    Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "server ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One request/one response over a fresh connection. Returns `None`
+/// when the server closed the connection without answering (a finite
+/// outcome — the dropped-connection drill).
+fn round_trip(socket: &Path, request: &str) -> Option<serde_json::Value> {
+    let mut stream = UnixStream::connect(socket).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    stream.write_all(request.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send newline");
+    let mut line = String::new();
+    let n = BufReader::new(stream).read_line(&mut line).expect("read");
+    if n == 0 {
+        return None;
+    }
+    Some(serde_json::from_str(line.trim()).expect("response is JSON"))
+}
+
+#[test]
+fn socket_serves_multiple_clients_and_drains_on_sigterm() {
+    let dir = scratch("multi");
+    let socket = dir.join("claire.sock");
+    let mut server = spawn_listening(&socket, &[]);
+
+    let clients: Vec<std::thread::JoinHandle<()>> = (0..3)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let request = format!("{{\"id\":{i},\"op\":\"custom\",\"model\":\"Alexnet\"}}");
+                let response = round_trip(&socket, &request).expect("answered");
+                assert_eq!(response["id"].as_u64(), Some(i));
+                assert_eq!(response["ok"].as_bool(), Some(true), "{response}");
+                assert_eq!(response["result"]["model"].as_str(), Some("Alexnet"));
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Malformed input over the socket is a typed code-2 answer, and
+    // the server keeps serving afterwards.
+    let bad = round_trip(&socket, "{\"op\":\"frobnicate\"}").expect("typed answer");
+    assert_eq!(bad["ok"].as_bool(), Some(false));
+    assert_eq!(bad["error"]["code"].as_u64(), Some(2));
+    let alive =
+        round_trip(&socket, "{\"id\":9,\"op\":\"assign\",\"model\":\"VGG16\"}").expect("answered");
+    assert_eq!(alive["ok"].as_bool(), Some(true), "{alive}");
+
+    let status = terminate(&mut server);
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_connection_fault_is_finite_and_server_survives() {
+    let dir = scratch("drop");
+    let socket = dir.join("claire.sock");
+    // Rate 1.0: every connection is abruptly dropped after its first
+    // request. The client sees EOF — finite — and the server lives on.
+    let mut server = spawn_listening(&socket, &["--serve-faults", "7:dropped_connection=1.0"]);
+
+    for _ in 0..3 {
+        let answer = round_trip(
+            &socket,
+            "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}",
+        );
+        assert!(answer.is_none(), "dropped connection still answered");
+    }
+    let status = terminate(&mut server);
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_loris_fault_earns_typed_timeout_and_server_survives() {
+    let dir = scratch("loris");
+    let socket = dir.join("claire.sock");
+    let mut server = spawn_listening(&socket, &["--serve-faults", "7:slow_loris_client=1.0"]);
+
+    // The drill stalls the connection before any request is read: the
+    // client gets the same typed code-2 timeout answer a real
+    // slow-loris earns, then EOF.
+    let stream = UnixStream::connect(&socket).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("typed answer");
+    let answer: serde_json::Value = serde_json::from_str(line.trim()).expect("JSON");
+    assert_eq!(answer["ok"].as_bool(), Some(false));
+    assert_eq!(answer["error"]["code"].as_u64(), Some(2));
+    assert!(
+        answer["error"]["detail"]
+            .as_str()
+            .expect("detail")
+            .contains("timed out"),
+        "{answer}"
+    );
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).expect("eof"), 0);
+
+    let status = terminate(&mut server);
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_batch_panic_fault_answers_typed_worker_panic() {
+    let dir = scratch("panic");
+    let socket = dir.join("claire.sock");
+    let mut server = spawn_listening(&socket, &["--serve-faults", "7:mid_batch_panic=1.0"]);
+
+    // Every batch panics mid-dispatch; every request still gets a
+    // typed code-7 answer and the server keeps accepting work.
+    for _ in 0..3 {
+        let answer = round_trip(
+            &socket,
+            "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}",
+        )
+        .expect("typed answer despite panic");
+        assert_eq!(answer["ok"].as_bool(), Some(false), "{answer}");
+        assert_eq!(answer["error"]["code"].as_u64(), Some(7), "{answer}");
+    }
+    let status = terminate(&mut server);
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_write_failure_fault_never_corrupts_the_snapshot() {
+    let dir = scratch("ckpt-fault");
+    let socket = dir.join("claire.sock");
+    let cache = dir.join("cache");
+    let mut server = spawn_listening(
+        &socket,
+        &[
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+            "--checkpoint-ms",
+            "50",
+            "--serve-faults",
+            "7:checkpoint_write_failure=0.5",
+        ],
+    );
+
+    // Warm the tiers across several batches so multiple checkpoint
+    // generations run, some injected to fail.
+    for (i, model) in ["Alexnet", "Resnet18", "VGG16"].iter().enumerate() {
+        let request = format!("{{\"id\":{i},\"op\":\"custom\",\"model\":\"{model}\"}}");
+        let answer = round_trip(&socket, &request).expect("answered");
+        assert_eq!(answer["ok"].as_bool(), Some(true), "{answer}");
+        std::thread::sleep(Duration::from_millis(120));
+    }
+    let status = terminate(&mut server);
+    assert_eq!(status.code(), Some(0));
+
+    // Whatever mix of failed and successful checkpoints ran, the
+    // snapshot on disk loads cleanly (exit 0, no rejection warning).
+    let out = cli()
+        .args([
+            "custom",
+            "Alexnet",
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("rejected"), "snapshot rejected: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_sheds_with_typed_code_13_and_metrics_record_it() {
+    use std::process::Stdio;
+    let dir = scratch("shed");
+    let metrics = dir.join("metrics.json");
+    let mut child = cli()
+        .args([
+            "serve",
+            "--queue",
+            "1",
+            "--metrics-json",
+            metrics.to_str().expect("utf8"),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    // A burst far beyond capacity 1: the reader admits much faster
+    // than the dispatcher drains, so most requests are shed with a
+    // typed Overloaded answer while at least the first is evaluated.
+    const BURST: usize = 200;
+    let mut input = String::new();
+    for i in 0..BURST {
+        input.push_str(&format!(
+            "{{\"id\":{i},\"op\":\"custom\",\"model\":\"Alexnet\"}}\n"
+        ));
+    }
+    stdin.write_all(input.as_bytes()).expect("write burst");
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("JSON response"))
+        .collect();
+    assert_eq!(lines.len(), BURST, "every request is answered");
+    let ok = lines
+        .iter()
+        .filter(|l| l["ok"].as_bool() == Some(true))
+        .count();
+    let shed = lines
+        .iter()
+        .filter(|l| l["error"]["code"].as_u64() == Some(13))
+        .count();
+    assert!(ok >= 1, "no request was ever evaluated");
+    assert!(shed >= 1, "queue of 1 under a {BURST}-burst never shed");
+    assert_eq!(ok + shed, BURST, "answers are either evaluated or shed");
+    // Shed answers echo the caller's id so clients can retry.
+    let first_shed = lines
+        .iter()
+        .find(|l| l["error"]["code"].as_u64() == Some(13))
+        .expect("shed answer");
+    assert!(first_shed["id"].as_u64().is_some(), "{first_shed}");
+
+    // The shed count and queue-wait/in-flight histograms surface in
+    // --metrics-json.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("metrics JSON");
+    assert_eq!(
+        parsed["counters"]["serve.shed"].as_u64(),
+        Some(shed as u64),
+        "serve.shed counter disagrees with the wire"
+    );
+    let histogram_total = |name: &str| -> u64 {
+        parsed["histograms"][name]["counts"]
+            .as_array()
+            .unwrap_or_else(|| panic!("histogram {name} missing: {}", parsed["histograms"]))
+            .iter()
+            .map(|c| c.as_u64().expect("bucket count"))
+            .sum()
+    };
+    assert!(
+        histogram_total("serve.queue_wait_us") >= 1,
+        "queue-wait histogram empty"
+    );
+    assert!(
+        histogram_total("serve.in_flight") >= 1,
+        "in-flight histogram empty"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_deadline_is_answered_with_code_14_without_contaminating_neighbours() {
+    use std::process::Stdio;
+    let mut child = cli()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    stdin
+        .write_all(
+            concat!(
+                "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\",\"deadline_ms\":0}\n",
+                "{\"id\":2,\"op\":\"custom\",\"model\":\"Alexnet\"}\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    let lines: Vec<serde_json::Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("JSON response"))
+        .collect();
+    assert_eq!(lines.len(), 2);
+    let by_id = |id: u64| {
+        lines
+            .iter()
+            .find(|l| l["id"].as_u64() == Some(id))
+            .unwrap_or_else(|| panic!("no response with id {id}"))
+    };
+    let expired = by_id(1);
+    assert_eq!(expired["ok"].as_bool(), Some(false));
+    assert_eq!(expired["error"]["code"].as_u64(), Some(14), "{expired}");
+    assert!(
+        expired["error"]["detail"]
+            .as_str()
+            .expect("detail")
+            .contains("deadline"),
+        "{expired}"
+    );
+    // The batch neighbour without a deadline is answered normally —
+    // identical to what a solo run produces.
+    let survivor = by_id(2);
+    assert_eq!(survivor["ok"].as_bool(), Some(true), "{survivor}");
+    let solo = cli()
+        .args(["custom", "Alexnet", "--json"])
+        .output()
+        .expect("solo run");
+    assert!(solo.status.success());
+    let solo_v: serde_json::Value = serde_json::from_slice(&solo.stdout).expect("solo JSON");
+    assert_eq!(
+        survivor["result"]["ppa"], solo_v["ppa"],
+        "deadline neighbour diverged from the solo answer"
+    );
+}
+
+#[test]
+fn kill_nine_mid_serve_leaves_a_loadable_checkpoint() {
+    use std::process::Stdio;
+    let dir = scratch("kill9");
+    let cache = dir.join("cache");
+    let mut child = cli()
+        .args([
+            "serve",
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+            "--checkpoint-ms",
+            "50",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    stdin
+        .write_all(b"{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}\n")
+        .expect("write request");
+    stdin.flush().expect("flush");
+    // Wait for the first answer (tiers warm) ...
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("first answer");
+    let answer: serde_json::Value = serde_json::from_str(line.trim()).expect("JSON");
+    assert_eq!(answer["ok"].as_bool(), Some(true), "{answer}");
+    // ... and for a periodic checkpoint to land on disk.
+    let snapshot = cache.join("claire.snapshot");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !snapshot.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint was ever written");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // SIGKILL mid-serve: no drain, no shutdown save.
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+
+    // The checkpoint restores a warm engine: no SnapshotInvalid, no
+    // rejection warning, and the answer matches a cold run.
+    let warm = cli()
+        .args([
+            "custom",
+            "Alexnet",
+            "--json",
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("warm run");
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(!err.contains("rejected"), "snapshot rejected: {err}");
+    let cold = cli()
+        .args(["custom", "Alexnet", "--json"])
+        .output()
+        .expect("cold run");
+    assert_eq!(warm.stdout, cold.stdout, "post-crash warm answer diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_shutdown_saves_the_snapshot_without_stdin_eof() {
+    use std::process::Stdio;
+    let dir = scratch("sigterm-save");
+    let cache = dir.join("cache");
+    let mut child = cli()
+        .args([
+            "serve",
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+            // Periodic checkpoints off: only the signal path saves.
+            "--checkpoint-ms",
+            "0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    stdin
+        .write_all(b"{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}\n")
+        .expect("write request");
+    stdin.flush().expect("flush");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("first answer");
+
+    // Stdin stays open: EOF never fires; only the signal can save.
+    let status = terminate(&mut child);
+    assert_eq!(status.code(), Some(0));
+    let snapshot = cache.join("claire.snapshot");
+    assert!(
+        snapshot.exists(),
+        "signal-triggered shutdown saved no snapshot"
+    );
+    let err = {
+        let mut buf = String::new();
+        child
+            .stderr
+            .take()
+            .expect("stderr")
+            .read_to_string(&mut buf)
+            .expect("read stderr");
+        buf
+    };
+    assert!(
+        err.contains("shutdown signal received"),
+        "no drain message: {err}"
+    );
+    assert!(err.contains("warm state saved"), "no save message: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

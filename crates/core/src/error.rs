@@ -80,6 +80,27 @@ pub enum ClaireError {
         /// What was wrong with the snapshot.
         detail: String,
     },
+    /// The serving admission queue was full when the request arrived;
+    /// the request was shed instead of queued unboundedly. Retry after
+    /// backoff — shedding is load control, not failure of the request
+    /// itself.
+    Overloaded {
+        /// Requests already waiting when this one was shed.
+        queued: usize,
+        /// The admission queue's capacity.
+        capacity: usize,
+    },
+    /// The request's declared deadline expired before (or while) it
+    /// was evaluated; partial work was cancelled cooperatively and no
+    /// answer is returned.
+    DeadlineExceeded {
+        /// The deadline the request declared, in milliseconds.
+        deadline_ms: u64,
+        /// Where the deadline fired: "queued" (expired while waiting
+        /// for admission/dispatch) or "evaluating" (cancelled at a
+        /// cooperative checkpoint mid-evaluation).
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for ClaireError {
@@ -125,6 +146,15 @@ impl fmt::Display for ClaireError {
             }
             ClaireError::SnapshotInvalid { detail } => {
                 write!(f, "warm-state snapshot rejected: {detail}")
+            }
+            ClaireError::Overloaded { queued, capacity } => {
+                write!(
+                    f,
+                    "admission queue full ({queued}/{capacity} waiting); request shed"
+                )
+            }
+            ClaireError::DeadlineExceeded { deadline_ms, stage } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded while {stage}")
             }
         }
     }

@@ -45,6 +45,25 @@
 //!   tables recompute routes around them (degraded hop counts) and
 //!   surface [`ClaireError::NoRoute`](crate::ClaireError::NoRoute)
 //!   when a class pair is disconnected.
+//!
+//! Four further classes cover the *serving* layer. They are consulted
+//! by the `serve` front end (never by the engine itself, so an armed
+//! serve plan does not disable warm-state snapshots and engine answers
+//! stay bit-identical):
+//!
+//! * [`FaultClass::DroppedConnection`] — abruptly close an accepted
+//!   connection after its first request; the server cleans up the
+//!   connection's threads and keeps serving everyone else.
+//! * [`FaultClass::SlowLorisClient`] — treat a connection as a stalled
+//!   writer (a client that never completes a line); the read-timeout
+//!   path answers a typed wire error and closes it.
+//! * [`FaultClass::MidBatchPanic`] — panic inside the dispatcher while
+//!   a batch is mid-evaluation; contained by `catch_unwind`, every
+//!   request in the batch is answered with a typed
+//!   [`ClaireError::WorkerPanic`](crate::ClaireError::WorkerPanic).
+//! * [`FaultClass::CheckpointWriteFailure`] — fail a background
+//!   warm-state checkpoint write; the server logs and keeps serving,
+//!   and the previous checkpoint generation stays intact on disk.
 
 use crate::telemetry::{ArgValue, Metric, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,11 +88,21 @@ pub enum FaultClass {
     InfeasibleConstraints,
     /// Mark a 2D-torus link as failed, forcing route-around.
     FailedNocLink,
+    /// Abruptly drop an accepted serve connection after its first
+    /// request (serve layer).
+    DroppedConnection,
+    /// Treat a serve connection as a stalled slow-loris writer,
+    /// driving the read-timeout path (serve layer).
+    SlowLorisClient,
+    /// Panic inside the serve dispatcher mid-batch (serve layer).
+    MidBatchPanic,
+    /// Fail a background warm-state checkpoint write (serve layer).
+    CheckpointWriteFailure,
 }
 
 impl FaultClass {
     /// Number of fault classes.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 12;
 
     /// Every fault class, in a fixed order.
     pub const ALL: [FaultClass; FaultClass::COUNT] = [
@@ -85,6 +114,19 @@ impl FaultClass {
         FaultClass::PoisonShard,
         FaultClass::InfeasibleConstraints,
         FaultClass::FailedNocLink,
+        FaultClass::DroppedConnection,
+        FaultClass::SlowLorisClient,
+        FaultClass::MidBatchPanic,
+        FaultClass::CheckpointWriteFailure,
+    ];
+
+    /// The serve-layer classes, in `ALL` order — the subset a
+    /// `--serve-faults` plan arms by default.
+    pub const SERVE: [FaultClass; 4] = [
+        FaultClass::DroppedConnection,
+        FaultClass::SlowLorisClient,
+        FaultClass::MidBatchPanic,
+        FaultClass::CheckpointWriteFailure,
     ];
 
     /// Dense index, used for the rate and counter tables.
@@ -98,11 +140,15 @@ impl FaultClass {
             FaultClass::PoisonShard => 5,
             FaultClass::InfeasibleConstraints => 6,
             FaultClass::FailedNocLink => 7,
+            FaultClass::DroppedConnection => 8,
+            FaultClass::SlowLorisClient => 9,
+            FaultClass::MidBatchPanic => 10,
+            FaultClass::CheckpointWriteFailure => 11,
         }
     }
 
     /// The class's lower-snake-case label, used in telemetry event
-    /// arguments and counter names.
+    /// arguments, counter names, and `--serve-faults` specs.
     pub fn label(self) -> &'static str {
         match self {
             FaultClass::NanPpa => "nan_ppa",
@@ -113,7 +159,16 @@ impl FaultClass {
             FaultClass::PoisonShard => "poison_shard",
             FaultClass::InfeasibleConstraints => "infeasible_constraints",
             FaultClass::FailedNocLink => "failed_noc_link",
+            FaultClass::DroppedConnection => "dropped_connection",
+            FaultClass::SlowLorisClient => "slow_loris_client",
+            FaultClass::MidBatchPanic => "mid_batch_panic",
+            FaultClass::CheckpointWriteFailure => "checkpoint_write_failure",
         }
+    }
+
+    /// Parses a class from its [`label`](FaultClass::label).
+    pub fn from_label(label: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.label() == label)
     }
 
     /// A per-class tag mixed into every decision hash so the same
@@ -295,6 +350,30 @@ impl FaultPlan {
             ^ u64::from(hi);
         self.decide(FaultClass::FailedNocLink, site)
     }
+
+    /// Whether the serve layer should abruptly drop connection
+    /// `conn_id` after reading its first request.
+    pub fn drops_connection(&self, conn_id: u64) -> bool {
+        self.decide(FaultClass::DroppedConnection, conn_id)
+    }
+
+    /// Whether the serve layer should treat connection `conn_id` as a
+    /// slow-loris client (a writer that stalls past the read timeout).
+    pub fn slow_loris(&self, conn_id: u64) -> bool {
+        self.decide(FaultClass::SlowLorisClient, conn_id)
+    }
+
+    /// Whether the serve dispatcher should panic mid-way through batch
+    /// `batch_id`.
+    pub fn panics_batch(&self, batch_id: u64) -> bool {
+        self.decide(FaultClass::MidBatchPanic, batch_id)
+    }
+
+    /// Whether the background checkpoint of `generation` should fail
+    /// to write.
+    pub fn fails_checkpoint(&self, generation: u64) -> bool {
+        self.decide(FaultClass::CheckpointWriteFailure, generation)
+    }
 }
 
 /// The unit draw in `[0, 1)` for `(seed, class, site)` — two rounds of
@@ -396,6 +475,43 @@ mod tests {
                 assert_eq!(plan.link_failed(4, 2, a, b), plan.link_failed(4, 2, b, a));
             }
         }
+    }
+
+    #[test]
+    fn serve_classes_are_deterministic_and_labelled() {
+        let plan = FaultPlan::new(404)
+            .with(FaultClass::DroppedConnection, 0.5)
+            .with(FaultClass::SlowLorisClient, 0.5)
+            .with(FaultClass::MidBatchPanic, 0.5)
+            .with(FaultClass::CheckpointWriteFailure, 0.5);
+        let twin = FaultPlan::new(404)
+            .with(FaultClass::DroppedConnection, 0.5)
+            .with(FaultClass::SlowLorisClient, 0.5)
+            .with(FaultClass::MidBatchPanic, 0.5)
+            .with(FaultClass::CheckpointWriteFailure, 0.5);
+        for site in 0..512 {
+            assert_eq!(plan.drops_connection(site), twin.drops_connection(site));
+            assert_eq!(plan.slow_loris(site), twin.slow_loris(site));
+            assert_eq!(plan.panics_batch(site), twin.panics_batch(site));
+            assert_eq!(plan.fails_checkpoint(site), twin.fails_checkpoint(site));
+        }
+        for class in FaultClass::SERVE {
+            assert!(plan.injections(class) > 0, "{} fired", class.label());
+            assert_eq!(FaultClass::from_label(class.label()), Some(class));
+        }
+        // Serve classes draw independently of the engine classes.
+        assert_eq!(plan.injections(FaultClass::WorkerPanic), 0);
+    }
+
+    #[test]
+    fn all_lists_every_class_once() {
+        assert_eq!(FaultClass::ALL.len(), FaultClass::COUNT);
+        for (i, class) in FaultClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+        let labels: std::collections::HashSet<_> =
+            FaultClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), FaultClass::COUNT);
     }
 
     #[test]

@@ -663,6 +663,35 @@ impl Engine {
         t.set_gauge(Gauge::StructInstances, interner.by_instance.len() as u64);
     }
 
+    /// A cheap signature of the memo tiers' entry counts, for
+    /// dirty-delta checks (e.g. skipping a warm-state checkpoint when
+    /// nothing new was memoized). Tiers are insert-only, so equal
+    /// signatures across two observations mean no tier grew between
+    /// them; the per-tier counts are mixed positionally so growth in
+    /// one tier cannot cancel growth in another.
+    pub fn tier_signature(&self) -> u64 {
+        let counts = [
+            self.shards
+                .iter()
+                .map(|s| read_lock(s).len())
+                .sum::<usize>(),
+            read_lock(&self.routes).len(),
+            read_lock(&self.sums).len(),
+            read_lock(&self.louvains).len(),
+            read_lock(&self.graphs).len(),
+            read_lock(&self.areas).len(),
+            read_lock(&self.comms).len(),
+            read_lock(&self.louvain_warm).len(),
+            read_lock(&self.lbs).len(),
+            read_lock(&self.models).by_content.len(),
+        ];
+        let mut sig = 0xcbf2_9ce4_8422_2325_u64;
+        for c in counts {
+            sig = (sig ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        sig
+    }
+
     /// Writes the Chrome Trace Event JSON export to `path` (loadable
     /// in Perfetto or `chrome://tracing`).
     ///

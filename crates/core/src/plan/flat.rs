@@ -30,6 +30,8 @@ use crate::telemetry::ArgValue;
 use claire_model::{Model, OpClass};
 use claire_ppa::{DseSpace, HwParams};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// One model's slice of the evaluation table: its area-screened DSE
 /// points in space iteration order, with each point's
@@ -120,6 +122,29 @@ pub fn build_eval_table(
     constraints: &Constraints,
     engine: &Engine,
 ) -> EvalTable {
+    build_eval_table_cancellable(models, space, constraints, engine, &[])
+}
+
+/// [`build_eval_table`] with per-model cooperative cancellation.
+///
+/// `cancels` is parallel to `models` (an empty slice disables
+/// cancellation entirely). Each evaluation item checks its model's
+/// flag when a worker claims it — the cooperative checkpoint — and
+/// returns unevaluated when the flag is set, so an expired request
+/// stops consuming workers at item granularity. A cancelled model's
+/// row is garbage (its caller must discard it); every *other* model's
+/// row is bit-identical to an uncancelled build, because screens,
+/// bounds, and evaluations are per-model and the shared memo tiers
+/// hold exact values — skipping a neighbour's items can only *miss*
+/// warm entries, never write wrong ones.
+pub fn build_eval_table_cancellable(
+    models: &[Model],
+    space: &DseSpace,
+    constraints: &Constraints,
+    engine: &Engine,
+    cancels: &[Arc<AtomicBool>],
+) -> EvalTable {
+    let cancelled = |mi: usize| cancels.get(mi).is_some_and(|c| c.load(Ordering::Relaxed));
     let space_points: Vec<HwParams> = space.iter().collect();
     let shells: Vec<DesignConfig> = models.iter().map(|m| monolithic_for(m, SHELL_HW)).collect();
 
@@ -207,6 +232,12 @@ pub fn build_eval_table(
             let Some(pi) = *pivot else {
                 return f64::INFINITY;
             };
+            if cancelled(mi) {
+                // Cooperative checkpoint: an infinite bound keeps the
+                // model's points unscreened, and the big map below
+                // skips them anyway.
+                return f64::INFINITY;
+            }
             let mut cfg = shells[mi].clone();
             cfg.hw = rows[mi].points[pi];
             match engine.evaluate(&models[mi], &cfg) {
@@ -262,6 +293,11 @@ pub fn build_eval_table(
     let mut span = engine.telemetry().span("plan.eval", "plan");
     span.arg("items", ArgValue::Int(items.len() as u64));
     let reports: Vec<Option<PpaReport>> = engine.par_map(&items, |_, &(mi, pi)| {
+        // Cooperative cancellation checkpoint, at item-claim time: an
+        // expired model's remaining items fall through unevaluated.
+        if cancelled(mi) {
+            return None;
+        }
         let mut cfg = shells[mi].clone();
         cfg.hw = rows[mi].points[pi];
         engine.evaluate(&models[mi], &cfg).ok()

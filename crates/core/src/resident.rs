@@ -28,9 +28,10 @@ use crate::config::Constraints;
 use crate::dse::RobustnessPolicy;
 use crate::error::ClaireError;
 use crate::parallel::Engine;
-use crate::plan::flat::build_eval_table;
+use crate::plan::flat::build_eval_table_cancellable;
 use claire_model::Model;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// One custom-configuration request in a [`ResidentEngine::custom_batch`].
 #[derive(Debug, Clone)]
@@ -46,6 +47,17 @@ pub struct CustomRequest {
     /// so a *looser* override could need points outside it) — still
     /// memo-warm, just not table-replayed.
     pub constraints: Option<Constraints>,
+    /// Cooperative cancellation flag: set it (from a watchdog, a
+    /// deadline, a disconnect) and the request stops consuming workers
+    /// at the next flat-plan checkpoint, answering
+    /// [`ClaireError::DeadlineExceeded`]. `None` means the request
+    /// runs to completion.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// The deadline the caller declared (milliseconds), echoed into
+    /// the [`ClaireError::DeadlineExceeded`] answer when `cancel`
+    /// fires. Informational only — enforcement is the caller's
+    /// watchdog setting `cancel`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl CustomRequest {
@@ -55,6 +67,23 @@ impl CustomRequest {
             model,
             policy: None,
             constraints: None,
+            cancel: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// True when the request's cancel flag has been set.
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// The typed answer for a cancelled request.
+    fn deadline_error(&self) -> ClaireError {
+        ClaireError::DeadlineExceeded {
+            deadline_ms: self.deadline_ms.unwrap_or(0),
+            stage: "evaluating",
         }
     }
 }
@@ -80,6 +109,11 @@ pub struct ResidentEngine {
     engine: Engine,
     training: Vec<Model>,
     trained: OnceLock<Result<TrainOutput, ClaireError>>,
+    /// Checkpoints written so far (the snapshot generation counter).
+    checkpoint_gen: AtomicU64,
+    /// The [`Engine::tier_signature`] at the last written checkpoint;
+    /// an unchanged signature skips the write.
+    checkpoint_sig: AtomicU64,
 }
 
 impl ResidentEngine {
@@ -96,6 +130,8 @@ impl ResidentEngine {
             engine,
             training,
             trained: OnceLock::new(),
+            checkpoint_gen: AtomicU64::new(0),
+            checkpoint_sig: AtomicU64::new(0),
         }
     }
 
@@ -128,6 +164,40 @@ impl ResidentEngine {
     /// [`ClaireError::Internal`] when the snapshot cannot be written.
     pub fn save_warm_state(&self) -> Result<bool, ClaireError> {
         self.claire.save_warm_state(&self.engine)
+    }
+
+    /// Checkpoints warm state if the memo tiers changed since the last
+    /// checkpoint: computes the engine's [`Engine::tier_signature`],
+    /// skips the write when it is unchanged (the dirty-delta
+    /// throttle), and otherwise saves atomically (unique temp +
+    /// rename, so a crash mid-write leaves the previous generation
+    /// intact) and bumps the generation counter.
+    ///
+    /// Returns the new generation when a checkpoint was written,
+    /// `None` when skipped (clean tiers, or no cache dir configured).
+    ///
+    /// # Errors
+    ///
+    /// Snapshot write failures, typed; the tiers themselves are
+    /// untouched and serving can continue.
+    pub fn checkpoint(&self) -> Result<Option<u64>, ClaireError> {
+        let sig = self.engine.tier_signature();
+        if sig == self.checkpoint_sig.load(Ordering::Relaxed)
+            && self.checkpoint_gen.load(Ordering::Relaxed) > 0
+        {
+            return Ok(None);
+        }
+        if !self.save_warm_state()? {
+            return Ok(None);
+        }
+        self.checkpoint_sig.store(sig, Ordering::Relaxed);
+        let generation = self.checkpoint_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        Ok(Some(generation))
+    }
+
+    /// How many warm-state checkpoints this resident has written.
+    pub fn checkpoint_generation(&self) -> u64 {
+        self.checkpoint_gen.load(Ordering::Relaxed)
     }
 
     /// A façade clone with per-request overrides applied.
@@ -178,11 +248,27 @@ impl ResidentEngine {
                 .iter()
                 .map(|&i| requests[i].model.clone())
                 .collect();
+            let cancels: Vec<Arc<AtomicBool>> = eligible
+                .iter()
+                .map(|&i| requests[i].cancel.clone().unwrap_or_default())
+                .collect();
             let opts = self.claire.options();
             let table = self.engine.time_stage("plan", || {
-                build_eval_table(&models, &opts.space, &opts.constraints, &self.engine)
+                build_eval_table_cancellable(
+                    &models,
+                    &opts.space,
+                    &opts.constraints,
+                    &self.engine,
+                    &cancels,
+                )
             });
             for (row, &i) in table.rows.iter().zip(&eligible) {
+                // A cancelled request's row is garbage by contract —
+                // answer the typed deadline error, never the row.
+                if requests[i].cancelled() {
+                    out[i] = Some(Err(requests[i].deadline_error()));
+                    continue;
+                }
                 let claire = self.claire_for(requests[i].policy, None);
                 out[i] = Some(claire.custom_from_plan(&requests[i].model, row, &self.engine));
             }
@@ -190,6 +276,10 @@ impl ResidentEngine {
 
         for (i, req) in requests.iter().enumerate() {
             if out[i].is_none() {
+                if req.cancelled() {
+                    out[i] = Some(Err(req.deadline_error()));
+                    continue;
+                }
                 let claire = self.claire_for(req.policy, req.constraints);
                 out[i] = Some(claire.custom_for_with_engine(&req.model, &self.engine));
             }
@@ -322,6 +412,136 @@ mod tests {
             .expect("probe succeeds");
         assert!(roomy.feasible);
         assert!(roomy.result.is_some());
+    }
+
+    #[test]
+    fn custom_batch_degrades_with_provenance_under_degrade_policy() {
+        // The resident constraints are unsatisfiable at rung 0; under
+        // `Degrade` every batched request must still come back with an
+        // answer, carrying the relaxation provenance — both down the
+        // table-replay path and the constraint-override fallback path.
+        let tight = Constraints {
+            chiplet_area_limit_mm2: 0.5,
+            ..Constraints::default()
+        };
+        let resident = ResidentEngine::new(
+            ClaireOptions {
+                constraints: tight,
+                policy: RobustnessPolicy::Degrade,
+                ..ClaireOptions::default()
+            },
+            vec![],
+        );
+        let mut overridden = CustomRequest::new(zoo::resnet18());
+        overridden.constraints = Some(tight);
+        let requests = vec![CustomRequest::new(zoo::alexnet()), overridden];
+        let results = resident.custom_batch(&requests);
+        for (req, got) in requests.iter().zip(&results) {
+            let got = got
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{} not rescued: {e}", req.model.name()));
+            assert!(
+                got.degradation.is_some(),
+                "{} lacks degradation provenance",
+                req.model.name()
+            );
+            assert!(got.report.latency_s.is_finite());
+        }
+        // Provenance matches the one-shot façade bit for bit.
+        let one_shot = Claire::new(ClaireOptions {
+            constraints: Constraints {
+                chiplet_area_limit_mm2: 0.5,
+                ..Constraints::default()
+            },
+            policy: RobustnessPolicy::Degrade,
+            ..ClaireOptions::default()
+        })
+        .custom_for(&zoo::alexnet())
+        .expect("one-shot degrade");
+        let batched = results[0].as_ref().expect("batched degrade");
+        assert_eq!(
+            format!("{:?}", batched.degradation),
+            format!("{:?}", one_shot.degradation)
+        );
+        assert_eq!(batched.report, one_shot.report);
+    }
+
+    #[test]
+    fn what_if_pins_fail_fast_even_under_resident_degrade_policy() {
+        // A what-if probe must answer "infeasible", never silently
+        // relax: the resident Degrade policy may not leak into it.
+        let resident = ResidentEngine::new(
+            ClaireOptions {
+                policy: RobustnessPolicy::Degrade,
+                ..ClaireOptions::default()
+            },
+            vec![],
+        );
+        let impossible = Constraints {
+            chiplet_area_limit_mm2: 0.5,
+            ..Constraints::default()
+        };
+        let report = resident
+            .what_if(&zoo::alexnet(), impossible)
+            .expect("probe succeeds");
+        assert!(!report.feasible, "degrade policy leaked into what_if");
+        assert!(matches!(
+            report.infeasibility,
+            Some(ClaireError::NoFeasibleConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn cancelled_requests_answer_deadline_exceeded_without_contamination() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let resident = ResidentEngine::new(ClaireOptions::default(), vec![]);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let mut doomed = CustomRequest::new(zoo::resnet18());
+        doomed.cancel = Some(cancel);
+        doomed.deadline_ms = Some(7);
+        let requests = vec![CustomRequest::new(zoo::alexnet()), doomed];
+        let results = resident.custom_batch(&requests);
+        match &results[1] {
+            Err(ClaireError::DeadlineExceeded { deadline_ms, .. }) => {
+                assert_eq!(*deadline_ms, 7);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The surviving request is bit-identical to a batch that never
+        // carried a cancelled neighbour: memo tiers are exact, so
+        // cancellation cannot contaminate completed work.
+        let alone = resident.custom_batch(&[CustomRequest::new(zoo::alexnet())]);
+        let survivor = results[0].as_ref().expect("survivor succeeds");
+        let reference = alone[0].as_ref().expect("solo succeeds");
+        assert_eq!(survivor.report, reference.report);
+        assert_eq!(
+            format!("{:?}", survivor.config),
+            format!("{:?}", reference.config)
+        );
+    }
+
+    #[test]
+    fn checkpoints_are_throttled_by_dirty_tier_deltas() {
+        let dir = std::env::temp_dir().join(format!("claire-resident-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let resident = ResidentEngine::new(
+            ClaireOptions {
+                cache_dir: Some(dir.clone()),
+                ..ClaireOptions::default()
+            },
+            vec![],
+        );
+        resident.custom_batch(&[CustomRequest::new(zoo::alexnet())]);
+        assert_eq!(resident.checkpoint().expect("first checkpoint"), Some(1));
+        // Nothing new memoized: the dirty-delta throttle skips.
+        assert_eq!(resident.checkpoint().expect("clean checkpoint"), None);
+        resident.custom_batch(&[CustomRequest::new(zoo::resnet18())]);
+        assert_eq!(resident.checkpoint().expect("dirty checkpoint"), Some(2));
+        assert_eq!(resident.checkpoint_generation(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -789,10 +789,18 @@ impl Engine {
         }
         let _span = self.telemetry().span("snapshot.save", "persist");
         let bytes = encode(self)?;
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)
-            .and_then(|()| std::fs::rename(&tmp, path))
-            .map_err(|e| invalid(format!("write failed: {e}")))?;
+        // The temp name is unique per (process, write): two writers
+        // sharing one cache dir each rename a *complete* file into
+        // place, so the loser can at worst overwrite the winner with
+        // another valid snapshot — never a torn interleaving.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
+        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result.map_err(|e| invalid(format!("write failed: {e}")))?;
         Ok(true)
     }
 

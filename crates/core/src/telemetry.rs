@@ -143,11 +143,26 @@ pub enum Metric {
     DseLbPruned,
     /// Successive-halving rungs executed by sampled searches.
     SearchRungs,
+    /// Serve requests shed because the admission queue was full.
+    ServeShed,
+    /// Serve requests answered `DeadlineExceeded` (at dispatch or by
+    /// cooperative cancellation mid-evaluation).
+    ServeDeadlineExpired,
+    /// Warm-state checkpoints written by the serve loop.
+    ServeCheckpoints,
+    /// Injected serve-connection drops.
+    FaultDroppedConnection,
+    /// Injected slow-loris connection stalls.
+    FaultSlowLorisClient,
+    /// Injected mid-batch dispatcher panics.
+    FaultMidBatchPanic,
+    /// Injected checkpoint write failures.
+    FaultCheckpointWriteFailure,
 }
 
 impl Metric {
     /// Number of counter instruments.
-    pub const COUNT: usize = 40;
+    pub const COUNT: usize = 47;
 
     /// Every counter, in index order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -191,6 +206,13 @@ impl Metric {
         Metric::LbMiss,
         Metric::DseLbPruned,
         Metric::SearchRungs,
+        Metric::ServeShed,
+        Metric::ServeDeadlineExpired,
+        Metric::ServeCheckpoints,
+        Metric::FaultDroppedConnection,
+        Metric::FaultSlowLorisClient,
+        Metric::FaultMidBatchPanic,
+        Metric::FaultCheckpointWriteFailure,
     ];
 
     /// The counter's dotted instrument name.
@@ -236,6 +258,13 @@ impl Metric {
             Metric::LbMiss => "memo.lb.miss",
             Metric::DseLbPruned => "dse.lb_pruned",
             Metric::SearchRungs => "dse.search.rungs",
+            Metric::ServeShed => "serve.shed",
+            Metric::ServeDeadlineExpired => "serve.deadline_expired",
+            Metric::ServeCheckpoints => "serve.checkpoints",
+            Metric::FaultDroppedConnection => "fault.dropped_connection",
+            Metric::FaultSlowLorisClient => "fault.slow_loris_client",
+            Metric::FaultMidBatchPanic => "fault.mid_batch_panic",
+            Metric::FaultCheckpointWriteFailure => "fault.checkpoint_write_failure",
         }
     }
 
@@ -250,6 +279,10 @@ impl Metric {
             FaultClass::PoisonShard => Metric::FaultPoisonShard,
             FaultClass::InfeasibleConstraints => Metric::FaultInfeasibleConstraints,
             FaultClass::FailedNocLink => Metric::FaultFailedNocLink,
+            FaultClass::DroppedConnection => Metric::FaultDroppedConnection,
+            FaultClass::SlowLorisClient => Metric::FaultSlowLorisClient,
+            FaultClass::MidBatchPanic => Metric::FaultMidBatchPanic,
+            FaultClass::CheckpointWriteFailure => Metric::FaultCheckpointWriteFailure,
         }
     }
 }
@@ -547,6 +580,8 @@ pub struct Telemetry {
     gauges: [AtomicU64; Gauge::COUNT],
     degrade_rungs: Histogram,
     item_duration_us: Histogram,
+    queue_wait_us: Histogram,
+    in_flight: Histogram,
     stage_aggs: Mutex<Vec<StageAgg>>,
     stage_stack: Mutex<Vec<String>>,
     workers: Mutex<Vec<WorkerSample>>,
@@ -559,6 +594,14 @@ const RUNG_BOUNDS: &[u64] = &[0, 1, 2];
 
 /// Log-spaced microsecond buckets for parallel work-item durations.
 const ITEM_US_BOUNDS: &[u64] = &[10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Log-spaced microsecond buckets for serve admission-queue waits
+/// (sub-millisecond through 10 s; slower waits overflow).
+const QUEUE_WAIT_US_BOUNDS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Power-of-two buckets for the number of requests in flight when a
+/// serve batch dispatches.
+const IN_FLIGHT_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
 impl Default for Telemetry {
     fn default() -> Self {
@@ -577,6 +620,8 @@ impl Telemetry {
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             degrade_rungs: Histogram::new(RUNG_BOUNDS),
             item_duration_us: Histogram::new(ITEM_US_BOUNDS),
+            queue_wait_us: Histogram::new(QUEUE_WAIT_US_BOUNDS),
+            in_flight: Histogram::new(IN_FLIGHT_BOUNDS),
             stage_aggs: Mutex::new(Vec::new()),
             stage_stack: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
@@ -644,6 +689,29 @@ impl Telemetry {
     /// Records one parallel item's closure duration.
     pub(crate) fn record_item_duration(&self, took: Duration) {
         self.item_duration_us.record(took.as_micros() as u64);
+    }
+
+    /// The serve admission-queue wait histogram (microsecond log
+    /// buckets, one observation per dispatched request).
+    pub fn queue_waits(&self) -> &Histogram {
+        &self.queue_wait_us
+    }
+
+    /// Records how long a serve request waited in the admission queue
+    /// before its batch dispatched.
+    pub fn record_queue_wait(&self, waited: Duration) {
+        self.queue_wait_us.record(waited.as_micros() as u64);
+    }
+
+    /// The serve in-flight histogram (requests being evaluated when a
+    /// batch dispatches, power-of-two buckets).
+    pub fn in_flight(&self) -> &Histogram {
+        &self.in_flight
+    }
+
+    /// Records the number of requests in flight at a batch dispatch.
+    pub fn record_in_flight(&self, n: u64) {
+        self.in_flight.record(n);
     }
 
     /// Opens an always-recorded stage span; its wall time accumulates
@@ -1067,6 +1135,11 @@ impl Telemetry {
                         "par.item_duration_us".to_owned(),
                         self.item_duration_us.to_value(),
                     ),
+                    (
+                        "serve.queue_wait_us".to_owned(),
+                        self.queue_wait_us.to_value(),
+                    ),
+                    ("serve.in_flight".to_owned(), self.in_flight.to_value()),
                 ]),
             ),
             ("stages".to_owned(), Value::Array(stages)),

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Soak client for `claire-cli serve --listen <unix-socket>`.
+
+Drives a resident server with mixed hostile traffic — well-formed
+customs/assigns/what-ifs, malformed lines, oversized pipelined bursts
+that overflow the admission queue, and zero-budget deadlines — while a
+seeded serve-layer fault plan drops connections and cuts slow readers
+on the server side.
+
+The client tolerates connection-level failures (they are the drill),
+but holds the wire to the contract:
+
+  * every received line is JSON, and is either ok:true or a typed
+    error with a documented exit code (2..=14);
+  * the queue-overflow burst earns at least one code-13 shed;
+  * a zero deadline earns at least one code-14 expiry;
+  * a malformed line earns at least one code-2 parse error;
+  * every ok:true answer for the same pinned request is bit-identical
+    (load shedding and faults never contaminate completed work).
+
+Every line sent and received is appended to a JSONL transcript so a
+failing soak can be replayed from the artifact.
+
+Usage: serve_soak.py <socket-path> <transcript-path>
+"""
+
+import json
+import socket
+import sys
+import time
+
+TYPED_ERROR_CODES = set(range(2, 15))
+MODELS = ["Alexnet", "Resnet18", "VGG16", "Mobilenetv2", "SWIN-T", "BERT-base"]
+MALFORMED = [
+    "this is not json",
+    '{"id":9000,"op":"custom"}',
+    '{"id":9001,"op":"teleport","model":"Alexnet"}',
+    '{"id":9002,"op":"custom","model":"NoSuchNet"}',
+    '{"id":9003,"op":"custom","model":"Alexnet","deadline_ms":-1}',
+    '[1,2,3]',
+]
+# The pinned request: repeated verbatim all soak long, every ok answer
+# must be bit-identical.
+PINNED = {"op": "custom", "model": "Alexnet"}
+
+MIN_REQUESTS = 200
+MAX_ROUNDS = 8
+BURST_SIZE = 150
+
+
+class Stats:
+    def __init__(self):
+        self.sent = 0
+        self.received = 0
+        self.ok = 0
+        self.dropped_connections = 0
+        self.error_codes = {}
+        self.pinned_results = set()
+        self.violations = []
+
+
+def connect(path, timeout=30.0):
+    deadline = time.time() + 30.0
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            sock.settimeout(timeout)
+            return sock
+        except OSError:
+            sock.close()
+            if time.time() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def check_reply(raw, stats):
+    try:
+        reply = json.loads(raw)
+    except json.JSONDecodeError:
+        stats.violations.append(f"non-JSON line on the wire: {raw!r}")
+        return
+    if not isinstance(reply, dict):
+        stats.violations.append(f"non-object reply: {raw!r}")
+        return
+    if reply.get("ok") is True:
+        stats.ok += 1
+        model = (reply.get("result") or {}).get("model")
+        if reply.get("op") == "custom" and model == "Alexnet":
+            body = {k: v for k, v in reply.items() if k != "id"}
+            stats.pinned_results.add(json.dumps(body, sort_keys=True))
+        return
+    code = reply.get("error", {}).get("code")
+    if code not in TYPED_ERROR_CODES:
+        stats.violations.append(f"untyped error on the wire: {raw!r}")
+        return
+    stats.error_codes[code] = stats.error_codes.get(code, 0) + 1
+
+
+def run_connection(path, lines, transcript, stats):
+    """Pipeline `lines`, then read replies until all answered or the
+    server ends the connection (the seeded drill does, on purpose)."""
+    sock = connect(path)
+    try:
+        for line in lines:
+            transcript.write(json.dumps({"dir": "send", "line": line}) + "\n")
+        stats.sent += len(lines)
+        try:
+            sock.sendall("".join(line + "\n" for line in lines).encode())
+        except OSError:
+            stats.dropped_connections += 1
+        buf = b""
+        answered = 0
+        while answered < len(lines):
+            try:
+                chunk = sock.recv(65536)
+            except OSError:
+                stats.dropped_connections += 1
+                return
+            if not chunk:
+                stats.dropped_connections += 1
+                return
+            buf += chunk
+            while b"\n" in buf:
+                raw, buf = buf.split(b"\n", 1)
+                raw = raw.decode(errors="replace").strip()
+                if not raw:
+                    continue
+                transcript.write(json.dumps({"dir": "recv", "line": raw}) + "\n")
+                stats.received += 1
+                check_reply(raw, stats)
+                answered += 1
+    finally:
+        sock.close()
+
+
+def mixed_lines(round_no):
+    """One connection's worth of mixed well-formed traffic, with a
+    zero-deadline request and the pinned bit-identity probe woven in."""
+    lines = []
+    for i, model in enumerate(MODELS):
+        rid = round_no * 1000 + i * 10
+        lines.append(json.dumps({"id": rid, "op": "custom", "model": model}))
+        lines.append(json.dumps({"id": rid + 1, "op": "assign", "model": model}))
+        lines.append(
+            json.dumps(
+                {
+                    "id": rid + 2,
+                    "op": "what_if",
+                    "model": model,
+                    "constraints": {"chiplet_area_limit_mm2": 0.5},
+                }
+            )
+        )
+    lines.append(
+        json.dumps(
+            {
+                "id": round_no * 1000 + 900,
+                "op": "custom",
+                "model": "Alexnet",
+                "deadline_ms": 0,
+            }
+        )
+    )
+    lines.append(json.dumps(dict(PINNED, id=round_no * 1000 + 901)))
+    return lines
+
+
+def burst_lines(round_no):
+    """An oversized pipelined burst: far more requests than the
+    admission queue holds, written in one sendall."""
+    return [
+        json.dumps({"id": round_no * 1000000 + i, "op": "assign", "model": "Alexnet"})
+        for i in range(BURST_SIZE)
+    ]
+
+
+def quotas_met(stats):
+    return (
+        stats.sent >= MIN_REQUESTS
+        and stats.ok >= 10
+        and stats.error_codes.get(2, 0) >= 1
+        and stats.error_codes.get(13, 0) >= 1
+        and stats.error_codes.get(14, 0) >= 1
+    )
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: serve_soak.py <socket-path> <transcript-path>")
+    sock_path, transcript_path = sys.argv[1], sys.argv[2]
+    stats = Stats()
+    with open(transcript_path, "w") as transcript:
+        for round_no in range(1, MAX_ROUNDS + 1):
+            run_connection(sock_path, mixed_lines(round_no), transcript, stats)
+            run_connection(sock_path, MALFORMED, transcript, stats)
+            run_connection(sock_path, burst_lines(round_no), transcript, stats)
+            if round_no >= 2 and quotas_met(stats):
+                break
+
+    print(
+        f"soak: sent {stats.sent}, received {stats.received}, ok {stats.ok}, "
+        f"dropped connections {stats.dropped_connections}, "
+        f"error codes {dict(sorted(stats.error_codes.items()))}"
+    )
+    for violation in stats.violations[:20]:
+        print(f"WIRE VIOLATION: {violation}", file=sys.stderr)
+    if stats.violations:
+        sys.exit(f"{len(stats.violations)} wire violations (typed errors only)")
+    if stats.sent < MIN_REQUESTS:
+        sys.exit(f"soak too small: sent {stats.sent} < {MIN_REQUESTS}")
+    if stats.ok < 10:
+        sys.exit(f"too few successes: {stats.ok}")
+    for code, label in [(2, "parse"), (13, "shed"), (14, "deadline")]:
+        if stats.error_codes.get(code, 0) < 1:
+            sys.exit(f"no code-{code} ({label}) answer observed")
+    if len(stats.pinned_results) > 1:
+        sys.exit(
+            f"pinned request returned {len(stats.pinned_results)} distinct "
+            "bodies — completed answers are not bit-identical under load"
+        )
+    if not stats.pinned_results:
+        sys.exit("pinned request never completed — no bit-identity evidence")
+    print("soak OK: typed errors only, pinned answers bit-identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -139,6 +139,59 @@ fn corruption_is_typed_and_degrades_to_cold_start() {
 }
 
 #[test]
+fn concurrent_writers_never_tear_the_snapshot() {
+    // Two engines with *different* warm contents race saves to one
+    // path. Unique temp names mean every rename publishes a complete
+    // file, so whichever writer lands last, the path always holds one
+    // of the two valid snapshots — never an interleaving.
+    let dir = scratch("race");
+    let path = dir.join("claire.snapshot");
+    let claire = Claire::new(ClaireOptions::default());
+
+    let warm = |model: claire::model::Model| {
+        let engine = Engine::new(2);
+        claire
+            .custom_for_with_engine(&model, &engine)
+            .expect("warm custom");
+        engine
+    };
+    let a = warm(zoo::alexnet());
+    let b = warm(zoo::resnet18());
+    let valid = [
+        a.snapshot_bytes().expect("encode a"),
+        b.snapshot_bytes().expect("encode b"),
+    ];
+
+    const ROUNDS: usize = 24;
+    std::thread::scope(|s| {
+        for engine in [&a, &b] {
+            let path = &path;
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    assert!(engine.save_snapshot(path).expect("racing save"));
+                }
+            });
+        }
+    });
+
+    let on_disk = std::fs::read(&path).expect("snapshot exists");
+    assert!(
+        valid.contains(&on_disk),
+        "path holds bytes that match neither writer: torn file"
+    );
+    let restored = Engine::new(2);
+    assert!(restored.load_snapshot(&path).expect("post-race load"));
+    assert!(
+        std::fs::read_dir(&dir)
+            .expect("scratch dir")
+            .filter_map(Result::ok)
+            .all(|e| !e.file_name().to_string_lossy().contains("tmp")),
+        "temp files were left behind"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_snapshot_is_a_quiet_cold_start() {
     let dir = scratch("missing");
     let claire = Claire::new(ClaireOptions {
