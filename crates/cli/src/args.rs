@@ -94,8 +94,8 @@ pub enum Command {
     },
     /// `serve [--config <file>] [--listen <addr>] [--queue <n>]
     /// [--io-timeout-ms <ms>] [--checkpoint-ms <ms>]
-    /// [--serve-faults <spec>]` — resident engine answering JSON-lines
-    /// requests on stdin or a socket.
+    /// [--serve-faults <spec>] [--event-log <path>]` — resident engine
+    /// answering JSON-lines requests on stdin or a socket.
     Serve {
         /// Optional RunConfig JSON file.
         config: Option<String>,
@@ -110,6 +110,9 @@ pub enum Command {
         checkpoint_ms: u64,
         /// Seeded serve-layer fault drill: `SEED[:RATE|:class=rate,…]`.
         serve_faults: Option<String>,
+        /// Stream one JSON object per request lifecycle transition to
+        /// this path (`None` disables the structured event log).
+        event_log: Option<String>,
     },
     /// `help`.
     Help,
@@ -404,6 +407,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                         | "--io-timeout-ms"
                         | "--checkpoint-ms"
                         | "--serve-faults"
+                        | "--event-log"
                 ) && i + 1 < rest.len()
                 {
                     skip = true;
@@ -560,6 +564,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseArgsError> {
                 io_timeout_ms,
                 checkpoint_ms,
                 serve_faults: value("--serve-faults").map(str::to_owned),
+                event_log: value("--event-log").map(str::to_owned),
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -602,7 +607,7 @@ USAGE:
       Deploy an algorithm onto a stored library without retraining.
   claire-cli serve [--config <file>] [--listen <addr>] [--queue <n>]
              [--io-timeout-ms <ms>] [--checkpoint-ms <ms>]
-             [--serve-faults <spec>]
+             [--serve-faults <spec>] [--event-log <path>]
       Stay resident and answer JSON-lines requests (one object per
       line, one response per line). Concurrent requests are batched
       into shared evaluations over one warm engine. Without --listen
@@ -616,13 +621,20 @@ USAGE:
         {\"op\":\"assign\",\"model\":\"VGG16\"}
         {\"op\":\"what_if\",\"model\":\"Resnet50\",
          \"constraints\":{\"chiplet_area_limit_mm2\":50.0}}
+        {\"op\":\"stats\"}   (live introspection: answered immediately,
+         mid-serve, without pausing dispatch — counters, queue/
+         in-flight gauges, uptime, snapshot generation, exact
+         queue-wait/latency quantiles and 1s/10s/60s request/shed/
+         deadline-expiry rates)
       Optional per request: \"id\" (echoed back), \"degrade\"
       (true/false overrides the global policy), \"deadline_ms\"
       (latency budget; a lapsed request is answered with error code 14
       — still queued, or cancelled cooperatively mid-evaluation —
       without touching its batch neighbours), \"trace_out\" (write
       the engine trace so far to this path; needs --trace-out to arm
-      tracing). Errors come back typed per request:
+      tracing). Every response and typed error echoes a serve-assigned
+      monotonic \"trace_id\" for correlation with the event log and
+      flight recorder. Errors come back typed per request:
       {\"ok\":false,\"error\":{\"code\":N,\"detail\":...}} with the
       exit-code numbering below; the server keeps running.
       Robustness knobs:
@@ -650,6 +662,19 @@ USAGE:
                               checkpoint_write_failure. Faults stay in
                               the serving layer — answers remain
                               bit-identical to a fault-free run.
+        --event-log <path>    Stream one JSON object per request
+                              lifecycle transition (received ->
+                              admitted/shed -> dispatched ->
+                              evaluating -> answered/errored) to this
+                              path, written by a dedicated logger
+                              thread behind a bounded channel; drops
+                              under pressure are counted in
+                              serve.events_dropped, never silent.
+                              Independent of the always-on in-memory
+                              flight recorder, which dumps the recent
+                              event ring to
+                              <cache-dir>/flight-<pid>.json on panic,
+                              drain and fault containment.
   claire-cli help
       Show this text.
 
@@ -941,6 +966,7 @@ mod tests {
                 io_timeout_ms: 30_000,
                 checkpoint_ms: 15_000,
                 serve_faults: None,
+                event_log: None,
             }
         );
         match parse_args(&v(&["serve", "--config", "run.json"])).unwrap() {
@@ -963,6 +989,8 @@ mod tests {
             "0",
             "--serve-faults",
             "42:mid_batch_panic=1.0",
+            "--event-log",
+            "events.jsonl",
         ]))
         .unwrap()
         {
@@ -972,6 +1000,7 @@ mod tests {
                 io_timeout_ms,
                 checkpoint_ms,
                 serve_faults,
+                event_log,
                 ..
             } => {
                 assert_eq!(listen.as_deref(), Some("/tmp/claire.sock"));
@@ -979,6 +1008,7 @@ mod tests {
                 assert_eq!(io_timeout_ms, 500);
                 assert_eq!(checkpoint_ms, 0);
                 assert_eq!(serve_faults.as_deref(), Some("42:mid_batch_panic=1.0"));
+                assert_eq!(event_log.as_deref(), Some("events.jsonl"));
             }
             other => panic!("{other:?}"),
         }

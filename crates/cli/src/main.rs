@@ -384,6 +384,7 @@ fn run(cmd: Command, g: &Globals) -> i32 {
             io_timeout_ms,
             checkpoint_ms,
             serve_faults,
+            event_log,
         } => {
             let opts = match options(false, None, config.as_deref(), g) {
                 Ok(o) => o,
@@ -400,6 +401,7 @@ fn run(cmd: Command, g: &Globals) -> i32 {
                     io_timeout_ms,
                     checkpoint_ms,
                     serve_faults,
+                    event_log,
                 },
             )
         }

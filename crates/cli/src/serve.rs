@@ -44,18 +44,19 @@
 //! down. See [`crate::args::USAGE`].
 
 use crate::summary::CustomSummary;
-use claire_core::telemetry::Metric;
+use claire_core::telemetry::{Gauge, Metric};
 use claire_core::{
-    ClaireError, ClaireOptions, Constraints, CustomRequest, FaultClass, FaultPlan, ResidentEngine,
-    RobustnessPolicy,
+    ClaireError, ClaireOptions, Constraints, CustomRequest, FaultClass, FaultPlan, LifecycleEvent,
+    LifecycleStage, ResidentEngine, RobustnessPolicy,
 };
 use claire_model::parse::{parse_model, InputShape, ParseOptions};
 use claire_model::{zoo, Model, ModelClass};
-use serde::Value;
+use serde::{Number, Value};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -66,6 +67,12 @@ const DISPATCH_TICK: Duration = Duration::from_millis(50);
 
 /// How often the deadline watchdog scans for lapsed budgets.
 const WATCHDOG_TICK: Duration = Duration::from_millis(5);
+
+/// Bounded capacity of the event-log channel between request threads
+/// and the logger thread. A full channel drops the event (counted in
+/// `serve.events_dropped`) instead of stalling dispatch on a slow
+/// disk.
+const EVENT_LOG_CHANNEL_CAP: usize = 1024;
 
 /// Serving knobs parsed from the command line (defaults in
 /// [`crate::args`]).
@@ -82,6 +89,9 @@ pub struct ServeSettings {
     pub checkpoint_ms: u64,
     /// `--serve-faults`: seeded serve-layer fault drill spec.
     pub serve_faults: Option<String>,
+    /// `--event-log`: stream one JSON object per request lifecycle
+    /// transition to this path (`None` disables).
+    pub event_log: Option<String>,
 }
 
 /// One parsed request line.
@@ -107,6 +117,9 @@ enum Op {
         model: Model,
         constraints: Constraints,
     },
+    /// In-band introspection: answered at admission, never queued, so
+    /// a stats probe is served concurrently with in-flight batches.
+    Stats,
 }
 
 fn op_label(op: &Op) -> &'static str {
@@ -114,12 +127,17 @@ fn op_label(op: &Op) -> &'static str {
         Op::Custom { .. } => "custom",
         Op::Assign { .. } => "assign",
         Op::WhatIf { .. } => "what_if",
+        Op::Stats => "stats",
     }
 }
 
 /// One admitted request waiting for (or in) evaluation.
 struct Job {
     request: Request,
+    /// The serve-assigned monotonic trace id, echoed back as
+    /// `trace_id` in the response and stamped on every lifecycle
+    /// event.
+    trace: u64,
     /// Where the response line goes (stdout writer or the
     /// connection's writer thread).
     reply: mpsc::Sender<String>,
@@ -130,6 +148,13 @@ struct Job {
     /// Set by the watchdog when the deadline lapses; threaded into the
     /// flat plan's cooperative cancellation checkpoints.
     cancel: Arc<AtomicBool>,
+}
+
+/// The event-log writer: a bounded sender into the dedicated logger
+/// thread, plus the thread's handle so shutdown can flush-join it.
+struct EventLog {
+    tx: mpsc::SyncSender<String>,
+    logger: std::thread::JoinHandle<()>,
 }
 
 /// Everything the front ends, watchdog and dispatcher share.
@@ -147,12 +172,135 @@ struct ServerState {
     deadlines: Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
     /// The serve-layer fault drill; never attached to the engine.
     faults: Option<FaultPlan>,
+    /// The serve epoch every lifecycle timestamp is measured from.
+    epoch: Instant,
+    /// Requests currently inside engine evaluation (live gauge for
+    /// `stats`; the histogram records per-dispatch observations).
+    inflight: AtomicU64,
+    /// The `--event-log` writer; `None` when disabled, and taken (to
+    /// close the channel and join the logger) on shutdown.
+    event_log: Mutex<Option<EventLog>>,
+    /// Where flight-recorder dumps land: `<cache-dir>/flight-<pid>.json`
+    /// (the temp dir when no cache dir is configured).
+    flight_path: PathBuf,
 }
 
 impl ServerState {
     fn telemetry(&self) -> &claire_core::Telemetry {
         self.resident.engine().telemetry()
     }
+
+    /// Microseconds since the serve epoch — the injected clock every
+    /// core-side observer call uses.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records one lifecycle transition: streamed to the event log
+    /// when armed (dropped — and counted — when the bounded channel is
+    /// full, so a slow disk never stalls dispatch), then retained in
+    /// the in-memory flight ring and folded into the window rates.
+    fn emit(&self, event: LifecycleEvent) {
+        if let Some(log) = lock(&self.event_log).as_ref() {
+            let line = to_line(&event.to_value());
+            if log.tx.try_send(line).is_err() {
+                self.telemetry().count(Metric::ServeEventsDropped);
+            }
+        }
+        self.resident.observer().observe(event);
+    }
+
+    /// A lifecycle event at the current serve time with no optional
+    /// fields; callers fill `batch`/`queue_wait_us`/`outcome`.
+    fn lifecycle(
+        &self,
+        stage: LifecycleStage,
+        trace: u64,
+        id: &Value,
+        op: &'static str,
+    ) -> LifecycleEvent {
+        LifecycleEvent {
+            t_us: self.now_us(),
+            stage,
+            trace,
+            id: id.clone(),
+            op,
+            batch: None,
+            queue_wait_us: None,
+            outcome: None,
+        }
+    }
+
+    /// Atomically dumps the flight ring (tmp + rename, like
+    /// snapshots): the post-mortem trail the panic hook, the drain
+    /// path, the fault-containment site and every checkpoint leave
+    /// behind. Failures are swallowed — the recorder must never take
+    /// the server down with it.
+    fn dump_flight(&self, reason: &str) {
+        let (events, total, evicted) = self.resident.observer().flight_events();
+        let value = serde_json::json!({
+            "pid": u64::from(std::process::id()),
+            "reason": reason,
+            "uptime_us": self.now_us(),
+            "checkpoint_generation": self.resident.checkpoint_generation(),
+            "captured": events.len() as u64,
+            "total_events": total,
+            "evicted": evicted,
+            "events": Value::Array(events),
+        });
+        let rendered = serde_json::to_string_pretty(&value).unwrap_or_else(|_| "null".into());
+        if write_atomic(&self.flight_path, rendered.as_bytes()).is_ok() {
+            self.telemetry().count(Metric::ServeFlightDumps);
+        }
+    }
+
+    /// Writes `--metrics-json` atomically (tmp + rename) if armed —
+    /// called on the clean exits and on every crash-containment path,
+    /// so a dead serve still leaves final metrics next to its flight
+    /// dump.
+    fn export_metrics_atomic(&self) {
+        let Some(path) = &self.resident.options().telemetry.metrics_out else {
+            return;
+        };
+        let rendered = serde_json::to_string_pretty(&self.telemetry().metrics_value())
+            .unwrap_or_else(|_| "null".into());
+        if let Err(e) = write_atomic(path, rendered.as_bytes()) {
+            eprintln!("warning: failed to write metrics {}: {e}", path.display());
+        }
+    }
+}
+
+/// Writes `bytes` to `path` via a process-unique temp file and an
+/// atomic rename, so readers (and a concurrent panic hook) only ever
+/// see complete files.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Spawns the dedicated event-log writer thread behind a bounded
+/// channel; each line is flushed as it lands so an abrupt death loses
+/// at most the lines still queued in the channel.
+fn spawn_event_logger(path: &str) -> Result<EventLog, String> {
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("cannot create event log {path}: {e}"))?;
+    let (tx, rx) = mpsc::sync_channel::<String>(EVENT_LOG_CHANNEL_CAP);
+    let logger = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(file);
+        for line in rx {
+            if writeln!(out, "{line}").is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+        let _ = out.flush();
+    });
+    Ok(EventLog { tx, logger })
 }
 
 /// Poison-tolerant lock: a panicking holder must not wedge serving.
@@ -207,6 +355,15 @@ pub fn run(opts: ClaireOptions, settings: &ServeSettings) -> i32 {
         }
     };
 
+    let event_log = match settings.event_log.as_deref().map(spawn_event_logger) {
+        None => None,
+        Some(Ok(log)) => Some(log),
+        Some(Err(msg)) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+
     let resident = Arc::new(ResidentEngine::new(opts, zoo::training_set()));
     match resident.load_warm_state() {
         Ok(true) => eprintln!("info: warm state loaded"),
@@ -214,6 +371,13 @@ pub fn run(opts: ClaireOptions, settings: &ServeSettings) -> i32 {
         Err(e) => eprintln!("warning: {e}; starting cold"),
     }
     signals::install();
+
+    let flight_dir = resident
+        .options()
+        .cache_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    let flight_path = flight_dir.join(format!("flight-{}.json", std::process::id()));
 
     let state = Arc::new(ServerState {
         resident: Arc::clone(&resident),
@@ -226,7 +390,24 @@ pub fn run(opts: ClaireOptions, settings: &ServeSettings) -> i32 {
         batch_seq: AtomicU64::new(0),
         deadlines: Mutex::new(Vec::new()),
         faults,
+        epoch: Instant::now(),
+        inflight: AtomicU64::new(0),
+        event_log: Mutex::new(event_log),
+        flight_path,
     });
+
+    // The panic hook is the flight recorder's last line: any panic —
+    // injected drill or real bug, contained or fatal — atomically
+    // dumps the ring and the final metrics before unwinding proceeds.
+    {
+        let state = Arc::clone(&state);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            state.dump_flight("panic");
+            state.export_metrics_atomic();
+            previous(info);
+        }));
+    }
 
     {
         let state = Arc::clone(&state);
@@ -260,7 +441,19 @@ pub fn run(opts: ClaireOptions, settings: &ServeSettings) -> i32 {
         Ok(None) => {}
         Err(e) => eprintln!("warning: failed to save warm state: {e}"),
     }
-    export_shutdown_telemetry(&resident);
+    state.dump_flight(if signals::requested() {
+        "signal_drain"
+    } else {
+        "eof_drain"
+    });
+    export_shutdown_telemetry(&state);
+
+    // Close the event-log channel and join the logger so every
+    // delivered event is flushed to disk before the process exits.
+    if let Some(log) = lock(&state.event_log).take() {
+        drop(log.tx);
+        let _ = log.logger.join();
+    }
 
     match stdout_flusher {
         // stdin mode after EOF: every sender is gone once the queue is
@@ -539,16 +732,43 @@ fn handle_connection<S: Conn>(stream: S, state: &Arc<ServerState>) {
 }
 
 /// Parses one line and either enqueues it or answers immediately:
-/// malformed input gets a typed code-2 error, and a full queue sheds
-/// the request with [`ClaireError::Overloaded`].
+/// malformed input gets a typed code-2 error, a full queue sheds the
+/// request with [`ClaireError::Overloaded`], and a `stats` probe is
+/// answered in-band right here — it never queues, so introspection is
+/// concurrent with whatever the dispatcher is evaluating.
+///
+/// Every line — well-formed or not — is assigned the next monotonic
+/// trace id, opens its lifecycle with a `received` event, and carries
+/// the id back as `trace_id` on the response.
 fn admit(state: &ServerState, line: &str, reply: &mpsc::Sender<String>) {
+    let trace = state.resident.observer().next_trace();
+    state.telemetry().count(Metric::ServeRequests);
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(msg) => {
-            let _ = reply.send(plain_error_line(2, &msg));
+            state.emit(state.lifecycle(LifecycleStage::Received, trace, &Value::Null, "invalid"));
+            let mut errored =
+                state.lifecycle(LifecycleStage::Errored, trace, &Value::Null, "invalid");
+            errored.outcome = Some(2);
+            state.emit(errored);
+            state.telemetry().count(Metric::ServeAnswered);
+            let _ = reply.send(plain_error_line_traced(2, &msg, trace));
             return;
         }
     };
+    let op = op_label(&request.op);
+    state.emit(state.lifecycle(LifecycleStage::Received, trace, &request.id, op));
+
+    if matches!(request.op, Op::Stats) {
+        let value = stats_response(state, &request, trace);
+        let mut answered = state.lifecycle(LifecycleStage::Answered, trace, &request.id, op);
+        answered.outcome = Some(0);
+        state.emit(answered);
+        state.telemetry().count(Metric::ServeAnswered);
+        let _ = reply.send(to_line(&value));
+        return;
+    }
+
     let mut queue = lock(&state.queue);
     if queue.len() >= state.capacity {
         let shed = ClaireError::Overloaded {
@@ -557,9 +777,17 @@ fn admit(state: &ServerState, line: &str, reply: &mpsc::Sender<String>) {
         };
         drop(queue);
         state.telemetry().count(Metric::ServeShed);
-        let mut value = error_value(op_label(&request.op), &shed);
+        let mut event = state.lifecycle(LifecycleStage::Shed, trace, &request.id, op);
+        event.outcome = Some(13);
+        state.emit(event);
+        state.telemetry().count(Metric::ServeAnswered);
+        let mut value = error_value(op, &shed);
         if let Value::Object(fields) = &mut value {
             fields.insert(0, ("id".to_string(), request.id.clone()));
+            fields.insert(
+                1,
+                ("trace_id".to_string(), Value::Number(Number::PosInt(trace))),
+            );
         }
         let _ = reply.send(to_line(&value));
         return;
@@ -572,14 +800,80 @@ fn admit(state: &ServerState, line: &str, reply: &mpsc::Sender<String>) {
     if let Some(deadline) = deadline {
         lock(&state.deadlines).push((deadline, Arc::clone(&cancel)));
     }
+    state.emit(state.lifecycle(LifecycleStage::Admitted, trace, &request.id, op));
     queue.push_back(Job {
         request,
+        trace,
         reply: reply.clone(),
         enqueued: now,
         deadline,
         cancel,
     });
     state.wakeup.notify_one();
+}
+
+/// Builds the in-band `stats` answer: all counters and gauges, live
+/// queue depth / in-flight, uptime, snapshot generation, the exact
+/// queue-wait and end-to-end latency quantile summaries, and the
+/// 1 s / 10 s / 60 s window rates — all read without pausing dispatch.
+fn stats_response(state: &ServerState, request: &Request, trace: u64) -> Value {
+    let telemetry = state.telemetry();
+    let observer = state.resident.observer();
+    let now_us = state.now_us();
+    let counters: Vec<(String, Value)> = Metric::ALL
+        .iter()
+        .map(|&m| {
+            (
+                m.name().to_owned(),
+                Value::Number(Number::PosInt(telemetry.counter(m))),
+            )
+        })
+        .collect();
+    let gauges: Vec<(String, Value)> = Gauge::ALL
+        .iter()
+        .map(|&g| {
+            (
+                g.name().to_owned(),
+                Value::Number(Number::PosInt(telemetry.gauge(g))),
+            )
+        })
+        .collect();
+    let (requests, sheds, expiries) = observer.rates(now_us);
+    let (_, flight_total, flight_evicted) = observer.flight_events();
+    let stats = serde_json::json!({
+        "pid": u64::from(std::process::id()),
+        "uptime_us": now_us,
+        "queue_depth": lock(&state.queue).len() as u64,
+        "in_flight": state.inflight.load(Ordering::Relaxed),
+        "snapshot_generation": state.resident.checkpoint_generation(),
+        "counters": Value::Object(counters),
+        "gauges": Value::Object(gauges),
+        "quantiles": serde_json::json!({
+            "queue_wait_us": observer.queue_wait_summary().to_value(),
+            "latency_us": observer.latency_summary().to_value(),
+        }),
+        "rates": serde_json::json!({
+            "requests": requests.to_value(),
+            "sheds": sheds.to_value(),
+            "deadline_expiries": expiries.to_value(),
+        }),
+        "event_log": serde_json::json!({
+            "enabled": lock(&state.event_log).is_some(),
+            "dropped": telemetry.counter(Metric::ServeEventsDropped),
+        }),
+        "flight": serde_json::json!({
+            "path": state.flight_path.display().to_string(),
+            "total_events": flight_total,
+            "evicted": flight_evicted,
+        }),
+    });
+    serde_json::json!({
+        "id": request.id.clone(),
+        "trace_id": Value::Number(Number::PosInt(trace)),
+        "op": "stats",
+        "ok": true,
+        "stats": stats,
+    })
 }
 
 // ---------------------------------------------------------------- //
@@ -608,7 +902,12 @@ fn dispatch(resident: &ResidentEngine, state: &ServerState, settings: &ServeSett
         }
         telemetry.record_in_flight(jobs.len() as u64);
         for job in &jobs {
-            telemetry.record_queue_wait(job.enqueued.elapsed());
+            let waited = job.enqueued.elapsed();
+            telemetry.record_queue_wait(waited);
+            state
+                .resident
+                .observer()
+                .record_queue_wait_us(waited.as_micros() as u64);
         }
 
         // Requests whose deadline lapsed while queued are answered
@@ -617,13 +916,22 @@ fn dispatch(resident: &ResidentEngine, state: &ServerState, settings: &ServeSett
         let mut live = Vec::with_capacity(jobs.len());
         for job in jobs {
             if job.deadline.is_some_and(|d| now >= d) {
+                let mut event = state.lifecycle(
+                    LifecycleStage::Dispatched,
+                    job.trace,
+                    &job.request.id,
+                    op_label(&job.request.op),
+                );
+                event.queue_wait_us = Some(job.enqueued.elapsed().as_micros() as u64);
+                state.emit(event);
                 let lapsed = ClaireError::DeadlineExceeded {
                     deadline_ms: job.request.deadline_ms.unwrap_or(0),
                     stage: "queued",
                 };
                 deliver(
-                    resident,
+                    state,
                     &job,
+                    None,
                     error_value(op_label(&job.request.op), &lapsed),
                 );
             } else {
@@ -633,6 +941,26 @@ fn dispatch(resident: &ResidentEngine, state: &ServerState, settings: &ServeSett
 
         if !live.is_empty() {
             let batch_id = state.batch_seq.fetch_add(1, Ordering::Relaxed);
+            for job in &live {
+                let mut event = state.lifecycle(
+                    LifecycleStage::Dispatched,
+                    job.trace,
+                    &job.request.id,
+                    op_label(&job.request.op),
+                );
+                event.batch = Some(batch_id);
+                event.queue_wait_us = Some(job.enqueued.elapsed().as_micros() as u64);
+                state.emit(event);
+                let mut event = state.lifecycle(
+                    LifecycleStage::Evaluating,
+                    job.trace,
+                    &job.request.id,
+                    op_label(&job.request.op),
+                );
+                event.batch = Some(batch_id);
+                state.emit(event);
+            }
+            state.inflight.store(live.len() as u64, Ordering::Relaxed);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(plan) = &state.faults {
                     if plan.panics_batch(batch_id) {
@@ -642,15 +970,19 @@ fn dispatch(resident: &ResidentEngine, state: &ServerState, settings: &ServeSett
                 }
                 serve_jobs(resident, &live)
             }));
+            state.inflight.store(0, Ordering::Relaxed);
             match outcome {
                 Ok(responses) => {
                     for (job, value) in live.iter().zip(responses) {
-                        deliver(resident, job, value);
+                        deliver(state, job, Some(batch_id), value);
                     }
                 }
                 // The batch died mid-evaluation; every member gets a
                 // typed answer and the server keeps serving — the memo
-                // tiers only ever hold completed exact values.
+                // tiers only ever hold completed exact values. The
+                // flight recorder and final metrics are dumped at the
+                // containment site (on top of the panic hook's dump)
+                // so the post-mortem includes the answers below.
                 Err(_) => {
                     for job in &live {
                         let panicked = ClaireError::WorkerPanic {
@@ -660,11 +992,14 @@ fn dispatch(resident: &ResidentEngine, state: &ServerState, settings: &ServeSett
                                 .into(),
                         };
                         deliver(
-                            resident,
+                            state,
                             job,
+                            Some(batch_id),
                             error_value(op_label(&job.request.op), &panicked),
                         );
                     }
+                    state.dump_flight("batch_panic_contained");
+                    state.export_metrics_atomic();
                 }
             }
         }
@@ -717,6 +1052,10 @@ fn maybe_checkpoint(
         Ok(None) => {}
         Err(e) => eprintln!("warning: checkpoint failed: {e}; serving continues"),
     }
+    // Refresh the flight dump alongside the checkpoint: after a
+    // kill -9 the loss is bounded by this dump plus the snapshot —
+    // at most one checkpoint interval of trail.
+    state.dump_flight("checkpoint");
 }
 
 /// Serves one batch of admitted jobs, returning responses in job
@@ -814,7 +1153,8 @@ fn serve_jobs(resident: &ResidentEngine, jobs: &[Job]) -> Vec<Value> {
                 }),
                 Err(e) => error_value("what_if", &e),
             },
-            _ => unreachable!("custom/assign answered above"),
+            // Stats probes are answered at admission and never queue.
+            _ => unreachable!("custom/assign answered above; stats never queues"),
         });
     }
 
@@ -824,28 +1164,50 @@ fn serve_jobs(resident: &ResidentEngine, jobs: &[Job]) -> Vec<Value> {
         .collect()
 }
 
-/// Finalizes one response — echoes the id, honors the per-request
-/// trace export, mirrors deadline answers into the
-/// `serve.deadline_expired` counter — and sends it to the job's
-/// writer.
-fn deliver(resident: &ResidentEngine, job: &Job, mut value: Value) {
+/// Finalizes one response — echoes the id and the serve-assigned
+/// `trace_id`, honors the per-request trace export, mirrors deadline
+/// answers into the `serve.deadline_expired` counter, folds the
+/// end-to-end latency into the exact digest, and closes the request's
+/// lifecycle with an `answered`/`errored` event — then sends it to
+/// the job's writer.
+fn deliver(state: &ServerState, job: &Job, batch: Option<u64>, mut value: Value) {
+    let resident = &state.resident;
     if let Value::Object(fields) = &mut value {
         fields.insert(0, ("id".to_string(), job.request.id.clone()));
+        fields.insert(
+            1,
+            (
+                "trace_id".to_string(),
+                Value::Number(Number::PosInt(job.trace)),
+            ),
+        );
         if let Some(path) = &job.request.trace_out {
             let note = export_trace(resident, path);
             fields.push(("trace".to_string(), note));
         }
     }
-    let deadline_code = value
+    let error_code = value
         .get("error")
         .and_then(|e| e.get("code"))
         .and_then(Value::as_u64);
-    if deadline_code == Some(14) {
+    if error_code == Some(14) {
         resident
             .engine()
             .telemetry()
             .count(Metric::ServeDeadlineExpired);
     }
+    resident
+        .observer()
+        .record_latency_us(job.enqueued.elapsed().as_micros() as u64);
+    let stage = match error_code {
+        None => LifecycleStage::Answered,
+        Some(_) => LifecycleStage::Errored,
+    };
+    let mut event = state.lifecycle(stage, job.trace, &job.request.id, op_label(&job.request.op));
+    event.batch = batch;
+    event.outcome = Some(error_code.unwrap_or(0) as i64);
+    state.emit(event);
+    state.telemetry().count(Metric::ServeAnswered);
     let _ = job.reply.send(to_line(&value));
 }
 
@@ -863,21 +1225,28 @@ fn plain_error_line(code: i64, detail: &str) -> String {
     }))
 }
 
+/// A typed error line for a received line that failed to parse: it
+/// did enter the lifecycle, so the serve-assigned trace id is echoed.
+fn plain_error_line_traced(code: i64, detail: &str, trace: u64) -> String {
+    to_line(&serde_json::json!({
+        "trace_id": Value::Number(Number::PosInt(trace)),
+        "ok": false,
+        "error": serde_json::json!({ "code": code, "detail": detail }),
+    }))
+}
+
 /// Writes the session's trace/metrics exports (the `--trace-out` and
 /// `--metrics-json` paths) on the way out, so `serve.*` counters and
-/// the queue-wait/in-flight histograms survive the process.
-fn export_shutdown_telemetry(resident: &ResidentEngine) {
-    let telemetry = &resident.options().telemetry;
-    if let Some(path) = &telemetry.trace_out {
+/// the queue-wait/in-flight histograms survive the process. Metrics go
+/// through the atomic writer — the same one the crash paths use.
+fn export_shutdown_telemetry(state: &ServerState) {
+    let resident = &state.resident;
+    if let Some(path) = &resident.options().telemetry.trace_out {
         if let Err(e) = resident.engine().write_trace(path) {
             eprintln!("warning: failed to write trace {}: {e}", path.display());
         }
     }
-    if let Some(path) = &telemetry.metrics_out {
-        if let Err(e) = resident.engine().write_metrics(path) {
-            eprintln!("warning: failed to write metrics {}: {e}", path.display());
-        }
-    }
+    state.export_metrics_atomic();
 }
 
 /// Writes the engine's trace so far to `path` (the trace spans the
@@ -963,10 +1332,9 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or("deadline_ms must be a non-negative integer")
         })
         .transpose()?;
-    let model = request_model(&value)?;
     let op = match value.get("op").and_then(Value::as_str) {
         Some("custom") => Op::Custom {
-            model,
+            model: request_model(&value)?,
             policy: match value.get("degrade").map(Value::as_bool) {
                 None => None,
                 Some(Some(true)) => Some(RobustnessPolicy::Degrade),
@@ -974,13 +1342,18 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 Some(None) => return Err("degrade must be a boolean".into()),
             },
         },
-        Some("assign") => Op::Assign { model },
+        Some("assign") => Op::Assign {
+            model: request_model(&value)?,
+        },
         Some("what_if") => Op::WhatIf {
-            model,
+            model: request_model(&value)?,
             constraints: request_constraints(&value)?,
         },
+        // In-band introspection needs no model — only `id` (and `op`)
+        // make sense on a stats probe.
+        Some("stats") => Op::Stats,
         Some(other) => return Err(format!("unknown op `{other}`")),
-        None => return Err("missing `op` (custom | assign | what_if)".into()),
+        None => return Err("missing `op` (custom | assign | what_if | stats)".into()),
     };
     Ok(Request {
         id,

@@ -462,6 +462,342 @@ fn kill_nine_mid_serve_leaves_a_loadable_checkpoint() {
 }
 
 #[test]
+fn stats_is_answered_mid_serve_and_counters_stay_monotone() {
+    let dir = scratch("stats");
+    let socket = dir.join("claire.sock");
+    let mut server = spawn_listening(&socket, &[]);
+
+    // Fire a real (cold, multi-second) evaluation on one connection…
+    let worker = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            round_trip(
+                &socket,
+                "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}",
+            )
+            .expect("answered")
+        })
+    };
+    // …and probe stats on another while it is in flight. Stats are
+    // answered at admission, so dispatch is never paused for them.
+    let first = round_trip(&socket, "{\"id\":\"probe\",\"op\":\"stats\"}").expect("stats answered");
+    assert_eq!(first["ok"].as_bool(), Some(true), "{first}");
+    assert_eq!(first["id"].as_str(), Some("probe"));
+    assert!(first["trace_id"].as_u64().is_some(), "{first}");
+    let s1 = &first["stats"];
+    assert!(s1["uptime_us"].as_u64().is_some(), "{s1}");
+    assert!(s1["queue_depth"].as_u64().is_some(), "{s1}");
+    assert!(s1["in_flight"].as_u64().is_some(), "{s1}");
+    assert!(s1["snapshot_generation"].as_u64().is_some(), "{s1}");
+    assert!(
+        s1["counters"]["serve.requests"].as_u64().expect("counter") >= 1,
+        "{s1}"
+    );
+    assert!(s1["gauges"].as_object().is_some(), "{s1}");
+    assert!(s1["rates"]["requests"]["total"].as_u64().is_some(), "{s1}");
+    assert_eq!(s1["event_log"]["enabled"].as_bool(), Some(false), "{s1}");
+    assert!(s1["flight"]["path"].as_str().is_some(), "{s1}");
+
+    let answer = worker.join().expect("worker thread");
+    assert_eq!(answer["ok"].as_bool(), Some(true), "{answer}");
+    assert!(answer["trace_id"].as_u64().is_some(), "{answer}");
+
+    // A second probe after the evaluation: every counter is monotone,
+    // the answered count moved, and the latency quantiles are now
+    // populated and ordered.
+    let second = round_trip(&socket, "{\"op\":\"stats\"}").expect("stats answered");
+    let s2 = &second["stats"];
+    for (name, before) in s1["counters"].as_object().expect("counters") {
+        let after = s2["counters"][name.as_str()].as_u64().expect("counter");
+        assert!(
+            after >= before.as_u64().expect("counter"),
+            "counter {name} went backwards: {before} -> {after}"
+        );
+    }
+    assert!(
+        s2["counters"]["serve.answered"].as_u64().expect("counter")
+            > s1["counters"]["serve.answered"].as_u64().expect("counter"),
+        "answered never moved"
+    );
+    let q = &s2["quantiles"]["latency_us"];
+    assert!(q["count"].as_u64().expect("count") >= 1, "{q}");
+    let (p50, p90, p99, max) = (
+        q["p50"].as_u64().expect("p50"),
+        q["p90"].as_u64().expect("p90"),
+        q["p99"].as_u64().expect("p99"),
+        q["max"].as_u64().expect("max"),
+    );
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= max, "{q}");
+
+    let status = terminate(&mut server);
+    assert_eq!(status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs `serve` over stdin with `extra` args, feeds it `input`, and
+/// returns its stdout lines sorted (batch composition — and therefore
+/// delivery order — may differ run to run; the per-request bytes must
+/// not).
+fn serve_stdin_lines(input: &str, extra: &[&str]) -> Vec<String> {
+    let mut child = cli()
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write input");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn observability_never_perturbs_pinned_answers() {
+    let dir = scratch("obs-identity");
+    let events = dir.join("events.jsonl");
+    let cache = dir.join("cache");
+    let input = concat!(
+        "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}\n",
+        "{\"id\":2,\"op\":\"assign\",\"model\":\"VGG16\"}\n",
+        "{\"id\":3,\"op\":\"what_if\",\"model\":\"Alexnet\",",
+        "\"constraints\":{\"chiplet_area_limit_mm2\":50.0}}\n",
+    );
+    // Observability fully armed (event log streaming, flight recorder
+    // dumping into a cache dir) versus bare: the answers — trace ids
+    // included — are bit-identical, byte for byte.
+    let bare = serve_stdin_lines(input, &[]);
+    let observed = serve_stdin_lines(
+        input,
+        &[
+            "--event-log",
+            events.to_str().expect("utf8"),
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+        ],
+    );
+    assert_eq!(bare, observed, "observability perturbed the answers");
+    assert!(events.exists(), "event log never written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn event_log_captures_the_full_lifecycle_with_trace_continuity() {
+    let dir = scratch("event-log");
+    let events = dir.join("events.jsonl");
+    let input = concat!(
+        "{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}\n",
+        "this line is not JSON\n",
+        "{\"id\":2,\"op\":\"assign\",\"model\":\"VGG16\"}\n",
+    );
+    let lines = serve_stdin_lines(input, &["--event-log", events.to_str().expect("utf8")]);
+    assert_eq!(lines.len(), 3, "every line is answered");
+    let responses: Vec<serde_json::Value> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).expect("response JSON"))
+        .collect();
+
+    // Every event-log line is one JSON object with the schema fields;
+    // group them per trace in file (= wall-clock) order.
+    let mut by_trace: std::collections::BTreeMap<u64, Vec<serde_json::Value>> =
+        std::collections::BTreeMap::new();
+    for line in std::fs::read_to_string(&events)
+        .expect("event log readable")
+        .lines()
+    {
+        let event: serde_json::Value = serde_json::from_str(line).expect("event JSON");
+        assert!(event["t_us"].as_u64().is_some(), "{event}");
+        let stage = event["event"].as_str().expect("stage label");
+        assert!(
+            [
+                "received",
+                "admitted",
+                "shed",
+                "dispatched",
+                "evaluating",
+                "answered",
+                "errored"
+            ]
+            .contains(&stage),
+            "unknown stage {stage}"
+        );
+        assert!(event["op"].as_str().is_some(), "{event}");
+        by_trace
+            .entry(event["trace"].as_u64().expect("trace id"))
+            .or_default()
+            .push(event);
+    }
+
+    // Each response's trace id continues through the log: opens with
+    // `received`, closes with a terminal stage whose outcome matches
+    // the wire answer, and admitted work passes through dispatch and
+    // evaluation in order.
+    for response in &responses {
+        let trace = response["trace_id"].as_u64().expect("trace_id echoed");
+        let chain = by_trace
+            .get(&trace)
+            .unwrap_or_else(|| panic!("trace {trace} missing from event log"));
+        let stages: Vec<&str> = chain
+            .iter()
+            .map(|e| e["event"].as_str().expect("stage"))
+            .collect();
+        assert_eq!(stages.first().copied(), Some("received"), "{stages:?}");
+        let terminal = chain.last().expect("terminal event");
+        let wire_code = response["error"]["code"].as_u64().unwrap_or(0);
+        match terminal["event"].as_str().expect("stage") {
+            "answered" => assert_eq!(wire_code, 0, "{response}"),
+            "errored" => assert_eq!(
+                terminal["outcome"].as_u64().expect("outcome"),
+                wire_code,
+                "{terminal} vs {response}"
+            ),
+            other => panic!("trace {trace} ended on non-terminal stage {other}"),
+        }
+        if response["ok"].as_bool() == Some(true) {
+            let position = |s: &str| {
+                stages
+                    .iter()
+                    .position(|x| *x == s)
+                    .unwrap_or_else(|| panic!("trace {trace} missing {s}: {stages:?}"))
+            };
+            assert!(position("admitted") < position("dispatched"));
+            assert!(position("dispatched") < position("evaluating"));
+            assert!(position("evaluating") < position("answered"));
+            let dispatched = &chain[position("dispatched")];
+            assert!(
+                dispatched["queue_wait_us"].as_u64().is_some(),
+                "{dispatched}"
+            );
+            assert!(dispatched["batch"].as_u64().is_some(), "{dispatched}");
+        }
+    }
+    // The malformed line is in the log too: an `invalid`-op trace
+    // ending errored with outcome 2.
+    assert!(
+        by_trace.values().any(
+            |chain| chain.iter().any(|e| e["op"].as_str() == Some("invalid")
+                && e["event"].as_str() == Some("errored")
+                && e["outcome"].as_u64() == Some(2))
+        ),
+        "malformed line left no lifecycle trail"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn contained_panic_then_kill_nine_leaves_a_loadable_flight_dump() {
+    use std::process::Stdio;
+    let dir = scratch("flight");
+    let cache = dir.join("cache");
+    let metrics = dir.join("metrics.json");
+    std::fs::create_dir_all(&cache).expect("create cache dir");
+    let mut child = cli()
+        .args([
+            "serve",
+            "--cache-dir",
+            cache.to_str().expect("utf8"),
+            "--serve-faults",
+            "7:mid_batch_panic=1.0",
+            "--metrics-json",
+            metrics.to_str().expect("utf8"),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdin = child.stdin.take().expect("stdin");
+    stdin
+        .write_all(b"{\"id\":1,\"op\":\"custom\",\"model\":\"Alexnet\"}\n")
+        .expect("write request");
+    stdin.flush().expect("flush");
+    // The batch panics mid-dispatch; containment answers code 7 …
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("typed answer");
+    let answer: serde_json::Value = serde_json::from_str(line.trim()).expect("JSON");
+    assert_eq!(answer["error"]["code"].as_u64(), Some(7), "{answer}");
+    let trace = answer["trace_id"].as_u64().expect("trace_id echoed");
+
+    // … and the recorder dumps twice: the panic hook fires at the
+    // throw (its dump predates the errored events), then the
+    // containment site dumps again after delivery. Wait until the
+    // on-disk trail includes the terminal event, then SIGKILL: no
+    // drain, no shutdown path — the prior dump must already suffice.
+    let flight = cache.join(format!("flight-{}.json", child.id()));
+    let has_terminal = |dump: &serde_json::Value| {
+        dump["events"]
+            .as_array()
+            .is_some_and(|events| events.iter().any(|e| e["outcome"].as_u64().is_some()))
+    };
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if metrics.exists() {
+            if let Ok(text) = std::fs::read_to_string(&flight) {
+                if serde_json::from_str::<serde_json::Value>(&text).is_ok_and(|d| has_terminal(&d))
+                {
+                    break;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "containment never dumped flight/metrics"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill -9");
+    let _ = child.wait();
+
+    // The dump is complete (atomic rename) and loadable, and its
+    // trailing events reconcile with what the client observed: the
+    // panicking request's trace ends errored with outcome 7.
+    let dump: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&flight).expect("flight dump readable"))
+            .expect("flight dump is JSON");
+    assert_eq!(dump["pid"].as_u64(), Some(u64::from(child.id())), "{dump}");
+    assert!(dump["reason"].as_str().is_some(), "{dump}");
+    assert!(dump["uptime_us"].as_u64().is_some(), "{dump}");
+    let events = dump["events"].as_array().expect("events array");
+    assert!(!events.is_empty(), "flight dump captured nothing");
+    assert!(
+        events.iter().any(|e| e["trace"].as_u64() == Some(trace)
+            && e["event"].as_str() == Some("errored")
+            && e["outcome"].as_u64() == Some(7)),
+        "client-observed code-7 answer missing from the flight trail: {dump}"
+    );
+
+    // Satellite: the crash paths also left complete metrics behind,
+    // with the flight dump counted.
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).expect("metrics readable"))
+            .expect("metrics JSON");
+    assert!(
+        parsed["counters"]["serve.flight_dumps"]
+            .as_u64()
+            .expect("counter")
+            >= 1,
+        "{parsed}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sigterm_shutdown_saves_the_snapshot_without_stdin_eof() {
     use std::process::Stdio;
     let dir = scratch("sigterm-save");

@@ -79,7 +79,12 @@ pub use library::{ChipletLibrary, Deployment, LibraryEntry};
 pub use parallel::{resolve_threads, Engine, EngineStats, UniversalCsr, WorkerPanic, THREADS_ENV};
 pub use place::InterposerPlacement;
 pub use plan::{plan_portfolio, PortfolioPlan, Product};
-pub use resident::{CustomRequest, ResidentEngine, WhatIfReport};
+pub use resident::{
+    CustomRequest, LifecycleEvent, LifecycleStage, ResidentEngine, ServeObserver, WhatIfReport,
+};
 pub use search::{search_with_engine, ParetoFront, SearchOutcome, SearchPolicy};
 pub use snapshot::SNAPSHOT_VERSION;
-pub use telemetry::{Telemetry, TelemetryOptions};
+pub use telemetry::{
+    EventRing, QuantileDigest, QuantileSummary, RateSnapshot, RateWindows, Telemetry,
+    TelemetryOptions,
+};

@@ -29,9 +29,247 @@ use crate::dse::RobustnessPolicy;
 use crate::error::ClaireError;
 use crate::parallel::Engine;
 use crate::plan::flat::build_eval_table_cancellable;
+use crate::telemetry::{EventRing, QuantileDigest, QuantileSummary, RateSnapshot, RateWindows};
 use claire_model::Model;
+use serde::{Number, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// How many lifecycle events the in-memory flight recorder retains.
+/// At the serve layer's ≤ 4 events per request this bounds a dump to
+/// the last ~60 requests — enough to reconcile the final batch of any
+/// death with what clients observed.
+pub const FLIGHT_RING_CAPACITY: usize = 256;
+
+/// Poison-tolerant lock: observer state is append-only summaries, so a
+/// panicking recorder leaves at worst one complete record.
+fn obs_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One stage in a serve request's lifecycle, in transition order:
+/// `Received → Admitted | Shed → Dispatched → Evaluating → Answered |
+/// Errored`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LifecycleStage {
+    /// The request line arrived (well-formed or not) and was assigned
+    /// its trace id.
+    Received,
+    /// The request entered the admission queue.
+    Admitted,
+    /// The request was answered `Overloaded` at admission (queue full).
+    Shed,
+    /// The dispatcher drained the request into a batch.
+    Dispatched,
+    /// The batch entered engine evaluation with this request live.
+    Evaluating,
+    /// A success response was delivered.
+    Answered,
+    /// A typed error response was delivered.
+    Errored,
+}
+
+impl LifecycleStage {
+    /// Every stage, in transition order.
+    pub const ALL: [LifecycleStage; 7] = [
+        LifecycleStage::Received,
+        LifecycleStage::Admitted,
+        LifecycleStage::Shed,
+        LifecycleStage::Dispatched,
+        LifecycleStage::Evaluating,
+        LifecycleStage::Answered,
+        LifecycleStage::Errored,
+    ];
+
+    /// The stage's wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LifecycleStage::Received => "received",
+            LifecycleStage::Admitted => "admitted",
+            LifecycleStage::Shed => "shed",
+            LifecycleStage::Dispatched => "dispatched",
+            LifecycleStage::Evaluating => "evaluating",
+            LifecycleStage::Answered => "answered",
+            LifecycleStage::Errored => "errored",
+        }
+    }
+}
+
+/// One lifecycle transition of one serve request — the unit the event
+/// log streams and the flight recorder retains.
+#[derive(Debug, Clone)]
+pub struct LifecycleEvent {
+    /// Microseconds since the serve epoch (injected by the caller; the
+    /// observer never reads a wall clock).
+    pub t_us: u64,
+    /// The transition.
+    pub stage: LifecycleStage,
+    /// The serve-assigned monotonic trace id.
+    pub trace: u64,
+    /// The caller's correlation id, echoed verbatim.
+    pub id: Value,
+    /// The request op label (`custom`, `assign`, `what_if`, `stats`,
+    /// or `invalid` for lines that never parsed).
+    pub op: &'static str,
+    /// The dispatch batch, from [`LifecycleStage::Dispatched`] on.
+    pub batch: Option<u64>,
+    /// Admission-to-dispatch wait, set on `Dispatched`.
+    pub queue_wait_us: Option<u64>,
+    /// Outcome code on terminal stages: 0 for `Answered`, the typed
+    /// error code (CLI exit-code numbering) for `Errored`/`Shed`.
+    pub outcome: Option<i64>,
+}
+
+impl LifecycleEvent {
+    /// Serialises the event as one JSON object (the event-log line and
+    /// flight-dump entry format).
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("t_us".to_owned(), Value::Number(Number::PosInt(self.t_us))),
+            (
+                "event".to_owned(),
+                Value::String(self.stage.label().to_owned()),
+            ),
+            (
+                "trace".to_owned(),
+                Value::Number(Number::PosInt(self.trace)),
+            ),
+            ("id".to_owned(), self.id.clone()),
+            ("op".to_owned(), Value::String(self.op.to_owned())),
+        ];
+        if let Some(batch) = self.batch {
+            fields.push(("batch".to_owned(), Value::Number(Number::PosInt(batch))));
+        }
+        if let Some(us) = self.queue_wait_us {
+            fields.push((
+                "queue_wait_us".to_owned(),
+                Value::Number(Number::PosInt(us)),
+            ));
+        }
+        if let Some(code) = self.outcome {
+            fields.push((
+                "outcome".to_owned(),
+                Value::Number(Number::PosInt(code.max(0) as u64)),
+            ));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// The resident engine's live-observability hub: the monotonic trace
+/// sequence, the flight-recorder ring, exact latency digests, and the
+/// sliding-window rate trackers. All time is injected (µs since the
+/// serve epoch) — no wall-clock reads, so identical request sequences
+/// produce identical digests and rates at any thread count.
+#[derive(Debug)]
+pub struct ServeObserver {
+    trace_seq: AtomicU64,
+    ring: Mutex<EventRing<LifecycleEvent>>,
+    queue_wait_us: Mutex<QuantileDigest>,
+    latency_us: Mutex<QuantileDigest>,
+    requests: Mutex<RateWindows>,
+    sheds: Mutex<RateWindows>,
+    expiries: Mutex<RateWindows>,
+}
+
+impl Default for ServeObserver {
+    fn default() -> Self {
+        ServeObserver::new()
+    }
+}
+
+impl ServeObserver {
+    /// A fresh observer with an empty [`FLIGHT_RING_CAPACITY`]-event
+    /// ring.
+    pub fn new() -> Self {
+        ServeObserver {
+            trace_seq: AtomicU64::new(0),
+            ring: Mutex::new(EventRing::new(FLIGHT_RING_CAPACITY)),
+            queue_wait_us: Mutex::new(QuantileDigest::new()),
+            latency_us: Mutex::new(QuantileDigest::new()),
+            requests: Mutex::new(RateWindows::new()),
+            sheds: Mutex::new(RateWindows::new()),
+            expiries: Mutex::new(RateWindows::new()),
+        }
+    }
+
+    /// Assigns the next monotonic trace id (1-based).
+    pub fn next_trace(&self) -> u64 {
+        self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records one lifecycle transition into the flight ring, folding
+    /// its rate contribution at the injected time.
+    pub fn observe(&self, event: LifecycleEvent) {
+        match event.stage {
+            LifecycleStage::Received => obs_lock(&self.requests).record(event.t_us),
+            LifecycleStage::Shed => obs_lock(&self.sheds).record(event.t_us),
+            LifecycleStage::Answered | LifecycleStage::Errored if event.outcome == Some(14) => {
+                obs_lock(&self.expiries).record(event.t_us);
+            }
+            _ => {}
+        }
+        obs_lock(&self.ring).push(event);
+    }
+
+    /// Records one admission-queue wait into the exact digest.
+    pub fn record_queue_wait_us(&self, us: u64) {
+        obs_lock(&self.queue_wait_us).record(us);
+    }
+
+    /// Records one end-to-end (admission to delivery) latency into the
+    /// exact digest.
+    pub fn record_latency_us(&self, us: u64) {
+        obs_lock(&self.latency_us).record(us);
+    }
+
+    /// The exact queue-wait quantile summary so far.
+    pub fn queue_wait_summary(&self) -> QuantileSummary {
+        obs_lock(&self.queue_wait_us).summary()
+    }
+
+    /// The exact end-to-end latency quantile summary so far.
+    pub fn latency_summary(&self) -> QuantileSummary {
+        obs_lock(&self.latency_us).summary()
+    }
+
+    /// The request / shed / deadline-expiry window rates at the
+    /// injected time.
+    pub fn rates(&self, now_us: u64) -> (RateSnapshot, RateSnapshot, RateSnapshot) {
+        (
+            obs_lock(&self.requests).snapshot(now_us),
+            obs_lock(&self.sheds).snapshot(now_us),
+            obs_lock(&self.expiries).snapshot(now_us),
+        )
+    }
+
+    /// A snapshot of the flight ring: retained events (time-ordered,
+    /// serialised), lifetime total, and how many capacity evicted.
+    ///
+    /// Ring order is insertion order, and concurrent recorders can
+    /// interleave a later-stamped event ahead of an earlier one from
+    /// another thread; a stable sort on `t_us` restores a monotone
+    /// trail while preserving each trace's lifecycle order (a trace's
+    /// events are recorded sequentially with non-decreasing stamps).
+    ///
+    /// Uses `try_lock` so a panic hook can call it on the very thread
+    /// that panicked while pushing an event: instead of self-deadlock
+    /// the dump degrades to an empty event list.
+    pub fn flight_events(&self) -> (Vec<Value>, u64, u64) {
+        let ring = match self.ring.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return (Vec::new(), 0, 0),
+        };
+        let mut events: Vec<&LifecycleEvent> = ring.iter().collect();
+        events.sort_by_key(|event| event.t_us);
+        (
+            events.into_iter().map(LifecycleEvent::to_value).collect(),
+            ring.total(),
+            ring.evicted(),
+        )
+    }
+}
 
 /// One custom-configuration request in a [`ResidentEngine::custom_batch`].
 #[derive(Debug, Clone)]
@@ -114,6 +352,9 @@ pub struct ResidentEngine {
     /// The [`Engine::tier_signature`] at the last written checkpoint;
     /// an unchanged signature skips the write.
     checkpoint_sig: AtomicU64,
+    /// Live-observability hub: trace ids, flight ring, latency
+    /// digests, window rates.
+    observer: ServeObserver,
 }
 
 impl ResidentEngine {
@@ -132,7 +373,14 @@ impl ResidentEngine {
             trained: OnceLock::new(),
             checkpoint_gen: AtomicU64::new(0),
             checkpoint_sig: AtomicU64::new(0),
+            observer: ServeObserver::new(),
         }
+    }
+
+    /// The live-observability hub (trace-id assignment, lifecycle
+    /// recording, quantile and rate summaries).
+    pub fn observer(&self) -> &ServeObserver {
+        &self.observer
     }
 
     /// The shared engine (for snapshot load/save, stats, telemetry).

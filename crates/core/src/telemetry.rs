@@ -150,6 +150,16 @@ pub enum Metric {
     ServeDeadlineExpired,
     /// Warm-state checkpoints written by the serve loop.
     ServeCheckpoints,
+    /// Request lines received by the serve front ends (well-formed or
+    /// not, including in-band `stats` probes).
+    ServeRequests,
+    /// Responses delivered to serve clients (success or typed error).
+    ServeAnswered,
+    /// Lifecycle events dropped because the event-log channel was full
+    /// (a slow disk never stalls dispatch; drops are counted here).
+    ServeEventsDropped,
+    /// Flight-recorder dumps written (panic hook, drain, containment).
+    ServeFlightDumps,
     /// Injected serve-connection drops.
     FaultDroppedConnection,
     /// Injected slow-loris connection stalls.
@@ -162,7 +172,7 @@ pub enum Metric {
 
 impl Metric {
     /// Number of counter instruments.
-    pub const COUNT: usize = 47;
+    pub const COUNT: usize = 51;
 
     /// Every counter, in index order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -209,6 +219,10 @@ impl Metric {
         Metric::ServeShed,
         Metric::ServeDeadlineExpired,
         Metric::ServeCheckpoints,
+        Metric::ServeRequests,
+        Metric::ServeAnswered,
+        Metric::ServeEventsDropped,
+        Metric::ServeFlightDumps,
         Metric::FaultDroppedConnection,
         Metric::FaultSlowLorisClient,
         Metric::FaultMidBatchPanic,
@@ -261,6 +275,10 @@ impl Metric {
             Metric::ServeShed => "serve.shed",
             Metric::ServeDeadlineExpired => "serve.deadline_expired",
             Metric::ServeCheckpoints => "serve.checkpoints",
+            Metric::ServeRequests => "serve.requests",
+            Metric::ServeAnswered => "serve.answered",
+            Metric::ServeEventsDropped => "serve.events_dropped",
+            Metric::ServeFlightDumps => "serve.flight_dumps",
             Metric::FaultDroppedConnection => "fault.dropped_connection",
             Metric::FaultSlowLorisClient => "fault.slow_loris_client",
             Metric::FaultMidBatchPanic => "fault.mid_batch_panic",
@@ -420,6 +438,369 @@ impl Histogram {
                 ),
             ),
         ])
+    }
+}
+
+/// An exact quantile digest over `u64` samples: the recorded multiset
+/// is held as a sorted run-length encoding, so quantiles are exact
+/// (identical to indexing the fully sorted sample vector) and merging
+/// per-thread digests is order-independent — any permutation of
+/// inserts and merges over the same multiset yields byte-identical
+/// state and summaries.
+///
+/// Memory is bounded by the number of *distinct* values recorded, not
+/// the sample count. For naturally coarse inputs (e.g. latencies in
+/// whole microseconds) that is small; callers with adversarial value
+/// ranges can pre-quantize via [`QuantileDigest::with_resolution`],
+/// which drops low bits per inserted value — a pure per-value function,
+/// so determinism and merge order-independence are preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileDigest {
+    /// Sorted `(value, occurrences)` runs — the canonical RLE of the
+    /// recorded multiset.
+    runs: Vec<(u64, u64)>,
+    /// Total samples recorded.
+    count: u64,
+    /// Low bits dropped from every inserted value (0 = exact).
+    shift: u32,
+}
+
+/// The fixed quantile/max summary a [`QuantileDigest`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantileSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (nearest-rank, lower).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl QuantileSummary {
+    /// Serialises the summary for stats snapshots and metrics exports.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "count".to_owned(),
+                Value::Number(Number::PosInt(self.count)),
+            ),
+            ("p50".to_owned(), Value::Number(Number::PosInt(self.p50))),
+            ("p90".to_owned(), Value::Number(Number::PosInt(self.p90))),
+            ("p99".to_owned(), Value::Number(Number::PosInt(self.p99))),
+            ("max".to_owned(), Value::Number(Number::PosInt(self.max))),
+        ])
+    }
+}
+
+impl Default for QuantileDigest {
+    fn default() -> Self {
+        QuantileDigest::new()
+    }
+}
+
+impl QuantileDigest {
+    /// An empty exact digest.
+    pub fn new() -> Self {
+        QuantileDigest {
+            runs: Vec::new(),
+            count: 0,
+            shift: 0,
+        }
+    }
+
+    /// An empty digest that drops the low `shift` bits of every
+    /// inserted value, bounding distinct-value memory for inputs with
+    /// adversarial precision. Quantiles are then exact over the
+    /// quantized multiset.
+    pub fn with_resolution(shift: u32) -> Self {
+        QuantileDigest {
+            runs: Vec::new(),
+            count: 0,
+            shift: shift.min(63),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let value = (value >> self.shift) << self.shift;
+        match self.runs.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.runs[i].1 += 1,
+            Err(i) => self.runs.insert(i, (value, 1)),
+        }
+        self.count += 1;
+    }
+
+    /// Folds another digest in: the result is exactly the digest of
+    /// the union multiset, independent of merge order. Both sides must
+    /// share the same resolution.
+    pub fn merge(&mut self, other: &QuantileDigest) {
+        debug_assert_eq!(self.shift, other.shift, "digest resolutions differ");
+        let mut merged = Vec::with_capacity(self.runs.len() + other.runs.len());
+        let (mut a, mut b) = (self.runs.iter().peekable(), other.runs.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(va, ca)), Some(&&(vb, cb))) => {
+                    if va < vb {
+                        merged.push((va, ca));
+                        a.next();
+                    } else if vb < va {
+                        merged.push((vb, cb));
+                        b.next();
+                    } else {
+                        merged.push((va, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&run), None) => {
+                    merged.push(run);
+                    a.next();
+                }
+                (None, Some(&&run)) => {
+                    merged.push(run);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.runs = merged;
+        self.count += other.count;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact `p`-th percentile (nearest-rank, lower: the value a
+    /// sorted sample vector holds at index `(count - 1) * p / 100`).
+    /// `None` on an empty digest.
+    pub fn quantile(&self, p: u8) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (u128::from(self.count - 1) * u128::from(p.min(100)) / 100) as u64;
+        let mut seen = 0u64;
+        for &(value, occurrences) in &self.runs {
+            seen += occurrences;
+            if rank < seen {
+                return Some(value);
+            }
+        }
+        self.runs.last().map(|&(v, _)| v)
+    }
+
+    /// The largest recorded sample; `None` on an empty digest.
+    pub fn max(&self) -> Option<u64> {
+        self.runs.last().map(|&(v, _)| v)
+    }
+
+    /// The p50/p90/p99/max summary (all zeros when empty).
+    pub fn summary(&self) -> QuantileSummary {
+        QuantileSummary {
+            count: self.count,
+            p50: self.quantile(50).unwrap_or(0),
+            p90: self.quantile(90).unwrap_or(0),
+            p99: self.quantile(99).unwrap_or(0),
+            max: self.max().unwrap_or(0),
+        }
+    }
+}
+
+/// Sliding-window event rates over 1 s / 10 s / 60 s horizons, driven
+/// entirely by caller-injected timestamps (microseconds since an epoch
+/// the caller chooses) — the type never reads a wall clock, so replays
+/// with the same injected times are deterministic.
+///
+/// Events are bucketed per absolute second into a fixed 64-slot ring;
+/// a window's count sums the buckets it covers, including the current
+/// in-progress second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateWindows {
+    /// Per-second counts, indexed by `second % 64`.
+    buckets: [u64; 64],
+    /// Absolute second of the newest bucket written.
+    head_s: u64,
+    /// Lifetime events recorded.
+    total: u64,
+}
+
+/// One [`RateWindows`] reading: events in the trailing windows plus
+/// per-second rates and the lifetime total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSnapshot {
+    /// Events in the last 1 s.
+    pub last_1s: u64,
+    /// Events in the last 10 s.
+    pub last_10s: u64,
+    /// Events in the last 60 s.
+    pub last_60s: u64,
+    /// Lifetime events recorded.
+    pub total: u64,
+}
+
+impl RateSnapshot {
+    /// Serialises the snapshot (counts plus per-second rates).
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "last_1s".to_owned(),
+                Value::Number(Number::PosInt(self.last_1s)),
+            ),
+            (
+                "last_10s".to_owned(),
+                Value::Number(Number::PosInt(self.last_10s)),
+            ),
+            (
+                "last_60s".to_owned(),
+                Value::Number(Number::PosInt(self.last_60s)),
+            ),
+            (
+                "per_s_10s".to_owned(),
+                Value::Number(Number::Float(self.last_10s as f64 / 10.0)),
+            ),
+            (
+                "per_s_60s".to_owned(),
+                Value::Number(Number::Float(self.last_60s as f64 / 60.0)),
+            ),
+            (
+                "total".to_owned(),
+                Value::Number(Number::PosInt(self.total)),
+            ),
+        ])
+    }
+}
+
+impl Default for RateWindows {
+    fn default() -> Self {
+        RateWindows::new()
+    }
+}
+
+impl RateWindows {
+    /// An empty rate tracker.
+    pub fn new() -> Self {
+        RateWindows {
+            buckets: [0; 64],
+            head_s: 0,
+            total: 0,
+        }
+    }
+
+    /// Zeroes every bucket between the current head and `second`,
+    /// exclusive/inclusive, so stale laps of the ring never leak into
+    /// a window sum.
+    fn advance_to(&mut self, second: u64) {
+        if second <= self.head_s {
+            return;
+        }
+        let skipped = second - self.head_s;
+        if skipped >= 64 {
+            self.buckets = [0; 64];
+        } else {
+            for s in (self.head_s + 1)..=second {
+                self.buckets[(s % 64) as usize] = 0;
+            }
+        }
+        self.head_s = second;
+    }
+
+    /// Records one event at the injected time (µs since the caller's
+    /// epoch). Timestamps may arrive slightly out of order; an event
+    /// older than the ring's horizon still counts toward `total`.
+    pub fn record(&mut self, now_us: u64) {
+        let second = now_us / 1_000_000;
+        self.advance_to(second);
+        self.total += 1;
+        if self.head_s - second < 64 {
+            self.buckets[(second % 64) as usize] += 1;
+        }
+    }
+
+    /// Reads the trailing 1 s / 10 s / 60 s windows at the injected
+    /// time.
+    pub fn snapshot(&mut self, now_us: u64) -> RateSnapshot {
+        let second = now_us / 1_000_000;
+        self.advance_to(second);
+        let window = |len: u64| -> u64 {
+            (0..len.min(64))
+                .map(|back| {
+                    let s = second.wrapping_sub(back);
+                    if back > second {
+                        0
+                    } else {
+                        self.buckets[(s % 64) as usize]
+                    }
+                })
+                .sum()
+        };
+        RateSnapshot {
+            last_1s: window(1),
+            last_10s: window(10),
+            last_60s: window(60),
+            total: self.total,
+        }
+    }
+}
+
+/// A fixed-capacity ring of the most recent events: pushes past
+/// capacity evict the oldest entry, and the lifetime total makes the
+/// eviction count visible (`total - len`). This is the in-memory
+/// flight recorder the serve layer dumps on panic/drain/containment.
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    cap: usize,
+    buf: std::collections::VecDeque<T>,
+    total: u64,
+}
+
+impl<T> EventRing<T> {
+    /// An empty ring holding at most `cap` events (min 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing {
+            cap,
+            buf: std::collections::VecDeque::with_capacity(cap),
+            total: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&mut self, event: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event);
+        self.total += 1;
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime events pushed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events evicted by capacity (`total - len`).
+    pub fn evicted(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
     }
 }
 
@@ -1251,6 +1632,167 @@ mod tests {
         for (i, m) in Metric::ALL.iter().enumerate() {
             assert_eq!(*m as usize, i, "{} out of order", m.name());
         }
+    }
+
+    /// A dotted lowercase instrument name: `a-z0-9_` segments joined
+    /// by `.`, at least two segments.
+    fn is_dotted_lowercase(name: &str) -> bool {
+        name.contains('.')
+            && name.split('.').all(|seg| {
+                !seg.is_empty()
+                    && seg
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            })
+    }
+
+    #[test]
+    fn every_instrument_has_a_dotted_name_and_is_exported() {
+        let t = Telemetry::new();
+        let dump = t.metrics_value();
+        let counters = dump["counters"].as_object().unwrap();
+        let gauges = dump["gauges"].as_object().unwrap();
+        for m in Metric::ALL {
+            assert!(
+                is_dotted_lowercase(m.name()),
+                "counter name `{}` is not dotted lowercase",
+                m.name()
+            );
+            assert!(
+                counters.iter().any(|(k, _)| k == m.name()),
+                "counter `{}` missing from metrics_value",
+                m.name()
+            );
+        }
+        for g in Gauge::ALL {
+            assert!(
+                is_dotted_lowercase(g.name()),
+                "gauge name `{}` is not dotted lowercase",
+                g.name()
+            );
+            assert!(
+                gauges.iter().any(|(k, _)| k == g.name()),
+                "gauge `{}` missing from metrics_value",
+                g.name()
+            );
+        }
+        // Uniqueness across both families: a counter and a gauge must
+        // not collide either.
+        let mut names: Vec<&str> = Metric::ALL
+            .iter()
+            .map(|m| m.name())
+            .chain(Gauge::ALL.iter().map(|g| g.name()))
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "instrument names collide");
+    }
+
+    #[test]
+    fn quantile_digest_matches_sorted_reference() {
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * 7919) % 997).collect();
+        let mut digest = QuantileDigest::new();
+        let mut sorted = Vec::new();
+        for (n, &s) in samples.iter().enumerate() {
+            digest.record(s);
+            sorted.push(s);
+            sorted.sort_unstable();
+            let count = (n + 1) as u64;
+            for p in [50u8, 90, 99] {
+                let rank = ((count - 1) * u64::from(p) / 100) as usize;
+                assert_eq!(digest.quantile(p), Some(sorted[rank]), "p{p} at n={count}");
+            }
+            assert_eq!(digest.max(), sorted.last().copied());
+        }
+    }
+
+    #[test]
+    fn quantile_digest_merge_is_order_independent() {
+        let parts: Vec<Vec<u64>> = vec![
+            (0..100).map(|i| i * 3 % 71).collect(),
+            (0..57).map(|i| i * 13 % 301).collect(),
+            vec![5, 5, 5, 1_000_000, 0],
+        ];
+        let merge_in = |order: &[usize]| {
+            let mut acc = QuantileDigest::new();
+            for &i in order {
+                let mut part = QuantileDigest::new();
+                for &s in &parts[i] {
+                    part.record(s);
+                }
+                acc.merge(&part);
+            }
+            acc
+        };
+        let a = merge_in(&[0, 1, 2]);
+        let b = merge_in(&[2, 0, 1]);
+        let c = merge_in(&[1, 2, 0]);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.summary(), c.summary());
+        // And merged state equals recording everything into one digest.
+        let mut flat = QuantileDigest::new();
+        for part in &parts {
+            for &s in part {
+                flat.record(s);
+            }
+        }
+        assert_eq!(a, flat);
+    }
+
+    #[test]
+    fn quantile_digest_resolution_quantizes_inputs() {
+        let mut d = QuantileDigest::with_resolution(4);
+        for v in [0u64, 3, 15, 16, 17, 31, 32] {
+            d.record(v);
+        }
+        assert_eq!(d.count(), 7);
+        assert_eq!(d.max(), Some(32));
+        assert_eq!(d.quantile(50), Some(16));
+    }
+
+    #[test]
+    fn rate_windows_sum_trailing_buckets_with_injected_clock() {
+        let mut r = RateWindows::new();
+        for s in 0..30u64 {
+            r.record(s * 1_000_000);
+            r.record(s * 1_000_000 + 500_000);
+        }
+        let snap = r.snapshot(29 * 1_000_000 + 900_000);
+        assert_eq!(snap.last_1s, 2);
+        assert_eq!(snap.last_10s, 20);
+        assert_eq!(snap.last_60s, 60);
+        assert_eq!(snap.total, 60);
+        // 70 s later every window is empty but the total survives.
+        let later = r.snapshot(100 * 1_000_000);
+        assert_eq!(later.last_60s, 0);
+        assert_eq!(later.total, 60);
+    }
+
+    #[test]
+    fn rate_windows_clear_stale_laps_of_the_ring() {
+        let mut r = RateWindows::new();
+        r.record(0);
+        // One full lap later the second-0 bucket must not alias into
+        // second 64's window.
+        r.record(64 * 1_000_000);
+        let snap = r.snapshot(64 * 1_000_000);
+        assert_eq!(snap.last_1s, 1);
+        assert_eq!(snap.total, 2);
+    }
+
+    #[test]
+    fn event_ring_keeps_the_most_recent_events() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.evicted(), 2);
+        let held: Vec<u64> = ring.iter().copied().collect();
+        assert_eq!(held, vec![2, 3, 4]);
     }
 
     #[test]

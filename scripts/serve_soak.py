@@ -16,12 +16,27 @@ but holds the wire to the contract:
   * a zero deadline earns at least one code-14 expiry;
   * a malformed line earns at least one code-2 parse error;
   * every ok:true answer for the same pinned request is bit-identical
-    (load shedding and faults never contaminate completed work).
+    (load shedding and faults never contaminate completed work; the
+    serve-assigned trace_id is the one legitimately varying field);
+  * in-band {"op":"stats"} probes interleaved with the hostile
+    traffic are answered mid-serve, their counters never move
+    backwards between probes, their quantile summaries stay ordered
+    (p50 <= p90 <= p99 <= max), and their window rates are present.
 
 Every line sent and received is appended to a JSONL transcript so a
 failing soak can be replayed from the artifact.
 
 Usage: serve_soak.py <socket-path> <transcript-path>
+       serve_soak.py --validate-events <event-log.jsonl>
+
+The second form validates a `--event-log` file after the server has
+drained: every line must parse as one lifecycle event with the schema
+fields, and per trace id the stages must advance in lifecycle order
+(received -> admitted|shed -> dispatched -> evaluating ->
+answered|errored) with exactly one terminal event carrying an outcome
+code. Events dropped under pressure are counted by the server
+(serve.events_dropped), so a hole in a trace is tolerated — an
+out-of-order or duplicated transition is not.
 """
 
 import json
@@ -57,6 +72,8 @@ class Stats:
         self.error_codes = {}
         self.pinned_results = set()
         self.violations = []
+        self.stats_probes = 0
+        self.last_counters = None
 
 
 def connect(path, timeout=30.0):
@@ -87,7 +104,9 @@ def check_reply(raw, stats):
         stats.ok += 1
         model = (reply.get("result") or {}).get("model")
         if reply.get("op") == "custom" and model == "Alexnet":
-            body = {k: v for k, v in reply.items() if k != "id"}
+            # id and the serve-assigned trace_id legitimately vary per
+            # request; everything else must be bit-identical.
+            body = {k: v for k, v in reply.items() if k not in ("id", "trace_id")}
             stats.pinned_results.add(json.dumps(body, sort_keys=True))
         return
     code = reply.get("error", {}).get("code")
@@ -132,6 +151,72 @@ def run_connection(path, lines, transcript, stats):
                 answered += 1
     finally:
         sock.close()
+
+
+def stats_probe(path, transcript, stats, probe_no):
+    """One in-band {"op":"stats"} round trip: answered mid-serve, with
+    monotone counters, ordered quantiles, and present window rates.
+    A dropped connection is the drill, not a failure."""
+    line = json.dumps({"id": f"probe-{probe_no}", "op": "stats"})
+    transcript.write(json.dumps({"dir": "send", "line": line}) + "\n")
+    stats.sent += 1
+    try:
+        sock = connect(path)
+    except OSError:
+        stats.dropped_connections += 1
+        return
+    try:
+        sock.sendall((line + "\n").encode())
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                stats.dropped_connections += 1
+                return
+            buf += chunk
+    except OSError:
+        stats.dropped_connections += 1
+        return
+    finally:
+        sock.close()
+    raw = buf.split(b"\n", 1)[0].decode(errors="replace").strip()
+    transcript.write(json.dumps({"dir": "recv", "line": raw}) + "\n")
+    stats.received += 1
+    try:
+        reply = json.loads(raw)
+    except json.JSONDecodeError:
+        stats.violations.append(f"stats probe answered non-JSON: {raw!r}")
+        return
+    if reply.get("ok") is not True or not isinstance(reply.get("stats"), dict):
+        stats.violations.append(f"stats probe not answered ok: {raw!r}")
+        return
+    snapshot = reply["stats"]
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict) or "serve.requests" not in counters:
+        stats.violations.append(f"stats probe missing counters: {raw!r}")
+        return
+    if stats.last_counters is not None:
+        for name, before in stats.last_counters.items():
+            after = counters.get(name)
+            if not isinstance(after, int) or after < before:
+                stats.violations.append(
+                    f"counter {name} moved backwards: {before} -> {after}"
+                )
+    stats.last_counters = counters
+    for family in ("queue_wait_us", "latency_us"):
+        q = (snapshot.get("quantiles") or {}).get(family)
+        if not isinstance(q, dict):
+            stats.violations.append(f"stats probe missing quantiles.{family}")
+            continue
+        if q.get("count", 0) > 0 and not (
+            q["p50"] <= q["p90"] <= q["p99"] <= q["max"]
+        ):
+            stats.violations.append(f"quantiles.{family} out of order: {q}")
+    for family in ("requests", "sheds", "deadline_expiries"):
+        rate = (snapshot.get("rates") or {}).get(family)
+        if not isinstance(rate, dict) or "total" not in rate:
+            stats.violations.append(f"stats probe missing rates.{family}")
+    stats.stats_probes += 1
 
 
 def mixed_lines(round_no):
@@ -185,15 +270,100 @@ def quotas_met(stats):
     )
 
 
+# Lifecycle stage ranks: a trace's transitions must never regress.
+# `shed` shares the admission rank; `answered`/`errored` share the
+# terminal rank.
+STAGE_RANK = {
+    "received": 0,
+    "admitted": 1,
+    "shed": 1,
+    "dispatched": 2,
+    "evaluating": 3,
+    "answered": 4,
+    "errored": 4,
+}
+TERMINAL_STAGES = {"shed", "answered", "errored"}
+
+
+def validate_events(path):
+    """Validates a --event-log file: schema per line, lifecycle order
+    and exactly one terminal outcome per trace id. Exits non-zero on
+    the first class of violation found."""
+    violations = []
+    traces = {}
+    lines = 0
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            lines += 1
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                violations.append(f"line {lineno}: not JSON: {raw!r}")
+                continue
+            stage = event.get("event")
+            if stage not in STAGE_RANK:
+                violations.append(f"line {lineno}: unknown stage {stage!r}")
+                continue
+            if not isinstance(event.get("t_us"), int) or event["t_us"] < 0:
+                violations.append(f"line {lineno}: bad t_us: {raw!r}")
+            if not isinstance(event.get("trace"), int):
+                violations.append(f"line {lineno}: bad trace id: {raw!r}")
+                continue
+            if not isinstance(event.get("op"), str):
+                violations.append(f"line {lineno}: missing op: {raw!r}")
+            if stage == "dispatched" and not isinstance(
+                event.get("queue_wait_us"), int
+            ):
+                violations.append(f"line {lineno}: dispatch without queue wait")
+            if stage in TERMINAL_STAGES and not isinstance(event.get("outcome"), int):
+                violations.append(f"line {lineno}: terminal stage without outcome")
+            traces.setdefault(event["trace"], []).append((lineno, stage))
+    if lines == 0:
+        sys.exit(f"event log {path} is empty")
+    for trace, chain in sorted(traces.items()):
+        ranks = [STAGE_RANK[s] for _, s in chain]
+        # Drops under pressure may punch holes in a trace, but what
+        # did land must advance: never a regression, never a repeat.
+        if any(b <= a for a, b in zip(ranks, ranks[1:])):
+            violations.append(
+                f"trace {trace}: stages regress or repeat: "
+                f"{[s for _, s in chain]} (lines {[n for n, _ in chain]})"
+            )
+        terminals = [s for _, s in chain if s in TERMINAL_STAGES]
+        if len(terminals) > 1:
+            violations.append(f"trace {trace}: {len(terminals)} terminal events")
+    for violation in violations[:20]:
+        print(f"EVENT-LOG VIOLATION: {violation}", file=sys.stderr)
+    if violations:
+        sys.exit(f"{len(violations)} event-log violations in {path}")
+    print(
+        f"event log OK: {lines} lifecycle events across {len(traces)} traces, "
+        "stages ordered, one terminal outcome per trace"
+    )
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--validate-events":
+        validate_events(sys.argv[2])
+        return
     if len(sys.argv) != 3:
-        sys.exit("usage: serve_soak.py <socket-path> <transcript-path>")
+        sys.exit(
+            "usage: serve_soak.py <socket-path> <transcript-path> | "
+            "--validate-events <event-log.jsonl>"
+        )
     sock_path, transcript_path = sys.argv[1], sys.argv[2]
     stats = Stats()
     with open(transcript_path, "w") as transcript:
         for round_no in range(1, MAX_ROUNDS + 1):
+            stats_probe(sock_path, transcript, stats, round_no * 2 - 1)
             run_connection(sock_path, mixed_lines(round_no), transcript, stats)
             run_connection(sock_path, MALFORMED, transcript, stats)
+            # A probe between the hostile rounds: answered while burst
+            # work is still queued and in flight.
+            stats_probe(sock_path, transcript, stats, round_no * 2)
             run_connection(sock_path, burst_lines(round_no), transcript, stats)
             if round_no >= 2 and quotas_met(stats):
                 break
@@ -201,6 +371,7 @@ def main():
     print(
         f"soak: sent {stats.sent}, received {stats.received}, ok {stats.ok}, "
         f"dropped connections {stats.dropped_connections}, "
+        f"stats probes {stats.stats_probes}, "
         f"error codes {dict(sorted(stats.error_codes.items()))}"
     )
     for violation in stats.violations[:20]:
@@ -221,7 +392,15 @@ def main():
         )
     if not stats.pinned_results:
         sys.exit("pinned request never completed — no bit-identity evidence")
-    print("soak OK: typed errors only, pinned answers bit-identical")
+    if stats.stats_probes < 2:
+        sys.exit(
+            f"only {stats.stats_probes} stats probes answered — "
+            "no monotonicity evidence"
+        )
+    print(
+        "soak OK: typed errors only, pinned answers bit-identical, "
+        "stats probes monotone"
+    )
 
 
 if __name__ == "__main__":

@@ -699,6 +699,100 @@ proptest! {
     }
 }
 
+// ---------- serve observability: exact quantile digests ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The serve digest is exact, not approximate: after every single
+    /// insertion, p50/p90/p99/max equal the nearest-rank-lower
+    /// quantiles of a sorted copy of everything recorded so far.
+    #[test]
+    fn quantile_digest_matches_sorted_reference_at_every_size(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..200),
+    ) {
+        use claire::core::QuantileDigest;
+        let mut digest = QuantileDigest::new();
+        let mut sorted: Vec<u64> = Vec::new();
+        for &v in &samples {
+            digest.record(v);
+            let at = sorted.partition_point(|&x| x <= v);
+            sorted.insert(at, v);
+            let n = sorted.len() as u64;
+            prop_assert_eq!(digest.count(), n);
+            for p in [50u8, 90, 99] {
+                let rank = ((u128::from(n - 1) * u128::from(p)) / 100) as usize;
+                prop_assert_eq!(
+                    digest.quantile(p),
+                    Some(sorted[rank]),
+                    "p{} diverged at size {}",
+                    p,
+                    n
+                );
+            }
+            prop_assert_eq!(digest.max(), sorted.last().copied());
+            let s = digest.summary();
+            prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        }
+    }
+
+    /// Merging per-thread digests is order-independent: every
+    /// permutation of the parts yields a digest — and a wire summary —
+    /// byte-identical to recording the samples into one digest, so a
+    /// multi-threaded serve reports the same quantiles at any thread
+    /// count.
+    #[test]
+    fn quantile_digest_merge_is_permutation_invariant(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..u64::MAX, 0..60),
+            1..5,
+        ),
+    ) {
+        use claire::core::QuantileDigest;
+        let flat = {
+            let mut d = QuantileDigest::new();
+            for part in &parts {
+                for &v in part {
+                    d.record(v);
+                }
+            }
+            d
+        };
+        let digests: Vec<QuantileDigest> = parts
+            .iter()
+            .map(|part| {
+                let mut d = QuantileDigest::new();
+                for &v in part {
+                    d.record(v);
+                }
+                d
+            })
+            .collect();
+        // Forward, reverse, and middle-out merge orders all reproduce
+        // the flat digest exactly (Eq covers the full RLE run list).
+        let orders: Vec<Vec<usize>> = vec![
+            (0..digests.len()).collect(),
+            (0..digests.len()).rev().collect(),
+            {
+                let mut order: Vec<usize> = (0..digests.len()).step_by(2).collect();
+                order.extend((1..digests.len()).step_by(2));
+                order
+            },
+        ];
+        for order in orders {
+            let mut merged = QuantileDigest::new();
+            for i in order {
+                merged.merge(&digests[i]);
+            }
+            prop_assert_eq!(&merged, &flat);
+            prop_assert_eq!(
+                serde_json::to_string(&merged.summary().to_value()).expect("render"),
+                serde_json::to_string(&flat.summary().to_value()).expect("render")
+            );
+        }
+    }
+}
+
 // ---------- hardware/cost models ----------
 
 proptest! {
